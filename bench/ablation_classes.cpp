@@ -1,0 +1,89 @@
+// Ablation A2 (DESIGN.md): bandwidth-class granularity — §III.B.3 limits
+// queries to a predetermined class set L to bound CRT size. Coarser grids
+// mean smaller routing tables but more conservative answers (b snaps up to
+// the next class, over-delivering bandwidth) and more unanswerable queries.
+//
+//   ./ablation_classes --size 100
+#include <cstdio>
+
+#include "common/options.h"
+#include "common/table.h"
+#include "core/system.h"
+#include "data/planetlab_synth.h"
+#include "stats/accuracy.h"
+#include "tree/embedder.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  Options opts("ablation_classes",
+               "bandwidth-class granularity: CRT size vs answer quality");
+  auto& size = opts.add_int("size", 100, "dataset size");
+  auto& rounds = opts.add_int("rounds", 3, "frameworks per grid");
+  auto& queries = opts.add_int("queries", 200, "arbitrary-b queries per round");
+  auto& noise = opts.add_double("noise", 0.25, "dataset noise sigma");
+  auto& seed = opts.add_int("seed", 42, "experiment seed");
+  auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
+  opts.parse(argc, argv);
+
+  Rng data_rng(static_cast<std::uint64_t>(seed));
+  SynthOptions data_options;
+  data_options.hosts = static_cast<std::size_t>(size);
+  data_options.noise_sigma = noise;
+  const SynthDataset data = synthesize_planetlab(data_options, data_rng);
+  const std::size_t n = data.bandwidth.size();
+  const std::size_t k = std::max<std::size_t>(2, n / 20);
+
+  std::printf("== Ablation A2: class granularity (n=%zu, k=%zu, arbitrary "
+              "b in [5, 300]) ==\n",
+              n, k);
+  TablePrinter table({"class_step_mbps", "|L|", "CRT_entries/node",
+                      "answerable", "RR", "mean_overshoot", "WPR"});
+
+  for (double step : {5.0, 10.0, 25.0, 50.0, 100.0}) {
+    const BandwidthClasses classes =
+        BandwidthClasses::uniform_grid(step, 300.0, step, data.c);
+    RrAccumulator rr;
+    WprAccumulator wpr;
+    double answerable = 0.0, overshoot_sum = 0.0, crt_entries = 0.0;
+    std::size_t total = 0, overshoot_count = 0;
+
+    Rng master(static_cast<std::uint64_t>(seed) + 1);
+    for (std::int64_t round = 0; round < rounds; ++round) {
+      Rng round_rng = master.split(static_cast<std::uint64_t>(round));
+      Framework fw = build_framework(data.distances, round_rng);
+      DecentralizedClusterSystem sys(fw.anchors, fw.predicted_distances(),
+                                     classes, {});
+      sys.run_to_convergence();
+      for (NodeId x = 0; x < n; ++x) {
+        // One |L|-sized vector per neighbor plus the self entry.
+        crt_entries += static_cast<double>(classes.size()) *
+                       static_cast<double>(sys.node(x).neighbors.size() + 1);
+      }
+      Rng query_rng = round_rng.split(3);
+      for (std::int64_t q = 0; q < queries; ++q) {
+        const double b = query_rng.uniform(5.0, 300.0);
+        ++total;
+        const auto cls = classes.class_for_bandwidth(b);
+        if (!cls) continue;  // b stricter than the strictest class
+        answerable += 1.0;
+        overshoot_sum += classes.bandwidth_at(*cls) / b;
+        ++overshoot_count;
+        const NodeId start = static_cast<NodeId>(query_rng.below(n));
+        const QueryOutcome outcome = sys.query_class(start, k, *cls);
+        rr.add_query(outcome.found());
+        if (outcome.found()) {
+          wpr.add_cluster(data.bandwidth, outcome.cluster, b);
+        }
+      }
+    }
+    table.add_numeric_row(
+        {step, static_cast<double>(classes.size()),
+         crt_entries / static_cast<double>(n) / static_cast<double>(rounds),
+         answerable / static_cast<double>(total), rr.rate(),
+         overshoot_count ? overshoot_sum / static_cast<double>(overshoot_count)
+                         : 0.0,
+         wpr.rate()});
+  }
+  std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  return 0;
+}

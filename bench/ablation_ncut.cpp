@@ -1,0 +1,81 @@
+// Ablation A1 (DESIGN.md): the n_cut knob — §III.B.2 claims the aggregate
+// limit "controls a messaging workload"; the cost is smaller clustering
+// spaces, hence a lower return rate for large k. This harness quantifies
+// both sides of the tradeoff on one dataset.
+//
+//   ./ablation_ncut --size 100 --rounds 5
+#include <cstdio>
+
+#include "common/options.h"
+#include "common/table.h"
+#include "core/system.h"
+#include "exp/common.h"
+#include "stats/accuracy.h"
+#include "tree/embedder.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  Options opts("ablation_ncut", "n_cut sweep: messaging vs responsiveness");
+  auto& size = opts.add_int("size", 100, "dataset size");
+  auto& rounds = opts.add_int("rounds", 5, "frameworks per n_cut");
+  auto& queries = opts.add_int("queries", 50, "queries per framework per k");
+  auto& noise = opts.add_double("noise", 0.25, "dataset noise sigma");
+  auto& seed = opts.add_int("seed", 42, "experiment seed");
+  auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
+  opts.parse(argc, argv);
+
+  Rng data_rng(static_cast<std::uint64_t>(seed));
+  SynthOptions data_options;
+  data_options.hosts = static_cast<std::size_t>(size);
+  data_options.noise_sigma = noise;
+  const SynthDataset data = synthesize_planetlab(data_options, data_rng);
+  const std::size_t n = data.bandwidth.size();
+
+  const std::vector<double> b_grid = exp::bandwidth_grid(15.0, 75.0, 5);
+  const BandwidthClasses classes = exp::classes_for_grid(b_grid, data.c);
+  const std::size_t k_small = std::max<std::size_t>(2, n / 10);
+  const std::size_t k_large = std::max<std::size_t>(3, n / 4);
+
+  std::printf("== Ablation A1: n_cut tradeoff (n=%zu, k_small=%zu, "
+              "k_large=%zu) ==\n",
+              n, k_small, k_large);
+  TablePrinter table({"n_cut", "RR@k_small", "RR@k_large", "avg_space",
+                      "gossip_KB/node/cycle", "conv_cycles"});
+
+  for (std::size_t n_cut : {2ul, 5ul, 10ul, 20ul, 40ul}) {
+    RrAccumulator rr_small, rr_large;
+    double space_sum = 0.0, kb_sum = 0.0, cycles_sum = 0.0;
+    std::size_t space_count = 0;
+    Rng master(static_cast<std::uint64_t>(seed) + 1);
+    for (std::int64_t round = 0; round < rounds; ++round) {
+      Rng round_rng = master.split(static_cast<std::uint64_t>(round));
+      Framework fw = build_framework(data.distances, round_rng);
+      SystemOptions sys_options;
+      sys_options.n_cut = n_cut;
+      DecentralizedClusterSystem sys(fw.anchors, fw.predicted_distances(),
+                                     classes, sys_options);
+      const std::size_t cycles = sys.run_to_convergence();
+      cycles_sum += static_cast<double>(cycles);
+      kb_sum += static_cast<double>(sys.metrics().total_bytes()) / 1024.0 /
+                static_cast<double>(n) / static_cast<double>(cycles);
+      for (NodeId x = 0; x < n; ++x) {
+        space_sum += static_cast<double>(sys.node(x).clustering_space().size());
+        ++space_count;
+      }
+      Rng query_rng = round_rng.split(3);
+      for (std::int64_t q = 0; q < queries; ++q) {
+        const std::size_t cls = query_rng.below(classes.size());
+        const NodeId start = static_cast<NodeId>(query_rng.below(n));
+        rr_small.add_query(sys.query_class(start, k_small, cls).found());
+        rr_large.add_query(sys.query_class(start, k_large, cls).found());
+      }
+    }
+    table.add_numeric_row({static_cast<double>(n_cut), rr_small.rate(),
+                   rr_large.rate(),
+                   space_sum / static_cast<double>(space_count),
+                   kb_sum / static_cast<double>(rounds),
+                   cycles_sum / static_cast<double>(rounds)});
+  }
+  std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  return 0;
+}

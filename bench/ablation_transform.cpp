@@ -1,0 +1,112 @@
+// Ablation A4: the bandwidth-to-distance transform — §V reports that
+// Euclidean embedding of bandwidth fails with the linear transform
+// d = C − BW [21] and that the rational transform d = C/BW is "much" better
+// (while still losing to the tree metric space). This harness reproduces
+// that three-way comparison on one dataset, also including the Vivaldi
+// height-vector variant (position + access-link height).
+//
+//   ./ablation_transform --size 150
+#include <cstdio>
+
+#include "common/options.h"
+#include "common/table.h"
+#include "data/planetlab_synth.h"
+#include "stats/accuracy.h"
+#include "stats/summary.h"
+#include "tree/embedder.h"
+#include "vivaldi/vivaldi.h"
+
+namespace {
+
+using namespace bcc;
+
+struct ErrStats {
+  double median_err = 0.0;
+  double p90_err = 0.0;
+};
+
+ErrStats summarize(const std::vector<double>& errs) {
+  return ErrStats{median(errs), percentile(errs, 90.0)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("ablation_transform",
+               "bandwidth embedding: linear vs rational transform vs tree");
+  auto& size = opts.add_int("size", 150, "dataset size");
+  auto& rounds = opts.add_int("rounds", 5, "embeddings per configuration");
+  auto& noise = opts.add_double("noise", 0.25, "dataset noise sigma");
+  auto& seed = opts.add_int("seed", 42, "experiment seed");
+  auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
+  opts.parse(argc, argv);
+
+  Rng data_rng(static_cast<std::uint64_t>(seed));
+  SynthOptions data_options;
+  data_options.hosts = static_cast<std::size_t>(size);
+  data_options.noise_sigma = noise;
+  const SynthDataset data = synthesize_planetlab(data_options, data_rng);
+  const std::size_t n = data.bandwidth.size();
+
+  double linear_c = 0.0;
+  const DistanceMatrix linear_target =
+      linear_transform_auto(data.bandwidth, &linear_c);
+
+  std::vector<double> err_linear, err_rational, err_height, err_tree;
+  Rng master(static_cast<std::uint64_t>(seed) + 1);
+  for (std::int64_t round = 0; round < rounds; ++round) {
+    Rng round_rng = master.split(static_cast<std::uint64_t>(round));
+
+    // Vivaldi on the linear transform (the configuration §V calls poor):
+    // predicted BW = C_lin − predicted distance.
+    {
+      Rng vrng = round_rng.split(1);
+      Vivaldi v(n, vrng, {});
+      v.run(linear_target);
+      for (NodeId u = 0; u < n; ++u) {
+        for (NodeId w = u + 1; w < n; ++w) {
+          const double bw = data.bandwidth.at(u, w);
+          const double bw_pred =
+              linear_distance_to_bandwidth(v.distance(u, w), linear_c);
+          err_linear.push_back(std::abs(bw - bw_pred) / bw);
+        }
+      }
+    }
+    // Vivaldi on the rational transform (flat and height-vector variants).
+    for (bool height : {false, true}) {
+      Rng vrng = round_rng.split(height ? 3 : 2);
+      VivaldiOptions vopt;
+      vopt.use_height = height;
+      Vivaldi v(n, vrng, vopt);
+      v.run(data.distances);
+      auto errs =
+          relative_bandwidth_errors(data.bandwidth, v.predicted_distances(),
+                                    data.c);
+      auto& sink = height ? err_height : err_rational;
+      sink.insert(sink.end(), errs.begin(), errs.end());
+    }
+    // The prediction tree (rational transform by construction).
+    {
+      Rng trng = round_rng.split(4);
+      const Framework fw = build_framework(data.distances, trng);
+      auto errs = relative_bandwidth_errors(data.bandwidth,
+                                            fw.predicted_distances(), data.c);
+      err_tree.insert(err_tree.end(), errs.begin(), errs.end());
+    }
+  }
+
+  std::printf("== Ablation A4: embedding bandwidth (n=%zu, noise=%.2f) ==\n",
+              n, static_cast<double>(noise));
+  TablePrinter table({"embedding", "median_rel_err", "p90_rel_err"});
+  auto row = [&](const char* name, const std::vector<double>& errs) {
+    const ErrStats s = summarize(errs);
+    table.add_row({name, format_double(s.median_err, 4),
+                   format_double(s.p90_err, 4)});
+  };
+  row("EUCL linear d=C-BW (GNP/Vivaldi legacy)", err_linear);
+  row("EUCL rational d=C/BW", err_rational);
+  row("EUCL rational + height vector", err_height);
+  row("TREE (prediction tree)", err_tree);
+  std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces Fig. 3 (paper §IV.A): clustering accuracy (WPR vs b) for
+// TREE-DECENTRAL / TREE-CENTRAL / EUCL-CENTRAL on both datasets, plus the
+// CDFs of relative bandwidth-prediction error (tree vs Euclidean embedding).
+//
+//   ./fig3_accuracy                 # both datasets, paper-style workload
+//   ./fig3_accuracy --dataset hp --rounds 10 --csv
+#include <cstdio>
+
+#include "common/options.h"
+#include "common/table.h"
+#include "exp/fig3.h"
+
+namespace {
+
+using namespace bcc;
+
+void print_result(const std::string& tag, const exp::Fig3Result& r, bool csv) {
+  std::printf("== Fig. 3: WPR vs b (%s) — k fixed, 3 approaches ==\n",
+              tag.c_str());
+  TablePrinter wpr({"b_mbps", tag + "-TREE-DECENTRAL", tag + "-TREE-CENTRAL",
+                    tag + "-EUCL-CENTRAL", "RR-DECENTRAL"});
+  for (const auto& row : r.rows) {
+    wpr.add_numeric_row({row.b, row.wpr_tree_decentral, row.wpr_tree_central,
+                 row.wpr_eucl_central, row.rr_tree_decentral});
+  }
+  std::fputs(csv ? wpr.to_csv().c_str() : wpr.to_string().c_str(), stdout);
+
+  std::printf("\n== Fig. 3: CDF of relative bandwidth prediction error (%s) ==\n",
+              tag.c_str());
+  std::printf("median relative error: %s-TREE %.4f | %s-EUCL %.4f\n",
+              tag.c_str(), r.tree_median_error, tag.c_str(),
+              r.eucl_median_error);
+  TablePrinter cdf({"rel_error", tag + "-TREE cdf", tag + "-EUCL cdf"});
+  // Print on a common error grid for readability.
+  const std::vector<double> err_grid = {0.05, 0.1, 0.2, 0.3, 0.5,
+                                        0.75, 1.0, 1.5, 2.0};
+  auto cdf_value = [](const std::vector<CdfPoint>& points, double x) {
+    double y = 0.0;
+    for (const auto& p : points) {
+      if (p.x <= x) {
+        y = p.y;
+      } else {
+        break;
+      }
+    }
+    return y;
+  };
+  for (double e : err_grid) {
+    cdf.add_numeric_row({e, cdf_value(r.tree_error_cdf, e),
+                 cdf_value(r.eucl_error_cdf, e)});
+  }
+  std::fputs(csv ? cdf.to_csv().c_str() : cdf.to_string().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("fig3_accuracy",
+               "Fig. 3: clustering accuracy, tree vs Euclidean metric space");
+  auto& dataset = opts.add_string("dataset", "both", "hp | umd | both");
+  auto& rounds = opts.add_int("rounds", 10, "frameworks per dataset (paper: 10)");
+  auto& queries = opts.add_int("queries_per_b", 20,
+                               "decentralized queries per b per round");
+  auto& n_cut = opts.add_int("n_cut", 10, "aggregate size limit");
+  auto& noise = opts.add_double("noise", 0.25, "dataset synthesis noise sigma");
+  auto& seed = opts.add_int("seed", 42, "experiment seed");
+  auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
+  opts.parse(argc, argv);
+
+  if (dataset == "hp" || dataset == "both") {
+    bcc::Rng rng(static_cast<std::uint64_t>(seed));
+    const bcc::SynthDataset hp = bcc::make_hp_planetlab(rng, noise);
+    bcc::exp::Fig3Params params;  // HP workload: k=10, b=15..75 (paper)
+    params.rounds = static_cast<std::size_t>(rounds);
+    params.queries_per_b = static_cast<std::size_t>(queries);
+    params.n_cut = static_cast<std::size_t>(n_cut);
+    params.k = 10;
+    params.b_min = 15.0;
+    params.b_max = 75.0;
+    print_result("HP", bcc::exp::run_fig3(hp, params,
+                                          static_cast<std::uint64_t>(seed)),
+                 csv);
+  }
+  if (dataset == "umd" || dataset == "both") {
+    bcc::Rng rng(static_cast<std::uint64_t>(seed) + 1);
+    const bcc::SynthDataset umd = bcc::make_umd_planetlab(rng, noise);
+    bcc::exp::Fig3Params params;  // UMD workload: k=16, b=30..110 (paper)
+    params.rounds = static_cast<std::size_t>(rounds);
+    params.queries_per_b = static_cast<std::size_t>(queries);
+    params.n_cut = static_cast<std::size_t>(n_cut);
+    params.k = 16;
+    params.b_min = 30.0;
+    params.b_max = 110.0;
+    print_result("UMD", bcc::exp::run_fig3(umd, params,
+                                           static_cast<std::uint64_t>(seed)),
+                 csv);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Fig. 4 (paper §IV.B): Return Rate vs k — the tradeoff of
+// decentralization. Centralized clustering sees the full predicted metric;
+// decentralized nodes only see n_cut-bounded clustering spaces, so RR drops
+// earlier for large k.
+//
+//   ./fig4_tradeoff                    # both datasets
+//   ./fig4_tradeoff --dataset hp --rounds 20
+#include <cstdio>
+
+#include "common/options.h"
+#include "common/table.h"
+#include "exp/fig4.h"
+
+namespace {
+
+using namespace bcc;
+
+void print_result(const std::string& tag, const exp::Fig4Result& r, bool csv) {
+  std::printf("== Fig. 4: Return Rate vs k (%s), n_cut-limited overlay ==\n",
+              tag.c_str());
+  TablePrinter table(
+      {"k", tag + "-TREE-CENTRAL RR", tag + "-TREE-DECENTRAL RR"});
+  for (const auto& row : r.rows) {
+    table.add_numeric_row({static_cast<double>(row.k), row.rr_central,
+                   row.rr_decentral});
+  }
+  std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("fig4_tradeoff",
+               "Fig. 4: return rate vs k, centralized vs decentralized");
+  auto& dataset = opts.add_string("dataset", "both", "hp | umd | both");
+  auto& rounds = opts.add_int("rounds", 15,
+                              "frameworks per dataset (paper: 100)");
+  auto& queries = opts.add_int("queries_per_k", 8, "query samples per k");
+  auto& n_cut = opts.add_int("n_cut", 10, "aggregate size limit (paper: 10)");
+  auto& k_steps = opts.add_int("k_steps", 10, "points on the k axis");
+  auto& noise = opts.add_double("noise", 0.25, "dataset synthesis noise sigma");
+  auto& seed = opts.add_int("seed", 42, "experiment seed");
+  auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
+  opts.parse(argc, argv);
+
+  if (dataset == "hp" || dataset == "both") {
+    bcc::Rng rng(static_cast<std::uint64_t>(seed));
+    const bcc::SynthDataset hp = bcc::make_hp_planetlab(rng, noise);
+    bcc::exp::Fig4Params params;  // HP workload: k=2..90, b=15..75 (paper)
+    params.rounds = static_cast<std::size_t>(rounds);
+    params.queries_per_k = static_cast<std::size_t>(queries);
+    params.n_cut = static_cast<std::size_t>(n_cut);
+    params.k_steps = static_cast<std::size_t>(k_steps);
+    params.k_min = 2;
+    params.k_max = 90;
+    params.b_min = 15.0;
+    params.b_max = 75.0;
+    print_result("HP", bcc::exp::run_fig4(hp, params,
+                                          static_cast<std::uint64_t>(seed)),
+                 csv);
+  }
+  if (dataset == "umd" || dataset == "both") {
+    bcc::Rng rng(static_cast<std::uint64_t>(seed) + 1);
+    const bcc::SynthDataset umd = bcc::make_umd_planetlab(rng, noise);
+    bcc::exp::Fig4Params params;  // UMD workload: k=2..150, b=30..110 (paper)
+    params.rounds = static_cast<std::size_t>(rounds);
+    params.queries_per_k = static_cast<std::size_t>(queries);
+    params.n_cut = static_cast<std::size_t>(n_cut);
+    params.k_steps = static_cast<std::size_t>(k_steps);
+    params.k_min = 2;
+    params.k_max = 150;
+    params.b_min = 30.0;
+    params.b_max = 110.0;
+    print_result("UMD", bcc::exp::run_fig4(umd, params,
+                                           static_cast<std::uint64_t>(seed)),
+                 csv);
+  }
+  return 0;
+}

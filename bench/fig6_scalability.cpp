@@ -1,0 +1,55 @@
+// Reproduces Fig. 6 (paper §IV.D): scalable query routing — the average
+// number of Algorithm 4 routing hops vs system size n. The paper reports
+// ~2–3 hops with slow concave growth over n = 50..300.
+//
+//   ./fig6_scalability
+//   ./fig6_scalability --datasets_per_size 10 --queries 1000   # paper scale
+#include <cstdio>
+
+#include "common/options.h"
+#include "common/table.h"
+#include "exp/fig6.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  Options opts("fig6_scalability", "Fig. 6: query routing hops vs system size");
+  auto& datasets = opts.add_int("datasets_per_size", 5,
+                                "random subsets per n (paper: 10)");
+  auto& rounds = opts.add_int("rounds", 2, "frameworks per subset");
+  auto& queries = opts.add_int("queries", 100,
+                               "queries per framework (paper: 1000)");
+  auto& n_cut = opts.add_int("n_cut", 10, "aggregate size limit");
+  auto& n_max = opts.add_int("n_max", 300, "largest system size");
+  auto& noise = opts.add_double("noise", 0.25, "dataset synthesis noise sigma");
+  auto& seed = opts.add_int("seed", 42, "experiment seed");
+  auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
+  opts.parse(argc, argv);
+
+  // Base trace: the UMD-like dataset (317 nodes), as in the paper.
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const SynthDataset umd = make_umd_planetlab(rng, noise);
+
+  exp::Fig6Params params;
+  params.datasets_per_size = static_cast<std::size_t>(datasets);
+  params.rounds = static_cast<std::size_t>(rounds);
+  params.queries = static_cast<std::size_t>(queries);
+  params.n_cut = static_cast<std::size_t>(n_cut);
+  params.sizes.clear();
+  for (std::size_t n = 50; n <= static_cast<std::size_t>(n_max); n += 50) {
+    params.sizes.push_back(n);
+  }
+
+  const exp::Fig6Result r =
+      exp::run_fig6(umd, params, static_cast<std::uint64_t>(seed));
+
+  std::printf("== Fig. 6: average query routing hops vs system size "
+              "(UMD-PlanetLab subsets, k = 0.05n..0.30n) ==\n");
+  TablePrinter table({"n", "avg_hops", "ci95_lo", "ci95_hi", "avg_hops_found", "max_hops", "RR"});
+  for (const auto& row : r.rows) {
+    table.add_numeric_row({static_cast<double>(row.n), row.avg_hops,
+                           row.hops_ci_lo, row.hops_ci_hi,
+                           row.avg_hops_found, row.max_hops, row.rr});
+  }
+  std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,266 @@
+// Algorithmic micro-benchmarks (google-benchmark): the costs behind the
+// paper's complexity claims — Algorithm 1's O(n^3), the per-join embedding
+// cost, gossip-cycle cost, query processing, and the baselines' inner loops.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "core/exhaustive_baseline.h"
+#include "core/find_cluster.h"
+#include "core/partition.h"
+#include "data/topology_gen.h"
+#include "core/system.h"
+#include "euclid/kdiameter.h"
+#include "exp/common.h"
+#include "sim/event_engine.h"
+#include "metric/four_point.h"
+#include "tree/distance_label.h"
+#include "tree/embedder.h"
+#include "tree/maintenance.h"
+#include "vivaldi/vivaldi.h"
+
+namespace {
+
+using namespace bcc;
+
+DistanceMatrix tree_metric_of(std::size_t n, std::uint64_t seed) {
+  // Random tree metric via a tiny topology (perfect 4PC).
+  Rng rng(seed);
+  TopologyOptions options;
+  options.hosts = n;
+  return generate_topology(options, rng).distances();
+}
+
+void BM_FindCluster(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DistanceMatrix d = tree_metric_of(n, 1);
+  std::vector<double> values = d.pair_values();
+  std::sort(values.begin(), values.end());
+  const double l = values[values.size() / 4];  // harder than median
+  const std::size_t k = std::max<std::size_t>(2, n / 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_cluster(d, k, l));
+  }
+  state.SetComplexityN(static_cast<long long>(n));
+}
+BENCHMARK(BM_FindCluster)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_MaxClusterSizesForClasses(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DistanceMatrix d = tree_metric_of(n, 2);
+  std::vector<NodeId> universe(n);
+  for (NodeId i = 0; i < n; ++i) universe[i] = i;
+  std::vector<double> classes;
+  for (double b = 5.0; b <= 300.0; b += 5.0) {
+    classes.push_back(kDefaultTransformC / b);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_cluster_sizes_for_classes(d, universe, classes));
+  }
+}
+BENCHMARK(BM_MaxClusterSizesForClasses)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BuildFramework(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DistanceMatrix d = tree_metric_of(n, 3);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    Rng rng(1000 + round++);
+    benchmark::DoNotOptimize(build_framework(d, rng));
+  }
+}
+BENCHMARK(BM_BuildFramework)->RangeMultiplier(2)->Range(32, 256);
+
+void BM_GossipConvergence(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DistanceMatrix d = tree_metric_of(n, 4);
+  Rng rng(5);
+  Framework fw = build_framework(d, rng);
+  const DistanceMatrix pred = fw.predicted_distances();
+  const BandwidthClasses classes =
+      exp::classes_for_grid(exp::bandwidth_grid(15.0, 75.0, 5));
+  for (auto _ : state) {
+    DecentralizedClusterSystem sys(fw.anchors, pred, classes, {});
+    benchmark::DoNotOptimize(sys.run_to_convergence());
+  }
+}
+BENCHMARK(BM_GossipConvergence)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_QueryProcess(benchmark::State& state) {
+  const std::size_t n = 150;
+  const DistanceMatrix d = tree_metric_of(n, 6);
+  Rng rng(7);
+  Framework fw = build_framework(d, rng);
+  const BandwidthClasses classes =
+      exp::classes_for_grid(exp::bandwidth_grid(15.0, 75.0, 5));
+  DecentralizedClusterSystem sys(fw.anchors, fw.predicted_distances(), classes,
+                                 {});
+  sys.run_to_convergence();
+  Rng query_rng(8);
+  for (auto _ : state) {
+    const NodeId start = static_cast<NodeId>(query_rng.below(n));
+    benchmark::DoNotOptimize(sys.query_class(start, 8, 2));
+  }
+}
+BENCHMARK(BM_QueryProcess);
+
+void BM_VivaldiRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DistanceMatrix d = tree_metric_of(n, 9);
+  Rng rng(10);
+  VivaldiOptions options;
+  options.rounds = 1;
+  Vivaldi v(n, rng, options);
+  for (auto _ : state) {
+    v.run(d);  // one round of n * samples updates
+  }
+}
+BENCHMARK(BM_VivaldiRound)->Arg(64)->Arg(256);
+
+void BM_KDiameterEuclidean(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<Point2> points(n);
+  for (auto& p : points) {
+    p.x = rng.uniform(0.0, 100.0);
+    p.y = rng.uniform(0.0, 100.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        find_cluster_euclidean(points, std::max<std::size_t>(2, n / 10), 20.0));
+  }
+}
+BENCHMARK(BM_KDiameterEuclidean)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_QuartetEpsilonSampling(benchmark::State& state) {
+  const DistanceMatrix d = tree_metric_of(100, 12);
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_treeness(d, rng, 10000));
+  }
+}
+BENCHMARK(BM_QuartetEpsilonSampling);
+
+void BM_FindClusterWorstCase(benchmark::State& state) {
+  // No feasible pair: the full O(n^2) pair scan runs with O(n) work per
+  // pair rejected at the distance check — the guaranteed upper bound the
+  // paper contrasts with SWORD's exponential search.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DistanceMatrix d = tree_metric_of(n, 20);
+  const double l = d.min_distance() * 0.5;  // nothing qualifies
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_cluster(d, 3, l));
+  }
+  state.SetComplexityN(static_cast<long long>(n));
+}
+BENCHMARK(BM_FindClusterWorstCase)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity();
+
+void BM_TightestCluster(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DistanceMatrix d = tree_metric_of(n, 21);
+  std::vector<NodeId> universe(n);
+  for (NodeId i = 0; i < n; ++i) universe[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tightest_cluster(d, universe, n / 8));
+  }
+}
+BENCHMARK(BM_TightestCluster)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ExhaustiveBaseline(benchmark::State& state) {
+  const std::size_t n = 150;
+  const DistanceMatrix d = tree_metric_of(n, 22);
+  std::vector<NodeId> universe(n);
+  for (NodeId i = 0; i < n; ++i) universe[i] = i;
+  std::vector<double> values = d.pair_values();
+  std::sort(values.begin(), values.end());
+  const double l = values[values.size() / 2];
+  ExhaustiveOptions options;
+  options.budget = 100000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        find_cluster_exhaustive(d, universe, 20, l, options));
+  }
+}
+BENCHMARK(BM_ExhaustiveBaseline);
+
+void BM_EventEngineThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    EventEngine engine;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_at(0.001 * i, [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventEngineThroughput);
+
+void BM_LabelDistance(benchmark::State& state) {
+  const DistanceMatrix d = tree_metric_of(150, 23);
+  Rng rng(24);
+  Framework fw = build_framework(d, rng);
+  std::vector<DistanceLabel> labels;
+  for (NodeId h = 0; h < 150; ++h) {
+    labels.push_back(DistanceLabel::of(fw.prediction, h));
+  }
+  Rng pair_rng(25);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(pair_rng.below(150));
+    NodeId v = static_cast<NodeId>(pair_rng.below(149));
+    if (v >= u) ++v;
+    benchmark::DoNotOptimize(label_distance(labels[u], labels[v]));
+  }
+}
+BENCHMARK(BM_LabelDistance);
+
+void BM_MaintainerChurnCycle(benchmark::State& state) {
+  const std::size_t n = 100;
+  const DistanceMatrix d = tree_metric_of(n, 26);
+  FrameworkMaintainer maintainer(&d);
+  for (NodeId h = 0; h < n; ++h) maintainer.join(h);
+  Rng churn(27);
+  for (auto _ : state) {
+    const auto& alive = maintainer.alive();
+    NodeId victim;
+    do {
+      victim = alive[static_cast<std::size_t>(churn.below(alive.size()))];
+    } while (victim == maintainer.anchors().root());
+    maintainer.leave(victim);
+    maintainer.join(victim);
+  }
+}
+BENCHMARK(BM_MaintainerChurnCycle);
+
+void BM_PartitionPopulation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DistanceMatrix d = tree_metric_of(n, 28);
+  std::vector<NodeId> universe(n);
+  for (NodeId i = 0; i < n; ++i) universe[i] = i;
+  std::vector<double> values = d.pair_values();
+  std::sort(values.begin(), values.end());
+  const double l = values[values.size() / 3];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_into_clusters(d, universe, l));
+  }
+}
+BENCHMARK(BM_PartitionPopulation)->Arg(64)->Arg(128);
+
+void BM_PredictionTreeDistance(benchmark::State& state) {
+  const DistanceMatrix d = tree_metric_of(200, 14);
+  Rng rng(15);
+  Framework fw = build_framework(d, rng);
+  Rng pair_rng(16);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(pair_rng.below(200));
+    NodeId v = static_cast<NodeId>(pair_rng.below(199));
+    if (v >= u) ++v;
+    benchmark::DoNotOptimize(fw.prediction.distance(u, v));
+  }
+}
+BENCHMARK(BM_PredictionTreeDistance);
+
+}  // namespace

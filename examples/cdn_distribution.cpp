@@ -1,0 +1,120 @@
+// Content-delivery scenario (paper §I, §V): distribute a large file to all
+// subscribers quickly by partitioning them into high-bandwidth clusters,
+// seeding one representative per cluster, and letting the data spread
+// within each cluster over its fast links.
+//
+// The CDN operator plans centrally but on *predicted* bandwidth from the
+// decentralized prediction framework (so no n-to-n measurement campaign is
+// ever run): repeatedly take the largest cluster meeting the intra-cluster
+// bandwidth target (Algorithm 1) and remove it, then compare the two-stage
+// distribution time with a naive direct-unicast-from-origin plan.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "bcc.h"
+
+namespace {
+
+using namespace bcc;
+
+}  // namespace
+
+int main() {
+  Rng rng(11);
+  SynthOptions data_options;
+  data_options.hosts = 120;
+  const SynthDataset net = synthesize_planetlab(data_options, rng);
+  const std::size_t n = net.bandwidth.size();
+  const double file_mbit = 8000.0;  // a 1 GB file
+  const double target_b = 50.0;     // wanted intra-cluster bandwidth (Mbps)
+  const NodeId origin = 0;
+
+  // The CDN operator knows the subscriber list, so it plans centrally on the
+  // *predicted* metric from the decentralized prediction framework (no
+  // n-to-n measurements): repeatedly take the largest cluster meeting the
+  // intra-cluster bandwidth target and remove it (Algorithm 1 each step).
+  const Framework fw = build_framework(net.distances, rng);
+  const DistanceMatrix pred = fw.predicted_distances();
+  const double l = bandwidth_to_distance(target_b, net.c);
+
+  std::vector<NodeId> subscribers;
+  for (NodeId h = 0; h < n; ++h) {
+    if (h != origin) subscribers.push_back(h);
+  }
+  const Partition plan = partition_into_clusters(pred, subscribers, l);
+  const std::vector<Cluster>& clusters = plan.clusters;
+  const std::vector<NodeId>& stragglers = plan.stragglers;
+
+  std::printf("CDN: %zu subscribers, %.0f Mbit file, target %.0f Mbps "
+              "intra-cluster\n",
+              n - 1, file_mbit, target_b);
+  std::printf("carved %zu clusters (+%zu stragglers pulling from cluster reps)\n\n",
+              clusters.size(), stragglers.size());
+
+  // Naive plan: origin unicasts to everyone, one after another per link —
+  // bounded by each subscriber's real link from the origin (sequentialized
+  // in waves of 8 parallel streams).
+  double naive_time = 0.0;
+  {
+    std::vector<double> times;
+    for (NodeId h = 0; h < n; ++h) {
+      if (h != origin) times.push_back(file_mbit / net.bandwidth.at(origin, h));
+    }
+    std::sort(times.begin(), times.end());
+    const std::size_t streams = 8;
+    for (std::size_t i = 0; i < times.size(); i += streams) {
+      naive_time += times[std::min(i + streams, times.size()) - 1];
+    }
+  }
+
+  // Cluster plan: stage 1, the origin seeds only each cluster's
+  // representative (parallel waves of 8); stage 2, data floods inside each
+  // cluster gated by the slowest *real* intra-cluster link, while each
+  // straggler pulls from whichever cluster representative predicts the best
+  // link to it (never from the origin's thin uplink).
+  double stage1 = 0.0, stage2 = 0.0;
+  {
+    std::vector<double> rep_times;
+    for (const Cluster& c : clusters) {
+      rep_times.push_back(file_mbit / net.bandwidth.at(origin, c.front()));
+    }
+    std::sort(rep_times.begin(), rep_times.end());
+    const std::size_t streams = 8;
+    for (std::size_t i = 0; i < rep_times.size(); i += streams) {
+      stage1 += rep_times[std::min(i + streams, rep_times.size()) - 1];
+    }
+    for (const Cluster& c : clusters) {
+      double worst = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        for (std::size_t j = i + 1; j < c.size(); ++j) {
+          worst = std::min(worst, net.bandwidth.at(c[i], c[j]));
+        }
+      }
+      stage2 = std::max(stage2, file_mbit / worst);
+    }
+    for (NodeId h : stragglers) {
+      // Best representative by *predicted* bandwidth; charged at real BW.
+      NodeId best_rep = origin;
+      double best_pred = 0.0;
+      for (const Cluster& c : clusters) {
+        const double predicted =
+            distance_to_bandwidth(pred.at(c.front(), h), net.c);
+        if (predicted > best_pred) {
+          best_pred = predicted;
+          best_rep = c.front();
+        }
+      }
+      stage2 = std::max(stage2, file_mbit / net.bandwidth.at(best_rep, h));
+    }
+  }
+
+  std::printf("naive origin-unicast plan : %8.1f s\n", naive_time);
+  std::printf("cluster two-stage plan    : %8.1f s  (seed %.1f s + "
+              "intra-cluster %.1f s)\n",
+              stage1 + stage2, stage1, stage2);
+  std::printf("\ncluster sizes:");
+  for (const Cluster& c : clusters) std::printf(" %zu", c.size());
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Single-node search — the paper's first future-work extension (§VI):
+// given a set of nodes already running a job, find one more node with high
+// bandwidth to *all* of them (e.g. to host a shared checkpoint replica or
+// to join an in-progress workflow).
+//
+// Demonstrates both the exact centralized search over predicted distances
+// and the decentralized flavour (searching only a member's clustering
+// space), and validates the picks against real bandwidth.
+#include <cstdio>
+
+#include "bcc.h"
+
+int main() {
+  using namespace bcc;
+  Rng rng(23);
+  SynthOptions data_options;
+  data_options.hosts = 130;
+  const SynthDataset net = synthesize_planetlab(data_options, rng);
+  const std::size_t n = net.bandwidth.size();
+
+  const Framework fw = build_framework(net.distances, rng);
+  const DistanceMatrix pred = fw.predicted_distances();
+  SystemOptions options;
+  options.n_cut = 12;
+  DecentralizedClusterSystem sys(fw.anchors, pred,
+                                 BandwidthClasses::uniform_grid(10, 150, 10),
+                                 options);
+  sys.run_to_convergence();
+
+  // The job currently runs on a bandwidth-constrained cluster of 6.
+  const QueryOutcome job = sys.query_bandwidth(/*start=*/4, /*k=*/6,
+                                               /*b=*/40.0);
+  if (!job.found()) {
+    std::printf("bootstrap failed: no 6-node 40 Mbps cluster in this network\n");
+    return 1;
+  }
+  std::printf("job members:");
+  for (NodeId h : job.cluster) std::printf(" %zu", h);
+  std::printf("\n\n");
+
+  std::vector<NodeId> universe(n);
+  for (NodeId i = 0; i < n; ++i) universe[i] = i;
+
+  // Centralized exact search over the predicted metric.
+  const auto central = find_best_node(pred, universe, job.cluster);
+  // Decentralized flavour: a member searches only its clustering space.
+  const auto& member = sys.node(job.cluster.front());
+  const auto local_space = member.clustering_space();
+  const auto local = find_best_node(pred, local_space, job.cluster);
+
+  auto report = [&](const char* name, const NodeSearchResult& r) {
+    double real_min = std::numeric_limits<double>::infinity();
+    for (NodeId t : job.cluster) {
+      real_min = std::min(real_min, net.bandwidth.at(r.node, t));
+    }
+    std::printf("%-22s node %3zu | predicted min BW %6.1f Mbps | real min "
+                "BW %6.1f Mbps\n",
+                name, r.node, r.min_bandwidth(net.c), real_min);
+  };
+  if (central) report("centralized search:", *central);
+  if (local) report("clustering-space search:", *local);
+
+  // All candidates that clear a 40 Mbps floor, best-first.
+  const double l = bandwidth_to_distance(40.0, net.c);
+  const auto candidates = find_nodes_within(pred, universe, job.cluster, l);
+  std::printf("\n%zu candidate nodes predicted to give >= 40 Mbps to every "
+              "member; top 5:\n",
+              candidates.size());
+  for (std::size_t i = 0; i < candidates.size() && i < 5; ++i) {
+    std::printf("  node %3zu (predicted min %.1f Mbps)\n", candidates[i].node,
+                candidates[i].min_bandwidth(net.c));
+  }
+  return 0;
+}

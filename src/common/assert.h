@@ -1,0 +1,48 @@
+// Contract-checking macros for the bcc library.
+//
+// BCC_REQUIRE  — precondition on public API entry points; always checked.
+// BCC_ASSERT   — internal invariant; always checked (the library is
+//                simulation-scale, the cost is negligible next to O(n^3)
+//                clustering, and silent corruption is far worse).
+// BCC_UNREACHABLE — marks impossible control flow.
+//
+// Violations throw bcc::ContractViolation so tests can assert on them and
+// long-running experiment harnesses can report which experiment died.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bcc {
+
+/// Thrown when a BCC_REQUIRE / BCC_ASSERT contract is violated.
+/// This signals a programmer error, not a recoverable condition.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace bcc
+
+#define BCC_REQUIRE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::bcc::detail::contract_fail("precondition", #expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define BCC_ASSERT(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::bcc::detail::contract_fail("assertion", #expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define BCC_UNREACHABLE(msg)                                               \
+  ::bcc::detail::contract_fail("unreachable", msg, __FILE__, __LINE__)

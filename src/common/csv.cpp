@@ -1,0 +1,106 @@
+#include "common/csv.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bcc {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+std::vector<std::string> split_fields(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, sep)) out.push_back(trim(field));
+  if (!line.empty() && line.back() == sep) out.push_back("");
+  return out;
+}
+
+void write_matrix_csv(const std::string& path,
+                      const std::vector<std::vector<double>>& rows,
+                      const std::vector<std::string>& header) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  if (!header.empty()) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (i) os << ',';
+      os << header[i];
+    }
+    os << '\n';
+  }
+  os.precision(17);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  CsvTable table;
+  std::string line;
+  bool first_data_line = true;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    auto fields = split_fields(t);
+    if (first_data_line) {
+      first_data_line = false;
+      // Header detection: any field that is not a number.
+      bool all_numeric = true;
+      double tmp;
+      for (const auto& f : fields) {
+        if (!parse_double(f, tmp)) {
+          all_numeric = false;
+          break;
+        }
+      }
+      if (!all_numeric) {
+        table.header = fields;
+        width = fields.size();
+        continue;
+      }
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) {
+      double v;
+      if (!parse_double(f, v)) {
+        throw std::runtime_error("non-numeric cell '" + f + "' in " + path);
+      }
+      row.push_back(v);
+    }
+    if (width == 0) width = row.size();
+    if (row.size() != width) {
+      throw std::runtime_error("ragged row in " + path);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace bcc

@@ -1,0 +1,32 @@
+// CSV reading/writing for dense numeric matrices and experiment result rows.
+//
+// The dialect is deliberately minimal: comma separator, no quoting (bcc never
+// writes strings containing commas), '#' comment lines, blank lines skipped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bcc {
+
+/// A parsed CSV file: optional header plus numeric rows.
+struct CsvTable {
+  std::vector<std::string> header;          // empty if the file had none
+  std::vector<std::vector<double>> rows;    // ragged rows are rejected on load
+};
+
+/// Writes a dense matrix (row-major) as CSV. Throws std::runtime_error on I/O
+/// failure.
+void write_matrix_csv(const std::string& path,
+                      const std::vector<std::vector<double>>& rows,
+                      const std::vector<std::string>& header = {});
+
+/// Reads a numeric CSV. If the first non-comment line contains any
+/// non-numeric token it is treated as the header. Throws on I/O failure,
+/// non-numeric data cells, or ragged rows.
+CsvTable read_csv(const std::string& path);
+
+/// Splits a line on `sep`, trimming surrounding whitespace from each field.
+std::vector<std::string> split_fields(const std::string& line, char sep = ',');
+
+}  // namespace bcc

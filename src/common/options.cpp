@@ -1,0 +1,120 @@
+#include "common/options.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace bcc {
+
+Options::Options(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+std::int64_t& Options::add_int(const std::string& name, std::int64_t def,
+                               const std::string& help) {
+  BCC_REQUIRE(!flags_.count(name));
+  ints_.push_back(def);
+  flags_[name] = Flag{Kind::kInt, help, std::to_string(def), ints_.size() - 1};
+  return ints_.back();
+}
+
+double& Options::add_double(const std::string& name, double def,
+                            const std::string& help) {
+  BCC_REQUIRE(!flags_.count(name));
+  doubles_.push_back(def);
+  flags_[name] = Flag{Kind::kDouble, help, std::to_string(def), doubles_.size() - 1};
+  return doubles_.back();
+}
+
+std::string& Options::add_string(const std::string& name, std::string def,
+                                 const std::string& help) {
+  BCC_REQUIRE(!flags_.count(name));
+  strings_.push_back(std::move(def));
+  flags_[name] = Flag{Kind::kString, help, strings_.back(), strings_.size() - 1};
+  return strings_.back();
+}
+
+bool& Options::add_bool(const std::string& name, bool def, const std::string& help) {
+  BCC_REQUIRE(!flags_.count(name));
+  bools_.push_back(def);
+  flags_[name] = Flag{Kind::kBool, help, def ? "true" : "false", bools_.size() - 1};
+  return bools_.back();
+}
+
+void Options::set_value(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::runtime_error(program_ + ": unknown option --" + name);
+  }
+  const Flag& f = it->second;
+  try {
+    switch (f.kind) {
+      case Kind::kInt:
+        ints_[f.index] = std::stoll(value);
+        break;
+      case Kind::kDouble:
+        doubles_[f.index] = std::stod(value);
+        break;
+      case Kind::kString:
+        strings_[f.index] = value;
+        break;
+      case Kind::kBool:
+        if (value == "true" || value == "1") {
+          bools_[f.index] = true;
+        } else if (value == "false" || value == "0") {
+          bools_[f.index] = false;
+        } else {
+          throw std::runtime_error("expected true/false");
+        }
+        break;
+    }
+  } catch (const std::exception&) {
+    throw std::runtime_error(program_ + ": bad value for --" + name + ": '" +
+                             value + "'");
+  }
+}
+
+void Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::runtime_error(program_ + ": unexpected argument '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      set_value(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      throw std::runtime_error(program_ + ": unknown option --" + arg);
+    }
+    if (it->second.kind == Kind::kBool) {
+      bools_[it->second.index] = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      throw std::runtime_error(program_ + ": option --" + arg + " needs a value");
+    }
+    set_value(arg, argv[++i]);
+  }
+}
+
+std::string Options::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << "  (default: " << flag.default_repr << ")\n      "
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bcc

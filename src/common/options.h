@@ -1,0 +1,64 @@
+// Minimal command-line option parser for bench/example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` forms.
+// Unknown options are an error (to catch typos in experiment scripts);
+// `--help` prints registered options and exits successfully.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace bcc {
+
+/// Declarative flag registry + parser.
+///
+///   Options opts("fig3_accuracy", "Reproduces Fig. 3");
+///   auto& seeds = opts.add_int("seeds", 10, "number of rounds");
+///   opts.parse(argc, argv);   // may std::exit(0) on --help
+///   use(seeds);
+class Options {
+ public:
+  Options(std::string program, std::string description);
+
+  /// Registers an int64 flag and returns a stable reference to its value.
+  std::int64_t& add_int(const std::string& name, std::int64_t def,
+                        const std::string& help);
+  /// Registers a double flag.
+  double& add_double(const std::string& name, double def, const std::string& help);
+  /// Registers a string flag.
+  std::string& add_string(const std::string& name, std::string def,
+                          const std::string& help);
+  /// Registers a boolean flag (set by presence, or --name=true/false).
+  bool& add_bool(const std::string& name, bool def, const std::string& help);
+
+  /// Parses argv. Throws std::runtime_error on unknown flags or bad values.
+  /// Prints usage and exits(0) if --help is present.
+  void parse(int argc, const char* const* argv);
+
+  /// Usage text for --help.
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string default_repr;
+    std::size_t index;  // into the deque matching `kind`
+  };
+
+  void set_value(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  // Deques so references returned from add_* stay valid across growth.
+  std::deque<std::int64_t> ints_;
+  std::deque<double> doubles_;
+  std::deque<std::string> strings_;
+  std::deque<bool> bools_;
+};
+
+}  // namespace bcc

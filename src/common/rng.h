@@ -1,0 +1,77 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in bcc takes an explicit 64-bit seed and uses
+// Rng (xoshiro256** seeded via splitmix64).  std::mt19937 is avoided because
+// its distributions are not guaranteed identical across standard libraries;
+// all distribution sampling here is hand-rolled and therefore bit-stable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace bcc {
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Lognormal: exp(Normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) in selection order.
+  /// Requires k <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives an independent child generator; stream `i` is stable for a
+  /// given parent state.  Used to give each experiment round its own seed.
+  Rng split(std::uint64_t i) const;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace bcc

@@ -1,0 +1,46 @@
+// Aligned console tables for benchmark output.
+//
+// Every figure-reproduction binary prints its series through TablePrinter so
+// output is grep-able and visually matches across experiments, e.g.:
+//
+//   b_mbps | HP-TREE-DECENTRAL | HP-TREE-CENTRAL | HP-EUCL-CENTRAL
+//   -------+-------------------+-----------------+----------------
+//       15 |            0.0123 |          0.0119 |          0.0871
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bcc {
+
+/// Buffers rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  /// Renders the table (header, rule, rows) to a string.
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  /// Renders the body as CSV (header + rows), for --csv output modes.
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision, trimming to a compact width.
+std::string format_double(double v, int precision = 4);
+
+}  // namespace bcc

@@ -1,0 +1,190 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+
+#include "core/find_cluster.h"
+
+namespace bcc {
+
+OverlayNodeMap make_overlay_nodes(const AnchorTree& overlay) {
+  OverlayNodeMap nodes;
+  for (NodeId host : overlay.bfs_order()) {
+    OverlayNode n;
+    n.id = host;
+    n.neighbors = overlay.neighbors_of(host);
+    nodes.emplace(host, std::move(n));
+  }
+  return nodes;
+}
+
+std::vector<NodeId> compute_prop_node(const OverlayNodeMap& nodes,
+                                      const DistanceMatrix& predicted,
+                                      std::size_t n_cut, NodeId m, NodeId x) {
+  const OverlayNode& sender = nodes.at(m);
+  // candNode = {m} ∪ aggrNode[v] for every neighbor v of m except x.
+  std::vector<NodeId> cand = {m};
+  for (NodeId v : sender.neighbors) {
+    if (v == x) continue;
+    auto it = sender.aggr_node.find(v);
+    if (it == sender.aggr_node.end()) continue;
+    cand.insert(cand.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+  std::erase(cand, x);  // x never needs itself in its own aggregates
+
+  // propNode = the n_cut candidates closest to x on the prediction tree.
+  std::stable_sort(cand.begin(), cand.end(), [&](NodeId a, NodeId b) {
+    const double da = predicted.at(x, a), db = predicted.at(x, b);
+    if (da != db) return da < db;
+    return a < b;  // deterministic tie-break
+  });
+  if (cand.size() > n_cut) cand.resize(n_cut);
+  return cand;
+}
+
+std::vector<std::size_t> compute_self_crt(const OverlayNodeMap& nodes,
+                                          const DistanceMatrix& predicted,
+                                          const BandwidthClasses& classes,
+                                          NodeId x) {
+  std::vector<double> ls(classes.size());
+  for (std::size_t i = 0; i < ls.size(); ++i) ls[i] = classes.distance_at(i);
+  return max_cluster_sizes_for_classes(predicted,
+                                       nodes.at(x).clustering_space(), ls);
+}
+
+std::vector<std::size_t> compute_prop_crt(const OverlayNodeMap& nodes,
+                                          std::size_t class_count, NodeId m,
+                                          NodeId x) {
+  const OverlayNode& sender = nodes.at(m);
+  std::vector<std::size_t> prop = sender.aggr_crt.at(m);
+  BCC_ASSERT(prop.size() == class_count);
+  for (NodeId v : sender.neighbors) {
+    if (v == x) continue;
+    auto it = sender.aggr_crt.find(v);
+    if (it == sender.aggr_crt.end()) continue;
+    BCC_ASSERT(it->second.size() == prop.size());
+    for (std::size_t i = 0; i < prop.size(); ++i) {
+      prop[i] = std::max(prop[i], it->second[i]);
+    }
+  }
+  return prop;
+}
+
+// ---------------------------------------------------------------- Algorithm 2
+
+NodeInfoAggregation::NodeInfoAggregation(OverlayNodeMap* nodes,
+                                         const DistanceMatrix* predicted,
+                                         std::size_t n_cut,
+                                         MessageMetrics* metrics)
+    : nodes_(nodes), predicted_(predicted), n_cut_(n_cut), metrics_(metrics) {
+  BCC_REQUIRE(nodes_ != nullptr && predicted_ != nullptr);
+  BCC_REQUIRE(n_cut_ >= 1);
+}
+
+std::vector<NodeId> NodeInfoAggregation::propagate(NodeId m, NodeId x) const {
+  return compute_prop_node(*nodes_, *predicted_, n_cut_, m, x);
+}
+
+void NodeInfoAggregation::execute_cycle(std::size_t /*cycle*/) {
+  // Compute all messages from committed state, then commit (synchronous).
+  std::vector<std::pair<NodeId, std::unordered_map<NodeId, std::vector<NodeId>>>>
+      staged;
+  staged.reserve(nodes_->size());
+  for (auto& [x, node] : *nodes_) {
+    std::unordered_map<NodeId, std::vector<NodeId>> incoming;
+    for (NodeId m : node.neighbors) {
+      auto prop = propagate(m, x);
+      if (metrics_) {
+        metrics_->record("aggr_node", prop.size() * sizeof(NodeId));
+      }
+      incoming.emplace(m, std::move(prop));
+    }
+    staged.emplace_back(x, std::move(incoming));
+  }
+  bool changed = false;
+  for (auto& [x, incoming] : staged) {
+    OverlayNode& node = nodes_->at(x);
+    if (node.aggr_node != incoming) {
+      node.aggr_node = std::move(incoming);
+      changed = true;
+    }
+  }
+  converged_ = !changed;
+}
+
+// ---------------------------------------------------------------- Algorithm 3
+
+CrtAggregation::CrtAggregation(OverlayNodeMap* nodes,
+                               const DistanceMatrix* predicted,
+                               const BandwidthClasses* classes,
+                               MessageMetrics* metrics)
+    : nodes_(nodes), predicted_(predicted), classes_(classes),
+      metrics_(metrics) {
+  BCC_REQUIRE(nodes_ != nullptr && predicted_ != nullptr && classes_ != nullptr);
+  BCC_REQUIRE(classes_->size() >= 1);
+}
+
+void CrtAggregation::refresh_self_entries() {
+  for (auto& [x, node] : *nodes_) {
+    auto space = node.clustering_space();
+    auto cached = self_cache_.find(x);
+    if (cached != self_cache_.end() && cached->second.first == space) {
+      node.aggr_crt[x] = cached->second.second;
+      continue;
+    }
+    auto sizes = compute_self_crt(*nodes_, *predicted_, *classes_, x);
+    node.aggr_crt[x] = sizes;
+    self_cache_[x] = {std::move(space), std::move(sizes)};
+  }
+}
+
+std::vector<std::size_t> CrtAggregation::propagate(NodeId m, NodeId x) const {
+  return compute_prop_crt(*nodes_, classes_->size(), m, x);
+}
+
+void CrtAggregation::execute_cycle(std::size_t /*cycle*/) {
+  // Self entries reflect the *current* clustering spaces (Algorithm 3 line 8
+  // runs before propagation each period).
+  std::vector<std::pair<NodeId, std::vector<std::size_t>>> old_self;
+  old_self.reserve(nodes_->size());
+  for (auto& [x, node] : *nodes_) {
+    auto it = node.aggr_crt.find(x);
+    old_self.emplace_back(
+        x, it == node.aggr_crt.end() ? std::vector<std::size_t>{} : it->second);
+  }
+  refresh_self_entries();
+  bool changed = false;
+  for (auto& [x, before] : old_self) {
+    if (nodes_->at(x).aggr_crt.at(x) != before) changed = true;
+  }
+
+  std::vector<
+      std::pair<NodeId, std::unordered_map<NodeId, std::vector<std::size_t>>>>
+      staged;
+  staged.reserve(nodes_->size());
+  for (auto& [x, node] : *nodes_) {
+    std::unordered_map<NodeId, std::vector<std::size_t>> incoming;
+    for (NodeId m : node.neighbors) {
+      auto prop = propagate(m, x);
+      if (metrics_) {
+        metrics_->record("aggr_crt", prop.size() * sizeof(std::size_t));
+      }
+      incoming.emplace(m, std::move(prop));
+    }
+    staged.emplace_back(x, std::move(incoming));
+  }
+  for (auto& [x, incoming] : staged) {
+    OverlayNode& node = nodes_->at(x);
+    for (auto& [m, crt] : incoming) {
+      auto it = node.aggr_crt.find(m);
+      if (it == node.aggr_crt.end() || it->second != crt) {
+        node.aggr_crt[m] = std::move(crt);
+        changed = true;
+      }
+    }
+  }
+  converged_ = !changed;
+}
+
+}  // namespace bcc

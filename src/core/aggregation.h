@@ -1,0 +1,121 @@
+// The two background gossip mechanisms of the decentralized clustering
+// system (paper §III.B.2–3), implemented as synchronous sim Protocols:
+//
+//   * NodeInfoAggregation — Algorithm 2 (DynAggrNodeInfo): every cycle each
+//     node m sends to each neighbor x the n_cut nodes closest to x among
+//     {m} ∪ m's aggregates from its other neighbors. At the fixpoint
+//     x.aggrNode[m] is exactly the n_cut nodes closest to x among all nodes
+//     reachable from x via m (Theorem 3.2).
+//
+//   * CrtAggregation — Algorithm 3 (DynAggrMaxCluster): every cycle each
+//     node m recomputes the maximum cluster size per distance class over its
+//     own clustering space V_m (the self CRT entry) and sends each neighbor
+//     x the elementwise maximum over {m} ∪ m's other directions. At the
+//     fixpoint x.aggrCRT[m][l] is the largest cluster any node reachable via
+//     m can locally build at class l (Theorem 3.3).
+//
+// Both protocols double-buffer: all cycle-t messages are computed from
+// cycle-(t−1) state, matching PeerSim's synchronous cycle semantics. Each
+// converges once a full cycle changes nothing; information needs at most
+// (overlay diameter) cycles to cross the tree.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/bandwidth_classes.h"
+#include "core/overlay_node.h"
+#include "sim/engine.h"
+#include "tree/anchor_tree.h"
+
+namespace bcc {
+
+/// Creates one OverlayNode per host with neighbors from the anchor tree and
+/// empty tables.
+OverlayNodeMap make_overlay_nodes(const AnchorTree& overlay);
+
+// -- Message computations shared by the synchronous (cycle) and
+//    asynchronous (event-driven) engines. Each reads only the sender's
+//    committed state, exactly what a real node would put on the wire.
+
+/// Algorithm 2's propNode from m to x: the n_cut nodes closest to x among
+/// {m} ∪ m's aggregates from its other neighbors (ties by id).
+std::vector<NodeId> compute_prop_node(const OverlayNodeMap& nodes,
+                                      const DistanceMatrix& predicted,
+                                      std::size_t n_cut, NodeId m, NodeId x);
+
+/// Algorithm 3's self entry for node x: max cluster size per distance class
+/// over x's clustering space.
+std::vector<std::size_t> compute_self_crt(const OverlayNodeMap& nodes,
+                                          const DistanceMatrix& predicted,
+                                          const BandwidthClasses& classes,
+                                          NodeId x);
+
+/// Algorithm 3's propCRT from m to x: elementwise max over {m's self entry}
+/// ∪ {m's directions except x}. m's self entry must be present.
+std::vector<std::size_t> compute_prop_crt(const OverlayNodeMap& nodes,
+                                          std::size_t class_count, NodeId m,
+                                          NodeId x);
+
+/// Algorithm 2 as a synchronous protocol. See file comment.
+class NodeInfoAggregation : public Protocol {
+ public:
+  NodeInfoAggregation(OverlayNodeMap* nodes, const DistanceMatrix* predicted,
+                      std::size_t n_cut, MessageMetrics* metrics);
+
+  void execute_cycle(std::size_t cycle) override;
+  bool converged() const override { return converged_; }
+  std::string name() const override { return "DynAggrNodeInfo"; }
+
+  /// Forgets the fixpoint flag so gossip resumes (dynamic clustering).
+  void reset_convergence() { converged_ = false; }
+
+  /// The message m propagates to its neighbor x this cycle (from committed
+  /// state). Exposed for unit tests.
+  std::vector<NodeId> propagate(NodeId m, NodeId x) const;
+
+ private:
+  OverlayNodeMap* nodes_;
+  const DistanceMatrix* predicted_;
+  std::size_t n_cut_;
+  MessageMetrics* metrics_;
+  bool converged_ = false;
+};
+
+/// Algorithm 3 as a synchronous protocol. See file comment.
+class CrtAggregation : public Protocol {
+ public:
+  CrtAggregation(OverlayNodeMap* nodes, const DistanceMatrix* predicted,
+                 const BandwidthClasses* classes, MessageMetrics* metrics);
+
+  void execute_cycle(std::size_t cycle) override;
+  bool converged() const override { return converged_; }
+  std::string name() const override { return "DynAggrMaxCluster"; }
+
+  /// Forgets the fixpoint flag and the self-entry cache so gossip resumes
+  /// against possibly-changed predicted distances (dynamic clustering).
+  void reset_convergence() {
+    converged_ = false;
+    self_cache_.clear();
+  }
+
+  /// The CRT vector m propagates to neighbor x this cycle (self entry must
+  /// be current). Exposed for unit tests.
+  std::vector<std::size_t> propagate(NodeId m, NodeId x) const;
+
+ private:
+  void refresh_self_entries();
+
+  OverlayNodeMap* nodes_;
+  const DistanceMatrix* predicted_;
+  const BandwidthClasses* classes_;
+  MessageMetrics* metrics_;
+  bool converged_ = false;
+  /// Memoizes each node's (clustering space -> per-class max sizes): the
+  /// O(|V_x|^3) Algorithm 1 pass only reruns when the space changed, which
+  /// stops happening once Algorithm 2 converges.
+  std::unordered_map<NodeId,
+                     std::pair<std::vector<NodeId>, std::vector<std::size_t>>>
+      self_cache_;
+};
+
+}  // namespace bcc

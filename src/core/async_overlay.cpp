@@ -1,0 +1,93 @@
+#include "core/async_overlay.h"
+
+namespace bcc {
+
+AsyncOverlay::AsyncOverlay(const AnchorTree* overlay,
+                           const DistanceMatrix* predicted,
+                           const BandwidthClasses* classes,
+                           AsyncOverlayOptions options, std::uint64_t seed)
+    : overlay_(overlay), predicted_(predicted), classes_(classes),
+      options_(options), rng_(seed) {
+  BCC_REQUIRE(overlay_ != nullptr && predicted_ != nullptr &&
+              classes_ != nullptr);
+  BCC_REQUIRE(overlay_->size() == predicted_->size());
+  BCC_REQUIRE(options_.n_cut >= 1);
+  BCC_REQUIRE(options_.gossip_period > 0.0);
+  BCC_REQUIRE(options_.period_jitter >= 0.0 && options_.period_jitter < 1.0);
+  BCC_REQUIRE(options_.message_latency >= 0.0);
+  if (options_.rtt_ms) {
+    BCC_REQUIRE(options_.rtt_ms->size() == overlay_->size());
+  }
+  nodes_ = make_overlay_nodes(*overlay_);
+}
+
+double AsyncOverlay::latency(NodeId from, NodeId to) const {
+  if (options_.rtt_ms) return options_.rtt_ms->at(from, to) / 2.0 / 1000.0;
+  return options_.message_latency;
+}
+
+void AsyncOverlay::arm_timer(EventEngine& engine, NodeId x) {
+  const double factor =
+      rng_.uniform(1.0 - options_.period_jitter, 1.0 + options_.period_jitter);
+  engine.schedule_after(options_.gossip_period * factor,
+                        [this, &engine, x] { gossip(engine, x); });
+}
+
+void AsyncOverlay::gossip(EventEngine& engine, NodeId x) {
+  ++rounds_;
+  // Refresh the node's own CRT entry from its current clustering space
+  // (Algorithm 3 line 8).
+  nodes_.at(x).aggr_crt[x] =
+      compute_self_crt(nodes_, *predicted_, *classes_, x);
+
+  for (NodeId v : nodes_.at(x).neighbors) {
+    // Snapshot the payloads now (sender state at send time), deliver later.
+    auto prop_node = compute_prop_node(nodes_, *predicted_, options_.n_cut,
+                                       /*m=*/x, /*x=*/v);
+    auto prop_crt = compute_prop_crt(nodes_, classes_->size(), /*m=*/x,
+                                     /*x=*/v);
+    engine.metrics().record("async_gossip",
+                            prop_node.size() * sizeof(NodeId) +
+                                prop_crt.size() * sizeof(std::size_t));
+    engine.schedule_after(
+        latency(x, v),
+        [this, &engine, x, v, prop_node = std::move(prop_node),
+         prop_crt = std::move(prop_crt)]() mutable {
+          OverlayNode& receiver = nodes_.at(v);
+          bool changed = false;
+          auto node_it = receiver.aggr_node.find(x);
+          if (node_it == receiver.aggr_node.end() ||
+              node_it->second != prop_node) {
+            receiver.aggr_node[x] = std::move(prop_node);
+            changed = true;
+          }
+          auto crt_it = receiver.aggr_crt.find(x);
+          if (crt_it == receiver.aggr_crt.end() ||
+              crt_it->second != prop_crt) {
+            receiver.aggr_crt[x] = std::move(prop_crt);
+            changed = true;
+          }
+          if (changed) last_change_ = engine.now();
+        });
+  }
+  arm_timer(engine, x);
+}
+
+void AsyncOverlay::start(EventEngine& engine) {
+  BCC_REQUIRE(!started_);
+  started_ = true;
+  // Stagger initial firings uniformly across one period.
+  for (const auto& [x, node] : nodes_) {
+    const NodeId host = x;
+    engine.schedule_after(rng_.uniform(0.0, options_.gossip_period),
+                          [this, &engine, host] { gossip(engine, host); });
+  }
+}
+
+void AsyncOverlay::run_for(EventEngine& engine, double duration) {
+  BCC_REQUIRE(duration >= 0.0);
+  if (!started_) start(engine);
+  engine.run_until(engine.now() + duration);
+}
+
+}  // namespace bcc

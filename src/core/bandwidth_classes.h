@@ -1,0 +1,87 @@
+// Predetermined bandwidth classes (paper §III.B.3).
+//
+// As the tradeoff for decentralization, queries may not use an arbitrary
+// bandwidth constraint b: they pick from a fixed set of *bandwidth classes*,
+// which keeps each node's cluster routing table at |L| entries per neighbor.
+// Classes are stored as the corresponding distance classes L = { C/b }.
+// A query's b is snapped *up* to the nearest class (conservative: the
+// answered constraint is at least as strict as the asked one).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "metric/bandwidth.h"
+
+namespace bcc {
+
+/// The fixed class set L shared by every node in a system.
+class BandwidthClasses {
+ public:
+  /// From bandwidth class values (Mbps), strictly positive. Classes are
+  /// sorted ascending by bandwidth; duplicates are merged.
+  BandwidthClasses(std::vector<double> bandwidths_mbps,
+                   double c = kDefaultTransformC);
+
+  /// Uniform grid lo, lo+step, ..., <= hi (all > 0).
+  static BandwidthClasses uniform_grid(double lo, double hi, double step,
+                                       double c = kDefaultTransformC);
+
+  std::size_t size() const { return bandwidths_.size(); }
+  double transform_c() const { return c_; }
+
+  /// Class values sorted ascending by bandwidth.
+  std::span<const double> bandwidths() const { return bandwidths_; }
+  double bandwidth_at(std::size_t idx) const;
+  /// Distance class l = C / b for class idx.
+  double distance_at(std::size_t idx) const;
+
+  /// Index of the smallest class with bandwidth >= b — the class a query
+  /// with constraint b is served at. nullopt if b exceeds every class.
+  std::optional<std::size_t> class_for_bandwidth(double b) const;
+
+ private:
+  std::vector<double> bandwidths_;  // ascending
+  double c_;
+};
+
+inline BandwidthClasses::BandwidthClasses(std::vector<double> bandwidths_mbps,
+                                          double c)
+    : bandwidths_(std::move(bandwidths_mbps)), c_(c) {
+  BCC_REQUIRE(!bandwidths_.empty());
+  BCC_REQUIRE(c_ > 0.0);
+  for (double b : bandwidths_) BCC_REQUIRE(b > 0.0);
+  std::sort(bandwidths_.begin(), bandwidths_.end());
+  bandwidths_.erase(std::unique(bandwidths_.begin(), bandwidths_.end()),
+                    bandwidths_.end());
+}
+
+inline BandwidthClasses BandwidthClasses::uniform_grid(double lo, double hi,
+                                                       double step, double c) {
+  BCC_REQUIRE(lo > 0.0 && hi >= lo && step > 0.0);
+  std::vector<double> classes;
+  for (double b = lo; b <= hi + 1e-9; b += step) classes.push_back(b);
+  return BandwidthClasses(std::move(classes), c);
+}
+
+inline double BandwidthClasses::bandwidth_at(std::size_t idx) const {
+  BCC_REQUIRE(idx < bandwidths_.size());
+  return bandwidths_[idx];
+}
+
+inline double BandwidthClasses::distance_at(std::size_t idx) const {
+  return bandwidth_to_distance(bandwidth_at(idx), c_);
+}
+
+inline std::optional<std::size_t> BandwidthClasses::class_for_bandwidth(
+    double b) const {
+  BCC_REQUIRE(b > 0.0);
+  auto it = std::lower_bound(bandwidths_.begin(), bandwidths_.end(), b);
+  if (it == bandwidths_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - bandwidths_.begin());
+}
+
+}  // namespace bcc

@@ -1,0 +1,100 @@
+#include "core/exhaustive_baseline.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace bcc {
+namespace {
+
+struct SearchState {
+  const DistanceMatrix* d;
+  double l;
+  std::size_t k;
+  std::size_t budget;  // 0 = unlimited
+  std::size_t expansions = 0;
+  bool out_of_budget = false;
+  Cluster chosen;
+  Cluster found;
+
+  bool spend() {
+    ++expansions;
+    if (budget != 0 && expansions > budget) {
+      out_of_budget = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Depth-first: extend `chosen` using candidates[idx..]; candidates are
+  /// pairwise-compatible with everything in `chosen`.
+  bool search(const std::vector<NodeId>& candidates, std::size_t idx) {
+    if (chosen.size() == k) {
+      found = chosen;
+      return true;
+    }
+    if (!spend()) return false;
+    // Bound: not enough candidates left to reach k.
+    if (chosen.size() + (candidates.size() - idx) < k) return false;
+    for (std::size_t i = idx; i < candidates.size(); ++i) {
+      const NodeId v = candidates[i];
+      // Filter the remaining candidates by compatibility with v.
+      std::vector<NodeId> next;
+      next.reserve(candidates.size() - i);
+      for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+        if (d->at(v, candidates[j]) <= l) next.push_back(candidates[j]);
+      }
+      chosen.push_back(v);
+      if (search(next, 0)) return true;
+      chosen.pop_back();
+      if (out_of_budget) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+ExhaustiveResult find_cluster_exhaustive(const DistanceMatrix& d,
+                                         std::span<const NodeId> universe,
+                                         std::size_t k, double l,
+                                         const ExhaustiveOptions& options) {
+  BCC_REQUIRE(k >= 2);
+  BCC_REQUIRE(l >= 0.0);
+  for (NodeId x : universe) BCC_REQUIRE(x < d.size());
+
+  ExhaustiveResult result;
+  if (universe.size() < k) return result;
+
+  SearchState state{&d, l, k, options.budget, 0, false, {}, {}};
+  // Order candidates by degree in the thresholded graph, densest first —
+  // the standard heuristic that makes feasible instances resolve quickly.
+  std::vector<std::pair<std::size_t, NodeId>> by_degree;
+  by_degree.reserve(universe.size());
+  for (NodeId u : universe) {
+    std::size_t degree = 0;
+    for (NodeId v : universe) {
+      if (v != u && d.at(u, v) <= l) ++degree;
+    }
+    by_degree.emplace_back(degree, u);
+  }
+  std::sort(by_degree.begin(), by_degree.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<NodeId> candidates;
+  candidates.reserve(universe.size());
+  for (const auto& [degree, u] : by_degree) {
+    if (degree + 1 >= k) candidates.push_back(u);  // else can never be in one
+  }
+
+  if (state.search(candidates, 0)) {
+    result.cluster = state.found;
+  }
+  result.exhausted_budget = state.out_of_budget;
+  result.expansions = state.expansions;
+  return result;
+}
+
+}  // namespace bcc

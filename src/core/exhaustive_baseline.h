@@ -1,0 +1,40 @@
+// Budgeted exhaustive clustering — the SWORD-style baseline of §V.
+//
+// SWORD [19] answers resource queries by exhaustive search over candidate
+// groups and "stops searching when timeout expires"; the paper contrasts
+// this with Algorithm 1's polynomial-time guarantee inside a tree metric.
+// This module implements that baseline faithfully enough to measure the
+// contrast: a branch-and-bound k-clique search on the *raw* (no embedding)
+// thresholded graph, capped by an exploration budget. With an unlimited
+// budget it is an exact (exponential) oracle; with a small budget it gives
+// up on hard instances — exactly the failure mode the paper criticizes.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "metric/distance_matrix.h"
+
+namespace bcc {
+
+struct ExhaustiveOptions {
+  /// Search-node expansions allowed before giving up. 0 = unlimited.
+  std::size_t budget = 100000;
+};
+
+/// Result of a budgeted run.
+struct ExhaustiveResult {
+  std::optional<Cluster> cluster;  // a valid (k, l) cluster if one was found
+  bool exhausted_budget = false;   // true if the search was cut short
+  std::size_t expansions = 0;      // work actually performed
+};
+
+/// Searches for k nodes of `universe` with pairwise distance <= l by
+/// branch-and-bound over the thresholded graph. Requires k >= 2.
+/// If `exhausted_budget` is false and no cluster is returned, none exists.
+ExhaustiveResult find_cluster_exhaustive(const DistanceMatrix& d,
+                                         std::span<const NodeId> universe,
+                                         std::size_t k, double l,
+                                         const ExhaustiveOptions& options = {});
+
+}  // namespace bcc

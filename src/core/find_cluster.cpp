@@ -1,0 +1,249 @@
+#include "core/find_cluster.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace bcc {
+namespace {
+
+/// Collects S*_pq over `universe`: all x with d(x,p) <= d_pq and
+/// d(x,q) <= d_pq (p and q always qualify).
+std::vector<NodeId> candidate_set(const DistanceMatrix& d,
+                                  std::span<const NodeId> universe, NodeId p,
+                                  NodeId q, double d_pq) {
+  std::vector<NodeId> s;
+  for (NodeId x : universe) {
+    if (d.at(x, p) <= d_pq && d.at(x, q) <= d_pq) s.push_back(x);
+  }
+  return s;
+}
+
+/// Picks k nodes out of S*_pq: p and q first, then candidates ordered by
+/// their distance to the pair (deterministic; ties by id).
+Cluster choose_k(const DistanceMatrix& d, const std::vector<NodeId>& s,
+                 NodeId p, NodeId q, std::size_t k) {
+  BCC_ASSERT(s.size() >= k && k >= 2);
+  std::vector<std::pair<double, NodeId>> rest;
+  rest.reserve(s.size());
+  for (NodeId x : s) {
+    if (x == p || x == q) continue;
+    rest.emplace_back(std::max(d.at(x, p), d.at(x, q)), x);
+  }
+  std::sort(rest.begin(), rest.end());
+  Cluster out = {p, q};
+  for (std::size_t i = 0; i + 2 < k && i < rest.size(); ++i) {
+    out.push_back(rest[i].second);
+  }
+  BCC_ASSERT(out.size() == k);
+  return out;
+}
+
+}  // namespace
+
+std::optional<Cluster> find_cluster(const DistanceMatrix& d,
+                                    std::span<const NodeId> universe,
+                                    std::size_t k, double l,
+                                    const FindClusterOptions& options) {
+  BCC_REQUIRE(k >= 2);
+  BCC_REQUIRE(l >= 0.0);
+  for (NodeId x : universe) BCC_REQUIRE(x < d.size());
+  if (universe.size() < k) return std::nullopt;
+
+  // Algorithm 1 leaves the pair iteration order open; see
+  // FindClusterOptions::PairOrder for the two supported disciplines.
+  struct PairEntry {
+    double dist;
+    NodeId p, q;
+  };
+  std::vector<PairEntry> pairs;
+  pairs.reserve(universe.size() * (universe.size() - 1) / 2);
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    for (std::size_t j = i + 1; j < universe.size(); ++j) {
+      const NodeId p = universe[i], q = universe[j];
+      const double d_pq = d.at(p, q);
+      if (d_pq <= l) pairs.push_back(PairEntry{d_pq, p, q});
+    }
+  }
+  if (options.order == FindClusterOptions::PairOrder::kAscendingDistance) {
+    std::sort(pairs.begin(), pairs.end(),
+              [](const PairEntry& a, const PairEntry& b) {
+                if (a.dist != b.dist) return a.dist < b.dist;
+                if (a.p != b.p) return a.p < b.p;
+                return a.q < b.q;
+              });
+  }
+  for (const PairEntry& pair : pairs) {
+    const auto s = candidate_set(d, universe, pair.p, pair.q, pair.dist);
+    if (s.size() < k) continue;
+    Cluster chosen = choose_k(d, s, pair.p, pair.q, k);
+    if (options.verify_diameter && d.diameter_of(chosen) > l + options.slack) {
+      continue;  // only possible when the metric violates 4PC
+    }
+    return chosen;
+  }
+  return std::nullopt;
+}
+
+std::optional<Cluster> find_cluster(const DistanceMatrix& d, std::size_t k,
+                                    double l,
+                                    const FindClusterOptions& options) {
+  std::vector<NodeId> universe(d.size());
+  for (NodeId i = 0; i < d.size(); ++i) universe[i] = i;
+  return find_cluster(d, universe, k, l, options);
+}
+
+Cluster max_cluster(const DistanceMatrix& d, std::span<const NodeId> universe,
+                    double l) {
+  BCC_REQUIRE(l >= 0.0);
+  for (NodeId x : universe) BCC_REQUIRE(x < d.size());
+  if (universe.empty()) return {};
+
+  Cluster best = {universe[0]};
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    for (std::size_t j = i + 1; j < universe.size(); ++j) {
+      const NodeId p = universe[i], q = universe[j];
+      const double d_pq = d.at(p, q);
+      if (d_pq > l) continue;
+      auto s = candidate_set(d, universe, p, q, d_pq);
+      if (s.size() > best.size()) best = std::move(s);
+    }
+  }
+  return best;
+}
+
+std::size_t max_cluster_size(const DistanceMatrix& d,
+                             std::span<const NodeId> universe, double l) {
+  return max_cluster(d, universe, l).size();
+}
+
+std::vector<std::size_t> max_cluster_sizes_for_classes(
+    const DistanceMatrix& d, std::span<const NodeId> universe,
+    std::span<const double> classes) {
+  for (NodeId x : universe) BCC_REQUIRE(x < d.size());
+  for (double l : classes) BCC_REQUIRE(l >= 0.0);
+
+  // (d_pq, |S*_pq|) for every pair.
+  std::vector<std::pair<double, std::size_t>> pairs;
+  pairs.reserve(universe.size() * (universe.size() + 1) / 2);
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    for (std::size_t j = i + 1; j < universe.size(); ++j) {
+      const NodeId p = universe[i], q = universe[j];
+      const double d_pq = d.at(p, q);
+      pairs.emplace_back(d_pq, candidate_set(d, universe, p, q, d_pq).size());
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  // best_upto[i] = max size among the first i+1 pairs (sorted by d_pq).
+  std::vector<std::size_t> best_upto(pairs.size());
+  std::size_t running = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    running = std::max(running, pairs[i].second);
+    best_upto[i] = running;
+  }
+
+  std::vector<std::size_t> out(classes.size());
+  const std::size_t singleton = universe.empty() ? 0 : 1;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    // Largest pair index with d_pq <= classes[c].
+    auto it = std::upper_bound(
+        pairs.begin(), pairs.end(),
+        std::make_pair(classes[c], std::numeric_limits<std::size_t>::max()));
+    out[c] = it == pairs.begin() ? singleton
+                                 : std::max(singleton,
+                                            best_upto[it - pairs.begin() - 1]);
+  }
+  return out;
+}
+
+std::optional<Cluster> tightest_cluster(const DistanceMatrix& d,
+                                        std::span<const NodeId> universe,
+                                        std::size_t k,
+                                        const FindClusterOptions& options) {
+  BCC_REQUIRE(k >= 2);
+  for (NodeId x : universe) BCC_REQUIRE(x < d.size());
+  if (universe.size() < k) return std::nullopt;
+
+  // Candidate diameter pairs in ascending distance: the first pair whose
+  // candidate set reaches k realizes the minimum achievable diameter (in a
+  // tree metric every smaller-diameter cluster would have produced an
+  // earlier feasible pair).
+  struct PairEntry {
+    double dist;
+    NodeId p, q;
+  };
+  std::vector<PairEntry> pairs;
+  pairs.reserve(universe.size() * (universe.size() - 1) / 2);
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    for (std::size_t j = i + 1; j < universe.size(); ++j) {
+      pairs.push_back(
+          PairEntry{d.at(universe[i], universe[j]), universe[i], universe[j]});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const PairEntry& a, const PairEntry& b) {
+              if (a.dist != b.dist) return a.dist < b.dist;
+              if (a.p != b.p) return a.p < b.p;
+              return a.q < b.q;
+            });
+  for (const PairEntry& pair : pairs) {
+    const auto s = candidate_set(d, universe, pair.p, pair.q, pair.dist);
+    if (s.size() < k) continue;
+    Cluster chosen = choose_k(d, s, pair.p, pair.q, k);
+    if (options.verify_diameter &&
+        d.diameter_of(chosen) > pair.dist + options.slack) {
+      continue;  // only on 4PC-violating inputs
+    }
+    return chosen;
+  }
+  return std::nullopt;
+}
+
+bool cluster_satisfies(const DistanceMatrix& d, const Cluster& cluster,
+                       std::size_t k, double l, double slack) {
+  if (cluster.size() != k) return false;
+  for (NodeId x : cluster) {
+    if (x >= d.size()) return false;
+  }
+  // Distinctness: a cluster is a set.
+  Cluster sorted = cluster;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return false;
+  }
+  return d.diameter_of(cluster) <= l + slack;
+}
+
+namespace {
+
+void clique_rec(const DistanceMatrix& d, double l,
+                const std::vector<NodeId>& candidates, std::size_t chosen,
+                std::size_t& best) {
+  if (chosen + candidates.size() <= best) return;
+  if (candidates.empty()) {
+    best = std::max(best, chosen);
+    return;
+  }
+  const NodeId v = candidates.front();
+  std::vector<NodeId> with;
+  for (NodeId u : candidates) {
+    if (u != v && d.at(u, v) <= l) with.push_back(u);
+  }
+  clique_rec(d, l, with, chosen + 1, best);
+  std::vector<NodeId> without(candidates.begin() + 1, candidates.end());
+  clique_rec(d, l, without, chosen, best);
+}
+
+}  // namespace
+
+std::size_t max_clique_bruteforce(const DistanceMatrix& d,
+                                  std::span<const NodeId> universe, double l) {
+  std::vector<NodeId> all(universe.begin(), universe.end());
+  std::size_t best = 0;
+  clique_rec(d, l, all, 0, best);
+  return best;
+}
+
+}  // namespace bcc

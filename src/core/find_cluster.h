@@ -1,0 +1,92 @@
+// Algorithm 1 (paper §III.A): centralized polynomial-time clustering in a
+// tree metric space, plus the max-cluster-size searches Algorithm 3 needs
+// and a brute-force oracle for tests.
+//
+// For every node pair (p, q) the candidate set
+//   S*_pq = { x : d(x,p) <= d(p,q)  and  d(x,q) <= d(p,q) }
+// is, in a tree metric, the *largest* cluster whose diameter equals d(p,q)
+// (Theorem 3.1). Scanning pairs with d(p,q) <= l and checking |S*_pq| >= k
+// therefore answers the (k, l) query exactly in O(n^3).
+//
+// All functions operate on a subset (`universe`) of a global distance
+// matrix, because the decentralized system runs Algorithm 1 on per-node
+// clustering spaces V_x ⊂ V.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "metric/distance_matrix.h"
+
+namespace bcc {
+
+struct FindClusterOptions {
+  /// Re-verify the chosen k nodes' diameter before returning. Free on tree
+  /// metrics (always passes, by Theorem 3.1) and keeps the algorithm honest
+  /// on metrics that violate 4PC: a pair whose chosen nodes exceed l is
+  /// skipped and the scan continues.
+  bool verify_diameter = true;
+  /// Numeric slack for the diameter check.
+  double slack = 1e-9;
+  /// Candidate-pair iteration order. Algorithm 1's listing leaves it open:
+  ///   kAscendingDistance — try tight diameter pairs first, returning the
+  ///     tightest feasible cluster (best real-bandwidth quality; default);
+  ///   kIndexOrder — first feasible pair in index order ("any" cluster,
+  ///     matching the accuracy magnitudes of the paper's evaluation).
+  enum class PairOrder { kAscendingDistance, kIndexOrder };
+  PairOrder order = PairOrder::kAscendingDistance;
+};
+
+/// Algorithm 1 over `universe` (ids into `d`): a set X ⊆ universe with
+/// |X| = k and diam(X) <= l, or nullopt if none exists. Requires k >= 2.
+/// When |S*_pq| > k, the k returned nodes are p, q, and the k-2 candidates
+/// closest to the pair (deterministic).
+std::optional<Cluster> find_cluster(const DistanceMatrix& d,
+                                    std::span<const NodeId> universe,
+                                    std::size_t k, double l,
+                                    const FindClusterOptions& options = {});
+
+/// Convenience overload over the whole matrix (universe = 0..n-1).
+std::optional<Cluster> find_cluster(const DistanceMatrix& d, std::size_t k,
+                                    double l,
+                                    const FindClusterOptions& options = {});
+
+/// The largest cluster with diameter <= l over `universe` (assumes a tree
+/// metric, where max_pq |S*_pq| is exact; this is what Algorithm 3 tabulates
+/// into cluster routing tables). Returns the singleton {universe[0]} when no
+/// pair is within l, and {} for an empty universe.
+Cluster max_cluster(const DistanceMatrix& d, std::span<const NodeId> universe,
+                    double l);
+
+/// |max_cluster(...)| without materializing the set.
+std::size_t max_cluster_size(const DistanceMatrix& d,
+                             std::span<const NodeId> universe, double l);
+
+/// max_cluster_size for every distance class in `classes` at once:
+/// one O(|universe|^3) pass computes |S*_pq| per pair, then each class reads
+/// a running maximum. This is what Algorithm 3 runs every gossip cycle —
+/// the binary-search-over-k the paper suggests is subsumed by tabulating the
+/// per-pair candidate-set sizes directly.
+std::vector<std::size_t> max_cluster_sizes_for_classes(
+    const DistanceMatrix& d, std::span<const NodeId> universe,
+    std::span<const double> classes);
+
+/// The k-cluster of *minimum* diameter — Aggarwal et al.'s original
+/// k-diameter objective restated in a tree metric, solved exactly by
+/// scanning candidate diameter pairs in ascending distance order. nullopt if
+/// k > |universe|. Requires k >= 2.
+std::optional<Cluster> tightest_cluster(const DistanceMatrix& d,
+                                        std::span<const NodeId> universe,
+                                        std::size_t k,
+                                        const FindClusterOptions& options = {});
+
+/// True if |X| == k and all pairwise distances are <= l (+slack).
+bool cluster_satisfies(const DistanceMatrix& d, const Cluster& cluster,
+                       std::size_t k, double l, double slack = 1e-9);
+
+/// Exponential-time exact oracle: maximum clique size in the graph over
+/// `universe` with edges where d <= l. For tests (small universes only).
+std::size_t max_clique_bruteforce(const DistanceMatrix& d,
+                                  std::span<const NodeId> universe, double l);
+
+}  // namespace bcc

@@ -1,0 +1,63 @@
+#include "core/node_search.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace bcc {
+namespace {
+
+double max_distance_to_targets(const DistanceMatrix& d, NodeId x,
+                               std::span<const NodeId> targets) {
+  double worst = 0.0;
+  for (NodeId t : targets) worst = std::max(worst, d.at(x, t));
+  return worst;
+}
+
+bool is_target(NodeId x, std::span<const NodeId> targets) {
+  return std::find(targets.begin(), targets.end(), x) != targets.end();
+}
+
+}  // namespace
+
+std::optional<NodeSearchResult> find_best_node(
+    const DistanceMatrix& d, std::span<const NodeId> universe,
+    std::span<const NodeId> targets) {
+  BCC_REQUIRE(!targets.empty());
+  for (NodeId t : targets) BCC_REQUIRE(t < d.size());
+  std::optional<NodeSearchResult> best;
+  for (NodeId x : universe) {
+    BCC_REQUIRE(x < d.size());
+    if (is_target(x, targets)) continue;
+    const double worst = max_distance_to_targets(d, x, targets);
+    if (!best || worst < best->max_distance ||
+        (worst == best->max_distance && x < best->node)) {
+      best = NodeSearchResult{x, worst};
+    }
+  }
+  return best;
+}
+
+std::vector<NodeSearchResult> find_nodes_within(
+    const DistanceMatrix& d, std::span<const NodeId> universe,
+    std::span<const NodeId> targets, double l) {
+  BCC_REQUIRE(!targets.empty());
+  BCC_REQUIRE(l >= 0.0);
+  std::vector<NodeSearchResult> out;
+  for (NodeId x : universe) {
+    BCC_REQUIRE(x < d.size());
+    if (is_target(x, targets)) continue;
+    const double worst = max_distance_to_targets(d, x, targets);
+    if (worst <= l) out.push_back(NodeSearchResult{x, worst});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NodeSearchResult& a, const NodeSearchResult& b) {
+              if (a.max_distance != b.max_distance) {
+                return a.max_distance < b.max_distance;
+              }
+              return a.node < b.node;
+            });
+  return out;
+}
+
+}  // namespace bcc

@@ -1,0 +1,42 @@
+// Single-node search — the paper's first future-work item (§VI): "for a
+// given set of multiple nodes, find a single node that has high bandwidth
+// with all the nodes in the input set".
+//
+// Formally: given targets T ⊆ V, find x ∈ V \ T maximizing
+//   min_{t ∈ T} BW(x, t)   ⇔   minimizing   max_{t ∈ T} d(x, t)
+// (a 1-center restricted to existing nodes). Both a centralized scan and a
+// bounded-radius variant (all candidates within a bandwidth floor) are
+// provided; the decentralized system exposes it over per-node clustering
+// spaces via examples/node_search.cpp.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "metric/bandwidth.h"
+#include "metric/distance_matrix.h"
+
+namespace bcc {
+
+struct NodeSearchResult {
+  NodeId node = 0;
+  double max_distance = 0.0;  // max_{t in T} d(node, t)
+  /// Equivalent min-bandwidth under the rational transform.
+  double min_bandwidth(double c = kDefaultTransformC) const {
+    return distance_to_bandwidth(max_distance, c);
+  }
+};
+
+/// Best single node among `universe` \ `targets` for the target set.
+/// nullopt if every universe node is a target. Requires targets nonempty.
+std::optional<NodeSearchResult> find_best_node(
+    const DistanceMatrix& d, std::span<const NodeId> universe,
+    std::span<const NodeId> targets);
+
+/// All non-target nodes whose max distance to the targets is <= l (i.e.
+/// min bandwidth >= C/l), best-first.
+std::vector<NodeSearchResult> find_nodes_within(
+    const DistanceMatrix& d, std::span<const NodeId> universe,
+    std::span<const NodeId> targets, double l);
+
+}  // namespace bcc

@@ -1,0 +1,17 @@
+#include "core/overlay_node.h"
+
+#include <algorithm>
+
+namespace bcc {
+
+std::vector<NodeId> OverlayNode::clustering_space() const {
+  std::vector<NodeId> space = {id};
+  for (const auto& [m, nodes] : aggr_node) {
+    space.insert(space.end(), nodes.begin(), nodes.end());
+  }
+  std::sort(space.begin(), space.end());
+  space.erase(std::unique(space.begin(), space.end()), space.end());
+  return space;
+}
+
+}  // namespace bcc

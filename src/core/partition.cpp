@@ -1,0 +1,34 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.h"
+
+namespace bcc {
+
+Partition partition_into_clusters(const DistanceMatrix& d,
+                                  std::span<const NodeId> universe, double l,
+                                  const PartitionOptions& options) {
+  BCC_REQUIRE(options.min_cluster_size >= 2);
+  BCC_REQUIRE(l >= 0.0);
+  for (NodeId x : universe) BCC_REQUIRE(x < d.size());
+
+  Partition partition;
+  std::vector<NodeId> remaining(universe.begin(), universe.end());
+  while (remaining.size() >= options.min_cluster_size) {
+    if (options.max_clusters != 0 &&
+        partition.clusters.size() >= options.max_clusters) {
+      break;
+    }
+    Cluster c = max_cluster(d, remaining, l);
+    if (c.size() < options.min_cluster_size) break;
+    std::unordered_set<NodeId> taken(c.begin(), c.end());
+    std::erase_if(remaining, [&](NodeId h) { return taken.count(h) > 0; });
+    partition.clusters.push_back(std::move(c));
+  }
+  partition.stragglers = std::move(remaining);
+  return partition;
+}
+
+}  // namespace bcc

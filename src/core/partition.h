@@ -1,0 +1,40 @@
+// Partitioning a population into bandwidth-constrained clusters — the CDN
+// use case of §I/§V: "divide content subscribers into several high-bandwidth
+// clusters, deploy data only to a few of nodes in each cluster".
+//
+// Greedy peeling: repeatedly take the largest cluster with diameter <= l
+// (one Algorithm 1 pass) and remove it. Nodes that end up in no cluster of
+// size >= min_cluster_size are reported as singletons ("stragglers").
+#pragma once
+
+#include <span>
+
+#include "core/find_cluster.h"
+
+namespace bcc {
+
+struct PartitionOptions {
+  /// Clusters smaller than this are not formed; their nodes become
+  /// stragglers. Must be >= 2.
+  std::size_t min_cluster_size = 2;
+  /// Stop after this many clusters (0 = unlimited).
+  std::size_t max_clusters = 0;
+};
+
+struct Partition {
+  std::vector<Cluster> clusters;   // largest first (greedy order)
+  std::vector<NodeId> stragglers;  // nodes no cluster absorbed
+
+  std::size_t covered() const {
+    std::size_t total = 0;
+    for (const Cluster& c : clusters) total += c.size();
+    return total;
+  }
+};
+
+/// Greedy diameter-constrained partition of `universe` under metric `d`.
+Partition partition_into_clusters(const DistanceMatrix& d,
+                                  std::span<const NodeId> universe, double l,
+                                  const PartitionOptions& options = {});
+
+}  // namespace bcc

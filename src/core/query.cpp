@@ -1,0 +1,65 @@
+#include "core/query.h"
+
+#include "common/assert.h"
+
+namespace bcc {
+
+QueryProcessor::QueryProcessor(const OverlayNodeMap* nodes,
+                               const DistanceMatrix* predicted,
+                               const BandwidthClasses* classes,
+                               FindClusterOptions find_options)
+    : nodes_(nodes), predicted_(predicted), classes_(classes),
+      find_options_(find_options) {
+  BCC_REQUIRE(nodes_ != nullptr && predicted_ != nullptr && classes_ != nullptr);
+}
+
+QueryOutcome QueryProcessor::process(NodeId start, std::size_t k,
+                                     std::size_t class_idx) const {
+  BCC_REQUIRE(k >= 2);
+  BCC_REQUIRE(class_idx < classes_->size());
+  BCC_REQUIRE(nodes_->count(start));
+  const double l = classes_->distance_at(class_idx);
+
+  QueryOutcome outcome;
+  NodeId cur = start;
+  NodeId prev = static_cast<NodeId>(-1);
+  // On a tree overlay with never-backtracking forwarding, a query can visit
+  // each node at most once; the guard only trips on corrupted state.
+  const std::size_t max_visits = nodes_->size() + 1;
+
+  while (outcome.route.size() < max_visits) {
+    outcome.route.push_back(cur);
+    const OverlayNode& x = nodes_->at(cur);
+
+    // Try locally if this node's own CRT entry admits a k-cluster.
+    const auto self_it = x.aggr_crt.find(cur);
+    if (self_it != x.aggr_crt.end() && k <= self_it->second[class_idx]) {
+      const auto space = x.clustering_space();
+      if (auto found = find_cluster(*predicted_, space, k, l, find_options_)) {
+        outcome.cluster = std::move(*found);
+        return outcome;
+      }
+      // CRT said yes but the space disagreed — only possible transiently or
+      // on non-tree metrics; fall through to forwarding.
+    }
+
+    // Forward to any neighbor direction (except where we came from) whose
+    // CRT promises a big-enough cluster.
+    NodeId next = static_cast<NodeId>(-1);
+    for (NodeId v : x.neighbors) {
+      if (v == prev) continue;
+      auto it = x.aggr_crt.find(v);
+      if (it != x.aggr_crt.end() && k <= it->second[class_idx]) {
+        next = v;
+        break;
+      }
+    }
+    if (next == static_cast<NodeId>(-1)) return outcome;  // not found
+    prev = cur;
+    cur = next;
+    ++outcome.hops;
+  }
+  return outcome;  // guard tripped: report as not found with full route
+}
+
+}  // namespace bcc

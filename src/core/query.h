@@ -1,0 +1,46 @@
+// Algorithm 4 (paper §III.B.4): decentralized query processing.
+//
+// A query (k, l) may be submitted to any node. The node first tries to build
+// the cluster from its own clustering space; if its CRT says a bigger
+// cluster exists in some neighbor direction, it forwards the query there
+// (never back where it came from, so routing cannot cycle on the tree).
+// The paper's listing compares with `<`; a cluster of size exactly
+// aggrCRT[·][l] is obviously acceptable too, so this implementation uses
+// `<=` (the strict form would only cost extra hops, never correctness).
+#pragma once
+
+#include "core/bandwidth_classes.h"
+#include "core/find_cluster.h"
+#include "core/overlay_node.h"
+
+namespace bcc {
+
+/// Result of one decentralized query.
+struct QueryOutcome {
+  Cluster cluster;            // empty when not found
+  std::size_t hops = 0;       // number of forwards (0 = answered locally)
+  std::vector<NodeId> route;  // nodes visited, starting with the entry node
+
+  bool found() const { return !cluster.empty(); }
+};
+
+/// Stateless processor walking Algorithm 4 over converged overlay state.
+class QueryProcessor {
+ public:
+  QueryProcessor(const OverlayNodeMap* nodes, const DistanceMatrix* predicted,
+                 const BandwidthClasses* classes,
+                 FindClusterOptions find_options = {});
+
+  /// Processes a (k, class) query entering at `start`. Requires k >= 2 and a
+  /// valid class index.
+  QueryOutcome process(NodeId start, std::size_t k,
+                       std::size_t class_idx) const;
+
+ private:
+  const OverlayNodeMap* nodes_;
+  const DistanceMatrix* predicted_;
+  const BandwidthClasses* classes_;
+  FindClusterOptions find_options_;
+};
+
+}  // namespace bcc

@@ -1,0 +1,67 @@
+#include "core/system.h"
+
+namespace bcc {
+
+DecentralizedClusterSystem::DecentralizedClusterSystem(AnchorTree overlay,
+                                                       DistanceMatrix predicted,
+                                                       BandwidthClasses classes,
+                                                       SystemOptions options)
+    : overlay_(std::move(overlay)), predicted_(std::move(predicted)),
+      classes_(std::move(classes)), options_(options) {
+  BCC_REQUIRE(overlay_.size() == predicted_.size());
+  BCC_REQUIRE(overlay_.size() >= 1);
+  nodes_ = make_overlay_nodes(overlay_);
+  node_info_ = std::make_shared<NodeInfoAggregation>(
+      &nodes_, &predicted_, options_.n_cut, &engine_.metrics());
+  crt_ = std::make_shared<CrtAggregation>(&nodes_, &predicted_, &classes_,
+                                          &engine_.metrics());
+  engine_.add_protocol(node_info_);
+  engine_.add_protocol(crt_);
+}
+
+std::size_t DecentralizedClusterSystem::cycle_budget() const {
+  if (options_.max_cycles > 0) return options_.max_cycles;
+  // Information crosses the overlay in diameter hops; one extra cycle
+  // rebuilds CRTs from final spaces, one more detects the fixpoint.
+  // Node-info and CRT converge sequentially in the worst case.
+  return 2 * overlay_.diameter() + 4;
+}
+
+std::size_t DecentralizedClusterSystem::run_to_convergence() {
+  return engine_.run(cycle_budget());
+}
+
+bool DecentralizedClusterSystem::converged() const {
+  return node_info_->converged() && crt_->converged();
+}
+
+QueryOutcome DecentralizedClusterSystem::query_bandwidth(NodeId start,
+                                                         std::size_t k,
+                                                         double b) const {
+  const auto cls = classes_.class_for_bandwidth(b);
+  if (!cls) return QueryOutcome{};  // stricter than the strictest class
+  return query_class(start, k, *cls);
+}
+
+QueryOutcome DecentralizedClusterSystem::query_class(
+    NodeId start, std::size_t k, std::size_t class_idx) const {
+  QueryProcessor processor(&nodes_, &predicted_, &classes_,
+                           options_.find_options);
+  return processor.process(start, k, class_idx);
+}
+
+std::size_t DecentralizedClusterSystem::refresh(DistanceMatrix new_predicted) {
+  BCC_REQUIRE(new_predicted.size() == predicted_.size());
+  predicted_ = std::move(new_predicted);
+  node_info_->reset_convergence();
+  crt_->reset_convergence();
+  return engine_.run(cycle_budget());
+}
+
+const OverlayNode& DecentralizedClusterSystem::node(NodeId id) const {
+  auto it = nodes_.find(id);
+  BCC_REQUIRE(it != nodes_.end());
+  return it->second;
+}
+
+}  // namespace bcc

@@ -1,0 +1,82 @@
+// DecentralizedClusterSystem — the public facade tying the whole paper
+// together: prediction framework overlay (anchor tree) + predicted metric +
+// background aggregation protocols (Algorithms 2–3) + decentralized query
+// processing (Algorithm 4).
+//
+// Typical use:
+//   auto fw = build_framework(real_distances, rng);          // §II.D
+//   DecentralizedClusterSystem sys(fw.anchors,
+//                                  fw.predicted_distances(),
+//                                  BandwidthClasses::uniform_grid(5, 300, 5));
+//   sys.run_to_convergence();
+//   auto r = sys.query_bandwidth(/*start=*/0, /*k=*/10, /*b_mbps=*/50);
+//   if (r.found()) use(r.cluster);
+#pragma once
+
+#include <memory>
+
+#include "core/aggregation.h"
+#include "core/query.h"
+#include "tree/embedder.h"
+
+namespace bcc {
+
+struct SystemOptions {
+  /// Per-neighbor aggregate size limit (Algorithm 2's n_cut).
+  std::size_t n_cut = 10;
+  /// Gossip cycle budget for run_to_convergence; 0 = automatic
+  /// (overlay diameter + 2, enough for both fixpoints).
+  std::size_t max_cycles = 0;
+  /// Options passed to Algorithm 1 during query processing.
+  FindClusterOptions find_options = {};
+};
+
+/// See file comment.
+class DecentralizedClusterSystem {
+ public:
+  DecentralizedClusterSystem(AnchorTree overlay, DistanceMatrix predicted,
+                             BandwidthClasses classes,
+                             SystemOptions options = {});
+
+  /// Runs the background mechanisms until both protocols reach their
+  /// fixpoint (or the cycle budget runs out). Returns cycles executed.
+  std::size_t run_to_convergence();
+
+  bool converged() const;
+
+  /// Query with a bandwidth constraint in Mbps: b snaps up to the nearest
+  /// bandwidth class; returns an empty outcome if b exceeds every class.
+  QueryOutcome query_bandwidth(NodeId start, std::size_t k, double b) const;
+
+  /// Query at an explicit class index.
+  QueryOutcome query_class(NodeId start, std::size_t k,
+                           std::size_t class_idx) const;
+
+  /// Dynamic clustering (§III.B.2): the prediction framework restructured —
+  /// feed the new predicted metric and re-run gossip. Returns cycles.
+  std::size_t refresh(DistanceMatrix new_predicted);
+
+  // Introspection (tests, experiments).
+  std::size_t size() const { return nodes_.size(); }
+  const OverlayNode& node(NodeId id) const;
+  const AnchorTree& overlay() const { return overlay_; }
+  const DistanceMatrix& predicted() const { return predicted_; }
+  const BandwidthClasses& classes() const { return classes_; }
+  const SystemOptions& options() const { return options_; }
+  const MessageMetrics& metrics() const { return engine_.metrics(); }
+  std::size_t cycles_executed() const { return engine_.cycles_executed(); }
+
+ private:
+  std::size_t cycle_budget() const;
+
+  AnchorTree overlay_;
+  DistanceMatrix predicted_;
+  BandwidthClasses classes_;
+  SystemOptions options_;
+  OverlayNodeMap nodes_;
+  Engine engine_;
+  std::shared_ptr<NodeInfoAggregation> node_info_;
+  std::shared_ptr<CrtAggregation> crt_;
+};
+
+}  // namespace bcc

@@ -1,0 +1,139 @@
+#include "data/completion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.h"
+#include "common/csv.h"
+
+namespace bcc {
+
+PartialBandwidthMatrix::PartialBandwidthMatrix(std::size_t n)
+    : n_(n), tri_(n < 2 ? 0 : n * (n - 1) / 2) {}
+
+std::size_t PartialBandwidthMatrix::index(NodeId u, NodeId v) const {
+  BCC_REQUIRE(u < n_ && v < n_ && u != v);
+  if (u < v) std::swap(u, v);
+  return u * (u - 1) / 2 + v;
+}
+
+std::optional<double> PartialBandwidthMatrix::at(NodeId u, NodeId v) const {
+  return tri_[index(u, v)];
+}
+
+void PartialBandwidthMatrix::set(NodeId u, NodeId v, double bw_mbps) {
+  BCC_REQUIRE(bw_mbps > 0.0);
+  tri_[index(u, v)] = bw_mbps;
+}
+
+void PartialBandwidthMatrix::clear(NodeId u, NodeId v) {
+  tri_[index(u, v)] = std::nullopt;
+}
+
+std::size_t PartialBandwidthMatrix::missing_count(NodeId u) const {
+  BCC_REQUIRE(u < n_);
+  std::size_t count = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (v != u && !at(u, v).has_value()) ++count;
+  }
+  return count;
+}
+
+std::size_t PartialBandwidthMatrix::total_missing() const {
+  std::size_t count = 0;
+  for (const auto& cell : tri_) {
+    if (!cell.has_value()) ++count;
+  }
+  return count;
+}
+
+PartialBandwidthMatrix mask_measurements(const BandwidthMatrix& bw,
+                                         double missing_fraction, Rng& rng) {
+  BCC_REQUIRE(missing_fraction >= 0.0 && missing_fraction <= 1.0);
+  PartialBandwidthMatrix partial(bw.size());
+  for (NodeId u = 0; u < bw.size(); ++u) {
+    for (NodeId v = u + 1; v < bw.size(); ++v) {
+      if (!rng.chance(missing_fraction)) partial.set(u, v, bw.at(u, v));
+    }
+  }
+  return partial;
+}
+
+std::vector<NodeId> extract_complete_subset(const PartialBandwidthMatrix& bw) {
+  const std::size_t n = bw.size();
+  std::vector<char> kept(n, 1);
+  // Missing counts restricted to currently-kept nodes.
+  std::vector<std::size_t> missing(n, 0);
+  for (NodeId u = 0; u < n; ++u) missing[u] = bw.missing_count(u);
+
+  std::size_t kept_count = n;
+  for (;;) {
+    // Find the worst offender among kept nodes.
+    NodeId worst = n;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!kept[u] || missing[u] == 0) continue;
+      if (worst == n || missing[u] > missing[worst] ||
+          (missing[u] == missing[worst] && u > worst)) {
+        worst = u;
+      }
+    }
+    if (worst == n) break;  // complete
+    kept[worst] = 0;
+    --kept_count;
+    if (kept_count == 0) break;
+    for (NodeId v = 0; v < n; ++v) {
+      if (kept[v] && v != worst && !bw.at(worst, v).has_value()) {
+        --missing[v];
+      }
+    }
+  }
+  std::vector<NodeId> subset;
+  subset.reserve(kept_count);
+  for (NodeId u = 0; u < n; ++u) {
+    if (kept[u]) subset.push_back(u);
+  }
+  return subset;
+}
+
+PartialBandwidthMatrix load_partial_bandwidth_csv(const std::string& path) {
+  const CsvTable table = read_csv(path);
+  const std::size_t n = table.rows.size();
+  if (n == 0) throw std::runtime_error("empty trace: " + path);
+  for (const auto& row : table.rows) {
+    if (row.size() != n) {
+      throw std::runtime_error("trace matrix not square: " + path);
+    }
+  }
+  PartialBandwidthMatrix partial(n);
+  auto measured = [](double v) { return std::isfinite(v) && v > 0.0; };
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double fwd = table.rows[u][v];
+      const double rev = table.rows[v][u];
+      if (measured(fwd) && measured(rev)) {
+        partial.set(u, v, 0.5 * (fwd + rev));
+      } else if (measured(fwd)) {
+        partial.set(u, v, fwd);
+      } else if (measured(rev)) {
+        partial.set(u, v, rev);
+      }
+    }
+  }
+  return partial;
+}
+
+BandwidthMatrix complete_submatrix(const PartialBandwidthMatrix& bw,
+                                   std::span<const NodeId> subset) {
+  BandwidthMatrix out(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    for (std::size_t j = i + 1; j < subset.size(); ++j) {
+      const auto value = bw.at(subset[i], subset[j]);
+      BCC_REQUIRE(value.has_value());
+      out.set(i, j, *value);
+    }
+  }
+  return out;
+}
+
+}  // namespace bcc

@@ -1,0 +1,66 @@
+// Preprocessing incomplete measurement matrices — the paper's own first
+// step (§IV): "since the raw dataset is incomplete and has many unmeasured
+// pairs of nodes, we first extracted measurements for the 190 nodes (out of
+// 459) that give a full n-to-n asymmetric matrix".
+//
+// Finding the largest complete principal submatrix is max-clique on the
+// "measured" graph (NP-hard); the standard practical recipe — and almost
+// certainly the authors' — is greedy peeling: repeatedly drop the node with
+// the most unmeasured pairs until no gaps remain.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "metric/bandwidth.h"
+
+namespace bcc {
+
+/// A bandwidth matrix where some pairs are unmeasured (nullopt).
+class PartialBandwidthMatrix {
+ public:
+  explicit PartialBandwidthMatrix(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// The measurement for (u, v), if any. Requires u != v.
+  std::optional<double> at(NodeId u, NodeId v) const;
+  void set(NodeId u, NodeId v, double bw_mbps);  // bw > 0
+  void clear(NodeId u, NodeId v);
+
+  /// Number of unmeasured pairs involving u.
+  std::size_t missing_count(NodeId u) const;
+  /// Total unmeasured pairs.
+  std::size_t total_missing() const;
+  bool complete() const { return total_missing() == 0; }
+
+ private:
+  std::size_t index(NodeId u, NodeId v) const;
+  std::size_t n_;
+  std::vector<std::optional<double>> tri_;
+};
+
+/// Masks a complete matrix: each pair is dropped independently with
+/// probability `missing_fraction` — a synthetic "raw pathChirp trace".
+PartialBandwidthMatrix mask_measurements(const BandwidthMatrix& bw,
+                                         double missing_fraction, Rng& rng);
+
+/// The paper's preprocessing: greedily peels the node with the most missing
+/// pairs (ties: higher id first) until the remaining submatrix is complete.
+/// Returns the kept node ids (ascending) — possibly empty.
+std::vector<NodeId> extract_complete_subset(const PartialBandwidthMatrix& bw);
+
+/// Builds the dense symmetric matrix over `subset` (which must be complete
+/// within the partial matrix).
+BandwidthMatrix complete_submatrix(const PartialBandwidthMatrix& bw,
+                                   std::span<const NodeId> subset);
+
+/// Loads a *raw* trace CSV: a square matrix where non-positive or missing
+/// cells mean "unmeasured" (pathChirp traces are full of them). Asymmetric
+/// pairs are averaged when both directions exist; a single direction is
+/// used as-is. Throws on non-square input.
+PartialBandwidthMatrix load_partial_bandwidth_csv(const std::string& path);
+
+}  // namespace bcc

@@ -1,0 +1,69 @@
+#include "data/dataset_io.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace bcc {
+
+void save_bandwidth_csv(const std::string& path, const BandwidthMatrix& bw) {
+  auto rows = bw.to_rows();
+  for (NodeId i = 0; i < bw.size(); ++i) rows[i][i] = 0.0;  // inf sentinel
+  write_matrix_csv(path, rows);
+}
+
+BandwidthMatrix load_bandwidth_csv(const std::string& path) {
+  const CsvTable table = read_csv(path);
+  const std::size_t n = table.rows.size();
+  if (n == 0) throw std::runtime_error("empty bandwidth matrix: " + path);
+  for (const auto& row : table.rows) {
+    if (row.size() != n) {
+      throw std::runtime_error("bandwidth matrix not square: " + path);
+    }
+  }
+  BandwidthMatrix bw(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (table.rows[u][u] != 0.0) {
+      throw std::runtime_error("nonzero diagonal in bandwidth matrix: " + path);
+    }
+    for (NodeId v = 0; v < u; ++v) {
+      const double fwd = table.rows[u][v];
+      const double rev = table.rows[v][u];
+      if (!(fwd > 0.0) || !(rev > 0.0) || !std::isfinite(fwd) ||
+          !std::isfinite(rev)) {
+        throw std::runtime_error("non-positive bandwidth entry in " + path);
+      }
+      bw.set(u, v, 0.5 * (fwd + rev));
+    }
+  }
+  return bw;
+}
+
+void save_dataset(const SynthDataset& data, const std::string& dir) {
+  save_bandwidth_csv(dir + "/" + data.name + ".bw.csv", data.bandwidth);
+  if (data.tree_distances.size() == data.bandwidth.size() &&
+      data.tree_distances.size() > 0) {
+    write_matrix_csv(dir + "/" + data.name + ".tree.csv",
+                     data.tree_distances.to_rows());
+  }
+}
+
+SynthDataset load_dataset(const std::string& name, const std::string& dir,
+                          double c) {
+  SynthDataset data;
+  data.name = name;
+  data.c = c;
+  data.bandwidth = load_bandwidth_csv(dir + "/" + name + ".bw.csv");
+  data.distances = rational_transform(data.bandwidth, c);
+  try {
+    data.tree_distances =
+        DistanceMatrix::from_rows(read_csv(dir + "/" + name + ".tree.csv").rows);
+  } catch (const std::runtime_error&) {
+    // The reference tree metric is optional (real traces do not have one).
+    data.tree_distances = DistanceMatrix();
+  }
+  return data;
+}
+
+}  // namespace bcc

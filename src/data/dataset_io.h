@@ -1,0 +1,33 @@
+// Dataset persistence: save/load bandwidth matrices and synthesized datasets
+// as CSV, so experiments can run against pinned inputs (and so users can
+// feed their own measurement matrices to the library).
+//
+// Format: a square n×n CSV of Mbps values, zero diagonal (self-bandwidth is
+// conceptually infinite; 0 is the on-disk sentinel), '#' comment lines
+// allowed. Asymmetric matrices are symmetrized on load by averaging
+// directions — the paper's own preprocessing for both PlanetLab traces.
+#pragma once
+
+#include <string>
+
+#include "data/planetlab_synth.h"
+
+namespace bcc {
+
+/// Writes BW as CSV (zero diagonal sentinel). Throws on I/O failure.
+void save_bandwidth_csv(const std::string& path, const BandwidthMatrix& bw);
+
+/// Loads a bandwidth CSV; accepts asymmetric matrices (averages directions)
+/// and requires positive off-diagonal entries. Throws on malformed input.
+BandwidthMatrix load_bandwidth_csv(const std::string& path);
+
+/// Saves a dataset as `<dir>/<name>.bw.csv` (measured bandwidth) and
+/// `<dir>/<name>.tree.csv` (the generating tree metric, when available).
+void save_dataset(const SynthDataset& data, const std::string& dir);
+
+/// Loads `<dir>/<name>.bw.csv` (+ optional `.tree.csv`) back into a dataset.
+/// `c` is the rational-transform constant to derive distances with.
+SynthDataset load_dataset(const std::string& name, const std::string& dir,
+                          double c = kDefaultTransformC);
+
+}  // namespace bcc

@@ -1,0 +1,90 @@
+#include "data/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace bcc {
+
+BandwidthDynamics::BandwidthDynamics(const SynthDataset& base,
+                                     DynamicsOptions options,
+                                     std::uint64_t seed)
+    : current_(base.bandwidth), options_(options), pair_rng_(seed),
+      event_rng_(Rng(seed).split(1)),
+      congestion_left_(base.bandwidth.size(), 0),
+      host_shift_(base.bandwidth.size(), 0.0) {
+  BCC_REQUIRE(options_.rho >= 0.0 && options_.rho < 1.0);
+  BCC_REQUIRE(options_.sigma >= 0.0);
+  BCC_REQUIRE(options_.congestion_rate >= 0.0 &&
+              options_.congestion_rate <= 1.0);
+  BCC_REQUIRE(options_.congestion_factor > 0.0 &&
+              options_.congestion_factor <= 1.0);
+  BCC_REQUIRE(options_.baseline_shift_rate >= 0.0 &&
+              options_.baseline_shift_rate <= 1.0);
+  BCC_REQUIRE(options_.baseline_shift_sigma >= 0.0);
+  const std::size_t n = base.bandwidth.size();
+  BCC_REQUIRE(n >= 2);
+  // Structural baseline: the generating tree metric when the dataset has
+  // one, else the measured matrix itself.
+  if (base.tree_distances.size() == n) {
+    baseline_ = inverse_rational_transform(base.tree_distances, base.c);
+  } else {
+    baseline_ = base.bandwidth;
+  }
+}
+
+const BandwidthMatrix& BandwidthDynamics::step() {
+  ++epoch_;
+  const std::size_t n = current_.size();
+
+  // Event stream: congestion episodes decay, new ones start, and hosts may
+  // shift their baseline permanently (structural change).
+  for (auto& left : congestion_left_) {
+    if (left > 0) --left;
+  }
+  if (event_rng_.chance(options_.congestion_rate)) {
+    congestion_left_[static_cast<std::size_t>(event_rng_.below(n))] =
+        options_.congestion_epochs;
+  }
+  if (options_.baseline_shift_rate > 0.0) {
+    for (NodeId h = 0; h < n; ++h) {
+      if (event_rng_.chance(options_.baseline_shift_rate)) {
+        host_shift_[h] +=
+            event_rng_.normal(0.0, options_.baseline_shift_sigma);
+      }
+    }
+  }
+
+  BandwidthMatrix next(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double log_base =
+          std::log(baseline_.at(u, v)) + host_shift_[u] + host_shift_[v];
+      const double log_cur = std::log(current_.at(u, v));
+      double log_next = log_base + options_.rho * (log_cur - log_base) +
+                        pair_rng_.normal(0.0, options_.sigma);
+      if (congestion_left_[u] > 0 || congestion_left_[v] > 0) {
+        log_next += std::log(options_.congestion_factor);
+      }
+      next.set(u, v, std::exp(log_next));
+    }
+  }
+  current_ = std::move(next);
+  return current_;
+}
+
+std::vector<NodeId> BandwidthDynamics::congested() const {
+  std::vector<NodeId> out;
+  for (NodeId h = 0; h < congestion_left_.size(); ++h) {
+    if (congestion_left_[h] > 0) out.push_back(h);
+  }
+  return out;
+}
+
+double BandwidthDynamics::host_shift(NodeId host) const {
+  BCC_REQUIRE(host < host_shift_.size());
+  return host_shift_[host];
+}
+
+}  // namespace bcc

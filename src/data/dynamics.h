@@ -1,0 +1,72 @@
+// Time-varying bandwidth — the other half of the paper's dynamic-clustering
+// requirement (§I): "members of each cluster should adaptively change as
+// network condition changes". The decentralized framework handles this by
+// periodic re-aggregation (DecentralizedClusterSystem::refresh /
+// FrameworkMaintainer::refresh); this module supplies the changing network.
+//
+// Model: each pair's bandwidth follows a mean-reverting AR(1) process in
+// log space around its structural (tree-metric) baseline:
+//   log BW_{t+1} = log BW_base + rho * (log BW_t - log BW_base) + sigma * z
+// plus transient congestion episodes that depress a random *host*'s links by
+// a large factor for a few epochs (modelling a saturated access link, the
+// dominant real-world event under the paper's bottleneck model).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/planetlab_synth.h"
+
+namespace bcc {
+
+struct DynamicsOptions {
+  /// Mean-reversion factor in [0, 1): 0 = i.i.d. around the baseline,
+  /// near 1 = slowly wandering.
+  double rho = 0.8;
+  /// Per-epoch innovation (lognormal sigma).
+  double sigma = 0.1;
+  /// Probability per epoch that a congestion episode starts at some host.
+  double congestion_rate = 0.1;
+  /// Multiplicative bandwidth hit on a congested host's links (< 1).
+  double congestion_factor = 0.25;
+  /// Episode length in epochs.
+  std::size_t congestion_epochs = 3;
+  /// Structural change: probability per host per epoch that its baseline
+  /// access capacity shifts *permanently* (link upgrade/downgrade) —
+  /// this is what makes stale predictions decay.
+  double baseline_shift_rate = 0.0;
+  /// Lognormal sigma of a permanent shift.
+  double baseline_shift_sigma = 0.4;
+};
+
+/// Evolves a dataset's bandwidth over epochs. Deterministic per seed.
+class BandwidthDynamics {
+ public:
+  /// `base` supplies both the structural baseline (its tree distances, when
+  /// available, else its measured bandwidth) and the starting state.
+  BandwidthDynamics(const SynthDataset& base, DynamicsOptions options,
+                    std::uint64_t seed);
+
+  /// Advances one epoch and returns the new measured-bandwidth matrix.
+  const BandwidthMatrix& step();
+
+  const BandwidthMatrix& current() const { return current_; }
+  std::size_t epoch() const { return epoch_; }
+  /// Hosts currently under a congestion episode.
+  std::vector<NodeId> congested() const;
+  /// Cumulative permanent per-host baseline shift (log scale; 0 = none).
+  double host_shift(NodeId host) const;
+
+ private:
+  BandwidthMatrix baseline_;
+  BandwidthMatrix current_;
+  DynamicsOptions options_;
+  Rng pair_rng_;   // the per-pair innovation stream
+  Rng event_rng_;  // congestion/structural events (own stream: their
+                   // determinism must not depend on n)
+  std::size_t epoch_ = 0;
+  std::vector<std::size_t> congestion_left_;  // per host, epochs remaining
+  std::vector<double> host_shift_;            // permanent log-scale shifts
+};
+
+}  // namespace bcc

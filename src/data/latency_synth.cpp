@@ -1,0 +1,46 @@
+#include "data/latency_synth.h"
+
+#include <algorithm>
+
+#include "tree/weighted_tree.h"
+
+namespace bcc {
+
+DistanceMatrix synthesize_latency(const LatencyOptions& options, Rng& rng) {
+  BCC_REQUIRE(options.hosts >= 2);
+  BCC_REQUIRE(options.core_hop_ms_min > 0.0 &&
+              options.core_hop_ms_max >= options.core_hop_ms_min);
+  BCC_REQUIRE(options.access_ms_min > 0.0 &&
+              options.access_ms_max >= options.access_ms_min);
+  BCC_REQUIRE(options.jitter_sigma >= 0.0);
+  const std::size_t n_sites =
+      options.sites > 0 ? options.sites
+                        : std::max<std::size_t>(2, options.hosts / 8);
+
+  WeightedTree tree;
+  std::vector<TreeVertex> site(n_sites);
+  site[0] = tree.add_vertex();
+  for (std::size_t s = 1; s < n_sites; ++s) {
+    site[s] = tree.add_vertex();
+    tree.connect(site[static_cast<std::size_t>(rng.below(s))], site[s],
+                 rng.uniform(options.core_hop_ms_min, options.core_hop_ms_max));
+  }
+  std::vector<TreeVertex> leaf(options.hosts);
+  for (std::size_t h = 0; h < options.hosts; ++h) {
+    leaf[h] = tree.add_vertex();
+    tree.connect(site[static_cast<std::size_t>(rng.below(n_sites))], leaf[h],
+                 rng.uniform(options.access_ms_min, options.access_ms_max));
+  }
+
+  DistanceMatrix rtt(options.hosts);
+  for (NodeId u = 0; u < options.hosts; ++u) {
+    const auto from_u = tree.distances_from(leaf[u]);
+    for (NodeId v = u + 1; v < options.hosts; ++v) {
+      const double base = from_u[leaf[v]];
+      rtt.set(u, v, base * rng.lognormal(0.0, options.jitter_sigma));
+    }
+  }
+  return rtt;
+}
+
+}  // namespace bcc

@@ -1,0 +1,30 @@
+// Synthetic latency (RTT) datasets with tree-like structure — support for
+// the paper's third future-work item (§VI): latency-constrained clustering
+// reuses the whole pipeline because latency also embeds well into tree
+// metric spaces [21].
+//
+// Unlike bandwidth, latency is already "smaller is closer": no rational
+// transform is applied; the RTT matrix *is* the distance matrix.
+#pragma once
+
+#include "common/rng.h"
+#include "metric/distance_matrix.h"
+
+namespace bcc {
+
+struct LatencyOptions {
+  std::size_t hosts = 100;
+  std::size_t sites = 0;          // 0 = auto: max(2, hosts / 8)
+  double core_hop_ms_min = 2.0;   // per backbone hop
+  double core_hop_ms_max = 18.0;
+  double access_ms_min = 0.5;     // last-mile one-way contribution
+  double access_ms_max = 8.0;
+  /// Multiplicative lognormal jitter per pair; 0 gives a perfect tree metric.
+  double jitter_sigma = 0.15;
+};
+
+/// Synthesizes an RTT matrix (milliseconds). Deterministic per (options,
+/// rng-state). Requires hosts >= 2.
+DistanceMatrix synthesize_latency(const LatencyOptions& options, Rng& rng);
+
+}  // namespace bcc

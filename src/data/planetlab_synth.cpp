@@ -1,0 +1,119 @@
+#include "data/planetlab_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcc {
+namespace {
+
+/// One full generation pass at a given access-link spread: topology +
+/// multiplicative noise. Separate deterministic seeds keep the topology
+/// structure and the noise draws identical across calibration iterations, so
+/// the spread parameter is the only thing that moves.
+struct RawDataset {
+  Topology topology;
+  BandwidthMatrix noisy;  // before absolute-level calibration
+};
+
+RawDataset generate_raw(const SynthOptions& options, double access_sigma,
+                        std::uint64_t structure_seed,
+                        std::uint64_t noise_seed) {
+  TopologyOptions topo_opts;
+  topo_opts.hosts = options.hosts;
+  topo_opts.access_bw_sigma = access_sigma;
+  topo_opts.c = options.c;
+  Rng topo_rng(structure_seed);
+  RawDataset raw{generate_topology(topo_opts, topo_rng), BandwidthMatrix{}};
+
+  const BandwidthMatrix clean = raw.topology.bandwidths();
+  BandwidthMatrix noisy(clean.size());
+  Rng noise_rng(noise_seed);
+  for (NodeId u = 0; u < clean.size(); ++u) {
+    for (NodeId v = u + 1; v < clean.size(); ++v) {
+      noisy.set(u, v, clean.at(u, v) *
+                          std::exp(noise_rng.normal(0.0, options.noise_sigma)));
+    }
+  }
+  raw.noisy = std::move(noisy);
+  return raw;
+}
+
+double percentile_ratio(const BandwidthMatrix& bw) {
+  return bw.percentile(80.0) / bw.percentile(20.0);
+}
+
+}  // namespace
+
+SynthDataset synthesize_planetlab(const SynthOptions& options, Rng& rng) {
+  BCC_REQUIRE(options.hosts >= 2);
+  BCC_REQUIRE(options.target_p20 > 0.0 &&
+              options.target_p80 >= options.target_p20);
+  BCC_REQUIRE(options.noise_sigma >= 0.0);
+
+  const std::uint64_t structure_seed = rng();
+  const std::uint64_t noise_seed = rng();
+  const double target_ratio = options.target_p80 / options.target_p20;
+
+  // Bisect the access-link spread until the noisy p80/p20 ratio matches.
+  // The ratio is monotone in the spread (same underlying normal draws).
+  double lo = 0.02, hi = 3.0;
+  RawDataset raw = generate_raw(options, 0.5 * (lo + hi), structure_seed,
+                                noise_seed);
+  for (int iter = 0; iter < 18; ++iter) {
+    const double ratio = percentile_ratio(raw.noisy);
+    if (std::abs(ratio - target_ratio) / target_ratio <
+        options.ratio_tolerance) {
+      break;
+    }
+    if (ratio < target_ratio) {
+      lo = 0.5 * (lo + hi);
+    } else {
+      hi = 0.5 * (lo + hi);
+    }
+    raw = generate_raw(options, 0.5 * (lo + hi), structure_seed, noise_seed);
+  }
+
+  // Absolute level: scaling every bandwidth by m (equivalently every edge
+  // weight by 1/m) is exact — pick m matching the geometric mean of the two
+  // percentile targets.
+  const double p20 = raw.noisy.percentile(20.0);
+  const double p80 = raw.noisy.percentile(80.0);
+  const double m =
+      std::sqrt(options.target_p20 * options.target_p80 / (p20 * p80));
+  raw.topology.scale_edges(1.0 / m);
+
+  SynthDataset out;
+  out.name = options.name;
+  out.c = options.c;
+  out.bandwidth = BandwidthMatrix(options.hosts);
+  for (NodeId u = 0; u < options.hosts; ++u) {
+    for (NodeId v = u + 1; v < options.hosts; ++v) {
+      out.bandwidth.set(u, v, raw.noisy.at(u, v) * m);
+    }
+  }
+  out.distances = rational_transform(out.bandwidth, options.c);
+  out.tree_distances = raw.topology.distances();
+  return out;
+}
+
+SynthDataset make_hp_planetlab(Rng& rng, double noise_sigma) {
+  SynthOptions opts;
+  opts.name = "HP-PlanetLab";
+  opts.hosts = 190;
+  opts.noise_sigma = noise_sigma;
+  opts.target_p20 = 15.0;
+  opts.target_p80 = 75.0;
+  return synthesize_planetlab(opts, rng);
+}
+
+SynthDataset make_umd_planetlab(Rng& rng, double noise_sigma) {
+  SynthOptions opts;
+  opts.name = "UMD-PlanetLab";
+  opts.hosts = 317;
+  opts.noise_sigma = noise_sigma;
+  opts.target_p20 = 30.0;
+  opts.target_p80 = 110.0;
+  return synthesize_planetlab(opts, rng);
+}
+
+}  // namespace bcc

@@ -1,0 +1,56 @@
+// Synthetic stand-ins for the paper's two measurement datasets (see
+// DESIGN.md §3 — the real HP-PlanetLab and UMD-PlanetLab pathChirp traces
+// are not publicly available).
+//
+// Pipeline: generate a perfect-tree-metric topology (topology_gen), read off
+// pairwise bandwidth, multiply by i.i.d. lognormal measurement noise (σ
+// controls the quartet-ε treeness), and calibrate so the noisy bandwidth
+// distribution matches the paper's reported percentile spans
+// (HP: 20th–80th ≈ 15–75 Mbps over 190 nodes; UMD: ≈ 30–110 over 317).
+// Calibration adjusts the access-link spread (to hit the p80/p20 ratio) and
+// then scales all edges (to hit the absolute level — exact, since scaling
+// edges scales every bandwidth by the same factor).
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "data/topology_gen.h"
+#include "metric/bandwidth.h"
+
+namespace bcc {
+
+struct SynthOptions {
+  std::string name = "synthetic";
+  std::size_t hosts = 100;
+  /// Lognormal σ of multiplicative measurement noise (one symmetric draw per
+  /// pair). 0 gives a perfect tree metric; ~0.25 lands ε_avg in the range
+  /// reported for real PlanetLab bandwidth data.
+  double noise_sigma = 0.25;
+  double target_p20 = 15.0;  // Mbps, 20th percentile of pairwise bandwidth
+  double target_p80 = 75.0;  // Mbps, 80th percentile
+  double c = kDefaultTransformC;
+  /// Relative tolerance for the p80/p20 ratio calibration.
+  double ratio_tolerance = 0.10;
+};
+
+/// A synthesized dataset: the "measured" noisy bandwidth plus ground truth.
+struct SynthDataset {
+  std::string name;
+  BandwidthMatrix bandwidth;      // noisy symmetric measurements
+  DistanceMatrix distances;       // rational transform of `bandwidth`
+  DistanceMatrix tree_distances;  // the underlying perfect tree metric
+  double c = kDefaultTransformC;
+};
+
+/// Synthesizes a calibrated dataset. Deterministic for a given (options,
+/// seed of rng) pair.
+SynthDataset synthesize_planetlab(const SynthOptions& options, Rng& rng);
+
+/// The HP-PlanetLab stand-in: 190 hosts, 20th–80th percentile 15–75 Mbps.
+SynthDataset make_hp_planetlab(Rng& rng, double noise_sigma = 0.25);
+
+/// The UMD-PlanetLab stand-in: 317 hosts, 20th–80th percentile 30–110 Mbps.
+SynthDataset make_umd_planetlab(Rng& rng, double noise_sigma = 0.25);
+
+}  // namespace bcc

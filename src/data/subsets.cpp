@@ -1,0 +1,62 @@
+#include "data/subsets.h"
+
+#include <algorithm>
+
+namespace bcc {
+
+std::vector<NodeId> random_subset(std::size_t n, std::size_t k, Rng& rng) {
+  BCC_REQUIRE(k <= n);
+  auto idx = rng.sample_indices(n, k);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+BandwidthMatrix extract_bandwidth(const BandwidthMatrix& bw,
+                                  std::span<const NodeId> indices) {
+  BandwidthMatrix out(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    BCC_REQUIRE(indices[i] < bw.size());
+    for (std::size_t j = i + 1; j < indices.size(); ++j) {
+      out.set(i, j, bw.at(indices[i], indices[j]));
+    }
+  }
+  return out;
+}
+
+std::vector<TreenessSubset> treeness_spread_subsets(
+    const DistanceMatrix& d, std::size_t subset_size, std::size_t count,
+    std::size_t candidates, Rng& rng, std::size_t quartet_samples) {
+  BCC_REQUIRE(subset_size >= 4 && subset_size <= d.size());
+  BCC_REQUIRE(count >= 1 && candidates >= count);
+
+  std::vector<TreenessSubset> pool;
+  pool.reserve(candidates);
+  for (std::size_t i = 0; i < candidates; ++i) {
+    TreenessSubset s;
+    s.indices = random_subset(d.size(), subset_size, rng);
+    const DistanceMatrix sub = d.submatrix(s.indices);
+    Rng eps_rng = rng.split(i);
+    s.epsilon_avg = estimate_treeness(sub, eps_rng, quartet_samples).epsilon_avg;
+    pool.push_back(std::move(s));
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const TreenessSubset& a, const TreenessSubset& b) {
+              return a.epsilon_avg < b.epsilon_avg;
+            });
+
+  // Pick `count` evenly spaced by rank, always including both extremes.
+  std::vector<TreenessSubset> out;
+  out.reserve(count);
+  if (count == 1) {
+    out.push_back(pool.front());
+    return out;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t rank =
+        i * (pool.size() - 1) / (count - 1);
+    out.push_back(pool[rank]);
+  }
+  return out;
+}
+
+}  // namespace bcc

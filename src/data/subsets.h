@@ -1,0 +1,37 @@
+// Dataset subsetting utilities (paper §IV.C–D): random subsets for the
+// scalability sweep and treeness-ranked subsets for the Fig. 5 experiment
+// ("by choosing subsets from HP-PlanetLab, we created six datasets of 100
+// nodes with different treeness").
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "metric/bandwidth.h"
+#include "metric/four_point.h"
+
+namespace bcc {
+
+/// k distinct node ids sampled uniformly from [0, n), sorted ascending.
+std::vector<NodeId> random_subset(std::size_t n, std::size_t k, Rng& rng);
+
+/// Principal submatrix of a bandwidth matrix (order of `indices` preserved).
+BandwidthMatrix extract_bandwidth(const BandwidthMatrix& bw,
+                                  std::span<const NodeId> indices);
+
+/// A candidate subset together with its sampled treeness.
+struct TreenessSubset {
+  std::vector<NodeId> indices;
+  double epsilon_avg = 0.0;
+};
+
+/// Samples `candidates` random subsets of `subset_size` from the metric,
+/// estimates each one's ε_avg (with `quartet_samples` quartets), and returns
+/// `count` of them spread evenly from most to least tree-like — the paper's
+/// recipe for obtaining datasets of varied treeness from one trace.
+/// Returned subsets are sorted by ascending ε_avg.
+std::vector<TreenessSubset> treeness_spread_subsets(
+    const DistanceMatrix& d, std::size_t subset_size, std::size_t count,
+    std::size_t candidates, Rng& rng, std::size_t quartet_samples = 4000);
+
+}  // namespace bcc

@@ -1,0 +1,62 @@
+#include "data/topology_gen.h"
+
+#include <algorithm>
+
+namespace bcc {
+
+DistanceMatrix Topology::distances() const {
+  const std::size_t n = host_leaf.size();
+  DistanceMatrix d(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto from_u = tree.distances_from(host_leaf[u]);
+    for (NodeId v = u + 1; v < n; ++v) {
+      d.set(u, v, from_u[host_leaf[v]]);
+    }
+  }
+  return d;
+}
+
+BandwidthMatrix Topology::bandwidths() const {
+  return inverse_rational_transform(distances(), c);
+}
+
+void Topology::scale_edges(double factor) { tree.scale_weights(factor); }
+
+Topology generate_topology(const TopologyOptions& options, Rng& rng) {
+  BCC_REQUIRE(options.hosts >= 2);
+  BCC_REQUIRE(options.c > 0.0);
+  const std::size_t n_sites =
+      options.sites > 0 ? options.sites
+                        : std::max<std::size_t>(2, options.hosts / 8);
+
+  Topology topo;
+  topo.c = options.c;
+
+  // Backbone: random recursive tree over site routers (preferential to
+  // earlier sites gives a realistic skewed hierarchy depth).
+  std::vector<TreeVertex> site(n_sites);
+  site[0] = topo.tree.add_vertex();
+  for (std::size_t s = 1; s < n_sites; ++s) {
+    site[s] = topo.tree.add_vertex();
+    const std::size_t parent = static_cast<std::size_t>(rng.below(s));
+    const double core_bw =
+        rng.lognormal(options.core_bw_mu, options.core_bw_sigma);
+    topo.tree.connect(site[parent], site[s],
+                      bandwidth_to_distance(core_bw, options.c));
+  }
+
+  // Hosts: one access link each to a uniformly random site.
+  topo.host_leaf.resize(options.hosts);
+  for (std::size_t h = 0; h < options.hosts; ++h) {
+    topo.host_leaf[h] = topo.tree.add_vertex();
+    const std::size_t s = static_cast<std::size_t>(rng.below(n_sites));
+    const double access_bw =
+        rng.lognormal(options.access_bw_mu, options.access_bw_sigma);
+    topo.tree.connect(site[s], topo.host_leaf[h],
+                      bandwidth_to_distance(access_bw, options.c));
+  }
+  BCC_ASSERT(topo.tree.is_tree());
+  return topo;
+}
+
+}  // namespace bcc

@@ -1,0 +1,51 @@
+// Random hierarchical network topologies whose pairwise bandwidth is a
+// *perfect* tree metric — the generative model the paper cites to explain
+// the treeness of Internet bandwidth ([20]: bandwidth between two hosts is
+// bottlenecked at the access link of either end; such a network induces a
+// tree metric under the rational transform).
+//
+// Structure: a random backbone tree of site routers with fat (high-BW, i.e.
+// short-distance) internal links, and one access link per host to a random
+// site with lognormally distributed capacity. Distances live directly on the
+// edges as d = C / link_bandwidth, so path distance compounds the bottleneck
+// structure smoothly (access links dominate, mimicking measured PlanetLab
+// behaviour).
+#pragma once
+
+#include "common/rng.h"
+#include "metric/bandwidth.h"
+#include "tree/weighted_tree.h"
+
+namespace bcc {
+
+struct TopologyOptions {
+  std::size_t hosts = 100;
+  std::size_t sites = 0;          // 0 = auto: max(2, hosts / 8)
+  double core_bw_mu = 6.2;        // lognormal ln-mean of core link Mbps (~490)
+  double core_bw_sigma = 0.3;
+  double access_bw_mu = 4.0;      // lognormal ln-mean of access Mbps (~55)
+  double access_bw_sigma = 0.8;
+  double c = kDefaultTransformC;  // rational-transform constant
+};
+
+/// A generated topology: the physical tree plus each host's leaf vertex.
+struct Topology {
+  WeightedTree tree;
+  std::vector<TreeVertex> host_leaf;  // index = host NodeId
+  double c = kDefaultTransformC;
+
+  /// Pairwise host distances (a perfect tree metric by construction).
+  DistanceMatrix distances() const;
+
+  /// Pairwise host bandwidth BW = C / d.
+  BandwidthMatrix bandwidths() const;
+
+  /// Multiplies every edge weight by `factor` (> 0) — used by dataset
+  /// calibration; scales all distances linearly, bandwidths by 1/factor.
+  void scale_edges(double factor);
+};
+
+/// Generates a random topology. Requires hosts >= 2.
+Topology generate_topology(const TopologyOptions& options, Rng& rng);
+
+}  // namespace bcc

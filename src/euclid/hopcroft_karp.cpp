@@ -1,0 +1,136 @@
+#include "euclid/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/assert.h"
+
+namespace bcc {
+
+BipartiteGraph::BipartiteGraph(std::size_t left, std::size_t right)
+    : right_(right), adj_(left) {}
+
+void BipartiteGraph::add_edge(std::size_t l, std::size_t r) {
+  BCC_REQUIRE(l < adj_.size() && r < right_);
+  adj_[l].push_back(r);
+}
+
+const std::vector<std::size_t>& BipartiteGraph::neighbors(std::size_t l) const {
+  BCC_REQUIRE(l < adj_.size());
+  return adj_[l];
+}
+
+namespace {
+
+constexpr std::size_t kNpos = MatchingResult::npos;
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+struct HkState {
+  const BipartiteGraph* g;
+  std::vector<std::size_t> match_l, match_r, level;
+
+  bool bfs() {
+    std::queue<std::size_t> q;
+    bool reachable_free_right = false;
+    for (std::size_t l = 0; l < g->left_size(); ++l) {
+      if (match_l[l] == kNpos) {
+        level[l] = 0;
+        q.push(l);
+      } else {
+        level[l] = kInf;
+      }
+    }
+    while (!q.empty()) {
+      std::size_t l = q.front();
+      q.pop();
+      for (std::size_t r : g->neighbors(l)) {
+        std::size_t next = match_r[r];
+        if (next == kNpos) {
+          reachable_free_right = true;
+        } else if (level[next] == kInf) {
+          level[next] = level[l] + 1;
+          q.push(next);
+        }
+      }
+    }
+    return reachable_free_right;
+  }
+
+  bool dfs(std::size_t l) {
+    for (std::size_t r : g->neighbors(l)) {
+      std::size_t next = match_r[r];
+      if (next == kNpos || (level[next] == level[l] + 1 && dfs(next))) {
+        match_l[l] = r;
+        match_r[r] = l;
+        return true;
+      }
+    }
+    level[l] = kInf;  // dead end; prune for this phase
+    return false;
+  }
+};
+
+}  // namespace
+
+MatchingResult hopcroft_karp(const BipartiteGraph& g) {
+  HkState s{&g,
+            std::vector<std::size_t>(g.left_size(), kNpos),
+            std::vector<std::size_t>(g.right_size(), kNpos),
+            std::vector<std::size_t>(g.left_size(), kInf)};
+  std::size_t matched = 0;
+  while (s.bfs()) {
+    for (std::size_t l = 0; l < g.left_size(); ++l) {
+      if (s.match_l[l] == kNpos && s.dfs(l)) ++matched;
+    }
+  }
+  return MatchingResult{matched, std::move(s.match_l), std::move(s.match_r)};
+}
+
+IndependentSet maximum_independent_set(const BipartiteGraph& g) {
+  const MatchingResult m = hopcroft_karp(g);
+
+  // König: starting from unmatched left vertices, alternate unmatched edges
+  // (L→R) and matched edges (R→L). Minimum vertex cover = unreachable left ∪
+  // reachable right; MIS is its complement.
+  std::vector<char> reach_l(g.left_size(), 0), reach_r(g.right_size(), 0);
+  std::queue<std::size_t> q;
+  for (std::size_t l = 0; l < g.left_size(); ++l) {
+    if (m.match_left[l] == MatchingResult::npos) {
+      reach_l[l] = 1;
+      q.push(l);
+    }
+  }
+  while (!q.empty()) {
+    std::size_t l = q.front();
+    q.pop();
+    for (std::size_t r : g.neighbors(l)) {
+      if (reach_r[r]) continue;
+      reach_r[r] = 1;
+      std::size_t next = m.match_right[r];
+      if (next != MatchingResult::npos && !reach_l[next]) {
+        reach_l[next] = 1;
+        q.push(next);
+      }
+    }
+  }
+
+  IndependentSet out;
+  out.left.assign(g.left_size(), 0);
+  out.right.assign(g.right_size(), 0);
+  for (std::size_t l = 0; l < g.left_size(); ++l) {
+    if (reach_l[l]) {  // reachable left is outside the cover
+      out.left[l] = 1;
+      ++out.size;
+    }
+  }
+  for (std::size_t r = 0; r < g.right_size(); ++r) {
+    if (!reach_r[r]) {  // unreachable right is outside the cover
+      out.right[r] = 1;
+      ++out.size;
+    }
+  }
+  BCC_ASSERT(out.size == g.left_size() + g.right_size() - m.size);
+  return out;
+}
+
+}  // namespace bcc

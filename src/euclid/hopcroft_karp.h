@@ -1,0 +1,50 @@
+// Hopcroft–Karp maximum bipartite matching, used by the Euclidean
+// k-diameter baseline to compute maximum independent sets in bipartite
+// conflict graphs via König's theorem (|MIS| = |V| − |max matching|).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bcc {
+
+/// A bipartite graph with `left` and `right` vertex counts and adjacency
+/// from left vertices to right vertices.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t left, std::size_t right);
+
+  void add_edge(std::size_t l, std::size_t r);
+
+  std::size_t left_size() const { return adj_.size(); }
+  std::size_t right_size() const { return right_; }
+  const std::vector<std::size_t>& neighbors(std::size_t l) const;
+
+ private:
+  std::size_t right_;
+  std::vector<std::vector<std::size_t>> adj_;
+};
+
+/// Result of maximum matching.
+struct MatchingResult {
+  std::size_t size = 0;
+  // match_left[l] = matched right vertex or npos; likewise match_right.
+  std::vector<std::size_t> match_left;
+  std::vector<std::size_t> match_right;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Maximum matching in O(E sqrt(V)).
+MatchingResult hopcroft_karp(const BipartiteGraph& g);
+
+/// Maximum independent set via König's theorem: an MIS is the complement of
+/// a minimum vertex cover, which Hopcroft–Karp yields. Returns
+/// (left-selected flags, right-selected flags); |MIS| = |V| − matching size.
+struct IndependentSet {
+  std::vector<char> left;
+  std::vector<char> right;
+  std::size_t size = 0;
+};
+IndependentSet maximum_independent_set(const BipartiteGraph& g);
+
+}  // namespace bcc

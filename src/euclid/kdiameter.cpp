@@ -1,0 +1,159 @@
+#include "euclid/kdiameter.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace bcc {
+namespace {
+
+/// Lens membership and bipartite split for one candidate diameter pair.
+struct LensSplit {
+  std::vector<NodeId> side_a;  // strictly left of line p→q
+  std::vector<NodeId> side_b;  // strictly right
+  std::vector<NodeId> free;    // colinear (on segment pq): conflict-free
+};
+
+LensSplit build_lens(const std::vector<Point2>& points, NodeId p, NodeId q,
+                     double d_pq) {
+  LensSplit out;
+  for (NodeId x = 0; x < points.size(); ++x) {
+    if (x == p || x == q) continue;
+    if (dist2d(points[x], points[p]) > d_pq) continue;
+    if (dist2d(points[x], points[q]) > d_pq) continue;
+    const double o = orient2d(points[p], points[q], points[x]);
+    if (o > 0.0) {
+      out.side_a.push_back(x);
+    } else if (o < 0.0) {
+      out.side_b.push_back(x);
+    } else {
+      // Colinear lens points lie on segment pq, hence within d_pq of every
+      // other lens point: never in conflict.
+      out.free.push_back(x);
+    }
+  }
+  return out;
+}
+
+/// Maximum cluster achievable for the pair (p, q): {p, q} ∪ free ∪ MIS of
+/// the cross-line conflict graph (conflict = distance > l).
+Cluster best_cluster_for_pair(const std::vector<Point2>& points, NodeId p,
+                              NodeId q, double l) {
+  const double d_pq = dist2d(points[p], points[q]);
+  const LensSplit lens = build_lens(points, p, q, d_pq);
+
+  BipartiteGraph g(lens.side_a.size(), lens.side_b.size());
+  for (std::size_t i = 0; i < lens.side_a.size(); ++i) {
+    for (std::size_t j = 0; j < lens.side_b.size(); ++j) {
+      if (dist2d(points[lens.side_a[i]], points[lens.side_b[j]]) > l) {
+        g.add_edge(i, j);
+      }
+    }
+  }
+  const IndependentSet mis = maximum_independent_set(g);
+
+  Cluster cluster = {p, q};
+  cluster.insert(cluster.end(), lens.free.begin(), lens.free.end());
+  for (std::size_t i = 0; i < lens.side_a.size(); ++i) {
+    if (mis.left[i]) cluster.push_back(lens.side_a[i]);
+  }
+  for (std::size_t j = 0; j < lens.side_b.size(); ++j) {
+    if (mis.right[j]) cluster.push_back(lens.side_b[j]);
+  }
+  return cluster;
+}
+
+}  // namespace
+
+std::optional<Cluster> find_cluster_euclidean(const std::vector<Point2>& points,
+                                              std::size_t k, double l,
+                                              bool tightest_first) {
+  BCC_REQUIRE(k >= 2);
+  BCC_REQUIRE(l >= 0.0);
+  const std::size_t n = points.size();
+  if (k > n) return std::nullopt;
+  struct PairEntry {
+    double dist;
+    NodeId p, q;
+  };
+  std::vector<PairEntry> pairs;
+  for (NodeId p = 0; p < n; ++p) {
+    for (NodeId q = p + 1; q < n; ++q) {
+      const double d_pq = dist2d(points[p], points[q]);
+      if (d_pq <= l) pairs.push_back(PairEntry{d_pq, p, q});
+    }
+  }
+  if (tightest_first) {
+    std::sort(pairs.begin(), pairs.end(),
+              [](const PairEntry& a, const PairEntry& b) {
+                if (a.dist != b.dist) return a.dist < b.dist;
+                if (a.p != b.p) return a.p < b.p;
+                return a.q < b.q;
+              });
+  }
+  for (const PairEntry& pair : pairs) {
+    Cluster c = best_cluster_for_pair(points, pair.p, pair.q, l);
+    if (c.size() >= k) {
+      c.resize(k);
+      return c;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t max_cluster_size_euclidean(const std::vector<Point2>& points,
+                                       double l) {
+  BCC_REQUIRE(l >= 0.0);
+  const std::size_t n = points.size();
+  if (n == 0) return 0;
+  std::size_t best = 1;
+  for (NodeId p = 0; p < n; ++p) {
+    for (NodeId q = p + 1; q < n; ++q) {
+      if (dist2d(points[p], points[q]) > l) continue;
+      best = std::max(best, best_cluster_for_pair(points, p, q, l).size());
+    }
+  }
+  return best;
+}
+
+namespace {
+
+void max_clique_rec(const std::vector<std::vector<char>>& ok,
+                    std::vector<NodeId>& candidates, std::size_t chosen,
+                    std::size_t& best) {
+  if (chosen + candidates.size() <= best) return;  // bound
+  if (candidates.empty()) {
+    best = std::max(best, chosen);
+    return;
+  }
+  // Branch on the first candidate: include it, then exclude it.
+  NodeId v = candidates.front();
+  std::vector<NodeId> with;
+  for (NodeId u : candidates) {
+    if (u != v && ok[v][u]) with.push_back(u);
+  }
+  max_clique_rec(ok, with, chosen + 1, best);
+  std::vector<NodeId> without(candidates.begin() + 1, candidates.end());
+  max_clique_rec(ok, without, chosen, best);
+}
+
+}  // namespace
+
+std::size_t max_cluster_size_euclidean_bruteforce(
+    const std::vector<Point2>& points, double l) {
+  const std::size_t n = points.size();
+  if (n == 0) return 0;
+  std::vector<std::vector<char>> ok(n, std::vector<char>(n, 0));
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      ok[i][j] = (i != j) && dist2d(points[i], points[j]) <= l;
+    }
+  }
+  std::vector<NodeId> all(n);
+  for (NodeId i = 0; i < n; ++i) all[i] = i;
+  std::size_t best = 0;
+  max_clique_rec(ok, all, 0, best);
+  return best;
+}
+
+}  // namespace bcc

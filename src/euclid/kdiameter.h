@@ -1,0 +1,44 @@
+// Diameter-constrained clustering of 2-D points — the comparison model's
+// clustering algorithm (paper §IV.A), adapted from Aggarwal et al.,
+// "Finding k points with minimum diameter and related problems" (SoCG'89).
+//
+// For each candidate diameter pair (p, q) with ‖pq‖ ≤ l, collect the lens
+//   S = { x : ‖xp‖ ≤ ‖pq‖ ∧ ‖xq‖ ≤ ‖pq‖ },
+// split it by the line through p and q (each half-lens has diameter at most
+// ‖pq‖, so conflicts — pairs farther apart than l — only occur across the
+// line), and find the maximum independent set of the bipartite conflict
+// graph via König/Hopcroft–Karp. If |MIS| (plus p, q) reaches k, a cluster
+// with diameter ≤ l exists and is returned.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "euclid/hopcroft_karp.h"
+#include "euclid/point2.h"
+#include "metric/distance_matrix.h"
+
+namespace bcc {
+
+/// Finds k points with pairwise distance at most l, or nullopt if no such
+/// set exists among `points`. O(n^2) candidate pairs × O(n^2·sqrt(n))
+/// worst-case matching; fine at simulation scale (n ≤ a few hundred).
+/// Requires k >= 2. With `tightest_first` (default) candidate diameter
+/// pairs are scanned in ascending distance (best cluster quality); with
+/// false the first feasible pair in index order wins ("any" cluster, as in
+/// the paper's evaluation).
+std::optional<Cluster> find_cluster_euclidean(const std::vector<Point2>& points,
+                                              std::size_t k, double l,
+                                              bool tightest_first = true);
+
+/// Largest cluster size achievable with diameter at most l (>= 2 pair, or
+/// 1 if any point exists, 0 for empty input).
+std::size_t max_cluster_size_euclidean(const std::vector<Point2>& points,
+                                       double l);
+
+/// Exhaustive oracle for tests: true max clique size in the "distance <= l"
+/// graph over `points` (exponential; only for small n).
+std::size_t max_cluster_size_euclidean_bruteforce(
+    const std::vector<Point2>& points, double l);
+
+}  // namespace bcc

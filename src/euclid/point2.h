@@ -1,0 +1,25 @@
+// Small 2-D geometry helpers for the Euclidean k-diameter baseline.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace bcc {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double dist2d(const Point2& a, const Point2& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Signed area of triangle (a, b, c): > 0 if c lies to the left of a→b,
+/// < 0 to the right, 0 if colinear.
+inline double orient2d(const Point2& a, const Point2& b, const Point2& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+}  // namespace bcc

@@ -1,0 +1,27 @@
+#include "exp/common.h"
+
+#include "common/assert.h"
+
+namespace bcc::exp {
+
+std::vector<double> bandwidth_grid(double b_min, double b_max,
+                                   std::size_t steps) {
+  BCC_REQUIRE(b_min > 0.0 && b_max >= b_min && steps >= 1);
+  std::vector<double> grid;
+  grid.reserve(steps);
+  if (steps == 1) {
+    grid.push_back(b_min);
+    return grid;
+  }
+  for (std::size_t i = 0; i < steps; ++i) {
+    grid.push_back(b_min + (b_max - b_min) * static_cast<double>(i) /
+                               static_cast<double>(steps - 1));
+  }
+  return grid;
+}
+
+BandwidthClasses classes_for_grid(const std::vector<double>& grid, double c) {
+  return BandwidthClasses(grid, c);
+}
+
+}  // namespace bcc::exp

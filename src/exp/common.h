@@ -1,0 +1,22 @@
+// Shared plumbing for the figure-reproduction experiments (§IV).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bandwidth_classes.h"
+#include "data/planetlab_synth.h"
+
+namespace bcc::exp {
+
+/// Evenly spaced bandwidth grid [b_min, b_max] with `steps` values — used
+/// both as the query-constraint sweep and as the system's bandwidth classes
+/// (so decentralized queries snap exactly onto the sweep).
+std::vector<double> bandwidth_grid(double b_min, double b_max,
+                                   std::size_t steps);
+
+/// Bandwidth classes covering the sweep grid.
+BandwidthClasses classes_for_grid(const std::vector<double>& grid,
+                                  double c = kDefaultTransformC);
+
+}  // namespace bcc::exp

@@ -1,0 +1,117 @@
+#include "exp/fig3.h"
+
+#include "core/system.h"
+#include "euclid/kdiameter.h"
+#include "exp/common.h"
+#include "stats/accuracy.h"
+#include "tree/embedder.h"
+
+namespace bcc::exp {
+
+Fig3Result run_fig3(const SynthDataset& data, const Fig3Params& params,
+                    std::uint64_t seed) {
+  BCC_REQUIRE(params.rounds >= 1 && params.k >= 2);
+  const std::size_t n = data.bandwidth.size();
+  BCC_REQUIRE(params.k <= n);
+  const double c = data.c;
+  const std::vector<double> grid =
+      bandwidth_grid(params.b_min, params.b_max, params.b_steps);
+
+  std::vector<WprAccumulator> wpr_tc(grid.size()), wpr_td(grid.size()),
+      wpr_ec(grid.size());
+  std::vector<RrAccumulator> rr_tc(grid.size()), rr_td(grid.size()),
+      rr_ec(grid.size());
+  std::vector<double> tree_errors, eucl_errors;
+
+  Rng master(seed);
+  for (std::size_t round = 0; round < params.rounds; ++round) {
+    Rng round_rng = master.split(round);
+
+    // --- Tree framework (shared by TREE-CENTRAL and TREE-DECENTRAL).
+    Framework fw = build_framework(data.distances, round_rng);
+    const DistanceMatrix tree_pred = fw.predicted_distances();
+    {
+      auto errs = relative_bandwidth_errors(data.bandwidth, tree_pred, c);
+      tree_errors.insert(tree_errors.end(), errs.begin(), errs.end());
+    }
+    FindClusterOptions find_options;
+    if (params.paper_faithful_order) {
+      find_options.order = FindClusterOptions::PairOrder::kIndexOrder;
+    }
+    SystemOptions sys_options;
+    sys_options.n_cut = params.n_cut;
+    sys_options.find_options = find_options;
+    DecentralizedClusterSystem sys(fw.anchors, tree_pred,
+                                   classes_for_grid(grid, c), sys_options);
+    sys.run_to_convergence();
+
+    // --- Euclidean baseline (Vivaldi coordinates).
+    Rng vivaldi_rng = round_rng.split(1);
+    Vivaldi vivaldi(n, vivaldi_rng, params.vivaldi);
+    vivaldi.run(data.distances);
+    const DistanceMatrix eucl_pred = vivaldi.predicted_distances();
+    {
+      auto errs = relative_bandwidth_errors(data.bandwidth, eucl_pred, c);
+      eucl_errors.insert(eucl_errors.end(), errs.begin(), errs.end());
+    }
+    std::vector<Point2> points(n);
+    for (NodeId i = 0; i < n; ++i) {
+      points[i] = Point2{vivaldi.coord(i).x, vivaldi.coord(i).y};
+    }
+
+    Rng query_rng = round_rng.split(2);
+    for (std::size_t bi = 0; bi < grid.size(); ++bi) {
+      const double b = grid[bi];
+      const double l = bandwidth_to_distance(b, c);
+
+      // Centralized approaches are deterministic per (round, b): evaluate
+      // once; WPR is a pair ratio so repetition would not change it.
+      if (auto cluster = find_cluster(tree_pred, params.k, l, find_options)) {
+        wpr_tc[bi].add_cluster(data.bandwidth, *cluster, b);
+        rr_tc[bi].add_query(true);
+      } else {
+        rr_tc[bi].add_query(false);
+      }
+      if (auto cluster = find_cluster_euclidean(
+              points, params.k, l,
+              /*tightest_first=*/!params.paper_faithful_order)) {
+        wpr_ec[bi].add_cluster(data.bandwidth, *cluster, b);
+        rr_ec[bi].add_query(true);
+      } else {
+        rr_ec[bi].add_query(false);
+      }
+
+      // Decentralized: different entry nodes may return different clusters.
+      const auto cls = sys.classes().class_for_bandwidth(b);
+      BCC_ASSERT(cls.has_value());  // grid == classes by construction
+      for (std::size_t q = 0; q < params.queries_per_b; ++q) {
+        const NodeId start = static_cast<NodeId>(query_rng.below(n));
+        const QueryOutcome outcome = sys.query_class(start, params.k, *cls);
+        rr_td[bi].add_query(outcome.found());
+        if (outcome.found()) {
+          wpr_td[bi].add_cluster(data.bandwidth, outcome.cluster, b);
+        }
+      }
+    }
+  }
+
+  Fig3Result result;
+  for (std::size_t bi = 0; bi < grid.size(); ++bi) {
+    Fig3Row row;
+    row.b = grid[bi];
+    row.wpr_tree_central = wpr_tc[bi].rate();
+    row.wpr_tree_decentral = wpr_td[bi].rate();
+    row.wpr_eucl_central = wpr_ec[bi].rate();
+    row.rr_tree_central = rr_tc[bi].rate();
+    row.rr_tree_decentral = rr_td[bi].rate();
+    row.rr_eucl_central = rr_ec[bi].rate();
+    result.rows.push_back(row);
+  }
+  result.tree_error_cdf = empirical_cdf(tree_errors, 400);
+  result.eucl_error_cdf = empirical_cdf(eucl_errors, 400);
+  result.tree_median_error = median(tree_errors);
+  result.eucl_median_error = median(eucl_errors);
+  return result;
+}
+
+}  // namespace bcc::exp

@@ -1,0 +1,85 @@
+#include "exp/fig4.h"
+
+#include "core/system.h"
+#include "exp/common.h"
+#include "stats/accuracy.h"
+#include "tree/embedder.h"
+
+namespace bcc::exp {
+namespace {
+
+std::vector<std::size_t> k_grid(const Fig4Params& params) {
+  BCC_REQUIRE(params.k_min >= 2 && params.k_max >= params.k_min &&
+              params.k_steps >= 1);
+  std::vector<std::size_t> grid;
+  if (params.k_steps == 1) {
+    grid.push_back(params.k_min);
+    return grid;
+  }
+  for (std::size_t i = 0; i < params.k_steps; ++i) {
+    const double frac =
+        static_cast<double>(i) / static_cast<double>(params.k_steps - 1);
+    const auto k = static_cast<std::size_t>(
+        static_cast<double>(params.k_min) +
+        frac * static_cast<double>(params.k_max - params.k_min) + 0.5);
+    if (grid.empty() || grid.back() != k) grid.push_back(k);
+  }
+  return grid;
+}
+
+}  // namespace
+
+Fig4Result run_fig4(const SynthDataset& data, const Fig4Params& params,
+                    std::uint64_t seed) {
+  const std::size_t n = data.bandwidth.size();
+  const double c = data.c;
+  const std::vector<double> b_grid =
+      bandwidth_grid(params.b_min, params.b_max, params.b_steps);
+  const std::vector<std::size_t> ks = k_grid(params);
+
+  std::vector<RrAccumulator> rr_central(ks.size()), rr_decentral(ks.size());
+
+  Rng master(seed);
+  for (std::size_t round = 0; round < params.rounds; ++round) {
+    Rng round_rng = master.split(round);
+    Framework fw = build_framework(data.distances, round_rng);
+    const DistanceMatrix pred = fw.predicted_distances();
+
+    SystemOptions sys_options;
+    sys_options.n_cut = params.n_cut;
+    const BandwidthClasses classes = classes_for_grid(b_grid, c);
+    DecentralizedClusterSystem sys(fw.anchors, pred, classes, sys_options);
+    sys.run_to_convergence();
+
+    // Centralized ground capability: one O(n^3) pass tabulates the max
+    // cluster size per class; a query succeeds iff k <= that size.
+    std::vector<NodeId> universe(n);
+    for (NodeId i = 0; i < n; ++i) universe[i] = i;
+    std::vector<double> ls(classes.size());
+    for (std::size_t i = 0; i < ls.size(); ++i) ls[i] = classes.distance_at(i);
+    const auto central_max = max_cluster_sizes_for_classes(pred, universe, ls);
+
+    Rng query_rng = round_rng.split(1);
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      const std::size_t k = ks[ki];
+      for (std::size_t q = 0; q < params.queries_per_k; ++q) {
+        const double b =
+            b_grid[static_cast<std::size_t>(query_rng.below(b_grid.size()))];
+        const auto cls = classes.class_for_bandwidth(b);
+        BCC_ASSERT(cls.has_value());
+        rr_central[ki].add_query(k <= central_max[*cls] && k <= n);
+        const NodeId start = static_cast<NodeId>(query_rng.below(n));
+        rr_decentral[ki].add_query(sys.query_class(start, k, *cls).found());
+      }
+    }
+  }
+
+  Fig4Result result;
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    result.rows.push_back(
+        Fig4Row{ks[ki], rr_central[ki].rate(), rr_decentral[ki].rate()});
+  }
+  return result;
+}
+
+}  // namespace bcc::exp

@@ -1,0 +1,43 @@
+// Figure 4 (paper §IV.B): the tradeoff of decentralization — Return Rate as
+// the cluster-size constraint k grows, centralized vs decentralized.
+//
+// The centralized approach sees the whole predicted metric; the
+// decentralized one only per-node clustering spaces bounded by n_cut, so its
+// RR drops earlier for difficult (large-k) queries. For k below ~20% of the
+// system both should be nearly identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/planetlab_synth.h"
+
+namespace bcc::exp {
+
+struct Fig4Params {
+  std::size_t rounds = 20;       // frameworks with different seeds
+  std::size_t queries_per_k = 10;  // random (b, entry) samples per k, round
+  std::size_t k_min = 2;
+  std::size_t k_max = 90;
+  std::size_t k_steps = 10;
+  double b_min = 15.0;
+  double b_max = 75.0;
+  std::size_t b_steps = 5;
+  std::size_t n_cut = 10;
+};
+
+struct Fig4Row {
+  std::size_t k = 0;
+  double rr_central = 0.0;
+  double rr_decentral = 0.0;
+};
+
+struct Fig4Result {
+  std::vector<Fig4Row> rows;
+};
+
+/// Runs the Fig. 4 experiment on a dataset. Deterministic for a given seed.
+Fig4Result run_fig4(const SynthDataset& data, const Fig4Params& params,
+                    std::uint64_t seed);
+
+}  // namespace bcc::exp

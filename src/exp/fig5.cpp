@@ -1,0 +1,123 @@
+#include "exp/fig5.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/find_cluster.h"
+#include "data/subsets.h"
+#include "exp/common.h"
+#include "metric/four_point.h"
+#include "stats/accuracy.h"
+#include "tree/embedder.h"
+
+namespace bcc::exp {
+namespace {
+
+/// One treeness variant: its bandwidth/distance matrices and ε_avg.
+struct Variant {
+  BandwidthMatrix bandwidth;
+  DistanceMatrix distances;
+  double epsilon_avg = 0.0;
+};
+
+std::vector<Variant> make_noise_variants(const Fig5Params& params,
+                                         std::uint64_t seed) {
+  std::vector<Variant> variants;
+  for (std::size_t i = 0; i < params.variants; ++i) {
+    const double frac = params.variants == 1
+                            ? 0.0
+                            : static_cast<double>(i) /
+                                  static_cast<double>(params.variants - 1);
+    SynthOptions options;
+    options.hosts = params.dataset_size;
+    options.noise_sigma =
+        params.noise_min + frac * (params.noise_max - params.noise_min);
+    options.target_p20 = params.target_p20;
+    options.target_p80 = params.target_p80;
+    // Same structural seed across variants: only the noise level differs.
+    Rng rng(seed + 17);
+    SynthDataset data = synthesize_planetlab(options, rng);
+    Variant v;
+    v.bandwidth = std::move(data.bandwidth);
+    v.distances = std::move(data.distances);
+    Rng est(seed + 31 + i);
+    v.epsilon_avg = estimate_treeness(v.distances, est, 30000).epsilon_avg;
+    variants.push_back(std::move(v));
+  }
+  return variants;
+}
+
+std::vector<Variant> make_subset_variants(const SynthDataset& base,
+                                          const Fig5Params& params,
+                                          std::uint64_t seed) {
+  Rng rng(seed + 53);
+  const auto subsets = treeness_spread_subsets(
+      base.distances, params.dataset_size, params.variants,
+      params.subset_candidates, rng);
+  std::vector<Variant> variants;
+  for (const auto& s : subsets) {
+    Variant v;
+    v.bandwidth = extract_bandwidth(base.bandwidth, s.indices);
+    v.distances = base.distances.submatrix(s.indices);
+    v.epsilon_avg = s.epsilon_avg;
+    variants.push_back(std::move(v));
+  }
+  return variants;
+}
+
+}  // namespace
+
+Fig5Result run_fig5(const SynthDataset& base, const Fig5Params& params,
+                    std::uint64_t seed) {
+  BCC_REQUIRE(params.k >= 2 && params.variants >= 1);
+  const std::vector<double> grid =
+      bandwidth_grid(params.b_min, params.b_max, params.b_steps);
+
+  std::vector<Variant> variants =
+      params.mode == Fig5Mode::kNoiseSweep
+          ? make_noise_variants(params, seed)
+          : make_subset_variants(base, params, seed);
+  std::sort(variants.begin(), variants.end(),
+            [](const Variant& a, const Variant& b) {
+              return a.epsilon_avg < b.epsilon_avg;
+            });
+
+  Fig5Result result;
+  Rng master(seed);
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    const Variant& variant = variants[vi];
+    const double c = base.c;
+    std::vector<WprAccumulator> wpr(grid.size());
+
+    for (std::size_t round = 0; round < params.rounds; ++round) {
+      Rng round_rng = master.split(vi * 1000 + round);
+      Framework fw = build_framework(variant.distances, round_rng);
+      const DistanceMatrix pred = fw.predicted_distances();
+      for (std::size_t bi = 0; bi < grid.size(); ++bi) {
+        const double l = bandwidth_to_distance(grid[bi], c);
+        if (auto cluster = find_cluster(pred, params.k, l)) {
+          wpr[bi].add_cluster(variant.bandwidth, *cluster, grid[bi]);
+        }
+      }
+    }
+
+    Fig5Series series;
+    series.epsilon_avg = variant.epsilon_avg;
+    const double eps_star_v = epsilon_star(variant.epsilon_avg);
+    for (std::size_t bi = 0; bi < grid.size(); ++bi) {
+      Fig5Point point;
+      point.b = grid[bi];
+      point.f_b = f_b(variant.bandwidth, grid[bi]);
+      point.f_a = f_a(variant.bandwidth, grid[bi]);
+      point.wpr = wpr[bi].rate();
+      const double fas = f_a_star(point.f_a, params.alpha);
+      point.wpr_normalized = std::pow(point.wpr, fas);
+      point.wpr_model = wpr_model(point.f_b, eps_star_v, fas);
+      series.points.push_back(point);
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+}  // namespace bcc::exp

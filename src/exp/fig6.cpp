@@ -1,0 +1,93 @@
+#include "exp/fig6.h"
+
+#include <algorithm>
+
+#include "core/system.h"
+#include "data/subsets.h"
+#include "exp/common.h"
+#include "stats/accuracy.h"
+#include "stats/bootstrap.h"
+#include "tree/embedder.h"
+
+namespace bcc::exp {
+
+Fig6Result run_fig6(const SynthDataset& base, const Fig6Params& params,
+                    std::uint64_t seed) {
+  BCC_REQUIRE(!params.sizes.empty());
+  for (std::size_t n : params.sizes) {
+    BCC_REQUIRE(n >= 4 && n <= base.bandwidth.size());
+  }
+  const std::vector<double> b_grid =
+      bandwidth_grid(params.b_min, params.b_max, params.b_steps);
+  const double c = base.c;
+
+  Fig6Result result;
+  Rng master(seed);
+  for (std::size_t si = 0; si < params.sizes.size(); ++si) {
+    const std::size_t n = params.sizes[si];
+    double hop_sum_found = 0.0, max_hops = 0.0;
+    std::size_t queries_found = 0;
+    std::vector<double> hop_samples;
+
+    for (std::size_t ds = 0; ds < params.datasets_per_size; ++ds) {
+      Rng subset_rng = master.split(si * 100 + ds);
+      const auto indices = random_subset(base.bandwidth.size(), n, subset_rng);
+      const DistanceMatrix real = base.distances.submatrix(indices);
+      const BandwidthMatrix bw = extract_bandwidth(base.bandwidth, indices);
+
+      for (std::size_t round = 0; round < params.rounds; ++round) {
+        Rng round_rng = subset_rng.split(round);
+        Framework fw = build_framework(real, round_rng);
+        SystemOptions sys_options;
+        sys_options.n_cut = params.n_cut;
+        const BandwidthClasses classes = classes_for_grid(b_grid, c);
+        DecentralizedClusterSystem sys(fw.anchors, fw.predicted_distances(),
+                                       classes, sys_options);
+        sys.run_to_convergence();
+
+        Rng query_rng = round_rng.split(7);
+        for (std::size_t q = 0; q < params.queries; ++q) {
+          const double frac = query_rng.uniform(params.k_frac_min,
+                                                params.k_frac_max);
+          const std::size_t k = std::max<std::size_t>(
+              2, static_cast<std::size_t>(frac * static_cast<double>(n)));
+          const double b =
+              b_grid[static_cast<std::size_t>(query_rng.below(b_grid.size()))];
+          const auto cls = classes.class_for_bandwidth(b);
+          BCC_ASSERT(cls.has_value());
+          const NodeId start = static_cast<NodeId>(query_rng.below(n));
+          const QueryOutcome outcome = sys.query_class(start, k, *cls);
+          const auto hops = static_cast<double>(outcome.hops);
+          hop_samples.push_back(hops);
+          max_hops = std::max(max_hops, hops);
+          if (outcome.found()) {
+            hop_sum_found += hops;
+            ++queries_found;
+          }
+        }
+      }
+    }
+
+    Fig6Row row;
+    row.n = n;
+    if (!hop_samples.empty()) {
+      Rng ci_rng = master.split(900 + si);
+      const ConfidenceInterval ci = bootstrap_mean_ci(hop_samples, ci_rng);
+      row.avg_hops = ci.point;
+      row.hops_ci_lo = ci.lo;
+      row.hops_ci_hi = ci.hi;
+    }
+    row.avg_hops_found =
+        queries_found ? hop_sum_found / static_cast<double>(queries_found)
+                      : 0.0;
+    row.max_hops = max_hops;
+    row.rr = hop_samples.empty()
+                 ? 0.0
+                 : static_cast<double>(queries_found) /
+                       static_cast<double>(hop_samples.size());
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace bcc::exp

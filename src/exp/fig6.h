@@ -1,0 +1,49 @@
+// Figure 6 (paper §IV.D): scalability of query routing — the mean number of
+// routing hops as the system size n grows.
+//
+// For each n, several random subsets of a base dataset each get their own
+// prediction framework and converged overlay; (k, b) queries with k scaled
+// to 5–30% of n enter at random nodes and their Algorithm 4 hop counts are
+// averaged. The paper reports ~2–3 hops, growing slowly and concavely in n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/planetlab_synth.h"
+
+namespace bcc::exp {
+
+struct Fig6Params {
+  std::vector<std::size_t> sizes = {50, 100, 150, 200, 250, 300};
+  std::size_t datasets_per_size = 5;  // random subsets per n
+  std::size_t rounds = 2;             // frameworks per subset
+  std::size_t queries = 100;          // per framework
+  double b_min = 30.0;                // UMD defaults
+  double b_max = 110.0;
+  std::size_t b_steps = 5;
+  double k_frac_min = 0.05;
+  double k_frac_max = 0.30;
+  std::size_t n_cut = 10;
+};
+
+struct Fig6Row {
+  std::size_t n = 0;
+  double avg_hops = 0.0;        // over all queries
+  double hops_ci_lo = 0.0;      // 95% bootstrap CI of the mean
+  double hops_ci_hi = 0.0;
+  double avg_hops_found = 0.0;  // over answered queries only
+  double max_hops = 0.0;
+  double rr = 0.0;              // return rate (context for the hop numbers)
+};
+
+struct Fig6Result {
+  std::vector<Fig6Row> rows;
+};
+
+/// Runs the Fig. 6 experiment over subsets of `base` (which must be at least
+/// as large as the largest requested size). Deterministic for a given seed.
+Fig6Result run_fig6(const SynthDataset& base, const Fig6Params& params,
+                    std::uint64_t seed);
+
+}  // namespace bcc::exp

@@ -1,0 +1,125 @@
+#include "metric/bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcc {
+
+BandwidthMatrix::BandwidthMatrix(std::size_t n, double fill)
+    : n_(n), tri_(n < 2 ? 0 : n * (n - 1) / 2, fill) {
+  BCC_REQUIRE(fill > 0.0);
+}
+
+BandwidthMatrix BandwidthMatrix::symmetrized_from_rows(
+    const std::vector<std::vector<double>>& rows) {
+  const std::size_t n = rows.size();
+  for (const auto& row : rows) BCC_REQUIRE(row.size() == n);
+  BandwidthMatrix m(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < u; ++v) {
+      BCC_REQUIRE(rows[u][v] > 0.0 && rows[v][u] > 0.0);
+      m.set(u, v, 0.5 * (rows[u][v] + rows[v][u]));
+    }
+  }
+  return m;
+}
+
+void BandwidthMatrix::set(NodeId u, NodeId v, double value) {
+  BCC_REQUIRE(u < n_ && v < n_ && u != v);
+  BCC_REQUIRE(value > 0.0);
+  tri_[tri_index(u, v)] = value;
+}
+
+std::vector<double> BandwidthMatrix::pair_values() const { return tri_; }
+
+double BandwidthMatrix::percentile(double p) const {
+  BCC_REQUIRE(p >= 0.0 && p <= 100.0);
+  BCC_REQUIRE(!tri_.empty());
+  std::vector<double> sorted = tri_;
+  std::sort(sorted.begin(), sorted.end());
+  // Linear interpolation between closest ranks.
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+DistanceMatrix BandwidthMatrix::to_distance(double c) const {
+  return rational_transform(*this, c);
+}
+
+std::vector<std::vector<double>> BandwidthMatrix::to_rows() const {
+  std::vector<std::vector<double>> rows(
+      n_, std::vector<double>(n_, std::numeric_limits<double>::infinity()));
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v = 0; v < u; ++v) {
+      rows[u][v] = rows[v][u] = at(u, v);
+    }
+  }
+  return rows;
+}
+
+double bandwidth_to_distance(double bw, double c) {
+  BCC_REQUIRE(c > 0.0);
+  BCC_REQUIRE(bw > 0.0);
+  if (std::isinf(bw)) return 0.0;
+  return c / bw;
+}
+
+double distance_to_bandwidth(double d, double c) {
+  BCC_REQUIRE(c > 0.0);
+  BCC_REQUIRE(d >= 0.0);
+  if (d == 0.0) return std::numeric_limits<double>::infinity();
+  return c / d;
+}
+
+DistanceMatrix rational_transform(const BandwidthMatrix& bw, double c) {
+  DistanceMatrix d(bw.size());
+  for (NodeId u = 0; u < bw.size(); ++u) {
+    for (NodeId v = 0; v < u; ++v) {
+      d.set(u, v, bandwidth_to_distance(bw.at(u, v), c));
+    }
+  }
+  return d;
+}
+
+DistanceMatrix linear_transform(const BandwidthMatrix& bw, double c,
+                                double floor) {
+  BCC_REQUIRE(c > 0.0 && floor > 0.0);
+  DistanceMatrix d(bw.size());
+  for (NodeId u = 0; u < bw.size(); ++u) {
+    for (NodeId v = u + 1; v < bw.size(); ++v) {
+      d.set(u, v, std::max(floor, c - bw.at(u, v)));
+    }
+  }
+  return d;
+}
+
+DistanceMatrix linear_transform_auto(const BandwidthMatrix& bw, double* c_out) {
+  BCC_REQUIRE(bw.size() >= 2);
+  double max_bw = 0.0;
+  for (double v : bw.pair_values()) max_bw = std::max(max_bw, v);
+  const double c = 1.01 * max_bw;
+  if (c_out) *c_out = c;
+  return linear_transform(bw, c);
+}
+
+double linear_distance_to_bandwidth(double d, double c, double floor) {
+  BCC_REQUIRE(c > 0.0 && floor > 0.0);
+  BCC_REQUIRE(d >= 0.0);
+  return std::max(floor, c - d);
+}
+
+BandwidthMatrix inverse_rational_transform(const DistanceMatrix& d, double c) {
+  BandwidthMatrix bw(d.size());
+  for (NodeId u = 0; u < d.size(); ++u) {
+    for (NodeId v = 0; v < u; ++v) {
+      BCC_REQUIRE(d.at(u, v) > 0.0);
+      bw.set(u, v, distance_to_bandwidth(d.at(u, v), c));
+    }
+  }
+  return bw;
+}
+
+}  // namespace bcc

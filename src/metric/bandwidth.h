@@ -1,0 +1,100 @@
+// Bandwidth matrices and the rational transform between bandwidth and
+// distance (paper §II.B).
+//
+// Bandwidth is "bigger is better"; metric-space algorithms want "smaller is
+// closer".  The paper bridges the two with the rational transform
+//     d(u,v) = C / BW(u,v),        BW(u,v) = C / d(u,v)
+// for a positive constant C.  A bandwidth constraint b maps to a distance
+// (diameter) constraint l = C / b.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "metric/distance_matrix.h"
+
+namespace bcc {
+
+/// Default transform constant. Any positive value works; all conversions take
+/// it as a parameter so datasets with different units can pick their own.
+inline constexpr double kDefaultTransformC = 1000.0;
+
+/// Symmetric matrix of pairwise bandwidth values (Mbps by convention).
+/// BW(u,u) is treated as +infinity (a node has unbounded bandwidth to
+/// itself), which makes the induced distance d(u,u) = 0.
+class BandwidthMatrix {
+ public:
+  BandwidthMatrix() = default;
+
+  /// n×n matrix with all off-diagonal bandwidths set to `fill` (> 0).
+  explicit BandwidthMatrix(std::size_t n, double fill = 1.0);
+
+  /// Symmetrizes an asymmetric full matrix by averaging forward/reverse
+  /// directions, exactly as the paper preprocesses both PlanetLab datasets.
+  /// All off-diagonal entries must be positive.
+  static BandwidthMatrix symmetrized_from_rows(
+      const std::vector<std::vector<double>>& rows);
+
+  std::size_t size() const { return n_; }
+
+  double at(NodeId u, NodeId v) const {
+    BCC_REQUIRE(u < n_ && v < n_);
+    if (u == v) return std::numeric_limits<double>::infinity();
+    return tri_[tri_index(u, v)];
+  }
+
+  /// Sets BW(u,v) = BW(v,u) = value. Requires u != v and value > 0.
+  void set(NodeId u, NodeId v, double value);
+
+  /// All off-diagonal bandwidths (each unordered pair once).
+  std::vector<double> pair_values() const;
+
+  /// The p-th percentile (p in [0,100]) of pairwise bandwidth.
+  double percentile(double p) const;
+
+  /// Rational transform to a distance matrix: d = C / BW.
+  DistanceMatrix to_distance(double c = kDefaultTransformC) const;
+
+  std::vector<std::vector<double>> to_rows() const;
+
+ private:
+  std::size_t tri_index(NodeId u, NodeId v) const {
+    if (u < v) std::swap(u, v);
+    return u * (u - 1) / 2 + v;
+  }
+
+  std::size_t n_ = 0;
+  std::vector<double> tri_;
+};
+
+/// d = C / bw. Requires bw > 0 (use BandwidthMatrix::at which returns +inf on
+/// the diagonal; C / inf == 0 is handled explicitly).
+double bandwidth_to_distance(double bw, double c = kDefaultTransformC);
+
+/// bw = C / d. Requires d > 0; d == 0 maps to +infinity.
+double distance_to_bandwidth(double d, double c = kDefaultTransformC);
+
+/// Builds a distance matrix from a bandwidth matrix (d = C / BW).
+DistanceMatrix rational_transform(const BandwidthMatrix& bw,
+                                  double c = kDefaultTransformC);
+
+/// The *linear* transform d = C − BW that prior coordinate systems tried for
+/// bandwidth and that the paper reports as a poor fit (§V) — kept as a
+/// baseline so the claim is reproducible (see bench/ablation_transform).
+/// Requires c > BW for every pair; distances are clamped to `floor` > 0.
+DistanceMatrix linear_transform(const BandwidthMatrix& bw, double c,
+                                double floor = 1e-6);
+
+/// linear_transform with c chosen automatically as 1.01 × max pair BW.
+DistanceMatrix linear_transform_auto(const BandwidthMatrix& bw,
+                                     double* c_out = nullptr);
+
+/// Inverse of the linear transform: BW = C − d (clamped to be positive).
+double linear_distance_to_bandwidth(double d, double c, double floor = 1e-6);
+
+/// Inverse: builds a bandwidth matrix from a distance matrix (BW = C / d).
+/// Off-diagonal zero distances are rejected.
+BandwidthMatrix inverse_rational_transform(const DistanceMatrix& d,
+                                           double c = kDefaultTransformC);
+
+}  // namespace bcc

@@ -1,0 +1,94 @@
+#include "metric/distance_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcc {
+
+DistanceMatrix::DistanceMatrix(std::size_t n, double fill)
+    : n_(n), tri_(n < 2 ? 0 : n * (n - 1) / 2, fill) {
+  BCC_REQUIRE(fill >= 0.0);
+}
+
+DistanceMatrix DistanceMatrix::from_rows(
+    const std::vector<std::vector<double>>& rows, double tolerance) {
+  const std::size_t n = rows.size();
+  for (const auto& row : rows) BCC_REQUIRE(row.size() == n);
+  DistanceMatrix m(n);
+  for (NodeId u = 0; u < n; ++u) {
+    BCC_REQUIRE(std::abs(rows[u][u]) <= tolerance);
+    for (NodeId v = 0; v < u; ++v) {
+      BCC_REQUIRE(std::abs(rows[u][v] - rows[v][u]) <= tolerance);
+      m.set(u, v, 0.5 * (rows[u][v] + rows[v][u]));
+    }
+  }
+  return m;
+}
+
+void DistanceMatrix::set(NodeId u, NodeId v, double value) {
+  BCC_REQUIRE(u < n_ && v < n_ && u != v);
+  BCC_REQUIRE(value >= 0.0);
+  tri_[tri_index(u, v)] = value;
+}
+
+double DistanceMatrix::max_distance() const {
+  double best = 0.0;
+  for (double v : tri_) best = std::max(best, v);
+  return best;
+}
+
+double DistanceMatrix::min_distance() const {
+  if (tri_.empty()) return 0.0;
+  double best = tri_[0];
+  for (double v : tri_) best = std::min(best, v);
+  return best;
+}
+
+double DistanceMatrix::diameter_of(std::span<const NodeId> subset) const {
+  double diam = 0.0;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    for (std::size_t j = i + 1; j < subset.size(); ++j) {
+      diam = std::max(diam, at(subset[i], subset[j]));
+    }
+  }
+  return diam;
+}
+
+DistanceMatrix DistanceMatrix::submatrix(std::span<const NodeId> subset) const {
+  DistanceMatrix out(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    BCC_REQUIRE(subset[i] < n_);
+    for (std::size_t j = i + 1; j < subset.size(); ++j) {
+      out.set(i, j, at(subset[i], subset[j]));
+    }
+  }
+  return out;
+}
+
+bool DistanceMatrix::satisfies_triangle_inequality(double slack) const {
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v = 0; v < n_; ++v) {
+      if (v == u) continue;
+      const double duv = at(u, v);
+      for (NodeId w = v + 1; w < n_; ++w) {
+        if (w == u) continue;
+        if (at(v, w) > duv + at(u, w) + slack) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> DistanceMatrix::pair_values() const { return tri_; }
+
+std::vector<std::vector<double>> DistanceMatrix::to_rows() const {
+  std::vector<std::vector<double>> rows(n_, std::vector<double>(n_, 0.0));
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v = 0; v < u; ++v) {
+      rows[u][v] = rows[v][u] = at(u, v);
+    }
+  }
+  return rows;
+}
+
+}  // namespace bcc

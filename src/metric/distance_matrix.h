@@ -1,0 +1,82 @@
+// Dense symmetric distance matrices — the finite metric spaces every
+// algorithm in bcc operates on.
+//
+// A DistanceMatrix stores the lower triangle of an n×n symmetric matrix with
+// zero diagonal.  It is the concrete representation of a metric space (V, d)
+// with V = {0, …, n−1}; whether the stored values actually satisfy metric /
+// tree-metric axioms is checked by the predicates below, not enforced by the
+// container (real measurement data violates them, and the paper's algorithms
+// must run on such data anyway).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace bcc {
+
+using NodeId = std::size_t;
+
+/// A cluster is a set of nodes, stored as a vector of metric-space ids.
+using Cluster = std::vector<NodeId>;
+
+/// Symmetric n×n matrix of doubles with a fixed zero diagonal.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+
+  /// n×n matrix, all off-diagonal entries initialised to `fill`.
+  explicit DistanceMatrix(std::size_t n, double fill = 0.0);
+
+  /// Builds from a full row-major square matrix; requires symmetry within
+  /// `tolerance` (entries are averaged) and a zero diagonal within tolerance.
+  static DistanceMatrix from_rows(const std::vector<std::vector<double>>& rows,
+                                  double tolerance = 1e-9);
+
+  std::size_t size() const { return n_; }
+
+  /// d(u, v). d(u, u) == 0 by construction.
+  double at(NodeId u, NodeId v) const {
+    BCC_REQUIRE(u < n_ && v < n_);
+    if (u == v) return 0.0;
+    return tri_[tri_index(u, v)];
+  }
+
+  /// Sets d(u, v) = d(v, u) = value. Requires u != v and value >= 0.
+  void set(NodeId u, NodeId v, double value);
+
+  /// max over all pairs.
+  double max_distance() const;
+  /// min over all off-diagonal pairs; 0 for n < 2.
+  double min_distance() const;
+
+  /// diam(S) = max_{u,v in S} d(u,v); 0 for |S| < 2.
+  double diameter_of(std::span<const NodeId> subset) const;
+
+  /// The principal submatrix induced by `subset` (order preserved).
+  DistanceMatrix submatrix(std::span<const NodeId> subset) const;
+
+  /// True if the triangle inequality holds for all triples within `slack`
+  /// (d(u,w) <= d(u,v) + d(v,w) + slack). O(n^3).
+  bool satisfies_triangle_inequality(double slack = 1e-9) const;
+
+  /// All off-diagonal values (each unordered pair once), unsorted.
+  std::vector<double> pair_values() const;
+
+  /// Full row-major representation (for CSV export).
+  std::vector<std::vector<double>> to_rows() const;
+
+ private:
+  std::size_t tri_index(NodeId u, NodeId v) const {
+    if (u < v) std::swap(u, v);
+    // row u, column v with v < u  ->  u*(u-1)/2 + v
+    return u * (u - 1) / 2 + v;
+  }
+
+  std::size_t n_ = 0;
+  std::vector<double> tri_;  // lower triangle, row by row
+};
+
+}  // namespace bcc

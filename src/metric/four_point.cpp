@@ -1,0 +1,101 @@
+#include "metric/four_point.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace bcc {
+namespace {
+
+/// The three pair-sums of a quartet (ascending) plus the largest pairwise
+/// distance among the six.
+struct QuartetSums {
+  double s1, s2, s3;
+  double d_max;
+};
+
+QuartetSums quartet_sums(const DistanceMatrix& d, NodeId w, NodeId x, NodeId y,
+                         NodeId z) {
+  const double dwx = d.at(w, x), dyz = d.at(y, z);
+  const double dwy = d.at(w, y), dxz = d.at(x, z);
+  const double dwz = d.at(w, z), dxy = d.at(x, y);
+  std::array<double, 3> sums = {dwx + dyz, dwy + dxz, dwz + dxy};
+  std::sort(sums.begin(), sums.end());
+  const double d_max = std::max({dwx, dyz, dwy, dxz, dwz, dxy});
+  return QuartetSums{sums[0], sums[1], sums[2], d_max};
+}
+
+}  // namespace
+
+double quartet_epsilon(const DistanceMatrix& d, NodeId w, NodeId x, NodeId y,
+                       NodeId z) {
+  const QuartetSums q = quartet_sums(d, w, x, y, z);
+  const double gap = q.s3 - q.s2;
+  if (gap <= 0.0 || q.d_max <= 0.0) return 0.0;  // 4PC holds / degenerate
+  return gap / (2.0 * q.d_max);
+}
+
+bool quartet_satisfies_4pc(const DistanceMatrix& d, NodeId w, NodeId x,
+                           NodeId y, NodeId z, double slack) {
+  const QuartetSums q = quartet_sums(d, w, x, y, z);
+  return q.s3 - q.s2 <= slack;
+}
+
+bool is_tree_metric(const DistanceMatrix& d, double slack) {
+  const std::size_t n = d.size();
+  for (NodeId w = 0; w < n; ++w) {
+    for (NodeId x = w + 1; x < n; ++x) {
+      for (NodeId y = x + 1; y < n; ++y) {
+        for (NodeId z = y + 1; z < n; ++z) {
+          if (!quartet_satisfies_4pc(d, w, x, y, z, slack)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TreenessStats estimate_treeness(const DistanceMatrix& d, Rng& rng,
+                                std::size_t max_samples) {
+  const std::size_t n = d.size();
+  TreenessStats stats;
+  if (n < 4) return stats;
+
+  // Exact count of quartets, saturating to avoid overflow for large n.
+  double total_quartets = static_cast<double>(n) * static_cast<double>(n - 1) *
+                          static_cast<double>(n - 2) *
+                          static_cast<double>(n - 3) / 24.0;
+
+  double sum = 0.0;
+  if (total_quartets <= static_cast<double>(max_samples)) {
+    for (NodeId w = 0; w < n; ++w) {
+      for (NodeId x = w + 1; x < n; ++x) {
+        for (NodeId y = x + 1; y < n; ++y) {
+          for (NodeId z = y + 1; z < n; ++z) {
+            const double eps = quartet_epsilon(d, w, x, y, z);
+            sum += eps;
+            stats.epsilon_max = std::max(stats.epsilon_max, eps);
+            ++stats.quartets;
+          }
+        }
+      }
+    }
+  } else {
+    while (stats.quartets < max_samples) {
+      auto ids = rng.sample_indices(n, 4);
+      const double eps = quartet_epsilon(d, ids[0], ids[1], ids[2], ids[3]);
+      sum += eps;
+      stats.epsilon_max = std::max(stats.epsilon_max, eps);
+      ++stats.quartets;
+    }
+  }
+  stats.epsilon_avg = stats.quartets ? sum / static_cast<double>(stats.quartets) : 0.0;
+  return stats;
+}
+
+double epsilon_star(double epsilon_avg) {
+  BCC_REQUIRE(epsilon_avg >= 0.0);
+  return 1.0 - 1.0 / (1.0 + epsilon_avg);
+}
+
+}  // namespace bcc

@@ -1,0 +1,55 @@
+// The four-point condition (4PC) and quartet-based treeness measures
+// (paper §II.A, §II.C, §IV.C; Abraham et al. [1], Ramasubramanian et al. [21]).
+//
+// For any four points w,x,y,z of a metric space, form the three pair-sums
+//   d(w,x)+d(y,z),  d(w,y)+d(x,z),  d(w,z)+d(x,y)
+// and sort them s1 <= s2 <= s3.  The metric is a tree metric iff s2 == s3 for
+// every quartet (Buneman's theorem).  The per-quartet violation
+//   epsilon = (s3 - s2) / (2 * max pairwise distance within the quartet)
+// is 0 iff 4PC holds for the quartet and is scale-free (multiplying all
+// distances by a constant leaves it unchanged).  The exact normalization
+// differs between [1] and [21] (which divide by a per-pair distance); we
+// normalize by the quartet's largest distance for numerical stability on
+// quartets containing near-coincident points — orderings of datasets by
+// treeness are insensitive to the choice (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "metric/distance_matrix.h"
+
+namespace bcc {
+
+/// Violation of 4PC for one quartet; 0 iff the quartet satisfies 4PC.
+/// Degenerate quartets (all relevant distances 0) report 0.
+double quartet_epsilon(const DistanceMatrix& d, NodeId w, NodeId x, NodeId y,
+                       NodeId z);
+
+/// True if the quartet satisfies 4PC within `slack`.
+bool quartet_satisfies_4pc(const DistanceMatrix& d, NodeId w, NodeId x,
+                           NodeId y, NodeId z, double slack = 1e-9);
+
+/// True if every quartet satisfies 4PC within `slack`. O(n^4) — intended for
+/// tests and small matrices.
+bool is_tree_metric(const DistanceMatrix& d, double slack = 1e-9);
+
+/// Summary of sampled quartet epsilons over a metric space.
+struct TreenessStats {
+  double epsilon_avg = 0.0;    // mean quartet epsilon (the paper's ε_avg)
+  double epsilon_max = 0.0;
+  std::size_t quartets = 0;    // number of quartets inspected
+};
+
+/// Estimates ε_avg by sampling quartets.  If C(n,4) <= max_samples all
+/// quartets are enumerated exactly; otherwise `max_samples` quartets are
+/// sampled uniformly at random with the supplied generator.
+TreenessStats estimate_treeness(const DistanceMatrix& d, Rng& rng,
+                                std::size_t max_samples = 100000);
+
+/// The paper's bounded transform ε* = 1 − 1/(1+ε)  (§IV.C), mapping
+/// [0,∞) → [0,1).
+double epsilon_star(double epsilon_avg);
+
+}  // namespace bcc

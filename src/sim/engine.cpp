@@ -1,0 +1,28 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace bcc {
+
+void Engine::add_protocol(std::shared_ptr<Protocol> protocol) {
+  BCC_REQUIRE(protocol != nullptr);
+  protocols_.push_back(std::move(protocol));
+}
+
+std::size_t Engine::run(std::size_t max_cycles) {
+  std::size_t executed = 0;
+  while (executed < max_cycles) {
+    if (std::all_of(protocols_.begin(), protocols_.end(),
+                    [](const auto& p) { return p->converged(); })) {
+      break;
+    }
+    for (auto& p : protocols_) p->execute_cycle(cycle_);
+    ++cycle_;
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace bcc

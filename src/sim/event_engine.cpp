@@ -1,0 +1,46 @@
+#include "sim/event_engine.h"
+
+namespace bcc {
+
+void EventEngine::schedule_at(SimTime t, Handler handler) {
+  BCC_REQUIRE(t >= now_);
+  BCC_REQUIRE(handler != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(handler)});
+}
+
+void EventEngine::schedule_after(SimTime delay, Handler handler) {
+  BCC_REQUIRE(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+void EventEngine::pop_and_run() {
+  // Move the handler out before popping: the handler may schedule new
+  // events, which mutates the queue.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.handler();
+}
+
+std::size_t EventEngine::run_until(SimTime t_end) {
+  BCC_REQUIRE(t_end >= now_);
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    pop_and_run();
+    ++count;
+  }
+  now_ = t_end;
+  return count;
+}
+
+std::size_t EventEngine::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (!queue_.empty() && count < max_events) {
+    pop_and_run();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace bcc

@@ -1,0 +1,35 @@
+#include "sim/metrics.h"
+
+namespace bcc {
+
+void MessageMetrics::record(const std::string& category, std::size_t bytes) {
+  Counter& c = counters_[category];
+  ++c.messages;
+  c.bytes += bytes;
+}
+
+std::size_t MessageMetrics::messages(const std::string& category) const {
+  auto it = counters_.find(category);
+  return it == counters_.end() ? 0 : it->second.messages;
+}
+
+std::size_t MessageMetrics::bytes(const std::string& category) const {
+  auto it = counters_.find(category);
+  return it == counters_.end() ? 0 : it->second.bytes;
+}
+
+std::size_t MessageMetrics::total_messages() const {
+  std::size_t total = 0;
+  for (const auto& [name, c] : counters_) total += c.messages;
+  return total;
+}
+
+std::size_t MessageMetrics::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, c] : counters_) total += c.bytes;
+  return total;
+}
+
+void MessageMetrics::reset() { counters_.clear(); }
+
+}  // namespace bcc

@@ -1,0 +1,36 @@
+// Message accounting for the simulated protocols: how many messages and
+// bytes the decentralized mechanisms exchange (used by the n_cut ablation —
+// the paper's §III.B.2 claims the n_cut limit "controls a messaging workload
+// in a distributed system", which the ablation quantifies).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bcc {
+
+/// Per-category message/byte counters.
+class MessageMetrics {
+ public:
+  /// Records one message of `bytes` payload under `category`.
+  void record(const std::string& category, std::size_t bytes);
+
+  std::size_t messages(const std::string& category) const;
+  std::size_t bytes(const std::string& category) const;
+
+  std::size_t total_messages() const;
+  std::size_t total_bytes() const;
+
+  void reset();
+
+ private:
+  struct Counter {
+    std::size_t messages = 0;
+    std::size_t bytes = 0;
+  };
+  std::map<std::string, Counter> counters_;
+};
+
+}  // namespace bcc

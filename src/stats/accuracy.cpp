@@ -1,0 +1,115 @@
+#include "stats/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace bcc {
+
+void WprAccumulator::add_cluster(const BandwidthMatrix& real,
+                                 const Cluster& cluster, double b) {
+  BCC_REQUIRE(b > 0.0);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    for (std::size_t j = i + 1; j < cluster.size(); ++j) {
+      ++total_;
+      if (real.at(cluster[i], cluster[j]) < b) ++wrong_;
+    }
+  }
+}
+
+double WprAccumulator::rate() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(wrong_) / static_cast<double>(total_);
+}
+
+WprAccumulator& WprAccumulator::operator+=(const WprAccumulator& other) {
+  wrong_ += other.wrong_;
+  total_ += other.total_;
+  return *this;
+}
+
+void RrAccumulator::add_query(bool found) {
+  ++total_;
+  if (found) ++found_;
+}
+
+double RrAccumulator::rate() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(found_) / static_cast<double>(total_);
+}
+
+RrAccumulator& RrAccumulator::operator+=(const RrAccumulator& other) {
+  found_ += other.found_;
+  total_ += other.total_;
+  return *this;
+}
+
+std::vector<double> relative_bandwidth_errors(const BandwidthMatrix& real,
+                                              const DistanceMatrix& predicted,
+                                              double c) {
+  BCC_REQUIRE(real.size() == predicted.size());
+  std::vector<double> errors;
+  errors.reserve(real.size() * (real.size() + 1) / 2);
+  for (NodeId u = 0; u < real.size(); ++u) {
+    for (NodeId v = u + 1; v < real.size(); ++v) {
+      const double bw = real.at(u, v);
+      const double d_pred = predicted.at(u, v);
+      // A zero predicted distance means predicted bandwidth is infinite;
+      // report the error as the full actual value's worth (ratio 1e9 capped
+      // would distort CDFs — use the conventional |bw - inf| -> large but
+      // finite sentinel of 10, i.e. 1000% error).
+      const double bw_pred = d_pred > 0.0 ? distance_to_bandwidth(d_pred, c)
+                                          : std::numeric_limits<double>::infinity();
+      const double err = std::isinf(bw_pred)
+                             ? 10.0
+                             : std::abs(bw - bw_pred) / bw;
+      errors.push_back(err);
+    }
+  }
+  return errors;
+}
+
+double f_b(const BandwidthMatrix& real, double b) {
+  const auto values = real.pair_values();
+  if (values.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double v : values) {
+    if (v <= b) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+double f_a(const BandwidthMatrix& real, double b, double window) {
+  BCC_REQUIRE(window >= 0.0);
+  const auto values = real.pair_values();
+  if (values.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double v : values) {
+    if (v >= b - window && v <= b + window) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+double f_a_star(double f_a_value, double alpha) {
+  BCC_REQUIRE(f_a_value >= 0.0 && f_a_value <= 1.0);
+  BCC_REQUIRE(alpha > 1.0);
+  return (alpha - 1.0 / alpha) * f_a_value + 1.0 / alpha;
+}
+
+double wpr_model(double f_b_value, double epsilon_star_value,
+                 double f_a_star_value) {
+  BCC_REQUIRE(f_b_value >= 0.0 && f_b_value <= 1.0);
+  BCC_REQUIRE(epsilon_star_value >= 0.0 && epsilon_star_value <= 1.0);
+  BCC_REQUIRE(f_a_star_value > 0.0);
+  if (f_b_value == 0.0) return 0.0;
+  if (f_b_value == 1.0) return 1.0;
+  // ε#_avg = ε*·f_a*, clamped into (0, 1]; exponent 1/ε#.
+  const double eps_sharp =
+      std::min(1.0, epsilon_star_value * f_a_star_value);
+  if (eps_sharp == 0.0) return 0.0;  // perfect treeness predicts perfectly
+  return std::pow(f_b_value, 1.0 / eps_sharp);
+}
+
+}  // namespace bcc

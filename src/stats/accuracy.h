@@ -1,0 +1,68 @@
+// Evaluation metrics of the paper (§IV): Wrong Pair Rate, Return Rate,
+// bandwidth-prediction relative error, the f_b / f_a dataset descriptors and
+// the WPR model of Equation 1.
+#pragma once
+
+#include <span>
+
+#include "metric/bandwidth.h"
+#include "metric/distance_matrix.h"
+
+namespace bcc {
+
+/// Wrong Pair Rate accumulator (§IV.A): over all pairs inside all returned
+/// clusters, the fraction whose *real* bandwidth is below the query's b.
+class WprAccumulator {
+ public:
+  /// Accounts every unordered pair of `cluster` against constraint b.
+  void add_cluster(const BandwidthMatrix& real, const Cluster& cluster,
+                   double b);
+
+  std::size_t wrong_pairs() const { return wrong_; }
+  std::size_t total_pairs() const { return total_; }
+  /// 0 when no pairs have been accumulated.
+  double rate() const;
+
+  WprAccumulator& operator+=(const WprAccumulator& other);
+
+ private:
+  std::size_t wrong_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Return Rate accumulator (§IV.B): found queries / submitted queries.
+class RrAccumulator {
+ public:
+  void add_query(bool found);
+  std::size_t found_queries() const { return found_; }
+  std::size_t total_queries() const { return total_; }
+  double rate() const;
+  RrAccumulator& operator+=(const RrAccumulator& other);
+
+ private:
+  std::size_t found_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Per-pair relative bandwidth-prediction errors
+/// |BW(p,q) − BW_T(p,q)| / BW(p,q), where BW_T = c / d_predicted.
+std::vector<double> relative_bandwidth_errors(const BandwidthMatrix& real,
+                                              const DistanceMatrix& predicted,
+                                              double c = kDefaultTransformC);
+
+/// f_b: the CDF of real pairwise bandwidth at b (§IV.C).
+double f_b(const BandwidthMatrix& real, double b);
+
+/// f_a: the fraction of pairs with bandwidth in [b − window, b + window]
+/// (§IV.C uses window = 10 Mbps) — the steepness of the CDF at b.
+double f_a(const BandwidthMatrix& real, double b, double window = 10.0);
+
+/// f_a* = (α − 1/α)·f_a + 1/α, mapping f_a ∈ [0,1] to [1/α, α] (§IV.C).
+double f_a_star(double f_a_value, double alpha);
+
+/// Equation 1: WPR = f_b ^ ((1/ε*_avg)(1/f_a*)), with ε#_avg = ε*·f_a*
+/// clamped to 1. Handles the boundary cases (f_b = 0, ε* = 0) explicitly.
+double wpr_model(double f_b_value, double epsilon_star_value,
+                 double f_a_star_value);
+
+}  // namespace bcc

@@ -1,0 +1,69 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.h"
+#include "stats/summary.h"
+
+namespace bcc {
+namespace {
+
+using Statistic = double (*)(std::span<const double>);
+
+double mean_stat(std::span<const double> v) { return mean(v); }
+double median_stat(std::span<const double> v) { return median(v); }
+
+ConfidenceInterval bootstrap_ci(std::span<const double> values, Rng& rng,
+                                double confidence, std::size_t resamples,
+                                Statistic stat) {
+  BCC_REQUIRE(confidence > 0.0 && confidence < 1.0);
+  BCC_REQUIRE(resamples >= 10);
+  BCC_REQUIRE(!values.empty());
+  ConfidenceInterval ci;
+  ci.point = stat(values);
+  if (values.size() < 2) {
+    ci.lo = ci.hi = ci.point;
+    return ci;
+  }
+  std::vector<double> resample(values.size());
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& v : resample) {
+      v = values[static_cast<std::size_t>(rng.below(values.size()))];
+    }
+    stats.push_back(stat(resample));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  ci.lo = percentile(stats, 100.0 * alpha);
+  ci.hi = percentile(stats, 100.0 * (1.0 - alpha));
+  return ci;
+}
+
+}  // namespace
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> values, Rng& rng,
+                                     double confidence,
+                                     std::size_t resamples) {
+  return bootstrap_ci(values, rng, confidence, resamples, mean_stat);
+}
+
+ConfidenceInterval bootstrap_median_ci(std::span<const double> values,
+                                       Rng& rng, double confidence,
+                                       std::size_t resamples) {
+  return bootstrap_ci(values, rng, confidence, resamples, median_stat);
+}
+
+ConfidenceInterval bootstrap_proportion_ci(std::size_t successes,
+                                           std::size_t trials, Rng& rng,
+                                           double confidence,
+                                           std::size_t resamples) {
+  BCC_REQUIRE(successes <= trials);
+  BCC_REQUIRE(trials >= 1);
+  std::vector<double> outcomes(trials, 0.0);
+  for (std::size_t i = 0; i < successes; ++i) outcomes[i] = 1.0;
+  return bootstrap_mean_ci(outcomes, rng, confidence, resamples);
+}
+
+}  // namespace bcc

@@ -1,0 +1,37 @@
+// Bootstrap confidence intervals for experiment summaries. The paper plots
+// point estimates; a production harness should say how trustworthy they
+// are, so the figure benches can attach percentile-bootstrap CIs to their
+// headline numbers.
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+
+namespace bcc {
+
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  // the estimate on the original sample
+};
+
+/// Percentile-bootstrap CI for the mean of `values`. `confidence` in (0,1).
+/// Degenerate inputs (n < 2) collapse to [point, point].
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> values, Rng& rng,
+                                     double confidence = 0.95,
+                                     std::size_t resamples = 1000);
+
+/// Percentile-bootstrap CI for the median of `values`.
+ConfidenceInterval bootstrap_median_ci(std::span<const double> values,
+                                       Rng& rng, double confidence = 0.95,
+                                       std::size_t resamples = 1000);
+
+/// Bootstrap CI for a binomial proportion (successes out of trials) via
+/// resampling of Bernoulli outcomes — used for RR and WPR.
+ConfidenceInterval bootstrap_proportion_ci(std::size_t successes,
+                                           std::size_t trials, Rng& rng,
+                                           double confidence = 0.95,
+                                           std::size_t resamples = 1000);
+
+}  // namespace bcc

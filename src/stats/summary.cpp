@@ -1,0 +1,76 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace bcc {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double percentile(std::span<const double> values, double p) {
+  BCC_REQUIRE(!values.empty());
+  BCC_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                    std::size_t points) {
+  BCC_REQUIRE(!values.empty());
+  BCC_REQUIRE(points >= 2);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const std::size_t count = std::min(points, n);
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t rank = i * (n - 1) / (count - 1);
+    cdf.push_back(CdfPoint{sorted[rank],
+                           static_cast<double>(rank + 1) / static_cast<double>(n)});
+  }
+  return cdf;
+}
+
+double cdf_at(std::span<const double> values, double x) {
+  if (values.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double v : values) {
+    if (v <= x) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+double fraction_within(std::span<const double> values, double lo, double hi) {
+  BCC_REQUIRE(lo <= hi);
+  if (values.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double v : values) {
+    if (v >= lo && v <= hi) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+}  // namespace bcc

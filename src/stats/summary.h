@@ -1,0 +1,36 @@
+// Basic summary statistics and empirical CDFs used by the experiment
+// harnesses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace bcc {
+
+double mean(std::span<const double> values);
+double stddev(std::span<const double> values);  // sample stddev; 0 if n < 2
+
+/// p-th percentile (p in [0, 100]) with linear interpolation between closest
+/// ranks. Requires non-empty input.
+double percentile(std::span<const double> values, double p);
+
+double median(std::span<const double> values);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double x = 0.0;
+  double y = 0.0;  // P(value <= x)
+};
+
+/// Empirical CDF downsampled to at most `points` points (evenly spaced by
+/// rank; always includes min and max). Requires non-empty input.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                    std::size_t points = 100);
+
+/// Fraction of values <= x.
+double cdf_at(std::span<const double> values, double x);
+
+/// Fraction of values in [lo, hi].
+double fraction_within(std::span<const double> values, double lo, double hi);
+
+}  // namespace bcc

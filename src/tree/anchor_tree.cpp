@@ -1,0 +1,163 @@
+#include "tree/anchor_tree.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.h"
+
+namespace bcc {
+
+NodeId AnchorTree::root() const {
+  BCC_REQUIRE(!empty());
+  return root_;
+}
+
+void AnchorTree::set_root(NodeId host) {
+  BCC_REQUIRE(empty());
+  root_ = host;
+  info_[host] = Info{};
+}
+
+void AnchorTree::add_child(NodeId parent, NodeId child) {
+  BCC_REQUIRE(contains(parent));
+  BCC_REQUIRE(!contains(child));
+  info_[parent].children.push_back(child);
+  info_[child] = Info{parent, {}};
+}
+
+NodeId AnchorTree::parent_of(NodeId host) const { return info(host).parent; }
+
+const std::vector<NodeId>& AnchorTree::children_of(NodeId host) const {
+  return info(host).children;
+}
+
+std::vector<NodeId> AnchorTree::neighbors_of(NodeId host) const {
+  const Info& i = info(host);
+  std::vector<NodeId> out;
+  out.reserve(i.children.size() + 1);
+  if (i.parent != kNoParent) out.push_back(i.parent);
+  out.insert(out.end(), i.children.begin(), i.children.end());
+  return out;
+}
+
+std::size_t AnchorTree::degree(NodeId host) const {
+  const Info& i = info(host);
+  return i.children.size() + (i.parent != kNoParent ? 1 : 0);
+}
+
+std::size_t AnchorTree::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& [host, i] : info_) {
+    best = std::max(best, i.children.size() + (i.parent != kNoParent ? 1 : 0));
+  }
+  return best;
+}
+
+namespace {
+
+/// BFS hop distances over the anchor tree from `src`.
+std::unordered_map<NodeId, std::size_t> hop_distances(const AnchorTree& t,
+                                                      NodeId src) {
+  std::unordered_map<NodeId, std::size_t> dist;
+  dist[src] = 0;
+  std::queue<NodeId> q;
+  q.push(src);
+  while (!q.empty()) {
+    NodeId cur = q.front();
+    q.pop();
+    for (NodeId nb : t.neighbors_of(cur)) {
+      if (dist.count(nb)) continue;
+      dist[nb] = dist[cur] + 1;
+      q.push(nb);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::size_t AnchorTree::diameter() const {
+  if (size() <= 1) return 0;
+  // Double BFS: farthest node from the root, then farthest from that.
+  auto d0 = hop_distances(*this, root());
+  BCC_ASSERT(d0.size() == size());
+  NodeId far = root();
+  for (const auto& [host, d] : d0) {
+    if (d > d0[far]) far = host;
+  }
+  auto d1 = hop_distances(*this, far);
+  std::size_t best = 0;
+  for (const auto& [host, d] : d1) best = std::max(best, d);
+  return best;
+}
+
+std::vector<NodeId> AnchorTree::bfs_order() const {
+  std::vector<NodeId> order;
+  if (empty()) return order;
+  std::queue<NodeId> q;
+  q.push(root_);
+  while (!q.empty()) {
+    NodeId cur = q.front();
+    q.pop();
+    order.push_back(cur);
+    for (NodeId c : children_of(cur)) q.push(c);
+  }
+  BCC_ASSERT(order.size() == size());
+  return order;
+}
+
+std::vector<NodeId> AnchorTree::remove_subtree(NodeId host) {
+  BCC_REQUIRE(contains(host));
+  if (host == root_) {
+    BCC_REQUIRE(size() == 1);
+    info_.clear();
+    root_ = kNoParent;
+    return {};
+  }
+  // Collect descendants in BFS order.
+  std::vector<NodeId> descendants;
+  std::queue<NodeId> q;
+  for (NodeId c : children_of(host)) q.push(c);
+  while (!q.empty()) {
+    NodeId cur = q.front();
+    q.pop();
+    descendants.push_back(cur);
+    for (NodeId c : children_of(cur)) q.push(c);
+  }
+  // Unlink from the parent, then erase everything.
+  auto& siblings = info_.at(parent_of(host)).children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), host));
+  for (NodeId d : descendants) info_.erase(d);
+  info_.erase(host);
+  return descendants;
+}
+
+std::vector<NodeId> AnchorTree::reachable_via(NodeId host, NodeId via) const {
+  const auto nbs = neighbors_of(host);
+  BCC_REQUIRE(std::find(nbs.begin(), nbs.end(), via) != nbs.end());
+  std::vector<NodeId> out;
+  std::queue<NodeId> q;
+  q.push(via);
+  std::unordered_map<NodeId, char> seen;
+  seen[host] = 1;  // block traversal back through `host`
+  seen[via] = 1;
+  while (!q.empty()) {
+    NodeId cur = q.front();
+    q.pop();
+    out.push_back(cur);
+    for (NodeId nb : neighbors_of(cur)) {
+      if (seen.count(nb)) continue;
+      seen[nb] = 1;
+      q.push(nb);
+    }
+  }
+  return out;
+}
+
+const AnchorTree::Info& AnchorTree::info(NodeId host) const {
+  auto it = info_.find(host);
+  BCC_REQUIRE(it != info_.end());
+  return it->second;
+}
+
+}  // namespace bcc

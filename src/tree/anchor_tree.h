@@ -1,0 +1,72 @@
+// The anchor tree: the rooted, unweighted overlay network of hosts
+// (paper §II.D).
+//
+// The first host is the root; every later host becomes a child of its
+// *anchor* (the host whose prediction-tree edge its inner vertex landed on).
+// Anchor-tree edges are the neighbor relation used by all the decentralized
+// clustering protocols (Algorithms 2–4).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "metric/distance_matrix.h"
+
+namespace bcc {
+
+/// Rooted unweighted tree over hosts (metric-space NodeIds).
+class AnchorTree {
+ public:
+  bool contains(NodeId host) const { return info_.count(host) != 0; }
+  std::size_t size() const { return info_.size(); }
+  bool empty() const { return info_.empty(); }
+
+  NodeId root() const;
+
+  /// Installs the root host. Must be the first insertion.
+  void set_root(NodeId host);
+
+  /// Adds `child` under `parent` (which must already be present).
+  void add_child(NodeId parent, NodeId child);
+
+  /// kNoParent for the root.
+  static constexpr NodeId kNoParent = static_cast<NodeId>(-1);
+  NodeId parent_of(NodeId host) const;
+  const std::vector<NodeId>& children_of(NodeId host) const;
+
+  /// Parent (if any) plus children — the overlay neighbor set.
+  std::vector<NodeId> neighbors_of(NodeId host) const;
+
+  std::size_t degree(NodeId host) const;
+  std::size_t max_degree() const;
+
+  /// Longest path length (in hops) between any two hosts. O(n).
+  std::size_t diameter() const;
+
+  /// Hosts in BFS order from the root.
+  std::vector<NodeId> bfs_order() const;
+
+  /// Removes `host` and its entire descendant subtree (departure handling —
+  /// descendants lose their anchor chain and must rejoin). Returns the
+  /// removed descendants in BFS order (without `host` itself). The root can
+  /// only be removed when it is the last host.
+  std::vector<NodeId> remove_subtree(NodeId host);
+
+  /// All hosts reachable from `host` when the edge towards `via` is cut —
+  /// i.e. the set U of Theorem 3.2/3.3 ("nodes reachable from `host` via
+  /// `via`"). `via` must be a neighbor of `host`. Includes `via`.
+  std::vector<NodeId> reachable_via(NodeId host, NodeId via) const;
+
+ private:
+  struct Info {
+    NodeId parent = kNoParent;
+    std::vector<NodeId> children;
+  };
+
+  const Info& info(NodeId host) const;
+
+  NodeId root_ = kNoParent;
+  std::unordered_map<NodeId, Info> info_;
+};
+
+}  // namespace bcc

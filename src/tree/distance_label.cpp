@@ -1,0 +1,117 @@
+#include "tree/distance_label.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bcc {
+
+DistanceLabel::DistanceLabel(std::vector<LabelEntry> entries)
+    : entries_(std::move(entries)) {
+  BCC_REQUIRE(!entries_.empty());
+  BCC_REQUIRE(entries_.front().offset == 0.0 &&
+              entries_.front().leaf_weight == 0.0);
+}
+
+DistanceLabel DistanceLabel::of(const PredictionTree& tree, NodeId host) {
+  BCC_REQUIRE(tree.contains(host));
+  std::vector<LabelEntry> chain;
+  NodeId cur = host;
+  while (cur != kNoAnchor) {
+    const auto& p = tree.placement_of(cur);
+    if (p.anchor == kNoAnchor) {
+      chain.push_back(LabelEntry{cur, 0.0, 0.0});  // root entry
+    } else {
+      chain.push_back(LabelEntry{cur, p.anchor_offset, p.leaf_weight});
+    }
+    cur = p.anchor;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return DistanceLabel(std::move(chain));
+}
+
+DistanceLabel DistanceLabel::from_entries(std::vector<LabelEntry> entries) {
+  return DistanceLabel(std::move(entries));
+}
+
+NodeId DistanceLabel::host() const { return entries_.back().host; }
+NodeId DistanceLabel::root() const { return entries_.front().host; }
+
+namespace {
+
+/// Incrementally rebuilds the partial prediction tree spanned by label
+/// chains. Mirrors PredictionTree's geometry: each chain entry hangs its
+/// leaf off a vertex placed `offset` away from its anchor's leaf along the
+/// anchor's leaf edge.
+class PartialTreeBuilder {
+ public:
+  void insert_chain(const DistanceLabel& label) {
+    const auto& entries = label.entries();
+    if (leaf_.empty()) {
+      TreeVertex v = tree_.add_vertex();
+      leaf_[entries.front().host] = v;
+      attach_[entries.front().host] = v;
+    } else {
+      BCC_REQUIRE(leaf_.count(entries.front().host));  // same root
+    }
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      const LabelEntry& e = entries[i];
+      if (leaf_.count(e.host)) continue;  // shared chain prefix
+      insert_entry(entries[i - 1].host, e);
+    }
+  }
+
+  double distance(NodeId a, NodeId b) const {
+    if (a == b) return 0.0;
+    return tree_.distance(leaf_.at(a), leaf_.at(b));
+  }
+
+ private:
+  void insert_entry(NodeId anchor, const LabelEntry& e) {
+    BCC_REQUIRE(leaf_.count(anchor));
+    TreeVertex t_e;
+    const TreeVertex a_leaf = leaf_.at(anchor);
+    const TreeVertex a_attach = attach_.at(anchor);
+    if (a_leaf == a_attach) {
+      // Anchor is the root: inner vertices of its children coincide with the
+      // root leaf (offset is always 0 there).
+      t_e = a_leaf;
+    } else {
+      // Walk from the anchor's leaf towards its attach vertex and split at
+      // `offset`. The path may already be subdivided by earlier entries.
+      const auto path = tree_.path(a_leaf, a_attach);
+      double cum = 0.0;
+      t_e = kNoVertex;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const double w = tree_.edge_weight(path[i], path[i + 1]).value();
+        const bool last = (i + 2 == path.size());
+        if (e.offset <= cum + w || last) {
+          t_e = tree_.split_edge(path[i], path[i + 1], e.offset - cum);
+          break;
+        }
+        cum += w;
+      }
+      BCC_ASSERT(t_e != kNoVertex);
+    }
+    TreeVertex v = tree_.add_vertex();
+    tree_.connect(t_e, v, e.leaf_weight);
+    leaf_[e.host] = v;
+    attach_[e.host] = t_e;
+  }
+
+  WeightedTree tree_;
+  std::unordered_map<NodeId, TreeVertex> leaf_;
+  std::unordered_map<NodeId, TreeVertex> attach_;
+};
+
+}  // namespace
+
+double label_distance(const DistanceLabel& a, const DistanceLabel& b) {
+  BCC_REQUIRE(a.root() == b.root());
+  if (a.host() == b.host()) return 0.0;
+  PartialTreeBuilder builder;
+  builder.insert_chain(a);
+  builder.insert_chain(b);
+  return builder.distance(a.host(), b.host());
+}
+
+}  // namespace bcc

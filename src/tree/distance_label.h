@@ -1,0 +1,57 @@
+// Distance labels (paper §II.D): compact per-host summaries of prediction
+// tree geometry that let any two hosts estimate their predicted distance
+// with purely local information — the tree-metric analogue of Vivaldi
+// coordinates.
+//
+// The label of host x lists the anchor chain root = a_0 → a_1 → … → a_m = x,
+// and for each non-root link the placement of a_i's inner vertex on its
+// anchor's leaf edge:
+//   offset_i      = d_T(a_{i-1} leaf, t_{a_i})
+//   leaf_weight_i = d_T(t_{a_i}, a_i leaf)
+// Two labels suffice to reconstruct the (partial) prediction tree containing
+// both root paths, hence the exact d_T between the hosts — label_distance()
+// equals PredictionTree::distance() to within floating-point error, a
+// property the test suite verifies.
+#pragma once
+
+#include <vector>
+
+#include "tree/prediction_tree.h"
+
+namespace bcc {
+
+/// One link of the anchor chain.
+struct LabelEntry {
+  NodeId host;         // a_i
+  double offset;       // d_T(anchor leaf, t_{a_i}); 0 for the root entry
+  double leaf_weight;  // d_T(t_{a_i}, a_i leaf);    0 for the root entry
+};
+
+/// A host's distance label: its anchor chain from the root, inclusive.
+class DistanceLabel {
+ public:
+  /// Extracts the label of `host` from a built prediction tree by following
+  /// stored placements up the anchor chain.
+  static DistanceLabel of(const PredictionTree& tree, NodeId host);
+
+  /// Builds a label directly from chain entries (entries[0] must be the
+  /// root with zero offset/leaf_weight). Used by the decentralized join
+  /// protocol where hosts assemble labels from network messages.
+  static DistanceLabel from_entries(std::vector<LabelEntry> entries);
+
+  const std::vector<LabelEntry>& entries() const { return entries_; }
+  NodeId host() const;     // the labelled host (last entry)
+  NodeId root() const;     // first entry
+  std::size_t depth() const { return entries_.size() - 1; }
+
+ private:
+  explicit DistanceLabel(std::vector<LabelEntry> entries);
+  std::vector<LabelEntry> entries_;
+};
+
+/// Exact predicted distance d_T(a, b) computed from the two labels alone, by
+/// reconstructing the merged partial prediction tree. Labels must share the
+/// same root.
+double label_distance(const DistanceLabel& a, const DistanceLabel& b);
+
+}  // namespace bcc

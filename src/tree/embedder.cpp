@@ -1,0 +1,229 @@
+#include "tree/embedder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bcc {
+namespace {
+
+/// Gromov product (x|y)_z with all three terms measured. The z–y distance is
+/// known without a new probe: y measured the root (z) when it joined.
+double join_gromov(const DistanceMatrix& real, NodeId x, NodeId z, NodeId y) {
+  return gromov_product(real.at(z, x), real.at(z, y), real.at(x, y));
+}
+
+void count_probe(EmbedStats* stats, std::size_t n = 1) {
+  if (stats) stats->probes += n;
+}
+
+/// Robust placement refinement (the "several heuristics" of §II.B): instead
+/// of trusting the three Gromov measurements alone, fit x's position on the
+/// z~>y path and its leaf weight to *all* distances x measured during the
+/// join, minimizing the sum of absolute residuals.
+///
+/// Geometry: a candidate c projects onto the z~>y path at
+///   p_c = ½ (d_T(z,c) + L − d_T(y,c)),  with height  h_c = d_T(z,c) − p_c,
+/// so for x attached at position g with leaf weight w the tree predicts
+///   d_T(x,c) = |g − p_c| + h_c + w.
+/// The cost in (g, w) is piecewise linear; it is minimized at g in the
+/// breakpoint set {p_c} ∪ {g_gromov}, with w the median residual at that g.
+/// On a perfect tree metric the Gromov placement has zero residuals, so the
+/// refinement reproduces it exactly.
+struct PlacementFit {
+  double g = 0.0;
+  double leaf_w = 0.0;
+};
+
+PlacementFit refine_placement(const PredictionTree& tree,
+                              const DistanceMatrix& real, NodeId x, NodeId z,
+                              NodeId y, std::vector<NodeId> candidates,
+                              std::size_t max_candidates) {
+  const auto dz = tree.tree().distances_from(tree.leaf_of(z));
+  const auto dy = tree.tree().distances_from(tree.leaf_of(y));
+  const double path_len = dz[tree.leaf_of(y)];
+
+  candidates.push_back(z);
+  candidates.push_back(y);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  // Keep the candidates closest to x (by measurement): placement accuracy
+  // matters most for nearby hosts, and this caps the fit at O(R^2).
+  if (candidates.size() > max_candidates) {
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + max_candidates, candidates.end(),
+                     [&](NodeId a, NodeId b) {
+                       return real.at(x, a) < real.at(x, b);
+                     });
+    candidates.resize(max_candidates);
+  }
+
+  struct Projected {
+    double p;  // position of the candidate's projection on the path
+    double h;  // height of the candidate above the path
+    double m;  // measured distance x -> candidate
+  };
+  std::vector<Projected> proj;
+  proj.reserve(candidates.size());
+  for (NodeId c : candidates) {
+    const double a = dz[tree.leaf_of(c)];
+    const double b = dy[tree.leaf_of(c)];
+    const double p = std::clamp(0.5 * (a + path_len - b), 0.0, path_len);
+    proj.push_back(Projected{p, std::max(0.0, a - p), real.at(x, c)});
+  }
+
+  const double g_gromov = std::clamp(join_gromov(real, x, z, y), 0.0, path_len);
+  std::vector<double> g_candidates = {g_gromov};
+  for (const Projected& pc : proj) g_candidates.push_back(pc.p);
+
+  PlacementFit best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<double> residuals(proj.size());
+  for (double g : g_candidates) {
+    for (std::size_t i = 0; i < proj.size(); ++i) {
+      residuals[i] = proj[i].m - (std::abs(g - proj[i].p) + proj[i].h);
+    }
+    std::vector<double> sorted = residuals;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const double w = std::max(0.0, sorted[sorted.size() / 2]);
+    double cost = 0.0;
+    for (double r : residuals) cost += std::abs(r - w);
+    // Strict improvement keeps the Gromov placement on ties (evaluated
+    // first), preserving exactness on perfect tree metrics.
+    if (cost < best_cost - 1e-12) {
+      best_cost = cost;
+      best = PlacementFit{g, w};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PredictionTree::Placement join_host(PredictionTree& tree,
+                                    const DistanceMatrix& real, NodeId x,
+                                    NodeId z, NodeId y,
+                                    std::vector<NodeId> probed,
+                                    const EmbedOptions& options) {
+  if (options.refine) {
+    const PlacementFit fit = refine_placement(tree, real, x, z, y,
+                                              std::move(probed),
+                                              options.refine_candidates);
+    return tree.add_at(x, z, y, fit.g, fit.leaf_w);
+  }
+  return tree.add(x, z, y, real.at(z, x), real.at(z, y), real.at(x, y));
+}
+
+NodeId find_end_exhaustive(const PredictionTree& tree,
+                           const DistanceMatrix& real, NodeId x, NodeId z,
+                           EmbedStats* stats, std::vector<NodeId>* probed) {
+  BCC_REQUIRE(tree.host_count() >= 2);
+  NodeId best = kNoAnchor;
+  double best_g = -std::numeric_limits<double>::infinity();
+  for (NodeId y : tree.hosts()) {
+    if (y == z) continue;
+    count_probe(stats);  // x measures d(x, y)
+    if (probed) probed->push_back(y);
+    const double g = join_gromov(real, x, z, y);
+    if (g > best_g) {
+      best_g = g;
+      best = y;
+    }
+  }
+  BCC_ASSERT(best != kNoAnchor);
+  return best;
+}
+
+NodeId find_end_anchor_descent(const PredictionTree& tree,
+                               const AnchorTree& anchors,
+                               const DistanceMatrix& real, NodeId x, NodeId z,
+                               EmbedStats* stats, std::vector<NodeId>* probed) {
+  BCC_REQUIRE(anchors.size() >= 2);
+  BCC_REQUIRE(anchors.root() == z);
+  (void)tree;
+  // DFS over anchor paths with non-decreasing Gromov product. Along the
+  // chain towards the true maximizer, G never decreases; conversely, once a
+  // child's G drops strictly below the path's running maximum, everything in
+  // its anchor subtree is bounded by that child's G, so the branch can be
+  // pruned. A *plain* greedy walk is not enough: siblings attached at the
+  // same junction share the parent's G exactly (a plateau), and the
+  // maximizer may sit below such a tie.
+  NodeId best = kNoAnchor;
+  double best_g = -std::numeric_limits<double>::infinity();
+  std::vector<std::pair<NodeId, double>> frontier;
+  frontier.emplace_back(z, -std::numeric_limits<double>::infinity());
+  while (!frontier.empty()) {
+    const auto [cur, g_cur] = frontier.back();
+    frontier.pop_back();
+    for (NodeId c : anchors.children_of(cur)) {
+      count_probe(stats);  // x measures d(x, c)
+      if (probed) probed->push_back(c);
+      const double g = join_gromov(real, x, z, c);
+      if (g > best_g) {
+        best_g = g;
+        best = c;
+      }
+      const double slack = 1e-9 * (1.0 + std::abs(g_cur));
+      if (g + slack >= g_cur) {
+        frontier.emplace_back(c, std::max(g, g_cur));
+      }
+    }
+  }
+  BCC_ASSERT(best != kNoAnchor);
+  return best;
+}
+
+Framework build_framework(const DistanceMatrix& real,
+                          std::span<const NodeId> order,
+                          const EmbedOptions& options, EmbedStats* stats) {
+  const std::size_t n = real.size();
+  BCC_REQUIRE(order.size() == n && n >= 1);
+  {
+    std::vector<char> seen(n, 0);
+    for (NodeId h : order) {
+      BCC_REQUIRE(h < n && !seen[h]);
+      seen[h] = 1;
+    }
+  }
+
+  Framework fw;
+  fw.prediction.add_first(order[0]);
+  fw.anchors.set_root(order[0]);
+  if (stats) ++stats->joins;
+  if (n == 1) return fw;
+
+  const NodeId root = order[0];
+  count_probe(stats);  // second host measures d to the root
+  fw.prediction.add_second(order[1], real.at(root, order[1]));
+  fw.anchors.add_child(root, order[1]);
+  if (stats) ++stats->joins;
+
+  for (std::size_t i = 2; i < n; ++i) {
+    const NodeId x = order[i];
+    count_probe(stats);  // x measures d(x, root) — the base-node probe
+    std::vector<NodeId> probed;
+    const NodeId y =
+        options.search == EndSearch::kExhaustive
+            ? find_end_exhaustive(fw.prediction, real, x, root, stats, &probed)
+            : find_end_anchor_descent(fw.prediction, fw.anchors, real, x, root,
+                                      stats, &probed);
+    const auto placement =
+        join_host(fw.prediction, real, x, root, y, std::move(probed), options);
+    fw.anchors.add_child(placement.anchor, x);
+    if (stats) ++stats->joins;
+  }
+  BCC_ASSERT(fw.prediction.check_invariants());
+  return fw;
+}
+
+Framework build_framework(const DistanceMatrix& real, Rng& rng,
+                          const EmbedOptions& options, EmbedStats* stats) {
+  std::vector<NodeId> order(real.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  return build_framework(real, order, options, stats);
+}
+
+}  // namespace bcc

@@ -1,0 +1,99 @@
+// Drivers that grow a prediction tree + anchor tree from measured distances
+// (paper §II.D).
+//
+// A joining host x always uses the root host as its base node z. The end
+// node y — the maximizer of the Gromov product (x|y)_z — can be found two
+// ways:
+//   * kExhaustive: probe every existing host (the centralized Sequoia rule;
+//     O(n) measurements per join — the reference used by ablation A3).
+//   * kAnchorDescent: greedy descent of the anchor tree, probing only the
+//     current host's children at each level (the decentralized framework's
+//     rule; O(depth·degree) measurements per join).
+// All three Gromov terms are measured: z–x and x–y by the joining host, and
+// z–y is already known (every host measured the root when it joined).
+//
+// With `refine` on (default), the raw Gromov placement is post-processed by
+// a robust fit: x's path position and leaf weight are chosen to minimize the
+// sum of absolute prediction residuals against everything x measured during
+// the join. Exact on perfect tree metrics; substantially reduces the noise
+// amplification of the raw three-point placement on real data — this stands
+// in for the "several heuristics" the paper's prior work applies (§II.B).
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "tree/anchor_tree.h"
+#include "tree/distance_label.h"
+#include "tree/prediction_tree.h"
+
+namespace bcc {
+
+/// End-node (Gromov maximizer) search strategy.
+enum class EndSearch {
+  kExhaustive,     // scan all hosts; O(n) probes per join
+  kAnchorDescent,  // greedy anchor-tree walk; O(depth·degree) probes per join
+};
+
+struct EmbedOptions {
+  EndSearch search = EndSearch::kAnchorDescent;
+  /// Robust placement fit against the join's probe set (see file comment).
+  bool refine = true;
+  /// Cap on the number of probes used by the fit (keeps joins O(R^2)).
+  std::size_t refine_candidates = 40;
+};
+
+/// Measurement accounting for the join process (ablation A3).
+struct EmbedStats {
+  std::size_t joins = 0;
+  std::size_t probes = 0;  // host-to-host measurements performed during joins
+};
+
+/// A fully built prediction framework: the embedded tree plus the overlay.
+struct Framework {
+  PredictionTree prediction;
+  AnchorTree anchors;
+
+  /// Predicted distance matrix over hosts 0..n-1.
+  DistanceMatrix predicted_distances() const {
+    return prediction.predicted_distances();
+  }
+};
+
+/// Grows a framework over hosts {0..n-1} of `real` (the measured metric),
+/// inserting hosts in the given order. `order` must be a permutation of
+/// 0..n-1 with n >= 1.
+Framework build_framework(const DistanceMatrix& real,
+                          std::span<const NodeId> order,
+                          const EmbedOptions& options = {},
+                          EmbedStats* stats = nullptr);
+
+/// Convenience: builds with a seed-shuffled insertion order.
+Framework build_framework(const DistanceMatrix& real, Rng& rng,
+                          const EmbedOptions& options = {},
+                          EmbedStats* stats = nullptr);
+
+/// Places host x (base z, end y) into the tree, applying the robust
+/// placement refinement against `probed` when options.refine is set. The
+/// shared join step of build_framework and FrameworkMaintainer.
+PredictionTree::Placement join_host(PredictionTree& tree,
+                                    const DistanceMatrix& real, NodeId x,
+                                    NodeId z, NodeId y,
+                                    std::vector<NodeId> probed,
+                                    const EmbedOptions& options);
+
+/// Finds the end node for x via exhaustive scan over current hosts.
+/// Exposed for tests and the ablation bench. If `probed` is non-null the
+/// candidates x measured are appended to it.
+NodeId find_end_exhaustive(const PredictionTree& tree, const DistanceMatrix& real,
+                           NodeId x, NodeId z, EmbedStats* stats,
+                           std::vector<NodeId>* probed = nullptr);
+
+/// Finds the end node for x via anchor-tree descent.
+NodeId find_end_anchor_descent(const PredictionTree& tree,
+                               const AnchorTree& anchors,
+                               const DistanceMatrix& real, NodeId x, NodeId z,
+                               EmbedStats* stats,
+                               std::vector<NodeId>* probed = nullptr);
+
+}  // namespace bcc

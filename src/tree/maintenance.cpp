@@ -1,0 +1,104 @@
+#include "tree/maintenance.h"
+
+#include <algorithm>
+
+namespace bcc {
+
+FrameworkMaintainer::FrameworkMaintainer(const DistanceMatrix* real,
+                                         EmbedOptions options)
+    : real_(real), options_(options) {
+  BCC_REQUIRE(real_ != nullptr);
+}
+
+void FrameworkMaintainer::join_into(NodeId host) {
+  BCC_REQUIRE(host < real_->size());
+  BCC_REQUIRE(!prediction_.contains(host));
+  if (prediction_.host_count() == 0) {
+    prediction_.add_first(host);
+    anchors_.set_root(host);
+    return;
+  }
+  const NodeId root = prediction_.root_host();
+  if (prediction_.host_count() == 1) {
+    prediction_.add_second(host, real_->at(root, host));
+    anchors_.add_child(root, host);
+    return;
+  }
+  std::vector<NodeId> probed;
+  const NodeId y =
+      options_.search == EndSearch::kExhaustive
+          ? find_end_exhaustive(prediction_, *real_, host, root, nullptr,
+                                &probed)
+          : find_end_anchor_descent(prediction_, anchors_, *real_, host, root,
+                                    nullptr, &probed);
+  const auto placement = join_host(prediction_, *real_, host, root, y,
+                                   std::move(probed), options_);
+  anchors_.add_child(placement.anchor, host);
+}
+
+void FrameworkMaintainer::join(NodeId host) { join_into(host); }
+
+std::vector<NodeId> FrameworkMaintainer::leave(NodeId host) {
+  BCC_REQUIRE(prediction_.contains(host));
+  if (prediction_.host_count() == 1) {
+    // Last host leaves: empty framework.
+    anchors_.remove_subtree(host);
+    prediction_ = PredictionTree();
+    return {};
+  }
+  if (host == prediction_.root_host()) {
+    // The root seeds every join; survivors rebuild from scratch.
+    std::vector<NodeId> survivors = prediction_.hosts();
+    survivors.erase(std::find(survivors.begin(), survivors.end(), host));
+    rebuild(survivors);
+    rejoins_ += survivors.size();
+    return survivors;
+  }
+  // Orphaned anchor descendants rejoin after the departure, deepest parts
+  // of the tree first removed (children before parents keeps the prediction
+  // tree's leaf-removal precondition).
+  std::vector<NodeId> orphans = anchors_.remove_subtree(host);
+  for (auto it = orphans.rbegin(); it != orphans.rend(); ++it) {
+    prediction_.remove(*it);
+  }
+  prediction_.remove(host);
+  for (NodeId o : orphans) join_into(o);
+  rejoins_ += orphans.size();
+  return orphans;
+}
+
+void FrameworkMaintainer::refresh(const DistanceMatrix* new_real) {
+  BCC_REQUIRE(new_real != nullptr);
+  BCC_REQUIRE(new_real->size() == real_->size());
+  real_ = new_real;
+  rebuild(prediction_.hosts());
+}
+
+FrameworkMaintainer::CompactView FrameworkMaintainer::compact_view() const {
+  CompactView view;
+  view.ids = prediction_.hosts();
+  view.predicted = predicted_alive();
+  std::unordered_map<NodeId, NodeId> position;
+  for (std::size_t i = 0; i < view.ids.size(); ++i) {
+    position[view.ids[i]] = i;
+  }
+  if (!anchors_.empty()) {
+    for (NodeId h : anchors_.bfs_order()) {
+      const NodeId parent = anchors_.parent_of(h);
+      if (parent == AnchorTree::kNoParent) {
+        view.anchors.set_root(position.at(h));
+      } else {
+        view.anchors.add_child(position.at(parent), position.at(h));
+      }
+    }
+  }
+  return view;
+}
+
+void FrameworkMaintainer::rebuild(std::vector<NodeId> membership) {
+  prediction_ = PredictionTree();
+  anchors_ = AnchorTree();
+  for (NodeId h : membership) join_into(h);
+}
+
+}  // namespace bcc

@@ -1,0 +1,80 @@
+// Dynamic membership for the prediction framework — the "Dynamic
+// Clustering" requirement of §I: cluster members must adapt as hosts come
+// and go and as network conditions change.
+//
+// FrameworkMaintainer owns a prediction tree + anchor tree and supports:
+//   * join(h)   — embeds a new host with the usual Gromov join,
+//   * leave(h)  — removes a host; everything anchored beneath it loses its
+//                 anchor chain and transparently *rejoins* (the standard
+//                 recovery in anchor-tree overlays); leaving the root
+//                 rebuilds the framework from the survivors,
+//   * drift     — callers can swap the measurement matrix (refresh) and
+//                 rebuild, modelling changing network conditions.
+// The exactness guarantee survives churn: on a perfect tree metric every
+// alive pair stays exactly embedded after any join/leave sequence (tested).
+#pragma once
+
+#include "tree/embedder.h"
+
+namespace bcc {
+
+/// See file comment.
+class FrameworkMaintainer {
+ public:
+  /// `real` must outlive the maintainer; it is the measurement oracle
+  /// consulted on every join.
+  explicit FrameworkMaintainer(const DistanceMatrix* real,
+                               EmbedOptions options = {});
+
+  std::size_t size() const { return prediction_.host_count(); }
+  bool contains(NodeId host) const { return prediction_.contains(host); }
+
+  /// Adds a host (must be < real->size() and absent).
+  void join(NodeId host);
+
+  /// Removes a host. Anchor descendants rejoin automatically; returns them
+  /// (in rejoin order). Leaving host may be the root, which triggers a full
+  /// rebuild of the survivors (all of them are "rejoined").
+  std::vector<NodeId> leave(NodeId host);
+
+  /// Replaces the measurement oracle (same size) and rebuilds the framework
+  /// over the current membership — network-condition drift.
+  void refresh(const DistanceMatrix* new_real);
+
+  /// Alive hosts in join order.
+  const std::vector<NodeId>& alive() const { return prediction_.hosts(); }
+
+  /// Predicted distances among alive(), indexed by position in alive().
+  DistanceMatrix predicted_alive() const {
+    return prediction_.predicted_among(prediction_.hosts());
+  }
+
+  const PredictionTree& prediction() const { return prediction_; }
+  const AnchorTree& anchors() const { return anchors_; }
+
+  /// A compacted snapshot for consumers that need dense 0..n-1 ids (the
+  /// DecentralizedClusterSystem, matrices): position i corresponds to global
+  /// host ids[i].
+  struct CompactView {
+    std::vector<NodeId> ids;   // alive hosts, join order
+    AnchorTree anchors;        // re-keyed to positions
+    DistanceMatrix predicted;  // predicted distances, position-indexed
+  };
+  CompactView compact_view() const;
+
+  /// Cumulative number of forced rejoins caused by departures (overlay
+  /// repair cost).
+  std::size_t rejoins() const { return rejoins_; }
+
+ private:
+  void join_into(NodeId host);
+  void rebuild(std::vector<NodeId> membership);
+
+  const DistanceMatrix* real_;
+  EmbedOptions options_;
+  PredictionTree prediction_;
+  AnchorTree anchors_;
+  std::size_t rejoins_ = 0;
+};
+
+}  // namespace bcc

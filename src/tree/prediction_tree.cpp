@@ -1,0 +1,240 @@
+#include "tree/prediction_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcc {
+
+double gromov_product(double d_zx, double d_zy, double d_xy) {
+  return 0.5 * (d_zx + d_zy - d_xy);
+}
+
+NodeId PredictionTree::root_host() const {
+  BCC_REQUIRE(!hosts_.empty());
+  return hosts_.front();
+}
+
+void PredictionTree::add_first(NodeId host) {
+  BCC_REQUIRE(hosts_.empty());
+  TreeVertex v = tree_.add_vertex();
+  hosts_.push_back(host);
+  leaf_[host] = v;
+  attach_[host] = v;  // the root leaf predates all inner vertices
+  placement_[host] = Placement{kNoAnchor, 0.0, 0.0};
+}
+
+PredictionTree::Placement PredictionTree::add_second(NodeId host, double dist) {
+  BCC_REQUIRE(hosts_.size() == 1);
+  BCC_REQUIRE(!contains(host));
+  BCC_REQUIRE(dist >= 0.0);
+  TreeVertex v = tree_.add_vertex();
+  const NodeId root = hosts_.front();
+  tree_.connect(leaf_.at(root), v, dist, /*creator=*/host);
+  hosts_.push_back(host);
+  leaf_[host] = v;
+  // Conceptually t_host coincides with the root leaf (the paper's Fig. 1 has
+  // d_T(a, t_b) = 0): the leaf edge spans the whole root~host path.
+  attach_[host] = leaf_.at(root);
+  Placement p{root, 0.0, dist};
+  placement_[host] = p;
+  return p;
+}
+
+PredictionTree::Placement PredictionTree::add(NodeId x, NodeId z, NodeId y,
+                                              double d_zx, double d_zy,
+                                              double d_xy) {
+  BCC_REQUIRE(d_zx >= 0.0 && d_zy >= 0.0 && d_xy >= 0.0);
+  // Gromov products; measured data may violate the triangle inequality, so
+  // clamp to the feasible ranges rather than reject.
+  return add_at(x, z, y, gromov_product(d_zx, d_zy, d_xy),
+                std::max(0.0, gromov_product(d_xy, d_zx, d_zy)));
+}
+
+PredictionTree::Placement PredictionTree::add_at(NodeId x, NodeId z, NodeId y,
+                                                 double g, double leaf_w) {
+  BCC_REQUIRE(hosts_.size() >= 2);
+  BCC_REQUIRE(!contains(x));
+  BCC_REQUIRE(contains(z) && contains(y) && z != y);
+  BCC_REQUIRE(leaf_w >= 0.0);
+
+  const double path_len = tree_.distance(leaf_.at(z), leaf_.at(y));
+  g = std::clamp(g, 0.0, path_len);
+
+  // Locate the edge of the z~y path containing the point at distance g from
+  // z, and split it there.
+  const std::vector<TreeVertex> p = tree_.path(leaf_.at(z), leaf_.at(y));
+  BCC_ASSERT(p.size() >= 2);
+  double cum = 0.0;
+  TreeVertex t_x = kNoVertex;
+  NodeId anchor = kNoAnchor;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    const double w = tree_.edge_weight(p[i], p[i + 1]).value();
+    const bool last = (i + 2 == p.size());
+    if (g <= cum + w || last) {
+      anchor = tree_.edge_creator(p[i], p[i + 1]).value();
+      t_x = tree_.split_edge(p[i], p[i + 1], g - cum);
+      break;
+    }
+    cum += w;
+  }
+  BCC_ASSERT(t_x != kNoVertex && anchor != kNoAnchor);
+
+  TreeVertex xv = tree_.add_vertex();
+  tree_.connect(t_x, xv, leaf_w, /*creator=*/x);
+
+  hosts_.push_back(x);
+  leaf_[x] = xv;
+  attach_[x] = t_x;
+  Placement placement{anchor, tree_.distance(leaf_.at(anchor), t_x), leaf_w};
+  placement_[x] = placement;
+  return placement;
+}
+
+PredictionTree::Placement PredictionTree::restore(NodeId host, NodeId anchor,
+                                                  double offset,
+                                                  double leaf_weight) {
+  BCC_REQUIRE(!contains(host));
+  BCC_REQUIRE(contains(anchor));
+  BCC_REQUIRE(offset >= 0.0 && leaf_weight >= 0.0);
+
+  const TreeVertex a_leaf = leaf_.at(anchor);
+  const TreeVertex a_attach = attach_.at(anchor);
+  TreeVertex t_host;
+  if (a_leaf == a_attach) {
+    // Anchored at the root: children's inner vertices coincide with the
+    // root leaf (offset is structurally 0).
+    BCC_REQUIRE(offset <= 1e-9);
+    t_host = a_leaf;
+  } else {
+    // Walk from the anchor's leaf towards its attach vertex and split at
+    // `offset` (same geometry as DistanceLabel reconstruction).
+    const auto path = tree_.path(a_leaf, a_attach);
+    double cum = 0.0;
+    t_host = kNoVertex;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const double w = tree_.edge_weight(path[i], path[i + 1]).value();
+      const bool last = (i + 2 == path.size());
+      if (offset <= cum + w || last) {
+        t_host = tree_.split_edge(path[i], path[i + 1], offset - cum);
+        break;
+      }
+      cum += w;
+    }
+    BCC_ASSERT(t_host != kNoVertex);
+  }
+  TreeVertex leaf = tree_.add_vertex();
+  tree_.connect(t_host, leaf, leaf_weight, /*creator=*/host);
+
+  hosts_.push_back(host);
+  leaf_[host] = leaf;
+  attach_[host] = t_host;
+  Placement placement{anchor, offset, leaf_weight};
+  placement_[host] = placement;
+  return placement;
+}
+
+void PredictionTree::remove(NodeId host) {
+  BCC_REQUIRE(contains(host));
+  BCC_REQUIRE(host != root_host());
+  const TreeVertex v = leaf_.at(host);
+  BCC_ASSERT(tree_.degree(v) == 1);
+  const TreeVertex q = tree_.neighbors(v)[0].to;
+  tree_.remove_edge(v, q);
+
+  // Splice out q if it became a redundant degree-2 path vertex. A host leaf
+  // never qualifies (degree 1), and a vertex still carrying another host's
+  // leaf edge has degree >= 3.
+  bool q_is_host_leaf = false;
+  for (const auto& [h, leaf] : leaf_) {
+    if (leaf == q && h != host) {
+      q_is_host_leaf = true;
+      break;
+    }
+  }
+  if (!q_is_host_leaf && tree_.degree(q) == 2) {
+    tree_.splice_out(q);
+  }
+
+  leaf_.erase(host);
+  attach_.erase(host);
+  placement_.erase(host);
+  hosts_.erase(std::find(hosts_.begin(), hosts_.end(), host));
+}
+
+double PredictionTree::distance(NodeId u, NodeId v) const {
+  BCC_REQUIRE(contains(u) && contains(v));
+  if (u == v) return 0.0;
+  return tree_.distance(leaf_.at(u), leaf_.at(v));
+}
+
+double PredictionTree::predicted_bandwidth(NodeId u, NodeId v, double c) const {
+  return distance_to_bandwidth(distance(u, v), c);
+}
+
+DistanceMatrix PredictionTree::predicted_distances() const {
+  const std::size_t n = hosts_.size();
+  for (NodeId h : hosts_) BCC_REQUIRE(h < n);  // hosts must be 0..n-1
+  DistanceMatrix d(n);
+  for (NodeId u : hosts_) {
+    const auto dist = tree_.distances_from(leaf_.at(u));
+    for (NodeId v : hosts_) {
+      if (v <= u) continue;
+      d.set(u, v, dist[leaf_.at(v)]);
+    }
+  }
+  return d;
+}
+
+DistanceMatrix PredictionTree::predicted_among(
+    std::span<const NodeId> host_list) const {
+  DistanceMatrix d(host_list.size());
+  for (std::size_t i = 0; i < host_list.size(); ++i) {
+    BCC_REQUIRE(contains(host_list[i]));
+    const auto dist = tree_.distances_from(leaf_.at(host_list[i]));
+    for (std::size_t j = i + 1; j < host_list.size(); ++j) {
+      BCC_REQUIRE(contains(host_list[j]));
+      d.set(i, j, dist[leaf_.at(host_list[j])]);
+    }
+  }
+  return d;
+}
+
+const PredictionTree::Placement& PredictionTree::placement_of(
+    NodeId host) const {
+  auto it = placement_.find(host);
+  BCC_REQUIRE(it != placement_.end());
+  return it->second;
+}
+
+TreeVertex PredictionTree::leaf_of(NodeId host) const {
+  auto it = leaf_.find(host);
+  BCC_REQUIRE(it != leaf_.end());
+  return it->second;
+}
+
+TreeVertex PredictionTree::attach_of(NodeId host) const {
+  auto it = attach_.find(host);
+  BCC_REQUIRE(it != attach_.end());
+  return it->second;
+}
+
+bool PredictionTree::check_invariants() const {
+  if (hosts_.size() <= 1) return true;
+  // Removals can leave isolated (zero-degree) vertices behind; the live part
+  // must still be one tree containing every host leaf with degree 1.
+  const auto reach = tree_.distances_from(leaf_.at(root_host()));
+  std::size_t reachable = 0;
+  for (double d : reach) {
+    if (d != std::numeric_limits<double>::infinity()) ++reachable;
+  }
+  if (tree_.edge_count() != reachable - 1) return false;  // cycle or forest
+  for (NodeId h : hosts_) {
+    if (tree_.degree(leaf_.at(h)) != 1) return false;
+    if (reach[leaf_.at(h)] == std::numeric_limits<double>::infinity()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bcc

@@ -1,0 +1,124 @@
+// The prediction tree: an edge-weighted tree embedding pairwise bandwidth
+// (paper §II.D, following Sequoia [21] and the authors' decentralized
+// framework [25][26]).
+//
+// Hosts (metric-space NodeIds) are the *leaves*; inner vertices are created
+// as hosts join.  A joining host x picks a base node z (any existing leaf; we
+// use the root host) and an end node y maximizing the Gromov product
+//   (x|y)_z = ½ (d(z,x) + d(z,y) − d(x,y)).
+// x's inner vertex t_x is placed on the tree path z ⇝ y at distance (x|y)_z
+// from z, and x's leaf hangs off t_x with edge weight (y|z)_x.
+// The *anchor* of x is the host whose addition created the edge t_x landed
+// on; anchors define the overlay (see AnchorTree).
+//
+// The tree then *predicts* distances/bandwidth between any two hosts:
+//   d_T(u,v) = path length between their leaves,  BW_T(u,v) = C / d_T(u,v).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "metric/bandwidth.h"
+#include "tree/weighted_tree.h"
+
+namespace bcc {
+
+inline constexpr NodeId kNoAnchor = std::numeric_limits<NodeId>::max();
+
+/// Gromov product (x|y)_z = ½ (d(z,x) + d(z,y) − d(x,y)).
+double gromov_product(double d_zx, double d_zy, double d_xy);
+
+/// Edge-weighted tree whose leaves are hosts, grown by Gromov-product
+/// insertion. See file comment.
+class PredictionTree {
+ public:
+  /// Placement bookkeeping of one host addition (drives anchor-tree growth
+  /// and distance labels).
+  struct Placement {
+    NodeId anchor = kNoAnchor;   // host whose edge t_x landed on
+    double anchor_offset = 0.0;  // d_T(anchor leaf, t_x)
+    double leaf_weight = 0.0;    // d_T(t_x, x leaf)
+  };
+
+  bool contains(NodeId host) const { return leaf_.count(host) != 0; }
+  std::size_t host_count() const { return hosts_.size(); }
+  const std::vector<NodeId>& hosts() const { return hosts_; }
+  NodeId root_host() const;
+
+  /// Adds the very first host (becomes the root leaf and anchor-tree root).
+  void add_first(NodeId host);
+
+  /// Adds the second host, connected to the first by an edge of weight
+  /// d(first, second). Its anchor is the first host.
+  Placement add_second(NodeId host, double dist);
+
+  /// Adds host x with base z and end y (both already present, z != y),
+  /// given the three *measured* distances. Returns where x was placed.
+  Placement add(NodeId x, NodeId z, NodeId y, double d_zx, double d_zy,
+                double d_xy);
+
+  /// Adds host x at an explicit position: its inner vertex t_x sits on the
+  /// tree path z ~> y at distance `g` from z (clamped to the path), and its
+  /// leaf hangs off t_x with weight `leaf_w` (>= 0). add() is the Gromov
+  /// special case; the embedder's robust refinement uses this directly.
+  Placement add_at(NodeId x, NodeId z, NodeId y, double g, double leaf_w);
+
+  /// Re-inserts a host from its stored placement (anchor, offset from the
+  /// anchor's leaf, leaf weight) — the deserialization path. Inserting every
+  /// host in join order reproduces the original geometry exactly (the same
+  /// property that makes distance labels exact). The anchor must already be
+  /// present; for a host anchored at the root the offset must be 0.
+  Placement restore(NodeId host, NodeId anchor, double offset,
+                    double leaf_weight);
+
+  /// Removes a host's leaf from the tree (departure). The host must have no
+  /// other host anchored *at* it in the caller's anchor tree — callers
+  /// remove anchor subtrees bottom-up (see FrameworkMaintainer). The
+  /// vacated inner vertex is spliced out when possible; isolated vertices
+  /// are left behind (they carry no distance). The root host and the second
+  /// host cannot be removed this way (their geometry seeds the tree).
+  void remove(NodeId host);
+
+  /// Predicted distance d_T between two hosts' leaves.
+  double distance(NodeId u, NodeId v) const;
+
+  /// Predicted bandwidth BW_T(u,v) = C / d_T(u,v).
+  double predicted_bandwidth(NodeId u, NodeId v,
+                             double c = kDefaultTransformC) const;
+
+  /// Dense matrix of predicted distances between all hosts, indexed by the
+  /// *metric-space* NodeIds (requires hosts to be exactly 0..n-1).
+  DistanceMatrix predicted_distances() const;
+
+  /// Predicted distances among an explicit host list; entry (i, j) of the
+  /// result is d_T(hosts[i], hosts[j]). Works under churn, where the host
+  /// set is no longer 0..n-1.
+  DistanceMatrix predicted_among(std::span<const NodeId> host_list) const;
+
+  /// Placement of a host (anchor, offset, leaf weight). The root host has
+  /// anchor kNoAnchor.
+  const Placement& placement_of(NodeId host) const;
+
+  /// The leaf vertex of a host in the underlying tree.
+  TreeVertex leaf_of(NodeId host) const;
+
+  /// The vertex x's leaf edge attaches to (t_x). For the root host this is
+  /// the root leaf itself (it predates all inner vertices).
+  TreeVertex attach_of(NodeId host) const;
+
+  const WeightedTree& tree() const { return tree_; }
+
+  /// Structural invariants: underlying graph is a tree, every host leaf has
+  /// degree 1 (except transiently the root before a second host joins).
+  bool check_invariants() const;
+
+ private:
+  WeightedTree tree_;
+  std::vector<NodeId> hosts_;  // in insertion order; hosts_[0] is the root
+  std::unordered_map<NodeId, TreeVertex> leaf_;
+  std::unordered_map<NodeId, TreeVertex> attach_;  // t_x per host
+  std::unordered_map<NodeId, Placement> placement_;
+};
+
+}  // namespace bcc

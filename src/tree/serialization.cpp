@@ -1,0 +1,88 @@
+#include "tree/serialization.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bcc {
+namespace {
+
+constexpr const char* kMagic = "bcc-framework v1";
+
+[[noreturn]] void malformed(const std::string& path, const std::string& why) {
+  throw std::runtime_error("malformed framework file " + path + ": " + why);
+}
+
+}  // namespace
+
+void save_framework(const Framework& fw, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  os << kMagic << "\n" << fw.prediction.host_count() << "\n";
+  os.precision(17);
+  for (NodeId host : fw.prediction.hosts()) {
+    const auto& p = fw.prediction.placement_of(host);
+    os << host << ' ';
+    if (p.anchor == kNoAnchor) {
+      os << -1;
+    } else {
+      os << static_cast<long long>(p.anchor);
+    }
+    os << ' ' << p.anchor_offset << ' ' << p.leaf_weight << '\n';
+  }
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Framework load_framework(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+
+  auto next_line = [&](std::string& line) {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  std::string line;
+  if (!next_line(line) || line != kMagic) malformed(path, "bad magic");
+  if (!next_line(line)) malformed(path, "missing host count");
+  std::size_t n = 0;
+  try {
+    n = static_cast<std::size_t>(std::stoull(line));
+  } catch (const std::exception&) {
+    malformed(path, "bad host count");
+  }
+
+  Framework fw;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!next_line(line)) malformed(path, "truncated host records");
+    std::istringstream fields(line);
+    long long host = 0, anchor = 0;
+    double offset = 0.0, leaf_weight = 0.0;
+    if (!(fields >> host >> anchor >> offset >> leaf_weight) || host < 0) {
+      malformed(path, "bad host record '" + line + "'");
+    }
+    const NodeId h = static_cast<NodeId>(host);
+    if (i == 0) {
+      if (anchor != -1) malformed(path, "first record must be the root");
+      fw.prediction.add_first(h);
+      fw.anchors.set_root(h);
+      continue;
+    }
+    if (anchor < 0) malformed(path, "non-root record without anchor");
+    const NodeId a = static_cast<NodeId>(anchor);
+    if (!fw.prediction.contains(a)) {
+      malformed(path, "anchor appears after its child");
+    }
+    try {
+      fw.prediction.restore(h, a, offset, leaf_weight);
+    } catch (const ContractViolation& e) {
+      malformed(path, e.what());
+    }
+    fw.anchors.add_child(a, h);
+  }
+  return fw;
+}
+
+}  // namespace bcc

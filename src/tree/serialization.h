@@ -1,0 +1,31 @@
+// Framework persistence: a built prediction framework (prediction tree +
+// anchor tree) serializes to a compact text form and reloads exactly.
+//
+// The on-disk record is the per-host placement chain — host id, anchor id,
+// offset from the anchor's leaf, leaf-edge weight — in join order. That is
+// the same information distance labels carry, and replaying it through
+// PredictionTree::restore reproduces the tree geometry exactly (verified by
+// round-trip tests). Long-running deployments snapshot the framework
+// instead of re-measuring the network after a restart.
+//
+// Format (text, '#' comments allowed):
+//   bcc-framework v1
+//   <n>
+//   <host> <anchor|-1> <offset> <leaf_weight>     # one line per host,
+//   ...                                           # join order, root first
+#pragma once
+
+#include <string>
+
+#include "tree/embedder.h"
+
+namespace bcc {
+
+/// Writes the framework. Throws std::runtime_error on I/O failure.
+void save_framework(const Framework& fw, const std::string& path);
+
+/// Reads a framework back; distances match the saved one exactly.
+/// Throws std::runtime_error on I/O failure or malformed content.
+Framework load_framework(const std::string& path);
+
+}  // namespace bcc

@@ -1,0 +1,210 @@
+#include "tree/weighted_tree.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace bcc {
+
+TreeVertex WeightedTree::add_vertex() {
+  adj_.emplace_back();
+  return adj_.size() - 1;
+}
+
+void WeightedTree::connect(TreeVertex u, TreeVertex v, double weight,
+                           NodeId creator) {
+  BCC_REQUIRE(u < adj_.size() && v < adj_.size() && u != v);
+  BCC_REQUIRE(weight >= 0.0);
+  BCC_REQUIRE(!connected(u, v));
+  adj_[u].push_back(HalfEdge{v, weight, creator});
+  adj_[v].push_back(HalfEdge{u, weight, creator});
+  ++edge_count_;
+}
+
+std::size_t WeightedTree::degree(TreeVertex v) const {
+  BCC_REQUIRE(v < adj_.size());
+  return adj_[v].size();
+}
+
+const std::vector<WeightedTree::HalfEdge>& WeightedTree::neighbors(
+    TreeVertex v) const {
+  BCC_REQUIRE(v < adj_.size());
+  return adj_[v];
+}
+
+bool WeightedTree::connected(TreeVertex u, TreeVertex v) const {
+  BCC_REQUIRE(u < adj_.size() && v < adj_.size());
+  if (u == v) return true;
+  std::vector<char> seen(adj_.size(), 0);
+  std::queue<TreeVertex> q;
+  q.push(u);
+  seen[u] = 1;
+  while (!q.empty()) {
+    TreeVertex cur = q.front();
+    q.pop();
+    for (const HalfEdge& e : adj_[cur]) {
+      if (seen[e.to]) continue;
+      if (e.to == v) return true;
+      seen[e.to] = 1;
+      q.push(e.to);
+    }
+  }
+  return false;
+}
+
+double WeightedTree::distance(TreeVertex u, TreeVertex v) const {
+  auto p = path(u, v);
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    const HalfEdge* e = find_half_edge(p[i], p[i + 1]);
+    BCC_ASSERT(e != nullptr);
+    total += e->weight;
+  }
+  return total;
+}
+
+std::vector<TreeVertex> WeightedTree::path(TreeVertex u, TreeVertex v) const {
+  BCC_REQUIRE(u < adj_.size() && v < adj_.size());
+  if (u == v) return {u};
+  std::vector<TreeVertex> parent(adj_.size(), kNoVertex);
+  std::vector<char> seen(adj_.size(), 0);
+  std::queue<TreeVertex> q;
+  q.push(u);
+  seen[u] = 1;
+  bool found = false;
+  while (!q.empty() && !found) {
+    TreeVertex cur = q.front();
+    q.pop();
+    for (const HalfEdge& e : adj_[cur]) {
+      if (seen[e.to]) continue;
+      seen[e.to] = 1;
+      parent[e.to] = cur;
+      if (e.to == v) {
+        found = true;
+        break;
+      }
+      q.push(e.to);
+    }
+  }
+  BCC_REQUIRE(found);  // precondition: u and v connected
+  std::vector<TreeVertex> p;
+  for (TreeVertex cur = v; cur != kNoVertex; cur = parent[cur]) p.push_back(cur);
+  std::reverse(p.begin(), p.end());
+  BCC_ASSERT(p.front() == u && p.back() == v);
+  return p;
+}
+
+TreeVertex WeightedTree::split_edge(TreeVertex u, TreeVertex v,
+                                    double dist_from_u) {
+  HalfEdge* uv = find_half_edge(u, v);
+  BCC_REQUIRE(uv != nullptr);
+  const double w = uv->weight;
+  const NodeId creator = uv->creator;
+  const double t = std::clamp(dist_from_u, 0.0, w);
+
+  // Remove both half-edges, then connect through the new vertex.
+  auto erase_half = [this](TreeVertex a, TreeVertex b) {
+    auto& list = adj_[a];
+    auto it = std::find_if(list.begin(), list.end(),
+                           [b](const HalfEdge& e) { return e.to == b; });
+    BCC_ASSERT(it != list.end());
+    list.erase(it);
+  };
+  erase_half(u, v);
+  erase_half(v, u);
+  --edge_count_;
+
+  TreeVertex mid = add_vertex();
+  connect(u, mid, t, creator);
+  connect(mid, v, w - t, creator);
+  return mid;
+}
+
+void WeightedTree::remove_edge(TreeVertex u, TreeVertex v) {
+  BCC_REQUIRE(find_half_edge(u, v) != nullptr);
+  auto erase_half = [this](TreeVertex a, TreeVertex b) {
+    auto& list = adj_[a];
+    auto it = std::find_if(list.begin(), list.end(),
+                           [b](const HalfEdge& e) { return e.to == b; });
+    BCC_ASSERT(it != list.end());
+    list.erase(it);
+  };
+  erase_half(u, v);
+  erase_half(v, u);
+  --edge_count_;
+}
+
+void WeightedTree::splice_out(TreeVertex v) {
+  BCC_REQUIRE(v < adj_.size());
+  BCC_REQUIRE(degree(v) == 2);
+  const HalfEdge ea = adj_[v][0];
+  const HalfEdge eb = adj_[v][1];
+  BCC_REQUIRE(ea.creator == eb.creator);
+  remove_edge(v, ea.to);
+  remove_edge(v, eb.to);
+  connect(ea.to, eb.to, ea.weight + eb.weight, ea.creator);
+}
+
+std::optional<double> WeightedTree::edge_weight(TreeVertex u,
+                                                TreeVertex v) const {
+  const HalfEdge* e = find_half_edge(u, v);
+  if (!e) return std::nullopt;
+  return e->weight;
+}
+
+std::optional<NodeId> WeightedTree::edge_creator(TreeVertex u,
+                                                 TreeVertex v) const {
+  const HalfEdge* e = find_half_edge(u, v);
+  if (!e) return std::nullopt;
+  return e->creator;
+}
+
+std::vector<double> WeightedTree::distances_from(TreeVertex src) const {
+  BCC_REQUIRE(src < adj_.size());
+  std::vector<double> dist(adj_.size(),
+                           std::numeric_limits<double>::infinity());
+  dist[src] = 0.0;
+  std::queue<TreeVertex> q;
+  q.push(src);
+  while (!q.empty()) {
+    TreeVertex cur = q.front();
+    q.pop();
+    for (const HalfEdge& e : adj_[cur]) {
+      if (dist[e.to] != std::numeric_limits<double>::infinity()) continue;
+      dist[e.to] = dist[cur] + e.weight;
+      q.push(e.to);
+    }
+  }
+  return dist;
+}
+
+void WeightedTree::scale_weights(double factor) {
+  BCC_REQUIRE(factor > 0.0);
+  for (auto& list : adj_) {
+    for (HalfEdge& e : list) e.weight *= factor;
+  }
+}
+
+bool WeightedTree::is_tree() const {
+  if (adj_.size() <= 1) return true;
+  if (edge_count_ != adj_.size() - 1) return false;
+  auto dist = distances_from(0);
+  return std::none_of(dist.begin(), dist.end(), [](double d) {
+    return d == std::numeric_limits<double>::infinity();
+  });
+}
+
+WeightedTree::HalfEdge* WeightedTree::find_half_edge(TreeVertex u,
+                                                     TreeVertex v) {
+  BCC_REQUIRE(u < adj_.size() && v < adj_.size());
+  for (HalfEdge& e : adj_[u]) {
+    if (e.to == v) return &e;
+  }
+  return nullptr;
+}
+
+const WeightedTree::HalfEdge* WeightedTree::find_half_edge(TreeVertex u,
+                                                           TreeVertex v) const {
+  return const_cast<WeightedTree*>(this)->find_half_edge(u, v);
+}
+
+}  // namespace bcc

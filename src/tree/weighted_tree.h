@@ -1,0 +1,98 @@
+// Edge-weighted trees with edge provenance (paper §II.A, §II.D).
+//
+// WeightedTree is the raw graph structure underneath PredictionTree: vertices
+// connected by non-negative weighted edges, no cycles.  Every edge carries a
+// `creator` tag — the host whose addition to the prediction tree created the
+// edge.  When an edge is split (to place a new host's inner node on it) both
+// halves inherit the creator; the creator of the edge a new inner node lands
+// on defines that host's *anchor* (paper §II.D).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/assert.h"
+#include "metric/distance_matrix.h"
+
+namespace bcc {
+
+using TreeVertex = std::size_t;
+
+inline constexpr NodeId kNoCreator = std::numeric_limits<NodeId>::max();
+inline constexpr TreeVertex kNoVertex = std::numeric_limits<TreeVertex>::max();
+
+/// Growable edge-weighted tree. Vertices are dense indices; edges are stored
+/// as adjacency lists. The structure never holds cycles: connect() refuses to
+/// link two vertices that are already connected.
+class WeightedTree {
+ public:
+  struct HalfEdge {
+    TreeVertex to;
+    double weight;
+    NodeId creator;  // host that created this edge (kNoCreator if none)
+  };
+
+  /// Adds an isolated vertex and returns its index.
+  TreeVertex add_vertex();
+
+  std::size_t vertex_count() const { return adj_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Connects two distinct vertices with an edge of weight >= 0.
+  /// Requires the vertices not to be already connected (no cycles).
+  void connect(TreeVertex u, TreeVertex v, double weight,
+               NodeId creator = kNoCreator);
+
+  std::size_t degree(TreeVertex v) const;
+  const std::vector<HalfEdge>& neighbors(TreeVertex v) const;
+
+  /// True if u and v are in the same connected component.
+  bool connected(TreeVertex u, TreeVertex v) const;
+
+  /// Sum of edge weights along the unique u~v path. Requires connectivity.
+  double distance(TreeVertex u, TreeVertex v) const;
+
+  /// The unique path u ... v (inclusive of endpoints). Requires connectivity.
+  std::vector<TreeVertex> path(TreeVertex u, TreeVertex v) const;
+
+  /// Splits the edge (u, v) at `dist_from_u` (clamped to [0, weight]) by
+  /// inserting a fresh vertex; both halves keep the edge's creator.
+  /// Returns the new vertex.
+  TreeVertex split_edge(TreeVertex u, TreeVertex v, double dist_from_u);
+
+  /// Removes the edge (u, v); the structure becomes a forest until callers
+  /// reconnect. Requires the edge to exist.
+  void remove_edge(TreeVertex u, TreeVertex v);
+
+  /// Splices out a degree-2 vertex: its two incident edges (a,v),(v,b) are
+  /// replaced by one edge (a,b) with summed weight. Both edges must have the
+  /// same creator (true for any split-produced pair). v becomes isolated.
+  void splice_out(TreeVertex v);
+
+  /// Weight of the edge (u, v); nullopt if no such edge.
+  std::optional<double> edge_weight(TreeVertex u, TreeVertex v) const;
+
+  /// Creator of the edge (u, v); nullopt if no such edge.
+  std::optional<NodeId> edge_creator(TreeVertex u, TreeVertex v) const;
+
+  /// Distances from `src` to every vertex (infinity for unreachable).
+  std::vector<double> distances_from(TreeVertex src) const;
+
+  /// Multiplies every edge weight by `factor` (> 0).
+  void scale_weights(double factor);
+
+  /// True if the whole structure is one connected tree (V-1 edges, all
+  /// reachable). Vacuously true for 0 or 1 vertices.
+  bool is_tree() const;
+
+ private:
+  HalfEdge* find_half_edge(TreeVertex u, TreeVertex v);
+  const HalfEdge* find_half_edge(TreeVertex u, TreeVertex v) const;
+
+  std::vector<std::vector<HalfEdge>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace bcc

@@ -1,0 +1,128 @@
+#include "vivaldi/vivaldi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcc {
+
+double euclidean(const Coord& a, const Coord& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Vivaldi::Vivaldi(std::size_t n, Rng& rng, VivaldiOptions options)
+    : coords_(n), errors_(n, options.initial_error), options_(options),
+      rng_(&rng) {
+  BCC_REQUIRE(options.ce > 0.0 && options.ce <= 1.0);
+  BCC_REQUIRE(options.cc > 0.0 && options.cc <= 1.0);
+  // Small random placement breaks the symmetry of the all-zero start.
+  for (Coord& c : coords_) {
+    c.x = rng.uniform(-0.1, 0.1);
+    c.y = rng.uniform(-0.1, 0.1);
+  }
+}
+
+void Vivaldi::observe(NodeId i, NodeId j, double dist) {
+  BCC_REQUIRE(i < size() && j < size() && i != j);
+  BCC_REQUIRE(dist >= 0.0);
+  if (dist <= 0.0) return;  // degenerate sample carries no gradient
+
+  Coord& ci = coords_[i];
+  const Coord& cj = coords_[j];
+  const double planar = euclidean(ci, cj);
+  const double cur =
+      options_.use_height ? planar + ci.h + cj.h : planar;
+
+  // Unit planar vector from j towards i; random direction if coincident.
+  double ux, uy;
+  if (planar > 1e-12) {
+    ux = (ci.x - cj.x) / planar;
+    uy = (ci.y - cj.y) / planar;
+  } else {
+    const double ang = rng_->uniform(0.0, 2.0 * 3.141592653589793);
+    ux = std::cos(ang);
+    uy = std::sin(ang);
+  }
+
+  const double w = errors_[i] / (errors_[i] + errors_[j] + 1e-12);
+  const double sample_err = std::abs(cur - dist) / dist;
+  errors_[i] = std::clamp(
+      sample_err * options_.ce * w + errors_[i] * (1.0 - options_.ce * w), 0.0,
+      10.0);
+  const double delta = options_.cc * w;
+  const double force = delta * (dist - cur);
+  ci.x += force * ux;
+  ci.y += force * uy;
+  if (options_.use_height) {
+    // The height axis contributes +1 to the unit vector for both endpoints
+    // (Dabek et al. §5.4): pushing apart raises the height, pulling together
+    // lowers it, never below zero.
+    ci.h = std::max(0.0, ci.h + force);
+  }
+}
+
+void Vivaldi::run(const DistanceMatrix& target) {
+  BCC_REQUIRE(target.size() == size());
+  const std::size_t n = size();
+  if (n < 2) return;
+  for (std::size_t round = 0; round < options_.rounds; ++round) {
+    for (NodeId i = 0; i < n; ++i) {
+      for (std::size_t s = 0; s < options_.samples_per_node_per_round; ++s) {
+        NodeId j = static_cast<NodeId>(rng_->below(n - 1));
+        if (j >= i) ++j;  // uniform over peers != i
+        observe(i, j, target.at(i, j));
+      }
+    }
+  }
+}
+
+const Coord& Vivaldi::coord(NodeId i) const {
+  BCC_REQUIRE(i < size());
+  return coords_[i];
+}
+
+double Vivaldi::error(NodeId i) const {
+  BCC_REQUIRE(i < size());
+  return errors_[i];
+}
+
+double Vivaldi::distance(NodeId i, NodeId j) const {
+  BCC_REQUIRE(i < size() && j < size());
+  if (i == j) return 0.0;
+  const double planar = euclidean(coords_[i], coords_[j]);
+  return options_.use_height ? planar + coords_[i].h + coords_[j].h : planar;
+}
+
+DistanceMatrix Vivaldi::predicted_distances() const {
+  DistanceMatrix d(size());
+  for (NodeId i = 0; i < size(); ++i) {
+    for (NodeId j = i + 1; j < size(); ++j) {
+      d.set(i, j, distance(i, j));
+    }
+  }
+  return d;
+}
+
+double Vivaldi::median_relative_error(const DistanceMatrix& target) const {
+  BCC_REQUIRE(target.size() == size());
+  std::vector<double> errs;
+  for (NodeId i = 0; i < size(); ++i) {
+    for (NodeId j = i + 1; j < size(); ++j) {
+      const double actual = target.at(i, j);
+      if (actual <= 0.0) continue;
+      errs.push_back(std::abs(distance(i, j) - actual) / actual);
+    }
+  }
+  if (errs.empty()) return 0.0;
+  std::nth_element(errs.begin(), errs.begin() + errs.size() / 2, errs.end());
+  return errs[errs.size() / 2];
+}
+
+DistanceMatrix vivaldi_embed(const DistanceMatrix& target, Rng& rng,
+                             VivaldiOptions options) {
+  Vivaldi v(target.size(), rng, options);
+  v.run(target);
+  return v.predicted_distances();
+}
+
+}  // namespace bcc

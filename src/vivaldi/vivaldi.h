@@ -1,0 +1,85 @@
+// Vivaldi network coordinates (Dabek et al., SIGCOMM'04) in 2-D Euclidean
+// space — the embedding substrate of the paper's comparison model
+// (§IV.A: EUCL-CENTRAL).
+//
+// Each node holds a 2-D coordinate and a local error estimate.  On each
+// sample (i, j, measured distance) node i nudges its coordinate along the
+// error gradient with the adaptive timestep of the original paper:
+//   w      = e_i / (e_i + e_j)
+//   e_s    = |‖x_i − x_j‖ − d| / d
+//   e_i    ← e_s·c_e·w + e_i·(1 − c_e·w)
+//   δ      = c_c · w
+//   x_i    ← x_i + δ·(d − ‖x_i − x_j‖)·u(x_i − x_j)
+// Distances fed to Vivaldi here come from the rational transform of
+// bandwidth (d = C/BW), the configuration §V reports as far more accurate
+// for bandwidth than the linear transform.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "metric/distance_matrix.h"
+
+namespace bcc {
+
+/// A point in the embedding space: 2-D position plus an optional
+/// non-negative "height" (Dabek et al.'s height-vector model — height
+/// captures the access-link component that no planar position can).
+struct Coord {
+  double x = 0.0;
+  double y = 0.0;
+  double h = 0.0;  // used only when VivaldiOptions::use_height
+};
+
+/// Planar Euclidean distance (ignores heights).
+double euclidean(const Coord& a, const Coord& b);
+
+struct VivaldiOptions {
+  double ce = 0.25;          // error-damping constant
+  double cc = 0.25;          // timestep constant
+  double initial_error = 1.0;
+  std::size_t samples_per_node_per_round = 16;
+  std::size_t rounds = 50;
+  /// Height-vector model: predicted distance = ||xi − xj|| + hi + hj.
+  bool use_height = false;
+};
+
+/// The Vivaldi embedding engine over a fixed node population.
+class Vivaldi {
+ public:
+  Vivaldi(std::size_t n, Rng& rng, VivaldiOptions options = {});
+
+  std::size_t size() const { return coords_.size(); }
+
+  /// One measurement sample: node i observes distance `dist` to node j and
+  /// updates its own coordinate and error.
+  void observe(NodeId i, NodeId j, double dist);
+
+  /// Runs options.rounds rounds; in each round every node samples
+  /// options.samples_per_node_per_round random peers from `target`.
+  void run(const DistanceMatrix& target);
+
+  const Coord& coord(NodeId i) const;
+  double error(NodeId i) const;
+
+  /// Predicted distance = Euclidean distance between coordinates.
+  double distance(NodeId i, NodeId j) const;
+
+  /// Dense predicted distance matrix.
+  DistanceMatrix predicted_distances() const;
+
+  /// Median of |predicted − actual| / actual over all pairs of `target`.
+  double median_relative_error(const DistanceMatrix& target) const;
+
+ private:
+  std::vector<Coord> coords_;
+  std::vector<double> errors_;
+  VivaldiOptions options_;
+  Rng* rng_;
+};
+
+/// Convenience: embeds `target` and returns the predicted distance matrix.
+DistanceMatrix vivaldi_embed(const DistanceMatrix& target, Rng& rng,
+                             VivaldiOptions options = {});
+
+}  // namespace bcc

@@ -1,0 +1,79 @@
+#include "workload/scheduler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.h"
+
+namespace bcc {
+namespace {
+
+/// Per-pair transferred megabits for one stage boundary (stage s -> s+1).
+std::map<std::pair<NodeId, NodeId>, double> gap_traffic(
+    const Workflow& wf, const Assignment& assignment, std::size_t from_stage) {
+  std::map<std::pair<NodeId, NodeId>, double> traffic;
+  for (const Transfer& t : wf.transfers()) {
+    if (wf.tasks()[t.from].stage != from_stage) continue;
+    const NodeId a = assignment.task_host[t.from];
+    const NodeId b = assignment.task_host[t.to];
+    if (a == b) continue;  // co-located: free
+    traffic[{std::min(a, b), std::max(a, b)}] += t.mbits;
+  }
+  return traffic;
+}
+
+}  // namespace
+
+Assignment round_robin_assign(const Workflow& wf,
+                              std::span<const NodeId> hosts) {
+  BCC_REQUIRE(!hosts.empty());
+  Assignment assignment;
+  assignment.task_host.resize(wf.tasks().size());
+  for (std::size_t s = 0; s < wf.stage_count(); ++s) {
+    std::size_t slot = 0;
+    for (TaskId t : wf.stage_tasks(s)) {
+      assignment.task_host[t] = hosts[slot++ % hosts.size()];
+    }
+  }
+  return assignment;
+}
+
+double estimate_makespan(const Workflow& wf, const Assignment& assignment,
+                         const BandwidthMatrix& real) {
+  BCC_REQUIRE(assignment.task_host.size() == wf.tasks().size());
+  for (NodeId h : assignment.task_host) BCC_REQUIRE(h < real.size());
+
+  double makespan = 0.0;
+  for (std::size_t s = 0; s < wf.stage_count(); ++s) {
+    double stage_compute = 0.0;
+    for (TaskId t : wf.stage_tasks(s)) {
+      stage_compute = std::max(stage_compute, wf.tasks()[t].compute_seconds);
+    }
+    makespan += stage_compute;
+    if (s + 1 < wf.stage_count()) {
+      double gap = 0.0;
+      for (const auto& [pair, mbits] : gap_traffic(wf, assignment, s)) {
+        gap = std::max(gap, mbits / real.at(pair.first, pair.second));
+      }
+      makespan += gap;
+    }
+  }
+  return makespan;
+}
+
+Bottleneck find_bottleneck(const Workflow& wf, const Assignment& assignment,
+                           const BandwidthMatrix& real) {
+  BCC_REQUIRE(assignment.task_host.size() == wf.tasks().size());
+  Bottleneck worst;
+  for (std::size_t s = 0; s + 1 < wf.stage_count(); ++s) {
+    for (const auto& [pair, mbits] : gap_traffic(wf, assignment, s)) {
+      const double seconds = mbits / real.at(pair.first, pair.second);
+      if (seconds > worst.seconds) {
+        worst = Bottleneck{pair.first, pair.second, seconds};
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace bcc

@@ -1,0 +1,46 @@
+// Scheduling a workflow onto hosts and estimating its makespan over a real
+// bandwidth matrix — the quantitative payoff of bandwidth-constrained
+// clustering for desktop grids (§I, §V).
+//
+// Execution model (stage-synchronous, conservative):
+//   stage time = max over its tasks of compute_seconds
+//   inter-stage time = max over host pairs of (sum of that pair's transfer
+//                      megabits) / BW(pair)   — per-pair links serialize,
+//                      distinct pairs run in parallel
+//   makespan = sum over stages + inter-stage gaps.
+// Co-located transfers (same host) are free.
+#pragma once
+
+#include <span>
+
+#include "metric/bandwidth.h"
+#include "workload/workflow.h"
+
+namespace bcc {
+
+/// Task -> host mapping (indexed by TaskId).
+struct Assignment {
+  std::vector<NodeId> task_host;
+};
+
+/// Spreads tasks across hosts round-robin, stage by stage (the scheduler
+/// any grid uses once the *host set* is chosen — this library's thesis is
+/// that choosing the host set well matters more than task order).
+Assignment round_robin_assign(const Workflow& wf, std::span<const NodeId> hosts);
+
+/// Estimated makespan in seconds under the model above. `real` provides the
+/// ground-truth bandwidth between hosts.
+double estimate_makespan(const Workflow& wf, const Assignment& assignment,
+                         const BandwidthMatrix& real);
+
+/// The bottleneck link of a schedule: the host pair whose transfers dominate
+/// one inter-stage gap (diagnostic for "which link killed us").
+struct Bottleneck {
+  NodeId a = 0;
+  NodeId b = 0;
+  double seconds = 0.0;  // time spent on this pair in its worst gap
+};
+Bottleneck find_bottleneck(const Workflow& wf, const Assignment& assignment,
+                           const BandwidthMatrix& real);
+
+}  // namespace bcc

@@ -1,0 +1,81 @@
+#include "workload/workflow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace bcc {
+
+Workflow Workflow::cybershake_like(const WorkflowOptions& options, Rng& rng) {
+  BCC_REQUIRE(options.stages >= 1 && options.tasks_per_stage >= 1);
+  BCC_REQUIRE(options.fan_in >= 1);
+  BCC_REQUIRE(options.compute_mean_s > 0.0 && options.transfer_mean_mbit > 0.0);
+
+  Workflow wf;
+  wf.stages_ = options.stages;
+  // Lognormal with the requested mean: mu = ln(mean) - sigma^2/2.
+  const double compute_mu =
+      std::log(options.compute_mean_s) -
+      options.compute_sigma * options.compute_sigma / 2.0;
+  const double transfer_mu =
+      std::log(options.transfer_mean_mbit) -
+      options.transfer_sigma * options.transfer_sigma / 2.0;
+
+  for (std::size_t s = 0; s < options.stages; ++s) {
+    for (std::size_t t = 0; t < options.tasks_per_stage; ++t) {
+      Task task;
+      task.id = wf.tasks_.size();
+      task.stage = s;
+      task.compute_seconds = rng.lognormal(compute_mu, options.compute_sigma);
+      wf.tasks_.push_back(task);
+    }
+  }
+  const std::size_t fan_in =
+      std::min(options.fan_in, options.tasks_per_stage);
+  for (std::size_t s = 1; s < options.stages; ++s) {
+    const std::size_t prev_base = (s - 1) * options.tasks_per_stage;
+    for (std::size_t t = 0; t < options.tasks_per_stage; ++t) {
+      const TaskId to = s * options.tasks_per_stage + t;
+      const auto sources = rng.sample_indices(options.tasks_per_stage, fan_in);
+      for (std::size_t src : sources) {
+        wf.transfers_.push_back(
+            Transfer{prev_base + src, to,
+                     rng.lognormal(transfer_mu, options.transfer_sigma)});
+      }
+    }
+  }
+  BCC_ASSERT(wf.check_invariants());
+  return wf;
+}
+
+std::vector<TaskId> Workflow::stage_tasks(std::size_t stage) const {
+  BCC_REQUIRE(stage < stages_);
+  std::vector<TaskId> out;
+  for (const Task& t : tasks_) {
+    if (t.stage == stage) out.push_back(t.id);
+  }
+  return out;
+}
+
+double Workflow::total_transfer_mbits() const {
+  double total = 0.0;
+  for (const Transfer& t : transfers_) total += t.mbits;
+  return total;
+}
+
+bool Workflow::check_invariants() const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].id != i) return false;
+    if (tasks_[i].stage >= stages_) return false;
+    if (tasks_[i].compute_seconds <= 0.0) return false;
+  }
+  for (const Transfer& t : transfers_) {
+    if (t.from >= tasks_.size() || t.to >= tasks_.size()) return false;
+    if (tasks_[t.to].stage != tasks_[t.from].stage + 1) return false;
+    if (t.mbits <= 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace bcc

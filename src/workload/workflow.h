@@ -1,0 +1,74 @@
+// Data-intensive scientific workflows — the paper's motivating workload
+// (§I cites the CyberShake workflow [4], characterized by Bharathi et al.):
+// stages of parallel tasks, with large files shipped between consecutive
+// stages. Running such a jobset on a bandwidth-constrained cluster is the
+// desktop-grid use case the clustering system exists for.
+//
+// The model is deliberately structural: tasks carry compute times, directed
+// transfers carry megabits, and stages synchronize (CyberShake's
+// fan-out -> post-processing -> fan-in shape).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bcc {
+
+using TaskId = std::size_t;
+
+struct Task {
+  TaskId id = 0;
+  std::size_t stage = 0;
+  double compute_seconds = 0.0;
+};
+
+/// A file transfer between tasks of consecutive stages.
+struct Transfer {
+  TaskId from = 0;
+  TaskId to = 0;
+  double mbits = 0.0;
+};
+
+/// Tunables for the CyberShake-like generator.
+struct WorkflowOptions {
+  std::size_t stages = 3;
+  std::size_t tasks_per_stage = 16;
+  double compute_mean_s = 120.0;  // lognormal-ish task runtimes
+  double compute_sigma = 0.4;
+  double transfer_mean_mbit = 800.0;  // SGT-style large intermediate files
+  double transfer_sigma = 0.5;
+  /// Each task consumes outputs of this many upstream tasks (fan-in >= 1).
+  std::size_t fan_in = 2;
+};
+
+/// A stage-structured workflow DAG.
+class Workflow {
+ public:
+  /// Generates a CyberShake-like workflow: `stages` layers of
+  /// `tasks_per_stage` tasks; every non-first-stage task pulls files from
+  /// `fan_in` random tasks of the previous stage.
+  static Workflow cybershake_like(const WorkflowOptions& options, Rng& rng);
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<Transfer>& transfers() const { return transfers_; }
+  std::size_t stage_count() const { return stages_; }
+
+  /// Tasks of one stage.
+  std::vector<TaskId> stage_tasks(std::size_t stage) const;
+
+  /// Total bytes shipped, in megabits.
+  double total_transfer_mbits() const;
+
+  /// Structural sanity: transfers connect consecutive stages only, ids are
+  /// dense, fan-in respected.
+  bool check_invariants() const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<Transfer> transfers_;
+  std::size_t stages_ = 0;
+};
+
+}  // namespace bcc

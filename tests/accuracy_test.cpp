@@ -1,0 +1,161 @@
+#include "stats/accuracy.h"
+
+#include <gtest/gtest.h>
+
+#include "metric/four_point.h"
+
+namespace bcc {
+namespace {
+
+BandwidthMatrix small_bw() {
+  BandwidthMatrix bw(4, 1.0);
+  bw.set(0, 1, 50.0);
+  bw.set(0, 2, 20.0);
+  bw.set(0, 3, 80.0);
+  bw.set(1, 2, 10.0);
+  bw.set(1, 3, 60.0);
+  bw.set(2, 3, 30.0);
+  return bw;
+}
+
+TEST(Wpr, CountsWrongPairs) {
+  const BandwidthMatrix bw = small_bw();
+  WprAccumulator acc;
+  // Cluster {0,1,2} at b=25: pairs (0,1)=50 ok, (0,2)=20 wrong, (1,2)=10 wrong.
+  acc.add_cluster(bw, {0, 1, 2}, 25.0);
+  EXPECT_EQ(acc.total_pairs(), 3u);
+  EXPECT_EQ(acc.wrong_pairs(), 2u);
+  EXPECT_NEAR(acc.rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Wpr, PerfectClusterHasZeroRate) {
+  const BandwidthMatrix bw = small_bw();
+  WprAccumulator acc;
+  acc.add_cluster(bw, {0, 1, 3}, 50.0);  // 50, 80, 60 all >= 50
+  EXPECT_DOUBLE_EQ(acc.rate(), 0.0);
+}
+
+TEST(Wpr, EmptyAndSingletonClustersAddNothing) {
+  const BandwidthMatrix bw = small_bw();
+  WprAccumulator acc;
+  acc.add_cluster(bw, {}, 10.0);
+  acc.add_cluster(bw, {2}, 10.0);
+  EXPECT_EQ(acc.total_pairs(), 0u);
+  EXPECT_DOUBLE_EQ(acc.rate(), 0.0);
+}
+
+TEST(Wpr, AccumulatesAcrossClustersAndMerges) {
+  const BandwidthMatrix bw = small_bw();
+  WprAccumulator a, b;
+  a.add_cluster(bw, {0, 1}, 60.0);  // 50 < 60: wrong
+  b.add_cluster(bw, {0, 3}, 60.0);  // 80 >= 60: ok
+  a += b;
+  EXPECT_EQ(a.total_pairs(), 2u);
+  EXPECT_EQ(a.wrong_pairs(), 1u);
+  EXPECT_DOUBLE_EQ(a.rate(), 0.5);
+}
+
+TEST(Rr, Accumulates) {
+  RrAccumulator rr;
+  rr.add_query(true);
+  rr.add_query(false);
+  rr.add_query(true);
+  EXPECT_EQ(rr.found_queries(), 2u);
+  EXPECT_EQ(rr.total_queries(), 3u);
+  EXPECT_NEAR(rr.rate(), 2.0 / 3.0, 1e-12);
+  RrAccumulator other;
+  other.add_query(false);
+  rr += other;
+  EXPECT_EQ(rr.total_queries(), 4u);
+  EXPECT_DOUBLE_EQ(RrAccumulator{}.rate(), 0.0);
+}
+
+TEST(RelativeErrors, PerfectPredictionIsZero) {
+  const BandwidthMatrix bw = small_bw();
+  const DistanceMatrix d = rational_transform(bw, 1000.0);
+  const auto errs = relative_bandwidth_errors(bw, d, 1000.0);
+  ASSERT_EQ(errs.size(), 6u);
+  for (double e : errs) EXPECT_NEAR(e, 0.0, 1e-12);
+}
+
+TEST(RelativeErrors, KnownError) {
+  BandwidthMatrix bw(2, 1.0);
+  bw.set(0, 1, 100.0);
+  DistanceMatrix pred(2);
+  pred.set(0, 1, 1000.0 / 50.0);  // predicts 50 instead of 100
+  const auto errs = relative_bandwidth_errors(bw, pred, 1000.0);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NEAR(errs[0], 0.5, 1e-12);
+}
+
+TEST(RelativeErrors, ZeroPredictedDistanceIsSentinel) {
+  BandwidthMatrix bw(2, 1.0);
+  bw.set(0, 1, 100.0);
+  DistanceMatrix pred(2);  // off-diagonal 0 -> infinite predicted bandwidth
+  const auto errs = relative_bandwidth_errors(bw, pred, 1000.0);
+  EXPECT_DOUBLE_EQ(errs[0], 10.0);
+}
+
+TEST(RelativeErrors, SizeMismatchRejected) {
+  EXPECT_THROW(
+      relative_bandwidth_errors(BandwidthMatrix(3, 1.0), DistanceMatrix(4)),
+      ContractViolation);
+}
+
+TEST(Fb, IsBandwidthCdf) {
+  const BandwidthMatrix bw = small_bw();  // {50,20,80,10,60,30}
+  EXPECT_DOUBLE_EQ(f_b(bw, 5.0), 0.0);
+  EXPECT_NEAR(f_b(bw, 30.0), 3.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f_b(bw, 100.0), 1.0);
+}
+
+TEST(Fa, CountsWindow) {
+  const BandwidthMatrix bw = small_bw();
+  // b=25, window 10: [15,35] contains {20, 30} -> 2/6.
+  EXPECT_NEAR(f_a(bw, 25.0, 10.0), 2.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f_a(bw, 200.0, 10.0), 0.0);
+}
+
+TEST(FaStar, BoundsAtAlpha) {
+  const double alpha = 3.2;
+  EXPECT_NEAR(f_a_star(0.0, alpha), 1.0 / alpha, 1e-12);
+  EXPECT_NEAR(f_a_star(1.0, alpha), alpha, 1e-12);
+  EXPECT_LT(f_a_star(0.2, alpha), f_a_star(0.8, alpha));
+  EXPECT_THROW(f_a_star(0.5, 1.0), ContractViolation);
+  EXPECT_THROW(f_a_star(-0.1, alpha), ContractViolation);
+}
+
+TEST(WprModel, BoundaryBehaviour) {
+  // Equation 1's boundary cases from §IV.C.
+  EXPECT_DOUBLE_EQ(wpr_model(0.0, 0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(wpr_model(1.0, 0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(wpr_model(0.5, 0.0, 1.0), 0.0);  // perfect tree
+  // eps# = 1: WPR == f_b (random-pair regime).
+  EXPECT_NEAR(wpr_model(0.37, 1.0, 1.0), 0.37, 1e-12);
+}
+
+TEST(WprModel, MonotoneInTreenessAndFb) {
+  // Worse treeness -> higher WPR; higher f_b -> higher WPR.
+  EXPECT_LT(wpr_model(0.3, 0.2, 1.0), wpr_model(0.3, 0.8, 1.0));
+  EXPECT_LT(wpr_model(0.2, 0.5, 1.0), wpr_model(0.6, 0.5, 1.0));
+}
+
+TEST(WprModel, FaStarAmplifiesEpsilon) {
+  // Larger f_a* strengthens the treeness effect (more pairs near b).
+  EXPECT_LT(wpr_model(0.3, 0.4, 0.5), wpr_model(0.3, 0.4, 2.0));
+}
+
+TEST(WprModel, StaysInUnitInterval) {
+  for (double fb : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    for (double es : {0.0, 0.3, 1.0}) {
+      for (double fa : {0.3125, 1.0, 3.2}) {
+        const double w = wpr_model(fb, es, fa);
+        EXPECT_GE(w, 0.0);
+        EXPECT_LE(w, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,131 @@
+#include "tree/anchor_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace bcc {
+namespace {
+
+/// Fixture building the paper-style chain/star mix:
+///   0 -> {1, 2};  1 -> {3, 4};  2 -> {5}
+class AnchorTreeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t.set_root(0);
+    t.add_child(0, 1);
+    t.add_child(0, 2);
+    t.add_child(1, 3);
+    t.add_child(1, 4);
+    t.add_child(2, 5);
+  }
+  AnchorTree t;
+};
+
+TEST_F(AnchorTreeFixture, BasicStructure) {
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.parent_of(3), 1u);
+  EXPECT_EQ(t.parent_of(0), AnchorTree::kNoParent);
+  EXPECT_EQ(t.children_of(1), (std::vector<NodeId>{3, 4}));
+  EXPECT_TRUE(t.children_of(5).empty());
+}
+
+TEST_F(AnchorTreeFixture, NeighborsAreParentPlusChildren) {
+  auto nb = t.neighbors_of(1);
+  std::sort(nb.begin(), nb.end());
+  EXPECT_EQ(nb, (std::vector<NodeId>{0, 3, 4}));
+  EXPECT_EQ(t.neighbors_of(0), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(t.neighbors_of(5), (std::vector<NodeId>{2}));
+}
+
+TEST_F(AnchorTreeFixture, Degrees) {
+  EXPECT_EQ(t.degree(0), 2u);
+  EXPECT_EQ(t.degree(1), 3u);
+  EXPECT_EQ(t.degree(5), 1u);
+  EXPECT_EQ(t.max_degree(), 3u);
+}
+
+TEST_F(AnchorTreeFixture, Diameter) {
+  EXPECT_EQ(t.diameter(), 4u);  // 3 -> 1 -> 0 -> 2 -> 5
+}
+
+TEST_F(AnchorTreeFixture, BfsOrderStartsAtRootAndCoversAll) {
+  const auto order = t.bfs_order();
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order.front(), 0u);
+  auto sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<NodeId>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST_F(AnchorTreeFixture, ReachableViaChildDirection) {
+  auto r = t.reachable_via(0, 1);
+  std::sort(r.begin(), r.end());
+  EXPECT_EQ(r, (std::vector<NodeId>{1, 3, 4}));
+}
+
+TEST_F(AnchorTreeFixture, ReachableViaParentDirection) {
+  auto r = t.reachable_via(1, 0);
+  std::sort(r.begin(), r.end());
+  EXPECT_EQ(r, (std::vector<NodeId>{0, 2, 5}));
+}
+
+TEST_F(AnchorTreeFixture, ReachableViaLeafSeesEverything) {
+  auto r = t.reachable_via(5, 2);
+  std::sort(r.begin(), r.end());
+  EXPECT_EQ(r, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(AnchorTreeFixture, ReachableViaNonNeighborRejected) {
+  EXPECT_THROW(t.reachable_via(0, 5), ContractViolation);
+}
+
+TEST(AnchorTree, EmptyAndSingleton) {
+  AnchorTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_THROW(t.root(), ContractViolation);
+  t.set_root(9);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.diameter(), 0u);
+  EXPECT_TRUE(t.neighbors_of(9).empty());
+}
+
+TEST(AnchorTree, SecondRootRejected) {
+  AnchorTree t;
+  t.set_root(0);
+  EXPECT_THROW(t.set_root(1), ContractViolation);
+}
+
+TEST(AnchorTree, DuplicateChildRejected) {
+  AnchorTree t;
+  t.set_root(0);
+  t.add_child(0, 1);
+  EXPECT_THROW(t.add_child(0, 1), ContractViolation);
+}
+
+TEST(AnchorTree, UnknownParentRejected) {
+  AnchorTree t;
+  t.set_root(0);
+  EXPECT_THROW(t.add_child(7, 1), ContractViolation);
+}
+
+TEST(AnchorTree, ChainDiameter) {
+  AnchorTree t;
+  t.set_root(0);
+  for (NodeId i = 1; i < 10; ++i) t.add_child(i - 1, i);
+  EXPECT_EQ(t.diameter(), 9u);
+}
+
+TEST(AnchorTree, StarDiameter) {
+  AnchorTree t;
+  t.set_root(0);
+  for (NodeId i = 1; i < 10; ++i) t.add_child(0, i);
+  EXPECT_EQ(t.diameter(), 2u);
+  EXPECT_EQ(t.max_degree(), 9u);
+}
+
+}  // namespace
+}  // namespace bcc

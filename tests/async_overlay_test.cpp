@@ -1,0 +1,162 @@
+#include "core/async_overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/system.h"
+#include "test_util.h"
+#include "tree/embedder.h"
+
+namespace bcc {
+namespace {
+
+struct AsyncSetup {
+  Framework fw;
+  DistanceMatrix predicted;
+  BandwidthClasses classes = BandwidthClasses({1.0});
+};
+
+AsyncSetup make_setup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const DistanceMatrix real = testutil::random_tree_metric(n, rng);
+  Rng order(seed + 5);
+  AsyncSetup s{build_framework(real, order), {}, BandwidthClasses({1.0})};
+  s.predicted = s.fw.predicted_distances();
+  const double dmax = s.predicted.max_distance();
+  const double c = kDefaultTransformC;
+  s.classes = BandwidthClasses(
+      {c / dmax, c / (dmax * 0.5), c / (dmax * 0.2)}, c);
+  return s;
+}
+
+TEST(AsyncOverlay, ReachesTheSynchronousFixpoint) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    AsyncSetup s = make_setup(18, seed);
+    const std::size_t n_cut = 5;
+
+    // Synchronous reference.
+    SystemOptions sync_options;
+    sync_options.n_cut = n_cut;
+    DecentralizedClusterSystem sync(s.fw.anchors, s.predicted, s.classes,
+                                    sync_options);
+    sync.run_to_convergence();
+    ASSERT_TRUE(sync.converged());
+
+    // Asynchronous run: enough simulated time for diameter-many periods.
+    AsyncOverlayOptions async_options;
+    async_options.n_cut = n_cut;
+    async_options.gossip_period = 1.0;
+    async_options.message_latency = 0.03;
+    AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, async_options,
+                       seed + 77);
+    EventEngine engine;
+    async.run_for(engine, 4.0 * (s.fw.anchors.diameter() + 2));
+
+    for (const auto& [x, sync_node] : [&] {
+           OverlayNodeMap copy;
+           for (NodeId h : s.fw.anchors.bfs_order()) {
+             copy.emplace(h, sync.node(h));
+           }
+           return copy;
+         }()) {
+      const OverlayNode& async_node = async.nodes().at(x);
+      for (NodeId m : sync_node.neighbors) {
+        auto sorted = [](std::vector<NodeId> v) {
+          std::sort(v.begin(), v.end());
+          return v;
+        };
+        EXPECT_EQ(sorted(async_node.aggr_node.at(m)),
+                  sorted(sync_node.aggr_node.at(m)))
+            << "x=" << x << " m=" << m << " seed=" << seed;
+        EXPECT_EQ(async_node.aggr_crt.at(m), sync_node.aggr_crt.at(m))
+            << "x=" << x << " m=" << m << " seed=" << seed;
+      }
+      EXPECT_EQ(async_node.aggr_crt.at(x), sync_node.aggr_crt.at(x));
+    }
+  }
+}
+
+TEST(AsyncOverlay, QuiescesAfterConvergence) {
+  AsyncSetup s = make_setup(14, 3);
+  AsyncOverlayOptions options;
+  options.n_cut = 4;
+  AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options, 9);
+  EventEngine engine;
+  const double horizon = 4.0 * (s.fw.anchors.diameter() + 2);
+  async.run_for(engine, horizon);
+  const SimTime settled = async.last_change();
+  EXPECT_LT(settled, horizon);  // converged well before the end
+  // Further simulation changes nothing.
+  async.run_for(engine, 10.0);
+  EXPECT_DOUBLE_EQ(async.last_change(), settled);
+}
+
+TEST(AsyncOverlay, GossipKeepsFiringAndIsCounted) {
+  AsyncSetup s = make_setup(10, 4);
+  AsyncOverlayOptions options;
+  options.gossip_period = 0.5;
+  AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options, 10);
+  EventEngine engine;
+  async.run_for(engine, 5.0);
+  // ~10 nodes x 10 periods.
+  EXPECT_GT(async.gossip_rounds(), 60u);
+  EXPECT_GT(engine.metrics().messages("async_gossip"), 100u);
+}
+
+TEST(AsyncOverlay, PerPairRttLatencies) {
+  AsyncSetup s = make_setup(12, 5);
+  DistanceMatrix rtt(12, 0.0);
+  for (NodeId u = 0; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) rtt.set(u, v, 20.0);  // 20 ms
+  }
+  AsyncOverlayOptions options;
+  options.rtt_ms = &rtt;
+  AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options, 11);
+  EventEngine engine;
+  async.run_for(engine, 3.0 * (s.fw.anchors.diameter() + 2));
+  // It still converges to a consistent state (self entries exist).
+  for (const auto& [x, node] : async.nodes()) {
+    EXPECT_TRUE(node.aggr_crt.count(x));
+  }
+}
+
+TEST(AsyncOverlay, QueriesWorkOnAsyncState) {
+  // Algorithm 4 runs on whatever tables aggregation produced — async state
+  // serves queries just like sync state.
+  AsyncSetup s = make_setup(16, 6);
+  AsyncOverlayOptions options;
+  options.n_cut = 100;
+  AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options, 12);
+  EventEngine engine;
+  async.run_for(engine, 4.0 * (s.fw.anchors.diameter() + 2));
+  QueryProcessor processor(&async.nodes(), &s.predicted, &s.classes);
+  const auto r = processor.process(0, 4, 0);
+  EXPECT_TRUE(r.found());
+  EXPECT_TRUE(cluster_satisfies(s.predicted, r.cluster, 4,
+                                s.classes.distance_at(0)));
+}
+
+TEST(AsyncOverlay, Validation) {
+  AsyncSetup s = make_setup(8, 7);
+  AsyncOverlayOptions bad;
+  bad.gossip_period = 0.0;
+  EXPECT_THROW(AsyncOverlay(&s.fw.anchors, &s.predicted, &s.classes, bad, 1),
+               ContractViolation);
+  bad = AsyncOverlayOptions{};
+  bad.period_jitter = 1.0;
+  EXPECT_THROW(AsyncOverlay(&s.fw.anchors, &s.predicted, &s.classes, bad, 1),
+               ContractViolation);
+  DistanceMatrix wrong(3);
+  bad = AsyncOverlayOptions{};
+  bad.rtt_ms = &wrong;
+  EXPECT_THROW(AsyncOverlay(&s.fw.anchors, &s.predicted, &s.classes, bad, 1),
+               ContractViolation);
+  AsyncOverlay ok(&s.fw.anchors, &s.predicted, &s.classes, {}, 1);
+  EventEngine engine;
+  ok.start(engine);
+  EXPECT_THROW(ok.start(engine), ContractViolation);  // double start
+}
+
+}  // namespace
+}  // namespace bcc

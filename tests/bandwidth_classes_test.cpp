@@ -1,0 +1,75 @@
+#include "core/bandwidth_classes.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+TEST(BandwidthClasses, SortsAndDeduplicates) {
+  BandwidthClasses c({50.0, 10.0, 50.0, 30.0});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.bandwidth_at(0), 10.0);
+  EXPECT_DOUBLE_EQ(c.bandwidth_at(1), 30.0);
+  EXPECT_DOUBLE_EQ(c.bandwidth_at(2), 50.0);
+}
+
+TEST(BandwidthClasses, DistanceIsRationalTransform) {
+  BandwidthClasses c({10.0, 100.0}, 1000.0);
+  EXPECT_DOUBLE_EQ(c.distance_at(0), 100.0);
+  EXPECT_DOUBLE_EQ(c.distance_at(1), 10.0);
+  EXPECT_DOUBLE_EQ(c.transform_c(), 1000.0);
+}
+
+TEST(BandwidthClasses, HigherBandwidthMeansSmallerDistanceClass) {
+  BandwidthClasses c = BandwidthClasses::uniform_grid(10, 100, 10);
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    EXPECT_GT(c.distance_at(i), c.distance_at(i + 1));
+  }
+}
+
+TEST(BandwidthClasses, SnapUpSemantics) {
+  BandwidthClasses c({10.0, 20.0, 40.0});
+  // Exact hit.
+  EXPECT_EQ(c.class_for_bandwidth(20.0).value(), 1u);
+  // Between classes: snapped up (stricter), not down.
+  EXPECT_EQ(c.class_for_bandwidth(21.0).value(), 2u);
+  EXPECT_EQ(c.class_for_bandwidth(5.0).value(), 0u);
+  // Above the strictest class: unanswerable.
+  EXPECT_FALSE(c.class_for_bandwidth(41.0).has_value());
+}
+
+TEST(BandwidthClasses, SnappedClassIsConservative) {
+  BandwidthClasses c({10.0, 20.0, 40.0});
+  for (double b : {1.0, 10.0, 15.0, 39.9, 40.0}) {
+    const auto idx = c.class_for_bandwidth(b);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_GE(c.bandwidth_at(*idx), b);
+  }
+}
+
+TEST(BandwidthClasses, UniformGridEndpoints) {
+  BandwidthClasses c = BandwidthClasses::uniform_grid(5, 300, 5);
+  EXPECT_EQ(c.size(), 60u);
+  EXPECT_DOUBLE_EQ(c.bandwidth_at(0), 5.0);
+  EXPECT_DOUBLE_EQ(c.bandwidth_at(59), 300.0);
+}
+
+TEST(BandwidthClasses, UniformGridSingleClass) {
+  BandwidthClasses c = BandwidthClasses::uniform_grid(50, 50, 10);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(BandwidthClasses, Validation) {
+  EXPECT_THROW(BandwidthClasses({}), ContractViolation);
+  EXPECT_THROW(BandwidthClasses({-5.0}), ContractViolation);
+  EXPECT_THROW(BandwidthClasses({5.0}, 0.0), ContractViolation);
+  EXPECT_THROW(BandwidthClasses::uniform_grid(0, 10, 5), ContractViolation);
+  EXPECT_THROW(BandwidthClasses::uniform_grid(10, 5, 5), ContractViolation);
+  EXPECT_THROW(BandwidthClasses::uniform_grid(5, 10, 0), ContractViolation);
+  BandwidthClasses c({10.0});
+  EXPECT_THROW(c.bandwidth_at(1), ContractViolation);
+  EXPECT_THROW(c.class_for_bandwidth(0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bcc

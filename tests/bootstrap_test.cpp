@@ -1,0 +1,115 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+TEST(Bootstrap, MeanCiCoversPointEstimate) {
+  Rng rng(1);
+  std::vector<double> values;
+  Rng data(2);
+  for (int i = 0; i < 200; ++i) values.push_back(data.normal(10.0, 2.0));
+  const ConfidenceInterval ci = bootstrap_mean_ci(values, rng);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_NEAR(ci.point, 10.0, 0.5);
+  // 95% CI of mean of 200 N(10, 2) samples: roughly +-0.28.
+  EXPECT_LT(ci.hi - ci.lo, 1.2);
+  EXPECT_GT(ci.hi - ci.lo, 0.2);
+}
+
+TEST(Bootstrap, MedianCiCoversPointEstimate) {
+  Rng rng(3);
+  std::vector<double> values;
+  Rng data(4);
+  for (int i = 0; i < 300; ++i) values.push_back(data.lognormal(0.0, 1.0));
+  const ConfidenceInterval ci = bootstrap_median_ci(values, rng);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_NEAR(ci.point, 1.0, 0.3);  // median of lognormal(0,1) is 1
+}
+
+TEST(Bootstrap, WiderConfidenceWiderInterval) {
+  std::vector<double> values;
+  Rng data(5);
+  for (int i = 0; i < 100; ++i) values.push_back(data.uniform());
+  Rng r1(6), r2(6);
+  const auto narrow = bootstrap_mean_ci(values, r1, 0.80);
+  const auto wide = bootstrap_mean_ci(values, r2, 0.99);
+  EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(Bootstrap, MoreSamplesTightenTheInterval) {
+  Rng data(7);
+  std::vector<double> small, large;
+  for (int i = 0; i < 20; ++i) small.push_back(data.normal(0.0, 1.0));
+  for (int i = 0; i < 2000; ++i) large.push_back(data.normal(0.0, 1.0));
+  Rng r1(8), r2(8);
+  const auto ci_small = bootstrap_mean_ci(small, r1);
+  const auto ci_large = bootstrap_mean_ci(large, r2);
+  EXPECT_GT(ci_small.hi - ci_small.lo, ci_large.hi - ci_large.lo);
+}
+
+TEST(Bootstrap, SingletonCollapses) {
+  Rng rng(9);
+  const std::vector<double> one = {42.0};
+  const auto ci = bootstrap_mean_ci(one, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 42.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 42.0);
+  EXPECT_DOUBLE_EQ(ci.point, 42.0);
+}
+
+TEST(Bootstrap, ConstantDataHasZeroWidth) {
+  Rng rng(10);
+  const std::vector<double> constant(50, 3.0);
+  const auto ci = bootstrap_mean_ci(constant, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+TEST(Bootstrap, ProportionCi) {
+  Rng rng(11);
+  const auto ci = bootstrap_proportion_ci(80, 100, rng);
+  EXPECT_NEAR(ci.point, 0.8, 1e-12);
+  EXPECT_GT(ci.lo, 0.6);
+  EXPECT_LT(ci.hi, 0.95);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(Bootstrap, ProportionExtremes) {
+  Rng r1(12), r2(13);
+  const auto all = bootstrap_proportion_ci(10, 10, r1);
+  EXPECT_DOUBLE_EQ(all.point, 1.0);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  const auto none = bootstrap_proportion_ci(0, 10, r2);
+  EXPECT_DOUBLE_EQ(none.point, 0.0);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+}
+
+TEST(Bootstrap, Validation) {
+  Rng rng(14);
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(bootstrap_mean_ci(v, rng, 0.0), ContractViolation);
+  EXPECT_THROW(bootstrap_mean_ci(v, rng, 1.0), ContractViolation);
+  EXPECT_THROW(bootstrap_mean_ci(v, rng, 0.95, 5), ContractViolation);
+  EXPECT_THROW(bootstrap_mean_ci(std::vector<double>{}, rng),
+               ContractViolation);
+  EXPECT_THROW(bootstrap_proportion_ci(5, 4, rng), ContractViolation);
+  EXPECT_THROW(bootstrap_proportion_ci(0, 0, rng), ContractViolation);
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  std::vector<double> values;
+  Rng data(15);
+  for (int i = 0; i < 50; ++i) values.push_back(data.uniform());
+  Rng r1(16), r2(16);
+  const auto a = bootstrap_mean_ci(values, r1);
+  const auto b = bootstrap_mean_ci(values, r2);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,141 @@
+#include "tree/distance_label.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tree/embedder.h"
+
+namespace bcc {
+namespace {
+
+TEST(DistanceLabel, RootLabelIsItself) {
+  PredictionTree t;
+  t.add_first(3);
+  const DistanceLabel label = DistanceLabel::of(t, 3);
+  EXPECT_EQ(label.host(), 3u);
+  EXPECT_EQ(label.root(), 3u);
+  EXPECT_EQ(label.depth(), 0u);
+}
+
+TEST(DistanceLabel, ChainFollowsAnchors) {
+  PredictionTree t;
+  t.add_first(0);
+  t.add_second(1, 25.0);
+  t.add(2, 0, 1, 20.0, 25.0, 15.0);  // anchored at 1
+  t.add(3, 0, 2, 19.0, 20.0, 3.0);   // anchored at 2
+  const DistanceLabel label = DistanceLabel::of(t, 3);
+  ASSERT_EQ(label.entries().size(), 4u);
+  EXPECT_EQ(label.entries()[0].host, 0u);
+  EXPECT_EQ(label.entries()[1].host, 1u);
+  EXPECT_EQ(label.entries()[2].host, 2u);
+  EXPECT_EQ(label.entries()[3].host, 3u);
+  // Paper Fig. 1 semantics: offsets measure from the anchor's leaf.
+  EXPECT_DOUBLE_EQ(label.entries()[1].offset, 0.0);
+  EXPECT_DOUBLE_EQ(label.entries()[1].leaf_weight, 25.0);
+  EXPECT_DOUBLE_EQ(label.entries()[2].offset, 10.0);
+  EXPECT_DOUBLE_EQ(label.entries()[2].leaf_weight, 5.0);
+}
+
+TEST(DistanceLabel, LabelDistanceMatchesTreeOnCraftedExample) {
+  PredictionTree t;
+  t.add_first(0);
+  t.add_second(1, 25.0);
+  t.add(2, 0, 1, 20.0, 25.0, 15.0);
+  t.add(3, 0, 2, 19.0, 20.0, 3.0);
+  t.add(4, 0, 1, 22.0, 25.0, 9.0);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      const double got = label_distance(DistanceLabel::of(t, u),
+                                        DistanceLabel::of(t, v));
+      EXPECT_NEAR(got, t.distance(u, v), 1e-9) << u << "," << v;
+    }
+  }
+}
+
+class LabelDistanceProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t,
+                                                 double>> {};
+
+TEST_P(LabelDistanceProperty, LabelsReproduceTreeDistancesExactly) {
+  // Two distance labels alone reconstruct the exact predicted distance — the
+  // decentralized system's "network coordinates" property (§II.D). Holds for
+  // noisy (non-tree) inputs too, because it is a statement about the built
+  // tree, not about the input metric.
+  const auto [seed, n, sigma] = GetParam();
+  Rng rng(seed);
+  const DistanceMatrix real =
+      sigma == 0.0 ? testutil::random_tree_metric(n, rng)
+                   : testutil::noisy_tree_metric(n, rng, sigma);
+  Rng order_rng(seed + 99);
+  const Framework fw = build_framework(real, order_rng);
+  std::vector<DistanceLabel> labels;
+  for (NodeId h = 0; h < n; ++h) {
+    labels.push_back(DistanceLabel::of(fw.prediction, h));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u; v < n; ++v) {
+      EXPECT_NEAR(label_distance(labels[u], labels[v]),
+                  fw.prediction.distance(u, v), 1e-7)
+          << "pair (" << u << "," << v << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LabelDistanceProperty,
+    ::testing::Values(std::make_tuple(1ull, std::size_t{4}, 0.0),
+                      std::make_tuple(2ull, std::size_t{10}, 0.0),
+                      std::make_tuple(3ull, std::size_t{25}, 0.0),
+                      std::make_tuple(4ull, std::size_t{10}, 0.3),
+                      std::make_tuple(5ull, std::size_t{25}, 0.3),
+                      std::make_tuple(6ull, std::size_t{40}, 0.6)));
+
+TEST(DistanceLabel, DistanceToSelfIsZero) {
+  PredictionTree t;
+  t.add_first(0);
+  t.add_second(1, 5.0);
+  const DistanceLabel a = DistanceLabel::of(t, 1);
+  EXPECT_DOUBLE_EQ(label_distance(a, a), 0.0);
+}
+
+TEST(DistanceLabel, MismatchedRootsRejected) {
+  PredictionTree t1, t2;
+  t1.add_first(0);
+  t1.add_second(1, 5.0);
+  t2.add_first(9);
+  const DistanceLabel a = DistanceLabel::of(t1, 1);
+  const DistanceLabel b = DistanceLabel::of(t2, 9);
+  EXPECT_THROW(label_distance(a, b), ContractViolation);
+}
+
+TEST(DistanceLabel, FromEntriesValidation) {
+  // Root entry must carry zero offset/leaf_weight.
+  EXPECT_THROW(
+      DistanceLabel::from_entries({LabelEntry{0, 1.0, 0.0}}),
+      ContractViolation);
+  EXPECT_THROW(DistanceLabel::from_entries({}), ContractViolation);
+  const DistanceLabel ok =
+      DistanceLabel::from_entries({LabelEntry{0, 0.0, 0.0}});
+  EXPECT_EQ(ok.host(), 0u);
+}
+
+TEST(DistanceLabel, LabelSizeIsAnchorDepth) {
+  // The label is "equivalent to a partial prediction tree": its length is
+  // the anchor-tree depth, typically far below n (locality of labels).
+  Rng rng(7);
+  const DistanceMatrix real = testutil::random_tree_metric(50, rng);
+  Rng order_rng(8);
+  const Framework fw = build_framework(real, order_rng);
+  for (NodeId h = 0; h < 50; ++h) {
+    std::size_t depth = 0;
+    NodeId cur = h;
+    while (fw.anchors.parent_of(cur) != AnchorTree::kNoParent) {
+      cur = fw.anchors.parent_of(cur);
+      ++depth;
+    }
+    EXPECT_EQ(DistanceLabel::of(fw.prediction, h).depth(), depth);
+  }
+}
+
+}  // namespace
+}  // namespace bcc

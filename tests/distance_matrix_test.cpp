@@ -1,0 +1,151 @@
+#include "metric/distance_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace bcc {
+namespace {
+
+TEST(DistanceMatrix, ZeroDiagonal) {
+  DistanceMatrix d(4, 1.0);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_DOUBLE_EQ(d.at(u, u), 0.0);
+}
+
+TEST(DistanceMatrix, SymmetricSetGet) {
+  DistanceMatrix d(3);
+  d.set(0, 2, 5.5);
+  EXPECT_DOUBLE_EQ(d.at(0, 2), 5.5);
+  EXPECT_DOUBLE_EQ(d.at(2, 0), 5.5);
+}
+
+TEST(DistanceMatrix, FillValueAppliesOffDiagonal) {
+  DistanceMatrix d(3, 7.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 2), 7.0);
+}
+
+TEST(DistanceMatrix, EmptyAndSingletonAreValid) {
+  DistanceMatrix d0(0);
+  EXPECT_EQ(d0.size(), 0u);
+  DistanceMatrix d1(1);
+  EXPECT_DOUBLE_EQ(d1.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d1.min_distance(), 0.0);
+  EXPECT_DOUBLE_EQ(d1.max_distance(), 0.0);
+}
+
+TEST(DistanceMatrix, OutOfRangeRejected) {
+  DistanceMatrix d(2);
+  EXPECT_THROW(d.at(0, 2), ContractViolation);
+  EXPECT_THROW(d.set(2, 0, 1.0), ContractViolation);
+}
+
+TEST(DistanceMatrix, DiagonalSetRejected) {
+  DistanceMatrix d(2);
+  EXPECT_THROW(d.set(1, 1, 1.0), ContractViolation);
+}
+
+TEST(DistanceMatrix, NegativeValueRejected) {
+  DistanceMatrix d(2);
+  EXPECT_THROW(d.set(0, 1, -0.5), ContractViolation);
+}
+
+TEST(DistanceMatrix, MinMaxDistance) {
+  DistanceMatrix d(3);
+  d.set(0, 1, 2.0);
+  d.set(0, 2, 8.0);
+  d.set(1, 2, 5.0);
+  EXPECT_DOUBLE_EQ(d.min_distance(), 2.0);
+  EXPECT_DOUBLE_EQ(d.max_distance(), 8.0);
+}
+
+TEST(DistanceMatrix, DiameterOfSubset) {
+  DistanceMatrix d(4);
+  d.set(0, 1, 1.0);
+  d.set(0, 2, 2.0);
+  d.set(0, 3, 3.0);
+  d.set(1, 2, 4.0);
+  d.set(1, 3, 5.0);
+  d.set(2, 3, 6.0);
+  const std::vector<NodeId> s = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(d.diameter_of(s), 4.0);
+  const std::vector<NodeId> singleton = {2};
+  EXPECT_DOUBLE_EQ(d.diameter_of(singleton), 0.0);
+  const std::vector<NodeId> empty = {};
+  EXPECT_DOUBLE_EQ(d.diameter_of(empty), 0.0);
+}
+
+TEST(DistanceMatrix, SubmatrixPreservesDistances) {
+  Rng rng(5);
+  const DistanceMatrix d = testutil::random_tree_metric(8, rng);
+  const std::vector<NodeId> idx = {1, 4, 6};
+  const DistanceMatrix sub = d.submatrix(idx);
+  ASSERT_EQ(sub.size(), 3u);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      EXPECT_DOUBLE_EQ(sub.at(i, j), d.at(idx[i], idx[j]));
+    }
+  }
+}
+
+TEST(DistanceMatrix, SubmatrixOutOfRangeRejected) {
+  DistanceMatrix d(3);
+  const std::vector<NodeId> idx = {0, 5};
+  EXPECT_THROW(d.submatrix(idx), ContractViolation);
+}
+
+TEST(DistanceMatrix, FromRowsAveragesAsymmetry) {
+  std::vector<std::vector<double>> rows = {{0, 2, 4}, {2.0000000001, 0, 6},
+                                           {4, 6, 0}};
+  const DistanceMatrix d = DistanceMatrix::from_rows(rows, 1e-6);
+  EXPECT_NEAR(d.at(0, 1), 2.0, 1e-6);
+}
+
+TEST(DistanceMatrix, FromRowsRejectsAsymmetryBeyondTolerance) {
+  std::vector<std::vector<double>> rows = {{0, 2}, {3, 0}};
+  EXPECT_THROW(DistanceMatrix::from_rows(rows, 1e-9), ContractViolation);
+}
+
+TEST(DistanceMatrix, FromRowsRejectsNonZeroDiagonal) {
+  std::vector<std::vector<double>> rows = {{1, 2}, {2, 0}};
+  EXPECT_THROW(DistanceMatrix::from_rows(rows, 1e-9), ContractViolation);
+}
+
+TEST(DistanceMatrix, FromRowsRejectsRagged) {
+  std::vector<std::vector<double>> rows = {{0, 2}, {2}};
+  EXPECT_THROW(DistanceMatrix::from_rows(rows), ContractViolation);
+}
+
+TEST(DistanceMatrix, ToRowsRoundTrip) {
+  Rng rng(9);
+  const DistanceMatrix d = testutil::random_tree_metric(6, rng);
+  const DistanceMatrix back = DistanceMatrix::from_rows(d.to_rows());
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      EXPECT_DOUBLE_EQ(back.at(u, v), d.at(u, v));
+    }
+  }
+}
+
+TEST(DistanceMatrix, TriangleInequalityHoldsOnTreeMetric) {
+  Rng rng(11);
+  const DistanceMatrix d = testutil::random_tree_metric(12, rng);
+  EXPECT_TRUE(d.satisfies_triangle_inequality(1e-6));
+}
+
+TEST(DistanceMatrix, TriangleInequalityDetectsViolation) {
+  DistanceMatrix d(3);
+  d.set(0, 1, 1.0);
+  d.set(1, 2, 1.0);
+  d.set(0, 2, 10.0);  // 10 > 1 + 1
+  EXPECT_FALSE(d.satisfies_triangle_inequality());
+}
+
+TEST(DistanceMatrix, PairValuesCountsEachPairOnce) {
+  DistanceMatrix d(4, 1.0);
+  EXPECT_EQ(d.pair_values().size(), 6u);
+}
+
+}  // namespace
+}  // namespace bcc

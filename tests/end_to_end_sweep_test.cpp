@@ -1,0 +1,80 @@
+// Cross-cutting parameterized sweep: the full pipeline (synthesize -> embed
+// -> gossip -> query) run over a grid of system sizes, noise levels, and
+// n_cut values, asserting the invariants that must hold at *every* point:
+// returned clusters satisfy their constraints under the predicted metric,
+// routing never revisits nodes, and gossip always converges in the budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/system.h"
+#include "data/planetlab_synth.h"
+#include "exp/common.h"
+#include "tree/embedder.h"
+
+namespace bcc {
+namespace {
+
+using SweepParam = std::tuple<std::size_t /*n*/, double /*noise*/,
+                              std::size_t /*n_cut*/>;
+
+class PipelineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweep, InvariantsHoldAcrossTheGrid) {
+  const auto [n, noise, n_cut] = GetParam();
+  Rng data_rng(n * 31 + n_cut);
+  SynthOptions options;
+  options.hosts = n;
+  options.noise_sigma = noise;
+  const SynthDataset data = synthesize_planetlab(options, data_rng);
+
+  Rng order_rng(n + 7);
+  const Framework fw = build_framework(data.distances, order_rng);
+  const DistanceMatrix pred = fw.predicted_distances();
+
+  const std::vector<double> grid = exp::bandwidth_grid(15.0, 75.0, 4);
+  SystemOptions sys_options;
+  sys_options.n_cut = n_cut;
+  DecentralizedClusterSystem sys(fw.anchors, pred,
+                                 exp::classes_for_grid(grid, data.c),
+                                 sys_options);
+  sys.run_to_convergence();
+  EXPECT_TRUE(sys.converged()) << "n=" << n << " n_cut=" << n_cut;
+
+  Rng query_rng(n * 13 + n_cut);
+  for (int q = 0; q < 25; ++q) {
+    const std::size_t k = 2 + query_rng.below(n / 4);
+    const std::size_t cls = query_rng.below(sys.classes().size());
+    const NodeId start = static_cast<NodeId>(query_rng.below(n));
+    const QueryOutcome r = sys.query_class(start, k, cls);
+
+    // Route sanity: starts at the entry node, never revisits.
+    ASSERT_FALSE(r.route.empty());
+    EXPECT_EQ(r.route.front(), start);
+    EXPECT_EQ(r.route.size(), r.hops + 1);
+    auto visited = r.route;
+    std::sort(visited.begin(), visited.end());
+    EXPECT_EQ(std::adjacent_find(visited.begin(), visited.end()),
+              visited.end());
+
+    // Found clusters satisfy (k, l) under the predicted metric.
+    if (r.found()) {
+      EXPECT_TRUE(cluster_satisfies(pred, r.cluster, k,
+                                    sys.classes().distance_at(cls)))
+          << "n=" << n << " noise=" << noise << " n_cut=" << n_cut
+          << " k=" << k << " cls=" << cls;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineSweep,
+    ::testing::Combine(::testing::Values(std::size_t{20}, std::size_t{60},
+                                         std::size_t{120}),
+                       ::testing::Values(0.0, 0.25, 0.5),
+                       ::testing::Values(std::size_t{3}, std::size_t{10},
+                                         std::size_t{30})));
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,110 @@
+#include "sim/event_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+TEST(EventEngine, StartsIdleAtTimeZero) {
+  EventEngine e;
+  EXPECT_TRUE(e.idle());
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.run(), 0u);
+}
+
+TEST(EventEngine, ProcessesInTimeOrder) {
+  EventEngine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(EventEngine, EqualTimesKeepSchedulingOrder) {
+  EventEngine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5.0, [&, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventEngine, HandlersCanScheduleMoreEvents) {
+  EventEngine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] {
+    ++fired;
+    e.schedule_after(1.0, [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(EventEngine, RunUntilLeavesFutureEventsPending) {
+  EventEngine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(e.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(EventEngine, RunUntilBoundaryInclusive) {
+  EventEngine e;
+  int fired = 0;
+  e.schedule_at(2.0, [&] { ++fired; });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventEngine, MaxEventsCap) {
+  EventEngine e;
+  int fired = 0;
+  auto rearm = [&](auto&& self) -> void {
+    ++fired;
+    e.schedule_after(1.0, [&, self] { self(self); });
+  };
+  e.schedule_after(1.0, [&] { rearm(rearm); });
+  EXPECT_EQ(e.run(25), 25u);  // infinite timer chain, bounded run
+  EXPECT_EQ(fired, 25);
+  EXPECT_EQ(e.events_processed(), 25u);
+}
+
+TEST(EventEngine, RejectsPastAndBadArguments) {
+  EventEngine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(1.0, [] {}), ContractViolation);  // in the past
+  EXPECT_THROW(e.schedule_after(-1.0, [] {}), ContractViolation);
+  EXPECT_THROW(e.schedule_after(1.0, nullptr), ContractViolation);
+  EXPECT_THROW(e.run_until(e.now() - 1.0), ContractViolation);
+}
+
+TEST(EventEngine, InterleavedTimersAreDeterministic) {
+  auto run_once = [] {
+    EventEngine e;
+    std::vector<double> stamps;
+    for (int i = 0; i < 5; ++i) {
+      e.schedule_after(0.1 * (i + 1), [&e, &stamps] {
+        stamps.push_back(e.now());
+        e.schedule_after(0.25, [&e, &stamps] { stamps.push_back(e.now()); });
+      });
+    }
+    e.run();
+    return stamps;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace bcc

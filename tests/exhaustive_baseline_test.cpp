@@ -1,0 +1,135 @@
+#include "core/exhaustive_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/find_cluster.h"
+#include "test_util.h"
+
+namespace bcc {
+namespace {
+
+using testutil::iota_universe;
+
+TEST(ExhaustiveBaseline, FindsObviousCluster) {
+  DistanceMatrix d(5, 100.0);
+  d.set(0, 1, 1.0);
+  d.set(0, 2, 1.0);
+  d.set(1, 2, 1.0);
+  const auto universe = iota_universe(5);
+  const auto r = find_cluster_exhaustive(d, universe, 3, 1.0);
+  ASSERT_TRUE(r.cluster.has_value());
+  EXPECT_FALSE(r.exhausted_budget);
+  EXPECT_TRUE(cluster_satisfies(d, *r.cluster, 3, 1.0));
+}
+
+TEST(ExhaustiveBaseline, ReportsNonExistenceWhenBudgetAllows) {
+  DistanceMatrix d(4, 100.0);
+  const auto universe = iota_universe(4);
+  const auto r = find_cluster_exhaustive(d, universe, 2, 1.0);
+  EXPECT_FALSE(r.cluster.has_value());
+  EXPECT_FALSE(r.exhausted_budget);  // definitive "no"
+}
+
+TEST(ExhaustiveBaseline, AgreesWithBruteForceOracle) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng trial_rng = rng.split(trial);
+    const std::size_t n = 8 + trial_rng.below(8);
+    const DistanceMatrix d = testutil::noisy_tree_metric(n, trial_rng, 0.5);
+    const auto universe = iota_universe(n);
+    std::vector<double> sorted = d.pair_values();
+    std::sort(sorted.begin(), sorted.end());
+    const double l = sorted[sorted.size() / 2];
+    const std::size_t best = max_clique_bruteforce(d, universe, l);
+    ExhaustiveOptions unlimited;
+    unlimited.budget = 0;
+    for (std::size_t k = 2; k <= best; ++k) {
+      const auto r = find_cluster_exhaustive(d, universe, k, l, unlimited);
+      EXPECT_TRUE(r.cluster.has_value()) << "k=" << k;
+      if (r.cluster) {
+        EXPECT_TRUE(cluster_satisfies(d, *r.cluster, k, l));
+      }
+    }
+    const auto beyond =
+        find_cluster_exhaustive(d, universe, best + 1, l, unlimited);
+    EXPECT_FALSE(beyond.cluster.has_value());
+    EXPECT_FALSE(beyond.exhausted_budget);
+  }
+}
+
+TEST(ExhaustiveBaseline, TinyBudgetGivesUpOnHardInstances) {
+  // A dense-but-not-quite graph with no k-cluster forces deep backtracking;
+  // with a one-expansion budget the search must report exhaustion.
+  Rng rng(2);
+  const DistanceMatrix d = testutil::noisy_tree_metric(20, rng, 0.6);
+  const auto universe = iota_universe(20);
+  std::vector<double> sorted = d.pair_values();
+  std::sort(sorted.begin(), sorted.end());
+  const double l = sorted[3 * sorted.size() / 4];
+  ExhaustiveOptions tiny;
+  tiny.budget = 2;
+  const auto r = find_cluster_exhaustive(d, universe, 15, l, tiny);
+  if (!r.cluster.has_value()) {
+    EXPECT_TRUE(r.exhausted_budget);  // "don't know", not "no"
+  }
+  EXPECT_LE(r.expansions, 3u);
+}
+
+TEST(ExhaustiveBaseline, BudgetMonotonicity) {
+  // More budget never flips a found answer to not-found.
+  Rng rng(3);
+  const DistanceMatrix d = testutil::noisy_tree_metric(16, rng, 0.4);
+  const auto universe = iota_universe(16);
+  std::vector<double> sorted = d.pair_values();
+  std::sort(sorted.begin(), sorted.end());
+  const double l = sorted[sorted.size() / 2];
+  ExhaustiveOptions small;
+  small.budget = 50;
+  ExhaustiveOptions big;
+  big.budget = 0;
+  for (std::size_t k : {3ul, 5ul, 8ul}) {
+    const auto a = find_cluster_exhaustive(d, universe, k, l, small);
+    const auto b = find_cluster_exhaustive(d, universe, k, l, big);
+    if (a.cluster.has_value()) {
+      EXPECT_TRUE(b.cluster.has_value());
+    }
+  }
+}
+
+TEST(ExhaustiveBaseline, KLargerThanUniverse) {
+  DistanceMatrix d(3, 1.0);
+  const auto universe = iota_universe(3);
+  const auto r = find_cluster_exhaustive(d, universe, 4, 10.0);
+  EXPECT_FALSE(r.cluster.has_value());
+  EXPECT_FALSE(r.exhausted_budget);
+  EXPECT_EQ(r.expansions, 0u);
+}
+
+TEST(ExhaustiveBaseline, Validation) {
+  DistanceMatrix d(3, 1.0);
+  const auto universe = iota_universe(3);
+  EXPECT_THROW(find_cluster_exhaustive(d, universe, 1, 1.0),
+               ContractViolation);
+  EXPECT_THROW(find_cluster_exhaustive(d, universe, 2, -1.0),
+               ContractViolation);
+}
+
+TEST(ExhaustiveBaseline, FeasibleInstancesResolveCheaply) {
+  // The degree-ordering heuristic: when a big clique exists, it is found
+  // with few expansions even in a large universe.
+  Rng rng(4);
+  DistanceMatrix d(60, 50.0);
+  // Plant a 10-clique among nodes 0..9.
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) d.set(u, v, 1.0);
+  }
+  const auto universe = iota_universe(60);
+  ExhaustiveOptions options;
+  options.budget = 500;
+  const auto r = find_cluster_exhaustive(d, universe, 10, 1.0, options);
+  ASSERT_TRUE(r.cluster.has_value());
+  EXPECT_LT(r.expansions, 100u);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,48 @@
+#include "exp/common.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace bcc {
+namespace {
+
+TEST(ExpCommon, GridEndpointsAndSpacing) {
+  const auto grid = exp::bandwidth_grid(15.0, 75.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 15.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 75.0);
+  EXPECT_DOUBLE_EQ(grid[1] - grid[0], 15.0);
+}
+
+TEST(ExpCommon, SingleStepGrid) {
+  const auto grid = exp::bandwidth_grid(40.0, 90.0, 1);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(grid[0], 40.0);
+}
+
+TEST(ExpCommon, DegenerateRange) {
+  const auto grid = exp::bandwidth_grid(50.0, 50.0, 3);
+  ASSERT_EQ(grid.size(), 3u);
+  for (double b : grid) EXPECT_DOUBLE_EQ(b, 50.0);
+}
+
+TEST(ExpCommon, Validation) {
+  EXPECT_THROW(exp::bandwidth_grid(0.0, 10.0, 3), ContractViolation);
+  EXPECT_THROW(exp::bandwidth_grid(10.0, 5.0, 3), ContractViolation);
+  EXPECT_THROW(exp::bandwidth_grid(5.0, 10.0, 0), ContractViolation);
+}
+
+TEST(ExpCommon, ClassesMatchGrid) {
+  const auto grid = exp::bandwidth_grid(10.0, 50.0, 5);
+  const BandwidthClasses classes = exp::classes_for_grid(grid);
+  ASSERT_EQ(classes.size(), 5u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    // Every grid value snaps to itself.
+    EXPECT_DOUBLE_EQ(classes.bandwidth_at(*classes.class_for_bandwidth(grid[i])),
+                     grid[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,280 @@
+#include "core/find_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace bcc {
+namespace {
+
+using testutil::iota_universe;
+
+TEST(FindCluster, SimpleTightGroup) {
+  // 0,1,2 mutually close; 3 far from everything.
+  DistanceMatrix d(4);
+  d.set(0, 1, 1.0);
+  d.set(0, 2, 1.5);
+  d.set(1, 2, 2.0);
+  d.set(0, 3, 50.0);
+  d.set(1, 3, 51.0);
+  d.set(2, 3, 52.0);
+  const auto c = find_cluster(d, 3, 2.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(cluster_satisfies(d, *c, 3, 2.0));
+}
+
+TEST(FindCluster, NoClusterWhenConstraintTooTight) {
+  DistanceMatrix d(3, 5.0);
+  EXPECT_FALSE(find_cluster(d, 2, 4.9).has_value());
+  EXPECT_TRUE(find_cluster(d, 2, 5.0).has_value());  // boundary inclusive
+}
+
+TEST(FindCluster, KLargerThanUniverseFails) {
+  DistanceMatrix d(3, 1.0);
+  EXPECT_FALSE(find_cluster(d, 4, 100.0).has_value());
+}
+
+TEST(FindCluster, ValidatesArguments) {
+  DistanceMatrix d(3, 1.0);
+  EXPECT_THROW(find_cluster(d, 1, 1.0), ContractViolation);   // k >= 2
+  EXPECT_THROW(find_cluster(d, 2, -1.0), ContractViolation);  // l >= 0
+  const std::vector<NodeId> bad = {0, 9};
+  EXPECT_THROW(find_cluster(d, bad, 2, 1.0), ContractViolation);
+}
+
+TEST(FindCluster, SubsetUniverseRestrictsSearch) {
+  DistanceMatrix d(4);
+  d.set(0, 1, 1.0);
+  d.set(0, 2, 1.0);
+  d.set(1, 2, 1.0);
+  d.set(0, 3, 1.0);
+  d.set(1, 3, 1.0);
+  d.set(2, 3, 1.0);
+  const std::vector<NodeId> universe = {0, 3};
+  const auto c = find_cluster(d, universe, 2, 1.0);
+  ASSERT_TRUE(c.has_value());
+  for (NodeId x : *c) {
+    EXPECT_TRUE(x == 0 || x == 3);
+  }
+  EXPECT_FALSE(find_cluster(d, universe, 3, 1.0).has_value());
+}
+
+TEST(FindCluster, ReturnedNodesAreDistinct) {
+  Rng rng(1);
+  const DistanceMatrix d = testutil::random_tree_metric(20, rng);
+  std::vector<double> sorted = d.pair_values();
+  std::sort(sorted.begin(), sorted.end());
+  const double l = sorted[sorted.size() / 2];
+  const auto c = find_cluster(d, 5, l);
+  if (c) {
+    auto members = *c;
+    std::sort(members.begin(), members.end());
+    EXPECT_EQ(std::adjacent_find(members.begin(), members.end()), members.end());
+  }
+}
+
+class TreeMetricOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeMetricOracle, MaxClusterSizeMatchesBruteForceOnTreeMetrics) {
+  // Theorem 3.1 in executable form: on tree metrics the polynomial algorithm
+  // finds exactly the max clique of the thresholded graph.
+  Rng rng(GetParam());
+  const std::size_t n = 6 + rng.below(10);
+  const DistanceMatrix d = testutil::random_tree_metric(n, rng);
+  const auto universe = iota_universe(n);
+  const auto values = d.pair_values();
+  for (double q : {0.1, 0.3, 0.5, 0.8}) {
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const double l = sorted[static_cast<std::size_t>(q * (sorted.size() - 1))];
+    EXPECT_EQ(max_cluster_size(d, universe, l),
+              max_clique_bruteforce(d, universe, l))
+        << "n=" << n << " l=" << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreeMetricOracle,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+class ClusterValidity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterValidity, OutputAlwaysSatisfiesConstraintsEvenOnNoisyMetrics) {
+  // With verify_diameter on, returned clusters satisfy (k, l) under the
+  // *input* metric even when it violates 4PC.
+  Rng rng(GetParam() + 500);
+  const DistanceMatrix d = testutil::noisy_tree_metric(18, rng, 0.5);
+  const auto values = d.pair_values();
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t k : {2ul, 4ul, 7ul}) {
+    for (double q : {0.2, 0.5, 0.9}) {
+      const double l = sorted[static_cast<std::size_t>(q * (sorted.size() - 1))];
+      const auto c = find_cluster(d, k, l);
+      if (c) {
+        EXPECT_TRUE(cluster_satisfies(d, *c, k, l));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClusterValidity,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(FindCluster, CompletenessOnTreeMetrics) {
+  // If the brute-force oracle says a k-cluster exists, Algorithm 1 finds one.
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng trial_rng = rng.split(trial);
+    const DistanceMatrix d = testutil::random_tree_metric(12, trial_rng);
+    const auto universe = iota_universe(12);
+    std::vector<double> sorted = d.pair_values();
+    std::sort(sorted.begin(), sorted.end());
+    const double l = sorted[sorted.size() / 2];
+    const std::size_t best = max_clique_bruteforce(d, universe, l);
+    for (std::size_t k = 2; k <= best; ++k) {
+      EXPECT_TRUE(find_cluster(d, k, l).has_value()) << "k=" << k;
+    }
+    if (best >= 2) {
+      EXPECT_FALSE(find_cluster(d, best + 1, l).has_value());
+    }
+  }
+}
+
+TEST(MaxCluster, SingletonWhenNoPairFits) {
+  DistanceMatrix d(3, 10.0);
+  const auto universe = iota_universe(3);
+  EXPECT_EQ(max_cluster_size(d, universe, 1.0), 1u);
+  const Cluster c = max_cluster(d, universe, 1.0);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(MaxCluster, EmptyUniverse) {
+  DistanceMatrix d(3, 1.0);
+  const std::vector<NodeId> empty;
+  EXPECT_EQ(max_cluster_size(d, empty, 1.0), 0u);
+  EXPECT_TRUE(max_cluster(d, empty, 1.0).empty());
+}
+
+TEST(MaxCluster, MonotoneInL) {
+  Rng rng(7);
+  const DistanceMatrix d = testutil::random_tree_metric(15, rng);
+  const auto universe = iota_universe(15);
+  std::size_t prev = 0;
+  for (double l = 0.0; l <= d.max_distance() + 1.0; l += d.max_distance() / 8) {
+    const std::size_t size = max_cluster_size(d, universe, l);
+    EXPECT_GE(size, prev);
+    prev = size;
+  }
+  EXPECT_EQ(prev, 15u);  // at l >= diameter, everything clusters
+}
+
+TEST(MaxClusterSizesForClasses, MatchesPerClassComputation) {
+  Rng rng(8);
+  const DistanceMatrix d = testutil::random_tree_metric(14, rng);
+  const auto universe = iota_universe(14);
+  std::vector<double> classes;
+  for (double l = 0.5; l < d.max_distance() * 1.2; l *= 1.7) {
+    classes.push_back(l);
+  }
+  const auto sizes = max_cluster_sizes_for_classes(d, universe, classes);
+  ASSERT_EQ(sizes.size(), classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    EXPECT_EQ(sizes[i], max_cluster_size(d, universe, classes[i]))
+        << "class " << i;
+  }
+}
+
+TEST(MaxClusterSizesForClasses, UnsortedClassesHandled) {
+  Rng rng(9);
+  const DistanceMatrix d = testutil::random_tree_metric(10, rng);
+  const auto universe = iota_universe(10);
+  const std::vector<double> classes = {100.0, 0.1, 5.0};
+  const auto sizes = max_cluster_sizes_for_classes(d, universe, classes);
+  EXPECT_EQ(sizes[0], max_cluster_size(d, universe, 100.0));
+  EXPECT_EQ(sizes[1], max_cluster_size(d, universe, 0.1));
+  EXPECT_EQ(sizes[2], max_cluster_size(d, universe, 5.0));
+}
+
+TEST(ClusterSatisfies, RejectsBadClusters) {
+  DistanceMatrix d(4);
+  d.set(0, 1, 1.0);
+  d.set(0, 2, 5.0);
+  d.set(1, 2, 5.0);
+  d.set(0, 3, 1.0);
+  d.set(1, 3, 1.0);
+  d.set(2, 3, 1.0);
+  EXPECT_TRUE(cluster_satisfies(d, {0, 1}, 2, 1.0));
+  EXPECT_FALSE(cluster_satisfies(d, {0, 2}, 2, 1.0));    // too far
+  EXPECT_FALSE(cluster_satisfies(d, {0, 1}, 3, 1.0));    // wrong size
+  EXPECT_FALSE(cluster_satisfies(d, {0, 0}, 2, 1.0));    // duplicate
+  EXPECT_FALSE(cluster_satisfies(d, {0, 9}, 2, 1.0));    // out of range
+}
+
+TEST(TightestCluster, MinimizesDiameterOnTreeMetrics) {
+  Rng rng(40);
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng trial_rng = rng.split(trial);
+    const DistanceMatrix d = testutil::random_tree_metric(14, trial_rng);
+    const auto universe = iota_universe(14);
+    for (std::size_t k : {2ul, 4ul, 7ul}) {
+      const auto c = tightest_cluster(d, universe, k);
+      ASSERT_TRUE(c.has_value());
+      const double diam = d.diameter_of(*c);
+      // No l below the achieved diameter admits a k-cluster.
+      EXPECT_FALSE(find_cluster(d, universe, k, diam * (1.0 - 1e-9)))
+          << "k=" << k;
+      // And find_cluster at exactly this l succeeds.
+      EXPECT_TRUE(find_cluster(d, universe, k, diam + 1e-9).has_value());
+    }
+  }
+}
+
+TEST(TightestCluster, PairCaseReturnsClosestPair) {
+  Rng rng(41);
+  const DistanceMatrix d = testutil::random_tree_metric(12, rng);
+  const auto universe = iota_universe(12);
+  const auto c = tightest_cluster(d, universe, 2);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(d.at((*c)[0], (*c)[1]), d.min_distance());
+}
+
+TEST(TightestCluster, WholeUniverseHasMaximumDiameter) {
+  Rng rng(42);
+  const DistanceMatrix d = testutil::random_tree_metric(9, rng);
+  const auto universe = iota_universe(9);
+  const auto c = tightest_cluster(d, universe, 9);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(d.diameter_of(*c), d.max_distance(), 1e-12);
+}
+
+TEST(TightestCluster, TooLargeKFails) {
+  DistanceMatrix d(3, 1.0);
+  const auto universe = iota_universe(3);
+  EXPECT_FALSE(tightest_cluster(d, universe, 4).has_value());
+  EXPECT_THROW(tightest_cluster(d, universe, 1), ContractViolation);
+}
+
+TEST(TightestCluster, ValidOnNoisyMetrics) {
+  Rng rng(43);
+  const DistanceMatrix d = testutil::noisy_tree_metric(15, rng, 0.5);
+  const auto universe = iota_universe(15);
+  const auto c = tightest_cluster(d, universe, 5);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 5u);
+  // Verification keeps the answer honest: the chosen nodes' diameter equals
+  // (up to slack) the candidate pair distance that admitted them.
+  EXPECT_TRUE(cluster_satisfies(d, *c, 5, d.diameter_of(*c)));
+}
+
+TEST(FindCluster, WholeUniverseClusterAtLargeL) {
+  Rng rng(10);
+  const DistanceMatrix d = testutil::random_tree_metric(9, rng);
+  const auto c = find_cluster(d, 9, d.max_distance());
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 9u);
+}
+
+}  // namespace
+}  // namespace bcc

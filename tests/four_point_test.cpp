@@ -1,0 +1,188 @@
+#include "metric/four_point.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace bcc {
+namespace {
+
+TEST(FourPoint, PerfectTreeQuartetsHaveZeroEpsilon) {
+  Rng rng(1);
+  const DistanceMatrix d = testutil::random_tree_metric(10, rng);
+  for (NodeId w = 0; w < 4; ++w) {
+    for (NodeId x = w + 1; x < 6; ++x) {
+      EXPECT_NEAR(quartet_epsilon(d, w, x, 7, 9), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(FourPoint, ViolatingQuartetDetected) {
+  // A "square" metric: 4 points with unit sides and equal diagonals violates
+  // 4PC (all three pair-sums distinct or two smaller equal).
+  DistanceMatrix d(4);
+  d.set(0, 1, 1.0);
+  d.set(1, 2, 1.0);
+  d.set(2, 3, 1.0);
+  d.set(0, 3, 1.0);
+  d.set(0, 2, 1.4142135623730951);
+  d.set(1, 3, 1.4142135623730951);
+  EXPECT_FALSE(quartet_satisfies_4pc(d, 0, 1, 2, 3));
+  EXPECT_GT(quartet_epsilon(d, 0, 1, 2, 3), 0.0);
+}
+
+TEST(FourPoint, EpsilonIsScaleFree) {
+  Rng rng(2);
+  DistanceMatrix d = testutil::noisy_tree_metric(6, rng, 0.5);
+  const double eps = quartet_epsilon(d, 0, 1, 2, 3);
+  DistanceMatrix scaled(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) scaled.set(u, v, 7.5 * d.at(u, v));
+  }
+  EXPECT_NEAR(quartet_epsilon(scaled, 0, 1, 2, 3), eps, 1e-9);
+}
+
+TEST(FourPoint, EpsilonInvariantToArgumentOrder) {
+  Rng rng(3);
+  const DistanceMatrix d = testutil::noisy_tree_metric(6, rng, 0.4);
+  const double ref = quartet_epsilon(d, 0, 1, 2, 3);
+  EXPECT_DOUBLE_EQ(quartet_epsilon(d, 3, 2, 1, 0), ref);
+  EXPECT_DOUBLE_EQ(quartet_epsilon(d, 1, 3, 0, 2), ref);
+  EXPECT_DOUBLE_EQ(quartet_epsilon(d, 2, 0, 3, 1), ref);
+}
+
+TEST(FourPoint, DegenerateQuartetWithCoincidentPointsIsFinite) {
+  DistanceMatrix d(4);  // all zeros: four coincident points
+  EXPECT_DOUBLE_EQ(quartet_epsilon(d, 0, 1, 2, 3), 0.0);
+  EXPECT_TRUE(quartet_satisfies_4pc(d, 0, 1, 2, 3));
+}
+
+TEST(IsTreeMetric, AcceptsGeneratedTrees) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    EXPECT_TRUE(is_tree_metric(testutil::random_tree_metric(9, rng), 1e-6))
+        << "seed " << seed;
+  }
+}
+
+TEST(IsTreeMetric, RejectsSquareMetric) {
+  DistanceMatrix d(4);
+  d.set(0, 1, 1.0);
+  d.set(1, 2, 1.0);
+  d.set(2, 3, 1.0);
+  d.set(0, 3, 1.0);
+  d.set(0, 2, 1.4142135623730951);
+  d.set(1, 3, 1.4142135623730951);
+  EXPECT_FALSE(is_tree_metric(d));
+}
+
+TEST(IsTreeMetric, TrivialSizesAreTreeMetrics) {
+  // Fewer than 4 points: 4PC is vacuous.
+  EXPECT_TRUE(is_tree_metric(DistanceMatrix(0)));
+  EXPECT_TRUE(is_tree_metric(DistanceMatrix(3, 5.0)));
+}
+
+TEST(EstimateTreeness, ZeroForPerfectTree) {
+  Rng rng(4);
+  const DistanceMatrix d = testutil::random_tree_metric(15, rng);
+  Rng est(5);
+  const TreenessStats stats = estimate_treeness(d, est, 5000);
+  EXPECT_NEAR(stats.epsilon_avg, 0.0, 1e-9);
+  EXPECT_NEAR(stats.epsilon_max, 0.0, 1e-9);
+  EXPECT_GT(stats.quartets, 0u);
+}
+
+TEST(EstimateTreeness, GrowsWithNoise) {
+  Rng rng(6);
+  const DistanceMatrix base = testutil::random_tree_metric(20, rng);
+  auto eps_at = [&](double sigma) {
+    Rng noise(7);
+    DistanceMatrix d = base;
+    for (NodeId u = 0; u < d.size(); ++u) {
+      for (NodeId v = u + 1; v < d.size(); ++v) {
+        d.set(u, v, d.at(u, v) * noise.lognormal(0.0, sigma));
+      }
+    }
+    Rng est(8);
+    return estimate_treeness(d, est, 20000).epsilon_avg;
+  };
+  const double none = eps_at(0.0);
+  const double small = eps_at(0.1);
+  const double large = eps_at(0.6);
+  EXPECT_LT(none, small);
+  EXPECT_LT(small, large);
+}
+
+TEST(EstimateTreeness, ExactEnumerationForSmallInputs) {
+  Rng rng(9);
+  const DistanceMatrix d = testutil::noisy_tree_metric(8, rng, 0.3);
+  Rng est(10);
+  const TreenessStats stats = estimate_treeness(d, est, 100000);
+  EXPECT_EQ(stats.quartets, 70u);  // C(8,4)
+}
+
+TEST(EstimateTreeness, SamplingCapRespected) {
+  Rng rng(11);
+  const DistanceMatrix d = testutil::noisy_tree_metric(40, rng, 0.3);
+  Rng est(12);
+  const TreenessStats stats = estimate_treeness(d, est, 500);
+  EXPECT_EQ(stats.quartets, 500u);
+}
+
+TEST(EstimateTreeness, TooFewPointsIsZero) {
+  const DistanceMatrix d(3, 1.0);
+  Rng est(13);
+  const TreenessStats stats = estimate_treeness(d, est);
+  EXPECT_EQ(stats.quartets, 0u);
+  EXPECT_DOUBLE_EQ(stats.epsilon_avg, 0.0);
+}
+
+TEST(FourPoint, AccessLinkBottleneckModelIsTreeMetric) {
+  // The theoretical result the paper cites ([20], §II.C): if bandwidth is
+  // bottlenecked at the access link of either end — BW(u,v) = min(a_u, a_v)
+  // — then d(u,v) = C / BW(u,v) = max(C/a_u, C/a_v) satisfies 4PC exactly.
+  Rng rng(50);
+  const std::size_t n = 12;
+  std::vector<double> access(n);
+  for (auto& a : access) a = rng.uniform(5.0, 200.0);
+  DistanceMatrix d(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double bw = std::min(access[u], access[v]);
+      d.set(u, v, 1000.0 / bw);
+    }
+  }
+  EXPECT_TRUE(is_tree_metric(d, 1e-9));
+}
+
+TEST(FourPoint, UltrametricsAreTreeMetrics) {
+  // Any ultrametric (d(u,w) <= max(d(u,v), d(v,w))) satisfies 4PC; build one
+  // from a random hierarchy of merge heights.
+  Rng rng(51);
+  const std::size_t n = 10;
+  // Single-linkage style: nodes on a line, distance = max height between.
+  std::vector<double> heights(n - 1);
+  for (auto& h : heights) h = rng.uniform(1.0, 50.0);
+  DistanceMatrix d(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      double h = 0.0;
+      for (NodeId i = u; i < v; ++i) h = std::max(h, heights[i]);
+      d.set(u, v, h);
+    }
+  }
+  EXPECT_TRUE(is_tree_metric(d, 1e-9));
+}
+
+TEST(EpsilonStar, BoundsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(epsilon_star(0.0), 0.0);
+  EXPECT_NEAR(epsilon_star(1.0), 0.5, 1e-12);
+  EXPECT_LT(epsilon_star(0.2), epsilon_star(0.8));
+  EXPECT_LT(epsilon_star(1e9), 1.0);
+  EXPECT_THROW(epsilon_star(-0.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,198 @@
+// Randomized operation-sequence tests ("fuzz light"): long random schedules
+// of structural operations checked against independent reference
+// implementations on every step. These catch interaction bugs that
+// scenario-based unit tests miss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "core/find_cluster.h"
+#include "test_util.h"
+#include "tree/distance_label.h"
+#include "tree/maintenance.h"
+
+namespace bcc {
+namespace {
+
+/// Reference distances: Dijkstra-free all-pairs over an explicit edge list
+/// (small graphs; O(V^3) Floyd-Warshall).
+std::vector<std::vector<double>> reference_distances(
+    std::size_t vertices,
+    const std::vector<std::tuple<TreeVertex, TreeVertex, double>>& edges) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> d(vertices,
+                                     std::vector<double>(vertices, inf));
+  for (std::size_t v = 0; v < vertices; ++v) d[v][v] = 0.0;
+  for (const auto& [a, b, w] : edges) {
+    d[a][b] = std::min(d[a][b], w);
+    d[b][a] = std::min(d[b][a], w);
+  }
+  for (std::size_t k = 0; k < vertices; ++k) {
+    for (std::size_t i = 0; i < vertices; ++i) {
+      for (std::size_t j = 0; j < vertices; ++j) {
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
+TEST(Fuzz, WeightedTreeOperationsMatchFloydReference) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    WeightedTree tree;
+    std::vector<std::tuple<TreeVertex, TreeVertex, double>> edges;
+    std::vector<TreeVertex> connected = {tree.add_vertex()};
+
+    for (int step = 0; step < 60; ++step) {
+      const double roll = rng.uniform();
+      if (roll < 0.5 || edges.empty()) {
+        // Attach a new vertex somewhere.
+        const TreeVertex parent =
+            connected[static_cast<std::size_t>(rng.below(connected.size()))];
+        const TreeVertex v = tree.add_vertex();
+        const double w = rng.uniform(0.1, 5.0);
+        tree.connect(parent, v, w);
+        edges.emplace_back(parent, v, w);
+        connected.push_back(v);
+      } else {
+        // Split a random existing edge.
+        const std::size_t ei =
+            static_cast<std::size_t>(rng.below(edges.size()));
+        auto [a, b, w] = edges[ei];
+        // The edge may have been replaced by an earlier split; look it up.
+        const auto current = tree.edge_weight(a, b);
+        if (!current) continue;
+        const double at = rng.uniform(0.0, *current);
+        const TreeVertex mid = tree.split_edge(a, b, at);
+        edges.erase(edges.begin() + static_cast<long>(ei));
+        edges.emplace_back(a, mid, at);
+        edges.emplace_back(mid, b, *current - at);
+        connected.push_back(mid);
+      }
+      ASSERT_TRUE(tree.is_tree()) << "seed " << seed << " step " << step;
+    }
+    const auto ref = reference_distances(tree.vertex_count(), edges);
+    // Spot-check a sample of pairs each run (full check is O(V^2 * V)).
+    for (int probe = 0; probe < 60; ++probe) {
+      const TreeVertex a =
+          static_cast<TreeVertex>(rng.below(tree.vertex_count()));
+      const TreeVertex b =
+          static_cast<TreeVertex>(rng.below(tree.vertex_count()));
+      if (a == b) continue;
+      EXPECT_NEAR(tree.distance(a, b), ref[a][b], 1e-9)
+          << "seed " << seed << " pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(Fuzz, MaintainerChurnKeepsLabelsExact) {
+  // After any join/leave interleaving, every alive host's distance label
+  // still reproduces the prediction tree's distances exactly.
+  for (std::uint64_t seed = 10; seed <= 12; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 18;
+    const DistanceMatrix real = testutil::noisy_tree_metric(n, rng, 0.3);
+    FrameworkMaintainer m(&real);
+    std::set<NodeId> in;
+    Rng churn(seed + 50);
+    for (int step = 0; step < 80; ++step) {
+      if (in.empty() || (in.size() < n && churn.chance(0.55))) {
+        NodeId h;
+        do {
+          h = static_cast<NodeId>(churn.below(n));
+        } while (in.count(h));
+        m.join(h);
+        in.insert(h);
+      } else {
+        auto it = in.begin();
+        std::advance(it, static_cast<long>(churn.below(in.size())));
+        m.leave(*it);
+        in.erase(it);
+      }
+      if (step % 20 != 19) continue;  // full check periodically
+      std::vector<DistanceLabel> labels;
+      std::vector<NodeId> alive = m.alive();
+      for (NodeId h : alive) {
+        labels.push_back(DistanceLabel::of(m.prediction(), h));
+      }
+      for (std::size_t i = 0; i < alive.size(); ++i) {
+        for (std::size_t j = i + 1; j < alive.size(); ++j) {
+          EXPECT_NEAR(label_distance(labels[i], labels[j]),
+                      m.prediction().distance(alive[i], alive[j]), 1e-7)
+              << "seed " << seed << " step " << step;
+        }
+      }
+    }
+  }
+}
+
+TEST(Fuzz, RestoreReplaysArbitraryChurnedTrees) {
+  // Serialization round-trips even for frameworks shaped by churn.
+  Rng rng(21);
+  const std::size_t n = 16;
+  const DistanceMatrix real = testutil::noisy_tree_metric(n, rng, 0.4);
+  FrameworkMaintainer m(&real);
+  Rng churn(22);
+  std::set<NodeId> in;
+  for (int step = 0; step < 60; ++step) {
+    if (in.empty() || (in.size() < n && churn.chance(0.6))) {
+      NodeId h;
+      do {
+        h = static_cast<NodeId>(churn.below(n));
+      } while (in.count(h));
+      m.join(h);
+      in.insert(h);
+    } else {
+      auto it = in.begin();
+      std::advance(it, static_cast<long>(churn.below(in.size())));
+      m.leave(*it);
+      in.erase(it);
+    }
+  }
+  ASSERT_GE(m.size(), 2u);
+  // Replay the survivors' placements into a fresh tree.
+  PredictionTree replay;
+  const auto& hosts = m.prediction().hosts();
+  replay.add_first(hosts[0]);
+  for (std::size_t i = 1; i < hosts.size(); ++i) {
+    const auto& p = m.prediction().placement_of(hosts[i]);
+    replay.restore(hosts[i], p.anchor, p.anchor_offset, p.leaf_weight);
+  }
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = i + 1; j < hosts.size(); ++j) {
+      EXPECT_NEAR(replay.distance(hosts[i], hosts[j]),
+                  m.prediction().distance(hosts[i], hosts[j]), 1e-9);
+    }
+  }
+}
+
+TEST(Fuzz, FindClusterNeverLiesUnderRandomMetrics) {
+  // Arbitrary symmetric positive matrices (not even triangle-satisfying):
+  // find_cluster either returns a verified cluster or nullopt, never junk.
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng trial_rng = rng.split(trial);
+    const std::size_t n = 4 + trial_rng.below(12);
+    DistanceMatrix d(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        d.set(u, v, trial_rng.uniform(0.1, 100.0));
+      }
+    }
+    const auto universe = testutil::iota_universe(n);
+    for (std::size_t k = 2; k <= std::min<std::size_t>(n, 5); ++k) {
+      const double l = trial_rng.uniform(0.1, 120.0);
+      const auto c = find_cluster(d, universe, k, l);
+      if (c) {
+        EXPECT_TRUE(cluster_satisfies(d, *c, k, l)) << "trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcc

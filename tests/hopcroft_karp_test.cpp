@@ -1,0 +1,163 @@
+#include "euclid/hopcroft_karp.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.h"
+
+namespace bcc {
+namespace {
+
+/// Exponential oracle: maximum matching by trying all subsets of left
+/// vertices (small graphs only).
+std::size_t matching_bruteforce(const BipartiteGraph& g) {
+  const std::size_t nl = g.left_size();
+  std::size_t best = 0;
+  // Recursive assignment search.
+  std::vector<char> used_right(g.right_size(), 0);
+  std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t l,
+                                                          std::size_t matched) {
+    if (l == nl) {
+      best = std::max(best, matched);
+      return;
+    }
+    if (matched + (nl - l) <= best) return;
+    rec(l + 1, matched);  // leave l unmatched
+    for (std::size_t r : g.neighbors(l)) {
+      if (used_right[r]) continue;
+      used_right[r] = 1;
+      rec(l + 1, matched + 1);
+      used_right[r] = 0;
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  BipartiteGraph g(0, 0);
+  EXPECT_EQ(hopcroft_karp(g).size, 0u);
+  EXPECT_EQ(maximum_independent_set(g).size, 0u);
+}
+
+TEST(HopcroftKarp, NoEdges) {
+  BipartiteGraph g(3, 4);
+  EXPECT_EQ(hopcroft_karp(g).size, 0u);
+  EXPECT_EQ(maximum_independent_set(g).size, 7u);  // everything independent
+}
+
+TEST(HopcroftKarp, PerfectMatching) {
+  BipartiteGraph g(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) g.add_edge(i, i);
+  const MatchingResult m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(m.match_left[i], i);
+}
+
+TEST(HopcroftKarp, AugmentingPathNeeded) {
+  // l0-{r0,r1}, l1-{r0}: greedy l0->r0 must be augmented.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(hopcroft_karp(g).size, 2u);
+}
+
+TEST(HopcroftKarp, CompleteBipartite) {
+  BipartiteGraph g(4, 6);
+  for (std::size_t l = 0; l < 4; ++l) {
+    for (std::size_t r = 0; r < 6; ++r) g.add_edge(l, r);
+  }
+  EXPECT_EQ(hopcroft_karp(g).size, 4u);
+  // MIS of K_{4,6} is the larger side.
+  EXPECT_EQ(maximum_independent_set(g).size, 6u);
+}
+
+TEST(HopcroftKarp, MatchingConsistency) {
+  BipartiteGraph g(3, 3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const MatchingResult m = hopcroft_karp(g);
+  for (std::size_t l = 0; l < 3; ++l) {
+    if (m.match_left[l] != MatchingResult::npos) {
+      EXPECT_EQ(m.match_right[m.match_left[l]], l);
+    }
+  }
+}
+
+TEST(HopcroftKarp, MisIsActuallyIndependent) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t nl = 1 + rng.below(8), nr = 1 + rng.below(8);
+    BipartiteGraph g(nl, nr);
+    for (std::size_t l = 0; l < nl; ++l) {
+      for (std::size_t r = 0; r < nr; ++r) {
+        if (rng.chance(0.3)) g.add_edge(l, r);
+      }
+    }
+    const IndependentSet mis = maximum_independent_set(g);
+    for (std::size_t l = 0; l < nl; ++l) {
+      if (!mis.left[l]) continue;
+      for (std::size_t r : g.neighbors(l)) {
+        EXPECT_FALSE(mis.right[r]) << "edge inside MIS";
+      }
+    }
+  }
+}
+
+TEST(HopcroftKarp, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t nl = 1 + rng.below(7), nr = 1 + rng.below(7);
+    BipartiteGraph g(nl, nr);
+    for (std::size_t l = 0; l < nl; ++l) {
+      for (std::size_t r = 0; r < nr; ++r) {
+        if (rng.chance(0.35)) g.add_edge(l, r);
+      }
+    }
+    EXPECT_EQ(hopcroft_karp(g).size, matching_bruteforce(g)) << "trial "
+                                                             << trial;
+  }
+}
+
+TEST(HopcroftKarp, KoenigSizeIdentity) {
+  // |MIS| = |V| - |max matching| on every bipartite graph.
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t nl = 1 + rng.below(10), nr = 1 + rng.below(10);
+    BipartiteGraph g(nl, nr);
+    for (std::size_t l = 0; l < nl; ++l) {
+      for (std::size_t r = 0; r < nr; ++r) {
+        if (rng.chance(0.25)) g.add_edge(l, r);
+      }
+    }
+    const std::size_t matching = hopcroft_karp(g).size;
+    EXPECT_EQ(maximum_independent_set(g).size, nl + nr - matching);
+  }
+}
+
+TEST(HopcroftKarp, OutOfRangeEdgeRejected) {
+  BipartiteGraph g(2, 2);
+  EXPECT_THROW(g.add_edge(2, 0), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 2), ContractViolation);
+}
+
+TEST(HopcroftKarp, LargeBalancedRandomGraphRuns) {
+  Rng rng(4);
+  const std::size_t n = 200;
+  BipartiteGraph g(n, n);
+  for (std::size_t l = 0; l < n; ++l) {
+    for (int e = 0; e < 5; ++e) {
+      g.add_edge(l, static_cast<std::size_t>(rng.below(n)));
+    }
+  }
+  const MatchingResult m = hopcroft_karp(g);
+  EXPECT_GT(m.size, n / 2);
+  EXPECT_LE(m.size, n);
+}
+
+}  // namespace
+}  // namespace bcc

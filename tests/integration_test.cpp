@@ -1,0 +1,206 @@
+// End-to-end integration tests: miniature versions of every figure pipeline
+// asserting the paper's *qualitative* claims (who wins, what grows, what
+// stays flat) on small inputs with fixed seeds.
+#include <gtest/gtest.h>
+
+#include "exp/fig3.h"
+#include "exp/fig4.h"
+#include "exp/fig5.h"
+#include "exp/fig6.h"
+
+namespace bcc {
+namespace {
+
+SynthDataset small_dataset(std::size_t hosts, std::uint64_t seed,
+                           double noise = 0.25) {
+  Rng rng(seed);
+  SynthOptions options;
+  options.hosts = hosts;
+  options.noise_sigma = noise;
+  options.target_p20 = 15.0;
+  options.target_p80 = 75.0;
+  return synthesize_planetlab(options, rng);
+}
+
+TEST(IntegrationFig3, TreeBeatsEuclideanOnAccuracy) {
+  const SynthDataset data = small_dataset(60, 1);
+  exp::Fig3Params params;
+  params.rounds = 3;
+  params.queries_per_b = 5;
+  params.k = 5;
+  params.b_steps = 4;
+  const exp::Fig3Result r = exp::run_fig3(data, params, 42);
+  ASSERT_EQ(r.rows.size(), 4u);
+
+  // Aggregate WPR across the b sweep: tree must beat Euclidean clearly.
+  double tree_total = 0.0, eucl_total = 0.0;
+  for (const auto& row : r.rows) {
+    tree_total += row.wpr_tree_central;
+    eucl_total += row.wpr_eucl_central;
+  }
+  EXPECT_LT(tree_total, eucl_total);
+
+  // Tree prediction errors dominate Euclidean errors (Fig. 3b).
+  EXPECT_LT(r.tree_median_error, r.eucl_median_error);
+
+  // Centralized and decentralized tree clustering are close (same framework)
+  // for these easy queries.
+  for (const auto& row : r.rows) {
+    EXPECT_NEAR(row.wpr_tree_decentral, row.wpr_tree_central, 0.25)
+        << "b=" << row.b;
+  }
+}
+
+TEST(IntegrationFig3, WprGrowsWithB) {
+  const SynthDataset data = small_dataset(60, 2);
+  exp::Fig3Params params;
+  params.rounds = 3;
+  params.queries_per_b = 5;
+  params.k = 5;
+  params.b_min = 10.0;
+  params.b_max = 100.0;
+  params.b_steps = 3;
+  const exp::Fig3Result r = exp::run_fig3(data, params, 7);
+  // Stricter b makes wrong pairs more likely (first vs last of the sweep).
+  EXPECT_LE(r.rows.front().wpr_tree_central, r.rows.back().wpr_tree_central);
+}
+
+TEST(IntegrationFig3, EasyQueriesAreAnswered) {
+  const SynthDataset data = small_dataset(50, 3);
+  exp::Fig3Params params;
+  params.rounds = 2;
+  params.queries_per_b = 5;
+  params.k = 3;  // 6% of nodes: easy
+  params.b_min = 15.0;
+  params.b_max = 40.0;
+  params.b_steps = 2;
+  const exp::Fig3Result r = exp::run_fig3(data, params, 3);
+  for (const auto& row : r.rows) {
+    EXPECT_GT(row.rr_tree_central, 0.99) << "b=" << row.b;
+    EXPECT_GT(row.rr_tree_decentral, 0.8) << "b=" << row.b;
+  }
+}
+
+TEST(IntegrationFig4, DecentralizedReturnsAtMostCentralized) {
+  const SynthDataset data = small_dataset(60, 4);
+  exp::Fig4Params params;
+  params.rounds = 4;
+  params.queries_per_k = 6;
+  params.k_max = 50;
+  params.k_steps = 6;
+  params.n_cut = 5;
+  const exp::Fig4Result r = exp::run_fig4(data, params, 11);
+  ASSERT_GE(r.rows.size(), 4u);
+  for (const auto& row : r.rows) {
+    EXPECT_LE(row.rr_decentral, row.rr_central + 0.10) << "k=" << row.k;
+  }
+  // RR decreases with k for both.
+  EXPECT_GE(r.rows.front().rr_central, r.rows.back().rr_central);
+  EXPECT_GE(r.rows.front().rr_decentral, r.rows.back().rr_decentral);
+  // Small k: both approaches succeed almost always, gap negligible.
+  EXPECT_GT(r.rows.front().rr_decentral, 0.9);
+  EXPECT_NEAR(r.rows.front().rr_central, r.rows.front().rr_decentral, 0.1);
+  // Very large k (> n_cut * max degree region): decentralized collapses.
+  EXPECT_LT(r.rows.back().rr_decentral, r.rows.front().rr_decentral + 1e-9);
+}
+
+TEST(IntegrationFig5, NormalizedWprExposesTreenessOrdering) {
+  const SynthDataset base = small_dataset(60, 5);
+  exp::Fig5Params params;
+  params.dataset_size = 40;
+  params.variants = 3;
+  params.rounds = 3;
+  params.k = 4;
+  params.b_steps = 8;
+  params.noise_min = 0.05;
+  params.noise_max = 0.9;
+  const exp::Fig5Result r = exp::run_fig5(base, params, 21);
+  ASSERT_EQ(r.series.size(), 3u);
+  // Series are ordered by treeness.
+  EXPECT_LT(r.series.front().epsilon_avg, r.series.back().epsilon_avg);
+
+  // Within each series WPR is (weakly) increasing in f_b overall: compare
+  // the mean over the low-f_b half vs the high-f_b half.
+  for (const auto& s : r.series) {
+    double lo = 0.0, hi = 0.0;
+    const std::size_t half = s.points.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) lo += s.points[i].wpr;
+    for (std::size_t i = half; i < s.points.size(); ++i) hi += s.points[i].wpr;
+    EXPECT_LE(lo / half, hi / (s.points.size() - half) + 0.05);
+  }
+
+  // The treeness effect: the least tree-like dataset has the higher mean
+  // normalized WPR over the mid-range of the sweep.
+  auto mid_mean_norm = [](const exp::Fig5Series& s) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& p : s.points) {
+      if (p.f_b > 0.05 && p.f_b < 0.95) {
+        sum += p.wpr_normalized;
+        ++count;
+      }
+    }
+    return count ? sum / static_cast<double>(count) : 0.0;
+  };
+  EXPECT_LT(mid_mean_norm(r.series.front()), mid_mean_norm(r.series.back()));
+}
+
+TEST(IntegrationFig5, SubsetModeRunsAndOrders) {
+  const SynthDataset base = small_dataset(70, 6, /*noise=*/0.4);
+  exp::Fig5Params params;
+  params.mode = exp::Fig5Mode::kSubsetSweep;
+  params.dataset_size = 30;
+  params.variants = 2;
+  params.rounds = 2;
+  params.k = 3;
+  params.b_steps = 5;
+  params.subset_candidates = 12;
+  const exp::Fig5Result r = exp::run_fig5(base, params, 5);
+  ASSERT_EQ(r.series.size(), 2u);
+  EXPECT_LE(r.series[0].epsilon_avg, r.series[1].epsilon_avg);
+}
+
+TEST(IntegrationFig6, HopsAreSmallAndGrowSlowly) {
+  const SynthDataset base = small_dataset(120, 7);
+  exp::Fig6Params params;
+  params.sizes = {30, 60, 100};
+  params.datasets_per_size = 2;
+  params.rounds = 1;
+  params.queries = 40;
+  const exp::Fig6Result r = exp::run_fig6(base, params, 9);
+  ASSERT_EQ(r.rows.size(), 3u);
+  for (const auto& row : r.rows) {
+    // The paper reports ~2-3 hops; allow generous slack at tiny scale.
+    EXPECT_LT(row.avg_hops, 8.0) << "n=" << row.n;
+    EXPECT_GE(row.rr, 0.2) << "n=" << row.n;
+  }
+  // Sub-linear growth: tripling n should not triple hops.
+  EXPECT_LT(r.rows.back().avg_hops,
+            3.0 * std::max(0.7, r.rows.front().avg_hops));
+}
+
+TEST(IntegrationFig6, ValidatesSizes) {
+  const SynthDataset base = small_dataset(30, 8);
+  exp::Fig6Params params;
+  params.sizes = {50};  // larger than the base dataset
+  EXPECT_THROW(exp::run_fig6(base, params, 1), ContractViolation);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const SynthDataset data = small_dataset(40, 9);
+  exp::Fig3Params params;
+  params.rounds = 2;
+  params.queries_per_b = 3;
+  params.k = 4;
+  params.b_steps = 3;
+  const exp::Fig3Result a = exp::run_fig3(data, params, 123);
+  const exp::Fig3Result b = exp::run_fig3(data, params, 123);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rows[i].wpr_tree_decentral, b.rows[i].wpr_tree_decentral);
+    EXPECT_DOUBLE_EQ(a.rows[i].wpr_eucl_central, b.rows[i].wpr_eucl_central);
+  }
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,133 @@
+#include "euclid/kdiameter.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace bcc {
+namespace {
+
+double cluster_diameter(const std::vector<Point2>& pts, const Cluster& c) {
+  double diam = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    for (std::size_t j = i + 1; j < c.size(); ++j) {
+      diam = std::max(diam, dist2d(pts[c[i]], pts[c[j]]));
+    }
+  }
+  return diam;
+}
+
+TEST(KDiameter, FindsObviousCluster) {
+  // Three points in a tight blob + two far away.
+  std::vector<Point2> pts = {{0, 0}, {1, 0}, {0, 1}, {100, 100}, {-100, 50}};
+  const auto c = find_cluster_euclidean(pts, 3, 2.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 3u);
+  EXPECT_LE(cluster_diameter(pts, *c), 2.0);
+}
+
+TEST(KDiameter, ReturnsNulloptWhenImpossible) {
+  std::vector<Point2> pts = {{0, 0}, {10, 0}, {0, 10}};
+  EXPECT_FALSE(find_cluster_euclidean(pts, 2, 1.0).has_value());
+  EXPECT_FALSE(find_cluster_euclidean(pts, 4, 100.0).has_value());  // k > n
+}
+
+TEST(KDiameter, ExactDiameterBoundaryIncluded) {
+  std::vector<Point2> pts = {{0, 0}, {3, 0}};
+  EXPECT_TRUE(find_cluster_euclidean(pts, 2, 3.0).has_value());
+  EXPECT_FALSE(find_cluster_euclidean(pts, 2, 2.999).has_value());
+}
+
+TEST(KDiameter, RequiresKAtLeast2) {
+  std::vector<Point2> pts = {{0, 0}};
+  EXPECT_THROW(find_cluster_euclidean(pts, 1, 1.0), ContractViolation);
+  EXPECT_THROW(find_cluster_euclidean(pts, 2, -1.0), ContractViolation);
+}
+
+TEST(KDiameter, DuplicatePointsFormClusters) {
+  std::vector<Point2> pts = {{5, 5}, {5, 5}, {5, 5}, {9, 9}};
+  const auto c = find_cluster_euclidean(pts, 3, 0.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(cluster_diameter(pts, *c), 0.0);
+}
+
+TEST(KDiameter, ColinearPointsHandled) {
+  // All on one line: the bipartite split degenerates to "free" points.
+  std::vector<Point2> pts = {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const auto c = find_cluster_euclidean(pts, 4, 3.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_LE(cluster_diameter(pts, *c), 3.0);
+  EXPECT_EQ(max_cluster_size_euclidean(pts, 3.0), 4u);
+  EXPECT_EQ(max_cluster_size_euclidean(pts, 4.0), 5u);
+}
+
+TEST(KDiameter, MaxSizeTrivialCases) {
+  EXPECT_EQ(max_cluster_size_euclidean({}, 1.0), 0u);
+  EXPECT_EQ(max_cluster_size_euclidean({{0, 0}}, 1.0), 1u);
+  // Two distant points: only singletons fit.
+  EXPECT_EQ(max_cluster_size_euclidean({{0, 0}, {9, 9}}, 1.0), 1u);
+}
+
+TEST(KDiameter, ClusterIsSetOfDistinctIndices) {
+  Rng rng(1);
+  const auto pts = testutil::random_points(30, rng, 10.0);
+  const auto c = find_cluster_euclidean(pts, 8, 6.0);
+  if (c) {
+    auto sorted = *c;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+    for (NodeId i : *c) EXPECT_LT(i, pts.size());
+  }
+}
+
+class KDiameterProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KDiameterProperty, MatchesBruteForceMaxSize) {
+  // The lens + bipartite-MIS construction is exact: the achievable max
+  // cluster size equals the true max clique in the <=l graph.
+  Rng rng(GetParam());
+  const std::size_t n = 6 + rng.below(9);  // 6..14
+  const auto pts = testutil::random_points(n, rng, 10.0);
+  for (double l : {2.0, 4.0, 7.0, 12.0}) {
+    EXPECT_EQ(max_cluster_size_euclidean(pts, l),
+              max_cluster_size_euclidean_bruteforce(pts, l))
+        << "n=" << n << " l=" << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KDiameterProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+class KDiameterValidity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KDiameterValidity, ReturnedClustersAlwaysSatisfyConstraints) {
+  Rng rng(GetParam() + 1000);
+  const std::size_t n = 10 + rng.below(30);
+  const auto pts = testutil::random_points(n, rng, 20.0);
+  for (std::size_t k : {2ul, 3ul, 5ul, 8ul}) {
+    for (double l : {3.0, 8.0, 15.0}) {
+      const auto c = find_cluster_euclidean(pts, k, l);
+      if (!c) continue;
+      EXPECT_EQ(c->size(), k);
+      EXPECT_LE(cluster_diameter(pts, *c), l + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KDiameterValidity,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(KDiameter, FindAgreesWithMaxSize) {
+  Rng rng(77);
+  const auto pts = testutil::random_points(25, rng, 10.0);
+  for (double l : {2.0, 5.0, 9.0}) {
+    const std::size_t best = max_cluster_size_euclidean(pts, l);
+    if (best >= 2) {
+      EXPECT_TRUE(find_cluster_euclidean(pts, best, l).has_value());
+    }
+    EXPECT_FALSE(find_cluster_euclidean(pts, best + 1, l).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,98 @@
+#include "data/latency_synth.h"
+
+#include <gtest/gtest.h>
+
+#include "metric/four_point.h"
+#include "tree/embedder.h"
+
+namespace bcc {
+namespace {
+
+TEST(LatencySynth, ProducesPositiveSymmetricRtts) {
+  Rng rng(1);
+  LatencyOptions options;
+  options.hosts = 40;
+  const DistanceMatrix rtt = synthesize_latency(options, rng);
+  ASSERT_EQ(rtt.size(), 40u);
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId v = u + 1; v < 40; ++v) {
+      EXPECT_GT(rtt.at(u, v), 0.0);
+      EXPECT_DOUBLE_EQ(rtt.at(u, v), rtt.at(v, u));
+    }
+  }
+}
+
+TEST(LatencySynth, ZeroJitterIsPerfectTreeMetric) {
+  Rng rng(2);
+  LatencyOptions options;
+  options.hosts = 12;
+  options.jitter_sigma = 0.0;
+  const DistanceMatrix rtt = synthesize_latency(options, rng);
+  EXPECT_TRUE(is_tree_metric(rtt, 1e-6));
+}
+
+TEST(LatencySynth, JitterDegradesTreeness) {
+  auto eps_at = [](double jitter) {
+    Rng rng(3);
+    LatencyOptions options;
+    options.hosts = 40;
+    options.jitter_sigma = jitter;
+    const DistanceMatrix rtt = synthesize_latency(options, rng);
+    Rng est(4);
+    return estimate_treeness(rtt, est, 15000).epsilon_avg;
+  };
+  EXPECT_LT(eps_at(0.0), eps_at(0.2));
+  EXPECT_LT(eps_at(0.2), eps_at(0.6));
+}
+
+TEST(LatencySynth, RttScaleTracksHopParameters) {
+  Rng r1(5), r2(5);
+  LatencyOptions slow;
+  slow.hosts = 30;
+  slow.core_hop_ms_min = 20.0;
+  slow.core_hop_ms_max = 60.0;
+  LatencyOptions fast;
+  fast.hosts = 30;
+  fast.core_hop_ms_min = 1.0;
+  fast.core_hop_ms_max = 3.0;
+  const DistanceMatrix a = synthesize_latency(slow, r1);
+  const DistanceMatrix b = synthesize_latency(fast, r2);
+  EXPECT_GT(a.max_distance(), b.max_distance());
+}
+
+TEST(LatencySynth, EmbedsExactlyWhenPerfect) {
+  // The future-work claim in executable form: the unchanged pipeline embeds
+  // latency exactly when the RTT matrix is a tree metric.
+  Rng rng(6);
+  LatencyOptions options;
+  options.hosts = 25;
+  options.jitter_sigma = 0.0;
+  const DistanceMatrix rtt = synthesize_latency(options, rng);
+  Rng order(7);
+  const auto fw = build_framework(rtt, order);
+  const DistanceMatrix pred = fw.predicted_distances();
+  for (NodeId u = 0; u < 25; ++u) {
+    for (NodeId v = u + 1; v < 25; ++v) {
+      EXPECT_NEAR(pred.at(u, v), rtt.at(u, v), 1e-6);
+    }
+  }
+}
+
+TEST(LatencySynth, ValidatesOptions) {
+  Rng rng(8);
+  LatencyOptions options;
+  options.hosts = 1;
+  EXPECT_THROW(synthesize_latency(options, rng), ContractViolation);
+  options.hosts = 10;
+  options.core_hop_ms_min = 0.0;
+  EXPECT_THROW(synthesize_latency(options, rng), ContractViolation);
+  options.core_hop_ms_min = 5.0;
+  options.core_hop_ms_max = 1.0;
+  EXPECT_THROW(synthesize_latency(options, rng), ContractViolation);
+  options.core_hop_ms_max = 10.0;
+  options.jitter_sigma = -1.0;
+  EXPECT_THROW(synthesize_latency(options, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bcc

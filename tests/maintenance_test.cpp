@@ -1,0 +1,262 @@
+#include "tree/maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/system.h"
+#include "test_util.h"
+
+namespace bcc {
+namespace {
+
+/// Asserts the maintainer's framework is internally consistent and (on a
+/// perfect tree metric) exactly embeds every alive pair.
+void expect_exact(const FrameworkMaintainer& m, const DistanceMatrix& real) {
+  EXPECT_TRUE(m.prediction().check_invariants());
+  EXPECT_EQ(m.anchors().size(), m.size());
+  const auto& alive = m.alive();
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    for (std::size_t j = i + 1; j < alive.size(); ++j) {
+      EXPECT_NEAR(m.prediction().distance(alive[i], alive[j]),
+                  real.at(alive[i], alive[j]), 1e-6)
+          << "pair (" << alive[i] << "," << alive[j] << ")";
+    }
+  }
+}
+
+TEST(Maintenance, JoinsBuildTheFramework) {
+  Rng rng(1);
+  const DistanceMatrix real = testutil::random_tree_metric(12, rng);
+  FrameworkMaintainer m(&real);
+  for (NodeId h = 0; h < 12; ++h) m.join(h);
+  EXPECT_EQ(m.size(), 12u);
+  expect_exact(m, real);
+}
+
+TEST(Maintenance, LeafLeaveIsCheap) {
+  Rng rng(2);
+  const DistanceMatrix real = testutil::random_tree_metric(10, rng);
+  FrameworkMaintainer m(&real);
+  for (NodeId h = 0; h < 10; ++h) m.join(h);
+  // Find an anchor-tree leaf: removing it forces no rejoin.
+  NodeId leaf = 0;
+  for (NodeId h : m.alive()) {
+    if (m.anchors().children_of(h).empty()) {
+      leaf = h;
+      break;
+    }
+  }
+  const auto rejoined = m.leave(leaf);
+  EXPECT_TRUE(rejoined.empty());
+  EXPECT_EQ(m.rejoins(), 0u);
+  EXPECT_EQ(m.size(), 9u);
+  EXPECT_FALSE(m.contains(leaf));
+  expect_exact(m, real);
+}
+
+TEST(Maintenance, InnerLeaveRejoinsDescendants) {
+  Rng rng(3);
+  const DistanceMatrix real = testutil::random_tree_metric(20, rng);
+  FrameworkMaintainer m(&real);
+  for (NodeId h = 0; h < 20; ++h) m.join(h);
+  // Pick a non-root host with descendants.
+  NodeId inner = static_cast<NodeId>(-1);
+  for (NodeId h : m.alive()) {
+    if (h != m.anchors().root() && !m.anchors().children_of(h).empty()) {
+      inner = h;
+      break;
+    }
+  }
+  ASSERT_NE(inner, static_cast<NodeId>(-1));
+  const auto rejoined = m.leave(inner);
+  EXPECT_FALSE(rejoined.empty());
+  EXPECT_EQ(m.rejoins(), rejoined.size());
+  EXPECT_EQ(m.size(), 19u);
+  for (NodeId r : rejoined) EXPECT_TRUE(m.contains(r));
+  expect_exact(m, real);
+}
+
+TEST(Maintenance, RootLeaveRebuildsSurvivors) {
+  Rng rng(4);
+  const DistanceMatrix real = testutil::random_tree_metric(15, rng);
+  FrameworkMaintainer m(&real);
+  for (NodeId h = 0; h < 15; ++h) m.join(h);
+  const NodeId root = m.anchors().root();
+  const auto rejoined = m.leave(root);
+  EXPECT_EQ(rejoined.size(), 14u);
+  EXPECT_EQ(m.size(), 14u);
+  EXPECT_NE(m.anchors().root(), root);
+  expect_exact(m, real);
+}
+
+TEST(Maintenance, EveryoneLeaves) {
+  Rng rng(5);
+  const DistanceMatrix real = testutil::random_tree_metric(6, rng);
+  FrameworkMaintainer m(&real);
+  for (NodeId h = 0; h < 6; ++h) m.join(h);
+  std::vector<NodeId> order = {3, 0, 5, 1, 4, 2};  // includes the root (0)
+  for (NodeId h : order) {
+    m.leave(h);
+    EXPECT_FALSE(m.contains(h));
+    expect_exact(m, real);
+  }
+  EXPECT_EQ(m.size(), 0u);
+  // The framework can restart from empty.
+  m.join(2);
+  m.join(4);
+  EXPECT_EQ(m.size(), 2u);
+  expect_exact(m, real);
+}
+
+TEST(Maintenance, RandomChurnKeepsExactness) {
+  // Property: any interleaving of joins and leaves preserves exactness on a
+  // perfect tree metric and structural invariants throughout.
+  for (std::uint64_t seed : {6ull, 7ull, 8ull}) {
+    Rng rng(seed);
+    const std::size_t n = 24;
+    const DistanceMatrix real = testutil::random_tree_metric(n, rng);
+    FrameworkMaintainer m(&real);
+    std::set<NodeId> in;
+    Rng churn(seed + 100);
+    for (int step = 0; step < 120; ++step) {
+      const bool join = in.empty() || (in.size() < n && churn.chance(0.6));
+      if (join) {
+        NodeId h;
+        do {
+          h = static_cast<NodeId>(churn.below(n));
+        } while (in.count(h));
+        m.join(h);
+        in.insert(h);
+      } else {
+        auto it = in.begin();
+        std::advance(it, static_cast<long>(churn.below(in.size())));
+        m.leave(*it);
+        in.erase(it);
+      }
+      ASSERT_EQ(m.size(), in.size());
+    }
+    expect_exact(m, real);
+  }
+}
+
+TEST(Maintenance, ChurnOnNoisyMetricStaysStructurallySound) {
+  Rng rng(9);
+  const DistanceMatrix real = testutil::noisy_tree_metric(20, rng, 0.4);
+  FrameworkMaintainer m(&real);
+  for (NodeId h = 0; h < 20; ++h) m.join(h);
+  Rng churn(10);
+  for (int step = 0; step < 40; ++step) {
+    const auto& alive = m.alive();
+    if (alive.size() > 5 && churn.chance(0.5)) {
+      m.leave(alive[static_cast<std::size_t>(churn.below(alive.size()))]);
+    } else {
+      for (NodeId h = 0; h < 20; ++h) {
+        if (!m.contains(h)) {
+          m.join(h);
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(m.prediction().check_invariants());
+  }
+}
+
+TEST(Maintenance, RefreshAdoptsNewMetric) {
+  Rng rng(11);
+  const DistanceMatrix before = testutil::random_tree_metric(14, rng);
+  DistanceMatrix after(14);
+  for (NodeId u = 0; u < 14; ++u) {
+    for (NodeId v = u + 1; v < 14; ++v) {
+      after.set(u, v, 3.0 * before.at(u, v));  // network slowed down 3x
+    }
+  }
+  FrameworkMaintainer m(&before);
+  for (NodeId h = 0; h < 14; ++h) m.join(h);
+  m.refresh(&after);
+  expect_exact(m, after);
+}
+
+TEST(Maintenance, PredictedAliveMatchesPairQueries) {
+  Rng rng(12);
+  const DistanceMatrix real = testutil::random_tree_metric(10, rng);
+  FrameworkMaintainer m(&real);
+  for (NodeId h : {0ul, 3ul, 5ul, 7ul, 9ul}) m.join(h);
+  m.leave(5);
+  const auto& alive = m.alive();
+  const DistanceMatrix pred = m.predicted_alive();
+  ASSERT_EQ(pred.size(), alive.size());
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    for (std::size_t j = i + 1; j < alive.size(); ++j) {
+      EXPECT_NEAR(pred.at(i, j), m.prediction().distance(alive[i], alive[j]),
+                  1e-12);
+    }
+  }
+}
+
+TEST(Maintenance, CompactViewRemapsConsistently) {
+  Rng rng(14);
+  const DistanceMatrix real = testutil::random_tree_metric(12, rng);
+  FrameworkMaintainer m(&real);
+  for (NodeId h = 0; h < 12; ++h) m.join(h);
+  m.leave(4);
+  m.leave(9);
+  const auto view = m.compact_view();
+  ASSERT_EQ(view.ids.size(), 10u);
+  ASSERT_EQ(view.anchors.size(), 10u);
+  ASSERT_EQ(view.predicted.size(), 10u);
+  // Parent relations survive the re-keying.
+  for (std::size_t i = 0; i < view.ids.size(); ++i) {
+    const NodeId global = view.ids[i];
+    const NodeId parent = m.anchors().parent_of(global);
+    if (parent == AnchorTree::kNoParent) {
+      EXPECT_EQ(view.anchors.root(), i);
+    } else {
+      const auto it =
+          std::find(view.ids.begin(), view.ids.end(), parent);
+      ASSERT_NE(it, view.ids.end());
+      EXPECT_EQ(view.anchors.parent_of(i),
+                static_cast<NodeId>(it - view.ids.begin()));
+    }
+  }
+  // Distances line up with the global prediction tree.
+  for (std::size_t i = 0; i < view.ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < view.ids.size(); ++j) {
+      EXPECT_NEAR(view.predicted.at(i, j),
+                  m.prediction().distance(view.ids[i], view.ids[j]), 1e-12);
+    }
+  }
+}
+
+TEST(Maintenance, CompactViewDrivesASystem) {
+  Rng rng(15);
+  const DistanceMatrix real = testutil::random_tree_metric(16, rng);
+  FrameworkMaintainer m(&real);
+  for (NodeId h = 0; h < 16; ++h) m.join(h);
+  m.leave(3);
+  const auto view = m.compact_view();
+  const double dmax = view.predicted.max_distance();
+  DecentralizedClusterSystem sys(view.anchors, view.predicted,
+                                 BandwidthClasses({kDefaultTransformC / dmax}),
+                                 {});
+  sys.run_to_convergence();
+  const auto r = sys.query_class(0, 5, 0);
+  EXPECT_TRUE(r.found());
+}
+
+TEST(Maintenance, Validation) {
+  Rng rng(13);
+  const DistanceMatrix real = testutil::random_tree_metric(5, rng);
+  FrameworkMaintainer m(&real);
+  EXPECT_THROW(m.leave(0), ContractViolation);  // not a member
+  m.join(0);
+  EXPECT_THROW(m.join(0), ContractViolation);   // duplicate
+  EXPECT_THROW(m.join(99), ContractViolation);  // outside the oracle
+  DistanceMatrix wrong(4);
+  EXPECT_THROW(m.refresh(&wrong), ContractViolation);
+  EXPECT_THROW(m.refresh(nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,130 @@
+#include "core/node_search.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace bcc {
+namespace {
+
+using testutil::iota_universe;
+
+TEST(NodeSearch, PicksObviousBest) {
+  // Node 3 is close to both targets, node 2 is far from target 1.
+  DistanceMatrix d(4);
+  d.set(0, 1, 4.0);
+  d.set(0, 2, 1.0);
+  d.set(1, 2, 9.0);
+  d.set(0, 3, 2.0);
+  d.set(1, 3, 2.0);
+  d.set(2, 3, 5.0);
+  const std::vector<NodeId> targets = {0, 1};
+  const auto best = find_best_node(d, iota_universe(4), targets);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->node, 3u);
+  EXPECT_DOUBLE_EQ(best->max_distance, 2.0);
+}
+
+TEST(NodeSearch, MinBandwidthIsTransformOfMaxDistance) {
+  DistanceMatrix d(3);
+  d.set(0, 1, 5.0);
+  d.set(0, 2, 10.0);
+  d.set(1, 2, 20.0);
+  const std::vector<NodeId> targets = {0, 1};
+  const auto best = find_best_node(d, iota_universe(3), targets);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->node, 2u);
+  EXPECT_DOUBLE_EQ(best->min_bandwidth(1000.0), 50.0);  // 1000 / 20
+}
+
+TEST(NodeSearch, AllTargetsMeansNoCandidate) {
+  DistanceMatrix d(2, 1.0);
+  const std::vector<NodeId> targets = {0, 1};
+  EXPECT_FALSE(find_best_node(d, iota_universe(2), targets).has_value());
+}
+
+TEST(NodeSearch, EmptyTargetsRejected) {
+  DistanceMatrix d(3, 1.0);
+  const std::vector<NodeId> none;
+  EXPECT_THROW(find_best_node(d, iota_universe(3), none), ContractViolation);
+}
+
+TEST(NodeSearch, OutOfRangeRejected) {
+  DistanceMatrix d(3, 1.0);
+  const std::vector<NodeId> targets = {9};
+  EXPECT_THROW(find_best_node(d, iota_universe(3), targets),
+               ContractViolation);
+}
+
+TEST(NodeSearch, BruteForceAgreement) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    Rng trial_rng = rng.split(trial);
+    const std::size_t n = 8 + trial_rng.below(10);
+    const DistanceMatrix d = testutil::noisy_tree_metric(n, trial_rng, 0.3);
+    const std::vector<NodeId> targets = {0, 1, 2};
+    const auto best = find_best_node(d, iota_universe(n), targets);
+    ASSERT_TRUE(best.has_value());
+    // No other node does strictly better.
+    for (NodeId x = 3; x < n; ++x) {
+      double worst = 0.0;
+      for (NodeId t : targets) worst = std::max(worst, d.at(x, t));
+      EXPECT_GE(worst, best->max_distance);
+    }
+  }
+}
+
+TEST(NodeSearch, WithinRadiusSortedBestFirst) {
+  Rng rng(2);
+  const DistanceMatrix d = testutil::random_tree_metric(20, rng);
+  const std::vector<NodeId> targets = {0, 1};
+  const double l = d.max_distance() * 0.7;
+  const auto within = find_nodes_within(d, iota_universe(20), targets, l);
+  for (std::size_t i = 0; i + 1 < within.size(); ++i) {
+    EXPECT_LE(within[i].max_distance, within[i + 1].max_distance);
+  }
+  for (const auto& r : within) {
+    EXPECT_LE(r.max_distance, l);
+    EXPECT_NE(r.node, 0u);
+    EXPECT_NE(r.node, 1u);
+  }
+}
+
+TEST(NodeSearch, WithinRadiusTightensToEmpty) {
+  Rng rng(3);
+  const DistanceMatrix d = testutil::random_tree_metric(10, rng);
+  const std::vector<NodeId> targets = {0};
+  const auto none =
+      find_nodes_within(d, iota_universe(10), targets, d.min_distance() / 2);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(NodeSearch, WithinRadiusConsistentWithBest) {
+  Rng rng(4);
+  const DistanceMatrix d = testutil::noisy_tree_metric(15, rng, 0.2);
+  const std::vector<NodeId> targets = {2, 5, 9};
+  const auto best = find_best_node(d, iota_universe(15), targets);
+  ASSERT_TRUE(best.has_value());
+  const auto within =
+      find_nodes_within(d, iota_universe(15), targets, best->max_distance);
+  ASSERT_FALSE(within.empty());
+  EXPECT_EQ(within.front().node, best->node);
+}
+
+TEST(NodeSearch, RestrictedUniverse) {
+  DistanceMatrix d(4);
+  d.set(0, 1, 1.0);
+  d.set(0, 2, 2.0);
+  d.set(0, 3, 9.0);
+  d.set(1, 2, 1.0);
+  d.set(1, 3, 9.0);
+  d.set(2, 3, 9.0);
+  const std::vector<NodeId> targets = {0};
+  const std::vector<NodeId> universe = {0, 3};  // best node 1 not in universe
+  const auto best = find_best_node(d, universe, targets);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->node, 3u);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,139 @@
+#include "common/options.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+#include <stdexcept>
+
+namespace bcc {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Options, DefaultsSurviveEmptyParse) {
+  Options opts("t", "test");
+  auto& n = opts.add_int("n", 42, "count");
+  auto& x = opts.add_double("x", 1.5, "factor");
+  auto& s = opts.add_string("s", "abc", "label");
+  auto& f = opts.add_bool("f", false, "flag");
+  auto argv = argv_of({});
+  opts.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 1.5);
+  EXPECT_EQ(s, "abc");
+  EXPECT_FALSE(f);
+}
+
+TEST(Options, SpaceSeparatedValues) {
+  Options opts("t", "test");
+  auto& n = opts.add_int("n", 0, "count");
+  auto argv = argv_of({"--n", "7"});
+  opts.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(n, 7);
+}
+
+TEST(Options, EqualsSeparatedValues) {
+  Options opts("t", "test");
+  auto& x = opts.add_double("x", 0.0, "factor");
+  auto argv = argv_of({"--x=2.25"});
+  opts.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(x, 2.25);
+}
+
+TEST(Options, BoolByPresence) {
+  Options opts("t", "test");
+  auto& f = opts.add_bool("verbose", false, "flag");
+  auto argv = argv_of({"--verbose"});
+  opts.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(f);
+}
+
+TEST(Options, BoolExplicitFalse) {
+  Options opts("t", "test");
+  auto& f = opts.add_bool("verbose", true, "flag");
+  auto argv = argv_of({"--verbose=false"});
+  opts.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(f);
+}
+
+TEST(Options, NegativeNumbers) {
+  Options opts("t", "test");
+  auto& n = opts.add_int("n", 0, "count");
+  auto argv = argv_of({"--n", "-13"});
+  opts.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(n, -13);
+}
+
+TEST(Options, UnknownFlagThrows) {
+  Options opts("t", "test");
+  opts.add_int("n", 0, "count");
+  auto argv = argv_of({"--bogus", "1"});
+  EXPECT_THROW(opts.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(Options, MissingValueThrows) {
+  Options opts("t", "test");
+  opts.add_int("n", 0, "count");
+  auto argv = argv_of({"--n"});
+  EXPECT_THROW(opts.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(Options, BadIntValueThrows) {
+  Options opts("t", "test");
+  opts.add_int("n", 0, "count");
+  auto argv = argv_of({"--n", "notanumber"});
+  EXPECT_THROW(opts.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(Options, BadBoolValueThrows) {
+  Options opts("t", "test");
+  opts.add_bool("f", false, "flag");
+  auto argv = argv_of({"--f=maybe"});
+  EXPECT_THROW(opts.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(Options, PositionalArgumentRejected) {
+  Options opts("t", "test");
+  auto argv = argv_of({"stray"});
+  EXPECT_THROW(opts.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(Options, DuplicateRegistrationRejected) {
+  Options opts("t", "test");
+  opts.add_int("n", 0, "count");
+  EXPECT_THROW(opts.add_double("n", 0.0, "again"), ContractViolation);
+}
+
+TEST(Options, UsageMentionsFlagsAndDefaults) {
+  Options opts("prog", "description");
+  opts.add_int("iterations", 10, "how many");
+  const std::string usage = opts.usage();
+  EXPECT_NE(usage.find("iterations"), std::string::npos);
+  EXPECT_NE(usage.find("10"), std::string::npos);
+  EXPECT_NE(usage.find("description"), std::string::npos);
+}
+
+TEST(Options, MultipleFlagsAtOnce) {
+  Options opts("t", "test");
+  auto& a = opts.add_int("a", 0, "");
+  auto& b = opts.add_string("b", "", "");
+  auto& c = opts.add_bool("c", false, "");
+  auto argv = argv_of({"--a=1", "--b", "hello", "--c"});
+  opts.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, "hello");
+  EXPECT_TRUE(c);
+}
+
+}  // namespace
+}  // namespace bcc

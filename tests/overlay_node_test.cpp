@@ -1,0 +1,45 @@
+#include "core/overlay_node.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+TEST(OverlayNode, ClusteringSpaceIncludesSelf) {
+  OverlayNode n;
+  n.id = 7;
+  EXPECT_EQ(n.clustering_space(), (std::vector<NodeId>{7}));
+}
+
+TEST(OverlayNode, ClusteringSpaceUnionsAllDirections) {
+  OverlayNode n;
+  n.id = 0;
+  n.neighbors = {1, 2};
+  n.aggr_node[1] = {3, 4};
+  n.aggr_node[2] = {5};
+  const auto space = n.clustering_space();
+  EXPECT_EQ(space, (std::vector<NodeId>{0, 3, 4, 5}));
+}
+
+TEST(OverlayNode, ClusteringSpaceDeduplicates) {
+  OverlayNode n;
+  n.id = 0;
+  n.aggr_node[1] = {3, 4, 5};
+  n.aggr_node[2] = {4, 5, 6};
+  const auto space = n.clustering_space();
+  EXPECT_EQ(space, (std::vector<NodeId>{0, 3, 4, 5, 6}));
+}
+
+TEST(OverlayNode, ClusteringSpaceIsSortedDeterministic) {
+  OverlayNode n;
+  n.id = 9;
+  n.aggr_node[1] = {12, 2};
+  n.aggr_node[5] = {7, 30};
+  const auto space = n.clustering_space();
+  for (std::size_t i = 0; i + 1 < space.size(); ++i) {
+    EXPECT_LT(space[i], space[i + 1]);
+  }
+}
+
+}  // namespace
+}  // namespace bcc

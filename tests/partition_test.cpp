@@ -1,0 +1,123 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "test_util.h"
+
+namespace bcc {
+namespace {
+
+using testutil::iota_universe;
+
+TEST(Partition, CoversDisjointly) {
+  Rng rng(1);
+  const DistanceMatrix d = testutil::random_tree_metric(30, rng);
+  std::vector<double> sorted = d.pair_values();
+  std::sort(sorted.begin(), sorted.end());
+  const double l = sorted[sorted.size() / 3];
+  const auto universe = iota_universe(30);
+  const Partition p = partition_into_clusters(d, universe, l);
+
+  std::set<NodeId> seen;
+  for (const Cluster& c : p.clusters) {
+    EXPECT_GE(c.size(), 2u);
+    EXPECT_LE(d.diameter_of(c), l + 1e-9);
+    for (NodeId h : c) EXPECT_TRUE(seen.insert(h).second) << "overlap " << h;
+  }
+  for (NodeId h : p.stragglers) EXPECT_TRUE(seen.insert(h).second);
+  EXPECT_EQ(seen.size(), 30u);
+  EXPECT_EQ(p.covered() + p.stragglers.size(), 30u);
+}
+
+TEST(Partition, GreedyOrderIsNonIncreasingSize) {
+  Rng rng(2);
+  const DistanceMatrix d = testutil::random_tree_metric(40, rng);
+  std::vector<double> sorted = d.pair_values();
+  std::sort(sorted.begin(), sorted.end());
+  const double l = sorted[sorted.size() / 4];
+  const auto universe = iota_universe(40);
+  const Partition p = partition_into_clusters(d, universe, l);
+  for (std::size_t i = 0; i + 1 < p.clusters.size(); ++i) {
+    EXPECT_GE(p.clusters[i].size(), p.clusters[i + 1].size());
+  }
+}
+
+TEST(Partition, LooseConstraintIsOneCluster) {
+  Rng rng(3);
+  const DistanceMatrix d = testutil::random_tree_metric(15, rng);
+  const auto universe = iota_universe(15);
+  const Partition p =
+      partition_into_clusters(d, universe, d.max_distance() + 1.0);
+  ASSERT_EQ(p.clusters.size(), 1u);
+  EXPECT_EQ(p.clusters[0].size(), 15u);
+  EXPECT_TRUE(p.stragglers.empty());
+}
+
+TEST(Partition, ImpossibleConstraintIsAllStragglers) {
+  Rng rng(4);
+  const DistanceMatrix d = testutil::random_tree_metric(10, rng);
+  const auto universe = iota_universe(10);
+  const Partition p =
+      partition_into_clusters(d, universe, d.min_distance() * 0.5);
+  EXPECT_TRUE(p.clusters.empty());
+  EXPECT_EQ(p.stragglers.size(), 10u);
+}
+
+TEST(Partition, MinClusterSizeFiltersSmallGroups) {
+  // Three tight pairs, far apart: with min size 3 nothing qualifies.
+  DistanceMatrix d(6, 100.0);
+  d.set(0, 1, 1.0);
+  d.set(2, 3, 1.0);
+  d.set(4, 5, 1.0);
+  const auto universe = iota_universe(6);
+  PartitionOptions options;
+  options.min_cluster_size = 3;
+  const Partition p = partition_into_clusters(d, universe, 1.0, options);
+  EXPECT_TRUE(p.clusters.empty());
+  EXPECT_EQ(p.stragglers.size(), 6u);
+  // With the default min size 2 all three pairs appear.
+  const Partition pairs = partition_into_clusters(d, universe, 1.0);
+  EXPECT_EQ(pairs.clusters.size(), 3u);
+  EXPECT_TRUE(pairs.stragglers.empty());
+}
+
+TEST(Partition, MaxClustersStopsEarly) {
+  DistanceMatrix d(6, 100.0);
+  d.set(0, 1, 1.0);
+  d.set(2, 3, 1.0);
+  d.set(4, 5, 1.0);
+  const auto universe = iota_universe(6);
+  PartitionOptions options;
+  options.max_clusters = 2;
+  const Partition p = partition_into_clusters(d, universe, 1.0, options);
+  EXPECT_EQ(p.clusters.size(), 2u);
+  EXPECT_EQ(p.stragglers.size(), 2u);
+}
+
+TEST(Partition, SubsetUniverseOnly) {
+  Rng rng(5);
+  const DistanceMatrix d = testutil::random_tree_metric(20, rng);
+  const std::vector<NodeId> universe = {1, 3, 5, 7, 9};
+  const Partition p =
+      partition_into_clusters(d, universe, d.max_distance() + 1.0);
+  std::set<NodeId> allowed(universe.begin(), universe.end());
+  for (const Cluster& c : p.clusters) {
+    for (NodeId h : c) EXPECT_TRUE(allowed.count(h));
+  }
+}
+
+TEST(Partition, Validation) {
+  DistanceMatrix d(3, 1.0);
+  const auto universe = iota_universe(3);
+  PartitionOptions bad;
+  bad.min_cluster_size = 1;
+  EXPECT_THROW(partition_into_clusters(d, universe, 1.0, bad),
+               ContractViolation);
+  EXPECT_THROW(partition_into_clusters(d, universe, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,141 @@
+#include "data/planetlab_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metric/four_point.h"
+
+namespace bcc {
+namespace {
+
+TEST(PlanetlabSynth, CalibratesPercentiles) {
+  Rng rng(1);
+  SynthOptions options;
+  options.hosts = 80;
+  options.target_p20 = 15.0;
+  options.target_p80 = 75.0;
+  const SynthDataset data = synthesize_planetlab(options, rng);
+  // The geometric mean of the two percentiles is matched exactly; the
+  // individual percentiles land within the ratio tolerance.
+  const double p20 = data.bandwidth.percentile(20.0);
+  const double p80 = data.bandwidth.percentile(80.0);
+  EXPECT_NEAR(std::sqrt(p20 * p80), std::sqrt(15.0 * 75.0), 1e-6);
+  EXPECT_NEAR(p80 / p20, 5.0, 5.0 * 0.15);
+}
+
+TEST(PlanetlabSynth, DistancesAreRationalTransform) {
+  Rng rng(2);
+  SynthOptions options;
+  options.hosts = 20;
+  options.c = 1000.0;
+  const SynthDataset data = synthesize_planetlab(options, rng);
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = u + 1; v < 20; ++v) {
+      EXPECT_NEAR(data.distances.at(u, v), 1000.0 / data.bandwidth.at(u, v),
+                  1e-9);
+    }
+  }
+}
+
+TEST(PlanetlabSynth, ZeroNoiseGivesPerfectTreeMetric) {
+  Rng rng(3);
+  SynthOptions options;
+  options.hosts = 12;
+  options.noise_sigma = 0.0;
+  const SynthDataset data = synthesize_planetlab(options, rng);
+  EXPECT_TRUE(is_tree_metric(data.distances, 1e-6));
+  // And matches the reference tree distances exactly.
+  for (NodeId u = 0; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) {
+      EXPECT_NEAR(data.distances.at(u, v), data.tree_distances.at(u, v), 1e-6);
+    }
+  }
+}
+
+TEST(PlanetlabSynth, NoiseDegradesTreenessMonotonically) {
+  auto eps_at = [](double sigma) {
+    Rng rng(4);
+    SynthOptions options;
+    options.hosts = 50;
+    options.noise_sigma = sigma;
+    const SynthDataset data = synthesize_planetlab(options, rng);
+    Rng est(5);
+    return estimate_treeness(data.distances, est, 20000).epsilon_avg;
+  };
+  const double e0 = eps_at(0.0);
+  const double e1 = eps_at(0.15);
+  const double e2 = eps_at(0.5);
+  EXPECT_LT(e0, 0.01);
+  EXPECT_LT(e0, e1);
+  EXPECT_LT(e1, e2);
+}
+
+TEST(PlanetlabSynth, DefaultNoiseLandsInPlanetlabEpsilonRange) {
+  Rng rng(6);
+  SynthOptions options;
+  options.hosts = 100;
+  const SynthDataset data = synthesize_planetlab(options, rng);
+  Rng est(7);
+  const double eps = estimate_treeness(data.distances, est, 30000).epsilon_avg;
+  // Real PlanetLab bandwidth data shows mild 4PC violations; our default
+  // should sit in a plausible band (not perfect, not chaos).
+  EXPECT_GT(eps, 0.01);
+  EXPECT_LT(eps, 0.6);
+}
+
+TEST(PlanetlabSynth, DeterministicForSeed) {
+  SynthOptions options;
+  options.hosts = 30;
+  Rng r1(8), r2(8);
+  const SynthDataset a = synthesize_planetlab(options, r1);
+  const SynthDataset b = synthesize_planetlab(options, r2);
+  for (NodeId u = 0; u < 30; ++u) {
+    for (NodeId v = u + 1; v < 30; ++v) {
+      EXPECT_DOUBLE_EQ(a.bandwidth.at(u, v), b.bandwidth.at(u, v));
+    }
+  }
+}
+
+TEST(PlanetlabSynth, HpDatasetShape) {
+  Rng rng(9);
+  const SynthDataset hp = make_hp_planetlab(rng);
+  EXPECT_EQ(hp.name, "HP-PlanetLab");
+  EXPECT_EQ(hp.bandwidth.size(), 190u);
+  const double p20 = hp.bandwidth.percentile(20.0);
+  const double p80 = hp.bandwidth.percentile(80.0);
+  EXPECT_NEAR(std::sqrt(p20 * p80), std::sqrt(15.0 * 75.0), 1e-6);
+}
+
+TEST(PlanetlabSynth, UmdDatasetShape) {
+  Rng rng(10);
+  const SynthDataset umd = make_umd_planetlab(rng);
+  EXPECT_EQ(umd.name, "UMD-PlanetLab");
+  EXPECT_EQ(umd.bandwidth.size(), 317u);
+  const double p20 = umd.bandwidth.percentile(20.0);
+  const double p80 = umd.bandwidth.percentile(80.0);
+  EXPECT_NEAR(std::sqrt(p20 * p80), std::sqrt(30.0 * 110.0), 1e-6);
+  // UMD is a generally faster network than HP in the paper's numbers.
+  Rng rng2(9);
+  const SynthDataset hp = make_hp_planetlab(rng2);
+  EXPECT_GT(umd.bandwidth.percentile(50.0), hp.bandwidth.percentile(50.0));
+}
+
+TEST(PlanetlabSynth, ValidatesOptions) {
+  Rng rng(11);
+  SynthOptions options;
+  options.hosts = 1;
+  EXPECT_THROW(synthesize_planetlab(options, rng), ContractViolation);
+  options.hosts = 10;
+  options.target_p20 = -1.0;
+  EXPECT_THROW(synthesize_planetlab(options, rng), ContractViolation);
+  options.target_p20 = 50.0;
+  options.target_p80 = 20.0;  // inverted
+  EXPECT_THROW(synthesize_planetlab(options, rng), ContractViolation);
+  options.target_p80 = 80.0;
+  options.noise_sigma = -0.1;
+  EXPECT_THROW(synthesize_planetlab(options, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,159 @@
+#include "tree/prediction_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+TEST(GromovProduct, Definition) {
+  // (x|y)_z = 0.5 (d(z,x) + d(z,y) - d(x,y))
+  EXPECT_DOUBLE_EQ(gromov_product(20.0, 25.0, 15.0), 15.0);
+  EXPECT_DOUBLE_EQ(gromov_product(1.0, 1.0, 2.0), 0.0);
+}
+
+TEST(PredictionTree, FirstHostIsRoot) {
+  PredictionTree t;
+  t.add_first(5);
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_EQ(t.root_host(), 5u);
+  EXPECT_EQ(t.host_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.distance(5, 5), 0.0);
+  EXPECT_EQ(t.placement_of(5).anchor, kNoAnchor);
+}
+
+TEST(PredictionTree, SecondHostConnectsDirectly) {
+  PredictionTree t;
+  t.add_first(0);
+  const auto p = t.add_second(1, 25.0);
+  EXPECT_DOUBLE_EQ(t.distance(0, 1), 25.0);
+  EXPECT_EQ(p.anchor, 0u);
+  EXPECT_DOUBLE_EQ(p.anchor_offset, 0.0);
+  EXPECT_DOUBLE_EQ(p.leaf_weight, 25.0);
+}
+
+TEST(PredictionTree, ThirdHostGromovPlacement) {
+  // Paper Fig. 1 style: d(0,1)=25, d(0,2)=20, d(1,2)=15.
+  PredictionTree t;
+  t.add_first(0);
+  t.add_second(1, 25.0);
+  const auto p = t.add(2, /*z=*/0, /*y=*/1, 20.0, 25.0, 15.0);
+  EXPECT_DOUBLE_EQ(t.distance(0, 2), 20.0);
+  EXPECT_DOUBLE_EQ(t.distance(1, 2), 15.0);
+  EXPECT_DOUBLE_EQ(t.distance(0, 1), 25.0);
+  // t_2 lands on the edge created by host 1 -> anchor is 1, 10 from 1's leaf.
+  EXPECT_EQ(p.anchor, 1u);
+  EXPECT_DOUBLE_EQ(p.anchor_offset, 10.0);
+  EXPECT_DOUBLE_EQ(p.leaf_weight, 5.0);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(PredictionTree, FourthHostAnchorsToThird) {
+  PredictionTree t;
+  t.add_first(0);
+  t.add_second(1, 25.0);
+  t.add(2, 0, 1, 20.0, 25.0, 15.0);
+  // Host 3 very close to host 2: its inner vertex should land on 2's leaf
+  // edge, making 2 its anchor.
+  const auto p = t.add(3, /*z=*/0, /*y=*/2, 19.0, 20.0, 3.0);
+  // (3|2)_0 = 0.5(19+20-3) = 18 -> on host 2's leaf edge (spans 15..20).
+  EXPECT_EQ(p.anchor, 2u);
+  EXPECT_DOUBLE_EQ(t.distance(0, 3), 19.0);
+  EXPECT_DOUBLE_EQ(t.distance(2, 3), 3.0);
+}
+
+TEST(PredictionTree, LeavesKeepDegreeOne) {
+  PredictionTree t;
+  t.add_first(0);
+  t.add_second(1, 10.0);
+  t.add(2, 0, 1, 8.0, 10.0, 6.0);
+  t.add(3, 0, 2, 7.0, 8.0, 5.0);
+  t.add(4, 0, 1, 9.0, 10.0, 7.0);
+  for (NodeId h = 0; h < 5; ++h) {
+    EXPECT_EQ(t.tree().degree(t.leaf_of(h)), 1u) << "host " << h;
+  }
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(PredictionTree, GromovClampingHandlesTriangleViolations) {
+  PredictionTree t;
+  t.add_first(0);
+  t.add_second(1, 10.0);
+  // d(0,2)=1, d(1,2)=30 wildly violates the triangle inequality vs d(0,1)=10.
+  // Gromov product is negative -> clamp to 0; leaf weight positive.
+  const auto p = t.add(2, 0, 1, 1.0, 10.0, 30.0);
+  EXPECT_GE(p.anchor_offset, 0.0);
+  EXPECT_GE(p.leaf_weight, 0.0);
+  EXPECT_TRUE(t.check_invariants());
+  // Distance to base is preserved only when geometry permits; must be finite
+  // and non-negative regardless.
+  EXPECT_GE(t.distance(0, 2), 0.0);
+  EXPECT_GE(t.distance(1, 2), 0.0);
+}
+
+TEST(PredictionTree, GromovBeyondPathClamped) {
+  PredictionTree t;
+  t.add_first(0);
+  t.add_second(1, 10.0);
+  // (2|1)_0 = 0.5(50+10-30) = 15 > path length 10 -> clamped to the y end.
+  const auto p = t.add(2, 0, 1, 50.0, 10.0, 30.0);
+  EXPECT_LE(p.anchor_offset, 10.0 + 1e-12);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(PredictionTree, ZeroDistancePairEmbeds) {
+  PredictionTree t;
+  t.add_first(0);
+  t.add_second(1, 10.0);
+  t.add(2, 0, 1, 10.0, 10.0, 0.0);  // host 2 coincides with host 1
+  EXPECT_DOUBLE_EQ(t.distance(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(t.distance(0, 2), 10.0);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(PredictionTree, PredictedBandwidthUsesRationalTransform) {
+  PredictionTree t;
+  t.add_first(0);
+  t.add_second(1, 20.0);
+  EXPECT_DOUBLE_EQ(t.predicted_bandwidth(0, 1, 1000.0), 50.0);
+}
+
+TEST(PredictionTree, PredictedDistancesMatrixMatchesPairQueries) {
+  PredictionTree t;
+  t.add_first(0);
+  t.add_second(1, 25.0);
+  t.add(2, 0, 1, 20.0, 25.0, 15.0);
+  t.add(3, 0, 2, 19.0, 20.0, 3.0);
+  const DistanceMatrix d = t.predicted_distances();
+  ASSERT_EQ(d.size(), 4u);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) {
+      EXPECT_NEAR(d.at(u, v), t.distance(u, v), 1e-12);
+    }
+  }
+}
+
+TEST(PredictionTree, ContractViolations) {
+  PredictionTree t;
+  EXPECT_THROW(t.root_host(), ContractViolation);
+  t.add_first(0);
+  EXPECT_THROW(t.add_first(1), ContractViolation);     // only one first
+  EXPECT_THROW(t.add(2, 0, 1, 1, 1, 1), ContractViolation);  // needs >= 2
+  t.add_second(1, 5.0);
+  EXPECT_THROW(t.add_second(2, 5.0), ContractViolation);  // only one second
+  EXPECT_THROW(t.add(1, 0, 1, 1, 1, 1), ContractViolation);  // already present
+  EXPECT_THROW(t.add(2, 0, 0, 1, 1, 1), ContractViolation);  // z == y
+  EXPECT_THROW(t.add(2, 0, 9, 1, 1, 1), ContractViolation);  // y unknown
+  EXPECT_THROW(t.distance(0, 42), ContractViolation);
+  EXPECT_THROW(t.placement_of(42), ContractViolation);
+}
+
+TEST(PredictionTree, NegativeMeasurementRejected) {
+  PredictionTree t;
+  t.add_first(0);
+  EXPECT_THROW(t.add_second(1, -1.0), ContractViolation);
+  t.add_second(1, 5.0);
+  EXPECT_THROW(t.add(2, 0, 1, -1.0, 5.0, 3.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bcc

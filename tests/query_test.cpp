@@ -1,0 +1,183 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/system.h"
+#include "test_util.h"
+#include "tree/embedder.h"
+
+namespace bcc {
+namespace {
+
+/// A converged decentralized system over a random perfect tree metric
+/// (so predicted == real and Algorithm 1's guarantees are exact).
+DecentralizedClusterSystem make_system(std::size_t n, std::size_t n_cut,
+                                       std::uint64_t seed,
+                                       double c = kDefaultTransformC) {
+  Rng rng(seed);
+  const DistanceMatrix real = testutil::random_tree_metric(n, rng);
+  Rng order_rng(seed + 77);
+  Framework fw = build_framework(real, order_rng);
+  DistanceMatrix predicted = fw.predicted_distances();
+  // Classes spanning the whole distance range.
+  const double dmax = predicted.max_distance();
+  BandwidthClasses classes(
+      {c / dmax, c / (dmax * 0.6), c / (dmax * 0.3), c / (dmax * 0.1)}, c);
+  SystemOptions options;
+  options.n_cut = n_cut;
+  DecentralizedClusterSystem sys(std::move(fw.anchors), std::move(predicted),
+                                 std::move(classes), options);
+  sys.run_to_convergence();
+  EXPECT_TRUE(sys.converged());
+  return sys;
+}
+
+TEST(Query, FindsClusterFromEveryEntryPoint) {
+  auto sys = make_system(20, 100, 1);
+  // n_cut large: every node sees everything, any feasible query succeeds
+  // locally or after routing.
+  const auto universe = testutil::iota_universe(20);
+  const double l = sys.classes().distance_at(0);  // loosest class
+  const std::size_t best = max_cluster_size(sys.predicted(), universe, l);
+  ASSERT_GE(best, 2u);
+  for (NodeId start = 0; start < 20; ++start) {
+    const auto r = sys.query_class(start, best, 0);
+    EXPECT_TRUE(r.found()) << "start=" << start;
+    EXPECT_TRUE(cluster_satisfies(sys.predicted(), r.cluster, best, l));
+  }
+}
+
+TEST(Query, ResultsSatisfyConstraintsAtEveryClass) {
+  auto sys = make_system(25, 8, 2);
+  for (std::size_t cls = 0; cls < sys.classes().size(); ++cls) {
+    const double l = sys.classes().distance_at(cls);
+    for (std::size_t k : {2ul, 4ul, 8ul}) {
+      for (NodeId start : {0ul, 7ul, 19ul}) {
+        const auto r = sys.query_class(start, k, cls);
+        if (r.found()) {
+          EXPECT_TRUE(cluster_satisfies(sys.predicted(), r.cluster, k, l))
+              << "cls=" << cls << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Query, ImpossibleQueryReturnsEmpty) {
+  auto sys = make_system(15, 100, 3);
+  const auto r = sys.query_class(0, 16, 0);  // k > n
+  EXPECT_FALSE(r.found());
+  EXPECT_TRUE(r.cluster.empty());
+}
+
+TEST(Query, CrtPromiseIsAlwaysKept) {
+  // If any node's CRT self entry (or direction entry) says k is achievable,
+  // the query starting anywhere must succeed — the no-false-negatives side
+  // of Algorithm 4 on converged state.
+  auto sys = make_system(22, 6, 4);
+  for (std::size_t cls = 0; cls < sys.classes().size(); ++cls) {
+    std::size_t promised = 0;
+    for (NodeId x = 0; x < 22; ++x) {
+      promised = std::max(promised, sys.node(x).aggr_crt.at(x)[cls]);
+    }
+    if (promised < 2) continue;
+    for (NodeId start : {0ul, 11ul, 21ul}) {
+      EXPECT_TRUE(sys.query_class(start, promised, cls).found())
+          << "cls=" << cls << " promised=" << promised;
+    }
+  }
+}
+
+TEST(Query, BeyondPromiseFails) {
+  auto sys = make_system(22, 6, 5);
+  for (std::size_t cls = 0; cls < sys.classes().size(); ++cls) {
+    std::size_t promised = 0;
+    for (NodeId x = 0; x < 22; ++x) {
+      promised = std::max(promised, sys.node(x).aggr_crt.at(x)[cls]);
+    }
+    const auto r = sys.query_class(0, promised + 1, cls);
+    EXPECT_FALSE(r.found());
+  }
+}
+
+TEST(Query, RouteNeverRevisitsNodes) {
+  auto sys = make_system(30, 4, 6);
+  for (NodeId start = 0; start < 30; ++start) {
+    const auto r = sys.query_class(start, 5, 1);
+    auto route = r.route;
+    std::sort(route.begin(), route.end());
+    EXPECT_EQ(std::adjacent_find(route.begin(), route.end()), route.end())
+        << "start=" << start;
+  }
+}
+
+TEST(Query, HopsMatchRouteLength) {
+  auto sys = make_system(25, 4, 7);
+  for (NodeId start : {0ul, 5ul, 12ul, 24ul}) {
+    const auto r = sys.query_class(start, 4, 1);
+    EXPECT_EQ(r.route.size(), r.hops + 1);
+    EXPECT_EQ(r.route.front(), start);
+  }
+}
+
+TEST(Query, LocallyAnswerableQueryTakesZeroHops) {
+  auto sys = make_system(18, 100, 8);
+  // With full knowledge, every node answers locally.
+  const auto r = sys.query_class(9, 2, 0);
+  EXPECT_TRUE(r.found());
+  EXPECT_EQ(r.hops, 0u);
+}
+
+TEST(Query, ValidatesArguments) {
+  auto sys = make_system(10, 4, 9);
+  EXPECT_THROW(sys.query_class(0, 1, 0), ContractViolation);    // k < 2
+  EXPECT_THROW(sys.query_class(0, 2, 99), ContractViolation);   // bad class
+  EXPECT_THROW(sys.query_class(99, 2, 0), ContractViolation);   // bad start
+}
+
+TEST(Query, BandwidthQuerySnapsToClass) {
+  auto sys = make_system(20, 100, 10);
+  const double b0 = sys.classes().bandwidth_at(0);
+  const double b_last = sys.classes().bandwidth_at(sys.classes().size() - 1);
+  // Slightly below the loosest class: snaps to it.
+  const auto r = sys.query_bandwidth(0, 2, b0 * 0.9);
+  EXPECT_TRUE(r.found());
+  // Above the strictest class: unanswerable.
+  const auto r2 = sys.query_bandwidth(0, 2, b_last * 1.5);
+  EXPECT_FALSE(r2.found());
+}
+
+TEST(Query, ReturnedClusterMeetsSnappedBandwidth) {
+  auto sys = make_system(20, 100, 11);
+  const double b = sys.classes().bandwidth_at(1) * 0.95;
+  const auto r = sys.query_bandwidth(3, 3, b);
+  if (r.found()) {
+    // Predicted bandwidth of every returned pair >= requested b.
+    for (std::size_t i = 0; i < r.cluster.size(); ++i) {
+      for (std::size_t j = i + 1; j < r.cluster.size(); ++j) {
+        const double d = sys.predicted().at(r.cluster[i], r.cluster[j]);
+        EXPECT_GE(distance_to_bandwidth(d, sys.classes().transform_c()),
+                  b - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Query, SmallNcutLimitsLargeClusters) {
+  // A sanity check of the paper's decentralization tradeoff: with a small
+  // n_cut, queries for very large k fail even when the centralized algorithm
+  // would succeed.
+  auto sys = make_system(30, 3, 12);
+  const auto universe = testutil::iota_universe(30);
+  const double l = sys.classes().distance_at(0);
+  const std::size_t central = max_cluster_size(sys.predicted(), universe, l);
+  ASSERT_EQ(central, 30u);  // loosest class spans the whole metric
+  // Decentralized spaces hold at most 1 + n_cut * degree nodes.
+  const auto r = sys.query_class(0, 30, 0);
+  EXPECT_FALSE(r.found());
+}
+
+}  // namespace
+}  // namespace bcc

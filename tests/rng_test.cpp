@@ -1,0 +1,190 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bcc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentred) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroRejected) {
+  Rng rng(3);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BetweenBadRangeRejected) {
+  Rng rng(5);
+  EXPECT_THROW(rng.between(3, 2), ContractViolation);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(21);
+  const int n = 200000;
+  double sum = 0.0, ss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    ss += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(ss / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(22);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, NormalNegativeStddevRejected) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(32);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(42);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(51);
+  auto idx = rng.sample_indices(100, 30);
+  ASSERT_EQ(idx.size(), 30u);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (auto i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng(52);
+  auto idx = rng.sample_indices(10, 10);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesOversampleRejected) {
+  Rng rng(53);
+  EXPECT_THROW(rng.sample_indices(5, 6), ContractViolation);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndStable) {
+  Rng parent(77);
+  Rng c1 = parent.split(0);
+  Rng c2 = parent.split(1);
+  Rng c1_again = parent.split(0);
+  EXPECT_EQ(c1(), c1_again());
+  EXPECT_NE(c1(), c2());
+}
+
+}  // namespace
+}  // namespace bcc

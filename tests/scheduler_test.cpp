@@ -1,0 +1,164 @@
+#include "workload/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace bcc {
+namespace {
+
+/// Tiny handcrafted workflow: 2 stages x 2 tasks, known transfers.
+struct FixedWorkflow {
+  Workflow wf;
+  FixedWorkflow() {
+    Rng rng(1);
+    WorkflowOptions options;
+    options.stages = 2;
+    options.tasks_per_stage = 2;
+    options.fan_in = 1;
+    wf = Workflow::cybershake_like(options, rng);
+  }
+};
+
+BandwidthMatrix uniform_bw(std::size_t n, double mbps) {
+  return BandwidthMatrix(n, mbps);
+}
+
+TEST(Scheduler, RoundRobinCoversAllHostsPerStage) {
+  Rng rng(2);
+  WorkflowOptions options;
+  options.stages = 2;
+  options.tasks_per_stage = 6;
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  const std::vector<NodeId> hosts = {3, 7, 9};
+  const Assignment a = round_robin_assign(wf, hosts);
+  ASSERT_EQ(a.task_host.size(), 12u);
+  for (std::size_t s = 0; s < 2; ++s) {
+    std::map<NodeId, int> count;
+    for (TaskId t : wf.stage_tasks(s)) ++count[a.task_host[t]];
+    EXPECT_EQ(count.size(), 3u);
+    for (const auto& [h, c] : count) EXPECT_EQ(c, 2);
+  }
+}
+
+TEST(Scheduler, EmptyHostListRejected) {
+  FixedWorkflow f;
+  const std::vector<NodeId> none;
+  EXPECT_THROW(round_robin_assign(f.wf, none), ContractViolation);
+}
+
+TEST(Scheduler, SingleHostMakespanIsComputeOnly) {
+  // All tasks co-located: transfers are free; makespan = sum over stages of
+  // the stage's max compute.
+  FixedWorkflow f;
+  const std::vector<NodeId> hosts = {0};
+  const Assignment a = round_robin_assign(f.wf, hosts);
+  const double makespan = estimate_makespan(f.wf, a, uniform_bw(2, 10.0));
+  double expected = 0.0;
+  for (std::size_t s = 0; s < f.wf.stage_count(); ++s) {
+    double stage = 0.0;
+    for (TaskId t : f.wf.stage_tasks(s)) {
+      stage = std::max(stage, f.wf.tasks()[t].compute_seconds);
+    }
+    expected += stage;
+  }
+  EXPECT_NEAR(makespan, expected, 1e-9);
+}
+
+TEST(Scheduler, MakespanDecreasesWithBandwidth) {
+  Rng rng(3);
+  WorkflowOptions options;
+  options.stages = 3;
+  options.tasks_per_stage = 8;
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  const std::vector<NodeId> hosts = {0, 1, 2, 3};
+  const Assignment a = round_robin_assign(wf, hosts);
+  const double slow = estimate_makespan(wf, a, uniform_bw(4, 10.0));
+  const double fast = estimate_makespan(wf, a, uniform_bw(4, 100.0));
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Scheduler, MakespanGatedByWorstLink) {
+  // Two hosts with a known link; one cross-host transfer per boundary.
+  Rng rng(4);
+  WorkflowOptions options;
+  options.stages = 2;
+  options.tasks_per_stage = 2;
+  options.fan_in = 2;
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  const std::vector<NodeId> hosts = {0, 1};
+  const Assignment a = round_robin_assign(wf, hosts);
+  BandwidthMatrix bw(2, 50.0);
+  const double m50 = estimate_makespan(wf, a, bw);
+  bw.set(0, 1, 25.0);  // halve the link
+  const double m25 = estimate_makespan(wf, a, bw);
+  // The transfer component exactly doubles.
+  double compute = 0.0;
+  for (std::size_t s = 0; s < 2; ++s) {
+    double stage = 0.0;
+    for (TaskId t : wf.stage_tasks(s)) {
+      stage = std::max(stage, wf.tasks()[t].compute_seconds);
+    }
+    compute += stage;
+  }
+  EXPECT_NEAR(m25 - compute, 2.0 * (m50 - compute), 1e-9);
+}
+
+TEST(Scheduler, BottleneckIdentifiesWorstPair) {
+  Rng rng(5);
+  WorkflowOptions options;
+  options.stages = 2;
+  options.tasks_per_stage = 4;
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  const std::vector<NodeId> hosts = {0, 1, 2, 3};
+  const Assignment a = round_robin_assign(wf, hosts);
+  BandwidthMatrix bw(4, 100.0);
+  bw.set(0, 1, 1.0);  // a terrible link
+  const Bottleneck b = find_bottleneck(wf, a, bw);
+  // If any 0-1 transfer exists, the bottleneck must be that pair.
+  bool pair_01_used = false;
+  for (const Transfer& t : wf.transfers()) {
+    const NodeId x = a.task_host[t.from], y = a.task_host[t.to];
+    if ((x == 0 && y == 1) || (x == 1 && y == 0)) pair_01_used = true;
+  }
+  if (pair_01_used) {
+    EXPECT_EQ(std::min(b.a, b.b), 0u);
+    EXPECT_EQ(std::max(b.a, b.b), 1u);
+    EXPECT_GT(b.seconds, 0.0);
+  }
+}
+
+TEST(Scheduler, AssignmentSizeValidated) {
+  FixedWorkflow f;
+  Assignment bad;
+  bad.task_host = {0};  // wrong arity
+  EXPECT_THROW(estimate_makespan(f.wf, bad, uniform_bw(2, 10.0)),
+               ContractViolation);
+  Assignment oob;
+  oob.task_host.assign(f.wf.tasks().size(), 9);  // host out of matrix range
+  EXPECT_THROW(estimate_makespan(f.wf, oob, uniform_bw(2, 10.0)),
+               ContractViolation);
+}
+
+TEST(Scheduler, BetterHostSetBeatsWorse) {
+  // The library's thesis in miniature: same workflow, same scheduler, a
+  // high-bandwidth host set wins.
+  Rng rng(6);
+  WorkflowOptions options;
+  options.stages = 3;
+  options.tasks_per_stage = 9;
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  BandwidthMatrix bw(6, 5.0);  // slow fabric
+  // Hosts 0-2 form a fast island.
+  bw.set(0, 1, 200.0);
+  bw.set(0, 2, 200.0);
+  bw.set(1, 2, 200.0);
+  const std::vector<NodeId> fast = {0, 1, 2};
+  const std::vector<NodeId> mixed = {0, 3, 4};
+  EXPECT_LT(estimate_makespan(wf, round_robin_assign(wf, fast), bw),
+            estimate_makespan(wf, round_robin_assign(wf, mixed), bw));
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,93 @@
+#include "data/subsets.h"
+
+#include <gtest/gtest.h>
+
+#include "data/planetlab_synth.h"
+#include "test_util.h"
+
+namespace bcc {
+namespace {
+
+TEST(Subsets, RandomSubsetSortedDistinctInRange) {
+  Rng rng(1);
+  const auto idx = random_subset(50, 20, rng);
+  ASSERT_EQ(idx.size(), 20u);
+  for (std::size_t i = 0; i + 1 < idx.size(); ++i) {
+    EXPECT_LT(idx[i], idx[i + 1]);  // sorted + distinct
+  }
+  EXPECT_LT(idx.back(), 50u);
+}
+
+TEST(Subsets, RandomSubsetFullAndEmpty) {
+  Rng rng(2);
+  EXPECT_EQ(random_subset(5, 5, rng).size(), 5u);
+  EXPECT_TRUE(random_subset(5, 0, rng).empty());
+  EXPECT_THROW(random_subset(5, 6, rng), ContractViolation);
+}
+
+TEST(Subsets, ExtractBandwidthPreservesValues) {
+  BandwidthMatrix bw(4, 1.0);
+  bw.set(1, 3, 42.0);
+  bw.set(1, 2, 7.0);
+  const std::vector<NodeId> idx = {1, 3};
+  const BandwidthMatrix sub = extract_bandwidth(bw, idx);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.at(0, 1), 42.0);
+}
+
+TEST(Subsets, ExtractBandwidthValidatesIndices) {
+  BandwidthMatrix bw(3, 1.0);
+  const std::vector<NodeId> idx = {0, 7};
+  EXPECT_THROW(extract_bandwidth(bw, idx), ContractViolation);
+}
+
+TEST(Subsets, TreenessSpreadIsOrderedAndSpreads) {
+  // The Fig. 5 recipe: subsets of one dataset ordered by ε_avg.
+  Rng data_rng(3);
+  SynthOptions options;
+  options.hosts = 80;
+  options.noise_sigma = 0.35;
+  const SynthDataset data = synthesize_planetlab(options, data_rng);
+  Rng rng(4);
+  const auto subsets =
+      treeness_spread_subsets(data.distances, 30, 4, 40, rng, 1500);
+  ASSERT_EQ(subsets.size(), 4u);
+  for (std::size_t i = 0; i + 1 < subsets.size(); ++i) {
+    EXPECT_LE(subsets[i].epsilon_avg, subsets[i + 1].epsilon_avg);
+  }
+  // Extremes differ (the pool has genuine spread under noise).
+  EXPECT_LT(subsets.front().epsilon_avg, subsets.back().epsilon_avg);
+  for (const auto& s : subsets) {
+    EXPECT_EQ(s.indices.size(), 30u);
+    for (NodeId i : s.indices) EXPECT_LT(i, 80u);
+  }
+}
+
+TEST(Subsets, TreenessSpreadSingleCount) {
+  Rng rng(5);
+  const DistanceMatrix d = testutil::noisy_tree_metric(20, rng, 0.3);
+  Rng srng(6);
+  const auto subsets = treeness_spread_subsets(d, 10, 1, 5, srng, 500);
+  EXPECT_EQ(subsets.size(), 1u);
+}
+
+TEST(Subsets, TreenessSpreadValidation) {
+  Rng rng(7);
+  const DistanceMatrix d = testutil::random_tree_metric(10, rng);
+  EXPECT_THROW(treeness_spread_subsets(d, 3, 2, 5, rng), ContractViolation);
+  EXPECT_THROW(treeness_spread_subsets(d, 11, 2, 5, rng), ContractViolation);
+  EXPECT_THROW(treeness_spread_subsets(d, 5, 3, 2, rng), ContractViolation);
+}
+
+TEST(Subsets, SubsetOfPerfectTreeStaysPerfect) {
+  Rng rng(8);
+  const DistanceMatrix d = testutil::random_tree_metric(30, rng);
+  Rng srng(9);
+  const auto subsets = treeness_spread_subsets(d, 12, 3, 10, srng, 2000);
+  for (const auto& s : subsets) {
+    EXPECT_NEAR(s.epsilon_avg, 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,83 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace bcc {
+namespace {
+
+TEST(Summary, MeanBasics) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Summary, StddevBasics) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{}), 0.0);
+  const std::vector<double> constant = {3, 3, 3};
+  EXPECT_DOUBLE_EQ(stddev(constant), 0.0);
+}
+
+TEST(Summary, PercentileEndpointsAndMedian) {
+  const std::vector<double> v = {5, 1, 3, 2, 4};  // unsorted input
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  const std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Summary, PercentileValidation) {
+  const std::vector<double> v = {1};
+  EXPECT_THROW(percentile(v, -1.0), ContractViolation);
+  EXPECT_THROW(percentile(v, 101.0), ContractViolation);
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), ContractViolation);
+}
+
+TEST(Summary, EmpiricalCdfMonotoneCoversRange) {
+  const std::vector<double> v = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto cdf = empirical_cdf(v, 5);
+  ASSERT_EQ(cdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(cdf.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().x, 9.0);
+  EXPECT_DOUBLE_EQ(cdf.back().y, 1.0);
+  for (std::size_t i = 0; i + 1 < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i].x, cdf[i + 1].x);
+    EXPECT_LE(cdf[i].y, cdf[i + 1].y);
+  }
+}
+
+TEST(Summary, EmpiricalCdfSmallInput) {
+  const std::vector<double> v = {2.0, 7.0};
+  const auto cdf = empirical_cdf(v, 100);
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf[0].y, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1].y, 1.0);
+}
+
+TEST(Summary, CdfAt) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(cdf_at(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf_at(std::vector<double>{}, 1.0), 0.0);
+}
+
+TEST(Summary, FractionWithin) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(fraction_within(v, 2, 4), 0.6);
+  EXPECT_DOUBLE_EQ(fraction_within(v, 10, 20), 0.0);
+  EXPECT_THROW(fraction_within(v, 4, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bcc

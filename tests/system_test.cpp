@@ -1,0 +1,156 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace bcc {
+namespace {
+
+struct SystemParts {
+  Framework fw;
+  DistanceMatrix predicted;
+};
+
+SystemParts build_parts(std::size_t n, std::uint64_t seed, double sigma = 0.0) {
+  Rng rng(seed);
+  const DistanceMatrix real =
+      sigma == 0.0 ? testutil::random_tree_metric(n, rng)
+                   : testutil::noisy_tree_metric(n, rng, sigma);
+  Rng order_rng(seed + 5);
+  SystemParts parts{build_framework(real, order_rng), {}};
+  parts.predicted = parts.fw.predicted_distances();
+  return parts;
+}
+
+BandwidthClasses spanning_classes(const DistanceMatrix& d,
+                                  double c = kDefaultTransformC) {
+  const double dmax = d.max_distance();
+  return BandwidthClasses({c / dmax, c / (dmax * 0.4), c / (dmax * 0.1)}, c);
+}
+
+TEST(System, ConstructionValidatesSizes) {
+  auto parts = build_parts(10, 1);
+  DistanceMatrix wrong(9);
+  EXPECT_THROW(DecentralizedClusterSystem(parts.fw.anchors, wrong,
+                                          spanning_classes(parts.predicted)),
+               ContractViolation);
+}
+
+TEST(System, ConvergesAndReportsCycles) {
+  auto parts = build_parts(20, 2);
+  DecentralizedClusterSystem sys(parts.fw.anchors, parts.predicted,
+                                 spanning_classes(parts.predicted));
+  EXPECT_FALSE(sys.converged());
+  const std::size_t cycles = sys.run_to_convergence();
+  EXPECT_TRUE(sys.converged());
+  EXPECT_GT(cycles, 0u);
+  EXPECT_EQ(sys.cycles_executed(), cycles);
+}
+
+TEST(System, SecondRunIsNoOp) {
+  auto parts = build_parts(15, 3);
+  DecentralizedClusterSystem sys(parts.fw.anchors, parts.predicted,
+                                 spanning_classes(parts.predicted));
+  sys.run_to_convergence();
+  EXPECT_EQ(sys.run_to_convergence(), 0u);
+}
+
+TEST(System, SizeAndIntrospection) {
+  auto parts = build_parts(12, 4);
+  DecentralizedClusterSystem sys(parts.fw.anchors, parts.predicted,
+                                 spanning_classes(parts.predicted));
+  EXPECT_EQ(sys.size(), 12u);
+  EXPECT_EQ(sys.overlay().size(), 12u);
+  EXPECT_EQ(sys.predicted().size(), 12u);
+  EXPECT_NO_THROW(sys.node(5));
+  EXPECT_THROW(sys.node(42), ContractViolation);
+}
+
+TEST(System, MetricsAccumulateAcrossGossip) {
+  auto parts = build_parts(12, 5);
+  DecentralizedClusterSystem sys(parts.fw.anchors, parts.predicted,
+                                 spanning_classes(parts.predicted));
+  sys.run_to_convergence();
+  EXPECT_GT(sys.metrics().total_messages(), 0u);
+}
+
+TEST(System, ExplicitCycleBudgetRespected) {
+  auto parts = build_parts(30, 6);
+  SystemOptions options;
+  options.max_cycles = 1;  // deliberately too few to converge
+  DecentralizedClusterSystem sys(parts.fw.anchors, parts.predicted,
+                                 spanning_classes(parts.predicted), options);
+  EXPECT_EQ(sys.run_to_convergence(), 1u);
+}
+
+TEST(System, RefreshReconvergesAfterMetricChange) {
+  // Dynamic clustering: scale the whole metric (network slows down) and
+  // verify the system re-aggregates and answers match the new metric.
+  auto parts = build_parts(16, 7);
+  const BandwidthClasses classes = spanning_classes(parts.predicted);
+  SystemOptions options;
+  options.n_cut = 100;
+  DecentralizedClusterSystem sys(parts.fw.anchors, parts.predicted, classes,
+                                 options);
+  sys.run_to_convergence();
+  // Strictest class currently admits some cluster size s0.
+  const std::size_t strictest = classes.size() - 1;
+  std::size_t s0 = sys.node(0).aggr_crt.at(0)[strictest];
+
+  // Double every distance: the strictest class should now admit fewer (or
+  // equal) nodes, and the system must notice after refresh.
+  DistanceMatrix slower(parts.predicted.size());
+  for (NodeId u = 0; u < slower.size(); ++u) {
+    for (NodeId v = u + 1; v < slower.size(); ++v) {
+      slower.set(u, v, 2.0 * parts.predicted.at(u, v));
+    }
+  }
+  const std::size_t cycles = sys.refresh(slower);
+  EXPECT_GT(cycles, 0u);
+  EXPECT_TRUE(sys.converged());
+  const std::size_t s1 = sys.node(0).aggr_crt.at(0)[strictest];
+  EXPECT_LE(s1, s0);
+  // And queries still return valid clusters under the *new* metric.
+  const auto r = sys.query_class(0, 2, 0);
+  if (r.found()) {
+    EXPECT_TRUE(cluster_satisfies(sys.predicted(), r.cluster, 2,
+                                  classes.distance_at(0)));
+  }
+}
+
+TEST(System, RefreshValidatesSize) {
+  auto parts = build_parts(8, 8);
+  DecentralizedClusterSystem sys(parts.fw.anchors, parts.predicted,
+                                 spanning_classes(parts.predicted));
+  sys.run_to_convergence();
+  EXPECT_THROW(sys.refresh(DistanceMatrix(9)), ContractViolation);
+}
+
+TEST(System, WorksOnNoisyPredictions) {
+  // End-to-end on a framework built from noisy measurements: predicted
+  // distances are still a tree metric, so everything stays consistent.
+  auto parts = build_parts(25, 9, /*sigma=*/0.3);
+  DecentralizedClusterSystem sys(parts.fw.anchors, parts.predicted,
+                                 spanning_classes(parts.predicted));
+  sys.run_to_convergence();
+  const auto r = sys.query_class(0, 3, 1);
+  if (r.found()) {
+    EXPECT_TRUE(cluster_satisfies(sys.predicted(), r.cluster, 3,
+                                  sys.classes().distance_at(1)));
+  }
+}
+
+TEST(System, SingletonSystem) {
+  AnchorTree t;
+  t.set_root(0);
+  DecentralizedClusterSystem sys(t, DistanceMatrix(1),
+                                 BandwidthClasses({10.0}));
+  sys.run_to_convergence();
+  EXPECT_TRUE(sys.converged());
+  const auto r = sys.query_class(0, 2, 0);
+  EXPECT_FALSE(r.found());
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,72 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace bcc {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  // Every line has the same length (column alignment).
+  std::size_t expected = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinter, ContainsHeaderAndCells) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"foo", "bar"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("foo"), std::string::npos);
+  EXPECT_NE(s.find("bar"), std::string::npos);
+}
+
+TEST(TablePrinter, DoubleRowsFormatted) {
+  TablePrinter t({"x", "y"});
+  t.add_numeric_row(std::vector<double>{1.23456, 2.0}, 3);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.235"), std::string::npos);
+  EXPECT_NE(s.find("2.000"), std::string::npos);
+}
+
+TEST(TablePrinter, ArityMismatchRejected) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TablePrinter, EmptyHeaderRejected) {
+  EXPECT_THROW(TablePrinter(std::vector<std::string>{}), ContractViolation);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  EXPECT_EQ(format_double(-0.125, 3), "-0.125");
+  EXPECT_EQ(format_double(3.14159, 0), "3");
+}
+
+}  // namespace
+}  // namespace bcc

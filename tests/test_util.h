@@ -1,0 +1,94 @@
+// Shared helpers for the bcc test suite: random metric-space generators and
+// small fixtures used across module tests.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "euclid/point2.h"
+#include "metric/distance_matrix.h"
+#include "tree/weighted_tree.h"
+
+namespace bcc::testutil {
+
+/// A random edge-weighted tree over n leaf-hosts (internal vertices
+/// optional) and its induced *perfect* tree metric over the hosts.
+struct RandomTreeMetric {
+  DistanceMatrix distances;
+};
+
+/// Builds a random tree metric: hosts 0..n-1 are leaves hanging off a random
+/// internal topology with weights in [min_w, max_w]. The result satisfies
+/// 4PC exactly (up to floating point).
+inline DistanceMatrix random_tree_metric(std::size_t n, Rng& rng,
+                                         double min_w = 0.5,
+                                         double max_w = 20.0) {
+  BCC_REQUIRE(n >= 1);
+  WeightedTree tree;
+  // Internal skeleton: a random recursive tree of n_internal vertices.
+  const std::size_t n_internal = std::max<std::size_t>(1, n / 3);
+  std::vector<TreeVertex> internal(n_internal);
+  internal[0] = tree.add_vertex();
+  for (std::size_t i = 1; i < n_internal; ++i) {
+    internal[i] = tree.add_vertex();
+    tree.connect(internal[static_cast<std::size_t>(rng.below(i))], internal[i],
+                 rng.uniform(min_w, max_w));
+  }
+  std::vector<TreeVertex> leaf(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    leaf[h] = tree.add_vertex();
+    tree.connect(internal[static_cast<std::size_t>(rng.below(n_internal))],
+                 leaf[h], rng.uniform(min_w, max_w));
+  }
+  DistanceMatrix d(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto from_u = tree.distances_from(leaf[u]);
+    for (std::size_t v = u + 1; v < n; ++v) d.set(u, v, from_u[leaf[v]]);
+  }
+  return d;
+}
+
+/// A random metric that deliberately violates 4PC: a tree metric with
+/// multiplicative lognormal noise per pair (noise can break the triangle
+/// inequality too — that is intended; algorithms must not crash on it).
+inline DistanceMatrix noisy_tree_metric(std::size_t n, Rng& rng,
+                                        double sigma = 0.3) {
+  DistanceMatrix d = random_tree_metric(n, rng);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      d.set(u, v, d.at(u, v) * rng.lognormal(0.0, sigma));
+    }
+  }
+  return d;
+}
+
+/// Random 2-D points in the unit square scaled by `extent`.
+inline std::vector<Point2> random_points(std::size_t n, Rng& rng,
+                                         double extent = 100.0) {
+  std::vector<Point2> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.uniform(0.0, extent);
+    p.y = rng.uniform(0.0, extent);
+  }
+  return pts;
+}
+
+/// Distance matrix of a 2-D point set (always a valid metric, rarely 4PC).
+inline DistanceMatrix euclidean_metric(const std::vector<Point2>& pts) {
+  DistanceMatrix d(pts.size());
+  for (std::size_t u = 0; u < pts.size(); ++u) {
+    for (std::size_t v = u + 1; v < pts.size(); ++v) {
+      d.set(u, v, dist2d(pts[u], pts[v]));
+    }
+  }
+  return d;
+}
+
+/// Identity universe 0..n-1.
+inline std::vector<NodeId> iota_universe(std::size_t n) {
+  std::vector<NodeId> u(n);
+  for (std::size_t i = 0; i < n; ++i) u[i] = i;
+  return u;
+}
+
+}  // namespace bcc::testutil

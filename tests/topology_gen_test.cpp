@@ -1,0 +1,134 @@
+#include "data/topology_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "metric/four_point.h"
+
+namespace bcc {
+namespace {
+
+TEST(TopologyGen, ProducesConnectedTree) {
+  Rng rng(1);
+  TopologyOptions options;
+  options.hosts = 40;
+  const Topology topo = generate_topology(options, rng);
+  EXPECT_TRUE(topo.tree.is_tree());
+  EXPECT_EQ(topo.host_leaf.size(), 40u);
+}
+
+TEST(TopologyGen, HostsAreLeaves) {
+  Rng rng(2);
+  TopologyOptions options;
+  options.hosts = 30;
+  const Topology topo = generate_topology(options, rng);
+  for (TreeVertex leaf : topo.host_leaf) {
+    EXPECT_EQ(topo.tree.degree(leaf), 1u);
+  }
+}
+
+TEST(TopologyGen, InducedMetricIsPerfectTreeMetric) {
+  // The theoretical backbone of the paper's treeness argument ([20]).
+  for (std::uint64_t seed : {3ull, 4ull, 5ull}) {
+    Rng rng(seed);
+    TopologyOptions options;
+    options.hosts = 12;
+    const Topology topo = generate_topology(options, rng);
+    EXPECT_TRUE(is_tree_metric(topo.distances(), 1e-6)) << "seed " << seed;
+  }
+}
+
+TEST(TopologyGen, DistancesArePositiveAndSymmetricByConstruction) {
+  Rng rng(6);
+  TopologyOptions options;
+  options.hosts = 20;
+  const Topology topo = generate_topology(options, rng);
+  const DistanceMatrix d = topo.distances();
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = u + 1; v < 20; ++v) {
+      EXPECT_GT(d.at(u, v), 0.0);
+    }
+  }
+}
+
+TEST(TopologyGen, BandwidthIsRationalTransformOfDistance) {
+  Rng rng(7);
+  TopologyOptions options;
+  options.hosts = 10;
+  options.c = 500.0;
+  const Topology topo = generate_topology(options, rng);
+  const DistanceMatrix d = topo.distances();
+  const BandwidthMatrix bw = topo.bandwidths();
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) {
+      EXPECT_NEAR(bw.at(u, v), 500.0 / d.at(u, v), 1e-9);
+    }
+  }
+}
+
+TEST(TopologyGen, ScaleEdgesScalesDistancesLinearly) {
+  Rng rng(8);
+  TopologyOptions options;
+  options.hosts = 15;
+  Topology topo = generate_topology(options, rng);
+  const DistanceMatrix before = topo.distances();
+  topo.scale_edges(2.5);
+  const DistanceMatrix after = topo.distances();
+  for (NodeId u = 0; u < 15; ++u) {
+    for (NodeId v = u + 1; v < 15; ++v) {
+      EXPECT_NEAR(after.at(u, v), 2.5 * before.at(u, v), 1e-9);
+    }
+  }
+}
+
+TEST(TopologyGen, AutoSiteCount) {
+  Rng rng(9);
+  TopologyOptions options;
+  options.hosts = 80;  // auto: 10 sites
+  const Topology topo = generate_topology(options, rng);
+  // 80 leaves + 10 sites
+  EXPECT_EQ(topo.tree.vertex_count(), 90u);
+}
+
+TEST(TopologyGen, ExplicitSiteCount) {
+  Rng rng(10);
+  TopologyOptions options;
+  options.hosts = 20;
+  options.sites = 3;
+  const Topology topo = generate_topology(options, rng);
+  EXPECT_EQ(topo.tree.vertex_count(), 23u);
+}
+
+TEST(TopologyGen, MinimumHostsEnforced) {
+  Rng rng(11);
+  TopologyOptions options;
+  options.hosts = 1;
+  EXPECT_THROW(generate_topology(options, rng), ContractViolation);
+}
+
+TEST(TopologyGen, AccessSpreadWidensBandwidthDistribution) {
+  auto spread_of = [](double sigma) {
+    Rng rng(12);
+    TopologyOptions options;
+    options.hosts = 60;
+    options.access_bw_sigma = sigma;
+    const BandwidthMatrix bw = generate_topology(options, rng).bandwidths();
+    return bw.percentile(80.0) / bw.percentile(20.0);
+  };
+  EXPECT_LT(spread_of(0.1), spread_of(1.2));
+}
+
+TEST(TopologyGen, DeterministicForSeed) {
+  TopologyOptions options;
+  options.hosts = 25;
+  Rng r1(13), r2(13);
+  const DistanceMatrix a = generate_topology(options, r1).distances();
+  const DistanceMatrix b = generate_topology(options, r2).distances();
+  for (NodeId u = 0; u < 25; ++u) {
+    for (NodeId v = u + 1; v < 25; ++v) {
+      EXPECT_DOUBLE_EQ(a.at(u, v), b.at(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,205 @@
+#include "vivaldi/vivaldi.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace bcc {
+namespace {
+
+TEST(Vivaldi, ConstructionValidatesOptions) {
+  Rng rng(1);
+  VivaldiOptions bad;
+  bad.ce = 0.0;
+  EXPECT_THROW(Vivaldi(3, rng, bad), ContractViolation);
+  bad = VivaldiOptions{};
+  bad.cc = 1.5;
+  EXPECT_THROW(Vivaldi(3, rng, bad), ContractViolation);
+}
+
+TEST(Vivaldi, EmbedsExact2dPointSetsWell) {
+  // Ground truth already lives in 2-D: Vivaldi should recover it to low
+  // error (rotation/translation-invariant distances).
+  Rng rng(2);
+  const auto points = testutil::random_points(30, rng, 50.0);
+  const DistanceMatrix target = testutil::euclidean_metric(points);
+  Rng vrng(3);
+  VivaldiOptions options;
+  options.rounds = 80;
+  Vivaldi v(30, vrng, options);
+  v.run(target);
+  EXPECT_LT(v.median_relative_error(target), 0.12);
+}
+
+TEST(Vivaldi, ErrorDecreasesWithTraining) {
+  Rng rng(4);
+  const auto points = testutil::random_points(25, rng, 50.0);
+  const DistanceMatrix target = testutil::euclidean_metric(points);
+  VivaldiOptions short_run;
+  short_run.rounds = 2;
+  VivaldiOptions long_run;
+  long_run.rounds = 60;
+  Rng r1(5), r2(5);
+  Vivaldi a(25, r1, short_run), b(25, r2, long_run);
+  a.run(target);
+  b.run(target);
+  EXPECT_LT(b.median_relative_error(target), a.median_relative_error(target));
+}
+
+TEST(Vivaldi, NodeErrorEstimatesShrink) {
+  Rng rng(6);
+  const auto points = testutil::random_points(20, rng, 50.0);
+  const DistanceMatrix target = testutil::euclidean_metric(points);
+  Rng vrng(7);
+  Vivaldi v(20, vrng, {});
+  const double before = v.error(0);
+  v.run(target);
+  EXPECT_LT(v.error(0), before);
+}
+
+TEST(Vivaldi, ObserveMovesTowardsTarget) {
+  Rng rng(8);
+  Vivaldi v(2, rng, {});
+  const double initial = v.distance(0, 1);
+  for (int i = 0; i < 200; ++i) {
+    v.observe(0, 1, 10.0);
+    v.observe(1, 0, 10.0);
+  }
+  EXPECT_LT(std::abs(v.distance(0, 1) - 10.0), std::abs(initial - 10.0));
+  EXPECT_NEAR(v.distance(0, 1), 10.0, 1.0);
+}
+
+TEST(Vivaldi, ObserveValidatesArguments) {
+  Rng rng(9);
+  Vivaldi v(3, rng, {});
+  EXPECT_THROW(v.observe(0, 0, 1.0), ContractViolation);
+  EXPECT_THROW(v.observe(0, 5, 1.0), ContractViolation);
+  EXPECT_THROW(v.observe(0, 1, -1.0), ContractViolation);
+}
+
+TEST(Vivaldi, ZeroDistanceSampleIsIgnored) {
+  Rng rng(10);
+  Vivaldi v(2, rng, {});
+  const Coord before = v.coord(0);
+  v.observe(0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(v.coord(0).x, before.x);
+  EXPECT_DOUBLE_EQ(v.coord(0).y, before.y);
+}
+
+TEST(Vivaldi, PredictedDistancesSymmetricZeroDiagonal) {
+  Rng rng(11);
+  const auto points = testutil::random_points(10, rng, 20.0);
+  const DistanceMatrix target = testutil::euclidean_metric(points);
+  Rng vrng(12);
+  Vivaldi v(10, vrng, {});
+  v.run(target);
+  const DistanceMatrix pred = v.predicted_distances();
+  for (NodeId i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(pred.at(i, i), 0.0);
+    for (NodeId j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(pred.at(i, j), pred.at(j, i));
+    }
+  }
+}
+
+TEST(Vivaldi, TrivialPopulations) {
+  Rng rng(13);
+  Vivaldi v1(1, rng, {});
+  v1.run(DistanceMatrix(1));  // no peers: run is a no-op
+  Vivaldi v0(0, rng, {});
+  v0.run(DistanceMatrix(0));
+  EXPECT_EQ(v0.size(), 0u);
+}
+
+TEST(Vivaldi, MismatchedTargetRejected) {
+  Rng rng(14);
+  Vivaldi v(5, rng, {});
+  EXPECT_THROW(v.run(DistanceMatrix(4)), ContractViolation);
+  EXPECT_THROW(v.median_relative_error(DistanceMatrix(4)), ContractViolation);
+}
+
+TEST(Vivaldi, EmbedHelperMatchesManualPipeline) {
+  Rng rng(15);
+  const auto points = testutil::random_points(12, rng, 30.0);
+  const DistanceMatrix target = testutil::euclidean_metric(points);
+  Rng r1(16), r2(16);
+  VivaldiOptions options;
+  options.rounds = 10;
+  const DistanceMatrix a = vivaldi_embed(target, r1, options);
+  Vivaldi v(12, r2, options);
+  v.run(target);
+  const DistanceMatrix b = v.predicted_distances();
+  for (NodeId i = 0; i < 12; ++i) {
+    for (NodeId j = i + 1; j < 12; ++j) {
+      EXPECT_DOUBLE_EQ(a.at(i, j), b.at(i, j));
+    }
+  }
+}
+
+TEST(VivaldiHeight, HeightsStayNonNegative) {
+  Rng rng(20);
+  VivaldiOptions options;
+  options.use_height = true;
+  Vivaldi v(10, rng, options);
+  const DistanceMatrix target = testutil::random_tree_metric(10, rng);
+  v.run(target);
+  for (NodeId i = 0; i < 10; ++i) EXPECT_GE(v.coord(i).h, 0.0);
+}
+
+TEST(VivaldiHeight, DistanceIncludesBothHeights) {
+  Rng rng(21);
+  VivaldiOptions options;
+  options.use_height = true;
+  Vivaldi v(2, rng, options);
+  for (int i = 0; i < 400; ++i) {
+    v.observe(0, 1, 30.0);
+    v.observe(1, 0, 30.0);
+  }
+  EXPECT_NEAR(v.distance(0, 1), 30.0, 3.0);
+  EXPECT_GE(v.distance(0, 1),
+            euclidean(v.coord(0), v.coord(1)) - 1e-12);
+}
+
+TEST(VivaldiHeight, HelpsOnAccessLinkDominatedMetrics) {
+  // Tree metrics built from access-link bottlenecks have a per-node additive
+  // component that heights capture but a plane cannot.
+  Rng data_rng(22);
+  const DistanceMatrix tree = testutil::random_tree_metric(40, data_rng);
+  VivaldiOptions flat;
+  flat.rounds = 60;
+  VivaldiOptions tall = flat;
+  tall.use_height = true;
+  Rng r1(23), r2(23);
+  Vivaldi vf(40, r1, flat), vh(40, r2, tall);
+  vf.run(tree);
+  vh.run(tree);
+  EXPECT_LT(vh.median_relative_error(tree),
+            vf.median_relative_error(tree) * 1.10);  // at least comparable
+}
+
+TEST(VivaldiHeight, FlatModeIgnoresHeightField) {
+  Rng rng(24);
+  Vivaldi v(3, rng, {});  // use_height = false
+  const DistanceMatrix target = testutil::random_tree_metric(3, rng);
+  v.run(target);
+  EXPECT_DOUBLE_EQ(v.distance(0, 1), euclidean(v.coord(0), v.coord(1)));
+}
+
+TEST(Vivaldi, TreeMetricEmbedsWorseThanEuclideanData) {
+  // The motivating observation of the paper: bandwidth-like (tree) metrics
+  // fit 2-D Euclidean space worse than genuinely Euclidean data.
+  Rng data_rng(17);
+  const auto points = testutil::random_points(40, data_rng, 50.0);
+  const DistanceMatrix eucl = testutil::euclidean_metric(points);
+  const DistanceMatrix tree = testutil::random_tree_metric(40, data_rng);
+  VivaldiOptions options;
+  options.rounds = 60;
+  Rng r1(18), r2(18);
+  Vivaldi ve(40, r1, options), vt(40, r2, options);
+  ve.run(eucl);
+  vt.run(tree);
+  EXPECT_LT(ve.median_relative_error(eucl), vt.median_relative_error(tree));
+}
+
+}  // namespace
+}  // namespace bcc

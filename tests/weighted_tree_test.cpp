@@ -1,0 +1,194 @@
+#include "tree/weighted_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace bcc {
+namespace {
+
+WeightedTree make_path_tree(const std::vector<double>& weights) {
+  WeightedTree t;
+  TreeVertex prev = t.add_vertex();
+  for (double w : weights) {
+    TreeVertex next = t.add_vertex();
+    t.connect(prev, next, w);
+    prev = next;
+  }
+  return t;
+}
+
+TEST(WeightedTree, EmptyAndSingletonAreTrees) {
+  WeightedTree t;
+  EXPECT_TRUE(t.is_tree());
+  t.add_vertex();
+  EXPECT_TRUE(t.is_tree());
+  EXPECT_EQ(t.vertex_count(), 1u);
+  EXPECT_EQ(t.edge_count(), 0u);
+}
+
+TEST(WeightedTree, ConnectAddsBothHalfEdges) {
+  WeightedTree t;
+  auto a = t.add_vertex(), b = t.add_vertex();
+  t.connect(a, b, 3.0);
+  EXPECT_EQ(t.degree(a), 1u);
+  EXPECT_EQ(t.degree(b), 1u);
+  EXPECT_EQ(t.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.edge_weight(a, b).value(), 3.0);
+  EXPECT_DOUBLE_EQ(t.edge_weight(b, a).value(), 3.0);
+}
+
+TEST(WeightedTree, CycleRejected) {
+  WeightedTree t;
+  auto a = t.add_vertex(), b = t.add_vertex(), c = t.add_vertex();
+  t.connect(a, b, 1.0);
+  t.connect(b, c, 1.0);
+  EXPECT_THROW(t.connect(a, c, 1.0), ContractViolation);
+}
+
+TEST(WeightedTree, SelfLoopRejected) {
+  WeightedTree t;
+  auto a = t.add_vertex();
+  EXPECT_THROW(t.connect(a, a, 1.0), ContractViolation);
+}
+
+TEST(WeightedTree, NegativeWeightRejected) {
+  WeightedTree t;
+  auto a = t.add_vertex(), b = t.add_vertex();
+  EXPECT_THROW(t.connect(a, b, -1.0), ContractViolation);
+}
+
+TEST(WeightedTree, PathDistanceSumsWeights) {
+  WeightedTree t = make_path_tree({1.0, 2.5, 3.0});
+  EXPECT_DOUBLE_EQ(t.distance(0, 3), 6.5);
+  EXPECT_DOUBLE_EQ(t.distance(1, 3), 5.5);
+  EXPECT_DOUBLE_EQ(t.distance(2, 2), 0.0);
+}
+
+TEST(WeightedTree, PathEndpointsAndOrder) {
+  WeightedTree t = make_path_tree({1, 1, 1});
+  const auto p = t.path(0, 3);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.front(), 0u);
+  EXPECT_EQ(p.back(), 3u);
+  const auto rev = t.path(3, 0);
+  EXPECT_EQ(rev.front(), 3u);
+  EXPECT_EQ(rev.back(), 0u);
+}
+
+TEST(WeightedTree, PathOfSingleVertex) {
+  WeightedTree t;
+  auto a = t.add_vertex();
+  EXPECT_EQ(t.path(a, a), std::vector<TreeVertex>{a});
+}
+
+TEST(WeightedTree, DisconnectedPathRejected) {
+  WeightedTree t;
+  t.add_vertex();
+  t.add_vertex();
+  EXPECT_THROW(t.path(0, 1), ContractViolation);
+  EXPECT_FALSE(t.connected(0, 1));
+}
+
+TEST(WeightedTree, SplitEdgePreservesDistancesAndCreator) {
+  WeightedTree t;
+  auto a = t.add_vertex(), b = t.add_vertex();
+  t.connect(a, b, 10.0, /*creator=*/7);
+  const TreeVertex mid = t.split_edge(a, b, 4.0);
+  EXPECT_DOUBLE_EQ(t.distance(a, b), 10.0);
+  EXPECT_DOUBLE_EQ(t.distance(a, mid), 4.0);
+  EXPECT_DOUBLE_EQ(t.distance(mid, b), 6.0);
+  EXPECT_EQ(t.edge_creator(a, mid).value(), 7u);
+  EXPECT_EQ(t.edge_creator(mid, b).value(), 7u);
+  EXPECT_TRUE(t.is_tree());
+}
+
+TEST(WeightedTree, SplitClampsOutOfRangePositions) {
+  WeightedTree t;
+  auto a = t.add_vertex(), b = t.add_vertex();
+  t.connect(a, b, 5.0);
+  const TreeVertex m1 = t.split_edge(a, b, -2.0);
+  EXPECT_DOUBLE_EQ(t.distance(a, m1), 0.0);
+  const TreeVertex m2 = t.split_edge(m1, b, 100.0);
+  EXPECT_DOUBLE_EQ(t.distance(m2, b), 0.0);
+  EXPECT_DOUBLE_EQ(t.distance(a, b), 5.0);
+}
+
+TEST(WeightedTree, SplitMissingEdgeRejected) {
+  WeightedTree t;
+  auto a = t.add_vertex(), b = t.add_vertex(), c = t.add_vertex();
+  t.connect(a, b, 1.0);
+  EXPECT_THROW(t.split_edge(a, c, 0.5), ContractViolation);
+}
+
+TEST(WeightedTree, EdgeQueriesOnMissingEdge) {
+  WeightedTree t;
+  auto a = t.add_vertex(), b = t.add_vertex();
+  EXPECT_FALSE(t.edge_weight(a, b).has_value());
+  EXPECT_FALSE(t.edge_creator(a, b).has_value());
+}
+
+TEST(WeightedTree, DistancesFromComputesAll) {
+  WeightedTree t = make_path_tree({2, 3});
+  const auto d = t.distances_from(0);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 5.0);
+}
+
+TEST(WeightedTree, DistancesFromUnreachableIsInfinite) {
+  WeightedTree t;
+  t.add_vertex();
+  t.add_vertex();
+  const auto d = t.distances_from(0);
+  EXPECT_TRUE(std::isinf(d[1]));
+  EXPECT_FALSE(t.is_tree());  // 2 components
+}
+
+TEST(WeightedTree, ScaleWeights) {
+  WeightedTree t = make_path_tree({1, 2});
+  t.scale_weights(3.0);
+  EXPECT_DOUBLE_EQ(t.distance(0, 2), 9.0);
+  EXPECT_THROW(t.scale_weights(0.0), ContractViolation);
+}
+
+TEST(WeightedTree, RandomSplitsKeepAllPairwiseDistances) {
+  // Property: splitting edges anywhere never changes distances between the
+  // original vertices.
+  Rng rng(123);
+  WeightedTree t;
+  std::vector<TreeVertex> original;
+  original.push_back(t.add_vertex());
+  for (int i = 1; i < 12; ++i) {
+    TreeVertex v = t.add_vertex();
+    t.connect(original[static_cast<std::size_t>(rng.below(original.size()))],
+              v, rng.uniform(0.5, 4.0));
+    original.push_back(v);
+  }
+  std::vector<std::vector<double>> before(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    before[i] = t.distances_from(original[i]);
+  }
+  // Split a few random existing edges.
+  for (int s = 0; s < 6; ++s) {
+    const TreeVertex u =
+        static_cast<TreeVertex>(rng.below(t.vertex_count()));
+    if (t.degree(u) == 0) continue;
+    const auto& nb = t.neighbors(u);
+    const auto& e = nb[static_cast<std::size_t>(rng.below(nb.size()))];
+    t.split_edge(u, e.to, rng.uniform(0.0, e.weight));
+  }
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto after = t.distances_from(original[i]);
+    for (std::size_t j = 0; j < original.size(); ++j) {
+      EXPECT_NEAR(after[original[j]], before[i][original[j]], 1e-9);
+    }
+  }
+  EXPECT_TRUE(t.is_tree());
+}
+
+}  // namespace
+}  // namespace bcc

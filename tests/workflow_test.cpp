@@ -1,0 +1,111 @@
+#include "workload/workflow.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace bcc {
+namespace {
+
+TEST(Workflow, GeneratesRequestedShape) {
+  Rng rng(1);
+  WorkflowOptions options;
+  options.stages = 4;
+  options.tasks_per_stage = 10;
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  EXPECT_EQ(wf.tasks().size(), 40u);
+  EXPECT_EQ(wf.stage_count(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(wf.stage_tasks(s).size(), 10u);
+  }
+  EXPECT_TRUE(wf.check_invariants());
+}
+
+TEST(Workflow, TransfersConnectConsecutiveStages) {
+  Rng rng(2);
+  WorkflowOptions options;
+  options.stages = 3;
+  options.tasks_per_stage = 6;
+  options.fan_in = 2;
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  // 2 stage boundaries x 6 tasks x fan-in 2.
+  EXPECT_EQ(wf.transfers().size(), 24u);
+  for (const Transfer& t : wf.transfers()) {
+    EXPECT_EQ(wf.tasks()[t.to].stage, wf.tasks()[t.from].stage + 1);
+    EXPECT_GT(t.mbits, 0.0);
+  }
+}
+
+TEST(Workflow, FanInSourcesAreDistinct) {
+  Rng rng(3);
+  WorkflowOptions options;
+  options.stages = 2;
+  options.tasks_per_stage = 8;
+  options.fan_in = 3;
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  std::map<TaskId, std::set<TaskId>> sources;
+  for (const Transfer& t : wf.transfers()) {
+    EXPECT_TRUE(sources[t.to].insert(t.from).second)
+        << "duplicate source for task " << t.to;
+  }
+  for (const auto& [to, srcs] : sources) EXPECT_EQ(srcs.size(), 3u);
+}
+
+TEST(Workflow, FanInClampedToStageWidth) {
+  Rng rng(4);
+  WorkflowOptions options;
+  options.stages = 2;
+  options.tasks_per_stage = 3;
+  options.fan_in = 10;  // wider than the stage
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  EXPECT_EQ(wf.transfers().size(), 9u);  // 3 tasks x 3 available sources
+  EXPECT_TRUE(wf.check_invariants());
+}
+
+TEST(Workflow, SingleStageHasNoTransfers) {
+  Rng rng(5);
+  WorkflowOptions options;
+  options.stages = 1;
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  EXPECT_TRUE(wf.transfers().empty());
+  EXPECT_DOUBLE_EQ(wf.total_transfer_mbits(), 0.0);
+}
+
+TEST(Workflow, ComputeTimesNearRequestedMean) {
+  Rng rng(6);
+  WorkflowOptions options;
+  options.stages = 10;
+  options.tasks_per_stage = 50;
+  options.compute_mean_s = 200.0;
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  double sum = 0.0;
+  for (const Task& t : wf.tasks()) sum += t.compute_seconds;
+  EXPECT_NEAR(sum / static_cast<double>(wf.tasks().size()), 200.0, 20.0);
+}
+
+TEST(Workflow, TotalTransferSumsMbits) {
+  Rng rng(7);
+  WorkflowOptions options;
+  const Workflow wf = Workflow::cybershake_like(options, rng);
+  double sum = 0.0;
+  for (const Transfer& t : wf.transfers()) sum += t.mbits;
+  EXPECT_DOUBLE_EQ(wf.total_transfer_mbits(), sum);
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(Workflow, Validation) {
+  Rng rng(8);
+  WorkflowOptions options;
+  options.stages = 0;
+  EXPECT_THROW(Workflow::cybershake_like(options, rng), ContractViolation);
+  options.stages = 2;
+  options.fan_in = 0;
+  EXPECT_THROW(Workflow::cybershake_like(options, rng), ContractViolation);
+  options.fan_in = 1;
+  options.compute_mean_s = -5.0;
+  EXPECT_THROW(Workflow::cybershake_like(options, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bcc

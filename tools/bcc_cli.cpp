@@ -1,0 +1,263 @@
+// bcc — command-line front end for the library.
+//
+// Subcommands:
+//   bcc gen      --out DIR --name NAME [--hosts N --noise S --p20 B --p80 B]
+//                  synthesize a calibrated PlanetLab-like dataset to CSV
+//   bcc preprocess --in RAW.csv --out DIR --name NAME
+//                  extract the complete submatrix of a raw incomplete trace
+//                  (the paper's §IV preprocessing; 0/blank = unmeasured)
+//   bcc embed    --data DIR/NAME [--snapshot FILE --exhaustive]
+//                  build the prediction framework, report accuracy, snapshot
+//   bcc treeness --data DIR/NAME [--samples N]
+//                  estimate the dataset's quartet-epsilon treeness
+//   bcc query    --data DIR/NAME --k K --b MBPS [--start ID --n_cut N]
+//                  run the decentralized system and answer one query
+//   bcc eval     --data DIR/NAME [--queries N --k K]
+//                  WPR/RR sweep over the bandwidth grid (mini Fig. 3)
+//
+// Any dataset can be a user-provided measurement matrix: put it at
+// DIR/NAME.bw.csv (square Mbps CSV, zero diagonal; asymmetry is averaged).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bcc.h"
+#include "exp/fig3.h"
+
+namespace {
+
+using namespace bcc;
+
+int cmd_gen(int argc, const char* const* argv) {
+  Options opts("bcc gen", "synthesize a calibrated dataset to CSV");
+  auto& out = opts.add_string("out", ".", "output directory");
+  auto& name = opts.add_string("name", "synthetic", "dataset name");
+  auto& hosts = opts.add_int("hosts", 150, "number of hosts");
+  auto& noise = opts.add_double("noise", 0.25, "measurement noise sigma");
+  auto& p20 = opts.add_double("p20", 15.0, "target 20th percentile (Mbps)");
+  auto& p80 = opts.add_double("p80", 75.0, "target 80th percentile (Mbps)");
+  auto& seed = opts.add_int("seed", 42, "generator seed");
+  opts.parse(argc, argv);
+
+  Rng rng(static_cast<std::uint64_t>(seed));
+  SynthOptions synth;
+  synth.name = name;
+  synth.hosts = static_cast<std::size_t>(hosts);
+  synth.noise_sigma = noise;
+  synth.target_p20 = p20;
+  synth.target_p80 = p80;
+  const SynthDataset data = synthesize_planetlab(synth, rng);
+  save_dataset(data, out);
+  std::printf("wrote %s/%s.bw.csv (%zu hosts, p20=%.1f p80=%.1f Mbps)\n",
+              out.c_str(), name.c_str(), data.bandwidth.size(),
+              data.bandwidth.percentile(20.0), data.bandwidth.percentile(80.0));
+  return 0;
+}
+
+/// Splits "--data DIR/NAME" into directory and name.
+bool split_data_arg(const std::string& data, std::string& dir,
+                    std::string& name) {
+  const auto slash = data.find_last_of('/');
+  if (slash == std::string::npos) {
+    dir = ".";
+    name = data;
+  } else {
+    dir = data.substr(0, slash);
+    name = data.substr(slash + 1);
+  }
+  return !name.empty();
+}
+
+int cmd_embed(int argc, const char* const* argv) {
+  Options opts("bcc embed", "build the prediction framework for a dataset");
+  auto& data_arg = opts.add_string("data", "", "DIR/NAME of the dataset");
+  auto& snapshot = opts.add_string("snapshot", "", "save the framework here");
+  auto& exhaustive = opts.add_bool("exhaustive", false,
+                                   "exhaustive end-node search");
+  auto& seed = opts.add_int("seed", 42, "join-order seed");
+  opts.parse(argc, argv);
+  std::string dir, name;
+  if (!split_data_arg(data_arg, dir, name)) {
+    std::fprintf(stderr, "bcc embed: --data DIR/NAME is required\n");
+    return 1;
+  }
+  const SynthDataset data = load_dataset(name, dir);
+  Rng rng(static_cast<std::uint64_t>(seed));
+  EmbedOptions embed_options;
+  embed_options.search =
+      exhaustive ? EndSearch::kExhaustive : EndSearch::kAnchorDescent;
+  EmbedStats stats;
+  const Framework fw =
+      build_framework(data.distances, rng, embed_options, &stats);
+  const auto errs = relative_bandwidth_errors(data.bandwidth,
+                                              fw.predicted_distances(), data.c);
+  std::printf("embedded %zu hosts: %.1f probes/join, median rel. error "
+              "%.3f, p90 %.3f, overlay diameter %zu\n",
+              fw.prediction.host_count(),
+              static_cast<double>(stats.probes) /
+                  static_cast<double>(stats.joins),
+              median(errs), percentile(errs, 90.0), fw.anchors.diameter());
+  if (!snapshot.empty()) {
+    save_framework(fw, snapshot);
+    std::printf("framework snapshot written to %s\n", snapshot.c_str());
+  }
+  return 0;
+}
+
+int cmd_treeness(int argc, const char* const* argv) {
+  Options opts("bcc treeness", "estimate quartet-epsilon treeness");
+  auto& data_arg = opts.add_string("data", "", "DIR/NAME of the dataset");
+  auto& samples = opts.add_int("samples", 100000, "quartets to sample");
+  auto& seed = opts.add_int("seed", 42, "sampling seed");
+  opts.parse(argc, argv);
+  std::string dir, name;
+  if (!split_data_arg(data_arg, dir, name)) {
+    std::fprintf(stderr, "bcc treeness: --data DIR/NAME is required\n");
+    return 1;
+  }
+  const SynthDataset data = load_dataset(name, dir);
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const TreenessStats stats = estimate_treeness(
+      data.distances, rng, static_cast<std::size_t>(samples));
+  std::printf("eps_avg = %.4f (eps* = %.4f, max %.4f over %zu quartets)\n",
+              stats.epsilon_avg, epsilon_star(stats.epsilon_avg),
+              stats.epsilon_max, stats.quartets);
+  return 0;
+}
+
+int cmd_query(int argc, const char* const* argv) {
+  Options opts("bcc query", "answer one (k, b) query decentralized");
+  auto& data_arg = opts.add_string("data", "", "DIR/NAME of the dataset");
+  auto& k = opts.add_int("k", 10, "cluster size constraint");
+  auto& b = opts.add_double("b", 40.0, "bandwidth constraint (Mbps)");
+  auto& start = opts.add_int("start", 0, "entry node");
+  auto& n_cut = opts.add_int("n_cut", 10, "aggregate size limit");
+  auto& seed = opts.add_int("seed", 42, "framework seed");
+  opts.parse(argc, argv);
+  std::string dir, name;
+  if (!split_data_arg(data_arg, dir, name)) {
+    std::fprintf(stderr, "bcc query: --data DIR/NAME is required\n");
+    return 1;
+  }
+  const SynthDataset data = load_dataset(name, dir);
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Framework fw = build_framework(data.distances, rng);
+  SystemOptions sys_options;
+  sys_options.n_cut = static_cast<std::size_t>(n_cut);
+  DecentralizedClusterSystem sys(fw.anchors, fw.predicted_distances(),
+                                 BandwidthClasses::uniform_grid(5, 300, 5),
+                                 sys_options);
+  sys.run_to_convergence();
+  const QueryOutcome r = sys.query_bandwidth(
+      static_cast<NodeId>(start), static_cast<std::size_t>(k), b);
+  if (!r.found()) {
+    std::printf("no cluster of %lld hosts at >= %.1f Mbps (route length %zu)\n",
+                static_cast<long long>(k), b, r.hops);
+    return 2;
+  }
+  std::printf("cluster (%zu hops):", r.hops);
+  for (NodeId h : r.cluster) std::printf(" %zu", h);
+  WprAccumulator wpr;
+  wpr.add_cluster(data.bandwidth, r.cluster, b);
+  std::printf("\nreal-bandwidth check: %zu/%zu pairs below b (WPR %.3f)\n",
+              wpr.wrong_pairs(), wpr.total_pairs(), wpr.rate());
+  return 0;
+}
+
+int cmd_eval(int argc, const char* const* argv) {
+  Options opts("bcc eval", "WPR/RR sweep over the bandwidth grid");
+  auto& data_arg = opts.add_string("data", "", "DIR/NAME of the dataset");
+  auto& k = opts.add_int("k", 10, "cluster size constraint");
+  auto& queries = opts.add_int("queries", 20, "queries per grid point");
+  auto& rounds = opts.add_int("rounds", 5, "frameworks (seeds)");
+  auto& seed = opts.add_int("seed", 42, "experiment seed");
+  opts.parse(argc, argv);
+  std::string dir, name;
+  if (!split_data_arg(data_arg, dir, name)) {
+    std::fprintf(stderr, "bcc eval: --data DIR/NAME is required\n");
+    return 1;
+  }
+  const SynthDataset data = load_dataset(name, dir);
+  bcc::exp::Fig3Params params;
+  params.k = static_cast<std::size_t>(k);
+  params.queries_per_b = static_cast<std::size_t>(queries);
+  params.rounds = static_cast<std::size_t>(rounds);
+  params.b_min = data.bandwidth.percentile(20.0);
+  params.b_max = data.bandwidth.percentile(80.0);
+  const bcc::exp::Fig3Result r =
+      bcc::exp::run_fig3(data, params, static_cast<std::uint64_t>(seed));
+  TablePrinter table({"b_mbps", "WPR decentral", "WPR central", "WPR eucl",
+                      "RR decentral"});
+  for (const auto& row : r.rows) {
+    table.add_numeric_row({row.b, row.wpr_tree_decentral, row.wpr_tree_central,
+                           row.wpr_eucl_central, row.rr_tree_decentral});
+  }
+  table.print();
+  std::printf("median prediction error: tree %.3f | euclidean %.3f\n",
+              r.tree_median_error, r.eucl_median_error);
+  return 0;
+}
+
+int cmd_preprocess(int argc, const char* const* argv) {
+  Options opts("bcc preprocess",
+               "extract a complete submatrix from a raw incomplete trace");
+  auto& in = opts.add_string("in", "", "raw trace CSV (0/blank = unmeasured)");
+  auto& out = opts.add_string("out", ".", "output directory");
+  auto& name = opts.add_string("name", "trace", "output dataset name");
+  opts.parse(argc, argv);
+  if (in.empty()) {
+    std::fprintf(stderr, "bcc preprocess: --in FILE is required\n");
+    return 1;
+  }
+  const PartialBandwidthMatrix raw = load_partial_bandwidth_csv(in);
+  const auto subset = extract_complete_subset(raw);
+  if (subset.size() < 2) {
+    std::fprintf(stderr, "bcc preprocess: no complete submatrix of size >= 2 "
+                         "(raw has %zu/%zu pairs missing)\n",
+                 raw.total_missing(),
+                 raw.size() * (raw.size() - 1) / 2);
+    return 2;
+  }
+  const BandwidthMatrix complete = complete_submatrix(raw, subset);
+  save_bandwidth_csv(out + "/" + name + ".bw.csv", complete);
+  std::printf("kept %zu of %zu nodes (the paper kept 190/459 and 317/497); "
+              "wrote %s/%s.bw.csv\nkept ids:",
+              subset.size(), raw.size(), out.c_str(), name.c_str());
+  for (NodeId h : subset) std::printf(" %zu", h);
+  std::printf("\n");
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "bcc — bandwidth-constrained clustering in tree metric spaces\n"
+      "usage: bcc <gen|preprocess|embed|treeness|query|eval> [--help] "
+      "[options]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  // Shift argv so each subcommand parses its own flags.
+  const int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  try {
+    if (cmd == "gen") return cmd_gen(sub_argc, sub_argv);
+    if (cmd == "preprocess") return cmd_preprocess(sub_argc, sub_argv);
+    if (cmd == "embed") return cmd_embed(sub_argc, sub_argv);
+    if (cmd == "treeness") return cmd_treeness(sub_argc, sub_argv);
+    if (cmd == "query") return cmd_query(sub_argc, sub_argv);
+    if (cmd == "eval") return cmd_eval(sub_argc, sub_argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bcc %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  usage();
+  return 1;
+}
