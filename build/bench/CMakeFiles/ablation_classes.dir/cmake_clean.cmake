@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_classes.dir/ablation_classes.cpp.o"
+  "CMakeFiles/ablation_classes.dir/ablation_classes.cpp.o.d"
+  "ablation_classes"
+  "ablation_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

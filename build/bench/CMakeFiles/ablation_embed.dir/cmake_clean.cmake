@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_embed.dir/ablation_embed.cpp.o"
+  "CMakeFiles/ablation_embed.dir/ablation_embed.cpp.o.d"
+  "ablation_embed"
+  "ablation_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_ncut.cpp" "bench/CMakeFiles/ablation_ncut.dir/ablation_ncut.cpp.o" "gcc" "bench/CMakeFiles/ablation_ncut.dir/ablation_ncut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_vivaldi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_euclid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

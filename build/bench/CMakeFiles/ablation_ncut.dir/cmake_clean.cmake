@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ncut.dir/ablation_ncut.cpp.o"
+  "CMakeFiles/ablation_ncut.dir/ablation_ncut.cpp.o.d"
+  "ablation_ncut"
+  "ablation_ncut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ncut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sword.dir/ablation_sword.cpp.o"
+  "CMakeFiles/ablation_sword.dir/ablation_sword.cpp.o.d"
+  "ablation_sword"
+  "ablation_sword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

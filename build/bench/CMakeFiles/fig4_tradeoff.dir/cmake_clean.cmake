@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tradeoff.dir/fig4_tradeoff.cpp.o"
+  "CMakeFiles/fig4_tradeoff.dir/fig4_tradeoff.cpp.o.d"
+  "fig4_tradeoff"
+  "fig4_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

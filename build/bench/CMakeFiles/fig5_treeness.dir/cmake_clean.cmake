@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_treeness.dir/fig5_treeness.cpp.o"
+  "CMakeFiles/fig5_treeness.dir/fig5_treeness.cpp.o.d"
+  "fig5_treeness"
+  "fig5_treeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_treeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_distribution.dir/cdn_distribution.cpp.o"
+  "CMakeFiles/cdn_distribution.dir/cdn_distribution.cpp.o.d"
+  "cdn_distribution"
+  "cdn_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_clusters.dir/latency_clusters.cpp.o"
+  "CMakeFiles/latency_clusters.dir/latency_clusters.cpp.o.d"
+  "latency_clusters"
+  "latency_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

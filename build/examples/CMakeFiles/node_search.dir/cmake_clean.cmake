@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_search.dir/node_search.cpp.o"
+  "CMakeFiles/node_search.dir/node_search.cpp.o.d"
+  "node_search"
+  "node_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_schedule.dir/workflow_schedule.cpp.o"
+  "CMakeFiles/workflow_schedule.dir/workflow_schedule.cpp.o.d"
+  "workflow_schedule"
+  "workflow_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_common.dir/common/csv.cpp.o"
+  "CMakeFiles/bcc_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/bcc_common.dir/common/options.cpp.o"
+  "CMakeFiles/bcc_common.dir/common/options.cpp.o.d"
+  "CMakeFiles/bcc_common.dir/common/rng.cpp.o"
+  "CMakeFiles/bcc_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/bcc_common.dir/common/table.cpp.o"
+  "CMakeFiles/bcc_common.dir/common/table.cpp.o.d"
+  "libbcc_common.a"
+  "libbcc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

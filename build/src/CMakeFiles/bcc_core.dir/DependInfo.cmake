@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cpp" "src/CMakeFiles/bcc_core.dir/core/aggregation.cpp.o" "gcc" "src/CMakeFiles/bcc_core.dir/core/aggregation.cpp.o.d"
+  "/root/repo/src/core/async_overlay.cpp" "src/CMakeFiles/bcc_core.dir/core/async_overlay.cpp.o" "gcc" "src/CMakeFiles/bcc_core.dir/core/async_overlay.cpp.o.d"
+  "/root/repo/src/core/exhaustive_baseline.cpp" "src/CMakeFiles/bcc_core.dir/core/exhaustive_baseline.cpp.o" "gcc" "src/CMakeFiles/bcc_core.dir/core/exhaustive_baseline.cpp.o.d"
+  "/root/repo/src/core/find_cluster.cpp" "src/CMakeFiles/bcc_core.dir/core/find_cluster.cpp.o" "gcc" "src/CMakeFiles/bcc_core.dir/core/find_cluster.cpp.o.d"
+  "/root/repo/src/core/node_search.cpp" "src/CMakeFiles/bcc_core.dir/core/node_search.cpp.o" "gcc" "src/CMakeFiles/bcc_core.dir/core/node_search.cpp.o.d"
+  "/root/repo/src/core/overlay_node.cpp" "src/CMakeFiles/bcc_core.dir/core/overlay_node.cpp.o" "gcc" "src/CMakeFiles/bcc_core.dir/core/overlay_node.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/bcc_core.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/bcc_core.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "src/CMakeFiles/bcc_core.dir/core/query.cpp.o" "gcc" "src/CMakeFiles/bcc_core.dir/core/query.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/bcc_core.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/bcc_core.dir/core/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_core.dir/core/aggregation.cpp.o"
+  "CMakeFiles/bcc_core.dir/core/aggregation.cpp.o.d"
+  "CMakeFiles/bcc_core.dir/core/async_overlay.cpp.o"
+  "CMakeFiles/bcc_core.dir/core/async_overlay.cpp.o.d"
+  "CMakeFiles/bcc_core.dir/core/exhaustive_baseline.cpp.o"
+  "CMakeFiles/bcc_core.dir/core/exhaustive_baseline.cpp.o.d"
+  "CMakeFiles/bcc_core.dir/core/find_cluster.cpp.o"
+  "CMakeFiles/bcc_core.dir/core/find_cluster.cpp.o.d"
+  "CMakeFiles/bcc_core.dir/core/node_search.cpp.o"
+  "CMakeFiles/bcc_core.dir/core/node_search.cpp.o.d"
+  "CMakeFiles/bcc_core.dir/core/overlay_node.cpp.o"
+  "CMakeFiles/bcc_core.dir/core/overlay_node.cpp.o.d"
+  "CMakeFiles/bcc_core.dir/core/partition.cpp.o"
+  "CMakeFiles/bcc_core.dir/core/partition.cpp.o.d"
+  "CMakeFiles/bcc_core.dir/core/query.cpp.o"
+  "CMakeFiles/bcc_core.dir/core/query.cpp.o.d"
+  "CMakeFiles/bcc_core.dir/core/system.cpp.o"
+  "CMakeFiles/bcc_core.dir/core/system.cpp.o.d"
+  "libbcc_core.a"
+  "libbcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/completion.cpp" "src/CMakeFiles/bcc_data.dir/data/completion.cpp.o" "gcc" "src/CMakeFiles/bcc_data.dir/data/completion.cpp.o.d"
+  "/root/repo/src/data/dataset_io.cpp" "src/CMakeFiles/bcc_data.dir/data/dataset_io.cpp.o" "gcc" "src/CMakeFiles/bcc_data.dir/data/dataset_io.cpp.o.d"
+  "/root/repo/src/data/dynamics.cpp" "src/CMakeFiles/bcc_data.dir/data/dynamics.cpp.o" "gcc" "src/CMakeFiles/bcc_data.dir/data/dynamics.cpp.o.d"
+  "/root/repo/src/data/latency_synth.cpp" "src/CMakeFiles/bcc_data.dir/data/latency_synth.cpp.o" "gcc" "src/CMakeFiles/bcc_data.dir/data/latency_synth.cpp.o.d"
+  "/root/repo/src/data/planetlab_synth.cpp" "src/CMakeFiles/bcc_data.dir/data/planetlab_synth.cpp.o" "gcc" "src/CMakeFiles/bcc_data.dir/data/planetlab_synth.cpp.o.d"
+  "/root/repo/src/data/subsets.cpp" "src/CMakeFiles/bcc_data.dir/data/subsets.cpp.o" "gcc" "src/CMakeFiles/bcc_data.dir/data/subsets.cpp.o.d"
+  "/root/repo/src/data/topology_gen.cpp" "src/CMakeFiles/bcc_data.dir/data/topology_gen.cpp.o" "gcc" "src/CMakeFiles/bcc_data.dir/data/topology_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

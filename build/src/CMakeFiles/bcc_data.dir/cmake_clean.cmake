@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_data.dir/data/completion.cpp.o"
+  "CMakeFiles/bcc_data.dir/data/completion.cpp.o.d"
+  "CMakeFiles/bcc_data.dir/data/dataset_io.cpp.o"
+  "CMakeFiles/bcc_data.dir/data/dataset_io.cpp.o.d"
+  "CMakeFiles/bcc_data.dir/data/dynamics.cpp.o"
+  "CMakeFiles/bcc_data.dir/data/dynamics.cpp.o.d"
+  "CMakeFiles/bcc_data.dir/data/latency_synth.cpp.o"
+  "CMakeFiles/bcc_data.dir/data/latency_synth.cpp.o.d"
+  "CMakeFiles/bcc_data.dir/data/planetlab_synth.cpp.o"
+  "CMakeFiles/bcc_data.dir/data/planetlab_synth.cpp.o.d"
+  "CMakeFiles/bcc_data.dir/data/subsets.cpp.o"
+  "CMakeFiles/bcc_data.dir/data/subsets.cpp.o.d"
+  "CMakeFiles/bcc_data.dir/data/topology_gen.cpp.o"
+  "CMakeFiles/bcc_data.dir/data/topology_gen.cpp.o.d"
+  "libbcc_data.a"
+  "libbcc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/euclid/hopcroft_karp.cpp" "src/CMakeFiles/bcc_euclid.dir/euclid/hopcroft_karp.cpp.o" "gcc" "src/CMakeFiles/bcc_euclid.dir/euclid/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/euclid/kdiameter.cpp" "src/CMakeFiles/bcc_euclid.dir/euclid/kdiameter.cpp.o" "gcc" "src/CMakeFiles/bcc_euclid.dir/euclid/kdiameter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcc_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_euclid.dir/euclid/hopcroft_karp.cpp.o"
+  "CMakeFiles/bcc_euclid.dir/euclid/hopcroft_karp.cpp.o.d"
+  "CMakeFiles/bcc_euclid.dir/euclid/kdiameter.cpp.o"
+  "CMakeFiles/bcc_euclid.dir/euclid/kdiameter.cpp.o.d"
+  "libbcc_euclid.a"
+  "libbcc_euclid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_euclid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bcc_euclid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_exp.dir/exp/common.cpp.o"
+  "CMakeFiles/bcc_exp.dir/exp/common.cpp.o.d"
+  "CMakeFiles/bcc_exp.dir/exp/fig3.cpp.o"
+  "CMakeFiles/bcc_exp.dir/exp/fig3.cpp.o.d"
+  "CMakeFiles/bcc_exp.dir/exp/fig4.cpp.o"
+  "CMakeFiles/bcc_exp.dir/exp/fig4.cpp.o.d"
+  "CMakeFiles/bcc_exp.dir/exp/fig5.cpp.o"
+  "CMakeFiles/bcc_exp.dir/exp/fig5.cpp.o.d"
+  "CMakeFiles/bcc_exp.dir/exp/fig6.cpp.o"
+  "CMakeFiles/bcc_exp.dir/exp/fig6.cpp.o.d"
+  "libbcc_exp.a"
+  "libbcc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metric/bandwidth.cpp" "src/CMakeFiles/bcc_metric.dir/metric/bandwidth.cpp.o" "gcc" "src/CMakeFiles/bcc_metric.dir/metric/bandwidth.cpp.o.d"
+  "/root/repo/src/metric/distance_matrix.cpp" "src/CMakeFiles/bcc_metric.dir/metric/distance_matrix.cpp.o" "gcc" "src/CMakeFiles/bcc_metric.dir/metric/distance_matrix.cpp.o.d"
+  "/root/repo/src/metric/four_point.cpp" "src/CMakeFiles/bcc_metric.dir/metric/four_point.cpp.o" "gcc" "src/CMakeFiles/bcc_metric.dir/metric/four_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

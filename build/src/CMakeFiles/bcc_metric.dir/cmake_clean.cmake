@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_metric.dir/metric/bandwidth.cpp.o"
+  "CMakeFiles/bcc_metric.dir/metric/bandwidth.cpp.o.d"
+  "CMakeFiles/bcc_metric.dir/metric/distance_matrix.cpp.o"
+  "CMakeFiles/bcc_metric.dir/metric/distance_matrix.cpp.o.d"
+  "CMakeFiles/bcc_metric.dir/metric/four_point.cpp.o"
+  "CMakeFiles/bcc_metric.dir/metric/four_point.cpp.o.d"
+  "libbcc_metric.a"
+  "libbcc_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/bcc_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/bcc_sim.dir/sim/event_engine.cpp.o"
+  "CMakeFiles/bcc_sim.dir/sim/event_engine.cpp.o.d"
+  "CMakeFiles/bcc_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/bcc_sim.dir/sim/metrics.cpp.o.d"
+  "libbcc_sim.a"
+  "libbcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_stats.dir/stats/accuracy.cpp.o"
+  "CMakeFiles/bcc_stats.dir/stats/accuracy.cpp.o.d"
+  "CMakeFiles/bcc_stats.dir/stats/bootstrap.cpp.o"
+  "CMakeFiles/bcc_stats.dir/stats/bootstrap.cpp.o.d"
+  "CMakeFiles/bcc_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/bcc_stats.dir/stats/summary.cpp.o.d"
+  "libbcc_stats.a"
+  "libbcc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/anchor_tree.cpp" "src/CMakeFiles/bcc_tree.dir/tree/anchor_tree.cpp.o" "gcc" "src/CMakeFiles/bcc_tree.dir/tree/anchor_tree.cpp.o.d"
+  "/root/repo/src/tree/distance_label.cpp" "src/CMakeFiles/bcc_tree.dir/tree/distance_label.cpp.o" "gcc" "src/CMakeFiles/bcc_tree.dir/tree/distance_label.cpp.o.d"
+  "/root/repo/src/tree/embedder.cpp" "src/CMakeFiles/bcc_tree.dir/tree/embedder.cpp.o" "gcc" "src/CMakeFiles/bcc_tree.dir/tree/embedder.cpp.o.d"
+  "/root/repo/src/tree/maintenance.cpp" "src/CMakeFiles/bcc_tree.dir/tree/maintenance.cpp.o" "gcc" "src/CMakeFiles/bcc_tree.dir/tree/maintenance.cpp.o.d"
+  "/root/repo/src/tree/prediction_tree.cpp" "src/CMakeFiles/bcc_tree.dir/tree/prediction_tree.cpp.o" "gcc" "src/CMakeFiles/bcc_tree.dir/tree/prediction_tree.cpp.o.d"
+  "/root/repo/src/tree/serialization.cpp" "src/CMakeFiles/bcc_tree.dir/tree/serialization.cpp.o" "gcc" "src/CMakeFiles/bcc_tree.dir/tree/serialization.cpp.o.d"
+  "/root/repo/src/tree/weighted_tree.cpp" "src/CMakeFiles/bcc_tree.dir/tree/weighted_tree.cpp.o" "gcc" "src/CMakeFiles/bcc_tree.dir/tree/weighted_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcc_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

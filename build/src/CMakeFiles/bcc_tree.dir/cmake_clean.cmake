@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_tree.dir/tree/anchor_tree.cpp.o"
+  "CMakeFiles/bcc_tree.dir/tree/anchor_tree.cpp.o.d"
+  "CMakeFiles/bcc_tree.dir/tree/distance_label.cpp.o"
+  "CMakeFiles/bcc_tree.dir/tree/distance_label.cpp.o.d"
+  "CMakeFiles/bcc_tree.dir/tree/embedder.cpp.o"
+  "CMakeFiles/bcc_tree.dir/tree/embedder.cpp.o.d"
+  "CMakeFiles/bcc_tree.dir/tree/maintenance.cpp.o"
+  "CMakeFiles/bcc_tree.dir/tree/maintenance.cpp.o.d"
+  "CMakeFiles/bcc_tree.dir/tree/prediction_tree.cpp.o"
+  "CMakeFiles/bcc_tree.dir/tree/prediction_tree.cpp.o.d"
+  "CMakeFiles/bcc_tree.dir/tree/serialization.cpp.o"
+  "CMakeFiles/bcc_tree.dir/tree/serialization.cpp.o.d"
+  "CMakeFiles/bcc_tree.dir/tree/weighted_tree.cpp.o"
+  "CMakeFiles/bcc_tree.dir/tree/weighted_tree.cpp.o.d"
+  "libbcc_tree.a"
+  "libbcc_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_vivaldi.dir/vivaldi/vivaldi.cpp.o"
+  "CMakeFiles/bcc_vivaldi.dir/vivaldi/vivaldi.cpp.o.d"
+  "libbcc_vivaldi.a"
+  "libbcc_vivaldi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_vivaldi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

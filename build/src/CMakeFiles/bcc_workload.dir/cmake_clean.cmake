@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_workload.dir/workload/scheduler.cpp.o"
+  "CMakeFiles/bcc_workload.dir/workload/scheduler.cpp.o.d"
+  "CMakeFiles/bcc_workload.dir/workload/workflow.cpp.o"
+  "CMakeFiles/bcc_workload.dir/workload/workflow.cpp.o.d"
+  "libbcc_workload.a"
+  "libbcc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

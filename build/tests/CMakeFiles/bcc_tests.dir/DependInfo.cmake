@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accuracy_test.cpp" "tests/CMakeFiles/bcc_tests.dir/accuracy_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/accuracy_test.cpp.o.d"
+  "/root/repo/tests/aggregation_test.cpp" "tests/CMakeFiles/bcc_tests.dir/aggregation_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/aggregation_test.cpp.o.d"
+  "/root/repo/tests/anchor_tree_test.cpp" "tests/CMakeFiles/bcc_tests.dir/anchor_tree_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/anchor_tree_test.cpp.o.d"
+  "/root/repo/tests/async_overlay_test.cpp" "tests/CMakeFiles/bcc_tests.dir/async_overlay_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/async_overlay_test.cpp.o.d"
+  "/root/repo/tests/bandwidth_classes_test.cpp" "tests/CMakeFiles/bcc_tests.dir/bandwidth_classes_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/bandwidth_classes_test.cpp.o.d"
+  "/root/repo/tests/bandwidth_test.cpp" "tests/CMakeFiles/bcc_tests.dir/bandwidth_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/bandwidth_test.cpp.o.d"
+  "/root/repo/tests/bootstrap_test.cpp" "tests/CMakeFiles/bcc_tests.dir/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/completion_test.cpp" "tests/CMakeFiles/bcc_tests.dir/completion_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/completion_test.cpp.o.d"
+  "/root/repo/tests/csv_test.cpp" "tests/CMakeFiles/bcc_tests.dir/csv_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/csv_test.cpp.o.d"
+  "/root/repo/tests/dataset_io_test.cpp" "tests/CMakeFiles/bcc_tests.dir/dataset_io_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/dataset_io_test.cpp.o.d"
+  "/root/repo/tests/distance_label_test.cpp" "tests/CMakeFiles/bcc_tests.dir/distance_label_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/distance_label_test.cpp.o.d"
+  "/root/repo/tests/distance_matrix_test.cpp" "tests/CMakeFiles/bcc_tests.dir/distance_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/distance_matrix_test.cpp.o.d"
+  "/root/repo/tests/dynamics_test.cpp" "tests/CMakeFiles/bcc_tests.dir/dynamics_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/dynamics_test.cpp.o.d"
+  "/root/repo/tests/embedder_test.cpp" "tests/CMakeFiles/bcc_tests.dir/embedder_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/embedder_test.cpp.o.d"
+  "/root/repo/tests/end_to_end_sweep_test.cpp" "tests/CMakeFiles/bcc_tests.dir/end_to_end_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/end_to_end_sweep_test.cpp.o.d"
+  "/root/repo/tests/event_engine_test.cpp" "tests/CMakeFiles/bcc_tests.dir/event_engine_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/event_engine_test.cpp.o.d"
+  "/root/repo/tests/exhaustive_baseline_test.cpp" "tests/CMakeFiles/bcc_tests.dir/exhaustive_baseline_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/exhaustive_baseline_test.cpp.o.d"
+  "/root/repo/tests/exp_common_test.cpp" "tests/CMakeFiles/bcc_tests.dir/exp_common_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/exp_common_test.cpp.o.d"
+  "/root/repo/tests/find_cluster_test.cpp" "tests/CMakeFiles/bcc_tests.dir/find_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/find_cluster_test.cpp.o.d"
+  "/root/repo/tests/four_point_test.cpp" "tests/CMakeFiles/bcc_tests.dir/four_point_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/four_point_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/bcc_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/hopcroft_karp_test.cpp" "tests/CMakeFiles/bcc_tests.dir/hopcroft_karp_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/hopcroft_karp_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/bcc_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/kdiameter_test.cpp" "tests/CMakeFiles/bcc_tests.dir/kdiameter_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/kdiameter_test.cpp.o.d"
+  "/root/repo/tests/latency_synth_test.cpp" "tests/CMakeFiles/bcc_tests.dir/latency_synth_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/latency_synth_test.cpp.o.d"
+  "/root/repo/tests/maintenance_test.cpp" "tests/CMakeFiles/bcc_tests.dir/maintenance_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/maintenance_test.cpp.o.d"
+  "/root/repo/tests/node_search_test.cpp" "tests/CMakeFiles/bcc_tests.dir/node_search_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/node_search_test.cpp.o.d"
+  "/root/repo/tests/options_test.cpp" "tests/CMakeFiles/bcc_tests.dir/options_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/options_test.cpp.o.d"
+  "/root/repo/tests/overlay_node_test.cpp" "tests/CMakeFiles/bcc_tests.dir/overlay_node_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/overlay_node_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/bcc_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/planetlab_synth_test.cpp" "tests/CMakeFiles/bcc_tests.dir/planetlab_synth_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/planetlab_synth_test.cpp.o.d"
+  "/root/repo/tests/prediction_tree_test.cpp" "tests/CMakeFiles/bcc_tests.dir/prediction_tree_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/prediction_tree_test.cpp.o.d"
+  "/root/repo/tests/query_test.cpp" "tests/CMakeFiles/bcc_tests.dir/query_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/query_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/bcc_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/scheduler_test.cpp" "tests/CMakeFiles/bcc_tests.dir/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/scheduler_test.cpp.o.d"
+  "/root/repo/tests/serialization_test.cpp" "tests/CMakeFiles/bcc_tests.dir/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/serialization_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/bcc_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/subsets_test.cpp" "tests/CMakeFiles/bcc_tests.dir/subsets_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/subsets_test.cpp.o.d"
+  "/root/repo/tests/summary_test.cpp" "tests/CMakeFiles/bcc_tests.dir/summary_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/summary_test.cpp.o.d"
+  "/root/repo/tests/system_test.cpp" "tests/CMakeFiles/bcc_tests.dir/system_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/system_test.cpp.o.d"
+  "/root/repo/tests/table_test.cpp" "tests/CMakeFiles/bcc_tests.dir/table_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/table_test.cpp.o.d"
+  "/root/repo/tests/topology_gen_test.cpp" "tests/CMakeFiles/bcc_tests.dir/topology_gen_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/topology_gen_test.cpp.o.d"
+  "/root/repo/tests/umbrella_test.cpp" "tests/CMakeFiles/bcc_tests.dir/umbrella_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/umbrella_test.cpp.o.d"
+  "/root/repo/tests/vivaldi_test.cpp" "tests/CMakeFiles/bcc_tests.dir/vivaldi_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/vivaldi_test.cpp.o.d"
+  "/root/repo/tests/weighted_tree_test.cpp" "tests/CMakeFiles/bcc_tests.dir/weighted_tree_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/weighted_tree_test.cpp.o.d"
+  "/root/repo/tests/workflow_test.cpp" "tests/CMakeFiles/bcc_tests.dir/workflow_test.cpp.o" "gcc" "tests/CMakeFiles/bcc_tests.dir/workflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_vivaldi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_euclid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_cli.dir/bcc_cli.cpp.o"
+  "CMakeFiles/bcc_cli.dir/bcc_cli.cpp.o.d"
+  "bcc"
+  "bcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
