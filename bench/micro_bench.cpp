@@ -4,12 +4,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 
 #include "core/exhaustive_baseline.h"
 #include "core/find_cluster.h"
 #include "core/partition.h"
 #include "data/topology_gen.h"
 #include "core/system.h"
+#include "serve/query_service.h"
 #include "euclid/kdiameter.h"
 #include "exp/common.h"
 #include "sim/event_engine.h"
@@ -103,6 +106,88 @@ void BM_QueryProcess(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueryProcess);
+
+// ---- Serving-layer throughput: single-thread loop vs QueryService batches.
+//
+// One shared 500-node converged system (built once — it dominates setup
+// cost) and one shared mixed request stream. BM_BatchQuerySingleThread is
+// the baseline the ISSUE's >= 3x-at-8-threads claim is measured against;
+// BM_BatchQueryService/threads:N fans the identical batch over the pool
+// with the memo cache off, so the comparison is pure routing work.
+
+struct ServeFixture {
+  std::unique_ptr<DecentralizedClusterSystem> sys;
+  std::vector<QueryRequest> requests;
+};
+
+const ServeFixture& serve_fixture() {
+  static const ServeFixture fixture = [] {
+    ServeFixture f;
+    const std::size_t n = 500;
+    const DistanceMatrix d = tree_metric_of(n, 30);
+    Rng rng(31);
+    Framework fw = build_framework(d, rng);
+    const BandwidthClasses classes =
+        exp::classes_for_grid(exp::bandwidth_grid(15.0, 75.0, 5));
+    f.sys = std::make_unique<DecentralizedClusterSystem>(
+        fw.anchors, fw.predicted_distances(), classes, SystemOptions{});
+    f.sys->run_to_convergence();
+    Rng query_rng(32);
+    f.requests.reserve(4096);
+    for (std::size_t i = 0; i < 4096; ++i) {
+      f.requests.push_back(QueryRequest::at_class(
+          static_cast<NodeId>(query_rng.below(n)), 2 + query_rng.below(12),
+          query_rng.below(classes.size())));
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+void BM_BatchQuerySingleThread(benchmark::State& state) {
+  const ServeFixture& f = serve_fixture();
+  for (auto _ : state) {
+    for (const QueryRequest& request : f.requests) {
+      benchmark::DoNotOptimize(f.sys->query(request));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.requests.size()));
+}
+BENCHMARK(BM_BatchQuerySingleThread)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_BatchQueryService(benchmark::State& state) {
+  const ServeFixture& f = serve_fixture();
+  QueryServiceOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  options.cache_enabled = false;
+  QueryService service(*f.sys, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.submit_batch(f.requests));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.requests.size()));
+}
+BENCHMARK(BM_BatchQueryService)->Unit(benchmark::kMillisecond)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_BatchQueryServiceCached(benchmark::State& state) {
+  // With the memo cache on, the second pass over the same request stream is
+  // pure sharded-hash-map lookups — the steady state of a skewed workload.
+  const ServeFixture& f = serve_fixture();
+  QueryServiceOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  QueryService service(*f.sys, options);
+  service.submit_batch(f.requests);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.submit_batch(f.requests));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.requests.size()));
+}
+BENCHMARK(BM_BatchQueryServiceCached)->Unit(benchmark::kMillisecond)
+    ->Arg(8)->UseRealTime();
 
 void BM_VivaldiRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -4,9 +4,11 @@
 // 2. Build the decentralized bandwidth-prediction framework (§II.D) — hosts
 //    join one by one, measuring only O(log n) peers each.
 // 3. Stand up the decentralized clustering system (Algorithms 2-3 gossip).
-// 4. Submit a (k, b) query at an arbitrary node (Algorithm 4) and inspect
-//    the returned bandwidth-constrained cluster.
+// 4. Serve a batch of (k, b) queries through the QueryService (Algorithm 4
+//    fanned over a thread pool, all against one immutable snapshot) and
+//    inspect the structured results.
 #include <cstdio>
+#include <vector>
 
 #include "bcc.h"
 
@@ -39,22 +41,52 @@ int main() {
   std::printf("gossip converged in %zu cycles (%zu messages)\n", cycles,
               sys.metrics().total_messages());
 
-  // 4. "Find me 8 hosts with >= 40 Mbps between every pair", asked at host 17.
-  const QueryOutcome result = sys.query_bandwidth(/*start=*/17, /*k=*/8,
-                                                  /*b=*/40.0);
-  if (!result.found()) {
-    std::printf("no such cluster exists\n");
-    return 0;
-  }
-  std::printf("cluster found after %zu routing hops:", result.hops);
-  for (NodeId h : result.cluster) std::printf(" %zu", h);
-  std::printf("\n");
+  // 4. Serve a batch of queries concurrently: "k hosts with >= b Mbps
+  //    between every pair", entering the overlay at different hosts. The
+  //    service snapshots the converged state once; every query in the batch
+  //    is answered against that same snapshot.
+  QueryServiceOptions serve_options;
+  serve_options.threads = 4;
+  QueryService service(sys, serve_options);
+  const std::vector<QueryRequest> batch = {
+      QueryRequest::bandwidth(/*start=*/17, /*k=*/8, /*b_mbps=*/40.0),
+      QueryRequest::bandwidth(/*start=*/3, /*k=*/12, /*b_mbps=*/25.0),
+      QueryRequest::bandwidth(/*start=*/64, /*k=*/5, /*b_mbps=*/90.0),
+      QueryRequest::bandwidth(/*start=*/0, /*k=*/6, /*b_mbps=*/10000.0),
+  };
+  const std::vector<QueryResult> results = service.submit_batch(batch);
 
-  // Check the answer against the real (noisy) measurements.
-  WprAccumulator wpr;
-  wpr.add_cluster(data.bandwidth, result.cluster, 40.0);
-  std::printf("real-bandwidth check: %zu/%zu pairs below the constraint "
-              "(WPR %.3f)\n",
-              wpr.wrong_pairs(), wpr.total_pairs(), wpr.rate());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const QueryResult& r = results[i];
+    std::printf("query %zu (start=%zu k=%zu b=%.0f): %s", i, batch[i].start,
+                batch[i].k, *batch[i].b_mbps, to_string(r.status));
+    if (!r.found()) {
+      std::printf("\n");
+      continue;
+    }
+    std::printf(", %zu hops, %zu us:", r.hops,
+                static_cast<std::size_t>(r.micros));
+    for (NodeId h : r.cluster) std::printf(" %zu", h);
+    std::printf("\n");
+
+    // Check the answer against the real (noisy) measurements.
+    WprAccumulator wpr;
+    wpr.add_cluster(data.bandwidth, r.cluster, *batch[i].b_mbps);
+    std::printf("  real-bandwidth check: %zu/%zu pairs below the constraint "
+                "(WPR %.3f)\n",
+                wpr.wrong_pairs(), wpr.total_pairs(), wpr.rate());
+  }
+
+  // The service keeps per-status counters, a hop histogram, and latency
+  // percentiles for free:
+  const QueryStats::Snapshot stats = service.stats();
+  std::printf("served %zu queries: %zu found, %zu not_found, "
+              "%zu unsatisfiable, p99 latency <= %zu us\n",
+              static_cast<std::size_t>(stats.total()),
+              static_cast<std::size_t>(stats.count(QueryStatus::kFound)),
+              static_cast<std::size_t>(stats.count(QueryStatus::kNotFound)),
+              static_cast<std::size_t>(
+                  stats.count(QueryStatus::kBandwidthUnsatisfiable)),
+              static_cast<std::size_t>(stats.latency_percentile_micros(99.0)));
   return 0;
 }

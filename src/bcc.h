@@ -10,7 +10,16 @@
 //       fw.anchors, fw.predicted_distances(),
 //       bcc::BandwidthClasses::uniform_grid(5, 300, 5));
 //   sys.run_to_convergence();                                // Algs 2–3
-//   auto r = sys.query_bandwidth(/*start=*/0, /*k=*/10, /*b=*/50);  // Alg 4
+//
+//   // One-off query (Alg 4) — status tells you *why* when nothing comes back:
+//   auto r = sys.query(bcc::QueryRequest::bandwidth(/*start=*/0, 10, 50.0));
+//   if (r.status == bcc::QueryStatus::kFound) use(r.cluster);
+//
+//   // Heavy traffic: batched, thread-pooled serving over an immutable
+//   // snapshot (refresh() after restructuring; serving never blocks it):
+//   bcc::QueryService service(sys, {.threads = 8});
+//   auto results = service.submit_batch(requests);           // one snapshot
+//   auto stats = service.stats();                            // statuses/hops/latency
 #pragma once
 
 #include "common/csv.h"
@@ -36,6 +45,10 @@
 #include "metric/bandwidth.h"
 #include "metric/distance_matrix.h"
 #include "metric/four_point.h"
+#include "serve/query_service.h"
+#include "serve/query_stats.h"
+#include "serve/snapshot.h"
+#include "serve/thread_pool.h"
 #include "stats/accuracy.h"
 #include "stats/bootstrap.h"
 #include "stats/summary.h"

@@ -40,8 +40,17 @@ class BandwidthClasses {
   double distance_at(std::size_t idx) const;
 
   /// Index of the smallest class with bandwidth >= b — the class a query
-  /// with constraint b is served at. nullopt if b exceeds every class.
-  std::optional<std::size_t> class_for_bandwidth(double b) const;
+  /// with constraint b is served at ("snapped up"; conservative, the served
+  /// constraint is at least as strict as the asked one). nullopt if b exceeds
+  /// every class, i.e. the constraint is unsatisfiable at any class
+  /// (QueryStatus::kBandwidthUnsatisfiable) — callers can distinguish that
+  /// up front instead of decoding an empty result.
+  std::optional<std::size_t> snap_up(double b) const;
+
+  /// Older name for snap_up, kept for existing call sites.
+  std::optional<std::size_t> class_for_bandwidth(double b) const {
+    return snap_up(b);
+  }
 
  private:
   std::vector<double> bandwidths_;  // ascending
@@ -76,8 +85,7 @@ inline double BandwidthClasses::distance_at(std::size_t idx) const {
   return bandwidth_to_distance(bandwidth_at(idx), c_);
 }
 
-inline std::optional<std::size_t> BandwidthClasses::class_for_bandwidth(
-    double b) const {
+inline std::optional<std::size_t> BandwidthClasses::snap_up(double b) const {
   BCC_REQUIRE(b > 0.0);
   auto it = std::lower_bound(bandwidths_.begin(), bandwidths_.end(), b);
   if (it == bandwidths_.end()) return std::nullopt;

@@ -1,43 +1,87 @@
 #include "core/query.h"
 
+#include <chrono>
+
 #include "common/assert.h"
 
 namespace bcc {
 
-QueryProcessor::QueryProcessor(const OverlayNodeMap* nodes,
-                               const DistanceMatrix* predicted,
-                               const BandwidthClasses* classes,
+std::optional<std::size_t> resolve_class(const QueryRequest& request,
+                                         const BandwidthClasses& classes) {
+  if (request.class_idx) {
+    if (*request.class_idx >= classes.size()) return std::nullopt;
+    return request.class_idx;
+  }
+  if (request.b_mbps) {
+    if (*request.b_mbps <= 0.0) return std::nullopt;
+    return classes.snap_up(*request.b_mbps);
+  }
+  return std::nullopt;  // a request with no constraint satisfies nothing
+}
+
+QueryProcessor::QueryProcessor(const OverlayNodeMap& nodes,
+                               const DistanceMatrix& predicted,
+                               const BandwidthClasses& classes,
                                FindClusterOptions find_options)
     : nodes_(nodes), predicted_(predicted), classes_(classes),
-      find_options_(find_options) {
-  BCC_REQUIRE(nodes_ != nullptr && predicted_ != nullptr && classes_ != nullptr);
+      find_options_(find_options) {}
+
+QueryResult QueryProcessor::run(const QueryRequest& request) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  QueryResult result;
+  if (request.k < 2) {
+    result.status = QueryStatus::kInvalidK;
+  } else if (const auto cls = resolve_class(request, classes_); !cls) {
+    result.status = QueryStatus::kBandwidthUnsatisfiable;
+  } else if (!nodes_.count(request.start)) {
+    result.status = QueryStatus::kUnknownStart;
+  } else {
+    result = route_query(request.start, request.k, *cls);
+    result.class_idx = *cls;
+  }
+  result.micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return result;
 }
 
 QueryOutcome QueryProcessor::process(NodeId start, std::size_t k,
                                      std::size_t class_idx) const {
   BCC_REQUIRE(k >= 2);
-  BCC_REQUIRE(class_idx < classes_->size());
-  BCC_REQUIRE(nodes_->count(start));
-  const double l = classes_->distance_at(class_idx);
-
+  BCC_REQUIRE(class_idx < classes_.size());
+  BCC_REQUIRE(nodes_.count(start));
+  QueryResult result = route_query(start, k, class_idx);
   QueryOutcome outcome;
+  outcome.cluster = std::move(result.cluster);
+  outcome.hops = result.hops;
+  outcome.route = std::move(result.route);
+  return outcome;
+}
+
+QueryResult QueryProcessor::route_query(NodeId start, std::size_t k,
+                                        std::size_t class_idx) const {
+  const double l = classes_.distance_at(class_idx);
+
+  QueryResult result;
   NodeId cur = start;
   NodeId prev = static_cast<NodeId>(-1);
   // On a tree overlay with never-backtracking forwarding, a query can visit
   // each node at most once; the guard only trips on corrupted state.
-  const std::size_t max_visits = nodes_->size() + 1;
+  const std::size_t max_visits = nodes_.size() + 1;
 
-  while (outcome.route.size() < max_visits) {
-    outcome.route.push_back(cur);
-    const OverlayNode& x = nodes_->at(cur);
+  while (result.route.size() < max_visits) {
+    result.route.push_back(cur);
+    const OverlayNode& x = nodes_.at(cur);
 
     // Try locally if this node's own CRT entry admits a k-cluster.
     const auto self_it = x.aggr_crt.find(cur);
     if (self_it != x.aggr_crt.end() && k <= self_it->second[class_idx]) {
       const auto space = x.clustering_space();
-      if (auto found = find_cluster(*predicted_, space, k, l, find_options_)) {
-        outcome.cluster = std::move(*found);
-        return outcome;
+      if (auto found = find_cluster(predicted_, space, k, l, find_options_)) {
+        result.cluster = std::move(*found);
+        result.status = QueryStatus::kFound;
+        return result;
       }
       // CRT said yes but the space disagreed — only possible transiently or
       // on non-tree metrics; fall through to forwarding.
@@ -54,12 +98,12 @@ QueryOutcome QueryProcessor::process(NodeId start, std::size_t k,
         break;
       }
     }
-    if (next == static_cast<NodeId>(-1)) return outcome;  // not found
+    if (next == static_cast<NodeId>(-1)) return result;  // kNotFound
     prev = cur;
     cur = next;
-    ++outcome.hops;
+    ++result.hops;
   }
-  return outcome;  // guard tripped: report as not found with full route
+  return result;  // guard tripped: report as not found with full route
 }
 
 }  // namespace bcc

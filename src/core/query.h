@@ -1,4 +1,5 @@
-// Algorithm 4 (paper §III.B.4): decentralized query processing.
+// Algorithm 4 (paper §III.B.4): decentralized query processing, behind a
+// structured request/response API.
 //
 // A query (k, l) may be submitted to any node. The node first tries to build
 // the cluster from its own clustering space; if its CRT says a bigger
@@ -7,7 +8,15 @@
 // The paper's listing compares with `<`; a cluster of size exactly
 // aggrCRT[·][l] is obviously acceptable too, so this implementation uses
 // `<=` (the strict form would only cost extra hops, never correctness).
+//
+// The request/response pair below replaces the old empty-cluster sentinel:
+// "no cluster exists", "k was nonsense", "b is stricter than every class",
+// and "start is not a member" are distinct QueryStatus values, so callers
+// (and the serving layer in src/serve) can react to each without guessing.
 #pragma once
+
+#include <cstdint>
+#include <optional>
 
 #include "core/bandwidth_classes.h"
 #include "core/find_cluster.h"
@@ -15,7 +24,77 @@
 
 namespace bcc {
 
-/// Result of one decentralized query.
+/// Why a query produced (or did not produce) a cluster.
+enum class QueryStatus : std::uint8_t {
+  kFound = 0,                  ///< cluster holds exactly k nodes
+  kNotFound = 1,               ///< routing exhausted; no k-cluster at this class
+  kInvalidK = 2,               ///< k < 2 (Algorithm 1 needs a pair)
+  kBandwidthUnsatisfiable = 3, ///< b stricter than every class / bad class index
+  kUnknownStart = 4,           ///< start node is not part of the overlay
+};
+
+/// Number of QueryStatus values (for stats arrays).
+inline constexpr std::size_t kQueryStatusCount = 5;
+
+constexpr const char* to_string(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kFound: return "found";
+    case QueryStatus::kNotFound: return "not_found";
+    case QueryStatus::kInvalidK: return "invalid_k";
+    case QueryStatus::kBandwidthUnsatisfiable: return "bandwidth_unsatisfiable";
+    case QueryStatus::kUnknownStart: return "unknown_start";
+  }
+  return "?";
+}
+
+/// One bandwidth-cluster query: "k nodes, pairwise bandwidth >= b", entering
+/// the overlay at `start`. The constraint is either a raw bandwidth in Mbps
+/// (snapped *up* to the nearest class, see BandwidthClasses::snap_up) or an
+/// explicit class index. Build one via the factories; exactly one of
+/// b_mbps / class_idx is set.
+struct QueryRequest {
+  NodeId start = 0;
+  std::size_t k = 0;
+  std::optional<double> b_mbps;          ///< constraint in Mbps, snapped up
+  std::optional<std::size_t> class_idx;  ///< or an explicit class index
+
+  static QueryRequest bandwidth(NodeId start, std::size_t k, double b_mbps) {
+    QueryRequest r;
+    r.start = start;
+    r.k = k;
+    r.b_mbps = b_mbps;
+    return r;
+  }
+  static QueryRequest at_class(NodeId start, std::size_t k,
+                               std::size_t class_idx) {
+    QueryRequest r;
+    r.start = start;
+    r.k = k;
+    r.class_idx = class_idx;
+    return r;
+  }
+};
+
+/// Outcome of one query, status first.
+struct QueryResult {
+  QueryStatus status = QueryStatus::kNotFound;
+  Cluster cluster;                       ///< exactly k nodes iff kFound
+  std::size_t hops = 0;                  ///< forwards taken (0 = local answer)
+  std::vector<NodeId> route;             ///< nodes visited, entry node first
+  std::uint64_t micros = 0;              ///< wall time spent serving
+  std::optional<std::size_t> class_idx;  ///< class the query was served at
+  std::uint64_t snapshot_version = 0;    ///< set by QueryService (0 = direct)
+
+  bool found() const { return status == QueryStatus::kFound; }
+};
+
+/// Resolves the class a request is served at: the explicit index when valid,
+/// else snap_up(b). nullopt means kBandwidthUnsatisfiable.
+std::optional<std::size_t> resolve_class(const QueryRequest& request,
+                                         const BandwidthClasses& classes);
+
+/// Legacy result of one decentralized query (pre-QueryStatus API; kept so
+/// existing experiment/bench call sites compile unchanged).
 struct QueryOutcome {
   Cluster cluster;            // empty when not found
   std::size_t hops = 0;       // number of forwards (0 = answered locally)
@@ -25,21 +104,37 @@ struct QueryOutcome {
 };
 
 /// Stateless processor walking Algorithm 4 over converged overlay state.
+/// Holds references — the referenced state must outlive the processor (the
+/// serving layer pins it via SystemSnapshot).
 class QueryProcessor {
  public:
-  QueryProcessor(const OverlayNodeMap* nodes, const DistanceMatrix* predicted,
-                 const BandwidthClasses* classes,
+  QueryProcessor(const OverlayNodeMap& nodes, const DistanceMatrix& predicted,
+                 const BandwidthClasses& classes,
                  FindClusterOptions find_options = {});
 
-  /// Processes a (k, class) query entering at `start`. Requires k >= 2 and a
-  /// valid class index.
+  // No raw pointers: passing null was never meaningful, so the old pointer
+  // ctor is gone for good.
+  QueryProcessor(const OverlayNodeMap*, const DistanceMatrix*,
+                 const BandwidthClasses*, FindClusterOptions = {}) = delete;
+
+  /// Serves one request, never throws on bad input: invalid arguments come
+  /// back as kInvalidK / kBandwidthUnsatisfiable / kUnknownStart (checked in
+  /// that order). Fills micros with the serve wall time.
+  QueryResult run(const QueryRequest& request) const;
+
+  /// Legacy API: processes a (k, class) query entering at `start`. Requires
+  /// (BCC_REQUIRE) k >= 2, a valid class index, and a known start.
   QueryOutcome process(NodeId start, std::size_t k,
                        std::size_t class_idx) const;
 
  private:
-  const OverlayNodeMap* nodes_;
-  const DistanceMatrix* predicted_;
-  const BandwidthClasses* classes_;
+  /// The Algorithm 4 walk itself; inputs already validated.
+  QueryResult route_query(NodeId start, std::size_t k,
+                          std::size_t class_idx) const;
+
+  const OverlayNodeMap& nodes_;
+  const DistanceMatrix& predicted_;
+  const BandwidthClasses& classes_;
   FindClusterOptions find_options_;
 };
 

@@ -35,17 +35,24 @@ bool DecentralizedClusterSystem::converged() const {
   return node_info_->converged() && crt_->converged();
 }
 
+QueryResult DecentralizedClusterSystem::query(
+    const QueryRequest& request) const {
+  QueryProcessor processor(nodes_, predicted_, classes_,
+                           options_.find_options);
+  return processor.run(request);
+}
+
 QueryOutcome DecentralizedClusterSystem::query_bandwidth(NodeId start,
                                                          std::size_t k,
                                                          double b) const {
-  const auto cls = classes_.class_for_bandwidth(b);
+  const auto cls = classes_.snap_up(b);
   if (!cls) return QueryOutcome{};  // stricter than the strictest class
   return query_class(start, k, *cls);
 }
 
 QueryOutcome DecentralizedClusterSystem::query_class(
     NodeId start, std::size_t k, std::size_t class_idx) const {
-  QueryProcessor processor(&nodes_, &predicted_, &classes_,
+  QueryProcessor processor(nodes_, predicted_, classes_,
                            options_.find_options);
   return processor.process(start, k, class_idx);
 }

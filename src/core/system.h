@@ -9,8 +9,11 @@
 //                                  fw.predicted_distances(),
 //                                  BandwidthClasses::uniform_grid(5, 300, 5));
 //   sys.run_to_convergence();
-//   auto r = sys.query_bandwidth(/*start=*/0, /*k=*/10, /*b_mbps=*/50);
-//   if (r.found()) use(r.cluster);
+//   auto r = sys.query(QueryRequest::bandwidth(/*start=*/0, /*k=*/10, 50.0));
+//   if (r.status == QueryStatus::kFound) use(r.cluster);
+//
+// For serving heavy query traffic concurrently (batches over an immutable
+// snapshot of this system's converged state), see serve/query_service.h.
 #pragma once
 
 #include <memory>
@@ -44,11 +47,19 @@ class DecentralizedClusterSystem {
 
   bool converged() const;
 
-  /// Query with a bandwidth constraint in Mbps: b snaps up to the nearest
-  /// bandwidth class; returns an empty outcome if b exceeds every class.
+  /// Serves one structured query (Algorithm 4). Never throws on bad input —
+  /// invalid k / unsatisfiable bandwidth / unknown start come back as the
+  /// corresponding QueryStatus. This is the primary query API; for batched,
+  /// thread-pooled serving over many queries see serve/query_service.h.
+  QueryResult query(const QueryRequest& request) const;
+
+  /// Compatibility wrapper over query(): b snaps up to the nearest bandwidth
+  /// class; returns an empty outcome if b exceeds every class (the new API
+  /// reports that as QueryStatus::kBandwidthUnsatisfiable instead).
   QueryOutcome query_bandwidth(NodeId start, std::size_t k, double b) const;
 
-  /// Query at an explicit class index.
+  /// Compatibility wrapper over query() at an explicit class index. Unlike
+  /// query(), invalid arguments are contract violations (throws).
   QueryOutcome query_class(NodeId start, std::size_t k,
                            std::size_t class_idx) const;
 
@@ -56,9 +67,10 @@ class DecentralizedClusterSystem {
   /// feed the new predicted metric and re-run gossip. Returns cycles.
   std::size_t refresh(DistanceMatrix new_predicted);
 
-  // Introspection (tests, experiments).
+  // Introspection (tests, experiments, serving-layer snapshots).
   std::size_t size() const { return nodes_.size(); }
   const OverlayNode& node(NodeId id) const;
+  const OverlayNodeMap& nodes() const { return nodes_; }
   const AnchorTree& overlay() const { return overlay_; }
   const DistanceMatrix& predicted() const { return predicted_; }
   const BandwidthClasses& classes() const { return classes_; }

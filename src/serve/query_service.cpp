@@ -1,0 +1,182 @@
+#include "serve/query_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <latch>
+#include <thread>
+
+#include "core/system.h"
+
+namespace bcc {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Only terminal routing outcomes are worth memoizing; argument errors are
+/// answered in nanoseconds anyway.
+bool cacheable(QueryStatus status) {
+  return status == QueryStatus::kFound || status == QueryStatus::kNotFound;
+}
+
+}  // namespace
+
+std::size_t QueryService::CacheKeyHash::operator()(const CacheKey& key) const {
+  // splitmix64-style mixing of the three fields.
+  auto mix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  std::uint64_t h = mix(static_cast<std::uint64_t>(key.start));
+  h = mix(h ^ static_cast<std::uint64_t>(key.k));
+  h = mix(h ^ static_cast<std::uint64_t>(key.class_idx));
+  return static_cast<std::size_t>(h);
+}
+
+QueryService::QueryService(const DecentralizedClusterSystem& system,
+                           QueryServiceOptions options)
+    : options_(options), pool_(resolve_threads(options.threads)) {
+  options_.threads = pool_.size();
+  const std::size_t shard_count = std::max<std::size_t>(1,
+                                                        options_.cache_shards);
+  options_.cache_shards = shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  snapshot_ = snapshot_of(system, /*version=*/1);
+}
+
+QueryService::Shard& QueryService::shard_for(const CacheKey& key) {
+  return *shards_[CacheKeyHash{}(key) % shards_.size()];
+}
+
+QueryResult QueryService::serve_one(const SystemSnapshot& snap,
+                                    const QueryRequest& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto stamp = [&t0](QueryResult& r) {
+    r.micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
+
+  // Validate up front (same precedence as QueryProcessor::run) so argument
+  // failures skip routing and the cache key exists before the memoized walk.
+  QueryResult result;
+  const auto cls = resolve_class(request, snap.classes);
+  if (request.k < 2) {
+    result.status = QueryStatus::kInvalidK;
+  } else if (!cls) {
+    result.status = QueryStatus::kBandwidthUnsatisfiable;
+  } else if (!snap.nodes.count(request.start)) {
+    result.status = QueryStatus::kUnknownStart;
+  }
+  if (result.status != QueryStatus::kNotFound) {  // argument error
+    result.snapshot_version = snap.version;
+    stamp(result);
+    stats_.record(result);
+    return result;
+  }
+
+  const CacheKey key{request.start, request.k, *cls};
+  if (options_.cache_enabled) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.version != snap.version) {
+      shard.entries.clear();
+      shard.version = snap.version;
+    }
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      result = it->second;
+      stamp(result);
+      stats_.record(result, /*cache_hit=*/true);
+      return result;
+    }
+  }
+
+  result = snap.run(request);
+  stamp(result);
+  if (options_.cache_enabled && cacheable(result.status)) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // A refresh may have swapped snapshots while we routed: only file the
+    // result under its own snapshot's version.
+    if (shard.version == snap.version) shard.entries.emplace(key, result);
+  }
+  stats_.record(result);
+  return result;
+}
+
+QueryResult QueryService::submit(const QueryRequest& request) {
+  const std::shared_ptr<const SystemSnapshot> snap = snapshot();
+  return serve_one(*snap, request);
+}
+
+std::vector<QueryResult> QueryService::submit_batch(
+    std::span<const QueryRequest> requests) {
+  std::vector<QueryResult> results(requests.size());
+  if (requests.empty()) return results;
+  const std::shared_ptr<const SystemSnapshot> snap = snapshot();
+
+  const std::size_t tasks = std::min(pool_.size(), requests.size());
+  // Coarse dynamic chunking: cheap queries amortize the atomic, slow ones
+  // still balance across workers.
+  const std::size_t block =
+      std::max<std::size_t>(1, requests.size() / (tasks * 8));
+
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  std::latch done(static_cast<std::ptrdiff_t>(tasks));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool_.post([&, snap, next, block] {
+      try {
+        for (;;) {
+          const std::size_t begin = next->fetch_add(block);
+          if (begin >= requests.size()) break;
+          const std::size_t end = std::min(begin + block, requests.size());
+          for (std::size_t i = begin; i < end; ++i) {
+            results[i] = serve_one(*snap, requests[i]);
+          }
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+void QueryService::refresh(const DecentralizedClusterSystem& system) {
+  std::uint64_t version;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    version = next_version_++;
+  }
+  // Deep copy outside the lock: serving keeps going while we copy.
+  auto snap = snapshot_of(system, version);
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  // Concurrent refreshes may finish out of order; never roll back.
+  if (snapshot_->version < version) snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const SystemSnapshot> QueryService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+}  // namespace bcc

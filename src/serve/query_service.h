@@ -1,0 +1,107 @@
+// QueryService — batched, thread-pooled serving of bandwidth-cluster
+// queries (Algorithm 4) over immutable snapshots of converged system state.
+//
+// The paper treats query processing as the cheap, read-only phase over a
+// converged overlay; this layer exploits that: queries are embarrassingly
+// parallel, so a batch is fanned out across a small fixed thread pool, and
+// every query in the batch is served against ONE pinned SystemSnapshot —
+// results within a batch are mutually consistent even if refresh() swaps in
+// a newer snapshot mid-flight. Restructuring never blocks serving and
+// serving never blocks restructuring (copy-on-write: refresh() builds the
+// new snapshot off to the side and swaps a shared_ptr).
+//
+// Identical (start, k, class) queries against the same snapshot are
+// memoized in a sharded cache; the cache is invalidated lazily per shard on
+// the first access after a snapshot swap, so refresh() stays O(1) in cache
+// size. A QueryStats instance counts statuses, hops, and latency.
+//
+// Thread-safety: submit / submit_batch / refresh / snapshot / stats may all
+// be called concurrently from any thread. Refreshing from several threads
+// at once is allowed (versions stay monotonic) but pointless.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/query_stats.h"
+#include "serve/snapshot.h"
+#include "serve/thread_pool.h"
+
+namespace bcc {
+
+struct QueryServiceOptions {
+  /// Worker threads; 0 = hardware concurrency (at least 1).
+  std::size_t threads = 0;
+  /// Memoize per-(start, k, class) results until the next snapshot swap.
+  bool cache_enabled = true;
+  /// Cache shard count (reduces lock contention between workers).
+  std::size_t cache_shards = 16;
+};
+
+/// See file comment.
+class QueryService {
+ public:
+  /// Snapshots `system` (deep copy) as serving state version 1.
+  explicit QueryService(const DecentralizedClusterSystem& system,
+                        QueryServiceOptions options = {});
+
+  /// Serves one request synchronously on the calling thread, against the
+  /// current snapshot. Thread-safe.
+  QueryResult submit(const QueryRequest& request);
+
+  /// Serves a batch across the thread pool; blocks until every request is
+  /// answered. results[i] answers requests[i], and the whole batch is served
+  /// against the single snapshot current at entry. Thread-safe.
+  std::vector<QueryResult> submit_batch(std::span<const QueryRequest> requests);
+
+  /// Re-snapshots the (presumably restructured) system and atomically swaps
+  /// it in. In-flight batches finish on the snapshot they pinned; subsequent
+  /// submissions see the new state. Cached results from older snapshots are
+  /// discarded lazily.
+  void refresh(const DecentralizedClusterSystem& system);
+
+  /// The snapshot new submissions are currently served against.
+  std::shared_ptr<const SystemSnapshot> snapshot() const;
+  std::uint64_t snapshot_version() const { return snapshot()->version; }
+
+  const QueryServiceOptions& options() const { return options_; }
+  QueryStats::Snapshot stats() const { return stats_.snapshot(); }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  struct CacheKey {
+    NodeId start;
+    std::size_t k;
+    std::size_t class_idx;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const;
+  };
+  /// One cache shard: entries are valid only for `version`; the first
+  /// access after a snapshot swap clears the shard (lazy invalidation).
+  struct Shard {
+    std::mutex mutex;
+    std::uint64_t version = 0;  // guarded by mutex
+    std::unordered_map<CacheKey, QueryResult, CacheKeyHash> entries;  // ditto
+  };
+
+  QueryResult serve_one(const SystemSnapshot& snap,
+                        const QueryRequest& request);
+  Shard& shard_for(const CacheKey& key);
+
+  QueryServiceOptions options_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  QueryStats stats_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const SystemSnapshot> snapshot_;  // guarded by snapshot_mutex_
+  std::uint64_t next_version_ = 2;                  // ditto
+};
+
+}  // namespace bcc

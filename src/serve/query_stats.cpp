@@ -1,0 +1,87 @@
+#include "serve/query_stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace bcc {
+
+namespace {
+
+std::size_t latency_bucket(std::uint64_t micros) {
+  return std::min<std::size_t>(std::bit_width(micros),
+                               QueryStats::kLatencyBuckets - 1);
+}
+
+}  // namespace
+
+std::uint64_t QueryStats::Snapshot::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : by_status) sum += c;
+  return sum;
+}
+
+std::uint64_t QueryStats::Snapshot::latency_percentile_micros(double p) const {
+  std::uint64_t samples = 0;
+  for (std::uint64_t c : latency_histogram) samples += c;
+  if (samples == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(std::clamp(p, 0.0, 100.0) / 100.0 *
+                static_cast<double>(samples)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < latency_histogram.size(); ++i) {
+    cumulative += latency_histogram[i];
+    if (cumulative >= rank && latency_histogram[i] > 0) {
+      if (i + 1 == latency_histogram.size()) return max_micros;
+      // Bucket upper bound; the true max caps it (the top sample may sit
+      // well below its bucket's ceiling).
+      return std::min((std::uint64_t{1} << i) - 1, max_micros);
+    }
+  }
+  return max_micros;
+}
+
+void QueryStats::record(const QueryResult& result, bool cache_hit) {
+  by_status_[static_cast<std::size_t>(result.status)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (result.status == QueryStatus::kFound ||
+      result.status == QueryStatus::kNotFound) {
+    const std::size_t bucket = std::min<std::size_t>(result.hops,
+                                                     kHopBuckets - 1);
+    hops_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+  latency_[latency_bucket(result.micros)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  std::uint64_t seen = max_micros_.load(std::memory_order_relaxed);
+  while (result.micros > seen &&
+         !max_micros_.compare_exchange_weak(seen, result.micros,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+QueryStats::Snapshot QueryStats::snapshot() const {
+  Snapshot s;
+  for (std::size_t i = 0; i < by_status_.size(); ++i) {
+    s.by_status[i] = by_status_[i].load(std::memory_order_relaxed);
+  }
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    s.hop_histogram[i] = hops_[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < latency_.size(); ++i) {
+    s.latency_histogram[i] = latency_[i].load(std::memory_order_relaxed);
+  }
+  s.max_micros = max_micros_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void QueryStats::reset() {
+  for (auto& c : by_status_) c.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  for (auto& c : hops_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : latency_) c.store(0, std::memory_order_relaxed);
+  max_micros_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bcc

@@ -1,0 +1,60 @@
+// Observability for the serving layer: per-status counters, a hop
+// histogram, and log-scale latency percentiles — the serving-side complement
+// of MessageMetrics (which counts protocol traffic, not query traffic).
+//
+// All recording is lock-free (relaxed atomics); readers take a coherent-ish
+// copy via snapshot(). Counters tolerate the usual racy-read imprecision:
+// a snapshot taken mid-record may be off by the in-flight queries, which is
+// exactly what an operations counter is allowed to be.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "core/query.h"
+
+namespace bcc {
+
+/// See file comment. Thread-safe; one instance per QueryService.
+class QueryStats {
+ public:
+  /// Hop buckets 0..15 plus one overflow bucket for 16+.
+  static constexpr std::size_t kHopBuckets = 17;
+  /// Latency buckets by power of two: bucket i holds micros with
+  /// bit_width(micros) == i (i.e. roughly [2^(i-1), 2^i)), top bucket open.
+  static constexpr std::size_t kLatencyBuckets = 24;
+
+  /// Plain-data copy of the counters, safe to read at leisure.
+  struct Snapshot {
+    std::array<std::uint64_t, kQueryStatusCount> by_status{};
+    std::uint64_t cache_hits = 0;
+    std::array<std::uint64_t, kHopBuckets> hop_histogram{};
+    std::array<std::uint64_t, kLatencyBuckets> latency_histogram{};
+    std::uint64_t max_micros = 0;
+
+    std::uint64_t count(QueryStatus status) const {
+      return by_status[static_cast<std::size_t>(status)];
+    }
+    std::uint64_t total() const;
+    /// Upper bound of the latency bucket holding percentile p (0..100];
+    /// accurate to the bucket's factor-of-two width. 0 when empty.
+    std::uint64_t latency_percentile_micros(double p) const;
+  };
+
+  /// Records one served result (route-bearing statuses also feed the hop
+  /// histogram; every record feeds status + latency).
+  void record(const QueryResult& result, bool cache_hit = false);
+
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kQueryStatusCount> by_status_{};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::array<std::atomic<std::uint64_t>, kHopBuckets> hops_{};
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_{};
+  std::atomic<std::uint64_t> max_micros_{0};
+};
+
+}  // namespace bcc

@@ -1,0 +1,21 @@
+#include "serve/snapshot.h"
+
+#include "core/system.h"
+
+namespace bcc {
+
+QueryResult SystemSnapshot::run(const QueryRequest& request) const {
+  QueryProcessor processor(nodes, predicted, classes, find_options);
+  QueryResult result = processor.run(request);
+  result.snapshot_version = version;
+  return result;
+}
+
+std::shared_ptr<const SystemSnapshot> snapshot_of(
+    const DecentralizedClusterSystem& system, std::uint64_t version) {
+  return std::make_shared<const SystemSnapshot>(SystemSnapshot{
+      system.nodes(), system.predicted(), system.classes(),
+      system.options().find_options, version});
+}
+
+}  // namespace bcc

@@ -1,0 +1,49 @@
+// Immutable snapshots of converged system state for the serving layer.
+//
+// Query serving (Algorithm 4) is read-only over three pieces of state: the
+// per-node protocol tables (clustering spaces + CRTs), the predicted metric,
+// and the bandwidth class set. A SystemSnapshot deep-copies all three out of
+// a DecentralizedClusterSystem so that
+//
+//   * serving threads share one `std::shared_ptr<const SystemSnapshot>` and
+//     read it without any locking — the snapshot never mutates;
+//   * restructuring (gossip refresh, churn repair) proceeds on the live
+//     system without ever blocking — or being blocked by — query traffic;
+//   * QueryService::refresh() swaps the pointer atomically, and in-flight
+//     batches keep serving from the snapshot they started with (each batch
+//     pins its snapshot for its whole lifetime).
+//
+// Snapshots are versioned so caches (and tests) can tell which state a
+// result was computed against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/query.h"
+
+namespace bcc {
+
+class DecentralizedClusterSystem;
+
+/// See file comment. Members are set once at construction and never touched
+/// again; concurrent readers need no synchronization.
+struct SystemSnapshot {
+  OverlayNodeMap nodes;
+  DistanceMatrix predicted;
+  BandwidthClasses classes;
+  FindClusterOptions find_options;
+  std::uint64_t version = 0;
+
+  std::size_t size() const { return nodes.size(); }
+
+  /// Serves one request against this snapshot (Algorithm 4; see
+  /// QueryProcessor::run for status semantics).
+  QueryResult run(const QueryRequest& request) const;
+};
+
+/// Deep-copies the system's current serving state into a fresh snapshot.
+std::shared_ptr<const SystemSnapshot> snapshot_of(
+    const DecentralizedClusterSystem& system, std::uint64_t version = 0);
+
+}  // namespace bcc

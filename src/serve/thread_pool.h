@@ -1,0 +1,46 @@
+// A small fixed-size worker pool for the serving layer.
+//
+// Deliberately minimal: a locked deque of std::function tasks drained by N
+// long-lived workers. Query serving posts coarse chunks (see
+// QueryService::submit_batch), so queue contention is a handful of lock
+// acquisitions per batch, not per query — a fancier work-stealing deque
+// would buy nothing here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bcc {
+
+/// See file comment. post() never blocks on task execution; the destructor
+/// drains the queue (all posted tasks run) and joins the workers.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task; some worker executes it eventually. Thread-safe.
+  void post(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mutex_
+  bool stopping_ = false;                    // guarded by mutex_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bcc

@@ -2,18 +2,21 @@
 
 namespace bcc {
 
-void MessageMetrics::record(const std::string& category, std::size_t bytes) {
-  Counter& c = counters_[category];
-  ++c.messages;
-  c.bytes += bytes;
+void MessageMetrics::record(std::string_view category, std::size_t bytes) {
+  auto it = counters_.find(category);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(category), Counter{}).first;
+  }
+  ++it->second.messages;
+  it->second.bytes += bytes;
 }
 
-std::size_t MessageMetrics::messages(const std::string& category) const {
+std::size_t MessageMetrics::messages(std::string_view category) const {
   auto it = counters_.find(category);
   return it == counters_.end() ? 0 : it->second.messages;
 }
 
-std::size_t MessageMetrics::bytes(const std::string& category) const {
+std::size_t MessageMetrics::bytes(std::string_view category) const {
   auto it = counters_.find(category);
   return it == counters_.end() ? 0 : it->second.bytes;
 }

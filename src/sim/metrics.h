@@ -2,12 +2,18 @@
 // bytes the decentralized mechanisms exchange (used by the n_cut ablation —
 // the paper's §III.B.2 claims the n_cut limit "controls a messaging workload
 // in a distributed system", which the ablation quantifies).
+//
+// Categories are taken as std::string_view and looked up through a
+// transparent comparator, so the per-message hot path (record() runs for
+// every simulated message of every gossip cycle) allocates a std::string
+// only the first time a category is seen, never per message.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace bcc {
 
@@ -15,10 +21,10 @@ namespace bcc {
 class MessageMetrics {
  public:
   /// Records one message of `bytes` payload under `category`.
-  void record(const std::string& category, std::size_t bytes);
+  void record(std::string_view category, std::size_t bytes);
 
-  std::size_t messages(const std::string& category) const;
-  std::size_t bytes(const std::string& category) const;
+  std::size_t messages(std::string_view category) const;
+  std::size_t bytes(std::string_view category) const;
 
   std::size_t total_messages() const;
   std::size_t total_bytes() const;
@@ -30,7 +36,8 @@ class MessageMetrics {
     std::size_t messages = 0;
     std::size_t bytes = 0;
   };
-  std::map<std::string, Counter> counters_;
+  // std::less<> enables heterogeneous find with string_view keys.
+  std::map<std::string, Counter, std::less<>> counters_;
 };
 
 }  // namespace bcc

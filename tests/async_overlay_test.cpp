@@ -130,7 +130,7 @@ TEST(AsyncOverlay, QueriesWorkOnAsyncState) {
   AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options, 12);
   EventEngine engine;
   async.run_for(engine, 4.0 * (s.fw.anchors.diameter() + 2));
-  QueryProcessor processor(&async.nodes(), &s.predicted, &s.classes);
+  QueryProcessor processor(async.nodes(), s.predicted, s.classes);
   const auto r = processor.process(0, 4, 0);
   EXPECT_TRUE(r.found());
   EXPECT_TRUE(cluster_satisfies(s.predicted, r.cluster, 4,

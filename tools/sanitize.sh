@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Sanitizer ctest jobs (the BCC_SANITIZE CMake option wired to ctest):
+#
+#   * ThreadSanitizer over the serving-layer tests — the QueryService
+#     concurrency test races submit_batch against refresh() snapshot swaps,
+#     which is exactly the code TSan exists for;
+#   * AddressSanitizer + UBSan over the full suite.
+#
+# Usage: tools/sanitize.sh [tsan|asan|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+jobs="$(nproc)"
+
+run_tsan() {
+  cmake -B build-tsan -S . -DBCC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "${jobs}" --target bcc_tests
+  ctest --test-dir build-tsan -R 'QueryService|QueryStatusApi' --output-on-failure -j "${jobs}"
+}
+
+run_asan() {
+  cmake -B build-asan -S . -DBCC_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "${jobs}" --target bcc_tests
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+}
+
+case "${mode}" in
+  tsan) run_tsan ;;
+  asan) run_asan ;;
+  all) run_tsan; run_asan ;;
+  *) echo "usage: $0 [tsan|asan|all]" >&2; exit 2 ;;
+esac
