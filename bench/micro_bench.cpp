@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/async_overlay.h"
 #include "core/exhaustive_baseline.h"
 #include "core/find_cluster.h"
 #include "core/partition.h"
@@ -270,6 +271,42 @@ void BM_ExhaustiveBaseline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExhaustiveBaseline);
+
+void BM_GossipUnderLoss(benchmark::State& state) {
+  // Asynchronous gossip to convergence under i.i.d. message loss (drop rate
+  // as a percentage in range(0)): what resilience costs — retries and longer
+  // horizons — relative to the loss-free run.
+  const double drop = static_cast<double>(state.range(0)) / 100.0;
+  const std::size_t n = 60;
+  const DistanceMatrix d = tree_metric_of(n, 29);
+  Rng rng(33);
+  Framework fw = build_framework(d, rng);
+  const DistanceMatrix pred = fw.predicted_distances();
+  const BandwidthClasses classes =
+      exp::classes_for_grid(exp::bandwidth_grid(15.0, 75.0, 5));
+  const double horizon =
+      (6.0 + 20.0 * drop) * static_cast<double>(fw.anchors.diameter() + 2);
+  std::uint64_t round = 0;
+  std::size_t dropped = 0, retried = 0;
+  for (auto _ : state) {
+    FaultPlan plan(500 + round);
+    plan.set_default_faults({.drop_prob = drop});
+    AsyncOverlayOptions options;
+    options.faults = &plan;
+    AsyncOverlay async(&fw.anchors, &pred, &classes, options, 600 + round);
+    ++round;
+    EventEngine engine;
+    async.run_for(engine, horizon);
+    benchmark::DoNotOptimize(async.last_change());
+    dropped += engine.metrics().dropped();
+    retried += engine.metrics().retried();
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["dropped"] = static_cast<double>(dropped) / iters;
+  state.counters["retried"] = static_cast<double>(retried) / iters;
+}
+BENCHMARK(BM_GossipUnderLoss)->Unit(benchmark::kMillisecond)
+    ->Arg(0)->Arg(10)->Arg(30);
 
 void BM_EventEngineThroughput(benchmark::State& state) {
   for (auto _ : state) {

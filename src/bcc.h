@@ -28,6 +28,7 @@
 #include "common/table.h"
 #include "core/async_overlay.h"
 #include "core/bandwidth_classes.h"
+#include "core/churn.h"
 #include "core/exhaustive_baseline.h"
 #include "core/find_cluster.h"
 #include "core/node_search.h"

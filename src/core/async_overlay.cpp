@@ -1,5 +1,8 @@
 #include "core/async_overlay.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace bcc {
 
 AsyncOverlay::AsyncOverlay(const AnchorTree* overlay,
@@ -10,13 +13,22 @@ AsyncOverlay::AsyncOverlay(const AnchorTree* overlay,
       options_(options), rng_(seed) {
   BCC_REQUIRE(overlay_ != nullptr && predicted_ != nullptr &&
               classes_ != nullptr);
-  BCC_REQUIRE(overlay_->size() == predicted_->size());
+  // The matrix is the id universe, the tree the current membership: every
+  // host must be addressable, but the tree may cover a subset (churn).
+  BCC_REQUIRE(overlay_->size() >= 1);
+  BCC_REQUIRE(overlay_->size() <= predicted_->size());
+  for (NodeId h : overlay_->bfs_order()) {
+    BCC_REQUIRE(h < predicted_->size());
+  }
   BCC_REQUIRE(options_.n_cut >= 1);
   BCC_REQUIRE(options_.gossip_period > 0.0);
   BCC_REQUIRE(options_.period_jitter >= 0.0 && options_.period_jitter < 1.0);
   BCC_REQUIRE(options_.message_latency >= 0.0);
+  BCC_REQUIRE(options_.ack_timeout > 0.0);
+  BCC_REQUIRE(options_.backoff_factor >= 1.0);
+  BCC_REQUIRE(options_.suspect_after >= 1);
   if (options_.rtt_ms) {
-    BCC_REQUIRE(options_.rtt_ms->size() == overlay_->size());
+    BCC_REQUIRE(options_.rtt_ms->size() == predicted_->size());
   }
   nodes_ = make_overlay_nodes(*overlay_);
 }
@@ -26,67 +38,252 @@ double AsyncOverlay::latency(NodeId from, NodeId to) const {
   return options_.message_latency;
 }
 
-void AsyncOverlay::arm_timer(EventEngine& engine, NodeId x) {
-  const double factor =
-      rng_.uniform(1.0 - options_.period_jitter, 1.0 + options_.period_jitter);
-  engine.schedule_after(options_.gossip_period * factor,
-                        [this, &engine, x] { gossip(engine, x); });
+double AsyncOverlay::ack_timeout_for(NodeId x, NodeId v) const {
+  // Never time out faster than the link can physically ack: round trip plus
+  // the worst-case injected jitter on both legs, with 50% headroom.
+  const double rtt = latency(x, v) + latency(v, x);
+  const double jitter =
+      options_.faults ? 2.0 * options_.faults->faults_on(x, v).jitter_max : 0.0;
+  return std::max(options_.ack_timeout, 1.5 * (rtt + jitter));
 }
 
-void AsyncOverlay::gossip(EventEngine& engine, NodeId x) {
+void AsyncOverlay::arm_timer(NodeId x, double delay) {
+  gossip_timer_[x] = engine_->schedule_after(delay, [this, x] { gossip(x); });
+}
+
+void AsyncOverlay::cancel_timer(NodeId x) {
+  auto it = gossip_timer_.find(x);
+  if (it == gossip_timer_.end()) return;
+  engine_->cancel(it->second);
+  gossip_timer_.erase(it);
+}
+
+void AsyncOverlay::gossip(NodeId x) {
+  gossip_timer_.erase(x);  // this firing consumed the timer
+  if (down_.count(x) || !nodes_.count(x)) return;
   ++rounds_;
   // Refresh the node's own CRT entry from its current clustering space
   // (Algorithm 3 line 8).
   nodes_.at(x).aggr_crt[x] =
       compute_self_crt(nodes_, *predicted_, *classes_, x);
-
   for (NodeId v : nodes_.at(x).neighbors) {
-    // Snapshot the payloads now (sender state at send time), deliver later.
-    auto prop_node = compute_prop_node(nodes_, *predicted_, options_.n_cut,
-                                       /*m=*/x, /*x=*/v);
-    auto prop_crt = compute_prop_crt(nodes_, classes_->size(), /*m=*/x,
-                                     /*x=*/v);
-    engine.metrics().record("async_gossip",
+    start_exchange(x, v, /*attempt=*/0);
+  }
+  const double factor =
+      rng_.uniform(1.0 - options_.period_jitter, 1.0 + options_.period_jitter);
+  arm_timer(x, options_.gossip_period * factor);
+}
+
+void AsyncOverlay::start_exchange(NodeId x, NodeId v, std::size_t attempt) {
+  if (down_.count(x) || !nodes_.count(x) || !nodes_.count(v)) return;
+  // A retry may fire after the sender crash-recovered (tables wiped): the
+  // self CRT entry compute_prop_crt requires is then rebuilt lazily.
+  if (!nodes_.at(x).aggr_crt.count(x)) {
+    nodes_.at(x).aggr_crt[x] =
+        compute_self_crt(nodes_, *predicted_, *classes_, x);
+  }
+  // Snapshot the payloads now (sender state at send time), deliver later.
+  // Retries recompute, so a resend carries the sender's newest state.
+  auto prop_node = compute_prop_node(nodes_, *predicted_, options_.n_cut,
+                                     /*m=*/x, /*x=*/v);
+  auto prop_crt = compute_prop_crt(nodes_, classes_->size(), /*m=*/x,
+                                   /*x=*/v);
+  engine_->metrics().record("async_gossip",
                             prop_node.size() * sizeof(NodeId) +
                                 prop_crt.size() * sizeof(std::size_t));
-    engine.schedule_after(
-        latency(x, v),
-        [this, &engine, x, v, prop_node = std::move(prop_node),
-         prop_crt = std::move(prop_crt)]() mutable {
-          OverlayNode& receiver = nodes_.at(v);
-          bool changed = false;
-          auto node_it = receiver.aggr_node.find(x);
-          if (node_it == receiver.aggr_node.end() ||
-              node_it->second != prop_node) {
-            receiver.aggr_node[x] = std::move(prop_node);
-            changed = true;
-          }
-          auto crt_it = receiver.aggr_crt.find(x);
-          if (crt_it == receiver.aggr_crt.end() ||
-              crt_it->second != prop_crt) {
-            receiver.aggr_crt[x] = std::move(prop_crt);
-            changed = true;
-          }
-          if (changed) last_change_ = engine.now();
-        });
+  const std::uint64_t exchange = next_exchange_++;
+  channel_->send(
+      x, v, latency(x, v),
+      [this, x, v, exchange, prop_node = std::move(prop_node),
+       prop_crt = std::move(prop_crt)]() mutable {
+        auto it = nodes_.find(v);
+        if (it == nodes_.end()) return;  // receiver left the overlay
+        if (down_.count(v)) {            // crashed outside the fault plan
+          engine_->metrics().count_dropped();
+          return;
+        }
+        OverlayNode& receiver = it->second;
+        bool changed = false;
+        auto node_it = receiver.aggr_node.find(x);
+        if (node_it == receiver.aggr_node.end() ||
+            node_it->second != prop_node) {
+          receiver.aggr_node[x] = std::move(prop_node);
+          changed = true;
+        }
+        auto crt_it = receiver.aggr_crt.find(x);
+        if (crt_it == receiver.aggr_crt.end() ||
+            crt_it->second != prop_crt) {
+          receiver.aggr_crt[x] = std::move(prop_crt);
+          changed = true;
+        }
+        if (changed) last_change_ = engine_->now();
+        // Acknowledge the exchange (the ack crosses the same lossy network).
+        engine_->metrics().record("async_ack", sizeof(exchange));
+        channel_->send(v, x, latency(v, x),
+                       [this, x, v, exchange] { on_ack(x, v, exchange); });
+      });
+  // Capped exponential backoff on the ack timeout.
+  const double scale = std::min(
+      std::pow(options_.backoff_factor, static_cast<double>(attempt)), 8.0);
+  pending_ack_[exchange] = engine_->schedule_after(
+      ack_timeout_for(x, v) * scale,
+      [this, x, v, exchange, attempt] { on_ack_timeout(x, v, exchange,
+                                                       attempt); });
+}
+
+void AsyncOverlay::on_ack(NodeId x, NodeId v, std::uint64_t exchange) {
+  auto it = pending_ack_.find(exchange);
+  if (it != pending_ack_.end()) {
+    engine_->cancel(it->second);
+    pending_ack_.erase(it);
   }
-  arm_timer(engine, x);
+  // Even a late ack (after the timeout already fired) proves the link and
+  // the peer work: clear the failure streak and any suspicion.
+  if (!nodes_.count(x)) return;
+  LinkState& link = links_[x][v];
+  link.consecutive_failures = 0;
+  link.suspected = false;
+}
+
+void AsyncOverlay::on_ack_timeout(NodeId x, NodeId v, std::uint64_t exchange,
+                                  std::size_t attempt) {
+  pending_ack_.erase(exchange);
+  if (down_.count(x) || !nodes_.count(x) || !nodes_.count(v)) return;
+  if (attempt < options_.max_retries) {
+    engine_->metrics().count_retried();
+    start_exchange(x, v, attempt + 1);
+    return;
+  }
+  LinkState& link = links_[x][v];
+  ++link.consecutive_failures;
+  if (!link.suspected &&
+      link.consecutive_failures >= options_.suspect_after) {
+    link.suspected = true;
+    engine_->metrics().count_suspected();
+  }
+}
+
+void AsyncOverlay::crash(NodeId x) {
+  BCC_REQUIRE(started_);
+  if (!nodes_.count(x) || down_.count(x)) return;
+  down_.insert(x);
+  cancel_timer(x);
+  // Cold crash: volatile protocol state is gone; gossip refills it after
+  // recovery.
+  nodes_.at(x).aggr_node.clear();
+  nodes_.at(x).aggr_crt.clear();
+  links_.erase(x);
+}
+
+void AsyncOverlay::recover(NodeId x) {
+  BCC_REQUIRE(started_);
+  if (down_.erase(x) == 0) return;
+  if (!nodes_.count(x)) return;  // left the overlay while down
+  arm_timer(x, rng_.uniform(0.0, options_.gossip_period));
+}
+
+bool AsyncOverlay::suspects(NodeId x, NodeId peer) const {
+  auto it = links_.find(x);
+  if (it == links_.end()) return false;
+  auto lt = it->second.find(peer);
+  return lt != it->second.end() && lt->second.suspected;
+}
+
+std::size_t AsyncOverlay::suspected_count() const {
+  std::size_t count = 0;
+  for (const auto& [x, peers] : links_) {
+    for (const auto& [v, link] : peers) {
+      if (link.suspected) ++count;
+    }
+  }
+  return count;
+}
+
+void AsyncOverlay::resync_membership() {
+  BCC_REQUIRE(started_);
+  const std::vector<NodeId> members = overlay_->bfs_order();
+  std::unordered_set<NodeId> member_set(members.begin(), members.end());
+  for (NodeId h : members) BCC_REQUIRE(h < predicted_->size());
+
+  // Departed nodes: cancel timers, drop every trace of their local state.
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    if (member_set.count(it->first)) {
+      ++it;
+      continue;
+    }
+    cancel_timer(it->first);
+    down_.erase(it->first);
+    links_.erase(it->first);
+    it = nodes_.erase(it);
+  }
+
+  // Survivors: refresh neighbor lists from the repaired tree, drop table
+  // entries keyed by ex-neighbors, and purge departed ids from the
+  // aggregate contents (the obituary idealization, see file comment) —
+  // without the purge, departed ids would recirculate in gossip forever.
+  for (auto& [id, node] : nodes_) {
+    node.neighbors = overlay_->neighbors_of(id);
+    std::unordered_set<NodeId> neighbor_set(node.neighbors.begin(),
+                                            node.neighbors.end());
+    std::erase_if(node.aggr_node,
+                  [&](const auto& e) { return !neighbor_set.count(e.first); });
+    std::erase_if(node.aggr_crt, [&](const auto& e) {
+      return e.first != id && !neighbor_set.count(e.first);
+    });
+    for (auto& [m, aggregate] : node.aggr_node) {
+      std::erase_if(aggregate,
+                    [&](NodeId d) { return !member_set.count(d); });
+    }
+    auto lit = links_.find(id);
+    if (lit != links_.end()) {
+      std::erase_if(lit->second, [&](const auto& e) {
+        return !neighbor_set.count(e.first);
+      });
+    }
+  }
+
+  // New and rejoined members: fresh state, staggered first gossip.
+  for (NodeId h : members) {
+    if (nodes_.count(h)) continue;
+    OverlayNode n;
+    n.id = h;
+    n.neighbors = overlay_->neighbors_of(h);
+    nodes_.emplace(h, std::move(n));
+    arm_timer(h, rng_.uniform(0.0, options_.gossip_period));
+  }
+  last_change_ = engine_->now();
 }
 
 void AsyncOverlay::start(EventEngine& engine) {
   BCC_REQUIRE(!started_);
   started_ = true;
-  // Stagger initial firings uniformly across one period.
-  for (const auto& [x, node] : nodes_) {
-    const NodeId host = x;
-    engine.schedule_after(rng_.uniform(0.0, options_.gossip_period),
-                          [this, &engine, host] { gossip(engine, host); });
+  engine_ = &engine;
+  channel_.emplace(&engine, options_.faults);
+  // Stagger initial firings uniformly across one period (BFS order for
+  // cross-platform determinism).
+  for (NodeId host : overlay_->bfs_order()) {
+    arm_timer(host, rng_.uniform(0.0, options_.gossip_period));
+  }
+  // Wire the fault plan's crash/recover schedule into the engine so a
+  // crashed node's timers actually stop firing.
+  if (options_.faults) {
+    for (const auto& [node, window] : options_.faults->crashes()) {
+      if (!nodes_.count(node)) continue;
+      const NodeId host = node;
+      engine.schedule_at(std::max(engine.now(), window.down_at),
+                         [this, host] { crash(host); });
+      if (window.up_at != FaultPlan::kNever) {
+        engine.schedule_at(std::max(engine.now(), window.up_at),
+                           [this, host] { recover(host); });
+      }
+    }
   }
 }
 
 void AsyncOverlay::run_for(EventEngine& engine, double duration) {
   BCC_REQUIRE(duration >= 0.0);
   if (!started_) start(engine);
+  BCC_REQUIRE(engine_ == &engine);
   engine.run_until(engine.now() + duration);
 }
 

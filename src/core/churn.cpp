@@ -1,0 +1,39 @@
+#include "core/churn.h"
+
+namespace bcc {
+
+ChurnDriver::ChurnDriver(FrameworkMaintainer* maintainer,
+                         AsyncOverlay* overlay)
+    : maintainer_(maintainer), overlay_(overlay) {
+  BCC_REQUIRE(maintainer_ != nullptr && overlay_ != nullptr);
+}
+
+void ChurnDriver::schedule(EventEngine& engine,
+                           const std::vector<ChurnEvent>& events) {
+  for (const ChurnEvent& event : events) {
+    BCC_REQUIRE(event.at >= engine.now());
+    engine.schedule_at(event.at, [this, event] { apply(event); });
+  }
+}
+
+void ChurnDriver::apply(const ChurnEvent& event) {
+  if (event.kind == ChurnEvent::Kind::kJoin) {
+    if (maintainer_->contains(event.host)) {
+      ++skipped_;
+      return;
+    }
+    maintainer_->join(event.host);
+  } else {
+    // Never drain the overlay completely: gossip over an empty membership
+    // is meaningless and the maintainer requires a non-empty framework.
+    if (!maintainer_->contains(event.host) || maintainer_->size() <= 1) {
+      ++skipped_;
+      return;
+    }
+    maintainer_->leave(event.host);
+  }
+  ++applied_;
+  overlay_->resync_membership();
+}
+
+}  // namespace bcc

@@ -1,0 +1,70 @@
+// ChurnDriver — wires FrameworkMaintainer::join/leave into the event
+// engine, so membership churn happens *during* an asynchronous gossip run
+// instead of between runs (the §I "hosts come and go" requirement under the
+// event-driven simulator).
+//
+// Each scheduled event, when it fires, (1) applies the join/leave to the
+// FrameworkMaintainer — which repairs the anchor tree, transparently
+// rejoining any overlay descendants of a departed host — and then
+// (2) calls AsyncOverlay::resync_membership() so the running gossip
+// protocols pick up the repaired tree: departed hosts are purged, rejoined
+// and new hosts get fresh timers, and the protocols re-converge on the
+// surviving membership (chaos tests assert the post-churn fixpoint equals
+// the synchronous ground truth on the survivors).
+//
+// Contract: the AsyncOverlay must have been constructed over the
+// maintainer's anchor tree (`&maintainer->anchors()`) and a predicted
+// matrix that stays valid across churn. On a perfect tree metric the
+// measurement matrix itself qualifies — maintenance.h guarantees every
+// alive pair stays exactly embedded after any join/leave sequence — which
+// is how the chaos tests use it. Under embedding noise the caller is
+// responsible for refreshing predictions after churn.
+#pragma once
+
+#include "core/async_overlay.h"
+#include "tree/maintenance.h"
+
+namespace bcc {
+
+/// One membership change at simulated time `at`.
+struct ChurnEvent {
+  SimTime at = 0.0;
+  enum class Kind { kJoin, kLeave } kind = Kind::kJoin;
+  NodeId host = 0;
+
+  static ChurnEvent join(SimTime at, NodeId host) {
+    return {at, Kind::kJoin, host};
+  }
+  static ChurnEvent leave(SimTime at, NodeId host) {
+    return {at, Kind::kLeave, host};
+  }
+};
+
+/// See file comment. The maintainer and overlay must outlive the driver,
+/// and the driver must outlive the engine run (event handlers call back
+/// into it).
+class ChurnDriver {
+ public:
+  ChurnDriver(FrameworkMaintainer* maintainer, AsyncOverlay* overlay);
+
+  /// Schedules `events` on the overlay's engine. The overlay must already
+  /// be started (it owns the engine binding the events run against).
+  void schedule(EventEngine& engine, const std::vector<ChurnEvent>& events);
+
+  /// Events whose join/leave actually changed membership (joins of present
+  /// hosts and leaves of absent hosts are counted as skipped instead).
+  std::size_t applied() const { return applied_; }
+  std::size_t skipped() const { return skipped_; }
+  /// Forced rejoins the maintainer performed repairing departures.
+  std::size_t rejoins() const { return maintainer_->rejoins(); }
+
+ private:
+  void apply(const ChurnEvent& event);
+
+  FrameworkMaintainer* maintainer_;
+  AsyncOverlay* overlay_;
+  std::size_t applied_ = 0;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace bcc

@@ -84,6 +84,11 @@ struct QueryResult {
   std::uint64_t micros = 0;              ///< wall time spent serving
   std::optional<std::size_t> class_idx;  ///< class the query was served at
   std::uint64_t snapshot_version = 0;    ///< set by QueryService (0 = direct)
+  /// True when the answer was computed from protocol state whose gossip
+  /// fixpoint was disrupted (unconverged system, or a serving snapshot
+  /// taken during churn/faults): the result is well-formed and best-effort,
+  /// but not guaranteed to match the converged ground truth.
+  bool degraded = false;
 
   bool found() const { return status == QueryStatus::kFound; }
 };

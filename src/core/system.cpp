@@ -8,8 +8,13 @@ DecentralizedClusterSystem::DecentralizedClusterSystem(AnchorTree overlay,
                                                        SystemOptions options)
     : overlay_(std::move(overlay)), predicted_(std::move(predicted)),
       classes_(std::move(classes)), options_(options) {
-  BCC_REQUIRE(overlay_.size() == predicted_.size());
+  // The matrix is the id universe; the tree may cover a subset of its ids
+  // (e.g. the survivors of a churned membership, keyed by global host id).
   BCC_REQUIRE(overlay_.size() >= 1);
+  BCC_REQUIRE(overlay_.size() <= predicted_.size());
+  for (NodeId h : overlay_.bfs_order()) {
+    BCC_REQUIRE(h < predicted_.size());
+  }
   nodes_ = make_overlay_nodes(overlay_);
   node_info_ = std::make_shared<NodeInfoAggregation>(
       &nodes_, &predicted_, options_.n_cut, &engine_.metrics());
@@ -39,7 +44,10 @@ QueryResult DecentralizedClusterSystem::query(
     const QueryRequest& request) const {
   QueryProcessor processor(nodes_, predicted_, classes_,
                            options_.find_options);
-  return processor.run(request);
+  QueryResult result = processor.run(request);
+  // Serving before the gossip fixpoint is best-effort, never "exact".
+  result.degraded = !converged();
+  return result;
 }
 
 QueryOutcome DecentralizedClusterSystem::query_bandwidth(NodeId start,

@@ -81,6 +81,7 @@ QueryResult QueryService::serve_one(const SystemSnapshot& snap,
   }
   if (result.status != QueryStatus::kNotFound) {  // argument error
     result.snapshot_version = snap.version;
+    result.degraded = !snap.converged;
     stamp(result);
     stats_.record(result);
     return result;
@@ -171,6 +172,18 @@ void QueryService::refresh(const DecentralizedClusterSystem& system) {
   auto snap = snapshot_of(system, version);
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   // Concurrent refreshes may finish out of order; never roll back.
+  if (snapshot_->version < version) snapshot_ = std::move(snap);
+}
+
+void QueryService::refresh(SystemSnapshot snapshot) {
+  std::uint64_t version;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    version = next_version_++;
+  }
+  snapshot.version = version;
+  auto snap = std::make_shared<const SystemSnapshot>(std::move(snapshot));
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
   if (snapshot_->version < version) snapshot_ = std::move(snap);
 }
 

@@ -64,6 +64,12 @@ class QueryService {
   /// discarded lazily.
   void refresh(const DecentralizedClusterSystem& system);
 
+  /// Installs an externally built snapshot — e.g. snapshot_of(AsyncOverlay…)
+  /// captured mid-churn, whose `converged` flag makes subsequent results
+  /// degraded. The version field is assigned internally (monotonic); same
+  /// swap/pinning semantics as refresh(system).
+  void refresh(SystemSnapshot snapshot);
+
   /// The snapshot new submissions are currently served against.
   std::shared_ptr<const SystemSnapshot> snapshot() const;
   std::uint64_t snapshot_version() const { return snapshot()->version; }

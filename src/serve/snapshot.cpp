@@ -1,5 +1,6 @@
 #include "serve/snapshot.h"
 
+#include "core/async_overlay.h"
 #include "core/system.h"
 
 namespace bcc {
@@ -8,6 +9,7 @@ QueryResult SystemSnapshot::run(const QueryRequest& request) const {
   QueryProcessor processor(nodes, predicted, classes, find_options);
   QueryResult result = processor.run(request);
   result.snapshot_version = version;
+  result.degraded = !converged;
   return result;
 }
 
@@ -15,7 +17,16 @@ std::shared_ptr<const SystemSnapshot> snapshot_of(
     const DecentralizedClusterSystem& system, std::uint64_t version) {
   return std::make_shared<const SystemSnapshot>(SystemSnapshot{
       system.nodes(), system.predicted(), system.classes(),
-      system.options().find_options, version});
+      system.options().find_options, version, system.converged()});
+}
+
+std::shared_ptr<const SystemSnapshot> snapshot_of(
+    const AsyncOverlay& overlay, const DistanceMatrix& predicted,
+    const BandwidthClasses& classes, FindClusterOptions find_options,
+    std::uint64_t version) {
+  return std::make_shared<const SystemSnapshot>(
+      SystemSnapshot{overlay.nodes(), predicted, classes, find_options,
+                     version, overlay.healthy()});
 }
 
 }  // namespace bcc

@@ -25,6 +25,7 @@
 namespace bcc {
 
 class DecentralizedClusterSystem;
+class AsyncOverlay;
 
 /// See file comment. Members are set once at construction and never touched
 /// again; concurrent readers need no synchronization.
@@ -34,16 +35,31 @@ struct SystemSnapshot {
   BandwidthClasses classes;
   FindClusterOptions find_options;
   std::uint64_t version = 0;
+  /// False when the snapshot was taken while gossip was disrupted (system
+  /// not at its fixpoint, or an async overlay with crashed nodes/suspected
+  /// peers): every result served from it is flagged degraded.
+  bool converged = true;
 
   std::size_t size() const { return nodes.size(); }
 
   /// Serves one request against this snapshot (Algorithm 4; see
-  /// QueryProcessor::run for status semantics).
+  /// QueryProcessor::run for status semantics). Results carry
+  /// degraded = !converged.
   QueryResult run(const QueryRequest& request) const;
 };
 
-/// Deep-copies the system's current serving state into a fresh snapshot.
+/// Deep-copies the system's current serving state into a fresh snapshot
+/// (converged is read off the system).
 std::shared_ptr<const SystemSnapshot> snapshot_of(
     const DecentralizedClusterSystem& system, std::uint64_t version = 0);
+
+/// Deep-copies a (possibly mid-churn) asynchronous overlay's protocol state
+/// into a serving snapshot. `converged` is the overlay's health at capture
+/// time (AsyncOverlay::healthy()): a snapshot taken while nodes are down or
+/// peers are suspected serves degraded, best-effort results.
+std::shared_ptr<const SystemSnapshot> snapshot_of(
+    const AsyncOverlay& overlay, const DistanceMatrix& predicted,
+    const BandwidthClasses& classes, FindClusterOptions find_options = {},
+    std::uint64_t version = 0);
 
 }  // namespace bcc

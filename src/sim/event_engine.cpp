@@ -2,33 +2,57 @@
 
 namespace bcc {
 
-void EventEngine::schedule_at(SimTime t, Handler handler) {
+TimerId EventEngine::schedule_at(SimTime t, Handler handler) {
   BCC_REQUIRE(t >= now_);
   BCC_REQUIRE(handler != nullptr);
-  queue_.push(Event{t, next_seq_++, std::move(handler)});
+  const TimerId id = next_seq_++;
+  queue_.push(Event{t, id, std::move(handler)});
+  live_.insert(id);
+  return id;
 }
 
-void EventEngine::schedule_after(SimTime delay, Handler handler) {
+TimerId EventEngine::schedule_after(SimTime delay, Handler handler) {
   BCC_REQUIRE(delay >= 0.0);
-  schedule_at(now_ + delay, std::move(handler));
+  return schedule_at(now_ + delay, std::move(handler));
 }
 
-void EventEngine::pop_and_run() {
+bool EventEngine::cancel(TimerId id) {
+  if (live_.erase(id) == 0) return false;  // already ran, cancelled, or bogus
+  cancelled_.insert(id);
+  ++cancelled_count_;
+  return true;
+}
+
+void EventEngine::skip_cancelled() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool EventEngine::pop_and_run() {
+  skip_cancelled();
+  if (queue_.empty()) return false;
   // Move the handler out before popping: the handler may schedule new
   // events, which mutates the queue.
   Event event = queue_.top();
   queue_.pop();
+  live_.erase(event.seq);
   now_ = event.time;
   ++processed_;
   event.handler();
+  return true;
 }
 
 std::size_t EventEngine::run_until(SimTime t_end) {
   BCC_REQUIRE(t_end >= now_);
   std::size_t count = 0;
+  skip_cancelled();
   while (!queue_.empty() && queue_.top().time <= t_end) {
-    pop_and_run();
-    ++count;
+    if (pop_and_run()) ++count;
+    skip_cancelled();
   }
   now_ = t_end;
   return count;
@@ -36,8 +60,8 @@ std::size_t EventEngine::run_until(SimTime t_end) {
 
 std::size_t EventEngine::run(std::size_t max_events) {
   std::size_t count = 0;
-  while (!queue_.empty() && count < max_events) {
-    pop_and_run();
+  while (count < max_events) {
+    if (!pop_and_run()) break;
     ++count;
   }
   return count;

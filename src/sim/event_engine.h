@@ -8,11 +8,19 @@
 // Determinism: events at equal timestamps are delivered in scheduling
 // order (a monotonic sequence number breaks ties), so runs are exactly
 // reproducible for a given seed.
+//
+// Cancellation: every schedule returns a TimerId; cancel(id) prevents a
+// still-pending handler from running. Cancellation is lazy — the entry
+// stays in the priority queue and is discarded when its time comes — so
+// cancel is O(1) amortized and the queue never needs re-heapification.
+// This is what lets fault injection (sim/fault.h) crash a node: its
+// re-arming timers are cancelled instead of firing forever.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/assert.h"
@@ -22,21 +30,36 @@ namespace bcc {
 
 using SimTime = double;
 
+/// Handle to one scheduled event, used to cancel it before it fires.
+using TimerId = std::uint64_t;
+
+/// TimerId never handed out by the engine (safe "no timer" sentinel).
+inline constexpr TimerId kNoTimer = static_cast<TimerId>(-1);
+
 /// Priority-queue scheduler of timed callbacks.
 class EventEngine {
  public:
   using Handler = std::function<void()>;
 
   SimTime now() const { return now_; }
-  bool idle() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool idle() const { return pending() == 0; }
+  /// Scheduled-and-not-cancelled events still waiting to fire.
+  std::size_t pending() const { return live_.size(); }
   std::size_t events_processed() const { return processed_; }
+  /// Events cancelled before they fired (cumulative).
+  std::size_t events_cancelled() const { return cancelled_count_; }
 
-  /// Schedules `handler` at absolute time t (>= now).
-  void schedule_at(SimTime t, Handler handler);
+  /// Schedules `handler` at absolute time t (>= now). Returns a handle that
+  /// can cancel the event while it is still pending.
+  TimerId schedule_at(SimTime t, Handler handler);
 
   /// Schedules `handler` `delay` from now (delay >= 0).
-  void schedule_after(SimTime delay, Handler handler);
+  TimerId schedule_after(SimTime delay, Handler handler);
+
+  /// Cancels a pending event. Returns true if the event was still pending
+  /// (it will now never run); false if it already ran, was already
+  /// cancelled, or the id is unknown.
+  bool cancel(TimerId id);
 
   /// Processes events with time <= t_end; advances now() to t_end (or the
   /// last event time if the queue drains). Returns events processed.
@@ -51,7 +74,7 @@ class EventEngine {
  private:
   struct Event {
     SimTime time;
-    std::uint64_t seq;
+    std::uint64_t seq;  // doubles as the TimerId
     Handler handler;
   };
   struct Later {
@@ -61,12 +84,19 @@ class EventEngine {
     }
   };
 
-  void pop_and_run();
+  /// Pops the next live event and runs it; silently discards cancelled
+  /// entries. Returns false if only cancelled entries remained.
+  bool pop_and_run();
+  /// Drops cancelled entries sitting at the top of the queue.
+  void skip_cancelled();
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> live_;       // scheduled, not yet run/cancelled
+  std::unordered_set<TimerId> cancelled_;  // cancelled, still in queue_
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
+  std::size_t cancelled_count_ = 0;
   MessageMetrics metrics_;
 };
 

@@ -1,0 +1,139 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+namespace bcc {
+
+namespace {
+
+std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+void validate(const LinkFaults& f) {
+  BCC_REQUIRE(f.drop_prob >= 0.0 && f.drop_prob <= 1.0);
+  BCC_REQUIRE(f.duplicate_prob >= 0.0 && f.duplicate_prob <= 1.0);
+  BCC_REQUIRE(f.jitter_max >= 0.0);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::uint64_t seed) : rng_(seed) {}
+
+void FaultPlan::set_default_faults(LinkFaults faults) {
+  validate(faults);
+  default_faults_ = faults;
+}
+
+void FaultPlan::set_link_faults(NodeId a, NodeId b, LinkFaults faults) {
+  validate(faults);
+  link_faults_[link_key(a, b)] = faults;
+}
+
+void FaultPlan::add_partition(std::vector<NodeId> side_a,
+                              std::vector<NodeId> side_b, SimTime from,
+                              SimTime until) {
+  BCC_REQUIRE(from <= until);
+  partitions_.push_back(
+      Partition{std::move(side_a), std::move(side_b), from, until});
+}
+
+void FaultPlan::add_crash(NodeId node, SimTime down_at, SimTime up_at) {
+  BCC_REQUIRE(down_at < up_at);
+  crash_windows_[node].push_back(CrashWindow{down_at, up_at});
+  crashes_.emplace_back(node, CrashWindow{down_at, up_at});
+}
+
+bool FaultPlan::is_down(NodeId node, SimTime t) const {
+  auto it = crash_windows_.find(node);
+  if (it == crash_windows_.end()) return false;
+  for (const CrashWindow& w : it->second) {
+    if (t >= w.down_at && t < w.up_at) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::is_cut(NodeId from, NodeId to, SimTime t) const {
+  auto contains = [](const std::vector<NodeId>& side, NodeId h) {
+    return std::find(side.begin(), side.end(), h) != side.end();
+  };
+  for (const Partition& p : partitions_) {
+    if (t < p.from || t >= p.until) continue;
+    if ((contains(p.side_a, from) && contains(p.side_b, to)) ||
+        (contains(p.side_a, to) && contains(p.side_b, from))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const LinkFaults& FaultPlan::faults_on(NodeId a, NodeId b) const {
+  auto it = link_faults_.find(link_key(a, b));
+  return it == link_faults_.end() ? default_faults_ : it->second;
+}
+
+FaultPlan::Decision FaultPlan::decide(NodeId from, NodeId to,
+                                      SimTime send_time) {
+  Decision d;
+  if (is_cut(from, to, send_time)) {
+    d.deliver = false;
+    return d;
+  }
+  const LinkFaults& f = faults_on(from, to);
+  // Fixed draw order keeps runs reproducible across configurations that
+  // share a seed: drop, then duplication, then jitter for each live copy.
+  if (f.drop_prob > 0.0 && rng_.chance(f.drop_prob)) {
+    d.deliver = false;
+    return d;
+  }
+  if (f.duplicate_prob > 0.0 && rng_.chance(f.duplicate_prob)) {
+    d.duplicate = true;
+  }
+  if (f.jitter_max > 0.0) {
+    d.extra_delay = rng_.uniform(0.0, f.jitter_max);
+    if (d.duplicate) d.dup_extra_delay = rng_.uniform(0.0, f.jitter_max);
+  }
+  return d;
+}
+
+FaultyChannel::FaultyChannel(EventEngine* engine, FaultPlan* plan)
+    : engine_(engine), plan_(plan) {
+  BCC_REQUIRE(engine_ != nullptr);
+}
+
+void FaultyChannel::send(NodeId from, NodeId to, double latency,
+                         std::function<void()> on_deliver) {
+  BCC_REQUIRE(latency >= 0.0);
+  BCC_REQUIRE(on_deliver != nullptr);
+  if (plan_ == nullptr) {
+    engine_->schedule_after(latency, std::move(on_deliver));
+    return;
+  }
+  // A sender that is down cannot put anything on the wire. Protocols
+  // normally stop a crashed node's timers, so this is belt and braces.
+  if (plan_->is_down(from, engine_->now())) {
+    engine_->metrics().count_dropped();
+    return;
+  }
+  const FaultPlan::Decision d = plan_->decide(from, to, engine_->now());
+  if (!d.deliver) {
+    engine_->metrics().count_dropped();
+    return;
+  }
+  auto deliver_guarded = [engine = engine_, plan = plan_, to,
+                          deliver = std::move(on_deliver)] {
+    // Crashed receivers lose in-flight inbound messages.
+    if (plan->is_down(to, engine->now())) {
+      engine->metrics().count_dropped();
+      return;
+    }
+    deliver();
+  };
+  if (d.duplicate) {
+    engine_->metrics().count_duplicated();
+    engine_->schedule_after(latency + d.dup_extra_delay, deliver_guarded);
+  }
+  engine_->schedule_after(latency + d.extra_delay, std::move(deliver_guarded));
+}
+
+}  // namespace bcc

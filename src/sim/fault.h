@@ -1,0 +1,136 @@
+// Deterministic fault injection for the event-driven simulator — the
+// failure-model discipline of group-communication systems (Derecho-style
+// membership/failure handling) applied to this codebase: instead of assuming
+// every gossip message arrives and every node lives forever, a seeded
+// FaultPlan decides per message whether the network loses, duplicates, or
+// delays it, and per node when it crashes and recovers.
+//
+//   * FaultPlan — declarative schedule: per-link (or default) drop
+//     probability, duplication probability, extra-delay jitter (which
+//     reorders messages), bidirectional partitions between node sets over
+//     time windows, and node crash/recover windows. All randomness comes
+//     from one seeded Rng, so a (plan seed, overlay seed) pair reproduces a
+//     run bit-for-bit.
+//   * FaultyChannel — the delivery interceptor: protocols send through it
+//     instead of scheduling deliveries directly on the EventEngine. A
+//     message is dropped when its link says so, when the endpoints are
+//     partitioned at send time, or when the receiver is down at delivery
+//     time (crashed nodes receive nothing). Duplicates deliver twice at
+//     distinct times. Every fault is counted in the engine's
+//     MessageMetrics (dropped / duplicated).
+//
+// Crash semantics for protocol timers (a crashed node must also stop
+// *sending*) are implemented by the protocol on top: AsyncOverlay cancels a
+// crashed node's gossip timer via EventEngine::cancel and re-arms it on
+// recovery (see AsyncOverlay::crash/recover and install_crash_schedule).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "metric/distance_matrix.h"  // NodeId (header-only use)
+#include "sim/event_engine.h"
+
+namespace bcc {
+
+/// Per-link fault rates. Probabilities in [0, 1]; jitter_max >= 0.
+struct LinkFaults {
+  double drop_prob = 0.0;       ///< P(message silently lost in transit)
+  double duplicate_prob = 0.0;  ///< P(message delivered twice)
+  double jitter_max = 0.0;      ///< extra delay ~ U[0, jitter_max) (reorders)
+};
+
+/// One node-down interval [down_at, up_at). up_at == FaultPlan::kNever
+/// means the node never recovers.
+struct CrashWindow {
+  SimTime down_at = 0.0;
+  SimTime up_at = 0.0;
+};
+
+/// See file comment.
+class FaultPlan {
+ public:
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+
+  explicit FaultPlan(std::uint64_t seed);
+
+  // -- Configuration. May be called any time; decisions are per message.
+
+  /// Fault rates for every link without an explicit override.
+  void set_default_faults(LinkFaults faults);
+  /// Override for the (unordered) pair {a, b}.
+  void set_link_faults(NodeId a, NodeId b, LinkFaults faults);
+  /// Bidirectional partition: no message crosses between `side_a` and
+  /// `side_b` while from <= t < until.
+  void add_partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b,
+                     SimTime from, SimTime until);
+  /// Schedules node downtime [down_at, up_at). Multiple windows per node
+  /// are allowed and need not be sorted.
+  void add_crash(NodeId node, SimTime down_at, SimTime up_at = kNever);
+
+  // -- Queries.
+
+  bool is_down(NodeId node, SimTime t) const;
+  /// True when a partition window currently separates `from` and `to`.
+  bool is_cut(NodeId from, NodeId to, SimTime t) const;
+  const LinkFaults& faults_on(NodeId a, NodeId b) const;
+  /// All configured crash windows (protocols use this to schedule timer
+  /// cancellation/re-arming).
+  const std::vector<std::pair<NodeId, CrashWindow>>& crashes() const {
+    return crashes_;
+  }
+
+  /// One in-transit decision for a message sent now. Consumes randomness
+  /// deterministically (drop first, then duplication, then jitter).
+  struct Decision {
+    bool deliver = true;
+    bool duplicate = false;
+    double extra_delay = 0.0;      ///< added to the primary copy's latency
+    double dup_extra_delay = 0.0;  ///< added to the duplicate copy's latency
+  };
+  Decision decide(NodeId from, NodeId to, SimTime send_time);
+
+ private:
+  struct Partition {
+    std::vector<NodeId> side_a;
+    std::vector<NodeId> side_b;
+    SimTime from;
+    SimTime until;
+  };
+
+  Rng rng_;
+  LinkFaults default_faults_;
+  std::map<std::pair<NodeId, NodeId>, LinkFaults> link_faults_;  // minmax key
+  std::vector<Partition> partitions_;
+  std::unordered_map<NodeId, std::vector<CrashWindow>> crash_windows_;
+  std::vector<std::pair<NodeId, CrashWindow>> crashes_;  // insertion order
+};
+
+/// See file comment. Both the engine and the plan must outlive the channel;
+/// `plan` may be null, which degrades to a perfect network (deliver after
+/// exactly `latency`).
+class FaultyChannel {
+ public:
+  FaultyChannel(EventEngine* engine, FaultPlan* plan);
+
+  /// Sends one message: `on_deliver` runs at now + latency (+ jitter)
+  /// unless the plan drops it. Delivery to a node that is down at arrival
+  /// time is dropped (counted), matching a crashed process losing its
+  /// in-flight inbound traffic.
+  void send(NodeId from, NodeId to, double latency,
+            std::function<void()> on_deliver);
+
+  EventEngine& engine() { return *engine_; }
+  FaultPlan* plan() { return plan_; }
+
+ private:
+  EventEngine* engine_;
+  FaultPlan* plan_;
+};
+
+}  // namespace bcc

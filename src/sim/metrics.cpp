@@ -33,6 +33,9 @@ std::size_t MessageMetrics::total_bytes() const {
   return total;
 }
 
-void MessageMetrics::reset() { counters_.clear(); }
+void MessageMetrics::reset() {
+  counters_.clear();
+  dropped_ = duplicated_ = retried_ = suspected_ = 0;
+}
 
 }  // namespace bcc

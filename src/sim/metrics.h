@@ -17,7 +17,11 @@
 
 namespace bcc {
 
-/// Per-category message/byte counters.
+/// Per-category message/byte counters, plus fault-event counters filled in
+/// by the fault-injection layer (sim/fault.h) and the resilient gossip path
+/// (core/async_overlay): messages dropped by the lossy channel or a crashed
+/// receiver, duplicated deliveries, sender retries after ack timeouts, and
+/// peers marked suspected after consecutive missed acks.
 class MessageMetrics {
  public:
   /// Records one message of `bytes` payload under `category`.
@@ -29,6 +33,17 @@ class MessageMetrics {
   std::size_t total_messages() const;
   std::size_t total_bytes() const;
 
+  // -- Fault events (see file comment).
+  void count_dropped() { ++dropped_; }
+  void count_duplicated() { ++duplicated_; }
+  void count_retried() { ++retried_; }
+  void count_suspected() { ++suspected_; }
+
+  std::size_t dropped() const { return dropped_; }
+  std::size_t duplicated() const { return duplicated_; }
+  std::size_t retried() const { return retried_; }
+  std::size_t suspected() const { return suspected_; }
+
   void reset();
 
  private:
@@ -38,6 +53,10 @@ class MessageMetrics {
   };
   // std::less<> enables heterogeneous find with string_view keys.
   std::map<std::string, Counter, std::less<>> counters_;
+  std::size_t dropped_ = 0;
+  std::size_t duplicated_ = 0;
+  std::size_t retried_ = 0;
+  std::size_t suspected_ = 0;
 };
 
 }  // namespace bcc

@@ -137,6 +137,129 @@ TEST(AsyncOverlay, QueriesWorkOnAsyncState) {
                                 s.classes.distance_at(0)));
 }
 
+// Direct table comparison against the synchronous fixpoint (both runs call
+// the shared compute_prop_* kernels, so equality is exact).
+void expect_sync_fixpoint(const AsyncOverlay& async, const AsyncSetup& s,
+                          std::size_t n_cut, const char* context) {
+  SystemOptions sync_options;
+  sync_options.n_cut = n_cut;
+  DecentralizedClusterSystem sync(s.fw.anchors, s.predicted, s.classes,
+                                  sync_options);
+  sync.run_to_convergence();
+  ASSERT_TRUE(sync.converged());
+  auto sorted = [](std::vector<NodeId> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  for (NodeId x : s.fw.anchors.bfs_order()) {
+    const OverlayNode& sync_node = sync.node(x);
+    const OverlayNode& async_node = async.nodes().at(x);
+    for (NodeId m : sync_node.neighbors) {
+      EXPECT_EQ(sorted(async_node.aggr_node.at(m)),
+                sorted(sync_node.aggr_node.at(m)))
+          << context << " x=" << x << " m=" << m;
+      EXPECT_EQ(async_node.aggr_crt.at(m), sync_node.aggr_crt.at(m))
+          << context << " x=" << x << " m=" << m;
+    }
+    EXPECT_EQ(async_node.aggr_crt.at(x), sync_node.aggr_crt.at(x)) << context;
+  }
+}
+
+TEST(AsyncOverlay, ConvergesUnderTenPercentLoss) {
+  AsyncSetup s = make_setup(16, 21);
+  FaultPlan plan(99);
+  plan.set_default_faults({.drop_prob = 0.1, .jitter_max = 0.02});
+  AsyncOverlayOptions options;
+  options.n_cut = 5;
+  options.faults = &plan;
+  AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options, 22);
+  EventEngine engine;
+  async.run_for(engine, 8.0 * (s.fw.anchors.diameter() + 2));
+  expect_sync_fixpoint(async, s, 5, "10% loss");
+  EXPECT_GT(engine.metrics().dropped(), 0u);
+}
+
+TEST(AsyncOverlay, TotalLinkLossTriggersRetriesThenSuspicionThenHeals) {
+  AsyncSetup s = make_setup(12, 23);
+  // Sever one tree edge completely for a while.
+  const NodeId parent = s.fw.anchors.bfs_order()[0];
+  const NodeId child = s.fw.anchors.neighbors_of(parent)[0];
+  FaultPlan plan(5);
+  plan.add_partition({parent}, {child}, /*from=*/0.0, /*until=*/30.0);
+  AsyncOverlayOptions options;
+  options.faults = &plan;
+  options.gossip_period = 1.0;
+  options.ack_timeout = 0.3;
+  options.max_retries = 1;
+  options.suspect_after = 2;
+  AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options, 24);
+  EventEngine engine;
+  async.run_for(engine, 30.0);
+  // Every exchange across the cut timed out: retries happened, and after
+  // enough consecutive failures both endpoints suspect each other.
+  EXPECT_GT(engine.metrics().retried(), 0u);
+  EXPECT_GE(engine.metrics().suspected(), 2u);
+  EXPECT_TRUE(async.suspects(parent, child));
+  EXPECT_TRUE(async.suspects(child, parent));
+  EXPECT_FALSE(async.healthy());
+  // The partition lifts; the first acked exchange redeems the link.
+  async.run_for(engine, 20.0);
+  EXPECT_FALSE(async.suspects(parent, child));
+  EXPECT_FALSE(async.suspects(child, parent));
+  EXPECT_TRUE(async.healthy());
+  expect_sync_fixpoint(async, s, options.n_cut, "healed partition");
+}
+
+TEST(AsyncOverlay, CrashWipesStateAndRecoveryRefillsIt) {
+  AsyncSetup s = make_setup(14, 25);
+  AsyncOverlayOptions options;
+  options.n_cut = 4;
+  AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options, 26);
+  EventEngine engine;
+  const double horizon = 4.0 * (s.fw.anchors.diameter() + 2);
+  async.run_for(engine, horizon);
+  const NodeId victim = s.fw.anchors.bfs_order()[1];
+  async.crash(victim);
+  EXPECT_TRUE(async.is_down(victim));
+  EXPECT_EQ(async.down_count(), 1u);
+  EXPECT_FALSE(async.healthy());
+  EXPECT_TRUE(async.nodes().at(victim).aggr_crt.empty());  // cold crash
+  // While down, the overlay keeps running but the victim stays silent.
+  async.run_for(engine, 5.0);
+  EXPECT_TRUE(async.nodes().at(victim).aggr_crt.empty());
+  async.recover(victim);
+  EXPECT_FALSE(async.is_down(victim));
+  async.run_for(engine, horizon);
+  EXPECT_TRUE(async.healthy());
+  expect_sync_fixpoint(async, s, 4, "after crash/recover");
+}
+
+TEST(AsyncOverlay, FaultPlanCrashScheduleStopsTimers) {
+  AsyncSetup s = make_setup(10, 27);
+  const NodeId victim = s.fw.anchors.bfs_order()[2];
+  FaultPlan plan(5);
+  plan.add_crash(victim, /*down_at=*/2.0, /*up_at=*/10.0);
+  AsyncOverlayOptions options;
+  options.faults = &plan;
+  options.gossip_period = 1.0;
+  AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options, 28);
+  EventEngine engine;
+  async.start(engine);
+  engine.run_until(5.0);
+  EXPECT_TRUE(async.is_down(victim));
+  const std::size_t rounds_while_down = async.gossip_rounds();
+  engine.run_until(9.0);
+  // Other nodes gossip on, but timer cancellation keeps the victim quiet —
+  // rounds grew only by the survivors' firings (victim contributes none:
+  // its table stays empty the whole window).
+  EXPECT_GT(async.gossip_rounds(), rounds_while_down);
+  EXPECT_TRUE(async.nodes().at(victim).aggr_crt.empty());
+  engine.run_until(12.0);
+  EXPECT_FALSE(async.is_down(victim));
+  async.run_for(engine, 6.0 * (s.fw.anchors.diameter() + 2));
+  expect_sync_fixpoint(async, s, options.n_cut, "scheduled crash");
+}
+
 TEST(AsyncOverlay, Validation) {
   AsyncSetup s = make_setup(8, 7);
   AsyncOverlayOptions bad;

@@ -1,0 +1,283 @@
+// Chaos suite (ctest label: chaos): randomized fault sweeps asserting the
+// resilient gossip stack converges to the synchronous ground truth under
+// message loss, crash/recover schedules, and membership churn — and that
+// serving degrades gracefully (flagged, well-formed results) instead of
+// crashing or silently lying while the network is disrupted.
+//
+// Sweep sizes scale with the environment for nightly runs:
+//   BCC_CHAOS_SEEDS  — seeds per configuration (default 2)
+//   BCC_CHAOS_N      — overlay size for the sweeps (default 14)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "core/churn.h"
+#include "core/system.h"
+#include "serve/query_service.h"
+#include "test_util.h"
+#include "tree/embedder.h"
+
+namespace bcc {
+namespace {
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+std::size_t chaos_seeds() { return env_or("BCC_CHAOS_SEEDS", 2); }
+std::size_t chaos_n() { return env_or("BCC_CHAOS_N", 14); }
+
+struct ChaosSetup {
+  Framework fw;
+  DistanceMatrix predicted;
+  BandwidthClasses classes = BandwidthClasses({1.0});
+};
+
+ChaosSetup make_setup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const DistanceMatrix real = testutil::random_tree_metric(n, rng);
+  Rng order(seed + 5);
+  ChaosSetup s{build_framework(real, order), {}, BandwidthClasses({1.0})};
+  s.predicted = s.fw.predicted_distances();
+  const double dmax = s.predicted.max_distance();
+  const double c = kDefaultTransformC;
+  s.classes =
+      BandwidthClasses({c / dmax, c / (dmax * 0.5), c / (dmax * 0.2)}, c);
+  return s;
+}
+
+BandwidthClasses classes_for(const DistanceMatrix& predicted) {
+  const double dmax = predicted.max_distance();
+  const double c = kDefaultTransformC;
+  return BandwidthClasses({c / dmax, c / (dmax * 0.5), c / (dmax * 0.2)}, c);
+}
+
+/// Asserts the async tables match the synchronous fixpoint computed over the
+/// same (tree, predicted, classes) triple — exact equality, since both paths
+/// call the shared compute_prop_* kernels.
+void expect_ground_truth(const AsyncOverlay& async, const AnchorTree& tree,
+                         const DistanceMatrix& predicted,
+                         const BandwidthClasses& classes, std::size_t n_cut,
+                         const std::string& context) {
+  SystemOptions sync_options;
+  sync_options.n_cut = n_cut;
+  DecentralizedClusterSystem sync(tree, predicted, classes, sync_options);
+  sync.run_to_convergence();
+  ASSERT_TRUE(sync.converged()) << context;
+  auto sorted = [](std::vector<NodeId> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  for (NodeId x : tree.bfs_order()) {
+    const OverlayNode& sync_node = sync.node(x);
+    ASSERT_TRUE(async.nodes().count(x)) << context << " missing x=" << x;
+    const OverlayNode& async_node = async.nodes().at(x);
+    for (NodeId m : sync_node.neighbors) {
+      EXPECT_EQ(sorted(async_node.aggr_node.at(m)),
+                sorted(sync_node.aggr_node.at(m)))
+          << context << " x=" << x << " m=" << m;
+      EXPECT_EQ(async_node.aggr_crt.at(m), sync_node.aggr_crt.at(m))
+          << context << " x=" << x << " m=" << m;
+    }
+    EXPECT_EQ(async_node.aggr_crt.at(x), sync_node.aggr_crt.at(x))
+        << context << " x=" << x;
+  }
+}
+
+TEST(Chaos, DropSweepReachesGroundTruth) {
+  const std::size_t n = chaos_n();
+  for (double drop : {0.0, 0.1, 0.3}) {
+    for (std::uint64_t seed = 1; seed <= chaos_seeds(); ++seed) {
+      ChaosSetup s = make_setup(n, seed);
+      FaultPlan plan(seed * 1000 + 7);
+      plan.set_default_faults({.drop_prob = drop,
+                               .duplicate_prob = 0.05,
+                               .jitter_max = 0.02});
+      AsyncOverlayOptions options;
+      options.n_cut = 5;
+      options.faults = &plan;
+      AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options,
+                         seed + 400);
+      EventEngine engine;
+      // Generous horizon: the lossier the link, the more periods a table
+      // entry may need to cross it (retries are capped, periods are not).
+      async.run_for(engine,
+                    (8.0 + 24.0 * drop) * (s.fw.anchors.diameter() + 2));
+      std::ostringstream context;
+      context << "drop=" << drop << " seed=" << seed;
+      expect_ground_truth(async, s.fw.anchors, s.predicted, s.classes,
+                          options.n_cut, context.str());
+      if (drop > 0.0) {
+        EXPECT_GT(engine.metrics().dropped(), 0u);
+      }
+    }
+  }
+}
+
+TEST(Chaos, CrashRecoverScheduleReachesGroundTruth) {
+  const std::size_t n = std::max<std::size_t>(chaos_n(), 14);
+  for (std::uint64_t seed = 1; seed <= chaos_seeds(); ++seed) {
+    ChaosSetup s = make_setup(n, seed + 50);
+    FaultPlan plan(seed * 31 + 5);
+    plan.set_default_faults({.drop_prob = 0.1});
+    // <= 10% of nodes crash and later recover, at staggered windows.
+    const std::size_t crashers = std::max<std::size_t>(1, n / 10);
+    const auto order = s.fw.anchors.bfs_order();
+    for (std::size_t i = 0; i < crashers; ++i) {
+      plan.add_crash(order[1 + i], /*down_at=*/4.0 + 2.0 * i,
+                     /*up_at=*/12.0 + 2.0 * i);
+    }
+    AsyncOverlayOptions options;
+    options.n_cut = 5;
+    options.faults = &plan;
+    AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options,
+                       seed + 900);
+    EventEngine engine;
+    async.run_for(engine, 20.0 + 10.0 * (s.fw.anchors.diameter() + 2));
+    EXPECT_EQ(async.down_count(), 0u);  // everyone recovered
+    std::ostringstream context;
+    context << "crash/recover seed=" << seed;
+    expect_ground_truth(async, s.fw.anchors, s.predicted, s.classes,
+                        options.n_cut, context.str());
+  }
+}
+
+TEST(Chaos, ChurnReconvergesOnSurvivors) {
+  // Perfect tree metric: the measurement matrix itself is the (churn-stable)
+  // predicted matrix, and maintenance keeps every alive pair exactly
+  // embedded — so after any join/leave sequence the synchronous system over
+  // the repaired tree is the exact ground truth for the survivors.
+  const std::size_t universe = 22;
+  for (std::uint64_t seed = 1; seed <= chaos_seeds(); ++seed) {
+    Rng rng(seed + 300);
+    const DistanceMatrix real = testutil::random_tree_metric(universe, rng);
+    const BandwidthClasses classes = classes_for(real);
+    FrameworkMaintainer maintainer(&real);
+    for (NodeId h = 0; h < universe - 4; ++h) maintainer.join(h);
+
+    AsyncOverlayOptions options;
+    options.n_cut = 5;
+    options.gossip_period = 1.0;
+    AsyncOverlay async(&maintainer.anchors(), &real, &classes, options,
+                       seed + 60);
+    EventEngine engine;
+    async.start(engine);
+    ChurnDriver churn(&maintainer, &async);
+    const NodeId mid = maintainer.alive()[maintainer.alive().size() / 2];
+    churn.schedule(engine,
+                   {ChurnEvent::leave(2.0, 3),
+                    ChurnEvent::join(3.5, universe - 4),
+                    ChurnEvent::leave(5.0, mid == 3 ? 4 : mid),
+                    ChurnEvent::join(6.5, universe - 3),
+                    ChurnEvent::join(8.0, 3),      // rejoin after leaving
+                    ChurnEvent::leave(9.5, 7)});
+    engine.run_until(10.0);
+    EXPECT_EQ(churn.applied(), 6u);
+    // Quiet period: gossip re-converges on the post-churn membership.
+    async.run_for(engine, 8.0 * (maintainer.anchors().diameter() + 2));
+    std::ostringstream context;
+    context << "churn seed=" << seed;
+    expect_ground_truth(async, maintainer.anchors(), real, classes,
+                        options.n_cut, context.str());
+  }
+}
+
+TEST(Chaos, RunsAreDeterministicPerSeed) {
+  auto fingerprint = [](std::uint64_t seed) {
+    ChaosSetup s = make_setup(12, 77);
+    FaultPlan plan(seed);
+    plan.set_default_faults({.drop_prob = 0.2,
+                             .duplicate_prob = 0.1,
+                             .jitter_max = 0.05});
+    plan.add_crash(s.fw.anchors.bfs_order()[1], 3.0, 9.0);
+    AsyncOverlayOptions options;
+    options.faults = &plan;
+    AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options,
+                       seed + 1);
+    EventEngine engine;
+    async.run_for(engine, 40.0);
+    std::ostringstream out;
+    out << engine.metrics().dropped() << '/' << engine.metrics().duplicated()
+        << '/' << engine.metrics().retried() << '/'
+        << engine.metrics().suspected() << '/' << async.gossip_rounds() << '/'
+        << async.last_change();
+    std::vector<NodeId> hosts = s.fw.anchors.bfs_order();
+    for (NodeId x : hosts) {
+      const OverlayNode& node = async.nodes().at(x);
+      for (NodeId m : hosts) {
+        auto it = node.aggr_node.find(m);
+        if (it == node.aggr_node.end()) continue;
+        auto sorted = it->second;
+        std::sort(sorted.begin(), sorted.end());
+        out << '|' << x << ':' << m;
+        for (NodeId d : sorted) out << ',' << d;
+      }
+    }
+    return out.str();
+  };
+  EXPECT_EQ(fingerprint(5), fingerprint(5));
+  EXPECT_NE(fingerprint(5), fingerprint(6));
+}
+
+TEST(Chaos, DegradedServingIsFlaggedAndWellFormed) {
+  ChaosSetup s = make_setup(16, 91);
+  AsyncOverlayOptions options;
+  options.n_cut = 100;
+  AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options, 92);
+  EventEngine engine;
+  const double horizon = 4.0 * (s.fw.anchors.diameter() + 2);
+  async.run_for(engine, horizon);
+  ASSERT_TRUE(async.healthy());
+
+  SystemOptions sync_options;
+  sync_options.n_cut = 100;
+  DecentralizedClusterSystem sync(s.fw.anchors, s.predicted, s.classes,
+                                  sync_options);
+  sync.run_to_convergence();
+  QueryServiceOptions service_options;
+  service_options.threads = 2;
+  QueryService service(sync, service_options);
+
+  // Knock two nodes out and serve from a snapshot taken mid-disruption.
+  async.crash(s.fw.anchors.bfs_order()[1]);
+  async.crash(s.fw.anchors.bfs_order()[2]);
+  async.run_for(engine, 2.0);
+  ASSERT_FALSE(async.healthy());
+  service.refresh(*snapshot_of(async, s.predicted, s.classes,
+                               sync_options.find_options));
+  for (NodeId start : s.fw.anchors.bfs_order()) {
+    const QueryResult r = service.submit(QueryRequest::at_class(start, 4, 0));
+    EXPECT_TRUE(r.degraded) << "start=" << start;
+    // Degraded answers stay well-formed: a valid status, and any cluster
+    // returned has exactly k members satisfying the class in predicted
+    // space (Algorithm 1 guarantees that regardless of table completeness).
+    if (r.found()) {
+      EXPECT_EQ(r.cluster.size(), 4u);
+      EXPECT_TRUE(cluster_satisfies(s.predicted, r.cluster, 4,
+                                    s.classes.distance_at(0)));
+    } else {
+      EXPECT_EQ(r.status, QueryStatus::kNotFound);
+    }
+  }
+  // Argument errors are degraded-flagged too (they reflect this snapshot).
+  EXPECT_TRUE(service.submit(QueryRequest::at_class(0, 1, 0)).degraded);
+
+  // Heal: recover both, let gossip refill the tables, re-snapshot.
+  async.recover(s.fw.anchors.bfs_order()[1]);
+  async.recover(s.fw.anchors.bfs_order()[2]);
+  async.run_for(engine, horizon);
+  ASSERT_TRUE(async.healthy());
+  service.refresh(*snapshot_of(async, s.predicted, s.classes,
+                               sync_options.find_options));
+  const QueryResult healed = service.submit(QueryRequest::at_class(0, 4, 0));
+  EXPECT_FALSE(healed.degraded);
+  EXPECT_TRUE(healed.found());
+}
+
+}  // namespace
+}  // namespace bcc

@@ -90,6 +90,65 @@ TEST(EventEngine, RejectsPastAndBadArguments) {
   EXPECT_THROW(e.run_until(e.now() - 1.0), ContractViolation);
 }
 
+TEST(EventEngine, CancelPreventsPendingHandler) {
+  EventEngine e;
+  int fired = 0;
+  const TimerId doomed = e.schedule_at(1.0, [&] { fired += 10; });
+  e.schedule_at(2.0, [&] { fired += 1; });
+  EXPECT_EQ(e.pending(), 2u);
+  EXPECT_TRUE(e.cancel(doomed));
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_FALSE(e.cancel(doomed));  // double cancel is a no-op
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.events_processed(), 1u);
+  EXPECT_EQ(e.events_cancelled(), 1u);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);  // time still advances past the survivor
+}
+
+TEST(EventEngine, CancelAfterFiringFails) {
+  EventEngine e;
+  const TimerId id = e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(kNoTimer));
+  EXPECT_FALSE(e.cancel(12345));  // never handed out
+}
+
+TEST(EventEngine, CancelStopsARearmingTimerChain) {
+  // The AsyncOverlay crash path: a timer that re-arms itself forever can
+  // now be stopped from outside.
+  EventEngine e;
+  int fired = 0;
+  TimerId current = kNoTimer;
+  auto rearm = [&](auto&& self) -> void {
+    ++fired;
+    current = e.schedule_after(1.0, [&, self] { self(self); });
+  };
+  current = e.schedule_after(1.0, [&] { rearm(rearm); });
+  e.run(5);
+  EXPECT_EQ(fired, 5);
+  EXPECT_TRUE(e.cancel(current));
+  EXPECT_EQ(e.run(), 0u);  // chain is dead
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(EventEngine, RunUntilSkipsCancelledAndKeepsCount) {
+  EventEngine e;
+  int fired = 0;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(e.schedule_at(1.0 + i, [&] { ++fired; }));
+  }
+  e.cancel(ids[0]);
+  e.cancel(ids[2]);
+  e.cancel(ids[4]);
+  EXPECT_EQ(e.run_until(10.0), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(e.idle());
+}
+
 TEST(EventEngine, InterleavedTimersAreDeterministic) {
   auto run_once = [] {
     EventEngine e;

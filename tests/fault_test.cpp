@@ -1,0 +1,203 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace bcc {
+namespace {
+
+TEST(FaultPlan, DecisionsAreDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    FaultPlan plan(seed);
+    plan.set_default_faults({.drop_prob = 0.3, .duplicate_prob = 0.2,
+                             .jitter_max = 0.05});
+    std::vector<double> trace;
+    for (int i = 0; i < 200; ++i) {
+      const auto d = plan.decide(0, 1, 0.1 * i);
+      trace.push_back(d.deliver ? 1.0 : 0.0);
+      trace.push_back(d.duplicate ? 1.0 : 0.0);
+      trace.push_back(d.extra_delay);
+      trace.push_back(d.dup_extra_delay);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultPlan, DropProbabilityOneDropsEverything) {
+  FaultPlan plan(1);
+  plan.set_default_faults({.drop_prob = 1.0});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(plan.decide(0, 1, 0.0).deliver);
+  }
+}
+
+TEST(FaultPlan, PartitionCutsBothDirectionsDuringWindowOnly) {
+  FaultPlan plan(1);
+  plan.add_partition({0, 1}, {2, 3}, /*from=*/10.0, /*until=*/20.0);
+  // Inside the window, both directions across the cut are severed.
+  EXPECT_TRUE(plan.is_cut(0, 2, 15.0));
+  EXPECT_TRUE(plan.is_cut(2, 0, 15.0));
+  EXPECT_TRUE(plan.is_cut(1, 3, 10.0));  // from is inclusive
+  // Same-side traffic flows.
+  EXPECT_FALSE(plan.is_cut(0, 1, 15.0));
+  EXPECT_FALSE(plan.is_cut(2, 3, 15.0));
+  // Outside the window nothing is cut.
+  EXPECT_FALSE(plan.is_cut(0, 2, 9.99));
+  EXPECT_FALSE(plan.is_cut(0, 2, 20.0));  // until is exclusive
+  // decide() honors the cut (no randomness consumed for a cut link).
+  EXPECT_FALSE(plan.decide(0, 2, 15.0).deliver);
+  EXPECT_TRUE(plan.decide(0, 2, 25.0).deliver);
+}
+
+TEST(FaultPlan, CrashWindows) {
+  FaultPlan plan(1);
+  plan.add_crash(4, /*down_at=*/5.0, /*up_at=*/8.0);
+  plan.add_crash(4, /*down_at=*/12.0);  // never recovers
+  EXPECT_FALSE(plan.is_down(4, 4.9));
+  EXPECT_TRUE(plan.is_down(4, 5.0));
+  EXPECT_TRUE(plan.is_down(4, 7.99));
+  EXPECT_FALSE(plan.is_down(4, 8.0));  // up_at is exclusive
+  EXPECT_TRUE(plan.is_down(4, 12.0));
+  EXPECT_TRUE(plan.is_down(4, 1e9));
+  EXPECT_FALSE(plan.is_down(5, 6.0));  // other nodes unaffected
+  ASSERT_EQ(plan.crashes().size(), 2u);
+  EXPECT_EQ(plan.crashes()[0].first, 4u);
+  EXPECT_DOUBLE_EQ(plan.crashes()[1].second.up_at, FaultPlan::kNever);
+}
+
+TEST(FaultPlan, PerLinkOverrideBeatsDefaultAndIsUnordered) {
+  FaultPlan plan(1);
+  plan.set_default_faults({.drop_prob = 0.5});
+  plan.set_link_faults(2, 7, {.drop_prob = 0.0, .jitter_max = 0.1});
+  EXPECT_DOUBLE_EQ(plan.faults_on(0, 1).drop_prob, 0.5);
+  // The override is keyed on the unordered pair.
+  EXPECT_DOUBLE_EQ(plan.faults_on(2, 7).drop_prob, 0.0);
+  EXPECT_DOUBLE_EQ(plan.faults_on(7, 2).jitter_max, 0.1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(plan.decide(7, 2, 0.0).deliver);
+  }
+}
+
+TEST(FaultPlan, Validation) {
+  FaultPlan plan(1);
+  EXPECT_THROW(plan.set_default_faults({.drop_prob = 1.5}),
+               ContractViolation);
+  EXPECT_THROW(plan.set_default_faults({.duplicate_prob = -0.1}),
+               ContractViolation);
+  EXPECT_THROW(plan.set_link_faults(0, 1, {.jitter_max = -1.0}),
+               ContractViolation);
+  EXPECT_THROW(plan.add_partition({0}, {1}, 5.0, 4.0), ContractViolation);
+  EXPECT_THROW(plan.add_crash(0, 5.0, 5.0), ContractViolation);
+}
+
+TEST(FaultyChannel, NullPlanIsAPerfectNetwork) {
+  EventEngine engine;
+  FaultyChannel channel(&engine, nullptr);
+  int delivered = 0;
+  for (int i = 0; i < 20; ++i) {
+    channel.send(0, 1, 0.05, [&] { ++delivered; });
+  }
+  engine.run();
+  EXPECT_EQ(delivered, 20);
+  EXPECT_EQ(engine.metrics().dropped(), 0u);
+  EXPECT_EQ(engine.metrics().duplicated(), 0u);
+}
+
+TEST(FaultyChannel, DropsAreCountedAndNotDelivered) {
+  EventEngine engine;
+  FaultPlan plan(7);
+  plan.set_default_faults({.drop_prob = 1.0});
+  FaultyChannel channel(&engine, &plan);
+  int delivered = 0;
+  for (int i = 0; i < 30; ++i) {
+    channel.send(0, 1, 0.05, [&] { ++delivered; });
+  }
+  engine.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(engine.metrics().dropped(), 30u);
+}
+
+TEST(FaultyChannel, DuplicatesDeliverTwiceAtDistinctTimes) {
+  EventEngine engine;
+  FaultPlan plan(7);
+  plan.set_default_faults({.duplicate_prob = 1.0, .jitter_max = 0.01});
+  FaultyChannel channel(&engine, &plan);
+  std::vector<double> arrivals;
+  channel.send(0, 1, 0.05, [&] { arrivals.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NE(arrivals[0], arrivals[1]);
+  EXPECT_GE(arrivals[0], 0.05);
+  EXPECT_EQ(engine.metrics().duplicated(), 1u);
+}
+
+TEST(FaultyChannel, CrashedReceiverLosesInFlightMessages) {
+  EventEngine engine;
+  FaultPlan plan(7);
+  plan.add_crash(1, /*down_at=*/0.02, /*up_at=*/1.0);
+  FaultyChannel channel(&engine, &plan);
+  int delivered = 0;
+  // Sent while both are up, but node 1 is down when it arrives at t=0.05.
+  channel.send(0, 1, 0.05, [&] { ++delivered; });
+  engine.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(engine.metrics().dropped(), 1u);
+  // After recovery, delivery works again.
+  engine.schedule_at(1.5, [&] {
+    channel.send(0, 1, 0.05, [&] { ++delivered; });
+  });
+  engine.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(FaultyChannel, CrashedSenderPutsNothingOnTheWire) {
+  EventEngine engine;
+  FaultPlan plan(7);
+  plan.add_crash(0, /*down_at=*/0.0, /*up_at=*/1.0);
+  FaultyChannel channel(&engine, &plan);
+  int delivered = 0;
+  channel.send(0, 1, 0.05, [&] { ++delivered; });
+  engine.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(engine.metrics().dropped(), 1u);
+}
+
+TEST(FaultyChannel, JitterReordersMessages) {
+  // With enough jitter relative to spacing, some pair of messages must
+  // arrive out of send order (deterministically, given the seed).
+  EventEngine engine;
+  FaultPlan plan(3);
+  plan.set_default_faults({.jitter_max = 0.5});
+  FaultyChannel channel(&engine, &plan);
+  std::vector<int> arrivals;
+  for (int i = 0; i < 20; ++i) {
+    engine.schedule_at(0.01 * i, [&, i] {
+      channel.send(0, 1, 0.05, [&, i] { arrivals.push_back(i); });
+    });
+  }
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 20u);
+  EXPECT_FALSE(std::is_sorted(arrivals.begin(), arrivals.end()));
+}
+
+TEST(MessageMetrics, ResetClearsFaultCounters) {
+  EventEngine engine;
+  FaultPlan plan(7);
+  plan.set_default_faults({.drop_prob = 1.0});
+  FaultyChannel channel(&engine, &plan);
+  channel.send(0, 1, 0.0, [] {});
+  engine.run();
+  EXPECT_EQ(engine.metrics().dropped(), 1u);
+  engine.metrics().reset();
+  EXPECT_EQ(engine.metrics().dropped(), 0u);
+  EXPECT_EQ(engine.metrics().duplicated(), 0u);
+  EXPECT_EQ(engine.metrics().retried(), 0u);
+  EXPECT_EQ(engine.metrics().suspected(), 0u);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -223,6 +223,34 @@ TEST(QueryService, RefreshSwapsSnapshotAndInvalidatesCache) {
   EXPECT_EQ(service.stats().cache_hits, 1u);  // no hit across the swap
 }
 
+TEST(QueryService, UnconvergedSnapshotServesDegradedResults) {
+  auto sys = make_system(20, 100, 42);
+  QueryServiceOptions options;
+  options.threads = 2;
+  QueryService service(sys, options);
+  const auto req = QueryRequest::at_class(0, 4, 0);
+  EXPECT_FALSE(service.submit(req).degraded);  // converged system
+
+  // Install a snapshot captured mid-disruption (converged = false): every
+  // result served from it — found, not-found, or argument error — carries
+  // the degraded flag.
+  SystemSnapshot disrupted = *snapshot_of(sys);
+  disrupted.converged = false;
+  service.refresh(std::move(disrupted));
+  const auto degraded = service.submit(req);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_TRUE(degraded.found());  // still a well-formed answer
+  EXPECT_TRUE(service.submit(QueryRequest::at_class(0, 1, 0)).degraded);
+  for (const auto& r :
+       service.submit_batch(std::vector<QueryRequest>{req, req})) {
+    EXPECT_TRUE(r.degraded);
+  }
+
+  // A healthy refresh clears the flag.
+  service.refresh(sys);
+  EXPECT_FALSE(service.submit(req).degraded);
+}
+
 TEST(QueryService, StatsCountStatusesHopsAndLatency) {
   auto sys = make_system(20, 100, 16);
   QueryServiceOptions options;

@@ -109,6 +109,60 @@ TEST_F(SerializationTest, RejectsMissingFile) {
   EXPECT_THROW(load_framework(path("ghost.txt")), std::runtime_error);
 }
 
+TEST_F(SerializationTest, RejectsEmptyAndHeaderOnlyFiles) {
+  write_file("empty.txt", "");
+  EXPECT_THROW(load_framework(path("empty.txt")), std::runtime_error);
+  write_file("only_comments.txt", "# nothing\n# here\n");
+  EXPECT_THROW(load_framework(path("only_comments.txt")), std::runtime_error);
+  // Magic present but the host count is missing entirely.
+  write_file("no_count.txt", "bcc-framework v1\n");
+  EXPECT_THROW(load_framework(path("no_count.txt")), std::runtime_error);
+}
+
+TEST_F(SerializationTest, RejectsMalformedHostCount) {
+  write_file("count.txt", "bcc-framework v1\nmany\n0 -1 0 0\n");
+  EXPECT_THROW(load_framework(path("count.txt")), std::runtime_error);
+}
+
+TEST_F(SerializationTest, RejectsMalformedRecordFields) {
+  // Non-numeric anchor field.
+  write_file("fields.txt", "bcc-framework v1\n2\n0 -1 0 0\n1 x 0 5\n");
+  EXPECT_THROW(load_framework(path("fields.txt")), std::runtime_error);
+  // Negative host id.
+  write_file("neghost.txt", "bcc-framework v1\n1\n-3 -1 0 0\n");
+  EXPECT_THROW(load_framework(path("neghost.txt")), std::runtime_error);
+  // Too few fields on a record line.
+  write_file("short.txt", "bcc-framework v1\n2\n0 -1 0 0\n1 0 0\n");
+  EXPECT_THROW(load_framework(path("short.txt")), std::runtime_error);
+}
+
+TEST_F(SerializationTest, RejectsDuplicateHost) {
+  // Restoring host 0 twice violates the prediction-tree contract; the
+  // loader must surface it as a malformed-file error, not a crash.
+  write_file("dup.txt", "bcc-framework v1\n2\n0 -1 0 0\n0 0 0 5\n");
+  EXPECT_THROW(load_framework(path("dup.txt")), std::runtime_error);
+}
+
+TEST_F(SerializationTest, ErrorsNameTheOffendingFile) {
+  write_file("named.txt", "bcc-framework v1\nmany\n");
+  try {
+    load_framework(path("named.txt"));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("named.txt"), std::string::npos);
+  }
+}
+
+TEST_F(SerializationTest, SaveToUnwritablePathThrows) {
+  Framework fw;
+  fw.prediction.add_first(0);
+  fw.anchors.set_root(0);
+  const std::string bad = path("no_such_dir") + "/fw.txt";
+  EXPECT_THROW(save_framework(fw, bad), std::runtime_error);
+  // Nothing was left behind.
+  EXPECT_FALSE(std::filesystem::exists(bad));
+}
+
 TEST_F(SerializationTest, LoadedFrameworkServesQueries) {
   // End-to-end: snapshot -> reload -> decentralized system answers as before.
   Rng rng(3);

@@ -14,9 +14,14 @@
 //                  run the decentralized system and answer one query
 //   bcc eval     --data DIR/NAME [--queries N --k K]
 //                  WPR/RR sweep over the bandwidth grid (mini Fig. 3)
+//   bcc chaos    --data DIR/NAME [--drop P --dup P --jitter S --crash F]
+//                  run the asynchronous gossip stack over a lossy network
+//                  with crash/recover faults and check it still reaches the
+//                  synchronous ground-truth fixpoint
 //
 // Any dataset can be a user-provided measurement matrix: put it at
 // DIR/NAME.bw.csv (square Mbps CSV, zero diagonal; asymmetry is averaged).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -161,6 +166,106 @@ int cmd_query(int argc, const char* const* argv) {
   wpr.add_cluster(data.bandwidth, r.cluster, b);
   std::printf("\nreal-bandwidth check: %zu/%zu pairs below b (WPR %.3f)\n",
               wpr.wrong_pairs(), wpr.total_pairs(), wpr.rate());
+  const MessageMetrics& mm = sys.metrics();
+  std::printf("gossip traffic: %zu msgs / %zu bytes "
+              "(dropped %zu, duplicated %zu, retried %zu, suspected %zu)\n",
+              mm.total_messages(), mm.total_bytes(), mm.dropped(),
+              mm.duplicated(), mm.retried(), mm.suspected());
+  return 0;
+}
+
+int cmd_chaos(int argc, const char* const* argv) {
+  Options opts("bcc chaos",
+               "async gossip under injected faults vs. the sync fixpoint");
+  auto& data_arg = opts.add_string("data", "", "DIR/NAME of the dataset");
+  auto& drop = opts.add_double("drop", 0.2, "per-message drop probability");
+  auto& dup = opts.add_double("dup", 0.05,
+                              "per-message duplication probability");
+  auto& jitter = opts.add_double("jitter", 0.02,
+                                 "max extra delivery delay (s, reorders)");
+  auto& crash = opts.add_double("crash", 0.1,
+                                "fraction of nodes that crash and recover");
+  auto& n_cut = opts.add_int("n_cut", 10, "aggregate size limit");
+  auto& seed = opts.add_int("seed", 42, "framework + fault seed");
+  opts.parse(argc, argv);
+  std::string dir, name;
+  if (!split_data_arg(data_arg, dir, name)) {
+    std::fprintf(stderr, "bcc chaos: --data DIR/NAME is required\n");
+    return 1;
+  }
+  if (drop < 0.0 || drop >= 1.0 || crash < 0.0 || crash > 1.0) {
+    std::fprintf(stderr, "bcc chaos: need 0 <= --drop < 1, 0 <= --crash <= 1\n");
+    return 1;
+  }
+  const SynthDataset data = load_dataset(name, dir);
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Framework fw = build_framework(data.distances, rng);
+  const DistanceMatrix predicted = fw.predicted_distances();
+  const BandwidthClasses classes = BandwidthClasses::uniform_grid(5, 300, 5);
+  const std::size_t n = fw.prediction.host_count();
+
+  FaultPlan plan(static_cast<std::uint64_t>(seed) + 1);
+  plan.set_default_faults(
+      {.drop_prob = drop, .duplicate_prob = dup, .jitter_max = jitter});
+  const auto order = fw.anchors.bfs_order();
+  const std::size_t crashers =
+      std::min(n - 1, static_cast<std::size_t>(crash * static_cast<double>(n)));
+  for (std::size_t i = 0; i < crashers; ++i) {
+    // Staggered mid-run outages; everyone recovers before the quiet tail.
+    plan.add_crash(order[1 + i], 4.0 + 2.0 * static_cast<double>(i),
+                   10.0 + 2.0 * static_cast<double>(i));
+  }
+
+  AsyncOverlayOptions async_options;
+  async_options.n_cut = static_cast<std::size_t>(n_cut);
+  async_options.faults = &plan;
+  AsyncOverlay async(&fw.anchors, &predicted, &classes, async_options,
+                     static_cast<std::uint64_t>(seed) + 2);
+  EventEngine engine;
+  const double diameter = static_cast<double>(fw.anchors.diameter());
+  const double horizon =
+      10.0 + 2.0 * static_cast<double>(crashers) + (8.0 + 24.0 * drop) * (diameter + 2.0);
+  async.run_for(engine, horizon);
+
+  SystemOptions sync_options;
+  sync_options.n_cut = static_cast<std::size_t>(n_cut);
+  DecentralizedClusterSystem sync(fw.anchors, predicted, classes,
+                                  sync_options);
+  sync.run_to_convergence();
+  std::size_t mismatched = 0;
+  for (NodeId x : order) {
+    const OverlayNode& a = async.nodes().at(x);
+    const OverlayNode& s = sync.node(x);
+    auto sorted = [](std::vector<NodeId> v) {
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    for (NodeId m : s.neighbors) {
+      if (sorted(a.aggr_node.at(m)) != sorted(s.aggr_node.at(m)) ||
+          a.aggr_crt.at(m) != s.aggr_crt.at(m)) {
+        ++mismatched;
+      }
+    }
+  }
+
+  const MessageMetrics& mm = engine.metrics();
+  std::printf("chaos run: %zu hosts, drop %.0f%%, dup %.0f%%, jitter %.3fs, "
+              "%zu crash/recover, %.1fs simulated\n",
+              n, drop * 100.0, dup * 100.0, jitter, crashers, horizon);
+  std::printf("traffic: %zu msgs / %zu bytes | dropped %zu, duplicated %zu, "
+              "retried %zu, suspected %zu\n",
+              mm.total_messages(), mm.total_bytes(), mm.dropped(),
+              mm.duplicated(), mm.retried(), mm.suspected());
+  std::printf("gossip rounds %zu, last state change at t=%.2fs, healthy: %s\n",
+              async.gossip_rounds(), async.last_change(),
+              async.healthy() ? "yes" : "no");
+  if (mismatched != 0) {
+    std::printf("FIXPOINT MISMATCH: %zu neighbor tables differ from the "
+                "synchronous ground truth\n",
+                mismatched);
+    return 2;
+  }
+  std::printf("fixpoint check: all tables match the synchronous ground truth\n");
   return 0;
 }
 
@@ -231,7 +336,7 @@ int cmd_preprocess(int argc, const char* const* argv) {
 void usage() {
   std::fputs(
       "bcc — bandwidth-constrained clustering in tree metric spaces\n"
-      "usage: bcc <gen|preprocess|embed|treeness|query|eval> [--help] "
+      "usage: bcc <gen|preprocess|embed|treeness|query|eval|chaos> [--help] "
       "[options]\n",
       stderr);
 }
@@ -254,6 +359,7 @@ int main(int argc, char** argv) {
     if (cmd == "treeness") return cmd_treeness(sub_argc, sub_argv);
     if (cmd == "query") return cmd_query(sub_argc, sub_argv);
     if (cmd == "eval") return cmd_eval(sub_argc, sub_argv);
+    if (cmd == "chaos") return cmd_chaos(sub_argc, sub_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bcc %s: %s\n", cmd.c_str(), e.what());
     return 1;

@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
 # Sanitizer ctest jobs (the BCC_SANITIZE CMake option wired to ctest):
 #
-#   * ThreadSanitizer over the serving-layer tests — the QueryService
+#   * ThreadSanitizer over the serving-layer + chaos tests — the QueryService
 #     concurrency test races submit_batch against refresh() snapshot swaps,
-#     which is exactly the code TSan exists for;
-#   * AddressSanitizer + UBSan over the full suite.
+#     and the chaos suite swaps degraded snapshots mid-serve, which is
+#     exactly the code TSan exists for;
+#   * AddressSanitizer + UBSan over the full suite, chaos suite included
+#     (fault injection exercises cancellation/retry paths that juggle timer
+#     lifetimes — prime use-after-free territory).
+#
+# The chaos sweeps honor BCC_CHAOS_SEEDS / BCC_CHAOS_N (see
+# tests/chaos_test.cpp); nightly jobs export larger values before invoking
+# this script, e.g. BCC_CHAOS_SEEDS=10 BCC_CHAOS_N=24 tools/sanitize.sh.
+# A plain (unsanitized) chaos pass is just `ctest -L chaos` in any build dir.
 #
 # Usage: tools/sanitize.sh [tsan|asan|all]   (default: all)
 set -euo pipefail
@@ -15,13 +23,13 @@ jobs="$(nproc)"
 
 run_tsan() {
   cmake -B build-tsan -S . -DBCC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "${jobs}" --target bcc_tests
-  ctest --test-dir build-tsan -R 'QueryService|QueryStatusApi' --output-on-failure -j "${jobs}"
+  cmake --build build-tsan -j "${jobs}" --target bcc_tests bcc_chaos_tests
+  ctest --test-dir build-tsan -R 'QueryService|QueryStatusApi|Chaos' --output-on-failure -j "${jobs}"
 }
 
 run_asan() {
   cmake -B build-asan -S . -DBCC_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j "${jobs}" --target bcc_tests
+  cmake --build build-asan -j "${jobs}" --target bcc_tests bcc_chaos_tests
   ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 }
 
