@@ -11,6 +11,7 @@
 
 #include "common/options.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 #include "core/system.h"
 #include "data/planetlab_synth.h"
 #include "exp/common.h"
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   auto& seed = opts.add_int("seed", 42, "experiment seed");
   auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
   opts.parse(argc, argv);
+  obs::BenchReport report("ablation_churn");
 
   Rng data_rng(static_cast<std::uint64_t>(seed));
   SynthOptions data_options;
@@ -124,5 +126,7 @@ int main(int argc, char** argv) {
          cycles_sum / static_cast<double>(epochs)});
   }
   std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  obs::export_table(report, "main", table);
+  report.write();
   return 0;
 }

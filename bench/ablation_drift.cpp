@@ -10,6 +10,7 @@
 
 #include "common/options.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 #include "core/system.h"
 #include "data/dynamics.h"
 #include "exp/common.h"
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   auto& seed = opts.add_int("seed", 42, "experiment seed");
   auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
   opts.parse(argc, argv);
+  obs::BenchReport report("ablation_drift");
 
   Rng data_rng(static_cast<std::uint64_t>(seed));
   SynthOptions data_options;
@@ -101,5 +103,7 @@ int main(int argc, char** argv) {
                            static_cast<double>(dynamics.congested().size())});
   }
   std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  obs::export_table(report, "main", table);
+  report.write();
   return 0;
 }

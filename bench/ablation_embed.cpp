@@ -8,6 +8,7 @@
 
 #include "common/options.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 #include "data/planetlab_synth.h"
 #include "stats/accuracy.h"
 #include "stats/summary.h"
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   auto& seed = opts.add_int("seed", 42, "experiment seed");
   auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
   opts.parse(argc, argv);
+  obs::BenchReport report("ablation_embed");
 
   std::printf("== Ablation A3: Gromov end-node search x placement refinement "
               "(n=%lld) ==\n",
@@ -66,5 +68,7 @@ int main(int argc, char** argv) {
     }
   }
   std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  obs::export_table(report, "main", table);
+  report.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "common/options.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 #include "core/system.h"
 #include "exp/common.h"
 #include "stats/accuracy.h"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   auto& seed = opts.add_int("seed", 42, "experiment seed");
   auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
   opts.parse(argc, argv);
+  obs::BenchReport report("ablation_ncut");
 
   Rng data_rng(static_cast<std::uint64_t>(seed));
   SynthOptions data_options;
@@ -77,5 +79,7 @@ int main(int argc, char** argv) {
                    cycles_sum / static_cast<double>(rounds)});
   }
   std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  obs::export_table(report, "main", table);
+  report.write();
   return 0;
 }

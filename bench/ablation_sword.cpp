@@ -15,6 +15,7 @@
 
 #include "common/options.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 #include "core/exhaustive_baseline.h"
 #include "core/find_cluster.h"
 #include "data/planetlab_synth.h"
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   auto& seed = opts.add_int("seed", 42, "experiment seed");
   auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
   opts.parse(argc, argv);
+  obs::BenchReport report("ablation_sword");
 
   Rng data_rng(static_cast<std::uint64_t>(seed));
   SynthOptions data_options;
@@ -97,7 +99,9 @@ int main(int argc, char** argv) {
                            static_cast<double>(alg1_found) / total});
   }
   std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  obs::export_table(report, "main", table);
   std::printf("\n(Algorithm 1 always answers: its cost is a fixed O(n^3) "
               "pass, never a give-up.)\n");
+  report.write();
   return 0;
 }

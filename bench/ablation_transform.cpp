@@ -10,6 +10,7 @@
 
 #include "common/options.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 #include "data/planetlab_synth.h"
 #include "stats/accuracy.h"
 #include "stats/summary.h"
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
   auto& seed = opts.add_int("seed", 42, "experiment seed");
   auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
   opts.parse(argc, argv);
+  obs::BenchReport report("ablation_transform");
 
   Rng data_rng(static_cast<std::uint64_t>(seed));
   SynthOptions data_options;
@@ -108,5 +110,7 @@ int main(int argc, char** argv) {
   row("EUCL rational + height vector", err_height);
   row("TREE (prediction tree)", err_tree);
   std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  obs::export_table(report, "main", table);
+  report.write();
   return 0;
 }

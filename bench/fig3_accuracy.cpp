@@ -8,13 +8,15 @@
 
 #include "common/options.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 #include "exp/fig3.h"
 
 namespace {
 
 using namespace bcc;
 
-void print_result(const std::string& tag, const exp::Fig3Result& r, bool csv) {
+void print_result(const std::string& tag, const exp::Fig3Result& r, bool csv,
+                  obs::BenchReport& report) {
   std::printf("== Fig. 3: WPR vs b (%s) — k fixed, 3 approaches ==\n",
               tag.c_str());
   TablePrinter wpr({"b_mbps", tag + "-TREE-DECENTRAL", tag + "-TREE-CENTRAL",
@@ -24,6 +26,7 @@ void print_result(const std::string& tag, const exp::Fig3Result& r, bool csv) {
                  row.wpr_eucl_central, row.rr_tree_decentral});
   }
   std::fputs(csv ? wpr.to_csv().c_str() : wpr.to_string().c_str(), stdout);
+  obs::export_table(report, tag + "_wpr", wpr);
 
   std::printf("\n== Fig. 3: CDF of relative bandwidth prediction error (%s) ==\n",
               tag.c_str());
@@ -50,6 +53,7 @@ void print_result(const std::string& tag, const exp::Fig3Result& r, bool csv) {
                  cdf_value(r.eucl_error_cdf, e)});
   }
   std::fputs(csv ? cdf.to_csv().c_str() : cdf.to_string().c_str(), stdout);
+  obs::export_table(report, tag + "_cdf", cdf);
   std::printf("\n");
 }
 
@@ -67,6 +71,7 @@ int main(int argc, char** argv) {
   auto& seed = opts.add_int("seed", 42, "experiment seed");
   auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
   opts.parse(argc, argv);
+  obs::BenchReport report("fig3_accuracy");
 
   if (dataset == "hp" || dataset == "both") {
     bcc::Rng rng(static_cast<std::uint64_t>(seed));
@@ -80,7 +85,7 @@ int main(int argc, char** argv) {
     params.b_max = 75.0;
     print_result("HP", bcc::exp::run_fig3(hp, params,
                                           static_cast<std::uint64_t>(seed)),
-                 csv);
+                 csv, report);
   }
   if (dataset == "umd" || dataset == "both") {
     bcc::Rng rng(static_cast<std::uint64_t>(seed) + 1);
@@ -94,7 +99,8 @@ int main(int argc, char** argv) {
     params.b_max = 110.0;
     print_result("UMD", bcc::exp::run_fig3(umd, params,
                                            static_cast<std::uint64_t>(seed)),
-                 csv);
+                 csv, report);
   }
+  report.write();
   return 0;
 }

@@ -9,13 +9,15 @@
 
 #include "common/options.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 #include "exp/fig4.h"
 
 namespace {
 
 using namespace bcc;
 
-void print_result(const std::string& tag, const exp::Fig4Result& r, bool csv) {
+void print_result(const std::string& tag, const exp::Fig4Result& r, bool csv,
+                  obs::BenchReport& report) {
   std::printf("== Fig. 4: Return Rate vs k (%s), n_cut-limited overlay ==\n",
               tag.c_str());
   TablePrinter table(
@@ -25,6 +27,7 @@ void print_result(const std::string& tag, const exp::Fig4Result& r, bool csv) {
                    row.rr_decentral});
   }
   std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  obs::export_table(report, tag + "_rr", table);
   std::printf("\n");
 }
 
@@ -43,6 +46,7 @@ int main(int argc, char** argv) {
   auto& seed = opts.add_int("seed", 42, "experiment seed");
   auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
   opts.parse(argc, argv);
+  obs::BenchReport report("fig4_tradeoff");
 
   if (dataset == "hp" || dataset == "both") {
     bcc::Rng rng(static_cast<std::uint64_t>(seed));
@@ -58,7 +62,7 @@ int main(int argc, char** argv) {
     params.b_max = 75.0;
     print_result("HP", bcc::exp::run_fig4(hp, params,
                                           static_cast<std::uint64_t>(seed)),
-                 csv);
+                 csv, report);
   }
   if (dataset == "umd" || dataset == "both") {
     bcc::Rng rng(static_cast<std::uint64_t>(seed) + 1);
@@ -74,7 +78,8 @@ int main(int argc, char** argv) {
     params.b_max = 110.0;
     print_result("UMD", bcc::exp::run_fig4(umd, params,
                                            static_cast<std::uint64_t>(seed)),
-                 csv);
+                 csv, report);
   }
+  report.write();
   return 0;
 }

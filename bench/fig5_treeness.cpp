@@ -10,6 +10,7 @@
 
 #include "common/options.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 #include "exp/fig5.h"
 
 int main(int argc, char** argv) {
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   auto& seed = opts.add_int("seed", 42, "experiment seed");
   auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
   opts.parse(argc, argv);
+  obs::BenchReport report("fig5_treeness");
 
   exp::Fig5Params params;
   params.mode = (mode == "subset") ? exp::Fig5Mode::kSubsetSweep
@@ -80,5 +82,7 @@ int main(int argc, char** argv) {
   }
   std::fputs(csv ? summary.to_csv().c_str() : summary.to_string().c_str(),
              stdout);
+  obs::export_table(report, "summary", summary);
+  report.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "common/options.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 #include "exp/fig6.h"
 
 int main(int argc, char** argv) {
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   auto& seed = opts.add_int("seed", 42, "experiment seed");
   auto& csv = opts.add_bool("csv", false, "emit CSV instead of tables");
   opts.parse(argc, argv);
+  obs::BenchReport report("fig6_scalability");
 
   // Base trace: the UMD-like dataset (317 nodes), as in the paper.
   Rng rng(static_cast<std::uint64_t>(seed));
@@ -51,5 +53,7 @@ int main(int argc, char** argv) {
                            row.avg_hops_found, row.max_hops, row.rr});
   }
   std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  obs::export_table(report, "main", table);
+  report.write();
   return 0;
 }

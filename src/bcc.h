@@ -46,6 +46,10 @@
 #include "metric/bandwidth.h"
 #include "metric/distance_matrix.h"
 #include "metric/four_point.h"
+#include "obs/bench_report.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/query_service.h"
 #include "serve/query_stats.h"
 #include "serve/snapshot.h"

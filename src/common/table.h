@@ -35,6 +35,10 @@ class TablePrinter {
 
   std::size_t row_count() const { return rows_.size(); }
 
+  /// Raw cells, for consumers that re-export the table (obs::BenchReport).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace bcc {
 
 AsyncOverlay::AsyncOverlay(const AnchorTree* overlay,
@@ -61,6 +63,7 @@ void AsyncOverlay::cancel_timer(NodeId x) {
 void AsyncOverlay::gossip(NodeId x) {
   gossip_timer_.erase(x);  // this firing consumed the timer
   if (down_.count(x) || !nodes_.count(x)) return;
+  obs::Span span(obs::SpanCategory::kGossip, "gossip_round");
   ++rounds_;
   // Refresh the node's own CRT entry from its current clustering space
   // (Algorithm 3 line 8).
@@ -150,6 +153,8 @@ void AsyncOverlay::on_ack_timeout(NodeId x, NodeId v, std::uint64_t exchange,
   pending_ack_.erase(exchange);
   if (down_.count(x) || !nodes_.count(x) || !nodes_.count(v)) return;
   if (attempt < options_.max_retries) {
+    // Covers recomputing the payload and re-sending with backed-off timeout.
+    obs::Span span(obs::SpanCategory::kGossip, "retry_exchange");
     engine_->metrics().count_retried();
     start_exchange(x, v, attempt + 1);
     return;
@@ -158,6 +163,7 @@ void AsyncOverlay::on_ack_timeout(NodeId x, NodeId v, std::uint64_t exchange,
   ++link.consecutive_failures;
   if (!link.suspected &&
       link.consecutive_failures >= options_.suspect_after) {
+    obs::Span span(obs::SpanCategory::kGossip, "suspect_peer");
     link.suspected = true;
     engine_->metrics().count_suspected();
   }
@@ -284,7 +290,14 @@ void AsyncOverlay::run_for(EventEngine& engine, double duration) {
   BCC_REQUIRE(duration >= 0.0);
   if (!started_) start(engine);
   BCC_REQUIRE(engine_ == &engine);
+  // While gossip tracing is on, stamp spans with simulated time too. The
+  // clock is installed only for the duration of this run so the global
+  // tracer never keeps a dangling engine reference.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool traced = tracer.enabled(obs::SpanCategory::kGossip);
+  if (traced) tracer.set_sim_clock([&engine] { return engine.now(); });
   engine.run_until(engine.now() + duration);
+  if (traced) tracer.clear_sim_clock();
 }
 
 }  // namespace bcc

@@ -1,0 +1,164 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace bcc::obs {
+
+namespace {
+
+/// Shortest round-trip-ish representation, locale-independent, valid JSON
+/// (non-finite values become 0 — registries of durations and ratios should
+/// never produce them, but an exporter must not emit invalid output).
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+/// Prometheus metric name: dots become underscores (the segments are
+/// already [a-z0-9_] by the registry's naming contract).
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
+
+void append_histogram_json(std::string& out, const Histogram::Snapshot& h) {
+  out += "{\"count\":" + fmt_u64(h.count) + ",\"sum\":" + fmt_u64(h.sum) +
+         ",\"max\":" + fmt_u64(h.max) + ",\"mean\":" + fmt_double(h.mean()) +
+         ",\"p50\":" + fmt_u64(h.quantile(50.0)) +
+         ",\"p90\":" + fmt_u64(h.quantile(90.0)) +
+         ",\"p99\":" + fmt_u64(h.quantile(99.0)) + ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"le\":" + fmt_u64(Histogram::Snapshot::bucket_upper(i)) +
+           ",\"count\":" + fmt_u64(h.buckets[i]) + "}";
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string prometheus_text(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + fmt_u64(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + fmt_double(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    // Cumulative buckets up to the highest non-empty one, then +Inf.
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] > 0) top = i;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= top && h.count > 0; ++i) {
+      cumulative += h.buckets[i];
+      out += p + "_bucket{le=\"" +
+             fmt_u64(Histogram::Snapshot::bucket_upper(i)) + "\"} " +
+             fmt_u64(cumulative) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + fmt_u64(h.count) + "\n";
+    out += p + "_sum " + fmt_u64(h.sum) + "\n";
+    out += p + "_count " + fmt_u64(h.count) + "\n";
+    out += p + "_p50 " + fmt_u64(h.quantile(50.0)) + "\n";
+    out += p + "_p90 " + fmt_u64(h.quantile(90.0)) + "\n";
+    out += p + "_p99 " + fmt_u64(h.quantile(99.0)) + "\n";
+  }
+  return out;
+}
+
+std::string json_object(const RegistrySnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + fmt_u64(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + fmt_double(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    append_histogram_json(out, h);
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string json_lines(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += "{\"type\":\"counter\",\"name\":\"" + name + "\",\"value\":" +
+           fmt_u64(value) + "}\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += "{\"type\":\"gauge\",\"name\":\"" + name + "\",\"value\":" +
+           fmt_double(value) + "}\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += "{\"type\":\"histogram\",\"name\":\"" + name + "\",\"value\":";
+    append_histogram_json(out, h);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string trace_json_lines(const std::vector<SpanRecord>& spans) {
+  std::string out;
+  for (const SpanRecord& s : spans) {
+    out += "{\"id\":" + fmt_u64(s.id) + ",\"parent\":" + fmt_u64(s.parent) +
+           ",\"category\":\"" + to_string(s.category) + "\",\"name\":\"" +
+           s.name + "\",\"wall_begin_us\":" + fmt_u64(s.wall_begin_us) +
+           ",\"wall_end_us\":" + fmt_u64(s.wall_end_us) +
+           ",\"sim_begin\":" + fmt_double(s.sim_begin) +
+           ",\"sim_end\":" + fmt_double(s.sim_end) + "}\n";
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (written != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace bcc::obs

@@ -1,0 +1,38 @@
+// Exporters for the observability substrate: Prometheus text exposition
+// format and JSON (one self-contained object, plus a JSON-lines variant for
+// streaming/appending), over RegistrySnapshot / SpanRecord plain data so
+// exporting never blocks recording.
+//
+// Output is deterministic (snapshots are name-sorted, formatting is locale-
+// independent), which is what the golden tests in tests/obs_test.cpp pin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bcc::obs {
+
+/// Prometheus text format. Metric names have '.' mapped to '_'; histograms
+/// become the conventional cumulative `_bucket{le="..."}` / `_sum` /
+/// `_count` series with p50/p90/p99 summarised as `<name>_p50` gauges.
+std::string prometheus_text(const RegistrySnapshot& snapshot);
+
+/// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+/// Histograms carry count/sum/max/mean, p50/p90/p99, and their non-empty
+/// buckets as [{"le":upper,"count":n},...].
+std::string json_object(const RegistrySnapshot& snapshot);
+
+/// JSON-lines: one `{"type":...,"name":...,...}` object per line, same
+/// content as json_object. Suited to appending successive snapshots.
+std::string json_lines(const RegistrySnapshot& snapshot);
+
+/// JSON-lines over completed spans, oldest first.
+std::string trace_json_lines(const std::vector<SpanRecord>& spans);
+
+/// Writes `content` to `path` (truncating). Returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace bcc::obs

@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace bcc::obs {
+
+bool valid_metric_name(std::string_view name) {
+  // bcc.<module>.<metric>: >= 3 segments, each nonempty over [a-z0-9_].
+  std::size_t segments = 0;
+  std::size_t seg_len = 0;
+  for (char c : name) {
+    if (c == '.') {
+      if (seg_len == 0) return false;
+      ++segments;
+      seg_len = 0;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+    ++seg_len;
+  }
+  if (seg_len == 0) return false;
+  ++segments;
+  return segments >= 3 && name.substr(0, 4) == "bcc.";
+}
+
+std::size_t Counter::stripe_index() noexcept {
+  // Threads grab consecutive stripe ids on first use; with kStripes a power
+  // of two this spreads any number of threads evenly.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return idx % kStripes;
+}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen && !max_.compare_exchange_weak(seen, v,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot s;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  // count is derived from the copied buckets (not a separate atomic) so the
+  // snapshot's quantile walk and its count can never disagree.
+  s.count = 0;
+  for (std::uint64_t b : s.buckets) s.count += b;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::Snapshot::quantile(double p) const {
+  if (count == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(std::ceil(
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank && buckets[i] > 0) {
+      return std::min(bucket_upper(i), max);
+    }
+  }
+  return max;
+}
+
+std::uint64_t RegistrySnapshot::counter_value(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double RegistrySnapshot::gauge_value(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const Histogram::Snapshot* RegistrySnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+void Registry::check_new_name(std::string_view name) const {
+  BCC_REQUIRE(valid_metric_name(name));
+  // A name is bound to one instrument kind for the registry's lifetime.
+  BCC_REQUIRE(counters_.find(name) == counters_.end() &&
+              gauges_.find(name) == gauges_.end() &&
+              histograms_.find(name) == histograms_.end());
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    check_new_name(name);
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    check_new_name(name);
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    check_new_name(name);
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumentation sites cache references and may fire
+  // from static destructors; the registry must outlive everything.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+}  // namespace bcc::obs

@@ -1,0 +1,190 @@
+// The metrics half of the observability substrate (src/obs): a thread-safe
+// registry of named counters, gauges, and log-bucketed histograms that every
+// layer (sim/, core/, serve/, tree/, bench/) records into, and that the
+// exporters (obs/export.h) turn into Prometheus text or JSON.
+//
+// Hot-path cost model:
+//   * Counter::add is a single relaxed fetch_add on a cache-line-padded
+//     stripe chosen by thread (shard-per-thread, like the serve memo cache's
+//     shards) — concurrent writers never touch the same line.
+//   * Histogram::record is one relaxed fetch_add on a power-of-two bucket
+//     plus count/sum updates — no locks, no allocation.
+//   * Registry lookup (counter()/gauge()/histogram()) takes a mutex; callers
+//     on hot paths cache the returned reference (instruments are never
+//     destroyed or moved while the registry lives, so references stay valid
+//     forever — reset() zeroes values but keeps registrations).
+//
+// Naming convention (enforced here and by tools/check_metrics_names.sh):
+// `bcc.<module>.<metric>` — lowercase [a-z0-9_] segments, at least three,
+// e.g. `bcc.serve.query_micros`, `bcc.sim.faults_dropped`.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bcc::obs {
+
+/// True iff `name` follows the `bcc.<module>.<metric>` convention.
+bool valid_metric_name(std::string_view name);
+
+/// Monotonic counter. Adds go to one of kStripes cache-line-padded atomic
+/// cells selected per thread; value() sums the stripes (reads may miss
+/// concurrent in-flight adds, which is what a counter read is allowed to do).
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  Counter() = default;
+  /// Copies/moves carry the value (collapsed into one stripe), not the
+  /// atomics — so aggregates that embed a Counter (e.g. MessageMetrics)
+  /// stay movable. Not safe while the source is being written concurrently.
+  Counter(const Counter& other) noexcept {
+    cells_[0].v.store(other.value(), std::memory_order_relaxed);
+  }
+  Counter& operator=(const Counter& other) noexcept {
+    const std::uint64_t v = other.value();
+    reset();
+    cells_[0].v.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[stripe_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() noexcept {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static std::size_t stripe_index() noexcept;
+  std::array<Cell, kStripes> cells_{};
+};
+
+/// Last-written-wins instantaneous value (double).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram of non-negative integer samples (typically
+/// microseconds). Bucket i holds samples with bit_width(v) == i, i.e.
+/// bucket 0 holds v = 0 and bucket i >= 1 holds [2^(i-1), 2^i - 1]:
+/// factor-of-two resolution, fixed memory, lock-free recording.
+class Histogram {
+ public:
+  /// bit_width of a uint64 is at most 64.
+  static constexpr std::size_t kBuckets = 65;
+
+  /// Plain-data copy; quantiles are extracted from the copy so a snapshot
+  /// is internally consistent even while recording continues.
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+
+    /// Upper bound of the bucket holding the p-th percentile sample
+    /// (0 < p <= 100), capped by the observed max — accurate to the
+    /// bucket's factor-of-two width, 0 when empty. For any recorded
+    /// distribution: exact_quantile <= quantile(p) <= 2 * exact_quantile
+    /// (with equality at 0).
+    std::uint64_t quantile(double p) const;
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+    /// Inclusive upper bound of bucket i (2^i - 1; bucket 0 -> 0).
+    static std::uint64_t bucket_upper(std::size_t i) {
+      return i == 0 ? 0
+             : i >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << i) - 1;
+    }
+  };
+
+  void record(std::uint64_t v) noexcept;
+  Snapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Everything a registry knew at one instant, as plain data (see
+/// Registry::snapshot). Vectors are sorted by name.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+  /// Lookup helpers (0 / empty snapshot when absent).
+  std::uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+  const Histogram::Snapshot* histogram(std::string_view name) const;
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Named instrument registry. get-or-create accessors validate the naming
+/// convention (BCC_REQUIRE) and return references that stay valid for the
+/// registry's lifetime; a name is permanently bound to its first kind
+/// (re-registering `bcc.x.y` as a different kind throws).
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Coherent-enough copy of every instrument for exporters and tests.
+  RegistrySnapshot snapshot() const;
+
+  /// Zeroes all values; registrations (and outstanding references) survive.
+  void reset();
+
+  /// The process-wide default registry every built-in instrumentation site
+  /// records into.
+  static Registry& global();
+
+ private:
+  template <typename T>
+  using NamedMap = std::map<std::string, std::unique_ptr<T>, std::less<>>;
+
+  void check_new_name(std::string_view name) const;  // callers hold mutex_
+
+  mutable std::mutex mutex_;
+  NamedMap<Counter> counters_;      // guarded by mutex_ (map structure only;
+  NamedMap<Gauge> gauges_;          //  instrument values are atomic)
+  NamedMap<Histogram> histograms_;  // ditto
+};
+
+}  // namespace bcc::obs

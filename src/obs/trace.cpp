@@ -1,0 +1,109 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <utility>
+
+namespace bcc::obs {
+
+namespace {
+
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Innermost active span on this thread (0 = none) — the parent of the next
+/// span constructed here. Restored by Span destructors (strict RAII
+/// nesting), so it is exactly a stack.
+thread_local std::uint64_t tl_current_span = 0;
+
+}  // namespace
+
+void Tracer::set_capacity(std::size_t spans) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_capacity_ = spans == 0 ? 1 : spans;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  ring_head_ = 0;
+}
+
+std::size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_capacity_;
+}
+
+void Tracer::set_sim_clock(std::function<double()> now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sim_now_ = std::move(now);
+}
+
+std::uint64_t Tracer::begin_span(double* sim_now) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  *sim_now = sim_now_ ? sim_now_() : -1.0;
+  return id;
+}
+
+void Tracer::end_span(SpanRecord rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sim_now_) rec.sim_end = sim_now_();
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(rec);
+    return;
+  }
+  // Full: overwrite the oldest completed span.
+  ring_[ring_head_] = rec;
+  ring_head_ = (ring_head_ + 1) % ring_capacity_;
+  ++dropped_;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // ring_head_ is the oldest entry once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  ring_head_ = 0;
+  dropped_ = 0;
+}
+
+Tracer& Tracer::global() {
+  // Leaked on purpose, same reasoning as Registry::global().
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+Span::Span(Tracer& tracer, SpanCategory category, const char* name) {
+  if (!tracer.enabled(category)) return;  // the ~free disabled path
+  tracer_ = &tracer;
+  rec_.category = category;
+  rec_.name = name;
+  rec_.parent = tl_current_span;
+  rec_.wall_begin_us = wall_now_us();
+  rec_.id = tracer.begin_span(&rec_.sim_begin);
+  tl_current_span = rec_.id;
+}
+
+Span::~Span() {
+  if (!tracer_) return;
+  rec_.wall_end_us = wall_now_us();
+  tl_current_span = rec_.parent;
+  tracer_->end_span(rec_);
+}
+
+}  // namespace bcc::obs

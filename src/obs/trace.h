@@ -1,0 +1,148 @@
+// The tracing half of the observability substrate: RAII Span objects record
+// begin/end against wall-clock time (steady_clock microseconds) and — when a
+// simulation clock is installed — simulated EventEngine time, into a bounded
+// ring buffer that overwrites the oldest completed span when full.
+//
+// Cost model: a Span whose category is disabled (the default for every
+// category) does ONE relaxed atomic load and a branch — no clock reads, no
+// id allocation, no locking — so instrumenting the gossip hot loop costs
+// ~nothing until someone turns tracing on (BM_SpanOnOff quantifies this).
+// Enabled spans take the tracer mutex at begin and end; tracing is a
+// diagnostic mode, not a steady-state fast path.
+//
+// Nesting: spans on the same thread form a stack (thread-local current-span
+// id), so each record carries its parent's id and `bcc trace` can print the
+// tree.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace bcc::obs {
+
+/// Coarse subsystems tracing can be toggled for independently.
+enum class SpanCategory : std::uint8_t {
+  kSim = 0,    ///< cycle-driven engine, event engine
+  kGossip = 1, ///< async overlay exchanges, retries, suspicion
+  kServe = 2,  ///< query serving
+  kTree = 3,   ///< framework maintenance
+  kBench = 4,  ///< harnesses and ad-hoc use
+};
+inline constexpr std::size_t kSpanCategoryCount = 5;
+
+constexpr const char* to_string(SpanCategory c) {
+  switch (c) {
+    case SpanCategory::kSim: return "sim";
+    case SpanCategory::kGossip: return "gossip";
+    case SpanCategory::kServe: return "serve";
+    case SpanCategory::kTree: return "tree";
+    case SpanCategory::kBench: return "bench";
+  }
+  return "?";
+}
+
+/// One completed span. `name` must point at storage outliving the tracer
+/// (instrumentation sites pass string literals). Sim times are -1 when no
+/// simulation clock was installed at the corresponding edge.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root (no enclosing span on this thread)
+  SpanCategory category = SpanCategory::kSim;
+  const char* name = "";
+  std::uint64_t wall_begin_us = 0;
+  std::uint64_t wall_end_us = 0;
+  double sim_begin = -1.0;
+  double sim_end = -1.0;
+
+  std::uint64_t wall_duration_us() const {
+    return wall_end_us - wall_begin_us;
+  }
+};
+
+/// See file comment. Thread-safe; one process-wide instance (global()) plus
+/// private instances for tests.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  Tracer() = default;
+
+  /// Per-category enable flags (all disabled initially).
+  void enable(SpanCategory c, bool on = true) {
+    enabled_[static_cast<std::size_t>(c)].store(on,
+                                                std::memory_order_relaxed);
+  }
+  void enable_all(bool on = true) {
+    for (auto& f : enabled_) f.store(on, std::memory_order_relaxed);
+  }
+  bool enabled(SpanCategory c) const {
+    return enabled_[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Resizes the ring (drops buffered spans). Capacity 0 is clamped to 1.
+  void set_capacity(std::size_t spans);
+  std::size_t capacity() const;
+
+  /// Installs / clears the simulated-time source sampled at span edges
+  /// (e.g. [&engine] { return engine.now(); }). The callable must stay
+  /// valid until cleared — clear before the engine dies.
+  void set_sim_clock(std::function<double()> now);
+  void clear_sim_clock() { set_sim_clock(nullptr); }
+
+  /// Completed spans, oldest first (at most capacity()).
+  std::vector<SpanRecord> snapshot() const;
+  /// Spans started (and not discarded by a disabled category) so far.
+  std::uint64_t started() const {
+    return next_id_.load(std::memory_order_relaxed) - 1;
+  }
+  /// Completed spans overwritten because the ring was full.
+  std::uint64_t dropped() const;
+  void clear();
+
+  static Tracer& global();
+
+ private:
+  friend class Span;
+
+  std::uint64_t begin_span(double* sim_now);  // id; samples sim clock
+  void end_span(SpanRecord rec);              // pushes into the ring
+
+  std::array<std::atomic<bool>, kSpanCategoryCount> enabled_{};
+  std::atomic<std::uint64_t> next_id_{1};
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;     // guarded by mutex_
+  std::size_t ring_capacity_ = kDefaultCapacity;  // ditto
+  std::size_t ring_head_ = 0;        // ditto; next slot to overwrite
+  std::uint64_t dropped_ = 0;        // ditto
+  std::function<double()> sim_now_;  // ditto
+};
+
+/// RAII span: records begin at construction, end + ring push at destruction.
+/// Inert (one atomic load) when the tracer has the category disabled.
+class Span {
+ public:
+  Span(Tracer& tracer, SpanCategory category, const char* name);
+  /// Records into Tracer::global().
+  Span(SpanCategory category, const char* name)
+      : Span(Tracer::global(), category, name) {}
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span is actually recording.
+  bool active() const { return tracer_ != nullptr; }
+  std::uint64_t id() const { return rec_.id; }
+
+ private:
+  Tracer* tracer_ = nullptr;  // null = category disabled at construction
+  SpanRecord rec_;
+};
+
+}  // namespace bcc::obs

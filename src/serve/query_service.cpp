@@ -7,10 +7,44 @@
 #include <thread>
 
 #include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bcc {
 
 namespace {
+
+// Serving-layer instruments in the global registry (the per-service
+// QueryStats stays the precise per-instance view; these aggregate across
+// services for export).
+obs::Counter& g_queries() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.serve.queries");
+  return c;
+}
+obs::Counter& g_cache_hits() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.serve.cache_hits");
+  return c;
+}
+obs::Histogram& g_query_micros() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("bcc.serve.query_micros");
+  return h;
+}
+obs::Gauge& g_cache_hit_ratio() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("bcc.serve.cache_hit_ratio");
+  return g;
+}
+
+void record_query_obs(std::uint64_t micros, bool cache_hit) {
+  g_queries().add(1);
+  if (cache_hit) g_cache_hits().add(1);
+  g_query_micros().record(micros);
+  g_cache_hit_ratio().set(static_cast<double>(g_cache_hits().value()) /
+                          static_cast<double>(g_queries().value()));
+}
 
 std::size_t resolve_threads(std::size_t requested) {
   if (requested > 0) return requested;
@@ -60,6 +94,7 @@ QueryService::Shard& QueryService::shard_for(const CacheKey& key) {
 
 QueryResult QueryService::serve_one(const SystemSnapshot& snap,
                                     const QueryRequest& request) {
+  obs::Span span(obs::SpanCategory::kServe, "serve_query");
   const auto t0 = std::chrono::steady_clock::now();
   auto stamp = [&t0](QueryResult& r) {
     r.micros = static_cast<std::uint64_t>(
@@ -84,6 +119,7 @@ QueryResult QueryService::serve_one(const SystemSnapshot& snap,
     result.degraded = !snap.converged;
     stamp(result);
     stats_.record(result);
+    record_query_obs(result.micros, /*cache_hit=*/false);
     return result;
   }
 
@@ -100,6 +136,7 @@ QueryResult QueryService::serve_one(const SystemSnapshot& snap,
       result = it->second;
       stamp(result);
       stats_.record(result, /*cache_hit=*/true);
+      record_query_obs(result.micros, /*cache_hit=*/true);
       return result;
     }
   }
@@ -114,6 +151,7 @@ QueryResult QueryService::serve_one(const SystemSnapshot& snap,
     if (shard.version == snap.version) shard.entries.emplace(key, result);
   }
   stats_.record(result);
+  record_query_obs(result.micros, /*cache_hit=*/false);
   return result;
 }
 

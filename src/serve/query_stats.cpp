@@ -42,6 +42,7 @@ std::uint64_t QueryStats::Snapshot::latency_percentile_micros(double p) const {
 }
 
 void QueryStats::record(const QueryResult& result, bool cache_hit) {
+  in_flight_.fetch_add(1, std::memory_order_acquire);
   by_status_[static_cast<std::size_t>(result.status)].fetch_add(
       1, std::memory_order_relaxed);
   if (cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -58,21 +59,41 @@ void QueryStats::record(const QueryResult& result, bool cache_hit) {
          !max_micros_.compare_exchange_weak(seen, result.micros,
                                             std::memory_order_relaxed)) {
   }
+  completed_.fetch_add(1, std::memory_order_release);
+  in_flight_.fetch_sub(1, std::memory_order_release);
 }
 
 QueryStats::Snapshot QueryStats::snapshot() const {
+  // Bounded seqlock read: a copy is exact iff no record() ran during it —
+  // no writer was mid-flight at either edge and the completion epoch did not
+  // advance. Bounded so a saturating write load degrades the snapshot to
+  // best-effort instead of starving the reader.
+  constexpr int kMaxAttempts = 64;
   Snapshot s;
-  for (std::size_t i = 0; i < by_status_.size(); ++i) {
-    s.by_status[i] = by_status_[i].load(std::memory_order_relaxed);
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const bool quiet_before =
+        in_flight_.load(std::memory_order_acquire) == 0;
+    const std::uint64_t completed_before =
+        completed_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < by_status_.size(); ++i) {
+      s.by_status[i] = by_status_[i].load(std::memory_order_relaxed);
+    }
+    s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < hops_.size(); ++i) {
+      s.hop_histogram[i] = hops_[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < latency_.size(); ++i) {
+      s.latency_histogram[i] = latency_[i].load(std::memory_order_relaxed);
+    }
+    s.max_micros = max_micros_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (quiet_before && in_flight_.load(std::memory_order_acquire) == 0 &&
+        completed_.load(std::memory_order_acquire) == completed_before) {
+      s.consistent = true;
+      return s;
+    }
   }
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  for (std::size_t i = 0; i < hops_.size(); ++i) {
-    s.hop_histogram[i] = hops_[i].load(std::memory_order_relaxed);
-  }
-  for (std::size_t i = 0; i < latency_.size(); ++i) {
-    s.latency_histogram[i] = latency_[i].load(std::memory_order_relaxed);
-  }
-  s.max_micros = max_micros_.load(std::memory_order_relaxed);
+  s.consistent = false;
   return s;
 }
 

@@ -2,10 +2,16 @@
 // histogram, and log-scale latency percentiles — the serving-side complement
 // of MessageMetrics (which counts protocol traffic, not query traffic).
 //
-// All recording is lock-free (relaxed atomics); readers take a coherent-ish
-// copy via snapshot(). Counters tolerate the usual racy-read imprecision:
-// a snapshot taken mid-record may be off by the in-flight queries, which is
-// exactly what an operations counter is allowed to be.
+// All recording is lock-free (relaxed atomics). snapshot() is the ONLY read
+// API — there are deliberately no per-field getters, because independent
+// atomic reads can tear against a concurrent record() (status bumped,
+// latency bucket not yet). snapshot() brackets its reads with an in-flight
+// counter and a completion epoch (a writer-counting seqlock): when no
+// record() overlapped, the returned Snapshot is exactly consistent
+// (sum(by_status) == sum(latency_histogram)) and `consistent` is true.
+// Under relentless concurrent load it retries a bounded number of times and
+// then returns a best-effort copy with `consistent` false — still within
+// the in-flight queries of the truth, and never blocking writers.
 #pragma once
 
 #include <array>
@@ -32,6 +38,9 @@ class QueryStats {
     std::array<std::uint64_t, kHopBuckets> hop_histogram{};
     std::array<std::uint64_t, kLatencyBuckets> latency_histogram{};
     std::uint64_t max_micros = 0;
+    /// True when no record() overlapped the reads: every counter belongs to
+    /// the same prefix of recorded queries (see file comment).
+    bool consistent = true;
 
     std::uint64_t count(QueryStatus status) const {
       return by_status[static_cast<std::size_t>(status)];
@@ -55,6 +64,10 @@ class QueryStats {
   std::array<std::atomic<std::uint64_t>, kHopBuckets> hops_{};
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_{};
   std::atomic<std::uint64_t> max_micros_{0};
+  /// Writer-counting seqlock (see file comment): records in progress, and
+  /// records fully finished.
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> completed_{0};
 };
 
 }  // namespace bcc

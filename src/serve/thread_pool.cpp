@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace bcc {
+
+namespace {
+
+/// Depth of the task queue across all pools (updated under each pool's
+/// mutex, so the stores themselves never race a concurrent resize of the
+/// same queue; interleavings across pools last-write-win, which is fine for
+/// an instantaneous gauge).
+obs::Gauge& g_queue_depth() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("bcc.serve.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   threads = std::max<std::size_t>(1, threads);
@@ -26,6 +42,7 @@ void ThreadPool::post(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    g_queue_depth().set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -39,6 +56,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ && drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      g_queue_depth().set(static_cast<double>(queue_.size()));
     }
     task();
   }

@@ -1,8 +1,10 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/assert.h"
+#include "obs/trace.h"
 
 namespace bcc {
 
@@ -12,15 +14,44 @@ void Engine::add_protocol(std::shared_ptr<Protocol> protocol) {
 }
 
 std::size_t Engine::run(std::size_t max_cycles) {
+  // Cached instrument handles: one registry lookup per process, not per run.
+  static obs::Counter& cycles_counter =
+      obs::Registry::global().counter("bcc.sim.cycles");
+  static obs::Histogram& cycle_micros =
+      obs::Registry::global().histogram("bcc.sim.cycle_micros");
+  static obs::Gauge& converged_fraction =
+      obs::Registry::global().gauge("bcc.sim.converged_fraction");
+
+  auto converged_count = [this] {
+    return static_cast<std::size_t>(
+        std::count_if(protocols_.begin(), protocols_.end(),
+                      [](const auto& p) { return p->converged(); }));
+  };
+
   std::size_t executed = 0;
   while (executed < max_cycles) {
-    if (std::all_of(protocols_.begin(), protocols_.end(),
-                    [](const auto& p) { return p->converged(); })) {
-      break;
+    const std::size_t done = converged_count();
+    if (!protocols_.empty()) {
+      converged_fraction.set(static_cast<double>(done) /
+                             static_cast<double>(protocols_.size()));
     }
-    for (auto& p : protocols_) p->execute_cycle(cycle_);
+    if (done == protocols_.size()) break;
+    {
+      obs::Span span(obs::SpanCategory::kSim, "cycle");
+      const auto t0 = std::chrono::steady_clock::now();
+      for (auto& p : protocols_) p->execute_cycle(cycle_);
+      cycle_micros.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+    cycles_counter.add(1);
     ++cycle_;
     ++executed;
+  }
+  if (!protocols_.empty()) {
+    converged_fraction.set(static_cast<double>(converged_count()) /
+                           static_cast<double>(protocols_.size()));
   }
   return executed;
 }

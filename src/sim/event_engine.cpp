@@ -33,6 +33,8 @@ void EventEngine::skip_cancelled() {
 }
 
 bool EventEngine::pop_and_run() {
+  static obs::Counter& events_counter =
+      obs::Registry::global().counter("bcc.sim.events");
   skip_cancelled();
   if (queue_.empty()) return false;
   // Move the handler out before popping: the handler may schedule new
@@ -42,6 +44,7 @@ bool EventEngine::pop_and_run() {
   live_.erase(event.seq);
   now_ = event.time;
   ++processed_;
+  events_counter.add(1);
   event.handler();
   return true;
 }

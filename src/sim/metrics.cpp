@@ -2,6 +2,53 @@
 
 namespace bcc {
 
+namespace {
+
+// Process-wide totals mirrored on every record/count_* call. Function-local
+// statics: registered once, the references stay valid for process lifetime
+// (Registry never destroys instruments).
+obs::Counter& g_messages() {
+  static obs::Counter& c = obs::Registry::global().counter("bcc.sim.messages");
+  return c;
+}
+obs::Counter& g_bytes() {
+  static obs::Counter& c = obs::Registry::global().counter("bcc.sim.bytes");
+  return c;
+}
+obs::Counter& g_dropped() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.sim.faults_dropped");
+  return c;
+}
+obs::Counter& g_duplicated() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.sim.faults_duplicated");
+  return c;
+}
+obs::Counter& g_retried() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.sim.faults_retried");
+  return c;
+}
+obs::Counter& g_suspected() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.sim.faults_suspected");
+  return c;
+}
+
+}  // namespace
+
+MessageMetrics::MessageMetrics() {
+  // Touch the global mirrors so exports list the traffic/fault counters (at
+  // 0) as soon as any simulation exists, not only after the first fault.
+  g_messages();
+  g_bytes();
+  g_dropped();
+  g_duplicated();
+  g_retried();
+  g_suspected();
+}
+
 void MessageMetrics::record(std::string_view category, std::size_t bytes) {
   auto it = counters_.find(category);
   if (it == counters_.end()) {
@@ -9,6 +56,28 @@ void MessageMetrics::record(std::string_view category, std::size_t bytes) {
   }
   ++it->second.messages;
   it->second.bytes += bytes;
+  g_messages().add(1);
+  g_bytes().add(bytes);
+}
+
+void MessageMetrics::count_dropped() {
+  dropped_.add(1);
+  g_dropped().add(1);
+}
+
+void MessageMetrics::count_duplicated() {
+  duplicated_.add(1);
+  g_duplicated().add(1);
+}
+
+void MessageMetrics::count_retried() {
+  retried_.add(1);
+  g_retried().add(1);
+}
+
+void MessageMetrics::count_suspected() {
+  suspected_.add(1);
+  g_suspected().add(1);
 }
 
 std::size_t MessageMetrics::messages(std::string_view category) const {
@@ -35,7 +104,10 @@ std::size_t MessageMetrics::total_bytes() const {
 
 void MessageMetrics::reset() {
   counters_.clear();
-  dropped_ = duplicated_ = retried_ = suspected_ = 0;
+  dropped_.reset();
+  duplicated_.reset();
+  retried_.reset();
+  suspected_.reset();
 }
 
 }  // namespace bcc

@@ -15,6 +15,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.h"
+
 namespace bcc {
 
 /// Per-category message/byte counters, plus fault-event counters filled in
@@ -22,8 +24,18 @@ namespace bcc {
 /// (core/async_overlay): messages dropped by the lossy channel or a crashed
 /// receiver, duplicated deliveries, sender retries after ack timeouts, and
 /// peers marked suspected after consecutive missed acks.
+///
+/// The counters live on the obs substrate: each instance holds its own
+/// obs::Counter per fault kind (the accessors below are thin wrappers over
+/// Counter::value(), keeping the pre-obs API intact), and every record /
+/// count_* call additionally bumps the process-wide totals in
+/// obs::Registry::global() (`bcc.sim.messages`, `bcc.sim.bytes`,
+/// `bcc.sim.faults_*`) so exporters see gossip traffic without having to
+/// find every Engine/EventEngine instance.
 class MessageMetrics {
  public:
+  MessageMetrics();
+
   /// Records one message of `bytes` payload under `category`.
   void record(std::string_view category, std::size_t bytes);
 
@@ -33,17 +45,28 @@ class MessageMetrics {
   std::size_t total_messages() const;
   std::size_t total_bytes() const;
 
-  // -- Fault events (see file comment).
-  void count_dropped() { ++dropped_; }
-  void count_duplicated() { ++duplicated_; }
-  void count_retried() { ++retried_; }
-  void count_suspected() { ++suspected_; }
+  // -- Fault events (see file comment). Thin wrappers over the re-homed
+  //    obs counters; per-instance values, global registry mirrored.
+  void count_dropped();
+  void count_duplicated();
+  void count_retried();
+  void count_suspected();
 
-  std::size_t dropped() const { return dropped_; }
-  std::size_t duplicated() const { return duplicated_; }
-  std::size_t retried() const { return retried_; }
-  std::size_t suspected() const { return suspected_; }
+  std::size_t dropped() const {
+    return static_cast<std::size_t>(dropped_.value());
+  }
+  std::size_t duplicated() const {
+    return static_cast<std::size_t>(duplicated_.value());
+  }
+  std::size_t retried() const {
+    return static_cast<std::size_t>(retried_.value());
+  }
+  std::size_t suspected() const {
+    return static_cast<std::size_t>(suspected_.value());
+  }
 
+  /// Resets this instance's counters (the global registry totals are
+  /// cumulative across instances and are not touched).
   void reset();
 
  private:
@@ -53,10 +76,10 @@ class MessageMetrics {
   };
   // std::less<> enables heterogeneous find with string_view keys.
   std::map<std::string, Counter, std::less<>> counters_;
-  std::size_t dropped_ = 0;
-  std::size_t duplicated_ = 0;
-  std::size_t retried_ = 0;
-  std::size_t suspected_ = 0;
+  obs::Counter dropped_;
+  obs::Counter duplicated_;
+  obs::Counter retried_;
+  obs::Counter suspected_;
 };
 
 }  // namespace bcc

@@ -1,8 +1,31 @@
 #include "tree/maintenance.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bcc {
+
+namespace {
+
+obs::Gauge& g_alive() {
+  static obs::Gauge& g = obs::Registry::global().gauge("bcc.tree.alive");
+  return g;
+}
+obs::Counter& g_rejoins() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.tree.rejoins");
+  return c;
+}
+obs::Gauge& g_embed_error() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("bcc.tree.embed_rel_error");
+  return g;
+}
+
+}  // namespace
 
 FrameworkMaintainer::FrameworkMaintainer(const DistanceMatrix* real,
                                          EmbedOptions options)
@@ -36,14 +59,20 @@ void FrameworkMaintainer::join_into(NodeId host) {
   anchors_.add_child(placement.anchor, host);
 }
 
-void FrameworkMaintainer::join(NodeId host) { join_into(host); }
+void FrameworkMaintainer::join(NodeId host) {
+  obs::Span span(obs::SpanCategory::kTree, "join");
+  join_into(host);
+  update_obs();
+}
 
 std::vector<NodeId> FrameworkMaintainer::leave(NodeId host) {
   BCC_REQUIRE(prediction_.contains(host));
+  obs::Span span(obs::SpanCategory::kTree, "leave");
   if (prediction_.host_count() == 1) {
     // Last host leaves: empty framework.
     anchors_.remove_subtree(host);
     prediction_ = PredictionTree();
+    update_obs();
     return {};
   }
   if (host == prediction_.root_host()) {
@@ -52,6 +81,8 @@ std::vector<NodeId> FrameworkMaintainer::leave(NodeId host) {
     survivors.erase(std::find(survivors.begin(), survivors.end(), host));
     rebuild(survivors);
     rejoins_ += survivors.size();
+    g_rejoins().add(survivors.size());
+    update_obs();
     return survivors;
   }
   // Orphaned anchor descendants rejoin after the departure, deepest parts
@@ -64,14 +95,18 @@ std::vector<NodeId> FrameworkMaintainer::leave(NodeId host) {
   prediction_.remove(host);
   for (NodeId o : orphans) join_into(o);
   rejoins_ += orphans.size();
+  g_rejoins().add(orphans.size());
+  update_obs();
   return orphans;
 }
 
 void FrameworkMaintainer::refresh(const DistanceMatrix* new_real) {
   BCC_REQUIRE(new_real != nullptr);
   BCC_REQUIRE(new_real->size() == real_->size());
+  obs::Span span(obs::SpanCategory::kTree, "refresh");
   real_ = new_real;
   rebuild(prediction_.hosts());
+  update_obs();
 }
 
 FrameworkMaintainer::CompactView FrameworkMaintainer::compact_view() const {
@@ -99,6 +134,37 @@ void FrameworkMaintainer::rebuild(std::vector<NodeId> membership) {
   prediction_ = PredictionTree();
   anchors_ = AnchorTree();
   for (NodeId h : membership) join_into(h);
+}
+
+void FrameworkMaintainer::update_obs() const {
+  const std::vector<NodeId>& hosts = prediction_.hosts();
+  g_alive().set(static_cast<double>(hosts.size()));
+  if (hosts.size() < 2) {
+    g_embed_error().set(0.0);
+    return;
+  }
+  // Deterministic pair sample: host i against the host a stride away, with
+  // the stride chosen so up to 64 pairs cover the membership evenly.
+  constexpr std::size_t kSamplePairs = 64;
+  const std::size_t pairs = std::min(kSamplePairs, hosts.size() - 1);
+  const std::size_t stride = std::max<std::size_t>(1, hosts.size() / pairs);
+  std::vector<double> errors;
+  errors.reserve(pairs);
+  for (std::size_t i = 0; errors.size() < pairs && i < hosts.size(); ++i) {
+    const NodeId u = hosts[i];
+    const NodeId v = hosts[(i + stride) % hosts.size()];
+    if (u == v) continue;
+    const double real = real_->at(u, v);
+    if (real <= 0.0) continue;
+    errors.push_back(std::abs(prediction_.distance(u, v) - real) / real);
+  }
+  if (errors.empty()) {
+    g_embed_error().set(0.0);
+    return;
+  }
+  auto mid = errors.begin() + static_cast<std::ptrdiff_t>(errors.size() / 2);
+  std::nth_element(errors.begin(), mid, errors.end());
+  g_embed_error().set(*mid);
 }
 
 }  // namespace bcc

@@ -69,6 +69,11 @@ class FrameworkMaintainer {
  private:
   void join_into(NodeId host);
   void rebuild(std::vector<NodeId> membership);
+  /// Refreshes the maintenance gauges in obs::Registry::global() after each
+  /// round: `bcc.tree.alive` and `bcc.tree.embed_rel_error` (median relative
+  /// embedding error over a bounded deterministic sample of alive pairs —
+  /// O(64 tree walks), cheap next to the join/leave itself).
+  void update_obs() const;
 
   const DistanceMatrix* real_;
   EmbedOptions options_;

@@ -12,7 +12,12 @@ namespace {
 class CsvTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "bcc_csv_test";
+    // Per-test directory: ctest runs each TEST as its own process, possibly
+    // in parallel, and a shared directory lets one test's TearDown delete
+    // another's files mid-write.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("bcc_csv_test_") + info->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

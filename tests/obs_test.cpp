@@ -1,0 +1,495 @@
+// Tests for the observability substrate (src/obs): metric naming, the
+// striped counter and log-bucketed histogram (including the quantile
+// contract against a reference sort), registry concurrency, the span
+// tracer's ring/nesting/sim-clock behavior, the exporters (golden strings +
+// a Prometheus mini-parser), and BenchReport file output.
+//
+// Built as its own binary (bcc_obs_tests, `ctest -L obs`) so the sanitizer
+// script can run exactly this suite under TSan/ASan.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/table.h"
+#include "obs/bench_report.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace bcc::obs {
+namespace {
+
+// ----------------------------------------------------------------- naming
+
+TEST(ObsNaming, ValidatesTheConvention) {
+  EXPECT_TRUE(valid_metric_name("bcc.sim.messages"));
+  EXPECT_TRUE(valid_metric_name("bcc.serve.query_micros"));
+  EXPECT_TRUE(valid_metric_name("bcc.bench.a.b.c_0"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("bcc"));
+  EXPECT_FALSE(valid_metric_name("bcc.sim"));          // needs >= 3 segments
+  EXPECT_FALSE(valid_metric_name("sim.bcc.messages"));  // must start with bcc
+  EXPECT_FALSE(valid_metric_name("bcc.Sim.messages"));  // lowercase only
+  EXPECT_FALSE(valid_metric_name("bcc.sim.messages "));
+  EXPECT_FALSE(valid_metric_name("bcc..messages"));
+  EXPECT_FALSE(valid_metric_name("bcc.sim.mes-sages"));
+}
+
+TEST(ObsNaming, RegistryRejectsBadNamesAndKindConflicts) {
+  Registry registry;
+  EXPECT_THROW(registry.counter("not.a.bcc.name"), ContractViolation);
+  EXPECT_THROW(registry.gauge("bcc.two_segments"), ContractViolation);
+  registry.counter("bcc.test.value");
+  EXPECT_THROW(registry.gauge("bcc.test.value"), ContractViolation);
+  EXPECT_THROW(registry.histogram("bcc.test.value"), ContractViolation);
+  // Same name, same kind: the same instrument back.
+  EXPECT_EQ(&registry.counter("bcc.test.value"),
+            &registry.counter("bcc.test.value"));
+}
+
+// ---------------------------------------------------------------- counter
+
+TEST(ObsCounter, ConcurrentAddsSumExactly) {
+  Registry registry;
+  Counter& counter = registry.counter("bcc.test.adds");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) counter.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kAddsPerThread);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsCounter, CopyCarriesTheValue) {
+  Counter a;
+  a.add(41);
+  a.add(1);
+  Counter b(a);
+  EXPECT_EQ(b.value(), 42u);
+  b = b;  // self-assign collapses stripes, value unchanged
+  EXPECT_EQ(b.value(), 42u);
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(ObsHistogram, BucketBoundariesArePowersOfTwo) {
+  Histogram h;
+  // v = 0 -> bucket 0; v in [2^(i-1), 2^i - 1] -> bucket i.
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(4);
+  h.record(7);
+  h.record(8);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.buckets[0], 1u);  // {0}
+  EXPECT_EQ(s.buckets[1], 1u);  // {1}
+  EXPECT_EQ(s.buckets[2], 2u);  // {2,3}
+  EXPECT_EQ(s.buckets[3], 2u);  // {4..7}
+  EXPECT_EQ(s.buckets[4], 1u);  // {8..15}
+  EXPECT_EQ(s.count, 7u);
+  EXPECT_EQ(s.sum, 0u + 1 + 2 + 3 + 4 + 7 + 8);
+  EXPECT_EQ(s.max, 8u);
+  EXPECT_EQ(Histogram::Snapshot::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::Snapshot::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::Snapshot::bucket_upper(4), 15u);
+}
+
+TEST(ObsHistogram, QuantileWithinFactorTwoOfReferenceSort) {
+  // The documented contract: exact <= quantile(p) <= 2 * exact (and both
+  // sides capped by the observed max). Checked against a reference sort
+  // over a deterministic-but-irregular sample set.
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t v = (x >> 33) % 100000;
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto s = h.snapshot();
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+    const std::uint64_t exact = samples[std::min(rank, samples.size()) - 1];
+    const std::uint64_t est = s.quantile(p);
+    EXPECT_GE(est, exact) << "p=" << p;
+    EXPECT_LE(est, std::max<std::uint64_t>(2 * exact, 1)) << "p=" << p;
+    EXPECT_LE(est, s.max) << "p=" << p;
+  }
+  EXPECT_EQ(s.quantile(100.0), s.max);
+}
+
+TEST(ObsHistogram, EmptyAndReset) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().quantile(50.0), 0u);
+  EXPECT_EQ(h.snapshot().mean(), 0.0);
+  h.record(100);
+  h.reset();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsCountExactly) {
+  Histogram h;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(t * 1000 + (i & 255));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.snapshot().count, kThreads * kPerThread);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(ObsRegistry, ConcurrentGetOrCreateAndSnapshot) {
+  Registry registry;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 2000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      const std::string mine =
+          "bcc.test.private_" + std::to_string(t);
+      for (int i = 0; i < kRounds; ++i) {
+        registry.counter("bcc.test.shared").add(1);
+        registry.counter(mine).add(1);
+        registry.gauge("bcc.test.gauge").set(static_cast<double>(i));
+        registry.histogram("bcc.test.hist").record(static_cast<std::uint64_t>(i));
+        if (i % 64 == 0) (void)registry.snapshot();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const RegistrySnapshot s = registry.snapshot();
+  EXPECT_EQ(s.counter_value("bcc.test.shared"), kThreads * kRounds);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(s.counter_value("bcc.test.private_" + std::to_string(t)),
+              static_cast<std::uint64_t>(kRounds));
+  }
+  ASSERT_NE(s.histogram("bcc.test.hist"), nullptr);
+  EXPECT_EQ(s.histogram("bcc.test.hist")->count, kThreads * kRounds);
+  EXPECT_EQ(s.histogram("bcc.test.missing"), nullptr);
+}
+
+TEST(ObsRegistry, ResetKeepsRegistrationsAndReferences) {
+  Registry registry;
+  Counter& c = registry.counter("bcc.test.keep");
+  c.add(7);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);  // old reference still valid and live
+  EXPECT_EQ(registry.snapshot().counter_value("bcc.test.keep"), 1u);
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(ObsTracer, DisabledCategoryIsInert) {
+  Tracer tracer;  // all categories disabled
+  {
+    Span span(tracer, SpanCategory::kBench, "never");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(tracer.started(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(ObsTracer, RingOverflowKeepsNewestAndCountsDropped) {
+  Tracer tracer;
+  tracer.set_capacity(8);
+  tracer.enable(SpanCategory::kBench);
+  for (int i = 0; i < 20; ++i) {
+    Span span(tracer, SpanCategory::kBench, "s");
+  }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  EXPECT_EQ(tracer.started(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  // Oldest-first snapshot of the newest 8 spans: ids 13..20.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].id, 13 + i);
+  }
+  tracer.clear();
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(ObsTracer, NestedSpansRecordParentIds) {
+  Tracer tracer;
+  tracer.enable(SpanCategory::kSim);
+  tracer.enable(SpanCategory::kServe);
+  std::uint64_t outer_id = 0;
+  {
+    Span outer(tracer, SpanCategory::kSim, "outer");
+    outer_id = outer.id();
+    Span inner(tracer, SpanCategory::kServe, "inner");
+    Span innermost(tracer, SpanCategory::kSim, "innermost");
+  }
+  {
+    Span sibling(tracer, SpanCategory::kSim, "sibling");
+  }
+  const auto spans = tracer.snapshot();  // completion order
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_STREQ(spans[0].name, "innermost");
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_STREQ(spans[2].name, "outer");
+  EXPECT_STREQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[2].parent, 0u) << "outer is a root span";
+  EXPECT_EQ(spans[1].parent, outer_id);
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[3].parent, 0u) << "nesting must unwind after a span ends";
+  EXPECT_LE(spans[2].wall_begin_us, spans[2].wall_end_us);
+}
+
+TEST(ObsTracer, SimClockStampsSpanEdges) {
+  Tracer tracer;
+  tracer.enable(SpanCategory::kGossip);
+  double now = 3.5;
+  tracer.set_sim_clock([&now] { return now; });
+  {
+    Span span(tracer, SpanCategory::kGossip, "timed");
+    now = 4.25;
+  }
+  tracer.clear_sim_clock();
+  {
+    Span span(tracer, SpanCategory::kGossip, "untimed");
+  }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_DOUBLE_EQ(spans[0].sim_begin, 3.5);
+  EXPECT_DOUBLE_EQ(spans[0].sim_end, 4.25);
+  EXPECT_DOUBLE_EQ(spans[1].sim_begin, -1.0);
+  EXPECT_DOUBLE_EQ(spans[1].sim_end, -1.0);
+}
+
+TEST(ObsTracer, ConcurrentSpansAllRecorded) {
+  Tracer tracer;
+  tracer.set_capacity(100000);
+  tracer.enable_all();
+  constexpr std::size_t kThreads = 4;
+  constexpr int kSpansPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span outer(tracer, SpanCategory::kBench, "outer");
+        Span inner(tracer, SpanCategory::kBench, "inner");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.started(), 2 * kThreads * kSpansPerThread);
+  EXPECT_EQ(tracer.snapshot().size(), 2 * kThreads * kSpansPerThread);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// -------------------------------------------------------------- exporters
+
+RegistrySnapshot golden_registry() {
+  Registry registry;
+  registry.counter("bcc.test.count").add(3);
+  registry.gauge("bcc.test.ratio").set(0.5);
+  Histogram& h = registry.histogram("bcc.test.lat");
+  h.record(0);
+  h.record(3);
+  h.record(3);
+  h.record(9);
+  return registry.snapshot();
+}
+
+TEST(ObsExport, PrometheusGolden) {
+  const std::string expected =
+      "# TYPE bcc_test_count counter\n"
+      "bcc_test_count 3\n"
+      "# TYPE bcc_test_ratio gauge\n"
+      "bcc_test_ratio 0.5\n"
+      "# TYPE bcc_test_lat histogram\n"
+      "bcc_test_lat_bucket{le=\"0\"} 1\n"
+      "bcc_test_lat_bucket{le=\"1\"} 1\n"
+      "bcc_test_lat_bucket{le=\"3\"} 3\n"
+      "bcc_test_lat_bucket{le=\"7\"} 3\n"
+      "bcc_test_lat_bucket{le=\"15\"} 4\n"
+      "bcc_test_lat_bucket{le=\"+Inf\"} 4\n"
+      "bcc_test_lat_sum 15\n"
+      "bcc_test_lat_count 4\n"
+      "bcc_test_lat_p50 3\n"
+      "bcc_test_lat_p90 9\n"  // bucket upper is 15, capped by the max (9)
+      "bcc_test_lat_p99 9\n";
+  EXPECT_EQ(prometheus_text(golden_registry()), expected);
+}
+
+TEST(ObsExport, PrometheusParsesCleanly) {
+  // Mini-parser for the exposition format: every non-comment line must be
+  // `name{labels} value` or `name value`, names [a-zA-Z_:][a-zA-Z0-9_:]*,
+  // values parseable as doubles, and `# TYPE` lines must precede samples.
+  const std::string text = prometheus_text(golden_registry());
+  std::size_t line_no = 0, samples = 0;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    ASSERT_NE(end, std::string::npos) << "file must end with a newline";
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    ++line_no;
+    ASSERT_FALSE(line.empty()) << "no blank lines, line " << line_no;
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    ASSERT_FALSE(name.empty()) << line;
+    for (char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':')
+          << line;
+    }
+    char* parse_end = nullptr;
+    const double v = std::strtod(value.c_str(), &parse_end);
+    EXPECT_TRUE(parse_end && *parse_end == '\0') << line;
+    EXPECT_TRUE(std::isfinite(v)) << line;
+    ++samples;
+  }
+  EXPECT_EQ(samples, 13u);  // 1 counter + 1 gauge + 11 histogram series
+}
+
+TEST(ObsExport, JsonObjectGolden) {
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"bcc.test.count\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"bcc.test.ratio\": 0.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"bcc.test.lat\": {\"count\":4,\"sum\":15,\"max\":9,\"mean\":3.75,"
+      "\"p50\":3,\"p90\":9,\"p99\":9,\"buckets\":[{\"le\":0,\"count\":1},"
+      "{\"le\":3,\"count\":2},{\"le\":15,\"count\":1}]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(json_object(golden_registry()), expected);
+}
+
+TEST(ObsExport, JsonObjectOfEmptyRegistryIsValid) {
+  Registry registry;
+  EXPECT_EQ(json_object(registry.snapshot()),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+TEST(ObsExport, JsonLinesOneObjectPerInstrument) {
+  const std::string text = json_lines(golden_registry());
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find("{\"type\":\"counter\",\"name\":\"bcc.test.count\","
+                      "\"value\":3}\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("{\"type\":\"gauge\",\"name\":\"bcc.test.ratio\","
+                      "\"value\":0.5}\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("{\"type\":\"histogram\",\"name\":\"bcc.test.lat\""),
+            std::string::npos);
+}
+
+TEST(ObsExport, TraceJsonLinesGolden) {
+  SpanRecord rec;
+  rec.id = 7;
+  rec.parent = 3;
+  rec.category = SpanCategory::kGossip;
+  rec.name = "retry_exchange";
+  rec.wall_begin_us = 100;
+  rec.wall_end_us = 250;
+  rec.sim_begin = 1.5;
+  rec.sim_end = 2.0;
+  EXPECT_EQ(trace_json_lines({rec}),
+            "{\"id\":7,\"parent\":3,\"category\":\"gossip\","
+            "\"name\":\"retry_exchange\",\"wall_begin_us\":100,"
+            "\"wall_end_us\":250,\"sim_begin\":1.5,\"sim_end\":2}\n");
+}
+
+TEST(ObsExport, NonFiniteGaugesExportAsZero) {
+  Registry registry;
+  registry.gauge("bcc.test.bad").set(std::nan(""));
+  registry.gauge("bcc.test.inf").set(INFINITY);
+  const std::string json = json_object(registry.snapshot());
+  EXPECT_NE(json.find("\"bcc.test.bad\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"bcc.test.inf\": 0"), std::string::npos);
+}
+
+// ------------------------------------------------------------ bench report
+
+TEST(ObsBenchReport, WritesJsonFileToBenchOutDir) {
+  const auto dir = std::filesystem::temp_directory_path() / "bcc_obs_test";
+  std::filesystem::create_directories(dir);
+  ASSERT_EQ(setenv("BCC_BENCH_OUT", dir.c_str(), 1), 0);
+  BenchReport report("unit");
+  report.set("bcc.bench.unit.answer", 42.0);
+  EXPECT_EQ(report.path(), (dir / "BENCH_unit.json").string());
+  ASSERT_TRUE(report.write());
+  std::FILE* f = std::fopen(report.path().c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[512] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  unsetenv("BCC_BENCH_OUT");
+  const std::string content(buf, n);
+  EXPECT_NE(content.find("\"bench\":\"unit\""), std::string::npos);
+  EXPECT_NE(content.find("\"bcc.bench.unit.answer\": 42"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObsBenchReport, RejectsBadNames) {
+  EXPECT_THROW(BenchReport("Has Spaces"), ContractViolation);
+  EXPECT_THROW(BenchReport(""), ContractViolation);
+  EXPECT_EQ(BenchReport::sanitize_segment("BM_GossipUnderLoss/30"),
+            "bm_gossipunderloss_30");
+  EXPECT_EQ(BenchReport::sanitize_segment(""), "_");
+}
+
+TEST(ObsBenchReport, ExportTableSkipsNonNumericCells) {
+  TablePrinter table({"k", "variant", "RR"});
+  table.add_row({"2", "tree", "0.98"});
+  table.add_row({"4", "euclidean", "0.75"});
+  BenchReport report("tbl");
+  export_table(report, "Main Series", table);
+  const RegistrySnapshot s = report.registry().snapshot();
+  EXPECT_DOUBLE_EQ(s.gauge_value("bcc.bench.main_series.k_r0"), 2.0);
+  EXPECT_DOUBLE_EQ(s.gauge_value("bcc.bench.main_series.rr_r1"), 0.75);
+  // "tree" / "euclidean" are not numbers: no gauge registered for them.
+  EXPECT_EQ(s.gauges.size(), 4u);
+}
+
+}  // namespace
+}  // namespace bcc::obs

@@ -10,21 +10,32 @@
 //                  build the prediction framework, report accuracy, snapshot
 //   bcc treeness --data DIR/NAME [--samples N]
 //                  estimate the dataset's quartet-epsilon treeness
-//   bcc query    --data DIR/NAME --k K --b MBPS [--start ID --n_cut N]
-//                  run the decentralized system and answer one query
+//   bcc query    --data DIR/NAME --k K --b MBPS [--start ID --n_cut N
+//                  --repeat N --metrics-out FILE]
+//                  run the decentralized system and answer one query through
+//                  the QueryService (repeats exercise the memo cache)
 //   bcc eval     --data DIR/NAME [--queries N --k K]
 //                  WPR/RR sweep over the bandwidth grid (mini Fig. 3)
-//   bcc chaos    --data DIR/NAME [--drop P --dup P --jitter S --crash F]
+//   bcc chaos    --data DIR/NAME [--drop P --dup P --jitter S --crash F
+//                  --metrics-out FILE]
 //                  run the asynchronous gossip stack over a lossy network
 //                  with crash/recover faults and check it still reaches the
 //                  synchronous ground-truth fixpoint
+//   bcc metrics  [--data DIR/NAME --queries N --k K --format prom|json|jsonl]
+//                  run a small end-to-end pipeline (synthetic dataset when no
+//                  --data) and print the global metrics registry
+//   bcc trace    [--data DIR/NAME --categories LIST --capacity N --json]
+//                  same pipeline with span tracing enabled; dump the spans
 //
+// `--metrics-out FILE` writes the global registry as one JSON object.
 // Any dataset can be a user-provided measurement matrix: put it at
 // DIR/NAME.bw.csv (square Mbps CSV, zero diagonal; asymmetry is averaged).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "bcc.h"
 #include "exp/fig3.h"
@@ -57,6 +68,21 @@ int cmd_gen(int argc, const char* const* argv) {
               out.c_str(), name.c_str(), data.bandwidth.size(),
               data.bandwidth.percentile(20.0), data.bandwidth.percentile(80.0));
   return 0;
+}
+
+/// Writes the global metrics registry to `path` as one JSON object.
+/// No-op when `path` is empty; returns false (after complaining) on I/O
+/// failure.
+bool maybe_write_metrics(const std::string& path) {
+  if (path.empty()) return true;
+  const std::string json =
+      obs::json_object(obs::Registry::global().snapshot()) + "\n";
+  if (!obs::write_text_file(path, json)) {
+    std::fprintf(stderr, "bcc: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("metrics written to %s\n", path.c_str());
+  return true;
 }
 
 /// Splits "--data DIR/NAME" into directory and name.
@@ -137,6 +163,11 @@ int cmd_query(int argc, const char* const* argv) {
   auto& b = opts.add_double("b", 40.0, "bandwidth constraint (Mbps)");
   auto& start = opts.add_int("start", 0, "entry node");
   auto& n_cut = opts.add_int("n_cut", 10, "aggregate size limit");
+  auto& repeat = opts.add_int("repeat", 1,
+                              "serve the query this many times (cache warms "
+                              "after the first)");
+  auto& metrics_out = opts.add_string("metrics-out", "",
+                                      "write the metrics registry here (JSON)");
   auto& seed = opts.add_int("seed", 42, "framework seed");
   opts.parse(argc, argv);
   std::string dir, name;
@@ -153,11 +184,19 @@ int cmd_query(int argc, const char* const* argv) {
                                  BandwidthClasses::uniform_grid(5, 300, 5),
                                  sys_options);
   sys.run_to_convergence();
-  const QueryOutcome r = sys.query_bandwidth(
+
+  QueryService service(sys);
+  const QueryRequest request = QueryRequest::bandwidth(
       static_cast<NodeId>(start), static_cast<std::size_t>(k), b);
-  if (!r.found()) {
-    std::printf("no cluster of %lld hosts at >= %.1f Mbps (route length %zu)\n",
-                static_cast<long long>(k), b, r.hops);
+  QueryResult r;
+  const int times = std::max(1, static_cast<int>(repeat));
+  for (int i = 0; i < times; ++i) r = service.submit(request);
+
+  if (r.status != QueryStatus::kFound) {
+    std::printf("no cluster of %lld hosts at >= %.1f Mbps "
+                "(status %s, route length %zu)\n",
+                static_cast<long long>(k), b, to_string(r.status), r.hops);
+    maybe_write_metrics(metrics_out);
     return 2;
   }
   std::printf("cluster (%zu hops):", r.hops);
@@ -166,11 +205,17 @@ int cmd_query(int argc, const char* const* argv) {
   wpr.add_cluster(data.bandwidth, r.cluster, b);
   std::printf("\nreal-bandwidth check: %zu/%zu pairs below b (WPR %.3f)\n",
               wpr.wrong_pairs(), wpr.total_pairs(), wpr.rate());
+  const auto stats = service.stats();
+  std::printf("served %d time(s): %zu cache hits, p50 %zu us, p99 %zu us\n",
+              times, static_cast<std::size_t>(stats.cache_hits),
+              static_cast<std::size_t>(stats.latency_percentile_micros(50.0)),
+              static_cast<std::size_t>(stats.latency_percentile_micros(99.0)));
   const MessageMetrics& mm = sys.metrics();
   std::printf("gossip traffic: %zu msgs / %zu bytes "
               "(dropped %zu, duplicated %zu, retried %zu, suspected %zu)\n",
               mm.total_messages(), mm.total_bytes(), mm.dropped(),
               mm.duplicated(), mm.retried(), mm.suspected());
+  if (!maybe_write_metrics(metrics_out)) return 1;
   return 0;
 }
 
@@ -186,6 +231,8 @@ int cmd_chaos(int argc, const char* const* argv) {
   auto& crash = opts.add_double("crash", 0.1,
                                 "fraction of nodes that crash and recover");
   auto& n_cut = opts.add_int("n_cut", 10, "aggregate size limit");
+  auto& metrics_out = opts.add_string("metrics-out", "",
+                                      "write the metrics registry here (JSON)");
   auto& seed = opts.add_int("seed", 42, "framework + fault seed");
   opts.parse(argc, argv);
   std::string dir, name;
@@ -259,6 +306,7 @@ int cmd_chaos(int argc, const char* const* argv) {
   std::printf("gossip rounds %zu, last state change at t=%.2fs, healthy: %s\n",
               async.gossip_rounds(), async.last_change(),
               async.healthy() ? "yes" : "no");
+  if (!maybe_write_metrics(metrics_out)) return 1;
   if (mismatched != 0) {
     std::printf("FIXPOINT MISMATCH: %zu neighbor tables differ from the "
                 "synchronous ground truth\n",
@@ -266,6 +314,187 @@ int cmd_chaos(int argc, const char* const* argv) {
     return 2;
   }
   std::printf("fixpoint check: all tables match the synchronous ground truth\n");
+  return 0;
+}
+
+/// Loads DIR/NAME when given, otherwise synthesizes a small in-memory
+/// dataset so `bcc metrics` / `bcc trace` run without any files.
+SynthDataset dataset_or_synthetic(const std::string& data_arg,
+                                  std::uint64_t seed, const char* cmd) {
+  std::string dir, name;
+  if (split_data_arg(data_arg, dir, name)) return load_dataset(name, dir);
+  Rng rng(seed);
+  SynthOptions synth;
+  synth.name = "inline";
+  synth.hosts = 60;
+  std::fprintf(stderr, "%s: no --data given, using a synthetic %zu-host "
+               "dataset\n", cmd, synth.hosts);
+  return synthesize_planetlab(synth, rng);
+}
+
+/// Shared pipeline for `bcc metrics` / `bcc trace`: embed, converge the
+/// cycle engine, churn the maintainer (tree spans), run the async overlay
+/// under mild loss (gossip spans, fault counters), then serve a query mix
+/// through the QueryService (serve spans, cache hits). Exercises every
+/// instrumented layer so the export shows live numbers.
+void run_observed_pipeline(const SynthDataset& data, std::uint64_t seed,
+                           std::size_t queries, std::size_t k) {
+  Rng rng(seed);
+  const Framework fw = build_framework(data.distances, rng);
+  const DistanceMatrix predicted = fw.predicted_distances();
+  const BandwidthClasses classes = BandwidthClasses::uniform_grid(5, 300, 5);
+  const std::size_t n = fw.prediction.host_count();
+
+  // Tree maintenance churn: a join/leave pair over a fresh maintainer.
+  FrameworkMaintainer maint(&data.distances);
+  for (NodeId h = 0; h < n; ++h) maint.join(h);
+  maint.leave(n / 2);
+
+  // Async gossip under mild loss (feeds fault counters + gossip spans).
+  FaultPlan plan(seed + 1);
+  plan.set_default_faults({.drop_prob = 0.1, .duplicate_prob = 0.02,
+                           .jitter_max = 0.01});
+  AsyncOverlayOptions async_options;
+  async_options.faults = &plan;
+  AsyncOverlay async(&fw.anchors, &predicted, &classes, async_options,
+                     seed + 2);
+  EventEngine engine;
+  async.run_for(engine,
+                10.0 * (static_cast<double>(fw.anchors.diameter()) + 2.0));
+
+  // Cycle-driven engine to convergence (sim spans + cycle histogram).
+  DecentralizedClusterSystem sys(fw.anchors, predicted, classes);
+  sys.run_to_convergence();
+
+  // Serve a query mix; every other request repeats, so the cache hit ratio
+  // lands near 0.5.
+  QueryService service(sys);
+  std::vector<QueryRequest> batch;
+  batch.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    const NodeId start = static_cast<NodeId>((i / 2) % n);
+    batch.push_back(QueryRequest::at_class(start, k, (i / 2) % 3));
+  }
+  service.submit_batch(batch);
+}
+
+int cmd_metrics(int argc, const char* const* argv) {
+  Options opts("bcc metrics",
+               "run a small pipeline and print the metrics registry");
+  auto& data_arg = opts.add_string("data", "",
+                                   "DIR/NAME of the dataset (optional)");
+  auto& queries = opts.add_int("queries", 40, "queries to serve");
+  auto& k = opts.add_int("k", 5, "cluster size constraint");
+  auto& format = opts.add_string("format", "prom",
+                                 "output format: prom | json | jsonl");
+  auto& out = opts.add_string("out", "", "write here instead of stdout");
+  auto& seed = opts.add_int("seed", 42, "pipeline seed");
+  opts.parse(argc, argv);
+  if (format != "prom" && format != "json" && format != "jsonl") {
+    std::fprintf(stderr, "bcc metrics: --format must be prom, json or jsonl\n");
+    return 1;
+  }
+  const SynthDataset data = dataset_or_synthetic(
+      data_arg, static_cast<std::uint64_t>(seed), "bcc metrics");
+  run_observed_pipeline(data, static_cast<std::uint64_t>(seed),
+                        static_cast<std::size_t>(queries),
+                        static_cast<std::size_t>(k));
+  const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  const std::string text = format == "prom"  ? obs::prometheus_text(snap)
+                           : format == "json" ? obs::json_object(snap) + "\n"
+                                              : obs::json_lines(snap);
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else if (!obs::write_text_file(out, text)) {
+    std::fprintf(stderr, "bcc metrics: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// Parses "sim,gossip,serve" etc. ("all" = every category) into enable
+/// calls on the global tracer. Returns false on an unknown category name.
+bool enable_categories(const std::string& list) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (list == "all") {
+    tracer.enable_all();
+    return true;
+  }
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    std::size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string token = list.substr(begin, end - begin);
+    bool known = false;
+    for (std::size_t c = 0; c < obs::kSpanCategoryCount; ++c) {
+      const auto category = static_cast<obs::SpanCategory>(c);
+      if (token == obs::to_string(category)) {
+        tracer.enable(category);
+        known = true;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "bcc trace: unknown category '%s'\n", token.c_str());
+      return false;
+    }
+    begin = end + 1;
+  }
+  return true;
+}
+
+int cmd_trace(int argc, const char* const* argv) {
+  Options opts("bcc trace",
+               "run a small pipeline with span tracing on and dump the spans");
+  auto& data_arg = opts.add_string("data", "",
+                                   "DIR/NAME of the dataset (optional)");
+  auto& categories = opts.add_string(
+      "categories", "all", "comma list of sim,gossip,serve,tree,bench");
+  auto& capacity = opts.add_int("capacity", 4096, "span ring capacity");
+  auto& json = opts.add_bool("json", false, "dump spans as JSON-lines");
+  auto& queries = opts.add_int("queries", 40, "queries to serve");
+  auto& k = opts.add_int("k", 5, "cluster size constraint");
+  auto& seed = opts.add_int("seed", 42, "pipeline seed");
+  opts.parse(argc, argv);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_capacity(static_cast<std::size_t>(std::max<long long>(
+      1, static_cast<long long>(capacity))));
+  if (!enable_categories(categories)) return 1;
+
+  const SynthDataset data = dataset_or_synthetic(
+      data_arg, static_cast<std::uint64_t>(seed), "bcc trace");
+  run_observed_pipeline(data, static_cast<std::uint64_t>(seed),
+                        static_cast<std::size_t>(queries),
+                        static_cast<std::size_t>(k));
+
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  if (json) {
+    std::fputs(obs::trace_json_lines(spans).c_str(), stdout);
+  } else {
+    // Indent children under their parent (parents always complete after
+    // their children, so depth needs the full id set, not ordering).
+    std::map<std::uint64_t, const obs::SpanRecord*> by_id;
+    for (const obs::SpanRecord& s : spans) by_id[s.id] = &s;
+    for (const obs::SpanRecord& s : spans) {
+      int depth = 0;
+      for (auto p = by_id.find(s.parent);
+           p != by_id.end() && depth < 16;
+           p = by_id.find(p->second->parent)) {
+        ++depth;
+      }
+      std::printf("%*s[%s] %s  %llu us", 2 * depth, "",
+                  obs::to_string(s.category), s.name,
+                  static_cast<unsigned long long>(s.wall_duration_us()));
+      if (s.sim_begin >= 0.0 && s.sim_end >= 0.0) {
+        std::printf("  (sim %.3fs..%.3fs)", s.sim_begin, s.sim_end);
+      }
+      std::printf("\n");
+    }
+  }
+  std::fprintf(stderr, "%zu spans kept (%llu started, %llu overwritten)\n",
+               spans.size(),
+               static_cast<unsigned long long>(tracer.started()),
+               static_cast<unsigned long long>(tracer.dropped()));
   return 0;
 }
 
@@ -336,8 +565,8 @@ int cmd_preprocess(int argc, const char* const* argv) {
 void usage() {
   std::fputs(
       "bcc — bandwidth-constrained clustering in tree metric spaces\n"
-      "usage: bcc <gen|preprocess|embed|treeness|query|eval|chaos> [--help] "
-      "[options]\n",
+      "usage: bcc <gen|preprocess|embed|treeness|query|eval|chaos|metrics|"
+      "trace> [--help] [options]\n",
       stderr);
 }
 
@@ -360,6 +589,8 @@ int main(int argc, char** argv) {
     if (cmd == "query") return cmd_query(sub_argc, sub_argv);
     if (cmd == "eval") return cmd_eval(sub_argc, sub_argv);
     if (cmd == "chaos") return cmd_chaos(sub_argc, sub_argv);
+    if (cmd == "metrics") return cmd_metrics(sub_argc, sub_argv);
+    if (cmd == "trace") return cmd_trace(sub_argc, sub_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bcc %s: %s\n", cmd.c_str(), e.what());
     return 1;

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Lints metric-name literals against the bcc.<module>.<metric> convention
+# (lowercase [a-z0-9_] segments, at least three, leading "bcc") documented in
+# src/obs/metrics.h. Scans every counter("...")/gauge("...")/histogram("...")
+# registration literal in src/, tools/ and bench/; run from the repo root
+# (ctest wires it up as `obs_metric_name_lint`).
+#
+# The registry enforces the same rule at runtime (BCC_REQUIRE); this catches
+# names on registration paths no test happens to execute.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+found=0
+
+# Registration literals: .counter("..."), .gauge("..."), .histogram("...").
+# set("...") on a BenchReport takes full names too, so include it.
+pattern='(counter|gauge|histogram|set)\("([^"]*)"'
+
+while IFS=: read -r file line name; do
+  [ -n "$name" ] || continue
+  found=$((found + 1))
+  if ! printf '%s' "$name" | grep -Eq '^bcc(\.[a-z0-9_]+){2,}$'; then
+    echo "BAD METRIC NAME: $name ($file:$line)"
+    status=1
+  fi
+done < <(grep -rnoE "$pattern" "$root/src" "$root/tools" "$root/bench" \
+           --include='*.cpp' --include='*.h' \
+         | sed -E "s/:(counter|gauge|histogram|set)\(\"/:/; s/\"$//" \
+         | grep -v 'obs_test\|metrics\.cpp:.*check' )
+
+if [ "$found" -eq 0 ]; then
+  echo "check_metrics_names.sh: no registration literals found (pattern drift?)"
+  exit 1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "check_metrics_names.sh: $found metric name literals OK"
+fi
+exit "$status"

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Sanitizer ctest jobs (the BCC_SANITIZE CMake option wired to ctest):
 #
-#   * ThreadSanitizer over the serving-layer + chaos tests — the QueryService
-#     concurrency test races submit_batch against refresh() snapshot swaps,
-#     and the chaos suite swaps degraded snapshots mid-serve, which is
-#     exactly the code TSan exists for;
-#   * AddressSanitizer + UBSan over the full suite, chaos suite included
-#     (fault injection exercises cancellation/retry paths that juggle timer
-#     lifetimes — prime use-after-free territory).
+#   * ThreadSanitizer over the serving-layer + chaos + observability tests —
+#     the QueryService concurrency test races submit_batch against refresh()
+#     snapshot swaps, the chaos suite swaps degraded snapshots mid-serve, the
+#     QueryStats seqlock test tears at snapshots under concurrent record()s,
+#     and the obs suite hammers the striped counters / histogram buckets /
+#     tracer ring from many threads — exactly the code TSan exists for;
+#   * AddressSanitizer + UBSan over the full suite, chaos + obs suites
+#     included (fault injection exercises cancellation/retry paths that
+#     juggle timer lifetimes — prime use-after-free territory).
 #
 # The chaos sweeps honor BCC_CHAOS_SEEDS / BCC_CHAOS_N (see
 # tests/chaos_test.cpp); nightly jobs export larger values before invoking
@@ -23,13 +25,14 @@ jobs="$(nproc)"
 
 run_tsan() {
   cmake -B build-tsan -S . -DBCC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "${jobs}" --target bcc_tests bcc_chaos_tests
-  ctest --test-dir build-tsan -R 'QueryService|QueryStatusApi|Chaos' --output-on-failure -j "${jobs}"
+  cmake --build build-tsan -j "${jobs}" --target bcc_tests bcc_chaos_tests bcc_obs_tests
+  ctest --test-dir build-tsan -R 'QueryService|QueryStatusApi|QueryStats|Chaos|Obs' \
+        --output-on-failure -j "${jobs}"
 }
 
 run_asan() {
   cmake -B build-asan -S . -DBCC_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j "${jobs}" --target bcc_tests bcc_chaos_tests
+  cmake --build build-asan -j "${jobs}" --target bcc_tests bcc_chaos_tests bcc_obs_tests
   ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 }
 
