@@ -29,6 +29,7 @@
 #include "core/async_overlay.h"
 #include "core/bandwidth_classes.h"
 #include "core/churn.h"
+#include "core/convergence_probe.h"
 #include "core/exhaustive_baseline.h"
 #include "core/find_cluster.h"
 #include "core/node_search.h"
@@ -47,6 +48,7 @@
 #include "metric/distance_matrix.h"
 #include "metric/four_point.h"
 #include "obs/bench_report.h"
+#include "obs/convergence.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"

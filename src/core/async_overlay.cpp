@@ -64,6 +64,7 @@ void AsyncOverlay::gossip(NodeId x) {
   gossip_timer_.erase(x);  // this firing consumed the timer
   if (down_.count(x) || !nodes_.count(x)) return;
   obs::Span span(obs::SpanCategory::kGossip, "gossip_round");
+  span.set_node(static_cast<std::uint32_t>(x));
   ++rounds_;
   // Refresh the node's own CRT entry from its current clustering space
   // (Algorithm 3 line 8).
@@ -91,39 +92,70 @@ void AsyncOverlay::start_exchange(NodeId x, NodeId v, std::size_t attempt) {
                                      /*m=*/x, /*x=*/v);
   auto prop_crt = compute_prop_crt(nodes_, classes_->size(), /*m=*/x,
                                    /*x=*/v);
+  // The send span covers snapshotting + handing the payload to the channel;
+  // its context rides inside the message so the receive span on v links back
+  // here causally. When gossip tracing is off the span is inert and the
+  // context invalid — nothing extra crosses the (simulated) wire.
+  obs::Span send_span(obs::SpanCategory::kGossip, "send_exchange");
+  send_span.set_node(static_cast<std::uint32_t>(x));
+  const obs::TraceContext ctx = send_span.context();
   engine_->metrics().record("async_gossip",
                             prop_node.size() * sizeof(NodeId) +
-                                prop_crt.size() * sizeof(std::size_t));
+                                prop_crt.size() * sizeof(std::size_t) +
+                                (ctx.valid() ? obs::kTraceContextWireBytes
+                                             : 0));
   const std::uint64_t exchange = next_exchange_++;
   channel_->send(
-      x, v, latency(x, v),
+      x, v, latency(x, v), ctx,
       [this, x, v, exchange, prop_node = std::move(prop_node),
-       prop_crt = std::move(prop_crt)]() mutable {
+       prop_crt = std::move(prop_crt)](const obs::TraceContext& msg) mutable {
         auto it = nodes_.find(v);
         if (it == nodes_.end()) return;  // receiver left the overlay
         if (down_.count(v)) {            // crashed outside the fault plan
           engine_->metrics().count_dropped();
           return;
         }
+        // Receive span: remote-parented on the sender's send span (each
+        // duplicate delivery constructs its own span — distinct ids).
+        obs::Span recv_span(obs::SpanCategory::kGossip, "recv_exchange", msg,
+                            static_cast<std::uint32_t>(v));
         OverlayNode& receiver = it->second;
         bool changed = false;
-        auto node_it = receiver.aggr_node.find(x);
-        if (node_it == receiver.aggr_node.end() ||
-            node_it->second != prop_node) {
-          receiver.aggr_node[x] = std::move(prop_node);
-          changed = true;
+        {
+          obs::Span apply_span(obs::SpanCategory::kGossip, "apply_exchange");
+          apply_span.set_node(static_cast<std::uint32_t>(v));
+          auto node_it = receiver.aggr_node.find(x);
+          if (node_it == receiver.aggr_node.end() ||
+              node_it->second != prop_node) {
+            receiver.aggr_node[x] = std::move(prop_node);
+            changed = true;
+          }
+          auto crt_it = receiver.aggr_crt.find(x);
+          if (crt_it == receiver.aggr_crt.end() ||
+              crt_it->second != prop_crt) {
+            receiver.aggr_crt[x] = std::move(prop_crt);
+            changed = true;
+          }
         }
-        auto crt_it = receiver.aggr_crt.find(x);
-        if (crt_it == receiver.aggr_crt.end() ||
-            crt_it->second != prop_crt) {
-          receiver.aggr_crt[x] = std::move(prop_crt);
-          changed = true;
+        if (changed) {
+          last_change_ = engine_->now();
+          last_update_[v] = engine_->now();
         }
-        if (changed) last_change_ = engine_->now();
-        // Acknowledge the exchange (the ack crosses the same lossy network).
-        engine_->metrics().record("async_ack", sizeof(exchange));
-        channel_->send(v, x, latency(v, x),
-                       [this, x, v, exchange] { on_ack(x, v, exchange); });
+        // Acknowledge the exchange (the ack crosses the same lossy network,
+        // carrying the receive span's context so the chain survives the
+        // round trip).
+        const obs::TraceContext ack_ctx = recv_span.context();
+        engine_->metrics().record(
+            "async_ack", sizeof(exchange) + (ack_ctx.valid()
+                                                 ? obs::kTraceContextWireBytes
+                                                 : 0));
+        channel_->send(v, x, latency(v, x), ack_ctx,
+                       [this, x, v, exchange](const obs::TraceContext& ack) {
+                         obs::Span ack_span(obs::SpanCategory::kGossip,
+                                            "recv_ack", ack,
+                                            static_cast<std::uint32_t>(x));
+                         on_ack(x, v, exchange);
+                       });
       });
   // Capped exponential backoff on the ack timeout.
   const double scale = std::min(
@@ -179,6 +211,7 @@ void AsyncOverlay::crash(NodeId x) {
   nodes_.at(x).aggr_node.clear();
   nodes_.at(x).aggr_crt.clear();
   links_.erase(x);
+  last_update_.erase(x);  // cold restart: staleness restarts from scratch
 }
 
 void AsyncOverlay::recover(NodeId x) {
@@ -220,6 +253,7 @@ void AsyncOverlay::resync_membership() {
     cancel_timer(it->first);
     down_.erase(it->first);
     links_.erase(it->first);
+    last_update_.erase(it->first);
     it = nodes_.erase(it);
   }
 

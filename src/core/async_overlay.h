@@ -101,6 +101,13 @@ class AsyncOverlay {
   std::size_t gossip_rounds() const { return rounds_; }
   /// Simulation time of the last state-changing delivery (0 if none).
   SimTime last_change() const { return last_change_; }
+  /// Simulation time `x` last applied a state-changing update (0 if never,
+  /// reset by crash and departure) — the per-node staleness anchor the
+  /// ConvergenceMonitor samples.
+  SimTime last_update(NodeId x) const {
+    auto it = last_update_.find(x);
+    return it == last_update_.end() ? 0.0 : it->second;
+  }
   /// True when `x` currently suspects `peer` (missed-ack threshold hit and
   /// no successful exchange since).
   bool suspects(NodeId x, NodeId peer) const;
@@ -140,6 +147,8 @@ class AsyncOverlay {
   std::optional<FaultyChannel> channel_;    // wraps engine_ + options_.faults
   std::size_t rounds_ = 0;
   SimTime last_change_ = 0.0;
+  /// Per-node time of the last applied (state-changing) delivery.
+  std::unordered_map<NodeId, SimTime> last_update_;
 
   std::unordered_map<NodeId, TimerId> gossip_timer_;
   std::unordered_set<NodeId> down_;

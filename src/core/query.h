@@ -89,6 +89,10 @@ struct QueryResult {
   /// taken during churn/faults): the result is well-formed and best-effort,
   /// but not guaranteed to match the converged ground truth.
   bool degraded = false;
+  /// Trace id of the span that served this query (0 when tracing is off or
+  /// the query bypassed the serving layer) — lets a caller join its result
+  /// to the exported trace.
+  std::uint64_t trace_id = 0;
 
   bool found() const { return status == QueryStatus::kFound; }
 };

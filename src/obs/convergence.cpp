@@ -1,0 +1,85 @@
+#include "obs/convergence.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace bcc::obs {
+
+namespace {
+
+std::uint64_t to_ms(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  return static_cast<std::uint64_t>(std::llround(seconds * 1000.0));
+}
+
+}  // namespace
+
+ConvergenceMonitor::ConvergenceMonitor(Registry* registry, Sampler sampler)
+    : sampler_(std::move(sampler)) {
+  BCC_REQUIRE(registry != nullptr);
+  BCC_REQUIRE(sampler_ != nullptr);
+  samples_counter_ = &registry->counter("bcc.conv.samples");
+  suspicion_churn_ = &registry->counter("bcc.conv.suspicion_churn");
+  nodes_gauge_ = &registry->gauge("bcc.conv.nodes");
+  drifted_gauge_ = &registry->gauge("bcc.conv.drifted_nodes");
+  drift_fraction_ = &registry->gauge("bcc.conv.drift_fraction");
+  converged_gauge_ = &registry->gauge("bcc.conv.converged");
+  down_gauge_ = &registry->gauge("bcc.conv.down_nodes");
+  suspected_gauge_ = &registry->gauge("bcc.conv.suspected_links");
+  staleness_ms_ = &registry->histogram("bcc.conv.staleness_ms");
+  node_convergence_ms_ = &registry->histogram("bcc.conv.node_convergence_ms");
+  time_to_convergence_ms_ =
+      &registry->histogram("bcc.conv.time_to_convergence_ms");
+}
+
+std::size_t ConvergenceMonitor::sample() {
+  const ConvergenceSample s = sampler_();
+  ++samples_;
+  samples_counter_->add(1);
+
+  std::size_t drifted = 0;
+  for (const NodeHealth& node : s.nodes) {
+    staleness_ms_->record(to_ms(node.staleness));
+    if (node.matches_reference) {
+      // First time this node agrees with the fixpoint: record when.
+      if (node_converged_.insert(node.id).second) {
+        node_convergence_ms_->record(to_ms(s.now));
+      }
+    } else {
+      ++drifted;
+    }
+  }
+
+  nodes_gauge_->set(static_cast<double>(s.nodes.size()));
+  drifted_gauge_->set(static_cast<double>(drifted));
+  drift_fraction_->set(s.nodes.empty()
+                           ? 0.0
+                           : static_cast<double>(drifted) /
+                                 static_cast<double>(s.nodes.size()));
+  down_gauge_->set(static_cast<double>(s.down_nodes));
+  suspected_gauge_->set(static_cast<double>(s.suspected_links));
+  if (s.suspected_links != last_suspected_) {
+    suspicion_churn_->add(1);
+    last_suspected_ = s.suspected_links;
+  }
+
+  const bool all_converged = drifted == 0 && !s.nodes.empty();
+  if (all_converged && !converged_) {
+    converged_at_ = s.now;
+    time_to_convergence_ms_->record(to_ms(s.now));
+  } else if (!all_converged && converged_) {
+    // Drift reappeared (churn, crash): re-arm so the next convergence is a
+    // fresh episode, and let the affected nodes re-record too.
+    converged_at_ = -1.0;
+    for (const NodeHealth& node : s.nodes) {
+      if (!node.matches_reference) node_converged_.erase(node.id);
+    }
+  }
+  converged_ = all_converged;
+  converged_gauge_->set(converged_ ? 1.0 : 0.0);
+  return drifted;
+}
+
+}  // namespace bcc::obs

@@ -1,0 +1,105 @@
+// Convergence health monitoring: the paper's decentralized algorithms are
+// judged by how fast (and whether) every node's prediction/anchor tables
+// reach the exact synchronous fixpoint under loss and churn. This monitor
+// turns that from a pass/fail test assertion into recorded `bcc.conv.*`
+// gauges and histograms: per-node staleness, drift vs. the fixpoint,
+// suspicion/outage churn, and — the headline — time-to-convergence, sampled
+// on simulated time.
+//
+// Layering: obs/ cannot see core/ (core links against obs), so the monitor
+// pulls plain-data ConvergenceSamples through a caller-supplied Sampler.
+// core/convergence_probe.h binds that Sampler to a live AsyncOverlay and a
+// lazily recomputed synchronous reference fixpoint; tests and the `bcc
+// health` subcommand wire the two together.
+//
+// Metrics (registered at construction, all in one registry):
+//   bcc.conv.samples                 counter   sample() calls so far
+//   bcc.conv.nodes                   gauge     nodes in the last sample
+//   bcc.conv.drifted_nodes           gauge     nodes differing from fixpoint
+//   bcc.conv.drift_fraction          gauge     drifted / total
+//   bcc.conv.converged               gauge     1 when drift hit 0 (sticky
+//                                              until drift reappears)
+//   bcc.conv.down_nodes              gauge     crashed right now
+//   bcc.conv.suspected_links         gauge     suspected (x, peer) pairs
+//   bcc.conv.suspicion_churn         counter   changes of suspected_links
+//   bcc.conv.staleness_ms            histogram per-node ms since last
+//                                              applied update, per sample
+//   bcc.conv.node_convergence_ms     histogram sim time (ms) at which each
+//                                              node first matched the fixpoint
+//   bcc.conv.time_to_convergence_ms  histogram sim time (ms) at which ALL
+//                                              nodes matched (once per
+//                                              convergence episode)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bcc::obs {
+
+/// One node's health at a sample instant, as plain data.
+struct NodeHealth {
+  std::uint64_t id = 0;
+  /// Seconds of simulated time since the node last applied a state-changing
+  /// update (its table-refresh recency; grows while the node is in steady
+  /// state too — read together with `matches_reference`).
+  double staleness = 0.0;
+  /// True when the node's aggregate tables equal the reference fixpoint.
+  bool matches_reference = false;
+};
+
+/// Everything the monitor needs from one pull, as plain data.
+struct ConvergenceSample {
+  double now = 0.0;  ///< simulated seconds
+  std::vector<NodeHealth> nodes;
+  std::size_t suspected_links = 0;
+  std::size_t down_nodes = 0;
+};
+
+/// See file comment.
+class ConvergenceMonitor {
+ public:
+  using Sampler = std::function<ConvergenceSample()>;
+
+  /// Registers the bcc.conv.* instruments in `registry` (global() for the
+  /// CLI, a private registry in tests). The registry must outlive the
+  /// monitor; `sampler` is pulled by every sample() call.
+  ConvergenceMonitor(Registry* registry, Sampler sampler);
+
+  /// Pulls one sample and folds it into the instruments. Returns the drift
+  /// count (0 = currently converged).
+  std::size_t sample();
+
+  /// True when the last sample had every node matching the reference.
+  bool converged() const { return converged_; }
+  /// Simulated time at which the system first fully converged (-1 = never
+  /// yet). Re-armed when drift reappears (churn), so the histogram collects
+  /// one entry per convergence episode.
+  double converged_at() const { return converged_at_; }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  Sampler sampler_;
+  Counter* samples_counter_;
+  Counter* suspicion_churn_;
+  Gauge* nodes_gauge_;
+  Gauge* drifted_gauge_;
+  Gauge* drift_fraction_;
+  Gauge* converged_gauge_;
+  Gauge* down_gauge_;
+  Gauge* suspected_gauge_;
+  Histogram* staleness_ms_;
+  Histogram* node_convergence_ms_;
+  Histogram* time_to_convergence_ms_;
+
+  std::uint64_t samples_ = 0;
+  std::size_t last_suspected_ = 0;
+  bool converged_ = false;
+  double converged_at_ = -1.0;
+  std::unordered_set<std::uint64_t> node_converged_;  ///< already recorded
+};
+
+}  // namespace bcc::obs

@@ -1,9 +1,11 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 
 namespace bcc::obs {
 
@@ -142,12 +144,91 @@ std::string trace_json_lines(const std::vector<SpanRecord>& spans) {
   std::string out;
   for (const SpanRecord& s : spans) {
     out += "{\"id\":" + fmt_u64(s.id) + ",\"parent\":" + fmt_u64(s.parent) +
+           ",\"trace\":" + fmt_u64(s.trace_id) +
            ",\"category\":\"" + to_string(s.category) + "\",\"name\":\"" +
            s.name + "\",\"wall_begin_us\":" + fmt_u64(s.wall_begin_us) +
            ",\"wall_end_us\":" + fmt_u64(s.wall_end_us) +
            ",\"sim_begin\":" + fmt_double(s.sim_begin) +
-           ",\"sim_end\":" + fmt_double(s.sim_end) + "}\n";
+           ",\"sim_end\":" + fmt_double(s.sim_end) +
+           ",\"hop\":" + fmt_u64(s.hop) + ",\"remote\":" +
+           (s.remote_parent ? "true" : "false");
+    if (s.node != kNoSpanNode) out += ",\"node\":" + fmt_u64(s.node);
+    out += "}\n";
   }
+  return out;
+}
+
+namespace {
+
+/// Microsecond timestamp of a span edge: sim-stamped spans are keyed on
+/// simulated time (seconds -> us) so traces from the event engine line up on
+/// one deterministic axis; un-stamped spans fall back to wall time.
+double span_ts_us(const SpanRecord& s, bool end) {
+  if (s.sim_begin >= 0.0 && s.sim_end >= 0.0) {
+    return (end ? s.sim_end : s.sim_begin) * 1e6;
+  }
+  return static_cast<double>(end ? s.wall_end_us : s.wall_begin_us);
+}
+
+/// pid 0 is the "no node" process; simulated node n maps to pid n + 1 so
+/// node 0 stays distinguishable from unattributed spans.
+std::uint64_t span_pid(const SpanRecord& s) {
+  return s.node == kNoSpanNode ? 0 : static_cast<std::uint64_t>(s.node) + 1;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += event;
+  };
+
+  // Process-name metadata: one per distinct simulated node, sorted.
+  std::map<std::uint64_t, bool> pids;
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& s : spans) {
+    pids[span_pid(s)] = true;
+    by_id[s.id] = &s;
+  }
+  for (const auto& [pid, unused] : pids) {
+    (void)unused;
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + fmt_u64(pid) +
+         ",\"tid\":0,\"args\":{\"name\":\"" +
+         (pid == 0 ? std::string("host") : "node " + fmt_u64(pid - 1)) +
+         "\"}}");
+  }
+
+  for (const SpanRecord& s : spans) {
+    const double begin = span_ts_us(s, /*end=*/false);
+    const double dur = std::max(0.0, span_ts_us(s, /*end=*/true) - begin);
+    emit("{\"ph\":\"X\",\"name\":\"" + std::string(s.name) + "\",\"cat\":\"" +
+         to_string(s.category) + "\",\"ts\":" + fmt_double(begin) +
+         ",\"dur\":" + fmt_double(dur) + ",\"pid\":" + fmt_u64(span_pid(s)) +
+         ",\"tid\":" + fmt_u64(static_cast<std::uint64_t>(s.category)) +
+         ",\"args\":{\"span\":" + fmt_u64(s.id) + ",\"parent\":" +
+         fmt_u64(s.parent) + ",\"trace\":" + fmt_u64(s.trace_id) +
+         ",\"hop\":" + fmt_u64(s.hop) + "}}");
+    if (!s.remote_parent) continue;
+    // Causal send->receive arrow, bound by the receiver's (unique) span id.
+    // Needs the sender's record to anchor the start; a sender overwritten in
+    // the ring leaves the receive span standing alone (no dangling arrow).
+    auto sender = by_id.find(s.parent);
+    if (sender == by_id.end()) continue;
+    const SpanRecord& p = *sender->second;
+    emit("{\"ph\":\"s\",\"name\":\"causal\",\"cat\":\"trace\",\"id\":" +
+         fmt_u64(s.id) + ",\"ts\":" + fmt_double(span_ts_us(p, /*end=*/false)) +
+         ",\"pid\":" + fmt_u64(span_pid(p)) + ",\"tid\":" +
+         fmt_u64(static_cast<std::uint64_t>(p.category)) + "}");
+    emit("{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"causal\",\"cat\":\"trace\","
+         "\"id\":" + fmt_u64(s.id) + ",\"ts\":" + fmt_double(begin) +
+         ",\"pid\":" + fmt_u64(span_pid(s)) + ",\"tid\":" +
+         fmt_u64(static_cast<std::uint64_t>(s.category)) + "}");
+  }
+  out += first ? "]}\n" : "\n]}\n";
   return out;
 }
 

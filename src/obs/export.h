@@ -32,6 +32,17 @@ std::string json_lines(const RegistrySnapshot& snapshot);
 /// JSON-lines over completed spans, oldest first.
 std::string trace_json_lines(const std::vector<SpanRecord>& spans);
 
+/// Chrome-trace-event JSON (load in chrome://tracing or ui.perfetto.dev).
+/// One complete ("X") event per span, keyed on simulated time when the span
+/// was sim-stamped (ts = sim_begin seconds -> microseconds) and wall time
+/// otherwise; pid = simulated node (kNoSpanNode -> pid 0), tid = span
+/// category, args carry span/trace/parent ids and hop count. Every
+/// remote-parented span whose sender span is present in `spans` additionally
+/// emits a flow arrow ("s" at the sender, "f" at the receiver) bound by the
+/// receiver's span id — the causal send->receive edges across nodes.
+/// Deterministic for sim-stamped spans (wall fields are ignored for them).
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans);
+
 /// Writes `content` to `path` (truncating). Returns false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);
 

@@ -14,10 +14,16 @@ std::uint64_t wall_now_us() {
           .count());
 }
 
-/// Innermost active span on this thread (0 = none) — the parent of the next
-/// span constructed here. Restored by Span destructors (strict RAII
-/// nesting), so it is exactly a stack.
-thread_local std::uint64_t tl_current_span = 0;
+/// Innermost active span on this thread — the parent of the next span
+/// constructed here (span == 0 means none). Restored by Span destructors
+/// (strict RAII nesting), so it is exactly a stack. trace/hop ride along so
+/// nested spans inherit their enclosing span's causal chain.
+struct ThreadSpanTop {
+  std::uint64_t span = 0;
+  std::uint64_t trace = 0;
+  std::uint32_t hop = 0;
+};
+thread_local ThreadSpanTop tl_top;
 
 }  // namespace
 
@@ -93,17 +99,54 @@ Span::Span(Tracer& tracer, SpanCategory category, const char* name) {
   tracer_ = &tracer;
   rec_.category = category;
   rec_.name = name;
-  rec_.parent = tl_current_span;
+  rec_.parent = tl_top.span;
+  rec_.hop = tl_top.hop;
   rec_.wall_begin_us = wall_now_us();
   rec_.id = tracer.begin_span(&rec_.sim_begin);
-  tl_current_span = rec_.id;
+  // A root span (no enclosing span) starts a new trace named by its own id.
+  rec_.trace_id = tl_top.trace != 0 ? tl_top.trace : rec_.id;
+  prev_span_ = tl_top.span;
+  prev_trace_ = tl_top.trace;
+  prev_hop_ = tl_top.hop;
+  tl_top = {rec_.id, rec_.trace_id, rec_.hop};
+}
+
+Span::Span(Tracer& tracer, SpanCategory category, const char* name,
+           const TraceContext& remote, std::uint32_t node) {
+  if (!tracer.enabled(category)) return;
+  tracer_ = &tracer;
+  rec_.category = category;
+  rec_.name = name;
+  rec_.node = node;
+  rec_.wall_begin_us = wall_now_us();
+  rec_.id = tracer.begin_span(&rec_.sim_begin);
+  if (remote.valid()) {
+    rec_.parent = remote.parent_span;
+    rec_.trace_id = remote.trace_id;
+    rec_.hop = remote.hop;
+    rec_.remote_parent = true;
+  } else {
+    // No context on the wire (sender traced nothing): fresh local root.
+    rec_.parent = tl_top.span;
+    rec_.trace_id = tl_top.trace != 0 ? tl_top.trace : rec_.id;
+    rec_.hop = tl_top.hop;
+  }
+  prev_span_ = tl_top.span;
+  prev_trace_ = tl_top.trace;
+  prev_hop_ = tl_top.hop;
+  tl_top = {rec_.id, rec_.trace_id, rec_.hop};
 }
 
 Span::~Span() {
   if (!tracer_) return;
   rec_.wall_end_us = wall_now_us();
-  tl_current_span = rec_.parent;
+  tl_top = {prev_span_, prev_trace_, prev_hop_};
   tracer_->end_span(rec_);
+}
+
+TraceContext current_trace_context() {
+  if (tl_top.trace == 0) return {};
+  return {tl_top.trace, tl_top.span, tl_top.hop + 1};
 }
 
 }  // namespace bcc::obs

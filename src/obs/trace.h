@@ -13,6 +13,13 @@
 // Nesting: spans on the same thread form a stack (thread-local current-span
 // id), so each record carries its parent's id and `bcc trace` can print the
 // tree.
+//
+// Causality across nodes: a TraceContext (trace id, parent span id, hop
+// count — 20 bytes on the wire) extracted from a live span can ride inside
+// a simulated network message; the receive side opens its span *from* that
+// context, so the receiver's record points at the sender's span id even
+// though the two "nodes" are different simulated processes. The Chrome
+// trace exporter (obs/export.h) turns those remote edges into flow arrows.
 #pragma once
 
 #include <array>
@@ -45,18 +52,47 @@ constexpr const char* to_string(SpanCategory c) {
   return "?";
 }
 
+/// SpanRecord::node value meaning "no simulated node attached".
+inline constexpr std::uint32_t kNoSpanNode = 0xffffffffu;
+
+/// Compact causal context carried inside serialized messages: enough for a
+/// receive-side span on another node to link to the sender's span. Wire
+/// format (see kTraceContextWireBytes): trace_id u64 | parent_span u64 |
+/// hop u32, little-endian. trace_id == 0 means "no trace attached" — the
+/// default when the sender's category was disabled, so propagation costs
+/// nothing in production. Plain value type: dropping a message drops the
+/// context with it, duplicating a message copies it (no ownership, no
+/// leaks).
+struct TraceContext {
+  std::uint64_t trace_id = 0;     ///< 0 = invalid / tracing off
+  std::uint64_t parent_span = 0;  ///< sender-side span id
+  std::uint32_t hop = 0;          ///< network hops from the trace root
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Bytes a serialized TraceContext adds to a message payload.
+inline constexpr std::size_t kTraceContextWireBytes = 8 + 8 + 4;
+
 /// One completed span. `name` must point at storage outliving the tracer
 /// (instrumentation sites pass string literals). Sim times are -1 when no
 /// simulation clock was installed at the corresponding edge.
 struct SpanRecord {
   std::uint64_t id = 0;
-  std::uint64_t parent = 0;  ///< 0 = root (no enclosing span on this thread)
+  std::uint64_t parent = 0;  ///< 0 = root; remote sender span when remote_parent
+  std::uint64_t trace_id = 0;  ///< causal chain id (root span's own id)
   SpanCategory category = SpanCategory::kSim;
   const char* name = "";
   std::uint64_t wall_begin_us = 0;
   std::uint64_t wall_end_us = 0;
   double sim_begin = -1.0;
   double sim_end = -1.0;
+  std::uint32_t hop = 0;           ///< network hops from the trace root
+  std::uint32_t node = kNoSpanNode;  ///< simulated node id, if any
+  /// True when `parent` came over the network via a TraceContext (the parent
+  /// span ran on another simulated node) rather than from this thread's
+  /// span stack.
+  bool remote_parent = false;
 
   std::uint64_t wall_duration_us() const {
     return wall_end_us - wall_begin_us;
@@ -128,9 +164,17 @@ class Tracer {
 class Span {
  public:
   Span(Tracer& tracer, SpanCategory category, const char* name);
+  /// Remote-parented span: links to the sender's span through a TraceContext
+  /// carried in a message (invalid context = start a fresh trace), and tags
+  /// the record with the simulated `node` it runs on.
+  Span(Tracer& tracer, SpanCategory category, const char* name,
+       const TraceContext& remote, std::uint32_t node = kNoSpanNode);
   /// Records into Tracer::global().
   Span(SpanCategory category, const char* name)
       : Span(Tracer::global(), category, name) {}
+  Span(SpanCategory category, const char* name, const TraceContext& remote,
+       std::uint32_t node = kNoSpanNode)
+      : Span(Tracer::global(), category, name, remote, node) {}
   ~Span();
 
   Span(const Span&) = delete;
@@ -139,10 +183,32 @@ class Span {
   /// True when this span is actually recording.
   bool active() const { return tracer_ != nullptr; }
   std::uint64_t id() const { return rec_.id; }
+  std::uint64_t trace_id() const { return rec_.trace_id; }
+
+  /// Tags the record with the simulated node it represents.
+  void set_node(std::uint32_t node) { rec_.node = node; }
+
+  /// Context to inject into an outgoing message: this span becomes the
+  /// remote parent, hop count already incremented for the network crossing.
+  /// Invalid (all-zero) when the span is inactive — callers can always
+  /// inject unconditionally and pay nothing while tracing is off.
+  TraceContext context() const {
+    if (!active()) return {};
+    return {rec_.trace_id, rec_.id, rec_.hop + 1};
+  }
 
  private:
   Tracer* tracer_ = nullptr;  // null = category disabled at construction
   SpanRecord rec_;
+  // Thread-stack state to restore at destruction (a remote-parented span's
+  // rec_.parent is NOT this thread's previous top).
+  std::uint64_t prev_span_ = 0;
+  std::uint64_t prev_trace_ = 0;
+  std::uint32_t prev_hop_ = 0;
 };
+
+/// Context of the innermost active span on this thread (hop already
+/// incremented for injection), or an invalid context when no span is open.
+TraceContext current_trace_context();
 
 }  // namespace bcc::obs

@@ -96,11 +96,14 @@ QueryResult QueryService::serve_one(const SystemSnapshot& snap,
                                     const QueryRequest& request) {
   obs::Span span(obs::SpanCategory::kServe, "serve_query");
   const auto t0 = std::chrono::steady_clock::now();
-  auto stamp = [&t0](QueryResult& r) {
+  // Runs on every return path; cached results get the *current* span's trace
+  // id, not the one they were computed under.
+  auto stamp = [&t0, &span](QueryResult& r) {
     r.micros = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
+    r.trace_id = span.trace_id();
   };
 
   // Validate up front (same precedence as QueryProcessor::run) so argument

@@ -2,9 +2,36 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace bcc {
 
 namespace {
+
+// Lifecycle counters for propagated trace contexts (bcc.trace.*): they
+// account for every context handed to a traced send — injected = dropped +
+// delivered (+ one extra delivery per duplicated) — which is what the
+// propagation tests use to prove contexts are neither leaked nor invented.
+obs::Counter& g_ctx_injected() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.trace.contexts_injected");
+  return c;
+}
+obs::Counter& g_ctx_delivered() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.trace.contexts_delivered");
+  return c;
+}
+obs::Counter& g_ctx_dropped() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.trace.contexts_dropped");
+  return c;
+}
+obs::Counter& g_ctx_duplicated() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.trace.contexts_duplicated");
+  return c;
+}
 
 std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
   return {std::min(a, b), std::max(a, b)};
@@ -131,6 +158,50 @@ void FaultyChannel::send(NodeId from, NodeId to, double latency,
   };
   if (d.duplicate) {
     engine_->metrics().count_duplicated();
+    engine_->schedule_after(latency + d.dup_extra_delay, deliver_guarded);
+  }
+  engine_->schedule_after(latency + d.extra_delay, std::move(deliver_guarded));
+}
+
+void FaultyChannel::send(NodeId from, NodeId to, double latency,
+                         obs::TraceContext trace, TracedHandler on_deliver) {
+  BCC_REQUIRE(latency >= 0.0);
+  BCC_REQUIRE(on_deliver != nullptr);
+  const bool traced = trace.valid();
+  if (traced) g_ctx_injected().add(1);
+  if (plan_ == nullptr) {
+    engine_->schedule_after(latency, [trace, deliver = std::move(on_deliver)] {
+      if (trace.valid()) g_ctx_delivered().add(1);
+      deliver(trace);
+    });
+    return;
+  }
+  if (plan_->is_down(from, engine_->now())) {
+    engine_->metrics().count_dropped();
+    if (traced) g_ctx_dropped().add(1);
+    return;
+  }
+  const FaultPlan::Decision d = plan_->decide(from, to, engine_->now());
+  if (!d.deliver) {
+    engine_->metrics().count_dropped();
+    // The context dies with the message — a plain value in a discarded
+    // closure, nothing to free, nothing dangling.
+    if (traced) g_ctx_dropped().add(1);
+    return;
+  }
+  auto deliver_guarded = [engine = engine_, plan = plan_, to, trace,
+                          deliver = std::move(on_deliver)] {
+    if (plan->is_down(to, engine->now())) {
+      engine->metrics().count_dropped();
+      if (trace.valid()) g_ctx_dropped().add(1);
+      return;
+    }
+    if (trace.valid()) g_ctx_delivered().add(1);
+    deliver(trace);
+  };
+  if (d.duplicate) {
+    engine_->metrics().count_duplicated();
+    if (traced) g_ctx_duplicated().add(1);
     engine_->schedule_after(latency + d.dup_extra_delay, deliver_guarded);
   }
   engine_->schedule_after(latency + d.extra_delay, std::move(deliver_guarded));

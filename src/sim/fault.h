@@ -34,6 +34,7 @@
 
 #include "common/rng.h"
 #include "metric/distance_matrix.h"  // NodeId (header-only use)
+#include "obs/trace.h"
 #include "sim/event_engine.h"
 
 namespace bcc {
@@ -124,6 +125,19 @@ class FaultyChannel {
   /// in-flight inbound traffic.
   void send(NodeId from, NodeId to, double latency,
             std::function<void()> on_deliver);
+
+  /// Handler for a traced delivery: receives the TraceContext the message
+  /// carried (possibly invalid when the sender traced nothing).
+  using TracedHandler = std::function<void(const obs::TraceContext&)>;
+
+  /// Same fault semantics as send(), with a causal TraceContext serialized
+  /// into the message. The context is a plain value riding the closure: a
+  /// dropped message discards it (counted in bcc.trace.contexts_dropped,
+  /// never leaked), a duplicated message delivers the SAME context twice —
+  /// each delivery opens its own receive span, so duplicate copies get
+  /// distinct span ids with the same remote parent.
+  void send(NodeId from, NodeId to, double latency, obs::TraceContext trace,
+            TracedHandler on_deliver);
 
   EventEngine& engine() { return *engine_; }
   FaultPlan* plan() { return plan_; }

@@ -1,0 +1,11 @@
+# Asserts bench_diff exits with code 2 (regression) on the committed
+# regression fixture — the exit-code half of the gate's acceptance test
+# (the sibling ctest entry asserts the REGRESSION output lines).
+execute_process(
+  COMMAND ${BENCH_DIFF} --baseline ${BASE} --candidate ${CAND}
+  RESULT_VARIABLE code
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR
+          "bench_diff exited ${code} on the regression fixture, expected 2")
+endif()

@@ -10,12 +10,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "core/churn.h"
+#include "core/convergence_probe.h"
 #include "core/system.h"
+#include "obs/export.h"
 #include "serve/query_service.h"
 #include "test_util.h"
 #include "tree/embedder.h"
@@ -222,6 +226,137 @@ TEST(Chaos, RunsAreDeterministicPerSeed) {
   };
   EXPECT_EQ(fingerprint(5), fingerprint(5));
   EXPECT_NE(fingerprint(5), fingerprint(6));
+}
+
+TEST(Chaos, ConvergenceMonitorRecordsTimeToConvergenceUnderDrop) {
+  // The DropSweep assertion ("eventually matches the fixpoint"), upgraded
+  // to a recorded distribution: a ConvergenceProbe + ConvergenceMonitor
+  // sample the run on sim time, so time-to-convergence under {0,10,30}%
+  // drop lands in bcc.conv.time_to_convergence_ms instead of being a
+  // pass/fail afterthought. BCC_CHAOS_CONV_OUT=FILE appends one line per
+  // (drop, seed) for offline plotting.
+  const std::size_t n = chaos_n();
+  const char* out_path = std::getenv("BCC_CHAOS_CONV_OUT");
+  std::FILE* out = (out_path && *out_path) ? std::fopen(out_path, "a")
+                                           : nullptr;
+  for (double drop : {0.0, 0.1, 0.3}) {
+    for (std::uint64_t seed = 1; seed <= chaos_seeds(); ++seed) {
+      ChaosSetup s = make_setup(n, seed);
+      FaultPlan plan(seed * 1000 + 7);
+      plan.set_default_faults({.drop_prob = drop,
+                               .duplicate_prob = 0.05,
+                               .jitter_max = 0.02});
+      AsyncOverlayOptions options;
+      options.n_cut = 5;
+      options.faults = &plan;
+      AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options,
+                         seed + 400);
+      EventEngine engine;
+      async.start(engine);
+      const double horizon =
+          (8.0 + 24.0 * drop) * (s.fw.anchors.diameter() + 2);
+      obs::Registry registry;
+      ConvergenceProbe probe(&async, &s.fw.anchors, &s.predicted, &s.classes,
+                             options.n_cut, &engine);
+      obs::ConvergenceMonitor monitor(&registry, probe.sampler());
+      ConvergenceProbe::schedule_sampling(engine, monitor, /*period=*/0.5,
+                                          horizon);
+      async.run_for(engine, horizon);
+      monitor.sample();  // verdict at the horizon
+
+      std::ostringstream context;
+      context << "drop=" << drop << " seed=" << seed;
+      EXPECT_TRUE(monitor.converged()) << context.str();
+      EXPECT_GE(monitor.converged_at(), 0.0) << context.str();
+      const obs::RegistrySnapshot snap = registry.snapshot();
+      const obs::Histogram::Snapshot* ttc =
+          snap.histogram("bcc.conv.time_to_convergence_ms");
+      ASSERT_NE(ttc, nullptr) << context.str();
+      EXPECT_GE(ttc->count, 1u) << context.str();
+      const obs::Histogram::Snapshot* per_node =
+          snap.histogram("bcc.conv.node_convergence_ms");
+      ASSERT_NE(per_node, nullptr) << context.str();
+      EXPECT_EQ(per_node->count, s.fw.anchors.bfs_order().size())
+          << context.str();
+      EXPECT_GT(snap.counter_value("bcc.conv.samples"), 1u) << context.str();
+      if (out) {
+        std::fprintf(out, "drop=%.2f seed=%llu ttc_ms=%.0f\n", drop,
+                     static_cast<unsigned long long>(seed),
+                     monitor.converged_at() * 1000.0);
+      }
+    }
+  }
+  if (out) std::fclose(out);
+}
+
+TEST(Chaos, ThirtyPercentDropStillExportsCausalCrossNodeChain) {
+  // The acceptance check for cross-node tracing: under 30% drop (plus dup
+  // and jitter), the exported trace must still contain at least one intact
+  // causal chain send_exchange --(message)--> recv_exchange -->
+  // apply_exchange, with the receive span remote-parented on the sender's
+  // span on a DIFFERENT simulated node, and the Chrome export must bind
+  // them with flow arrows.
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_capacity(1 << 16);
+  tracer.enable(obs::SpanCategory::kGossip);
+
+  ChaosSetup s = make_setup(chaos_n(), 21);
+  FaultPlan plan(2107);
+  plan.set_default_faults({.drop_prob = 0.3,
+                           .duplicate_prob = 0.05,
+                           .jitter_max = 0.02});
+  AsyncOverlayOptions options;
+  options.n_cut = 5;
+  options.faults = &plan;
+  AsyncOverlay async(&s.fw.anchors, &s.predicted, &s.classes, options, 422);
+  EventEngine engine;
+  async.run_for(engine,
+                (8.0 + 24.0 * 0.3) * (s.fw.anchors.diameter() + 2));
+
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  tracer.enable(obs::SpanCategory::kGossip, false);
+  tracer.clear();
+  tracer.set_capacity(obs::Tracer::kDefaultCapacity);
+
+  std::map<std::uint64_t, const obs::SpanRecord*> by_id;
+  for (const obs::SpanRecord& sp : spans) by_id[sp.id] = &sp;
+  std::size_t chains = 0;
+  for (const obs::SpanRecord& apply : spans) {
+    if (std::string(apply.name) != "apply_exchange") continue;
+    auto recv_it = by_id.find(apply.parent);
+    if (recv_it == by_id.end()) continue;
+    const obs::SpanRecord& recv = *recv_it->second;
+    if (std::string(recv.name) != "recv_exchange" || !recv.remote_parent) {
+      continue;
+    }
+    auto send_it = by_id.find(recv.parent);
+    if (send_it == by_id.end()) continue;
+    const obs::SpanRecord& send = *send_it->second;
+    if (std::string(send.name) != "send_exchange") continue;
+    // Causal chain: same trace, one network hop, across two distinct nodes,
+    // with sim-time ordering send.begin <= recv.begin <= apply.begin.
+    EXPECT_EQ(send.trace_id, recv.trace_id);
+    EXPECT_EQ(recv.trace_id, apply.trace_id);
+    EXPECT_EQ(send.hop + 1, recv.hop);
+    EXPECT_NE(send.node, recv.node);
+    EXPECT_NE(send.node, obs::kNoSpanNode);
+    EXPECT_NE(recv.node, obs::kNoSpanNode);
+    EXPECT_LE(send.sim_begin, recv.sim_begin);
+    EXPECT_LE(recv.sim_begin, apply.sim_begin);
+    ++chains;
+  }
+  EXPECT_GE(chains, 1u) << "no intact send->recv->apply chain in "
+                        << spans.size() << " spans";
+
+  const std::string chrome = obs::chrome_trace_json(spans);
+  EXPECT_EQ(chrome.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_NE(chrome.find("\"ph\":\"s\",\"name\":\"causal\""),
+            std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"f\",\"bp\":\"e\",\"name\":\"causal\""),
+            std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"recv_exchange\""), std::string::npos);
 }
 
 TEST(Chaos, DegradedServingIsFlaggedAndWellFormed) {

@@ -21,8 +21,10 @@
 #include "common/assert.h"
 #include "common/table.h"
 #include "obs/bench_report.h"
+#include "obs/convergence.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "sim/fault.h"
 
 namespace bcc::obs {
 namespace {
@@ -427,16 +429,310 @@ TEST(ObsExport, TraceJsonLinesGolden) {
   SpanRecord rec;
   rec.id = 7;
   rec.parent = 3;
+  rec.trace_id = 3;
   rec.category = SpanCategory::kGossip;
   rec.name = "retry_exchange";
   rec.wall_begin_us = 100;
   rec.wall_end_us = 250;
   rec.sim_begin = 1.5;
   rec.sim_end = 2.0;
+  rec.hop = 1;
+  rec.node = 4;
+  rec.remote_parent = true;
   EXPECT_EQ(trace_json_lines({rec}),
-            "{\"id\":7,\"parent\":3,\"category\":\"gossip\","
+            "{\"id\":7,\"parent\":3,\"trace\":3,\"category\":\"gossip\","
             "\"name\":\"retry_exchange\",\"wall_begin_us\":100,"
-            "\"wall_end_us\":250,\"sim_begin\":1.5,\"sim_end\":2}\n");
+            "\"wall_end_us\":250,\"sim_begin\":1.5,\"sim_end\":2,"
+            "\"hop\":1,\"remote\":true,\"node\":4}\n");
+  // A plain local span (no trace, no node) omits the node field.
+  SpanRecord local;
+  local.id = 2;
+  local.name = "local";
+  local.category = SpanCategory::kBench;
+  EXPECT_EQ(trace_json_lines({local}),
+            "{\"id\":2,\"parent\":0,\"trace\":0,\"category\":\"bench\","
+            "\"name\":\"local\",\"wall_begin_us\":0,\"wall_end_us\":0,"
+            "\"sim_begin\":-1,\"sim_end\":-1,\"hop\":0,\"remote\":false}\n");
+}
+
+TEST(ObsExport, ChromeTraceGolden) {
+  // One cross-node send -> receive pair, sim-stamped: the exporter must key
+  // timestamps on sim time (seconds -> us), map node n to pid n + 1, and
+  // bind one flow arrow (s at the sender, f at the receiver) by the
+  // receiver's span id.
+  SpanRecord send;
+  send.id = 3;
+  send.trace_id = 3;
+  send.category = SpanCategory::kGossip;
+  send.name = "send_exchange";
+  send.sim_begin = 1.0;
+  send.sim_end = 1.25;
+  send.node = 0;
+  SpanRecord recv;
+  recv.id = 7;
+  recv.parent = 3;
+  recv.trace_id = 3;
+  recv.category = SpanCategory::kGossip;
+  recv.name = "recv_exchange";
+  recv.sim_begin = 1.5;
+  recv.sim_end = 2.0;
+  recv.hop = 1;
+  recv.node = 1;
+  recv.remote_parent = true;
+  EXPECT_EQ(
+      chrome_trace_json({send, recv}),
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"node 0\"}},\n"
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,\"tid\":0,"
+      "\"args\":{\"name\":\"node 1\"}},\n"
+      "{\"ph\":\"X\",\"name\":\"send_exchange\",\"cat\":\"gossip\","
+      "\"ts\":1000000,\"dur\":250000,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"span\":3,\"parent\":0,\"trace\":3,\"hop\":0}},\n"
+      "{\"ph\":\"X\",\"name\":\"recv_exchange\",\"cat\":\"gossip\","
+      "\"ts\":1500000,\"dur\":500000,\"pid\":2,\"tid\":1,"
+      "\"args\":{\"span\":7,\"parent\":3,\"trace\":3,\"hop\":1}},\n"
+      "{\"ph\":\"s\",\"name\":\"causal\",\"cat\":\"trace\",\"id\":7,"
+      "\"ts\":1000000,\"pid\":1,\"tid\":1},\n"
+      "{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"causal\",\"cat\":\"trace\","
+      "\"id\":7,\"ts\":1500000,\"pid\":2,\"tid\":1}\n"
+      "]}\n");
+}
+
+TEST(ObsExport, ChromeTraceOfNoSpansIsValid) {
+  EXPECT_EQ(chrome_trace_json({}),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+TEST(ObsExport, ChromeTraceFallsBackToWallClockAndHostPid) {
+  // No sim stamps, no node: wall-clock microseconds and the pid-0 "host"
+  // process. A remote receive whose sender was overwritten in the ring gets
+  // no flow arrow (nothing dangling).
+  SpanRecord rec;
+  rec.id = 9;
+  rec.parent = 4;  // not in the snapshot
+  rec.trace_id = 4;
+  rec.category = SpanCategory::kServe;
+  rec.name = "serve_query";
+  rec.wall_begin_us = 10;
+  rec.wall_end_us = 35;
+  rec.remote_parent = true;
+  const std::string json = chrome_trace_json({rec});
+  EXPECT_NE(json.find("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,"
+                      "\"tid\":0,\"args\":{\"name\":\"host\"}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10,\"dur\":25,\"pid\":0"), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+// -------------------------------------------- trace-context propagation
+
+TEST(ObsTraceContext, InactiveSpanYieldsInvalidContext) {
+  Tracer tracer;  // every category disabled
+  Span span(tracer, SpanCategory::kGossip, "send");
+  EXPECT_FALSE(span.active());
+  EXPECT_FALSE(span.context().valid());
+  EXPECT_FALSE(current_trace_context().valid());
+  // A remote span built from an invalid context starts a fresh local trace.
+  Tracer on;
+  on.enable(SpanCategory::kGossip);
+  Span fresh(on, SpanCategory::kGossip, "recv", span.context());
+  EXPECT_TRUE(fresh.active());
+  EXPECT_EQ(fresh.trace_id(), fresh.id());
+}
+
+TEST(ObsTraceContext, RemoteSpanLinksToSenderAndNestsLocally) {
+  Tracer tracer;
+  tracer.enable(SpanCategory::kGossip);
+  std::uint64_t send_id = 0;
+  {
+    Span send(tracer, SpanCategory::kGossip, "send_exchange");
+    send_id = send.id();
+    const TraceContext ctx = send.context();
+    EXPECT_TRUE(ctx.valid());
+    EXPECT_EQ(ctx.trace_id, send.trace_id());
+    EXPECT_EQ(ctx.parent_span, send.id());
+    EXPECT_EQ(ctx.hop, 1u);  // pre-incremented for the network crossing
+    {
+      // The "other node": a remote-parented receive with a nested local
+      // child, as AsyncOverlay's delivery handler opens them.
+      Span recv(tracer, SpanCategory::kGossip, "recv_exchange", ctx, 5);
+      Span apply(tracer, SpanCategory::kGossip, "apply_exchange");
+      EXPECT_EQ(recv.trace_id(), send.trace_id());
+      EXPECT_EQ(apply.trace_id(), send.trace_id());
+    }
+    // The remote span must restore the *thread's* previous top (the sender),
+    // not its own remote parent.
+    EXPECT_EQ(current_trace_context().parent_span, send.id());
+  }
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);  // completed innermost-first
+  const SpanRecord& apply = spans[0];
+  const SpanRecord& recv = spans[1];
+  const SpanRecord& send = spans[2];
+  EXPECT_EQ(send.id, send_id);
+  EXPECT_EQ(send.parent, 0u);
+  EXPECT_EQ(send.trace_id, send.id);
+  EXPECT_FALSE(send.remote_parent);
+  EXPECT_EQ(recv.parent, send.id);
+  EXPECT_EQ(recv.trace_id, send.id);
+  EXPECT_EQ(recv.hop, 1u);
+  EXPECT_EQ(recv.node, 5u);
+  EXPECT_TRUE(recv.remote_parent);
+  EXPECT_EQ(apply.parent, recv.id);
+  EXPECT_EQ(apply.trace_id, send.id);
+  EXPECT_EQ(apply.hop, 1u);  // same node as recv: no extra hop
+  EXPECT_FALSE(apply.remote_parent);
+}
+
+TEST(ObsTraceContext, DuplicatedMessageYieldsDistinctReceiveSpans) {
+  EventEngine engine;
+  FaultPlan plan(7);
+  plan.set_default_faults({.drop_prob = 0.0, .duplicate_prob = 1.0,
+                           .jitter_max = 0.0});
+  FaultyChannel channel(&engine, &plan);
+  Tracer tracer;
+  tracer.enable(SpanCategory::kGossip);
+  const RegistrySnapshot before = Registry::global().snapshot();
+  std::uint64_t send_id = 0;
+  {
+    Span send(tracer, SpanCategory::kGossip, "send_exchange");
+    send_id = send.id();
+    channel.send(0, 1, 0.01, send.context(),
+                 [&tracer](const TraceContext& ctx) {
+                   Span recv(tracer, SpanCategory::kGossip, "recv_exchange",
+                             ctx, 1);
+                 });
+  }
+  engine.run_until(1.0);
+  // Two deliveries of the SAME context -> two receive spans with distinct
+  // ids, both remote-parented on the one sender span.
+  std::vector<SpanRecord> recvs;
+  for (const SpanRecord& s : tracer.snapshot()) {
+    if (std::string(s.name) == "recv_exchange") recvs.push_back(s);
+  }
+  ASSERT_EQ(recvs.size(), 2u);
+  EXPECT_NE(recvs[0].id, recvs[1].id);
+  for (const SpanRecord& r : recvs) {
+    EXPECT_EQ(r.parent, send_id);
+    EXPECT_TRUE(r.remote_parent);
+    EXPECT_EQ(r.hop, 1u);
+  }
+  const RegistrySnapshot after = Registry::global().snapshot();
+  auto delta = [&](const char* name) {
+    return after.counter_value(name) - before.counter_value(name);
+  };
+  EXPECT_EQ(delta("bcc.trace.contexts_injected"), 1u);
+  EXPECT_EQ(delta("bcc.trace.contexts_duplicated"), 1u);
+  EXPECT_EQ(delta("bcc.trace.contexts_delivered"), 2u);
+  EXPECT_EQ(delta("bcc.trace.contexts_dropped"), 0u);
+}
+
+TEST(ObsTraceContext, DroppedMessageDiscardsContextWithoutLeaking) {
+  EventEngine engine;
+  FaultPlan plan(7);
+  plan.set_default_faults({.drop_prob = 1.0});
+  FaultyChannel channel(&engine, &plan);
+  Tracer tracer;
+  tracer.enable(SpanCategory::kGossip);
+  const RegistrySnapshot before = Registry::global().snapshot();
+  std::size_t deliveries = 0;
+  {
+    Span send(tracer, SpanCategory::kGossip, "send_exchange");
+    channel.send(0, 1, 0.01, send.context(),
+                 [&deliveries](const TraceContext&) { ++deliveries; });
+  }
+  engine.run_until(1.0);
+  EXPECT_EQ(deliveries, 0u);
+  const RegistrySnapshot after = Registry::global().snapshot();
+  auto delta = [&](const char* name) {
+    return after.counter_value(name) - before.counter_value(name);
+  };
+  // injected == dropped + delivered: the context died with the message.
+  EXPECT_EQ(delta("bcc.trace.contexts_injected"), 1u);
+  EXPECT_EQ(delta("bcc.trace.contexts_dropped"), 1u);
+  EXPECT_EQ(delta("bcc.trace.contexts_delivered"), 0u);
+
+  // An invalid context (tracing off at the sender) counts nothing at all.
+  channel.send(0, 1, 0.01, TraceContext{},
+               [&deliveries](const TraceContext&) { ++deliveries; });
+  engine.run_until(2.0);
+  const RegistrySnapshot final_snap = Registry::global().snapshot();
+  EXPECT_EQ(final_snap.counter_value("bcc.trace.contexts_injected"),
+            after.counter_value("bcc.trace.contexts_injected"));
+  EXPECT_EQ(final_snap.counter_value("bcc.trace.contexts_dropped"),
+            after.counter_value("bcc.trace.contexts_dropped"));
+}
+
+// ------------------------------------------------------------ convergence
+
+TEST(ObsConvergence, TimeToConvergenceRecordedOncePerEpisode) {
+  Registry registry;
+  ConvergenceSample next;
+  ConvergenceMonitor monitor(&registry, [&next] { return next; });
+  auto node = [](std::uint64_t id, bool ok, double stale) {
+    NodeHealth h;
+    h.id = id;
+    h.matches_reference = ok;
+    h.staleness = stale;
+    return h;
+  };
+
+  next.now = 1.0;
+  next.nodes = {node(0, true, 0.5), node(1, false, 1.0)};
+  next.suspected_links = 1;
+  EXPECT_EQ(monitor.sample(), 1u);
+  EXPECT_FALSE(monitor.converged());
+  EXPECT_EQ(monitor.converged_at(), -1.0);
+
+  next.now = 2.0;
+  next.nodes = {node(0, true, 1.5), node(1, true, 0.0)};
+  next.suspected_links = 0;
+  EXPECT_EQ(monitor.sample(), 0u);
+  EXPECT_TRUE(monitor.converged());
+  EXPECT_EQ(monitor.converged_at(), 2.0);
+
+  next.now = 3.0;  // still converged: not a new episode
+  monitor.sample();
+  EXPECT_EQ(monitor.converged_at(), 2.0);
+
+  next.now = 4.0;  // churn: node 1 drifts again
+  next.nodes = {node(0, true, 0.1), node(1, false, 2.0)};
+  EXPECT_EQ(monitor.sample(), 1u);
+  EXPECT_FALSE(monitor.converged());
+  EXPECT_EQ(monitor.converged_at(), -1.0);
+
+  next.now = 5.0;  // second episode converges
+  next.nodes = {node(0, true, 0.2), node(1, true, 0.1)};
+  monitor.sample();
+  EXPECT_EQ(monitor.converged_at(), 5.0);
+
+  const RegistrySnapshot snap = registry.snapshot();
+  const Histogram::Snapshot* ttc =
+      snap.histogram("bcc.conv.time_to_convergence_ms");
+  ASSERT_NE(ttc, nullptr);
+  EXPECT_EQ(ttc->count, 2u);  // one entry per convergence episode
+  const Histogram::Snapshot* nc =
+      snap.histogram("bcc.conv.node_convergence_ms");
+  ASSERT_NE(nc, nullptr);
+  EXPECT_EQ(nc->count, 3u);  // node 0 @1s, node 1 @2s, node 1 again @5s
+  const Histogram::Snapshot* stale = snap.histogram("bcc.conv.staleness_ms");
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->count, 10u);  // 2 nodes x 5 samples
+  EXPECT_EQ(snap.counter_value("bcc.conv.samples"), 5u);
+  EXPECT_EQ(snap.counter_value("bcc.conv.suspicion_churn"), 2u);  // 0->1->0
+  EXPECT_EQ(snap.gauge_value("bcc.conv.converged"), 1.0);
+  EXPECT_EQ(snap.gauge_value("bcc.conv.drift_fraction"), 0.0);
+  EXPECT_EQ(snap.gauge_value("bcc.conv.nodes"), 2.0);
+}
+
+TEST(ObsConvergence, EmptySampleNeverCountsAsConverged) {
+  Registry registry;
+  ConvergenceMonitor monitor(&registry, [] { return ConvergenceSample{}; });
+  EXPECT_EQ(monitor.sample(), 0u);
+  EXPECT_FALSE(monitor.converged());
+  EXPECT_EQ(registry.snapshot().gauge_value("bcc.conv.converged"), 0.0);
 }
 
 TEST(ObsExport, NonFiniteGaugesExportAsZero) {

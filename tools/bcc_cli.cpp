@@ -24,8 +24,16 @@
 //   bcc metrics  [--data DIR/NAME --queries N --k K --format prom|json|jsonl]
 //                  run a small end-to-end pipeline (synthetic dataset when no
 //                  --data) and print the global metrics registry
-//   bcc trace    [--data DIR/NAME --categories LIST --capacity N --json]
+//   bcc trace    [--data DIR/NAME --categories LIST --capacity N
+//                  --format text|jsonl|chrome --out FILE]
 //                  same pipeline with span tracing enabled; dump the spans
+//                  as an indented tree, JSON-lines, or a Chrome/Perfetto
+//                  trace (load chrome output in ui.perfetto.dev)
+//   bcc health   [--data DIR/NAME --drop P --dup P --jitter S --crash F
+//                  --sample-period S --metrics-out FILE]
+//                  run the gossip stack under faults with the
+//                  ConvergenceMonitor sampling bcc.conv.* and report
+//                  time-to-convergence and per-node staleness
 //
 // `--metrics-out FILE` writes the global registry as one JSON object.
 // Any dataset can be a user-provided measurement matrix: put it at
@@ -450,11 +458,22 @@ int cmd_trace(int argc, const char* const* argv) {
   auto& categories = opts.add_string(
       "categories", "all", "comma list of sim,gossip,serve,tree,bench");
   auto& capacity = opts.add_int("capacity", 4096, "span ring capacity");
-  auto& json = opts.add_bool("json", false, "dump spans as JSON-lines");
+  auto& json = opts.add_bool("json", false,
+                             "dump spans as JSON-lines (same as "
+                             "--format jsonl)");
+  auto& format = opts.add_string("format", "",
+                                 "output format: text | jsonl | chrome");
+  auto& out = opts.add_string("out", "", "write here instead of stdout");
   auto& queries = opts.add_int("queries", 40, "queries to serve");
   auto& k = opts.add_int("k", 5, "cluster size constraint");
   auto& seed = opts.add_int("seed", 42, "pipeline seed");
   opts.parse(argc, argv);
+  std::string fmt = format;
+  if (fmt.empty()) fmt = json ? "jsonl" : "text";
+  if (fmt != "text" && fmt != "jsonl" && fmt != "chrome") {
+    std::fprintf(stderr, "bcc trace: --format must be text, jsonl or chrome\n");
+    return 1;
+  }
 
   obs::Tracer& tracer = obs::Tracer::global();
   tracer.set_capacity(static_cast<std::size_t>(std::max<long long>(
@@ -468,8 +487,11 @@ int cmd_trace(int argc, const char* const* argv) {
                         static_cast<std::size_t>(k));
 
   const std::vector<obs::SpanRecord> spans = tracer.snapshot();
-  if (json) {
-    std::fputs(obs::trace_json_lines(spans).c_str(), stdout);
+  std::string text;
+  if (fmt == "jsonl") {
+    text = obs::trace_json_lines(spans);
+  } else if (fmt == "chrome") {
+    text = obs::chrome_trace_json(spans);
   } else {
     // Indent children under their parent (parents always complete after
     // their children, so depth needs the full id set, not ordering).
@@ -482,20 +504,135 @@ int cmd_trace(int argc, const char* const* argv) {
            p = by_id.find(p->second->parent)) {
         ++depth;
       }
-      std::printf("%*s[%s] %s  %llu us", 2 * depth, "",
-                  obs::to_string(s.category), s.name,
-                  static_cast<unsigned long long>(s.wall_duration_us()));
+      char line[256];
+      std::snprintf(line, sizeof line, "%*s[%s] %s  %llu us", 2 * depth, "",
+                    obs::to_string(s.category), s.name,
+                    static_cast<unsigned long long>(s.wall_duration_us()));
+      text += line;
       if (s.sim_begin >= 0.0 && s.sim_end >= 0.0) {
-        std::printf("  (sim %.3fs..%.3fs)", s.sim_begin, s.sim_end);
+        std::snprintf(line, sizeof line, "  (sim %.3fs..%.3fs)", s.sim_begin,
+                      s.sim_end);
+        text += line;
       }
-      std::printf("\n");
+      text += '\n';
     }
+  }
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else if (obs::write_text_file(out, text)) {
+    std::fprintf(stderr, "trace written to %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "bcc trace: cannot write %s\n", out.c_str());
+    return 1;
   }
   std::fprintf(stderr, "%zu spans kept (%llu started, %llu overwritten)\n",
                spans.size(),
                static_cast<unsigned long long>(tracer.started()),
                static_cast<unsigned long long>(tracer.dropped()));
   return 0;
+}
+
+int cmd_health(int argc, const char* const* argv) {
+  Options opts("bcc health",
+               "convergence health of the gossip stack under faults");
+  auto& data_arg = opts.add_string("data", "",
+                                   "DIR/NAME of the dataset (optional)");
+  auto& drop = opts.add_double("drop", 0.3, "per-message drop probability");
+  auto& dup = opts.add_double("dup", 0.05,
+                              "per-message duplication probability");
+  auto& jitter = opts.add_double("jitter", 0.02,
+                                 "max extra delivery delay (s, reorders)");
+  auto& crash = opts.add_double("crash", 0.1,
+                                "fraction of nodes that crash and recover");
+  auto& n_cut = opts.add_int("n_cut", 10, "aggregate size limit");
+  auto& period = opts.add_double("sample-period", 0.5,
+                                 "seconds of sim time between health samples");
+  auto& metrics_out = opts.add_string("metrics-out", "",
+                                      "write the metrics registry here (JSON)");
+  auto& seed = opts.add_int("seed", 42, "framework + fault seed");
+  opts.parse(argc, argv);
+  if (drop < 0.0 || drop >= 1.0 || crash < 0.0 || crash > 1.0 ||
+      period <= 0.0) {
+    std::fprintf(stderr, "bcc health: need 0 <= --drop < 1, "
+                         "0 <= --crash <= 1, --sample-period > 0\n");
+    return 1;
+  }
+
+  const SynthDataset data = dataset_or_synthetic(
+      data_arg, static_cast<std::uint64_t>(seed), "bcc health");
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Framework fw = build_framework(data.distances, rng);
+  const DistanceMatrix predicted = fw.predicted_distances();
+  const BandwidthClasses classes = BandwidthClasses::uniform_grid(5, 300, 5);
+  const std::size_t n = fw.prediction.host_count();
+
+  // Same fault shape as `bcc chaos`: uniform loss plus staggered
+  // crash/recover outages that all heal before the quiet tail.
+  FaultPlan plan(static_cast<std::uint64_t>(seed) + 1);
+  plan.set_default_faults(
+      {.drop_prob = drop, .duplicate_prob = dup, .jitter_max = jitter});
+  const auto order = fw.anchors.bfs_order();
+  const std::size_t crashers =
+      std::min(n - 1, static_cast<std::size_t>(crash * static_cast<double>(n)));
+  for (std::size_t i = 0; i < crashers; ++i) {
+    plan.add_crash(order[1 + i], 4.0 + 2.0 * static_cast<double>(i),
+                   10.0 + 2.0 * static_cast<double>(i));
+  }
+
+  AsyncOverlayOptions async_options;
+  async_options.n_cut = static_cast<std::size_t>(n_cut);
+  async_options.faults = &plan;
+  AsyncOverlay async(&fw.anchors, &predicted, &classes, async_options,
+                     static_cast<std::uint64_t>(seed) + 2);
+  EventEngine engine;
+  const double diameter = static_cast<double>(fw.anchors.diameter());
+  const double horizon = 10.0 + 2.0 * static_cast<double>(crashers) +
+                         (8.0 + 24.0 * drop) * (diameter + 2.0);
+
+  ConvergenceProbe probe(&async, &fw.anchors, &predicted, &classes,
+                         static_cast<std::size_t>(n_cut), &engine);
+  obs::ConvergenceMonitor monitor(&obs::Registry::global(), probe.sampler());
+  async.start(engine);
+  ConvergenceProbe::schedule_sampling(engine, monitor, period, horizon);
+  engine.run_until(horizon);
+  monitor.sample();  // final verdict at the horizon
+
+  const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  std::printf("health run: %zu hosts, drop %.0f%%, dup %.0f%%, "
+              "%zu crash/recover, %.1fs simulated, sampled every %.2fs\n",
+              n, drop * 100.0, dup * 100.0, crashers, horizon, period);
+  std::printf("converged: %s", monitor.converged() ? "yes" : "NO");
+  if (monitor.converged_at() >= 0.0) {
+    std::printf(" (first full fixpoint match at t=%.2fs)", monitor.converged_at());
+  }
+  std::printf("\n");
+  std::printf("drift: %zu/%.0f nodes off the sync fixpoint "
+              "(fraction %.3f) | down %.0f | suspected links %.0f | "
+              "suspicion churn %llu\n",
+              static_cast<std::size_t>(snap.gauge_value("bcc.conv.drifted_nodes")),
+              snap.gauge_value("bcc.conv.nodes"),
+              snap.gauge_value("bcc.conv.drift_fraction"),
+              snap.gauge_value("bcc.conv.down_nodes"),
+              snap.gauge_value("bcc.conv.suspected_links"),
+              static_cast<unsigned long long>(
+                  snap.counter_value("bcc.conv.suspicion_churn")));
+  auto print_hist = [&snap](const char* name, const char* label) {
+    const obs::Histogram::Snapshot* h = snap.histogram(name);
+    if (h == nullptr || h->count == 0) {
+      std::printf("%s: no samples\n", label);
+      return;
+    }
+    std::printf("%s: n=%llu p50 ~%llu ms, p90 ~%llu ms, max %llu ms\n", label,
+                static_cast<unsigned long long>(h->count),
+                static_cast<unsigned long long>(h->quantile(50.0)),
+                static_cast<unsigned long long>(h->quantile(90.0)),
+                static_cast<unsigned long long>(h->max));
+  };
+  print_hist("bcc.conv.staleness_ms", "staleness");
+  print_hist("bcc.conv.node_convergence_ms", "per-node convergence time");
+  print_hist("bcc.conv.time_to_convergence_ms", "time to convergence");
+  if (!maybe_write_metrics(metrics_out)) return 1;
+  return monitor.converged() ? 0 : 2;
 }
 
 int cmd_eval(int argc, const char* const* argv) {
@@ -566,7 +703,7 @@ void usage() {
   std::fputs(
       "bcc — bandwidth-constrained clustering in tree metric spaces\n"
       "usage: bcc <gen|preprocess|embed|treeness|query|eval|chaos|metrics|"
-      "trace> [--help] [options]\n",
+      "trace|health> [--help] [options]\n",
       stderr);
 }
 
@@ -591,6 +728,7 @@ int main(int argc, char** argv) {
     if (cmd == "chaos") return cmd_chaos(sub_argc, sub_argv);
     if (cmd == "metrics") return cmd_metrics(sub_argc, sub_argv);
     if (cmd == "trace") return cmd_trace(sub_argc, sub_argv);
+    if (cmd == "health") return cmd_health(sub_argc, sub_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bcc %s: %s\n", cmd.c_str(), e.what());
     return 1;

@@ -1,0 +1,298 @@
+// bench_diff — the bench-regression gate: compares two BENCH_<name>.json
+// reports (or two directories of them) metric by metric and fails when any
+// gated metric moved past its relative threshold in the "worse" direction.
+//
+//   bench_diff --baseline FILE|DIR --candidate FILE|DIR
+//              [--threshold 0.10] [--json] [--out FILE]
+//              [--metrics REGEX]
+//
+// Direction is inferred from the metric name: *_ns / *_us / *_ms are
+// latencies (higher is worse), *per_second / *qps are throughputs (lower is
+// worse); anything else is reported but never gates. Metrics present on only
+// one side are reported as added/removed and do not gate either (a renamed
+// benchmark should not block the build — the baseline refresh will).
+//
+// Exit codes: 0 = within thresholds, 1 = usage or I/O error, 2 = regression.
+//
+// The reports are the flat JSON the bench harness writes (obs/bench_report):
+// one object whose numeric leaves are "metric.name": value pairs. A
+// hand-rolled scanner keeps this dependency-free — it extracts every
+// "quoted key": <number> pair and ignores the rest, which is exactly the
+// schema bench_report emits.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+
+namespace {
+
+using bcc::Options;
+
+/// All "key": number pairs in `text`, last occurrence wins.
+std::map<std::string, double> parse_numeric_leaves(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t i = 0;
+  while ((i = text.find('"', i)) != std::string::npos) {
+    const std::size_t key_end = text.find('"', i + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(i + 1, key_end - i - 1);
+    std::size_t j = key_end + 1;
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j])))
+      ++j;
+    if (j >= text.size() || text[j] != ':') {
+      i = key_end + 1;
+      continue;
+    }
+    ++j;
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j])))
+      ++j;
+    if (j < text.size() &&
+        (std::isdigit(static_cast<unsigned char>(text[j])) ||
+         text[j] == '-' || text[j] == '+')) {
+      out[key] = std::strtod(text.c_str() + j, nullptr);
+    }
+    i = key_end + 1;
+  }
+  return out;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+enum class Direction { kHigherIsWorse, kLowerIsWorse, kInformational };
+
+Direction direction_of(const std::string& name) {
+  auto ends_with = [&name](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("_ns") || ends_with("_us") || ends_with("_ms")) {
+    return Direction::kHigherIsWorse;
+  }
+  if (ends_with("per_second") || ends_with("qps")) {
+    return Direction::kLowerIsWorse;
+  }
+  return Direction::kInformational;
+}
+
+const char* direction_name(Direction d) {
+  switch (d) {
+    case Direction::kHigherIsWorse: return "higher_is_worse";
+    case Direction::kLowerIsWorse: return "lower_is_worse";
+    default: return "informational";
+  }
+}
+
+struct MetricVerdict {
+  std::string name;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_change = 0.0;  ///< (candidate - baseline) / |baseline|
+  Direction direction = Direction::kInformational;
+  bool regressed = false;
+};
+
+/// Collects BENCH_*.json under `dir` keyed by filename.
+std::map<std::string, std::string> bench_files_in(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("BENCH_", 0) == 0 &&
+        fname.size() > 5 &&
+        fname.compare(fname.size() - 5, 5, ".json") == 0) {
+      out[fname] = entry.path().string();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("bench_diff", "compare two bench reports with a threshold");
+  auto& baseline_arg = opts.add_string("baseline", "",
+                                       "baseline BENCH_*.json file or dir");
+  auto& candidate_arg = opts.add_string("candidate", "",
+                                        "candidate BENCH_*.json file or dir");
+  auto& threshold = opts.add_double(
+      "threshold", 0.10, "max allowed relative change in the worse direction");
+  auto& metrics_re = opts.add_string(
+      "metrics", "", "only gate metrics whose name matches this regex");
+  auto& json = opts.add_bool("json", false,
+                             "print the verdict as one JSON object");
+  auto& out_path = opts.add_string("out", "",
+                                   "also write the JSON verdict here");
+  opts.parse(argc, argv);
+  if (baseline_arg.empty() || candidate_arg.empty()) {
+    std::fprintf(stderr,
+                 "bench_diff: --baseline and --candidate are required\n");
+    return 1;
+  }
+  if (threshold <= 0.0) {
+    std::fprintf(stderr, "bench_diff: --threshold must be > 0\n");
+    return 1;
+  }
+
+  // Resolve to (baseline file, candidate file) pairs.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::error_code ec;
+  const bool base_is_dir =
+      std::filesystem::is_directory(baseline_arg, ec);
+  const bool cand_is_dir =
+      std::filesystem::is_directory(candidate_arg, ec);
+  if (base_is_dir != cand_is_dir) {
+    std::fprintf(stderr,
+                 "bench_diff: --baseline and --candidate must both be files "
+                 "or both be directories\n");
+    return 1;
+  }
+  if (base_is_dir) {
+    const auto base_files = bench_files_in(baseline_arg);
+    const auto cand_files = bench_files_in(candidate_arg);
+    for (const auto& [fname, path] : base_files) {
+      auto it = cand_files.find(fname);
+      if (it == cand_files.end()) {
+        std::fprintf(stderr, "bench_diff: %s missing from candidate dir\n",
+                     fname.c_str());
+        continue;
+      }
+      pairs.emplace_back(path, it->second);
+    }
+    if (pairs.empty()) {
+      std::fprintf(stderr, "bench_diff: no common BENCH_*.json files\n");
+      return 1;
+    }
+  } else {
+    pairs.emplace_back(baseline_arg, candidate_arg);
+  }
+
+  std::map<std::string, double> base_metrics;
+  std::map<std::string, double> cand_metrics;
+  for (const auto& [bpath, cpath] : pairs) {
+    std::string btext, ctext;
+    if (!read_file(bpath, btext)) {
+      std::fprintf(stderr, "bench_diff: cannot read %s\n", bpath.c_str());
+      return 1;
+    }
+    if (!read_file(cpath, ctext)) {
+      std::fprintf(stderr, "bench_diff: cannot read %s\n", cpath.c_str());
+      return 1;
+    }
+    for (const auto& [k, v] : parse_numeric_leaves(btext)) base_metrics[k] = v;
+    for (const auto& [k, v] : parse_numeric_leaves(ctext)) cand_metrics[k] = v;
+  }
+  if (base_metrics.empty()) {
+    std::fprintf(stderr, "bench_diff: baseline has no numeric metrics\n");
+    return 1;
+  }
+
+  std::regex filter;
+  const bool has_filter = !metrics_re.empty();
+  if (has_filter) {
+    try {
+      filter = std::regex(metrics_re);
+    } catch (const std::regex_error& e) {
+      std::fprintf(stderr, "bench_diff: bad --metrics regex: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  std::vector<MetricVerdict> verdicts;
+  std::vector<std::string> added, removed;
+  for (const auto& [name, base] : base_metrics) {
+    auto it = cand_metrics.find(name);
+    if (it == cand_metrics.end()) {
+      removed.push_back(name);
+      continue;
+    }
+    MetricVerdict v;
+    v.name = name;
+    v.baseline = base;
+    v.candidate = it->second;
+    v.direction = direction_of(name);
+    if (base != 0.0) {
+      v.rel_change = (v.candidate - v.baseline) / std::abs(v.baseline);
+    } else {
+      v.rel_change = v.candidate == 0.0 ? 0.0 : 1.0;
+    }
+    const bool gated =
+        v.direction != Direction::kInformational &&
+        (!has_filter || std::regex_search(name, filter));
+    if (gated) {
+      v.regressed =
+          (v.direction == Direction::kHigherIsWorse &&
+           v.rel_change > threshold) ||
+          (v.direction == Direction::kLowerIsWorse &&
+           v.rel_change < -threshold);
+    }
+    verdicts.push_back(std::move(v));
+  }
+  for (const auto& [name, value] : cand_metrics) {
+    (void)value;
+    if (!base_metrics.count(name)) added.push_back(name);
+  }
+
+  std::size_t regressions = 0;
+  for (const MetricVerdict& v : verdicts) {
+    if (v.regressed) ++regressions;
+  }
+
+  std::ostringstream j;
+  j << "{\"threshold\":" << threshold << ",\"compared\":" << verdicts.size()
+    << ",\"regressions\":" << regressions << ",\"added\":" << added.size()
+    << ",\"removed\":" << removed.size()
+    << ",\"verdict\":\"" << (regressions == 0 ? "ok" : "regression") << "\""
+    << ",\"metrics\":[";
+  bool first = true;
+  for (const MetricVerdict& v : verdicts) {
+    if (!first) j << ',';
+    first = false;
+    j << "\n{\"name\":\"" << v.name << "\",\"baseline\":" << v.baseline
+      << ",\"candidate\":" << v.candidate
+      << ",\"rel_change\":" << v.rel_change
+      << ",\"direction\":\"" << direction_name(v.direction)
+      << "\",\"regressed\":" << (v.regressed ? "true" : "false") << '}';
+  }
+  j << "]}\n";
+
+  if (json) {
+    std::fputs(j.str().c_str(), stdout);
+  } else {
+    for (const MetricVerdict& v : verdicts) {
+      if (!v.regressed && std::abs(v.rel_change) <= threshold) continue;
+      std::printf("%s %s: %.4g -> %.4g (%+.1f%%)\n",
+                  v.regressed ? "REGRESSION" : "moved", v.name.c_str(),
+                  v.baseline, v.candidate, 100.0 * v.rel_change);
+    }
+    std::printf("bench_diff: %zu metrics compared, %zu regression(s), "
+                "%zu added, %zu removed (threshold %.0f%%)\n",
+                verdicts.size(), regressions, added.size(), removed.size(),
+                100.0 * threshold);
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out || !(out << j.str())) {
+      std::fprintf(stderr, "bench_diff: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return regressions == 0 ? 0 : 2;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# bench_smoke — ctest entry point for the bench-regression gate.
+#
+# Runs a fast subset of the micro harness, then diffs the fresh
+# BENCH_micro.json against the committed baseline with bench_diff. Only
+# cpu_ns metrics gate (wall time is hopeless under a parallel ctest run on a
+# small machine) and the threshold is deliberately loose: the gate exists to
+# catch order-of-magnitude accidents (a debug build, an accidentally
+# quadratic loop), not 10% noise. Tight-threshold comparisons are what
+# `bench_diff --threshold 0.10` on two full, quiet-machine runs is for.
+#
+#   bench_smoke.sh MICRO_BENCH BENCH_DIFF BASELINE_JSON
+set -euo pipefail
+
+if [ "$#" -ne 3 ]; then
+  echo "usage: bench_smoke.sh MICRO_BENCH BENCH_DIFF BASELINE_JSON" >&2
+  exit 1
+fi
+micro_bench=$1
+bench_diff=$2
+baseline=$3
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# Fast, allocation-light benchmarks only: the smoke gate must cost seconds.
+BCC_BENCH_OUT="$workdir" "$micro_bench" \
+  --benchmark_filter='BM_RegistryHotPath|BM_SpanOnOff|BM_EventEngineThroughput' \
+  --benchmark_min_time=0.05 >/dev/null
+
+"$bench_diff" \
+  --baseline "$baseline" \
+  --candidate "$workdir/BENCH_micro.json" \
+  --metrics '\.cpu_ns$' \
+  --threshold 4.0

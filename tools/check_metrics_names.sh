@@ -5,7 +5,14 @@
 # registration literal in src/, tools/ and bench/; run from the repo root
 # (ctest wires it up as `obs_metric_name_lint`).
 #
-# The registry enforces the same rule at runtime (BCC_REQUIRE); this catches
+# Beyond the shape check:
+#   * the <module> segment must come from the known-module list below, so a
+#     typo like bcc.cnv.* fails instead of silently forking a namespace;
+#   * the same full-name literal registered from two distinct source lines
+#     fails — two call sites silently sharing one instrument is almost
+#     always an accident (share through a named accessor instead).
+#
+# The registry enforces the shape rule at runtime (BCC_REQUIRE); this catches
 # names on registration paths no test happens to execute.
 set -u
 
@@ -13,9 +20,18 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 status=0
 found=0
 
+# One segment per instrumented subsystem; extend deliberately when a new
+# module grows instruments.
+modules='sim|serve|tree|bench|conv|trace'
+
 # Registration literals: .counter("..."), .gauge("..."), .histogram("...").
 # set("...") on a BenchReport takes full names too, so include it.
 pattern='(counter|gauge|histogram|set)\("([^"]*)"'
+
+hits="$(grep -rnoE "$pattern" "$root/src" "$root/tools" "$root/bench" \
+          --include='*.cpp' --include='*.h' \
+        | sed -E "s/:(counter|gauge|histogram|set)\(\"/:/; s/\"$//" \
+        | grep -v 'obs_test\|metrics\.cpp:.*check' )"
 
 while IFS=: read -r file line name; do
   [ -n "$name" ] || continue
@@ -23,11 +39,26 @@ while IFS=: read -r file line name; do
   if ! printf '%s' "$name" | grep -Eq '^bcc(\.[a-z0-9_]+){2,}$'; then
     echo "BAD METRIC NAME: $name ($file:$line)"
     status=1
+    continue
   fi
-done < <(grep -rnoE "$pattern" "$root/src" "$root/tools" "$root/bench" \
-           --include='*.cpp' --include='*.h' \
-         | sed -E "s/:(counter|gauge|histogram|set)\(\"/:/; s/\"$//" \
-         | grep -v 'obs_test\|metrics\.cpp:.*check' )
+  module="$(printf '%s' "$name" | cut -d. -f2)"
+  if ! printf '%s' "$module" | grep -Eq "^($modules)$"; then
+    echo "UNKNOWN MODULE: $name uses bcc.$module.* ($file:$line) — known:" \
+         "$(printf '%s' "$modules" | tr '|' ' ')"
+    status=1
+  fi
+done <<< "$hits"
+
+# Duplicate registrations: the same literal from more than one file:line.
+dups="$(printf '%s\n' "$hits" | awk -F: 'NF >= 3 { print $3 }' \
+        | sort | uniq -d)"
+if [ -n "$dups" ]; then
+  while IFS= read -r name; do
+    echo "DUPLICATE REGISTRATION: $name at:"
+    printf '%s\n' "$hits" | awk -F: -v n="$name" '$3 == n { print "  " $1 ":" $2 }'
+    status=1
+  done <<< "$dups"
+fi
 
 if [ "$found" -eq 0 ]; then
   echo "check_metrics_names.sh: no registration literals found (pattern drift?)"
@@ -35,6 +66,6 @@ if [ "$found" -eq 0 ]; then
 fi
 
 if [ "$status" -eq 0 ]; then
-  echo "check_metrics_names.sh: $found metric name literals OK"
+  echo "check_metrics_names.sh: $found metric name literals OK (modules, duplicates checked)"
 fi
 exit "$status"
