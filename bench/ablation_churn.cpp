@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
             b_grid[static_cast<std::size_t>(qrng.below(b_grid.size()))];
         const auto cls = classes.class_for_bandwidth(b);
         const NodeId start = static_cast<NodeId>(qrng.below(view.ids.size()));
-        const QueryOutcome r = sys.query_class(start, k, *cls);
+        const QueryResult r = sys.query(QueryRequest::at_class(start, k, *cls));
         rr.add_query(r.found());
         if (r.found()) {
           // Map compact ids back to global hosts for the real-BW check.

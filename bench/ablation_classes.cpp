@@ -71,7 +71,8 @@ int main(int argc, char** argv) {
         overshoot_sum += classes.bandwidth_at(*cls) / b;
         ++overshoot_count;
         const NodeId start = static_cast<NodeId>(query_rng.below(n));
-        const QueryOutcome outcome = sys.query_class(start, k, *cls);
+        const QueryResult outcome =
+            sys.query(QueryRequest::at_class(start, k, *cls));
         rr.add_query(outcome.found());
         if (outcome.found()) {
           wpr.add_cluster(data.bandwidth, outcome.cluster, b);

@@ -91,10 +91,11 @@ int main(int argc, char** argv) {
           b_grid[static_cast<std::size_t>(qrng.below(b_grid.size()))];
       const auto cls = classes.class_for_bandwidth(b);
       const NodeId start = static_cast<NodeId>(qrng.below(n));
-      const QueryOutcome a = stale.query_class(start, k, *cls);
+      const QueryResult a = stale.query(QueryRequest::at_class(start, k, *cls));
       rr_stale.add_query(a.found());
       if (a.found()) wpr_stale.add_cluster(now, a.cluster, b);
-      const QueryOutcome r = refreshed.query_class(start, k, *cls);
+      const QueryResult r =
+          refreshed.query(QueryRequest::at_class(start, k, *cls));
       rr_fresh.add_query(r.found());
       if (r.found()) wpr_fresh.add_cluster(now, r.cluster, b);
     }

@@ -68,8 +68,10 @@ int main(int argc, char** argv) {
       for (std::int64_t q = 0; q < queries; ++q) {
         const std::size_t cls = query_rng.below(classes.size());
         const NodeId start = static_cast<NodeId>(query_rng.below(n));
-        rr_small.add_query(sys.query_class(start, k_small, cls).found());
-        rr_large.add_query(sys.query_class(start, k_large, cls).found());
+        rr_small.add_query(
+            sys.query(QueryRequest::at_class(start, k_small, cls)).found());
+        rr_large.add_query(
+            sys.query(QueryRequest::at_class(start, k_large, cls)).found());
       }
     }
     table.add_numeric_row({static_cast<double>(n_cut), rr_small.rate(),

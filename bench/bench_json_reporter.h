@@ -1,0 +1,44 @@
+// Shared google-benchmark reporter for the bench/ harnesses: mirrors every
+// finished run into an obs::BenchReport while still printing the usual
+// console table — `bcc.bench.<run>.real_ns` / `.cpu_ns` gauges plus one
+// gauge per user counter. Each harness main() owns a BenchReport and calls
+// write() after the run (see obs/bench_report.h for the output contract).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.h"
+
+namespace bcc {
+
+class BenchJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit BenchJsonReporter(obs::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double iters =
+          run.iterations == 0 ? 1.0 : static_cast<double>(run.iterations);
+      const std::string base =
+          "bcc.bench." +
+          obs::BenchReport::sanitize_segment(run.benchmark_name());
+      report_->set(base + ".real_ns",
+                   run.real_accumulated_time / iters * 1e9);
+      report_->set(base + ".cpu_ns", run.cpu_accumulated_time / iters * 1e9);
+      for (const auto& [name, counter] : run.counters) {
+        report_->set(base + "." + obs::BenchReport::sanitize_segment(name),
+                     counter.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::BenchReport* report_;
+};
+
+}  // namespace bcc

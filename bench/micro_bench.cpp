@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_json_reporter.h"
 #include "core/async_overlay.h"
 #include "obs/bench_report.h"
 #include "obs/metrics.h"
@@ -112,7 +113,7 @@ void BM_QueryProcess(benchmark::State& state) {
   Rng query_rng(8);
   for (auto _ : state) {
     const NodeId start = static_cast<NodeId>(query_rng.below(n));
-    benchmark::DoNotOptimize(sys.query_class(start, 8, 2));
+    benchmark::DoNotOptimize(sys.query(QueryRequest::at_class(start, 8, 2)));
   }
 }
 BENCHMARK(BM_QueryProcess);
@@ -427,42 +428,13 @@ void BM_SpanOnOff(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanOnOff)->Arg(0)->Arg(1);
 
-/// Mirrors every finished run into a BenchReport while still printing the
-/// usual console table: `bcc.bench.<run>.real_ns` / `.cpu_ns` gauges plus
-/// one gauge per user counter.
-class BenchJsonReporter : public benchmark::ConsoleReporter {
- public:
-  explicit BenchJsonReporter(obs::BenchReport* report) : report_(report) {}
-
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const Run& run : runs) {
-      if (run.error_occurred) continue;
-      const double iters =
-          run.iterations == 0 ? 1.0 : static_cast<double>(run.iterations);
-      const std::string base =
-          "bcc.bench." + obs::BenchReport::sanitize_segment(run.benchmark_name());
-      report_->set(base + ".real_ns",
-                   run.real_accumulated_time / iters * 1e9);
-      report_->set(base + ".cpu_ns", run.cpu_accumulated_time / iters * 1e9);
-      for (const auto& [name, counter] : run.counters) {
-        report_->set(base + "." + obs::BenchReport::sanitize_segment(name),
-                     counter.value);
-      }
-    }
-    ConsoleReporter::ReportRuns(runs);
-  }
-
- private:
-  obs::BenchReport* report_;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   bcc::obs::BenchReport report("micro");
-  BenchJsonReporter reporter(&report);
+  bcc::BenchJsonReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   if (!report.write()) {

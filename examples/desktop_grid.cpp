@@ -134,7 +134,8 @@ int main() {
                  sys.classes().bandwidth_at(sys.classes().size() - 1));
     for (std::size_t cls = *sys.classes().class_for_bandwidth(target_b) + 1;
          cls-- > 0;) {
-      const QueryOutcome r = sys.query_class(submitter, k, cls);
+      const QueryResult r = sys.query(QueryRequest::at_class(submitter, k,
+                                                             cls));
       if (r.found()) {
         bcc_workers = r.cluster;
         promised_b = sys.classes().bandwidth_at(cls);

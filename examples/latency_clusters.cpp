@@ -45,7 +45,8 @@ int main() {
     for (std::size_t k : {5ul, 20ul, 45ul}) {
       const auto cls = sys.classes().class_for_bandwidth(c / ceiling);
       if (!cls) continue;
-      const QueryOutcome r = sys.query_class(/*start=*/2, k, *cls);
+      const QueryResult r = sys.query(QueryRequest::at_class(/*start=*/2, k,
+                                                             *cls));
       if (!r.found()) {
         std::printf("%10.0f ms  | k = %-4zu | no cluster\n", ceiling, k);
         continue;

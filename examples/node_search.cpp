@@ -28,8 +28,8 @@ int main() {
   sys.run_to_convergence();
 
   // The job currently runs on a bandwidth-constrained cluster of 6.
-  const QueryOutcome job = sys.query_bandwidth(/*start=*/4, /*k=*/6,
-                                               /*b=*/40.0);
+  const QueryResult job =
+      sys.query(QueryRequest::bandwidth(/*start=*/4, /*k=*/6, /*b_mbps=*/40.0));
   if (!job.found()) {
     std::printf("bootstrap failed: no 6-node 40 Mbps cluster in this network\n");
     return 1;

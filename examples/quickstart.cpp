@@ -59,7 +59,7 @@ int main() {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const QueryResult& r = results[i];
     std::printf("query %zu (start=%zu k=%zu b=%.0f): %s", i, batch[i].start,
-                batch[i].k, *batch[i].b_mbps, to_string(r.status));
+                batch[i].k, *batch[i].bandwidth_mbps(), to_string(r.status));
     if (!r.found()) {
       std::printf("\n");
       continue;
@@ -71,7 +71,7 @@ int main() {
 
     // Check the answer against the real (noisy) measurements.
     WprAccumulator wpr;
-    wpr.add_cluster(data.bandwidth, r.cluster, *batch[i].b_mbps);
+    wpr.add_cluster(data.bandwidth, r.cluster, *batch[i].bandwidth_mbps());
     std::printf("  real-bandwidth check: %zu/%zu pairs below the constraint "
                 "(WPR %.3f)\n",
                 wpr.wrong_pairs(), wpr.total_pairs(), wpr.rate());

@@ -64,7 +64,8 @@ int main() {
                                   sys.classes().size() - 1))) +
                            1;
          cls-- > 0;) {
-      const QueryOutcome r = sys.query_class(submitter, workers, cls);
+      const QueryResult r =
+          sys.query(QueryRequest::at_class(submitter, workers, cls));
       if (r.found()) {
         bcc_set = r.cluster;
         break;

@@ -2,19 +2,17 @@
 
 #include <chrono>
 
-#include "common/assert.h"
-
 namespace bcc {
 
 std::optional<std::size_t> resolve_class(const QueryRequest& request,
                                          const BandwidthClasses& classes) {
-  if (request.class_idx) {
-    if (*request.class_idx >= classes.size()) return std::nullopt;
-    return request.class_idx;
+  if (const auto* cls = std::get_if<ClassIndex>(&request.constraint)) {
+    if (cls->value >= classes.size()) return std::nullopt;
+    return cls->value;
   }
-  if (request.b_mbps) {
-    if (*request.b_mbps <= 0.0) return std::nullopt;
-    return classes.snap_up(*request.b_mbps);
+  if (const auto* b = std::get_if<BandwidthMbps>(&request.constraint)) {
+    if (b->value <= 0.0) return std::nullopt;
+    return classes.snap_up(b->value);
   }
   return std::nullopt;  // a request with no constraint satisfies nothing
 }
@@ -44,19 +42,6 @@ QueryResult QueryProcessor::run(const QueryRequest& request) const {
           std::chrono::steady_clock::now() - t0)
           .count());
   return result;
-}
-
-QueryOutcome QueryProcessor::process(NodeId start, std::size_t k,
-                                     std::size_t class_idx) const {
-  BCC_REQUIRE(k >= 2);
-  BCC_REQUIRE(class_idx < classes_.size());
-  BCC_REQUIRE(nodes_.count(start));
-  QueryResult result = route_query(start, k, class_idx);
-  QueryOutcome outcome;
-  outcome.cluster = std::move(result.cluster);
-  outcome.hops = result.hops;
-  outcome.route = std::move(result.route);
-  return outcome;
 }
 
 QueryResult QueryProcessor::route_query(NodeId start, std::size_t k,

@@ -9,14 +9,19 @@
 // aggrCRT[·][l] is obviously acceptable too, so this implementation uses
 // `<=` (the strict form would only cost extra hops, never correctness).
 //
-// The request/response pair below replaces the old empty-cluster sentinel:
-// "no cluster exists", "k was nonsense", "b is stricter than every class",
-// and "start is not a member" are distinct QueryStatus values, so callers
-// (and the serving layer in src/serve) can react to each without guessing.
+// The request carries a tagged Constraint (bandwidth in Mbps, snapped up to
+// the nearest class, or an explicit class index) plus the serving-plane
+// fields the admission controller consumes: a relative deadline and a
+// priority. "No cluster exists", "k was nonsense", "b is stricter than
+// every class", "start is not a member" and "the serving plane shed this
+// query under overload" are distinct QueryStatus values, so callers (and
+// the sharded serving layer in src/serve) can react to each without
+// guessing.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <variant>
 
 #include "core/bandwidth_classes.h"
 #include "core/find_cluster.h"
@@ -31,10 +36,12 @@ enum class QueryStatus : std::uint8_t {
   kInvalidK = 2,               ///< k < 2 (Algorithm 1 needs a pair)
   kBandwidthUnsatisfiable = 3, ///< b stricter than every class / bad class index
   kUnknownStart = 4,           ///< start node is not part of the overlay
+  kShed = 5,                   ///< dropped by admission control under overload;
+                               ///< any payload is a stale best-effort answer
 };
 
 /// Number of QueryStatus values (for stats arrays).
-inline constexpr std::size_t kQueryStatusCount = 5;
+inline constexpr std::size_t kQueryStatusCount = 6;
 
 constexpr const char* to_string(QueryStatus status) {
   switch (status) {
@@ -43,26 +50,54 @@ constexpr const char* to_string(QueryStatus status) {
     case QueryStatus::kInvalidK: return "invalid_k";
     case QueryStatus::kBandwidthUnsatisfiable: return "bandwidth_unsatisfiable";
     case QueryStatus::kUnknownStart: return "unknown_start";
+    case QueryStatus::kShed: return "shed";
+  }
+  return "?";
+}
+
+/// Constraint alternatives for QueryRequest::constraint (a tagged variant
+/// replacing the old mutually-exclusive optional pair).
+struct BandwidthMbps {
+  double value = 0.0;  ///< minimum pairwise bandwidth, snapped *up* to a class
+};
+struct ClassIndex {
+  std::size_t value = 0;  ///< explicit bandwidth-class index
+};
+/// monostate = unconstrained; such a request satisfies nothing and reports
+/// kBandwidthUnsatisfiable.
+using QueryConstraint = std::variant<std::monostate, BandwidthMbps, ClassIndex>;
+
+/// Scheduling class the admission controller uses when the serving plane is
+/// overloaded: kLow is shed first (it must leave token headroom), kNormal
+/// needs a token, kHigh may run the bucket into bounded debt.
+enum class QueryPriority : std::uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+
+constexpr const char* to_string(QueryPriority priority) {
+  switch (priority) {
+    case QueryPriority::kLow: return "low";
+    case QueryPriority::kNormal: return "normal";
+    case QueryPriority::kHigh: return "high";
   }
   return "?";
 }
 
 /// One bandwidth-cluster query: "k nodes, pairwise bandwidth >= b", entering
-/// the overlay at `start`. The constraint is either a raw bandwidth in Mbps
-/// (snapped *up* to the nearest class, see BandwidthClasses::snap_up) or an
-/// explicit class index. Build one via the factories; exactly one of
-/// b_mbps / class_idx is set.
+/// the overlay at `start`. Build one via the factories; refine with the
+/// with_* chainers when the serving plane should know about urgency.
 struct QueryRequest {
   NodeId start = 0;
   std::size_t k = 0;
-  std::optional<double> b_mbps;          ///< constraint in Mbps, snapped up
-  std::optional<std::size_t> class_idx;  ///< or an explicit class index
+  QueryConstraint constraint;
+  /// Serving deadline relative to submission, in microseconds (0 = none).
+  /// A query still waiting past its deadline is shed, never served late.
+  std::uint64_t deadline_micros = 0;
+  QueryPriority priority = QueryPriority::kNormal;
 
   static QueryRequest bandwidth(NodeId start, std::size_t k, double b_mbps) {
     QueryRequest r;
     r.start = start;
     r.k = k;
-    r.b_mbps = b_mbps;
+    r.constraint = BandwidthMbps{b_mbps};
     return r;
   }
   static QueryRequest at_class(NodeId start, std::size_t k,
@@ -70,8 +105,30 @@ struct QueryRequest {
     QueryRequest r;
     r.start = start;
     r.k = k;
-    r.class_idx = class_idx;
+    r.constraint = ClassIndex{class_idx};
     return r;
+  }
+
+  QueryRequest& with_deadline(std::uint64_t micros) {
+    deadline_micros = micros;
+    return *this;
+  }
+  QueryRequest& with_priority(QueryPriority p) {
+    priority = p;
+    return *this;
+  }
+
+  /// The bandwidth constraint in Mbps, when that alternative is set.
+  std::optional<double> bandwidth_mbps() const {
+    if (const auto* b = std::get_if<BandwidthMbps>(&constraint)) {
+      return b->value;
+    }
+    return std::nullopt;
+  }
+  /// The explicit class index, when that alternative is set.
+  std::optional<std::size_t> explicit_class() const {
+    if (const auto* c = std::get_if<ClassIndex>(&constraint)) return c->value;
+    return std::nullopt;
   }
 };
 
@@ -85,9 +142,10 @@ struct QueryResult {
   std::optional<std::size_t> class_idx;  ///< class the query was served at
   std::uint64_t snapshot_version = 0;    ///< set by QueryService (0 = direct)
   /// True when the answer was computed from protocol state whose gossip
-  /// fixpoint was disrupted (unconverged system, or a serving snapshot
-  /// taken during churn/faults): the result is well-formed and best-effort,
-  /// but not guaranteed to match the converged ground truth.
+  /// fixpoint was disrupted (unconverged system, a serving snapshot taken
+  /// during churn/faults, or a stale answer attached to a shed response):
+  /// the result is well-formed and best-effort, but not guaranteed to match
+  /// the converged ground truth.
   bool degraded = false;
   /// Trace id of the span that served this query (0 when tracing is off or
   /// the query bypassed the serving layer) — lets a caller join its result
@@ -101,16 +159,6 @@ struct QueryResult {
 /// else snap_up(b). nullopt means kBandwidthUnsatisfiable.
 std::optional<std::size_t> resolve_class(const QueryRequest& request,
                                          const BandwidthClasses& classes);
-
-/// Legacy result of one decentralized query (pre-QueryStatus API; kept so
-/// existing experiment/bench call sites compile unchanged).
-struct QueryOutcome {
-  Cluster cluster;            // empty when not found
-  std::size_t hops = 0;       // number of forwards (0 = answered locally)
-  std::vector<NodeId> route;  // nodes visited, starting with the entry node
-
-  bool found() const { return !cluster.empty(); }
-};
 
 /// Stateless processor walking Algorithm 4 over converged overlay state.
 /// Holds references — the referenced state must outlive the processor (the
@@ -130,11 +178,6 @@ class QueryProcessor {
   /// back as kInvalidK / kBandwidthUnsatisfiable / kUnknownStart (checked in
   /// that order). Fills micros with the serve wall time.
   QueryResult run(const QueryRequest& request) const;
-
-  /// Legacy API: processes a (k, class) query entering at `start`. Requires
-  /// (BCC_REQUIRE) k >= 2, a valid class index, and a known start.
-  QueryOutcome process(NodeId start, std::size_t k,
-                       std::size_t class_idx) const;
 
  private:
   /// The Algorithm 4 walk itself; inputs already validated.

@@ -50,21 +50,6 @@ QueryResult DecentralizedClusterSystem::query(
   return result;
 }
 
-QueryOutcome DecentralizedClusterSystem::query_bandwidth(NodeId start,
-                                                         std::size_t k,
-                                                         double b) const {
-  const auto cls = classes_.snap_up(b);
-  if (!cls) return QueryOutcome{};  // stricter than the strictest class
-  return query_class(start, k, *cls);
-}
-
-QueryOutcome DecentralizedClusterSystem::query_class(
-    NodeId start, std::size_t k, std::size_t class_idx) const {
-  QueryProcessor processor(nodes_, predicted_, classes_,
-                           options_.find_options);
-  return processor.process(start, k, class_idx);
-}
-
 std::size_t DecentralizedClusterSystem::refresh(DistanceMatrix new_predicted) {
   BCC_REQUIRE(new_predicted.size() == predicted_.size());
   predicted_ = std::move(new_predicted);

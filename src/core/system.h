@@ -53,16 +53,6 @@ class DecentralizedClusterSystem {
   /// thread-pooled serving over many queries see serve/query_service.h.
   QueryResult query(const QueryRequest& request) const;
 
-  /// Compatibility wrapper over query(): b snaps up to the nearest bandwidth
-  /// class; returns an empty outcome if b exceeds every class (the new API
-  /// reports that as QueryStatus::kBandwidthUnsatisfiable instead).
-  QueryOutcome query_bandwidth(NodeId start, std::size_t k, double b) const;
-
-  /// Compatibility wrapper over query() at an explicit class index. Unlike
-  /// query(), invalid arguments are contract violations (throws).
-  QueryOutcome query_class(NodeId start, std::size_t k,
-                           std::size_t class_idx) const;
-
   /// Dynamic clustering (§III.B.2): the prediction framework restructured —
   /// feed the new predicted metric and re-run gossip. Returns cycles.
   std::size_t refresh(DistanceMatrix new_predicted);

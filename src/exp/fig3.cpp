@@ -86,7 +86,8 @@ Fig3Result run_fig3(const SynthDataset& data, const Fig3Params& params,
       BCC_ASSERT(cls.has_value());  // grid == classes by construction
       for (std::size_t q = 0; q < params.queries_per_b; ++q) {
         const NodeId start = static_cast<NodeId>(query_rng.below(n));
-        const QueryOutcome outcome = sys.query_class(start, params.k, *cls);
+        const QueryResult outcome =
+            sys.query(QueryRequest::at_class(start, params.k, *cls));
         rr_td[bi].add_query(outcome.found());
         if (outcome.found()) {
           wpr_td[bi].add_cluster(data.bandwidth, outcome.cluster, b);

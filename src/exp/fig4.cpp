@@ -69,7 +69,8 @@ Fig4Result run_fig4(const SynthDataset& data, const Fig4Params& params,
         BCC_ASSERT(cls.has_value());
         rr_central[ki].add_query(k <= central_max[*cls] && k <= n);
         const NodeId start = static_cast<NodeId>(query_rng.below(n));
-        rr_decentral[ki].add_query(sys.query_class(start, k, *cls).found());
+        rr_decentral[ki].add_query(
+            sys.query(QueryRequest::at_class(start, k, *cls)).found());
       }
     }
   }

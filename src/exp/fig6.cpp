@@ -56,7 +56,8 @@ Fig6Result run_fig6(const SynthDataset& base, const Fig6Params& params,
           const auto cls = classes.class_for_bandwidth(b);
           BCC_ASSERT(cls.has_value());
           const NodeId start = static_cast<NodeId>(query_rng.below(n));
-          const QueryOutcome outcome = sys.query_class(start, k, *cls);
+          const QueryResult outcome =
+              sys.query(QueryRequest::at_class(start, k, *cls));
           const auto hops = static_cast<double>(outcome.hops);
           hop_samples.push_back(hops);
           max_hops = std::max(max_hops, hops);

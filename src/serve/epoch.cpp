@@ -1,0 +1,54 @@
+#include "serve/epoch.h"
+
+#include <functional>
+
+namespace bcc {
+
+namespace {
+
+/// Stable per-thread starting slot so a thread re-claims "its" slot on
+/// every pin and the CAS below almost never retries.
+std::size_t thread_slot_hint() noexcept {
+  thread_local const std::size_t hint =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return hint;
+}
+
+}  // namespace
+
+EpochDomain::Pin EpochDomain::pin() noexcept {
+  const std::size_t hint = thread_slot_hint();
+  for (std::size_t probe = 0;; ++probe) {
+    const std::size_t index = (hint + probe) % kSlots;
+    Slot& slot = slots_[index];
+    std::uint64_t expected = kQuiescent;
+    std::uint64_t announced = epoch_.load(std::memory_order_seq_cst);
+    if (!slot.epoch.compare_exchange_strong(expected, announced,
+                                            std::memory_order_seq_cst)) {
+      continue;  // slot busy (another reader) — probe the next one
+    }
+    // Slot claimed. Verify the announcement: if the epoch advanced between
+    // our load and our store, the advancing writer may have scanned the
+    // table before our announcement landed — re-announce at the newer epoch
+    // until announcement and global epoch agree (store-load ordering via
+    // seq_cst; see the header comment).
+    for (;;) {
+      const std::uint64_t now = epoch_.load(std::memory_order_seq_cst);
+      if (now == announced) return Pin{index, announced};
+      announced = now;
+      slot.epoch.store(announced, std::memory_order_seq_cst);
+    }
+  }
+}
+
+std::uint64_t EpochDomain::min_active() const noexcept {
+  std::uint64_t min = kQuiescent;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t announced =
+        slot.epoch.load(std::memory_order_seq_cst);
+    if (announced < min) min = announced;
+  }
+  return min;
+}
+
+}  // namespace bcc

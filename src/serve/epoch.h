@@ -1,0 +1,204 @@
+// Epoch-based reclamation for the serving hot path: lock-free snapshot
+// reads with grace-period reclamation of retired snapshots.
+//
+// PR 1's QueryService published snapshots through a mutex-guarded
+// shared_ptr: every submit() took the lock and bumped the refcount — one
+// shared cache line every core fights over, and the wall between the
+// measured 1.19M qps single-core and multi-core serving. The replacement is
+// the RCU idiom, shaped after Derecho's SST (readers poll a shared state
+// table instead of taking locks; SNIPPETS.md snippets 1–2):
+//
+//   * readers *announce* themselves in a per-reader slot table
+//     (cache-line-padded, so announcements never contend) by storing the
+//     global epoch they entered at, then load the current pointer — no
+//     locks, no refcounts, no stores to shared lines;
+//   * the writer publishes a new snapshot with a single release-store,
+//     advances the global epoch, and moves the old snapshot to a limbo
+//     list tagged with the epoch it was retired at;
+//   * a retired snapshot is reclaimed once every announced reader epoch is
+//     newer than its retirement tag — at that point no reader can still
+//     hold it (the proof is the seq_cst store-load ordering documented at
+//     EpochDomain::pin).
+//
+// Writers serialize on a mutex (publication is rare — once per gossip
+// restructuring); readers never block writers and writers never block
+// readers. The reclamation grace period is bounded by the longest read-side
+// critical section (one query, or one batch chunk).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bcc {
+
+/// The reader-announcement table plus the global epoch counter. One domain
+/// protects one pointer (see EpochPtr); the slot table is the SST-style
+/// shared state readers write and the reclaiming writer polls.
+class EpochDomain {
+ public:
+  /// Concurrent pinned readers beyond this spin in pin() until a slot
+  /// frees up — size for far more threads than any sane pool.
+  static constexpr std::size_t kSlots = 64;
+  static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+
+  /// A held read-side critical section: which slot announces it and the
+  /// epoch it verified. Obtain via pin(), release via unpin().
+  struct Pin {
+    std::size_t slot = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Reader entry. Claims a free slot and announces the current epoch in
+  /// it, re-announcing until the announcement provably happened before any
+  /// epoch advance that could reclaim state the reader is about to load:
+  ///
+  ///   reader: slot.store(E, seq_cst);  then  epoch_.load(seq_cst) == E ?
+  ///   writer: current.store(new);  epoch_.fetch_add(seq_cst);  scan slots
+  ///
+  /// If the writer's slot scan misses the announcement, the seq_cst total
+  /// order forces the reader's verification load to see the advanced epoch,
+  /// so the reader re-announces instead of touching reclaimed memory; if the
+  /// reader's verification sees the advanced epoch value, the RMW edge makes
+  /// the writer's publication visible to the reader's pointer load.
+  /// Lock-free (one CAS + two seq_cst accesses on the common path).
+  Pin pin() noexcept;
+
+  void unpin(const Pin& pin) noexcept {
+    slots_[pin.slot].epoch.store(kQuiescent, std::memory_order_release);
+  }
+
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Writer side: advances the global epoch, returning the epoch being
+  /// retired (its value before the increment).
+  std::uint64_t advance() noexcept {
+    return epoch_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Oldest epoch any in-flight reader has announced; kQuiescent when no
+  /// reader is pinned. State tagged `< min_active()` is unreachable.
+  std::uint64_t min_active() const noexcept;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kQuiescent};
+  };
+
+  std::atomic<std::uint64_t> epoch_{1};
+  std::array<Slot, kSlots> slots_{};
+};
+
+/// An epoch-protected pointer to an immutable T: lock-free read(), rare
+/// publish() with grace-period reclamation. Ownership is shared_ptr-based
+/// under the hood so cold-path callers (tests, chaos harnesses) can still
+/// retain a snapshot past its retirement via current_shared().
+template <typename T>
+class EpochPtr {
+ public:
+  explicit EpochPtr(std::shared_ptr<const T> initial)
+      : owner_(std::move(initial)) {
+    current_.store(owner_.get(), std::memory_order_release);
+  }
+
+  EpochPtr(const EpochPtr&) = delete;
+  EpochPtr& operator=(const EpochPtr&) = delete;
+
+  /// RAII read-side critical section. The pointer is stable (and its
+  /// pointee immutable) for the guard's lifetime; keep guards short —
+  /// every held guard delays reclamation of every later publish().
+  class ReadGuard {
+   public:
+    explicit ReadGuard(EpochPtr& owner)
+        : owner_(&owner), pin_(owner.domain_.pin()) {
+      ptr_ = owner.current_.load(std::memory_order_acquire);
+    }
+    ~ReadGuard() {
+      if (owner_ != nullptr) owner_->domain_.unpin(pin_);
+    }
+    ReadGuard(ReadGuard&& other) noexcept
+        : owner_(other.owner_), pin_(other.pin_), ptr_(other.ptr_) {
+      other.owner_ = nullptr;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ReadGuard& operator=(ReadGuard&&) = delete;
+
+    const T* get() const noexcept { return ptr_; }
+    const T& operator*() const noexcept { return *ptr_; }
+    const T* operator->() const noexcept { return ptr_; }
+
+   private:
+    EpochPtr* owner_;
+    EpochDomain::Pin pin_;
+    const T* ptr_;
+  };
+
+  /// Lock-free reader entry; see ReadGuard.
+  ReadGuard read() { return ReadGuard(*this); }
+
+  /// Publishes `next` (one release-store), retires the previous value into
+  /// limbo, and reclaims every limbo entry past its grace period. Writers
+  /// serialize on an internal mutex; readers are never blocked.
+  void publish(std::shared_ptr<const T> next) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_.store(next.get(), std::memory_order_release);
+    const std::uint64_t retired_at = domain_.advance();
+    limbo_.emplace_back(retired_at, std::move(owner_));
+    owner_ = std::move(next);
+    reclaim_locked();
+  }
+
+  /// Cold-path shared ownership of the current value (writer-mutex
+  /// protected; survives any number of later publishes).
+  std::shared_ptr<const T> current_shared() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return owner_;
+  }
+
+  /// Retired-but-not-yet-reclaimed snapshots (tests / introspection).
+  std::size_t limbo_size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return limbo_.size();
+  }
+
+  /// Blocks until every value retired before the call is reclaimed (i.e.
+  /// all read-side critical sections that could see one have exited).
+  void synchronize() {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        reclaim_locked();
+        if (limbo_.empty()) return;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  void reclaim_locked() {
+    const std::uint64_t min_active = domain_.min_active();
+    // An entry retired at epoch E is unreachable once every announced
+    // reader epoch is > E (a reader announcing after the advance past E is
+    // guaranteed to load the newer pointer — see EpochDomain::pin).
+    std::erase_if(limbo_, [min_active](const auto& entry) {
+      return entry.first < min_active;
+    });
+  }
+
+  EpochDomain domain_;
+  std::atomic<const T*> current_{nullptr};
+  mutable std::mutex mutex_;
+  std::shared_ptr<const T> owner_;  // guarded by mutex_
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const T>>>
+      limbo_;  // guarded by mutex_
+};
+
+}  // namespace bcc

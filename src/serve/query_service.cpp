@@ -1,6 +1,6 @@
 #include "serve/query_service.h"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <latch>
@@ -38,12 +38,45 @@ obs::Gauge& g_cache_hit_ratio() {
   return g;
 }
 
+// Shard-plane instruments: admission and shedding.
+obs::Counter& g_shard_admitted() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.serve.shard.admitted");
+  return c;
+}
+obs::Counter& g_shard_shed() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.serve.shard.shed");
+  return c;
+}
+obs::Counter& g_shard_shed_with_answer() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.serve.shard.shed_with_answer");
+  return c;
+}
+obs::Counter& g_shard_deadline_expired() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.serve.shard.deadline_expired");
+  return c;
+}
+obs::Gauge& g_shard_inflight() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("bcc.serve.shard.inflight");
+  return g;
+}
+
 void record_query_obs(std::uint64_t micros, bool cache_hit) {
   g_queries().add(1);
   if (cache_hit) g_cache_hits().add(1);
   g_query_micros().record(micros);
-  g_cache_hit_ratio().set(static_cast<double>(g_cache_hits().value()) /
-                          static_cast<double>(g_queries().value()));
+  // Refreshing the ratio gauge sums every stripe of two counters (32 padded
+  // cache lines); sample it rather than paying that on each query. The first
+  // query still publishes so the gauge is live immediately.
+  thread_local std::uint32_t tick = 0;
+  if ((tick++ & 63u) == 0) {
+    g_cache_hit_ratio().set(static_cast<double>(g_cache_hits().value()) /
+                            static_cast<double>(g_queries().value()));
+  }
 }
 
 std::size_t resolve_threads(std::size_t requested) {
@@ -52,52 +85,74 @@ std::size_t resolve_threads(std::size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
+std::uint64_t now_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Only terminal routing outcomes are worth memoizing; argument errors are
 /// answered in nanoseconds anyway.
 bool cacheable(QueryStatus status) {
   return status == QueryStatus::kFound || status == QueryStatus::kNotFound;
 }
 
-}  // namespace
+/// Pairs QueryShard::admit's in-flight slot with its finish() on every
+/// return path.
+struct FinishGuard {
+  QueryShard* shard = nullptr;
+  ~FinishGuard() {
+    if (shard != nullptr) shard->finish();
+  }
+};
 
-std::size_t QueryService::CacheKeyHash::operator()(const CacheKey& key) const {
-  // splitmix64-style mixing of the three fields.
-  auto mix = [](std::uint64_t x) {
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-  };
-  std::uint64_t h = mix(static_cast<std::uint64_t>(key.start));
-  h = mix(h ^ static_cast<std::uint64_t>(key.k));
-  h = mix(h ^ static_cast<std::uint64_t>(key.class_idx));
-  return static_cast<std::size_t>(h);
-}
+}  // namespace
 
 QueryService::QueryService(const DecentralizedClusterSystem& system,
                            QueryServiceOptions options)
-    : options_(options), pool_(resolve_threads(options.threads)) {
+    : options_(options),
+      pool_(resolve_threads(options.threads)),
+      snapshot_(snapshot_of(system, /*version=*/1)) {
   options_.threads = pool_.size();
-  const std::size_t shard_count = std::max<std::size_t>(1,
-                                                        options_.cache_shards);
-  options_.cache_shards = shard_count;
+  const std::size_t shard_count = std::max<std::size_t>(1, options_.shards);
+  options_.shards = shard_count;
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<QueryShard>());
   }
-  snapshot_ = snapshot_of(system, /*version=*/1);
 }
 
-QueryService::Shard& QueryService::shard_for(const CacheKey& key) {
-  return *shards_[CacheKeyHash{}(key) % shards_.size()];
+QueryResult QueryService::shed(QueryShard& shard, const QueryKey& key,
+                               const SystemSnapshot& snap,
+                               bool deadline_expired) {
+  QueryResult result;
+  if (shard.stale_lookup(key, &result)) {
+    // The payload (cluster/hops/route/class/snapshot_version) is the answer
+    // last memoized from a converged snapshot; keep it, mark it shed+stale.
+    shed_with_answer_.fetch_add(1, std::memory_order_relaxed);
+    g_shard_shed_with_answer().add(1);
+  } else {
+    result.snapshot_version = snap.version;
+    result.class_idx = key.class_idx;
+  }
+  result.status = QueryStatus::kShed;
+  result.degraded = true;
+  if (deadline_expired) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    g_shard_deadline_expired().add(1);
+  }
+  g_shard_shed().add(1);
+  return result;
 }
 
 QueryResult QueryService::serve_one(const SystemSnapshot& snap,
-                                    const QueryRequest& request) {
+                                    const QueryRequest& request,
+                                    std::uint64_t queued_micros) {
   obs::Span span(obs::SpanCategory::kServe, "serve_query");
   const auto t0 = std::chrono::steady_clock::now();
-  // Runs on every return path; cached results get the *current* span's trace
-  // id, not the one they were computed under.
+  // Runs on every return path; cached and stale results get the *current*
+  // span's trace id, not the one they were computed under.
   auto stamp = [&t0, &span](QueryResult& r) {
     r.micros = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
@@ -106,8 +161,9 @@ QueryResult QueryService::serve_one(const SystemSnapshot& snap,
     r.trace_id = span.trace_id();
   };
 
-  // Validate up front (same precedence as QueryProcessor::run) so argument
-  // failures skip routing and the cache key exists before the memoized walk.
+  // Validate up front (same precedence as QueryProcessor::run). Argument
+  // errors bypass admission control entirely: they cost nanoseconds, and
+  // shedding them would only mask caller bugs under load.
   QueryResult result;
   const auto cls = resolve_class(request, snap.classes);
   if (request.k < 2) {
@@ -121,53 +177,81 @@ QueryResult QueryService::serve_one(const SystemSnapshot& snap,
     result.snapshot_version = snap.version;
     result.degraded = !snap.converged;
     stamp(result);
-    stats_.record(result);
+    shard_for(QueryKey{request.start, request.k, cls.value_or(0)})
+        .stats()
+        .record(result);
     record_query_obs(result.micros, /*cache_hit=*/false);
     return result;
   }
 
-  const CacheKey key{request.start, request.k, *cls};
-  if (options_.cache_enabled) {
-    Shard& shard = shard_for(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    if (shard.version != snap.version) {
-      shard.entries.clear();
-      shard.version = snap.version;
-    }
-    auto it = shard.entries.find(key);
-    if (it != shard.entries.end()) {
-      result = it->second;
+  const QueryKey key{request.start, request.k, *cls};
+  QueryShard& shard = shard_for(key);
+
+  // A query that already waited past its deadline is shed, never served
+  // late (only batch fanout introduces waiting; direct submit passes 0).
+  if (request.deadline_micros > 0 && queued_micros > request.deadline_micros) {
+    result = shed(shard, key, snap, /*deadline_expired=*/true);
+    stamp(result);
+    shard.stats().record(result);
+    record_query_obs(result.micros, /*cache_hit=*/false);
+    return result;
+  }
+
+  FinishGuard fin;
+  if (options_.admission.enabled()) {
+    const AdmitDecision decision =
+        shard.admit(options_.admission, request.priority, now_micros());
+    if (decision != AdmitDecision::kAdmitted) {
+      auto& counter = decision == AdmitDecision::kShedQueueFull
+                          ? shed_queue_full_
+                          : shed_no_tokens_;
+      counter.fetch_add(1, std::memory_order_relaxed);
+      result = shed(shard, key, snap, /*deadline_expired=*/false);
       stamp(result);
-      stats_.record(result, /*cache_hit=*/true);
-      record_query_obs(result.micros, /*cache_hit=*/true);
+      shard.stats().record(result);
+      record_query_obs(result.micros, /*cache_hit=*/false);
       return result;
     }
+    fin.shard = &shard;
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    g_shard_admitted().add(1);
+    g_shard_inflight().set(static_cast<double>(shard.inflight()));
+  }
+
+  if (options_.cache_enabled && shard.cache_lookup(key, snap.version,
+                                                   &result)) {
+    stamp(result);
+    shard.stats().record(result, /*cache_hit=*/true);
+    record_query_obs(result.micros, /*cache_hit=*/true);
+    return result;
   }
 
   result = snap.run(request);
   stamp(result);
   if (options_.cache_enabled && cacheable(result.status)) {
-    Shard& shard = shard_for(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    // A refresh may have swapped snapshots while we routed: only file the
-    // result under its own snapshot's version.
-    if (shard.version == snap.version) shard.entries.emplace(key, result);
+    shard.cache_store(key, snap.version, result, snap.converged);
   }
-  stats_.record(result);
+  shard.stats().record(result);
   record_query_obs(result.micros, /*cache_hit=*/false);
   return result;
 }
 
 QueryResult QueryService::submit(const QueryRequest& request) {
-  const std::shared_ptr<const SystemSnapshot> snap = snapshot();
-  return serve_one(*snap, request);
+  // Lock-free snapshot pin; the guard spans exactly one query.
+  const auto guard = snapshot_.read();
+  return serve_one(*guard, request, /*queued_micros=*/0);
 }
 
 std::vector<QueryResult> QueryService::submit_batch(
     std::span<const QueryRequest> requests) {
   std::vector<QueryResult> results(requests.size());
   if (requests.empty()) return results;
-  const std::shared_ptr<const SystemSnapshot> snap = snapshot();
+  // One read-side critical section held by the caller pins the whole
+  // batch's snapshot: workers share the raw pointer, and the epoch domain
+  // keeps it alive until this guard drops (after done.wait()).
+  const auto guard = snapshot_.read();
+  const SystemSnapshot& snap = *guard;
+  const auto batch_t0 = std::chrono::steady_clock::now();
 
   const std::size_t tasks = std::min(pool_.size(), requests.size());
   // Coarse dynamic chunking: cheap queries amortize the atomic, slow ones
@@ -181,14 +265,20 @@ std::vector<QueryResult> QueryService::submit_batch(
   std::exception_ptr first_error;
 
   for (std::size_t t = 0; t < tasks; ++t) {
-    pool_.post([&, snap, next, block] {
+    pool_.post([&, next, block] {
       try {
         for (;;) {
           const std::size_t begin = next->fetch_add(block);
           if (begin >= requests.size()) break;
           const std::size_t end = std::min(begin + block, requests.size());
+          // Time already spent queued behind earlier chunks — what a
+          // request's deadline is checked against.
+          const auto queued = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - batch_t0)
+                  .count());
           for (std::size_t i = begin; i < end; ++i) {
-            results[i] = serve_one(*snap, requests[i]);
+            results[i] = serve_one(snap, requests[i], queued);
           }
         }
       } catch (...) {
@@ -206,31 +296,58 @@ std::vector<QueryResult> QueryService::submit_batch(
 void QueryService::refresh(const DecentralizedClusterSystem& system) {
   std::uint64_t version;
   {
-    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    std::lock_guard<std::mutex> lock(refresh_mutex_);
     version = next_version_++;
   }
   // Deep copy outside the lock: serving keeps going while we copy.
   auto snap = snapshot_of(system, version);
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  std::lock_guard<std::mutex> lock(refresh_mutex_);
   // Concurrent refreshes may finish out of order; never roll back.
-  if (snapshot_->version < version) snapshot_ = std::move(snap);
+  if (snapshot_.current_shared()->version < version) {
+    snapshot_.publish(std::move(snap));
+  }
 }
 
 void QueryService::refresh(SystemSnapshot snapshot) {
   std::uint64_t version;
   {
-    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    std::lock_guard<std::mutex> lock(refresh_mutex_);
     version = next_version_++;
   }
   snapshot.version = version;
   auto snap = std::make_shared<const SystemSnapshot>(std::move(snapshot));
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  if (snapshot_->version < version) snapshot_ = std::move(snap);
+  std::lock_guard<std::mutex> lock(refresh_mutex_);
+  if (snapshot_.current_shared()->version < version) {
+    snapshot_.publish(std::move(snap));
+  }
 }
 
 std::shared_ptr<const SystemSnapshot> QueryService::snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  return snapshot_;
+  return snapshot_.current_shared();
+}
+
+QueryStats::Snapshot QueryService::stats() const {
+  QueryStats::Snapshot total{};
+  for (const auto& shard : shards_) total.merge(shard->stats().snapshot());
+  return total;
+}
+
+void QueryService::reset_stats() {
+  for (const auto& shard : shards_) shard->stats().reset();
+}
+
+AdmissionStatsSnapshot QueryService::admission_stats() const {
+  AdmissionStatsSnapshot s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_no_tokens = shed_no_tokens_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.shed_with_answer = shed_with_answer_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    s.peak_shard_inflight = std::max(s.peak_shard_inflight,
+                                     shard->peak_inflight());
+  }
+  return s;
 }
 
 }  // namespace bcc

@@ -1,19 +1,32 @@
-// QueryService — batched, thread-pooled serving of bandwidth-cluster
-// queries (Algorithm 4) over immutable snapshots of converged system state.
+// QueryService — the sharded query plane: batched, thread-pooled serving of
+// bandwidth-cluster queries (Algorithm 4) over epoch-protected immutable
+// snapshots, with per-shard caches and admission control.
 //
 // The paper treats query processing as the cheap, read-only phase over a
-// converged overlay; this layer exploits that: queries are embarrassingly
-// parallel, so a batch is fanned out across a small fixed thread pool, and
-// every query in the batch is served against ONE pinned SystemSnapshot —
-// results within a batch are mutually consistent even if refresh() swaps in
-// a newer snapshot mid-flight. Restructuring never blocks serving and
-// serving never blocks restructuring (copy-on-write: refresh() builds the
-// new snapshot off to the side and swaps a shared_ptr).
+// converged overlay; this layer exploits that three ways:
 //
-// Identical (start, k, class) queries against the same snapshot are
-// memoized in a sharded cache; the cache is invalidated lazily per shard on
-// the first access after a snapshot swap, so refresh() stays O(1) in cache
-// size. A QueryStats instance counts statuses, hops, and latency.
+//   * queries are embarrassingly parallel, so a batch is fanned out across a
+//     small fixed thread pool, and every query in the batch is served
+//     against ONE pinned SystemSnapshot — results within a batch are
+//     mutually consistent even if refresh() swaps in a newer snapshot
+//     mid-flight;
+//   * snapshots are published through an EpochPtr (src/serve/epoch.h):
+//     readers pin an epoch on entry instead of taking a lock or bumping a
+//     shared refcount, so snapshot access costs no contended cache line.
+//     Restructuring never blocks serving and serving never blocks
+//     restructuring; retired snapshots are reclaimed after a grace period;
+//   * every request hashes to a QueryShard (src/serve/shard.h) owning its
+//     own memo cache, QueryStats, and admission state — cores serving
+//     different shards share nothing.
+//
+// When admission control is on (options.admission) an overloaded shard
+// sheds instead of queueing: the response comes back with
+// QueryStatus::kShed and, when the shard has memoized this (start, k,
+// class) from a previously *converged* snapshot, that stale answer as a
+// well-formed degraded payload. Requests carrying a deadline are shed
+// rather than served late. Argument-error requests (bad k/class/start)
+// bypass admission entirely — they are answered in nanoseconds and rejecting
+// them would only mask caller bugs under load.
 //
 // Thread-safety: submit / submit_batch / refresh / snapshot / stats may all
 // be called concurrently from any thread. Refreshing from several threads
@@ -24,10 +37,11 @@
 #include <memory>
 #include <mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "serve/epoch.h"
 #include "serve/query_stats.h"
+#include "serve/shard.h"
 #include "serve/snapshot.h"
 #include "serve/thread_pool.h"
 
@@ -38,8 +52,28 @@ struct QueryServiceOptions {
   std::size_t threads = 0;
   /// Memoize per-(start, k, class) results until the next snapshot swap.
   bool cache_enabled = true;
-  /// Cache shard count (reduces lock contention between workers).
-  std::size_t cache_shards = 16;
+  /// Query-plane shard count: each shard owns a cache partition, a stats
+  /// instance, and its admission state.
+  std::size_t shards = 16;
+  /// Per-shard admission control; default-constructed = admit everything.
+  AdmissionOptions admission;
+};
+
+/// Aggregated admission/shedding counters across all shards (all zero when
+/// admission control is disabled and no deadlines are set).
+struct AdmissionStatsSnapshot {
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_no_tokens = 0;
+  std::uint64_t deadline_expired = 0;
+  /// Of the shed responses, how many carried a stale best-effort payload.
+  std::uint64_t shed_with_answer = 0;
+  /// Max concurrently served queries observed on any one shard.
+  std::size_t peak_shard_inflight = 0;
+
+  std::uint64_t shed_total() const {
+    return shed_queue_full + shed_no_tokens + deadline_expired;
+  }
 };
 
 /// See file comment.
@@ -50,18 +84,19 @@ class QueryService {
                         QueryServiceOptions options = {});
 
   /// Serves one request synchronously on the calling thread, against the
-  /// current snapshot. Thread-safe.
+  /// current snapshot. Thread-safe; lock-free snapshot access.
   QueryResult submit(const QueryRequest& request);
 
   /// Serves a batch across the thread pool; blocks until every request is
   /// answered. results[i] answers requests[i], and the whole batch is served
-  /// against the single snapshot current at entry. Thread-safe.
+  /// against the single snapshot pinned at entry. Thread-safe.
   std::vector<QueryResult> submit_batch(std::span<const QueryRequest> requests);
 
   /// Re-snapshots the (presumably restructured) system and atomically swaps
   /// it in. In-flight batches finish on the snapshot they pinned; subsequent
   /// submissions see the new state. Cached results from older snapshots are
-  /// discarded lazily.
+  /// discarded lazily; the retired snapshot is reclaimed after its grace
+  /// period.
   void refresh(const DecentralizedClusterSystem& system);
 
   /// Installs an externally built snapshot — e.g. snapshot_of(AsyncOverlay…)
@@ -70,44 +105,52 @@ class QueryService {
   /// swap/pinning semantics as refresh(system).
   void refresh(SystemSnapshot snapshot);
 
-  /// The snapshot new submissions are currently served against.
+  /// The snapshot new submissions are currently served against (shared
+  /// ownership: survives any number of later refreshes).
   std::shared_ptr<const SystemSnapshot> snapshot() const;
   std::uint64_t snapshot_version() const { return snapshot()->version; }
 
   const QueryServiceOptions& options() const { return options_; }
-  QueryStats::Snapshot stats() const { return stats_.snapshot(); }
-  void reset_stats() { stats_.reset(); }
+  /// Service-wide stats: per-shard QueryStats merged into one snapshot.
+  QueryStats::Snapshot stats() const;
+  void reset_stats();
+
+  AdmissionStatsSnapshot admission_stats() const;
+  /// Queries currently being served across all shards (0 once quiescent —
+  /// the serving "queue" is bounded by shards * admission.queue_limit).
+  std::size_t shards_inflight_now() const {
+    std::size_t sum = 0;
+    for (const auto& shard : shards_) sum += shard->inflight();
+    return sum;
+  }
+  /// Retired-but-unreclaimed snapshots (0 once every grace period expired).
+  std::size_t snapshots_in_limbo() const { return snapshot_.limbo_size(); }
 
  private:
-  struct CacheKey {
-    NodeId start;
-    std::size_t k;
-    std::size_t class_idx;
-    bool operator==(const CacheKey&) const = default;
-  };
-  struct CacheKeyHash {
-    std::size_t operator()(const CacheKey& key) const;
-  };
-  /// One cache shard: entries are valid only for `version`; the first
-  /// access after a snapshot swap clears the shard (lazy invalidation).
-  struct Shard {
-    std::mutex mutex;
-    std::uint64_t version = 0;  // guarded by mutex
-    std::unordered_map<CacheKey, QueryResult, CacheKeyHash> entries;  // ditto
-  };
-
   QueryResult serve_one(const SystemSnapshot& snap,
-                        const QueryRequest& request);
-  Shard& shard_for(const CacheKey& key);
+                        const QueryRequest& request,
+                        std::uint64_t queued_micros);
+  /// The kShed path: best-effort stale payload, never any routing work.
+  QueryResult shed(QueryShard& shard, const QueryKey& key,
+                   const SystemSnapshot& snap, bool deadline_expired);
+  QueryShard& shard_for(const QueryKey& key) {
+    return *shards_[QueryKeyHash{}(key) % shards_.size()];
+  }
 
   QueryServiceOptions options_;
   ThreadPool pool_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  QueryStats stats_;
+  std::vector<std::unique_ptr<QueryShard>> shards_;
 
-  mutable std::mutex snapshot_mutex_;
-  std::shared_ptr<const SystemSnapshot> snapshot_;  // guarded by snapshot_mutex_
-  std::uint64_t next_version_ = 2;                  // ditto
+  EpochPtr<SystemSnapshot> snapshot_;
+  std::mutex refresh_mutex_;        // serializes version allocation + publish
+  std::uint64_t next_version_ = 2;  // guarded by refresh_mutex_
+
+  // Service-wide admission counters (relaxed: diagnostics, not invariants).
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_no_tokens_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> shed_with_answer_{0};
 };
 
 }  // namespace bcc

@@ -21,6 +21,22 @@ std::uint64_t QueryStats::Snapshot::total() const {
   return sum;
 }
 
+QueryStats::Snapshot& QueryStats::Snapshot::merge(const Snapshot& other) {
+  for (std::size_t i = 0; i < by_status.size(); ++i) {
+    by_status[i] += other.by_status[i];
+  }
+  cache_hits += other.cache_hits;
+  for (std::size_t i = 0; i < hop_histogram.size(); ++i) {
+    hop_histogram[i] += other.hop_histogram[i];
+  }
+  for (std::size_t i = 0; i < latency_histogram.size(); ++i) {
+    latency_histogram[i] += other.latency_histogram[i];
+  }
+  max_micros = std::max(max_micros, other.max_micros);
+  consistent = consistent && other.consistent;
+  return *this;
+}
+
 std::uint64_t QueryStats::Snapshot::latency_percentile_micros(double p) const {
   std::uint64_t samples = 0;
   for (std::uint64_t c : latency_histogram) samples += c;

@@ -46,6 +46,10 @@ class QueryStats {
       return by_status[static_cast<std::size_t>(status)];
     }
     std::uint64_t total() const;
+    /// Accumulates `other` into this snapshot (counter-wise sums, max of
+    /// maxima, AND of consistency) — how QueryService aggregates its
+    /// per-shard stats into one service-wide view.
+    Snapshot& merge(const Snapshot& other);
     /// Upper bound of the latency bucket holding percentile p (0..100];
     /// accurate to the bucket's factor-of-two width. 0 when empty.
     std::uint64_t latency_percentile_micros(double p) const;

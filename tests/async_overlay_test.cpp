@@ -131,7 +131,7 @@ TEST(AsyncOverlay, QueriesWorkOnAsyncState) {
   EventEngine engine;
   async.run_for(engine, 4.0 * (s.fw.anchors.diameter() + 2));
   QueryProcessor processor(async.nodes(), s.predicted, s.classes);
-  const auto r = processor.process(0, 4, 0);
+  const auto r = processor.run(QueryRequest::at_class(0, 4, 0));
   EXPECT_TRUE(r.found());
   EXPECT_TRUE(cluster_satisfies(s.predicted, r.cluster, 4,
                                 s.classes.distance_at(0)));

@@ -47,7 +47,7 @@ TEST_P(PipelineSweep, InvariantsHoldAcrossTheGrid) {
     const std::size_t k = 2 + query_rng.below(n / 4);
     const std::size_t cls = query_rng.below(sys.classes().size());
     const NodeId start = static_cast<NodeId>(query_rng.below(n));
-    const QueryOutcome r = sys.query_class(start, k, cls);
+    const QueryResult r = sys.query(QueryRequest::at_class(start, k, cls));
 
     // Route sanity: starts at the entry node, never revisits.
     ASSERT_FALSE(r.route.empty());

@@ -241,7 +241,7 @@ TEST(Maintenance, CompactViewDrivesASystem) {
                                  BandwidthClasses({kDefaultTransformC / dmax}),
                                  {});
   sys.run_to_convergence();
-  const auto r = sys.query_class(0, 5, 0);
+  const auto r = sys.query(QueryRequest::at_class(0, 5, 0));
   EXPECT_TRUE(r.found());
 }
 

@@ -120,20 +120,40 @@ TEST(QueryStatusApi, SnapUpAccessor) {
       classes.snap_up(classes.bandwidth_at(classes.size() - 1) * 1.01));
 }
 
-TEST(QueryStatusApi, MatchesLegacyWrappers) {
+TEST(QueryStatusApi, ConstraintVariantsAgree) {
+  // The two constraint alternatives are interchangeable when the bandwidth
+  // snaps to the same class: bandwidth(b) must serve identically to
+  // at_class(snap_up(b)).
   auto sys = make_system(25, 8, 8);
   for (std::size_t cls = 0; cls < sys.classes().size(); ++cls) {
+    const double b = sys.classes().bandwidth_at(cls);
     for (std::size_t k : {2ul, 4ul, 9ul}) {
       for (NodeId start : {0ul, 12ul, 24ul}) {
-        const auto legacy = sys.query_class(start, k, cls);
-        const auto modern = sys.query(QueryRequest::at_class(start, k, cls));
-        EXPECT_EQ(legacy.found(), modern.found());
-        EXPECT_EQ(legacy.cluster, modern.cluster);
-        EXPECT_EQ(legacy.hops, modern.hops);
-        EXPECT_EQ(legacy.route, modern.route);
+        const auto by_class = sys.query(QueryRequest::at_class(start, k, cls));
+        const auto by_bandwidth =
+            sys.query(QueryRequest::bandwidth(start, k, b));
+        EXPECT_EQ(by_class.status, by_bandwidth.status);
+        EXPECT_EQ(by_class.cluster, by_bandwidth.cluster);
+        EXPECT_EQ(by_class.hops, by_bandwidth.hops);
+        EXPECT_EQ(by_class.route, by_bandwidth.route);
+        EXPECT_EQ(by_class.class_idx, by_bandwidth.class_idx);
       }
     }
   }
+}
+
+TEST(QueryStatusApi, RequestChainersSetServingFields) {
+  auto req = QueryRequest::bandwidth(3, 5, 40.0)
+                 .with_deadline(2500)
+                 .with_priority(QueryPriority::kHigh);
+  EXPECT_EQ(req.deadline_micros, 2500u);
+  EXPECT_EQ(req.priority, QueryPriority::kHigh);
+  EXPECT_EQ(req.bandwidth_mbps(), std::optional<double>(40.0));
+  EXPECT_FALSE(req.explicit_class().has_value());
+  const auto cls = QueryRequest::at_class(3, 5, 2);
+  EXPECT_EQ(cls.explicit_class(), std::optional<std::size_t>(2));
+  EXPECT_FALSE(cls.bandwidth_mbps().has_value());
+  EXPECT_EQ(cls.priority, QueryPriority::kNormal);  // default
 }
 
 // ------------------------------------------------------------ QueryService
@@ -300,6 +320,10 @@ TEST(QueryService, ToStringCoversEveryStatus) {
   EXPECT_STREQ(to_string(QueryStatus::kBandwidthUnsatisfiable),
                "bandwidth_unsatisfiable");
   EXPECT_STREQ(to_string(QueryStatus::kUnknownStart), "unknown_start");
+  EXPECT_STREQ(to_string(QueryStatus::kShed), "shed");
+  EXPECT_STREQ(to_string(QueryPriority::kLow), "low");
+  EXPECT_STREQ(to_string(QueryPriority::kNormal), "normal");
+  EXPECT_STREQ(to_string(QueryPriority::kHigh), "high");
 }
 
 // ------------------------------------------------------------- concurrency
@@ -313,7 +337,7 @@ TEST(QueryService, ConcurrentBatchesRaceSnapshotSwaps) {
   auto sys = make_system(n, 8, 17);
   QueryServiceOptions options;
   options.threads = 4;
-  options.cache_shards = 4;
+  options.shards = 4;
   QueryService service(sys, options);
 
   // Retain every snapshot ever published so results can be re-validated
@@ -429,6 +453,9 @@ TEST(QueryService, ConcurrentBatchesRaceSnapshotSwaps) {
           break;
         case QueryStatus::kUnknownStart:
           EXPECT_GE(req.start, n);
+          break;
+        case QueryStatus::kShed:
+          ADD_FAILURE() << "shed response with admission control disabled";
           break;
       }
       ++checked;

@@ -43,7 +43,7 @@ TEST(Query, FindsClusterFromEveryEntryPoint) {
   const std::size_t best = max_cluster_size(sys.predicted(), universe, l);
   ASSERT_GE(best, 2u);
   for (NodeId start = 0; start < 20; ++start) {
-    const auto r = sys.query_class(start, best, 0);
+    const auto r = sys.query(QueryRequest::at_class(start, best, 0));
     EXPECT_TRUE(r.found()) << "start=" << start;
     EXPECT_TRUE(cluster_satisfies(sys.predicted(), r.cluster, best, l));
   }
@@ -55,7 +55,7 @@ TEST(Query, ResultsSatisfyConstraintsAtEveryClass) {
     const double l = sys.classes().distance_at(cls);
     for (std::size_t k : {2ul, 4ul, 8ul}) {
       for (NodeId start : {0ul, 7ul, 19ul}) {
-        const auto r = sys.query_class(start, k, cls);
+        const auto r = sys.query(QueryRequest::at_class(start, k, cls));
         if (r.found()) {
           EXPECT_TRUE(cluster_satisfies(sys.predicted(), r.cluster, k, l))
               << "cls=" << cls << " k=" << k;
@@ -67,7 +67,7 @@ TEST(Query, ResultsSatisfyConstraintsAtEveryClass) {
 
 TEST(Query, ImpossibleQueryReturnsEmpty) {
   auto sys = make_system(15, 100, 3);
-  const auto r = sys.query_class(0, 16, 0);  // k > n
+  const auto r = sys.query(QueryRequest::at_class(0, 16, 0));  // k > n
   EXPECT_FALSE(r.found());
   EXPECT_TRUE(r.cluster.empty());
 }
@@ -84,7 +84,8 @@ TEST(Query, CrtPromiseIsAlwaysKept) {
     }
     if (promised < 2) continue;
     for (NodeId start : {0ul, 11ul, 21ul}) {
-      EXPECT_TRUE(sys.query_class(start, promised, cls).found())
+      EXPECT_TRUE(sys.query(QueryRequest::at_class(start, promised, cls))
+                      .found())
           << "cls=" << cls << " promised=" << promised;
     }
   }
@@ -97,7 +98,7 @@ TEST(Query, BeyondPromiseFails) {
     for (NodeId x = 0; x < 22; ++x) {
       promised = std::max(promised, sys.node(x).aggr_crt.at(x)[cls]);
     }
-    const auto r = sys.query_class(0, promised + 1, cls);
+    const auto r = sys.query(QueryRequest::at_class(0, promised + 1, cls));
     EXPECT_FALSE(r.found());
   }
 }
@@ -105,7 +106,7 @@ TEST(Query, BeyondPromiseFails) {
 TEST(Query, RouteNeverRevisitsNodes) {
   auto sys = make_system(30, 4, 6);
   for (NodeId start = 0; start < 30; ++start) {
-    const auto r = sys.query_class(start, 5, 1);
+    const auto r = sys.query(QueryRequest::at_class(start, 5, 1));
     auto route = r.route;
     std::sort(route.begin(), route.end());
     EXPECT_EQ(std::adjacent_find(route.begin(), route.end()), route.end())
@@ -116,7 +117,7 @@ TEST(Query, RouteNeverRevisitsNodes) {
 TEST(Query, HopsMatchRouteLength) {
   auto sys = make_system(25, 4, 7);
   for (NodeId start : {0ul, 5ul, 12ul, 24ul}) {
-    const auto r = sys.query_class(start, 4, 1);
+    const auto r = sys.query(QueryRequest::at_class(start, 4, 1));
     EXPECT_EQ(r.route.size(), r.hops + 1);
     EXPECT_EQ(r.route.front(), start);
   }
@@ -125,16 +126,27 @@ TEST(Query, HopsMatchRouteLength) {
 TEST(Query, LocallyAnswerableQueryTakesZeroHops) {
   auto sys = make_system(18, 100, 8);
   // With full knowledge, every node answers locally.
-  const auto r = sys.query_class(9, 2, 0);
+  const auto r = sys.query(QueryRequest::at_class(9, 2, 0));
   EXPECT_TRUE(r.found());
   EXPECT_EQ(r.hops, 0u);
 }
 
 TEST(Query, ValidatesArguments) {
+  // Bad arguments are statuses, not exceptions: the serving plane must be
+  // able to answer garbage without unwinding.
   auto sys = make_system(10, 4, 9);
-  EXPECT_THROW(sys.query_class(0, 1, 0), ContractViolation);    // k < 2
-  EXPECT_THROW(sys.query_class(0, 2, 99), ContractViolation);   // bad class
-  EXPECT_THROW(sys.query_class(99, 2, 0), ContractViolation);   // bad start
+  EXPECT_EQ(sys.query(QueryRequest::at_class(0, 1, 0)).status,
+            QueryStatus::kInvalidK);
+  EXPECT_EQ(sys.query(QueryRequest::at_class(0, 2, 99)).status,
+            QueryStatus::kBandwidthUnsatisfiable);
+  EXPECT_EQ(sys.query(QueryRequest::at_class(99, 2, 0)).status,
+            QueryStatus::kUnknownStart);
+  // An unconstrained request (monostate) satisfies nothing by definition.
+  QueryRequest unconstrained;
+  unconstrained.start = 0;
+  unconstrained.k = 2;
+  EXPECT_EQ(sys.query(unconstrained).status,
+            QueryStatus::kBandwidthUnsatisfiable);
 }
 
 TEST(Query, BandwidthQuerySnapsToClass) {
@@ -142,17 +154,18 @@ TEST(Query, BandwidthQuerySnapsToClass) {
   const double b0 = sys.classes().bandwidth_at(0);
   const double b_last = sys.classes().bandwidth_at(sys.classes().size() - 1);
   // Slightly below the loosest class: snaps to it.
-  const auto r = sys.query_bandwidth(0, 2, b0 * 0.9);
+  const auto r = sys.query(QueryRequest::bandwidth(0, 2, b0 * 0.9));
   EXPECT_TRUE(r.found());
   // Above the strictest class: unanswerable.
-  const auto r2 = sys.query_bandwidth(0, 2, b_last * 1.5);
+  const auto r2 = sys.query(QueryRequest::bandwidth(0, 2, b_last * 1.5));
   EXPECT_FALSE(r2.found());
+  EXPECT_EQ(r2.status, QueryStatus::kBandwidthUnsatisfiable);
 }
 
 TEST(Query, ReturnedClusterMeetsSnappedBandwidth) {
   auto sys = make_system(20, 100, 11);
   const double b = sys.classes().bandwidth_at(1) * 0.95;
-  const auto r = sys.query_bandwidth(3, 3, b);
+  const auto r = sys.query(QueryRequest::bandwidth(3, 3, b));
   if (r.found()) {
     // Predicted bandwidth of every returned pair >= requested b.
     for (std::size_t i = 0; i < r.cluster.size(); ++i) {
@@ -175,7 +188,7 @@ TEST(Query, SmallNcutLimitsLargeClusters) {
   const std::size_t central = max_cluster_size(sys.predicted(), universe, l);
   ASSERT_EQ(central, 30u);  // loosest class spans the whole metric
   // Decentralized spaces hold at most 1 + n_cut * degree nodes.
-  const auto r = sys.query_class(0, 30, 0);
+  const auto r = sys.query(QueryRequest::at_class(0, 30, 0));
   EXPECT_FALSE(r.found());
 }
 

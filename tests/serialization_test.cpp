@@ -177,7 +177,7 @@ TEST_F(SerializationTest, LoadedFrameworkServesQueries) {
   BandwidthClasses classes({kDefaultTransformC / dmax});
   DecentralizedClusterSystem sys(loaded.anchors, pred, classes, {});
   sys.run_to_convergence();
-  const auto r = sys.query_class(0, 5, 0);
+  const auto r = sys.query(QueryRequest::at_class(0, 5, 0));
   EXPECT_TRUE(r.found());
 }
 

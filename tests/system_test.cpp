@@ -112,7 +112,7 @@ TEST(System, RefreshReconvergesAfterMetricChange) {
   const std::size_t s1 = sys.node(0).aggr_crt.at(0)[strictest];
   EXPECT_LE(s1, s0);
   // And queries still return valid clusters under the *new* metric.
-  const auto r = sys.query_class(0, 2, 0);
+  const auto r = sys.query(QueryRequest::at_class(0, 2, 0));
   if (r.found()) {
     EXPECT_TRUE(cluster_satisfies(sys.predicted(), r.cluster, 2,
                                   classes.distance_at(0)));
@@ -134,7 +134,7 @@ TEST(System, WorksOnNoisyPredictions) {
   DecentralizedClusterSystem sys(parts.fw.anchors, parts.predicted,
                                  spanning_classes(parts.predicted));
   sys.run_to_convergence();
-  const auto r = sys.query_class(0, 3, 1);
+  const auto r = sys.query(QueryRequest::at_class(0, 3, 1));
   if (r.found()) {
     EXPECT_TRUE(cluster_satisfies(sys.predicted(), r.cluster, 3,
                                   sys.classes().distance_at(1)));
@@ -148,7 +148,7 @@ TEST(System, SingletonSystem) {
                                  BandwidthClasses({10.0}));
   sys.run_to_convergence();
   EXPECT_TRUE(sys.converged());
-  const auto r = sys.query_class(0, 2, 0);
+  const auto r = sys.query(QueryRequest::at_class(0, 2, 0));
   EXPECT_FALSE(r.found());
 }
 

@@ -11,9 +11,13 @@
 //   bcc treeness --data DIR/NAME [--samples N]
 //                  estimate the dataset's quartet-epsilon treeness
 //   bcc query    --data DIR/NAME --k K --b MBPS [--start ID --n_cut N
-//                  --repeat N --metrics-out FILE]
+//                  --repeat N --shards N --rate-qps Q --burst B
+//                  --queue-limit N --metrics-out FILE]
 //                  run the decentralized system and answer one query through
-//                  the QueryService (repeats exercise the memo cache)
+//                  the sharded QueryService (repeats exercise the memo
+//                  cache; --rate-qps/--queue-limit turn on admission
+//                  control, and overloaded repeats come back shed with a
+//                  stale degraded answer)
 //   bcc eval     --data DIR/NAME [--queries N --k K]
 //                  WPR/RR sweep over the bandwidth grid (mini Fig. 3)
 //   bcc chaos    --data DIR/NAME [--drop P --dup P --jitter S --crash F
@@ -30,10 +34,15 @@
 //                  as an indented tree, JSON-lines, or a Chrome/Perfetto
 //                  trace (load chrome output in ui.perfetto.dev)
 //   bcc health   [--data DIR/NAME --drop P --dup P --jitter S --crash F
-//                  --sample-period S --metrics-out FILE]
+//                  --sample-period S --serve-queries N --serve-qps Q
+//                  --metrics-out FILE]
 //                  run the gossip stack under faults with the
 //                  ConvergenceMonitor sampling bcc.conv.* and report
-//                  time-to-convergence and per-node staleness
+//                  time-to-convergence and per-node staleness, then probe
+//                  the serve plane: a query burst through an
+//                  admission-controlled QueryService over a snapshot of the
+//                  (possibly degraded) overlay, reporting admitted/shed
+//                  counts and bcc.serve.shard.* health
 //
 // `--metrics-out FILE` writes the global registry as one JSON object.
 // Any dataset can be a user-provided measurement matrix: put it at
@@ -174,6 +183,13 @@ int cmd_query(int argc, const char* const* argv) {
   auto& repeat = opts.add_int("repeat", 1,
                               "serve the query this many times (cache warms "
                               "after the first)");
+  auto& shards = opts.add_int("shards", 16, "query-plane shard count");
+  auto& rate_qps = opts.add_double(
+      "rate-qps", 0.0,
+      "admitted queries/sec per shard (0 = no token bucket)");
+  auto& burst = opts.add_double("burst", 64.0, "token-bucket burst depth");
+  auto& queue_limit = opts.add_int(
+      "queue-limit", 0, "max in-flight queries per shard (0 = unlimited)");
   auto& metrics_out = opts.add_string("metrics-out", "",
                                       "write the metrics registry here (JSON)");
   auto& seed = opts.add_int("seed", 42, "framework seed");
@@ -193,19 +209,34 @@ int cmd_query(int argc, const char* const* argv) {
                                  sys_options);
   sys.run_to_convergence();
 
-  QueryService service(sys);
+  QueryServiceOptions serve_options;
+  serve_options.shards =
+      static_cast<std::size_t>(std::max(1, static_cast<int>(shards)));
+  serve_options.admission.rate_qps = rate_qps;
+  serve_options.admission.burst = burst;
+  serve_options.admission.queue_limit =
+      static_cast<std::size_t>(std::max(0, static_cast<int>(queue_limit)));
+  QueryService service(sys, serve_options);
   const QueryRequest request = QueryRequest::bandwidth(
       static_cast<NodeId>(start), static_cast<std::size_t>(k), b);
   QueryResult r;
   const int times = std::max(1, static_cast<int>(repeat));
   for (int i = 0; i < times; ++i) r = service.submit(request);
 
-  if (r.status != QueryStatus::kFound) {
+  // A shed response can still carry a well-formed stale answer from the
+  // last converged snapshot — report it, flagged, instead of failing.
+  const bool shed_answer =
+      r.status == QueryStatus::kShed && !r.cluster.empty();
+  if (r.status != QueryStatus::kFound && !shed_answer) {
     std::printf("no cluster of %lld hosts at >= %.1f Mbps "
                 "(status %s, route length %zu)\n",
                 static_cast<long long>(k), b, to_string(r.status), r.hops);
     maybe_write_metrics(metrics_out);
     return 2;
+  }
+  if (shed_answer) {
+    std::printf("shed under overload — stale answer from snapshot v%llu\n",
+                static_cast<unsigned long long>(r.snapshot_version));
   }
   std::printf("cluster (%zu hops):", r.hops);
   for (NodeId h : r.cluster) std::printf(" %zu", h);
@@ -218,6 +249,16 @@ int cmd_query(int argc, const char* const* argv) {
               times, static_cast<std::size_t>(stats.cache_hits),
               static_cast<std::size_t>(stats.latency_percentile_micros(50.0)),
               static_cast<std::size_t>(stats.latency_percentile_micros(99.0)));
+  const AdmissionStatsSnapshot admission = service.admission_stats();
+  if (serve_options.admission.enabled()) {
+    std::printf("admission (%zu shards, %.0f qps/shard): %llu admitted, "
+                "%llu shed (%llu with stale answer), peak shard in-flight %zu\n",
+                serve_options.shards, serve_options.admission.rate_qps,
+                static_cast<unsigned long long>(admission.admitted),
+                static_cast<unsigned long long>(admission.shed_total()),
+                static_cast<unsigned long long>(admission.shed_with_answer),
+                admission.peak_shard_inflight);
+  }
   const MessageMetrics& mm = sys.metrics();
   std::printf("gossip traffic: %zu msgs / %zu bytes "
               "(dropped %zu, duplicated %zu, retried %zu, suspected %zu)\n",
@@ -547,6 +588,11 @@ int cmd_health(int argc, const char* const* argv) {
   auto& n_cut = opts.add_int("n_cut", 10, "aggregate size limit");
   auto& period = opts.add_double("sample-period", 0.5,
                                  "seconds of sim time between health samples");
+  auto& serve_queries = opts.add_int(
+      "serve-queries", 256, "serve-plane probe: query burst size (0 = skip)");
+  auto& serve_qps = opts.add_double(
+      "serve-qps", 50.0,
+      "serve-plane probe: admitted queries/sec per shard");
   auto& metrics_out = opts.add_string("metrics-out", "",
                                       "write the metrics registry here (JSON)");
   auto& seed = opts.add_int("seed", 42, "framework + fault seed");
@@ -631,6 +677,53 @@ int cmd_health(int argc, const char* const* argv) {
   print_hist("bcc.conv.staleness_ms", "staleness");
   print_hist("bcc.conv.node_convergence_ms", "per-node convergence time");
   print_hist("bcc.conv.time_to_convergence_ms", "time to convergence");
+
+  // Serve-plane probe: snapshot the overlay as it ended (degraded when
+  // nodes are still down or suspected) and push a query burst through an
+  // admission-controlled QueryService — the overload block of the health
+  // report. The burst deliberately exceeds the token budget so shedding
+  // behavior (and stale-answer coverage) is visible.
+  if (serve_queries > 0) {
+    DecentralizedClusterSystem seed_sys(fw.anchors, predicted, classes,
+                                        {.n_cut = async_options.n_cut});
+    QueryServiceOptions serve_options;
+    serve_options.threads = 2;
+    serve_options.admission.rate_qps = std::max(1.0, serve_qps);
+    serve_options.admission.burst = 8.0;
+    serve_options.admission.queue_limit = 4;
+    QueryService service(seed_sys, serve_options);
+    service.refresh(*snapshot_of(async, predicted, classes));
+
+    Rng probe_rng(static_cast<std::uint64_t>(seed) + 3);
+    std::vector<QueryRequest> burst;
+    burst.reserve(static_cast<std::size_t>(serve_queries));
+    for (int i = 0; i < static_cast<int>(serve_queries); ++i) {
+      QueryRequest request = QueryRequest::at_class(
+          static_cast<NodeId>(probe_rng.below(n)), 2 + probe_rng.below(8),
+          probe_rng.below(classes.size()));
+      if (i % 8 == 0) request = request.with_priority(QueryPriority::kHigh);
+      burst.push_back(request);
+    }
+    service.submit_batch(burst);  // warm pass: seeds the stale caches
+    const auto replies = service.submit_batch(burst);
+    std::size_t degraded = 0;
+    for (const QueryResult& reply : replies) {
+      if (reply.degraded) ++degraded;
+    }
+    const AdmissionStatsSnapshot admission = service.admission_stats();
+    std::printf("serve plane: %zu-query burst x2 over %zu shards "
+                "(%.0f qps/shard): %llu admitted, %llu shed "
+                "(%llu with stale answer), %zu/%zu degraded replies, "
+                "peak shard in-flight %zu, snapshots in limbo %zu\n",
+                burst.size(), service.options().shards,
+                serve_options.admission.rate_qps,
+                static_cast<unsigned long long>(admission.admitted),
+                static_cast<unsigned long long>(admission.shed_total()),
+                static_cast<unsigned long long>(admission.shed_with_answer),
+                degraded, replies.size(), admission.peak_shard_inflight,
+                service.snapshots_in_limbo());
+  }
+
   if (!maybe_write_metrics(metrics_out)) return 1;
   return monitor.converged() ? 0 : 2;
 }

@@ -1,24 +1,26 @@
 #!/usr/bin/env bash
 # bench_smoke — ctest entry point for the bench-regression gate.
 #
-# Runs a fast subset of the micro harness, then diffs the fresh
-# BENCH_micro.json against the committed baseline with bench_diff. Only
+# Runs a fast subset of the micro and serve harnesses, then diffs each fresh
+# BENCH_<name>.json against its committed baseline with bench_diff. Only
 # cpu_ns metrics gate (wall time is hopeless under a parallel ctest run on a
 # small machine) and the threshold is deliberately loose: the gate exists to
 # catch order-of-magnitude accidents (a debug build, an accidentally
 # quadratic loop), not 10% noise. Tight-threshold comparisons are what
 # `bench_diff --threshold 0.10` on two full, quiet-machine runs is for.
 #
-#   bench_smoke.sh MICRO_BENCH BENCH_DIFF BASELINE_JSON
+#   bench_smoke.sh MICRO_BENCH SERVE_BENCH BENCH_DIFF MICRO_BASELINE SERVE_BASELINE
 set -euo pipefail
 
-if [ "$#" -ne 3 ]; then
-  echo "usage: bench_smoke.sh MICRO_BENCH BENCH_DIFF BASELINE_JSON" >&2
+if [ "$#" -ne 5 ]; then
+  echo "usage: bench_smoke.sh MICRO_BENCH SERVE_BENCH BENCH_DIFF MICRO_BASELINE SERVE_BASELINE" >&2
   exit 1
 fi
 micro_bench=$1
-bench_diff=$2
-baseline=$3
+serve_bench=$2
+bench_diff=$3
+micro_baseline=$4
+serve_baseline=$5
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -29,7 +31,19 @@ BCC_BENCH_OUT="$workdir" "$micro_bench" \
   --benchmark_min_time=0.05 >/dev/null
 
 "$bench_diff" \
-  --baseline "$baseline" \
+  --baseline "$micro_baseline" \
   --candidate "$workdir/BENCH_micro.json" \
+  --metrics '\.cpu_ns$' \
+  --threshold 4.0
+
+# Serve-plane subset: epoch pin/publish and the warm-cache / shed submit
+# paths (the overload scenario bench is full-run only — too slow for smoke).
+BCC_BENCH_OUT="$workdir" "$serve_bench" \
+  --benchmark_filter='BM_EpochPin|BM_EpochPublish|BM_ShardedQuerySubmit|BM_ShardedQueryShed' \
+  --benchmark_min_time=0.05 >/dev/null
+
+"$bench_diff" \
+  --baseline "$serve_baseline" \
+  --candidate "$workdir/BENCH_serve.json" \
   --metrics '\.cpu_ns$' \
   --threshold 4.0

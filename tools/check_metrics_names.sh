@@ -24,6 +24,11 @@ found=0
 # module grows instruments.
 modules='sim|serve|tree|bench|conv|trace'
 
+# Names deeper than three segments must use a declared submodule: the third
+# segment of a 4+-segment name is checked against this list (bench.* names
+# are exempt — their third segment is the benchmark name itself).
+submodules='shard'
+
 # Registration literals: .counter("..."), .gauge("..."), .histogram("...").
 # set("...") on a BenchReport takes full names too, so include it.
 pattern='(counter|gauge|histogram|set)\("([^"]*)"'
@@ -46,6 +51,16 @@ while IFS=: read -r file line name; do
     echo "UNKNOWN MODULE: $name uses bcc.$module.* ($file:$line) — known:" \
          "$(printf '%s' "$modules" | tr '|' ' ')"
     status=1
+    continue
+  fi
+  segments="$(printf '%s' "$name" | awk -F. '{ print NF }')"
+  if [ "$segments" -gt 3 ] && [ "$module" != "bench" ]; then
+    submodule="$(printf '%s' "$name" | cut -d. -f3)"
+    if ! printf '%s' "$submodule" | grep -Eq "^($submodules)$"; then
+      echo "UNKNOWN SUBMODULE: $name uses bcc.$module.$submodule.*" \
+           "($file:$line) — known: $(printf '%s' "$submodules" | tr '|' ' ')"
+      status=1
+    fi
   fi
 done <<< "$hits"
 

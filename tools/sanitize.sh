@@ -3,10 +3,13 @@
 #
 #   * ThreadSanitizer over the serving-layer + chaos + observability tests —
 #     the QueryService concurrency test races submit_batch against refresh()
-#     snapshot swaps, the chaos suite swaps degraded snapshots mid-serve, the
-#     QueryStats seqlock test tears at snapshots under concurrent record()s,
-#     and the obs suite hammers the striped counters / histogram buckets /
-#     tracer ring from many threads — exactly the code TSan exists for;
+#     snapshot swaps, the EpochPtr storm test pins readers across publish()
+#     reclamation (the proof a reader never touches a freed snapshot), the
+#     overload suite races shedding against admission bookkeeping, the chaos
+#     suite swaps degraded snapshots mid-serve, the QueryStats seqlock test
+#     tears at snapshots under concurrent record()s, and the obs suite
+#     hammers the striped counters / histogram buckets / tracer ring from
+#     many threads — exactly the code TSan exists for;
 #   * AddressSanitizer + UBSan over the full suite, chaos + obs suites
 #     included (fault injection exercises cancellation/retry paths that
 #     juggle timer lifetimes — prime use-after-free territory).
@@ -26,7 +29,8 @@ jobs="$(nproc)"
 run_tsan() {
   cmake -B build-tsan -S . -DBCC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "${jobs}" --target bcc_tests bcc_chaos_tests bcc_obs_tests
-  ctest --test-dir build-tsan -R 'QueryService|QueryStatusApi|QueryStats|Chaos|Obs' \
+  ctest --test-dir build-tsan \
+        -R 'QueryService|QueryStatusApi|QueryStats|QueryShard|Epoch|Chaos|Obs' \
         --output-on-failure -j "${jobs}"
 }
 
