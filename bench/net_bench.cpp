@@ -1,0 +1,163 @@
+// Transport benchmarks (google-benchmark): frame codec costs and the real
+// TcpTransport loopback paths — one-frame round-trip latency and bulk
+// delivery throughput. Results mirror into BENCH_net.json via
+// obs::BenchReport; tools/bench_smoke.sh diffs the codec + throughput
+// subset against the committed bench/BENCH_net.json baseline (cpu_ns only —
+// the round-trip bench spends its wall time in poll(2) and is full-run
+// only).
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_json_reporter.h"
+#include "net/frame.h"
+#include "net/tcp_transport.h"
+#include "obs/bench_report.h"
+
+namespace {
+
+using namespace bcc;
+
+obs::TraceContext bench_trace() { return {0xabcdef01u, 0x12345678u, 3u}; }
+
+net::ExchangePayload bench_payload() {
+  net::ExchangePayload p;
+  p.exchange = 7;
+  p.prop_node.resize(24);
+  p.prop_crt.resize(8);
+  for (std::size_t i = 0; i < p.prop_node.size(); ++i) p.prop_node[i] = i;
+  for (std::size_t i = 0; i < p.prop_crt.size(); ++i) p.prop_crt[i] = i * 3;
+  return p;
+}
+
+void BM_FrameEncode(benchmark::State& state) {
+  const net::ExchangePayload payload = bench_payload();
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    const std::vector<std::uint8_t> body = net::encode_exchange(payload);
+    net::append_frame(out, net::FrameType::kExchange, 3, 9, bench_trace(),
+                      body.data(), body.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameEncode);
+
+void BM_FrameDecode(benchmark::State& state) {
+  const std::vector<std::uint8_t> wire =
+      net::encode_frame(net::FrameType::kExchange, 3, 9, bench_trace(),
+                        net::encode_exchange(bench_payload()));
+  for (auto _ : state) {
+    net::DecodeResult r = net::decode_frame(wire.data(), wire.size());
+    net::ExchangePayload p;
+    net::decode_exchange(r.frame.body.data(), r.frame.body.size(), p);
+    benchmark::DoNotOptimize(p.prop_node.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameDecode);
+
+/// Two live TcpTransports on loopback ports (pid-derived, re-rolled on
+/// collision) pumped from this thread — the ProcessNode single-threaded
+/// contract, minus the overlay.
+struct LoopbackPair {
+  std::unique_ptr<net::TcpTransport> a, b;
+
+  static net::TcpTransportOptions options(NodeId local,
+                                          std::uint16_t base_port) {
+    net::TcpTransportOptions o;
+    o.local = local;
+    o.peers.resize(2);
+    o.peers[0].port = base_port;
+    o.peers[1].port = static_cast<std::uint16_t>(base_port + 1);
+    o.heartbeat_period = 0.5;
+    o.heartbeat_timeout = 2.0;
+    o.seed = 29 + local;
+    return o;
+  }
+
+  static LoopbackPair make() {
+    LoopbackPair pair;
+    for (std::uint32_t attempt = 0; attempt < 20; ++attempt) {
+      const std::uint32_t mix = static_cast<std::uint32_t>(::getpid()) * 131u +
+                                attempt * 977u + 40961u;
+      const auto base = static_cast<std::uint16_t>(21000u + mix % 40000u);
+      pair.a = std::make_unique<net::TcpTransport>(options(0, base));
+      pair.b = std::make_unique<net::TcpTransport>(options(1, base));
+      if (pair.a->listen() && pair.b->listen()) return pair;
+    }
+    std::fprintf(stderr, "net_bench: no free port pair\n");
+    std::exit(1);
+  }
+};
+
+void BM_TcpRoundTrip(benchmark::State& state) {
+  LoopbackPair pair = LoopbackPair::make();
+  std::size_t a_received = 0;
+  pair.a->set_handler([&](const net::Delivery&) { ++a_received; });
+  pair.b->set_handler([&](const net::Delivery& d) {
+    pair.b->send(1, 0, net::FrameType::kAck, d.body, d.trace);
+  });
+  const std::vector<std::uint8_t> body = net::encode_u64(1);
+  for (auto _ : state) {
+    const std::size_t want = a_received + 1;
+    pair.a->send(0, 1, net::FrameType::kAck, body, {});
+    while (a_received < want) {
+      pair.a->poll_once(0.0);
+      pair.b->poll_once(0.0);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcpRoundTrip)->UseRealTime();
+
+void BM_TransportThroughput(benchmark::State& state) {
+  LoopbackPair pair = LoopbackPair::make();
+  std::size_t delivered = 0;
+  pair.a->set_handler([](const net::Delivery&) {});
+  pair.b->set_handler([&](const net::Delivery&) { ++delivered; });
+  const std::vector<std::uint8_t> body =
+      net::encode_exchange(bench_payload());
+  constexpr std::size_t kBatch = 64;
+  for (auto _ : state) {
+    const std::size_t want = delivered + kBatch;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      pair.a->send(0, 1, net::FrameType::kExchange, body, {});
+      pair.a->poll_once(0.0);
+    }
+    while (delivered < want) {
+      pair.a->poll_once(0.0);
+      pair.b->poll_once(0.0);
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatch));
+  state.counters["frame_bytes"] =
+      static_cast<double>(net::frame_wire_bytes(body.size()));
+}
+BENCHMARK(BM_TransportThroughput)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bcc::obs::BenchReport report("net");
+  bcc::BenchJsonReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!report.write()) {
+    std::fprintf(stderr, "net_bench: cannot write %s\n",
+                 report.path().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "benchmark telemetry written to %s\n",
+               report.path().c_str());
+  return 0;
+}

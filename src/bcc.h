@@ -45,6 +45,9 @@
 #include "data/topology_gen.h"
 #include "euclid/kdiameter.h"
 #include "metric/bandwidth.h"
+#include "net/frame.h"
+#include "net/sim_transport.h"
+#include "net/transport.h"
 #include "metric/distance_matrix.h"
 #include "metric/four_point.h"
 #include "obs/bench_report.h"

@@ -1,0 +1,28 @@
+#include "common/shutdown.h"
+
+#include <signal.h>
+
+namespace bcc {
+
+namespace {
+
+volatile sig_atomic_t g_shutdown = 0;
+
+void on_signal(int) { g_shutdown = 1; }
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking reads wake up to observe it
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool shutdown_requested() { return g_shutdown != 0; }
+
+void reset_shutdown() { g_shutdown = 0; }
+
+}  // namespace bcc

@@ -1,0 +1,20 @@
+// Cooperative SIGINT/SIGTERM handling for long-running CLI entry points
+// (`bcc node`, `bcc query --repeat`, the process supervisor's children).
+// The handler only sets a flag; loops observe shutdown_requested(), drain
+// their in-flight work, flush metrics/state, and exit 0 — an orderly
+// drain is the contract the supervisor's SIGTERM scenario asserts.
+#pragma once
+
+namespace bcc {
+
+/// Installs SIGINT + SIGTERM handlers (idempotent). Handlers are
+/// async-signal-safe: they set a sig_atomic_t flag and nothing else.
+void install_shutdown_handlers();
+
+/// True once any handled signal arrived.
+bool shutdown_requested();
+
+/// Forgets a previously-delivered signal (tests).
+void reset_shutdown();
+
+}  // namespace bcc

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/sim_transport.h"
 #include "obs/trace.h"
 
 namespace bcc {
+
+AsyncOverlay::~AsyncOverlay() = default;
 
 AsyncOverlay::AsyncOverlay(const AnchorTree* overlay,
                            const DistanceMatrix* predicted,
@@ -33,6 +36,16 @@ AsyncOverlay::AsyncOverlay(const AnchorTree* overlay,
     BCC_REQUIRE(options_.rtt_ms->size() == predicted_->size());
   }
   nodes_ = make_overlay_nodes(*overlay_);
+  if (options_.local_node) {
+    // Process-per-node deployment: host only the local node's state. The
+    // compute_prop_* kernels read only the sender's map entry, so a
+    // single-entry map yields byte-identical payloads.
+    auto it = nodes_.find(*options_.local_node);
+    BCC_REQUIRE(it != nodes_.end());
+    OverlayNode local = std::move(it->second);
+    nodes_.clear();
+    nodes_.emplace(local.id, std::move(local));
+  }
 }
 
 double AsyncOverlay::latency(NodeId from, NodeId to) const {
@@ -79,7 +92,10 @@ void AsyncOverlay::gossip(NodeId x) {
 }
 
 void AsyncOverlay::start_exchange(NodeId x, NodeId v, std::size_t attempt) {
-  if (down_.count(x) || !nodes_.count(x) || !nodes_.count(v)) return;
+  if (down_.count(x) || !nodes_.count(x)) return;
+  // In local mode the neighbor lives in another process; its liveness is the
+  // transport's problem (ack timeouts still drive retries/suspicion here).
+  if (!local_mode() && !nodes_.count(v)) return;
   // A retry may fire after the sender crash-recovered (tables wiped): the
   // self CRT entry compute_prop_crt requires is then rebuilt lazily.
   if (!nodes_.at(x).aggr_crt.count(x)) {
@@ -92,71 +108,20 @@ void AsyncOverlay::start_exchange(NodeId x, NodeId v, std::size_t attempt) {
                                      /*m=*/x, /*x=*/v);
   auto prop_crt = compute_prop_crt(nodes_, classes_->size(), /*m=*/x,
                                    /*x=*/v);
-  // The send span covers snapshotting + handing the payload to the channel;
-  // its context rides inside the message so the receive span on v links back
-  // here causally. When gossip tracing is off the span is inert and the
-  // context invalid — nothing extra crosses the (simulated) wire.
+  // The send span covers snapshotting + serializing + handing the frame to
+  // the transport; its context rides inside the frame so the receive span on
+  // v links back here causally. When gossip tracing is off the span is inert
+  // and the context invalid — an all-zero trace field crosses the wire.
   obs::Span send_span(obs::SpanCategory::kGossip, "send_exchange");
   send_span.set_node(static_cast<std::uint32_t>(x));
   const obs::TraceContext ctx = send_span.context();
-  engine_->metrics().record("async_gossip",
-                            prop_node.size() * sizeof(NodeId) +
-                                prop_crt.size() * sizeof(std::size_t) +
-                                (ctx.valid() ? obs::kTraceContextWireBytes
-                                             : 0));
-  const std::uint64_t exchange = next_exchange_++;
-  channel_->send(
-      x, v, latency(x, v), ctx,
-      [this, x, v, exchange, prop_node = std::move(prop_node),
-       prop_crt = std::move(prop_crt)](const obs::TraceContext& msg) mutable {
-        auto it = nodes_.find(v);
-        if (it == nodes_.end()) return;  // receiver left the overlay
-        if (down_.count(v)) {            // crashed outside the fault plan
-          engine_->metrics().count_dropped();
-          return;
-        }
-        // Receive span: remote-parented on the sender's send span (each
-        // duplicate delivery constructs its own span — distinct ids).
-        obs::Span recv_span(obs::SpanCategory::kGossip, "recv_exchange", msg,
-                            static_cast<std::uint32_t>(v));
-        OverlayNode& receiver = it->second;
-        bool changed = false;
-        {
-          obs::Span apply_span(obs::SpanCategory::kGossip, "apply_exchange");
-          apply_span.set_node(static_cast<std::uint32_t>(v));
-          auto node_it = receiver.aggr_node.find(x);
-          if (node_it == receiver.aggr_node.end() ||
-              node_it->second != prop_node) {
-            receiver.aggr_node[x] = std::move(prop_node);
-            changed = true;
-          }
-          auto crt_it = receiver.aggr_crt.find(x);
-          if (crt_it == receiver.aggr_crt.end() ||
-              crt_it->second != prop_crt) {
-            receiver.aggr_crt[x] = std::move(prop_crt);
-            changed = true;
-          }
-        }
-        if (changed) {
-          last_change_ = engine_->now();
-          last_update_[v] = engine_->now();
-        }
-        // Acknowledge the exchange (the ack crosses the same lossy network,
-        // carrying the receive span's context so the chain survives the
-        // round trip).
-        const obs::TraceContext ack_ctx = recv_span.context();
-        engine_->metrics().record(
-            "async_ack", sizeof(exchange) + (ack_ctx.valid()
-                                                 ? obs::kTraceContextWireBytes
-                                                 : 0));
-        channel_->send(v, x, latency(v, x), ack_ctx,
-                       [this, x, v, exchange](const obs::TraceContext& ack) {
-                         obs::Span ack_span(obs::SpanCategory::kGossip,
-                                            "recv_ack", ack,
-                                            static_cast<std::uint32_t>(x));
-                         on_ack(x, v, exchange);
-                       });
-      });
+  net::ExchangePayload payload;
+  payload.exchange = next_exchange_++;
+  payload.prop_node = std::move(prop_node);
+  payload.prop_crt = std::move(prop_crt);
+  const std::uint64_t exchange = payload.exchange;
+  transport_->send(x, v, net::FrameType::kExchange,
+                   net::encode_exchange(payload), ctx);
   // Capped exponential backoff on the ack timeout.
   const double scale = std::min(
       std::pow(options_.backoff_factor, static_cast<double>(attempt)), 8.0);
@@ -164,6 +129,75 @@ void AsyncOverlay::start_exchange(NodeId x, NodeId v, std::size_t attempt) {
       ack_timeout_for(x, v) * scale,
       [this, x, v, exchange, attempt] { on_ack_timeout(x, v, exchange,
                                                        attempt); });
+}
+
+void AsyncOverlay::on_delivery(const net::Delivery& d) {
+  switch (d.type) {
+    case net::FrameType::kExchange: on_exchange(d); return;
+    case net::FrameType::kAck: on_ack_frame(d); return;
+    default: return;  // heartbeats are transport-internal, never surfaced
+  }
+}
+
+void AsyncOverlay::on_exchange(const net::Delivery& d) {
+  const NodeId x = d.from;  // sender
+  const NodeId v = d.to;    // receiver (must be hosted here)
+  auto it = nodes_.find(v);
+  if (it == nodes_.end()) return;  // receiver left the overlay
+  if (down_.count(v)) {            // crashed outside the fault plan
+    engine_->metrics().count_dropped();
+    return;
+  }
+  net::ExchangePayload payload;
+  if (!net::decode_exchange(d.body.data(), d.body.size(), payload)) {
+    net::NetMetrics::global().frames_corrupt.add();
+    return;
+  }
+  // Receive span: remote-parented on the sender's send span (each duplicate
+  // delivery constructs its own span — distinct ids).
+  obs::Span recv_span(obs::SpanCategory::kGossip, "recv_exchange", d.trace,
+                      static_cast<std::uint32_t>(v));
+  OverlayNode& receiver = it->second;
+  bool changed = false;
+  {
+    obs::Span apply_span(obs::SpanCategory::kGossip, "apply_exchange");
+    apply_span.set_node(static_cast<std::uint32_t>(v));
+    auto node_it = receiver.aggr_node.find(x);
+    if (node_it == receiver.aggr_node.end() ||
+        node_it->second != payload.prop_node) {
+      receiver.aggr_node[x] = std::move(payload.prop_node);
+      changed = true;
+    }
+    auto crt_it = receiver.aggr_crt.find(x);
+    if (crt_it == receiver.aggr_crt.end() ||
+        crt_it->second != payload.prop_crt) {
+      receiver.aggr_crt[x] = std::move(payload.prop_crt);
+      changed = true;
+    }
+  }
+  if (changed) {
+    last_change_ = engine_->now();
+    last_update_[v] = engine_->now();
+  }
+  // Acknowledge the exchange (the ack crosses the same lossy network,
+  // carrying the receive span's context so the chain survives the round
+  // trip).
+  const obs::TraceContext ack_ctx = recv_span.context();
+  transport_->send(v, x, net::FrameType::kAck,
+                   net::encode_u64(payload.exchange), ack_ctx);
+}
+
+void AsyncOverlay::on_ack_frame(const net::Delivery& d) {
+  const NodeId x = d.to;    // the original exchange sender
+  const NodeId v = d.from;  // the acking neighbor
+  std::uint64_t exchange = 0;
+  if (!net::decode_u64(d.body.data(), d.body.size(), exchange)) {
+    net::NetMetrics::global().frames_corrupt.add();
+    return;
+  }
+  obs::Span ack_span(obs::SpanCategory::kGossip, "recv_ack", d.trace,
+                     static_cast<std::uint32_t>(x));
+  on_ack(x, v, exchange);
 }
 
 void AsyncOverlay::on_ack(NodeId x, NodeId v, std::uint64_t exchange) {
@@ -183,7 +217,8 @@ void AsyncOverlay::on_ack(NodeId x, NodeId v, std::uint64_t exchange) {
 void AsyncOverlay::on_ack_timeout(NodeId x, NodeId v, std::uint64_t exchange,
                                   std::size_t attempt) {
   pending_ack_.erase(exchange);
-  if (down_.count(x) || !nodes_.count(x) || !nodes_.count(v)) return;
+  if (down_.count(x) || !nodes_.count(x)) return;
+  if (!local_mode() && !nodes_.count(v)) return;
   if (attempt < options_.max_retries) {
     // Covers recomputing the payload and re-sending with backed-off timeout.
     obs::Span span(obs::SpanCategory::kGossip, "retry_exchange");
@@ -282,14 +317,19 @@ void AsyncOverlay::resync_membership() {
     }
   }
 
-  // New and rejoined members: fresh state, staggered first gossip.
-  for (NodeId h : members) {
-    if (nodes_.count(h)) continue;
-    OverlayNode n;
-    n.id = h;
-    n.neighbors = overlay_->neighbors_of(h);
-    nodes_.emplace(h, std::move(n));
-    arm_timer(h, rng_.uniform(0.0, options_.gossip_period));
+  // New and rejoined members: fresh state, staggered first gossip. A local-
+  // mode overlay hosts only its own node — remote joiners are other
+  // processes' problem (if the local node itself departed, the loop above
+  // already emptied nodes_ and this instance goes quiet).
+  if (!local_mode()) {
+    for (NodeId h : members) {
+      if (nodes_.count(h)) continue;
+      OverlayNode n;
+      n.id = h;
+      n.neighbors = overlay_->neighbors_of(h);
+      nodes_.emplace(h, std::move(n));
+      arm_timer(h, rng_.uniform(0.0, options_.gossip_period));
+    }
   }
   last_change_ = engine_->now();
 }
@@ -298,10 +338,21 @@ void AsyncOverlay::start(EventEngine& engine) {
   BCC_REQUIRE(!started_);
   started_ = true;
   engine_ = &engine;
-  channel_.emplace(&engine, options_.faults);
+  transport_ = options_.transport;
+  if (transport_ == nullptr) {
+    // Deterministic default: frames ride the FaultyChannel, consulting the
+    // fault plan's rng in exactly the per-send order the pre-Transport
+    // overlay used (seeded chaos runs replay bit-for-bit).
+    owned_transport_ = std::make_unique<net::SimTransport>(
+        &engine, options_.faults,
+        [this](NodeId from, NodeId to) { return latency(from, to); });
+    transport_ = owned_transport_.get();
+  }
+  transport_->set_handler([this](const net::Delivery& d) { on_delivery(d); });
   // Stagger initial firings uniformly across one period (BFS order for
-  // cross-platform determinism).
+  // cross-platform determinism; only hosted nodes get timers).
   for (NodeId host : overlay_->bfs_order()) {
+    if (!nodes_.count(host)) continue;
     arm_timer(host, rng_.uniform(0.0, options_.gossip_period));
   }
   // Wire the fault plan's crash/recover schedule into the engine so a

@@ -27,16 +27,31 @@
 // obituary broadcast, the one idealization), new and rejoined nodes get
 // fresh state and timers, and continued gossip re-converges on the
 // survivors.
+// Transport seam (ROADMAP open item 1): the overlay no longer talks to the
+// FaultyChannel directly — every exchange and ack is a serialized frame
+// handed to a net::Transport. By default start() builds a SimTransport over
+// the options' FaultPlan (the deterministic path above); injecting a
+// TcpTransport plus `local_node` instead runs ONE node of the overlay as a
+// real OS process (see net/node_runtime.h) speaking the identical protocol
+// to real peers. In local mode the map holds just the local node's state;
+// the compute_prop_* kernels only ever read the sender's entry, so the
+// protocol math is unchanged.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_set>
 
 #include "common/rng.h"
 #include "core/aggregation.h"
+#include "net/transport.h"
 #include "sim/fault.h"
 
 namespace bcc {
+
+namespace net {
+class SimTransport;
+}  // namespace net
 
 struct AsyncOverlayOptions {
   std::size_t n_cut = 10;
@@ -61,6 +76,15 @@ struct AsyncOverlayOptions {
   double backoff_factor = 2.0;
   /// Consecutive fully-failed exchanges before the peer is suspected.
   std::size_t suspect_after = 2;
+  /// External transport (non-owning; must outlive the overlay). Null means
+  /// start() builds its own SimTransport over `faults` — the deterministic
+  /// default every existing test runs on.
+  net::Transport* transport = nullptr;
+  /// When set, this overlay instance hosts ONLY `local_node`: it arms timers
+  /// for, applies deliveries to, and tracks state of just that node, and
+  /// trusts the transport to reach the others (process-per-node deployment).
+  /// Unset (default) hosts every tree member in-process.
+  std::optional<NodeId> local_node;
 };
 
 /// See file comment. The overlay/predicted/classes objects must outlive it.
@@ -72,6 +96,7 @@ class AsyncOverlay {
   AsyncOverlay(const AnchorTree* overlay, const DistanceMatrix* predicted,
                const BandwidthClasses* classes, AsyncOverlayOptions options,
                std::uint64_t seed);
+  ~AsyncOverlay();  // out-of-line: owned_transport_ is an incomplete type here
 
   /// Schedules every node's first gossip timer on `engine` and installs the
   /// fault plan's crash/recover schedule. The engine must outlive this
@@ -126,6 +151,10 @@ class AsyncOverlay {
     bool suspected = false;
   };
 
+  bool local_mode() const { return options_.local_node.has_value(); }
+  void on_delivery(const net::Delivery& d);
+  void on_exchange(const net::Delivery& d);
+  void on_ack_frame(const net::Delivery& d);
   void gossip(NodeId x);
   void start_exchange(NodeId x, NodeId v, std::size_t attempt);
   void on_ack(NodeId x, NodeId v, std::uint64_t exchange);
@@ -143,8 +172,10 @@ class AsyncOverlay {
   Rng rng_;
   OverlayNodeMap nodes_;
   bool started_ = false;
-  EventEngine* engine_ = nullptr;           // set by start()
-  std::optional<FaultyChannel> channel_;    // wraps engine_ + options_.faults
+  EventEngine* engine_ = nullptr;  // set by start()
+  /// Built by start() when options_.transport is null (the sim default).
+  std::unique_ptr<net::SimTransport> owned_transport_;
+  net::Transport* transport_ = nullptr;  // owned_transport_ or injected
   std::size_t rounds_ = 0;
   SimTime last_change_ = 0.0;
   /// Per-node time of the last applied (state-changing) delivery.

@@ -56,8 +56,17 @@ QueryResult QueryProcessor::route_query(NodeId start, std::size_t k,
   const std::size_t max_visits = nodes_.size() + 1;
 
   while (result.route.size() < max_visits) {
+    const auto cur_it = nodes_.find(cur);
+    if (cur_it == nodes_.end()) {
+      // The hop's tables are not materialized locally — the peer is down or
+      // this is a process-local snapshot holding only the serving node's
+      // entry. Stop routing and report a degraded best-effort not-found
+      // instead of throwing.
+      result.degraded = true;
+      return result;
+    }
     result.route.push_back(cur);
-    const OverlayNode& x = nodes_.at(cur);
+    const OverlayNode& x = cur_it->second;
 
     // Try locally if this node's own CRT entry admits a k-cluster.
     const auto self_it = x.aggr_crt.find(cur);

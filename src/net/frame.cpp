@@ -1,0 +1,150 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace bcc::net {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+std::uint32_t checked_u32(std::size_t v) {
+  BCC_REQUIRE(v <= 0xffffffffu);
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type, NodeId src,
+                  NodeId dst, const obs::TraceContext& trace,
+                  const std::uint8_t* body, std::size_t body_len) {
+  const std::size_t payload_len = obs::kTraceContextWireBytes + body_len;
+  BCC_REQUIRE(payload_len <= kMaxFramePayload);
+  out.reserve(out.size() + kFrameHeaderBytes + payload_len);
+  put_u32(out, kFrameMagic);
+  out.push_back(kWireVersionMajor);
+  out.push_back(kWireVersionMinor);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);  // flags
+  put_u32(out, checked_u32(src));
+  put_u32(out, checked_u32(dst));
+  put_u32(out, checked_u32(payload_len));
+  put_u64(out, trace.trace_id);
+  put_u64(out, trace.parent_span);
+  put_u32(out, trace.hop);
+  if (body_len != 0) out.insert(out.end(), body, body + body_len);
+}
+
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len) {
+  DecodeResult r;
+  if (len < kFrameHeaderBytes) return r;  // kNeedMore
+  if (get_u32(data) != kFrameMagic) {
+    r.status = DecodeStatus::kBadMagic;
+    return r;
+  }
+  const std::uint32_t payload_len = get_u32(data + 16);
+  if (payload_len > kMaxFramePayload ||
+      payload_len < obs::kTraceContextWireBytes) {
+    r.status = DecodeStatus::kTooLarge;
+    return r;
+  }
+  if (len < kFrameHeaderBytes + payload_len) return r;  // kNeedMore
+  r.consumed = kFrameHeaderBytes + payload_len;
+  if (data[4] != kWireVersionMajor) {
+    // Unknown major: length is still trustworthy (fixed offsets across
+    // majors, see header comment) — skip the frame, let the caller count it.
+    r.status = DecodeStatus::kBadVersion;
+    return r;
+  }
+  r.status = DecodeStatus::kOk;
+  Frame& f = r.frame;
+  f.ver_major = data[4];
+  f.ver_minor = data[5];
+  f.type = static_cast<FrameType>(data[6]);
+  f.src = get_u32(data + 8);
+  f.dst = get_u32(data + 12);
+  f.trace.trace_id = get_u64(data + 20);
+  f.trace.parent_span = get_u64(data + 28);
+  f.trace.hop = get_u32(data + 36);
+  const std::uint8_t* body = data + kFrameHeaderBytes +
+                             obs::kTraceContextWireBytes;
+  f.body.assign(body, body + (payload_len - obs::kTraceContextWireBytes));
+  return r;
+}
+
+std::vector<std::uint8_t> encode_exchange(const ExchangePayload& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + 4 + 4 * p.prop_node.size() + 4 + 4 * p.prop_crt.size());
+  put_u64(out, p.exchange);
+  put_u32(out, checked_u32(p.prop_node.size()));
+  for (NodeId id : p.prop_node) put_u32(out, checked_u32(id));
+  put_u32(out, checked_u32(p.prop_crt.size()));
+  for (std::size_t s : p.prop_crt) put_u32(out, checked_u32(s));
+  return out;
+}
+
+bool decode_exchange(const std::uint8_t* body, std::size_t len,
+                     ExchangePayload& out) {
+  std::size_t off = 0;
+  auto need = [&](std::size_t n) {
+    if (len - off < n) return false;
+    return true;
+  };
+  if (!need(12)) return false;
+  out.exchange = get_u64(body);
+  off = 8;
+  const std::uint32_t n_node = get_u32(body + off);
+  off += 4;
+  if (!need(4 * static_cast<std::size_t>(n_node) + 4)) return false;
+  out.prop_node.resize(n_node);
+  for (std::uint32_t i = 0; i < n_node; ++i, off += 4) {
+    out.prop_node[i] = get_u32(body + off);
+  }
+  const std::uint32_t n_crt = get_u32(body + off);
+  off += 4;
+  if (!need(4 * static_cast<std::size_t>(n_crt))) return false;
+  out.prop_crt.resize(n_crt);
+  for (std::uint32_t i = 0; i < n_crt; ++i, off += 4) {
+    out.prop_crt[i] = get_u32(body + off);
+  }
+  return off == len;  // trailing garbage = corrupt
+}
+
+std::vector<std::uint8_t> encode_u64(std::uint64_t v) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, v);
+  return out;
+}
+
+bool decode_u64(const std::uint8_t* body, std::size_t len,
+                std::uint64_t& out) {
+  if (len != 8) return false;
+  out = get_u64(body);
+  return true;
+}
+
+}  // namespace bcc::net

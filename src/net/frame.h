@@ -1,0 +1,139 @@
+// Versioned, length-prefixed wire format for gossip frames — the one
+// serialization both transports share. SimTransport moves these bytes
+// through the deterministic FaultyChannel; TcpTransport writes them onto a
+// real socket, so two processes built from different minor revisions can
+// interoperate and a rolling restart across a *major* bump degrades to a
+// counted rejection (bcc.net.frames_rejected_version) instead of a crash.
+//
+// Frame layout (little-endian, kFrameHeaderBytes fixed header):
+//
+//   offset  size  field
+//        0     4  magic 0x42434346 ("FCCB" on disk, spells BCCF)
+//        4     1  version major   (reject when != kWireVersionMajor)
+//        5     1  version minor   (additive changes only; never reject)
+//        6     1  frame type      (FrameType)
+//        7     1  flags           (reserved, 0)
+//        8     4  src node id
+//       12     4  dst node id
+//       16     4  payload length  (bytes after the header)
+//   then payload:
+//       20    20  TraceContext    (trace_id u64 | parent_span u64 | hop u32,
+//                                  the exact kTraceContextWireBytes layout
+//                                  from obs/trace.h; all-zero = untraced)
+//       40     *  body            (per-type codec below)
+//
+// The header keeps magic/version/length at fixed offsets across ALL major
+// versions, so a decoder can always skip a frame it refuses to interpret —
+// that is what makes heterogeneous node versions safe during rolling
+// restarts (the Rehn-Sonigo placement setting, PAPERS.md).
+//
+// Body codecs:
+//   kExchange     exchange u64 | n_node u32 | node ids u32[n_node]
+//                 | n_crt u32 | crt sizes u32[n_crt]
+//   kAck          exchange u64
+//   kHeartbeat    sequence u64
+//   kHeartbeatAck sequence u64 (echo)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metric/distance_matrix.h"  // NodeId
+#include "obs/trace.h"
+
+namespace bcc::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x42434346u;  // "BCCF"
+inline constexpr std::uint8_t kWireVersionMajor = 1;
+inline constexpr std::uint8_t kWireVersionMinor = 0;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+/// Refuse anything bigger — a corrupt length must not allocate gigabytes.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+/// What a frame carries. Values are wire contract — append only.
+enum class FrameType : std::uint8_t {
+  kExchange = 1,      ///< gossip exchange (prop_node + prop_crt tables)
+  kAck = 2,           ///< exchange acknowledged by the receiver
+  kHeartbeat = 3,     ///< liveness ping on an outbound connection
+  kHeartbeatAck = 4,  ///< ping echo (half-open detection watches for these)
+};
+
+constexpr const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kExchange: return "exchange";
+    case FrameType::kAck: return "ack";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kHeartbeatAck: return "heartbeat_ack";
+  }
+  return "?";
+}
+
+/// One decoded frame, header fields flattened.
+struct Frame {
+  std::uint8_t ver_major = kWireVersionMajor;
+  std::uint8_t ver_minor = kWireVersionMinor;
+  FrameType type = FrameType::kExchange;
+  NodeId src = 0;
+  NodeId dst = 0;
+  obs::TraceContext trace;
+  std::vector<std::uint8_t> body;
+};
+
+/// Serializes one frame (current wire version) and appends it to `out`.
+/// Node ids and body length must fit their u32 wire fields (BCC_REQUIRE).
+void append_frame(std::vector<std::uint8_t>& out, FrameType type, NodeId src,
+                  NodeId dst, const obs::TraceContext& trace,
+                  const std::uint8_t* body, std::size_t body_len);
+
+inline std::vector<std::uint8_t> encode_frame(
+    FrameType type, NodeId src, NodeId dst, const obs::TraceContext& trace,
+    const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, type, src, dst, trace, body.data(), body.size());
+  return out;
+}
+
+/// Total bytes `append_frame` emits for a body of `body_len` bytes.
+inline constexpr std::size_t frame_wire_bytes(std::size_t body_len) {
+  return kFrameHeaderBytes + obs::kTraceContextWireBytes + body_len;
+}
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,          ///< one frame decoded; `consumed` bytes eaten
+  kNeedMore = 1,    ///< prefix of a valid frame; read more bytes
+  kBadMagic = 2,    ///< stream corrupt / not a bcc peer: drop the connection
+  kBadVersion = 3,  ///< unknown MAJOR version; `consumed` skips the frame
+  kTooLarge = 4,    ///< declared payload over kMaxFramePayload: drop the conn
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  /// Bytes to consume from the stream (0 unless kOk / kBadVersion).
+  std::size_t consumed = 0;
+  Frame frame;  ///< valid only when status == kOk
+};
+
+/// Decodes the first frame in `data`. kBadVersion still reports `consumed`
+/// (header + declared payload) so the stream re-synchronizes on the next
+/// frame — an unknown-major peer is skipped and counted, never fatal.
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len);
+
+// -- Body codecs -----------------------------------------------------------
+
+/// kExchange body: one gossip exchange from `src` toward `dst`.
+struct ExchangePayload {
+  std::uint64_t exchange = 0;            ///< ack-matching id
+  std::vector<NodeId> prop_node;         ///< Algorithm 2 propNode
+  std::vector<std::size_t> prop_crt;     ///< Algorithm 3 propCRT
+};
+
+std::vector<std::uint8_t> encode_exchange(const ExchangePayload& p);
+/// False on truncated/corrupt bodies (caller counts and drops the frame).
+bool decode_exchange(const std::uint8_t* body, std::size_t len,
+                     ExchangePayload& out);
+
+/// kAck / kHeartbeat / kHeartbeatAck body: a single u64.
+std::vector<std::uint8_t> encode_u64(std::uint64_t v);
+bool decode_u64(const std::uint8_t* body, std::size_t len, std::uint64_t& out);
+
+}  // namespace bcc::net

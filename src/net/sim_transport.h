@@ -1,0 +1,46 @@
+// SimTransport — the deterministic half of the Transport seam: frames move
+// through the existing FaultyChannel, so every fault class the seeded
+// FaultPlan can inject (drop, duplicate, jitter, partitions, down-node
+// discard) applies to transport sends exactly as it applied to the
+// pre-refactor closure sends. A (plan seed, overlay seed) pair still
+// reproduces a chaos run bit-for-bit: SimTransport itself consumes no
+// randomness and sends consult the plan in unchanged order.
+//
+// Frames are genuinely serialized (net/frame.h) and re-decoded at delivery,
+// so the sim path exercises the same codec bytes the TCP path puts on a real
+// socket — a sim-passing payload cannot secretly depend on in-process object
+// sharing.
+#pragma once
+
+#include "net/transport.h"
+#include "sim/fault.h"
+
+namespace bcc::net {
+
+/// See file comment. Engine and plan must outlive the transport; `plan` may
+/// be null (perfect network). `latency` maps (from, to) to one-way seconds.
+class SimTransport : public Transport {
+ public:
+  using LatencyFn = std::function<double(NodeId from, NodeId to)>;
+
+  SimTransport(EventEngine* engine, FaultPlan* plan, LatencyFn latency);
+
+  void set_handler(Handler handler) override { handler_ = std::move(handler); }
+
+  /// Serializes the frame, counts it in MessageMetrics (labelled by frame
+  /// type) and bcc.net.*, then schedules delivery through the FaultyChannel.
+  /// The delivery decodes the bytes back into a Delivery for the handler;
+  /// duplicated messages decode (and deliver) twice.
+  void send(NodeId from, NodeId to, FrameType type,
+            std::vector<std::uint8_t> body,
+            const obs::TraceContext& trace) override;
+
+  EventEngine& engine() { return channel_.engine(); }
+
+ private:
+  FaultyChannel channel_;
+  LatencyFn latency_;
+  Handler handler_;
+};
+
+}  // namespace bcc::net

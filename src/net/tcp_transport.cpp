@@ -1,0 +1,509 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace bcc::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  BCC_REQUIRE(flags >= 0);
+  BCC_REQUIRE(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in make_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  BCC_REQUIRE(::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) == 1);
+  return addr;
+}
+
+/// write() that never raises SIGPIPE (a peer killed -9 mid-write must show
+/// up as EPIPE, not kill this process too).
+ssize_t send_bytes(int fd, const std::uint8_t* data, std::size_t len) {
+  return ::send(fd, data, len, MSG_NOSIGNAL);
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  BCC_REQUIRE(options_.local < options_.peers.size());
+  BCC_REQUIRE(options_.heartbeat_period > 0.0);
+  BCC_REQUIRE(options_.heartbeat_timeout > options_.heartbeat_period);
+  BCC_REQUIRE(options_.backoff_initial > 0.0);
+  BCC_REQUIRE(options_.backoff_max >= options_.backoff_initial);
+  BCC_REQUIRE(options_.backoff_jitter >= 0.0 && options_.backoff_jitter < 1.0);
+}
+
+TcpTransport::~TcpTransport() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& [peer, c] : out_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  for (InConn& c : in_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+}
+
+double TcpTransport::mono_now() const {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+bool TcpTransport::listen() {
+  BCC_REQUIRE(listen_fd_ < 0);
+  const Endpoint& ep = options_.peers[options_.local];
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  BCC_REQUIRE(fd >= 0);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(ep);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    // Port collision is an expected race when many harnesses share a host:
+    // report it so the caller re-rolls the port base. Anything else is a
+    // programming error.
+    BCC_REQUIRE(errno == EADDRINUSE || errno == EACCES);
+    ::close(fd);
+    return false;
+  }
+  BCC_REQUIRE(::listen(fd, 64) == 0);
+  set_nonblocking(fd);
+  listen_fd_ = fd;
+  listener_wanted_ = true;
+  return true;
+}
+
+void TcpTransport::close_listener() {
+  listener_wanted_ = false;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpTransport::open_listener() {
+  if (listen_fd_ >= 0 || isolated_) return;
+  BCC_REQUIRE(listen());
+}
+
+void TcpTransport::set_isolated(bool isolated) {
+  if (isolated == isolated_) return;
+  isolated_ = isolated;
+  if (isolated_) {
+    const bool wanted = listener_wanted_;
+    close_listener();
+    listener_wanted_ = wanted;  // remember to reopen on heal
+    for (auto& [peer, c] : out_) drop_out(c);
+    for (InConn& c : in_) {
+      if (c.fd >= 0) ::close(c.fd);
+    }
+    in_.clear();
+  } else if (listener_wanted_) {
+    BCC_REQUIRE(listen());
+  }
+}
+
+bool TcpTransport::connected_to(NodeId peer) const {
+  auto it = out_.find(peer);
+  return it != out_.end() && it->second.state == ConnState::kConnected;
+}
+
+std::size_t TcpTransport::queued_bytes(NodeId peer) const {
+  auto it = out_.find(peer);
+  return it == out_.end() ? 0 : it->second.queue_bytes;
+}
+
+void TcpTransport::drop_out(OutConn& c) {
+  if (c.fd >= 0) {
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  if (c.state == ConnState::kConnected || c.state == ConnState::kConnecting) {
+    c.state = ConnState::kIdle;
+  }
+  c.write_off = 0;  // partially-written frame restarts from its first byte
+  c.rbuf.clear();
+}
+
+void TcpTransport::enter_backoff(NodeId peer, OutConn& c) {
+  drop_out(c);
+  ++c.attempts;
+  const double expo = options_.backoff_initial *
+                      std::pow(2.0, static_cast<double>(c.attempts - 1));
+  const double capped = std::min(expo, options_.backoff_max);
+  const double jitter = rng_.uniform(1.0 - options_.backoff_jitter,
+                                     1.0 + options_.backoff_jitter);
+  const double wait = capped * jitter;
+  NetMetrics::global().backoff_ms.record(wait * 1000.0);
+  c.state = ConnState::kBackoff;
+  c.deadline = mono_now() + wait;
+  (void)peer;
+}
+
+void TcpTransport::start_dial(NodeId peer, OutConn& c) {
+  if (isolated_) return;  // blackholed: stay idle, queue accrues until shed
+  BCC_REQUIRE(peer < options_.peers.size());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  BCC_REQUIRE(fd >= 0);
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  sockaddr_in addr = make_addr(options_.peers[peer]);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0 || errno == EINPROGRESS) {
+    c.fd = fd;
+    c.state = ConnState::kConnecting;
+    c.deadline = mono_now() + options_.connect_timeout;
+    return;
+  }
+  ::close(fd);
+  enter_backoff(peer, c);
+}
+
+void TcpTransport::on_dial_result(NodeId peer, OutConn& c, bool ok) {
+  if (!ok) {
+    enter_backoff(peer, c);
+    return;
+  }
+  c.state = ConnState::kConnected;
+  c.attempts = 0;
+  const double now = mono_now();
+  c.last_pong = now;
+  c.next_ping = now + options_.heartbeat_period;
+  if (c.was_connected) NetMetrics::global().reconnects.add();
+  c.was_connected = true;
+  flush_out(peer, c);
+}
+
+void TcpTransport::send(NodeId from, NodeId to, FrameType type,
+                        std::vector<std::uint8_t> body,
+                        const obs::TraceContext& trace) {
+  BCC_REQUIRE(from == options_.local);
+  BCC_REQUIRE(to < options_.peers.size() && to != from);
+  NetMetrics& m = NetMetrics::global();
+  std::vector<std::uint8_t> wire = encode_frame(type, from, to, trace, body);
+  m.frames_sent.add();
+  m.bytes_sent.add(wire.size());
+  OutConn& c = out_[to];
+  if (c.queue_bytes + wire.size() > options_.max_queue_bytes) {
+    m.frames_dropped.add();  // shed newest, keep per-peer FIFO intact
+    return;
+  }
+  c.queue_bytes += wire.size();
+  c.queue.push_back(std::move(wire));
+  switch (c.state) {
+    case ConnState::kIdle:
+      start_dial(to, c);
+      break;
+    case ConnState::kConnected:
+      flush_out(to, c);
+      break;
+    case ConnState::kConnecting:
+    case ConnState::kBackoff:
+      break;  // poll_once() advances these
+  }
+}
+
+void TcpTransport::flush_out(NodeId peer, OutConn& c) {
+  while (!c.queue.empty()) {
+    const std::vector<std::uint8_t>& front = c.queue.front();
+    const ssize_t n = send_bytes(c.fd, front.data() + c.write_off,
+                                 front.size() - c.write_off);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      enter_backoff(peer, c);
+      return;
+    }
+    c.write_off += static_cast<std::size_t>(n);
+    if (c.write_off < front.size()) return;  // socket full mid-frame
+    c.queue_bytes -= front.size();
+    c.queue.pop_front();
+    c.write_off = 0;
+  }
+}
+
+void TcpTransport::flush_in(InConn& c) {
+  while (c.write_off < c.wbuf.size()) {
+    const ssize_t n = send_bytes(c.fd, c.wbuf.data() + c.write_off,
+                                 c.wbuf.size() - c.write_off);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      ::close(c.fd);  // peer gone; the conn is culled on the next pump
+      c.fd = -1;
+      return;
+    }
+    c.write_off += static_cast<std::size_t>(n);
+  }
+  c.wbuf.clear();
+  c.write_off = 0;
+}
+
+std::size_t TcpTransport::deliver_frame(Frame&& f, InConn* in, OutConn* out) {
+  NetMetrics& m = NetMetrics::global();
+  m.frames_received.add();
+  m.bytes_received.add(frame_wire_bytes(f.body.size()));
+  switch (f.type) {
+    case FrameType::kHeartbeat: {
+      // Echo on the same connection the ping arrived on (the one direction
+      // the pinger is actually probing).
+      if (in != nullptr) {
+        append_frame(in->wbuf, FrameType::kHeartbeatAck, options_.local,
+                     f.src, obs::TraceContext{}, f.body.data(),
+                     f.body.size());
+        flush_in(*in);
+      }
+      return 0;
+    }
+    case FrameType::kHeartbeatAck: {
+      if (out != nullptr) out->last_pong = mono_now();
+      return 0;
+    }
+    case FrameType::kExchange:
+    case FrameType::kAck: {
+      if (f.dst != options_.local || handler_ == nullptr) {
+        m.frames_dropped.add();
+        return 0;
+      }
+      Delivery d;
+      d.from = f.src;
+      d.to = f.dst;
+      d.type = f.type;
+      d.trace = f.trace;
+      d.body = std::move(f.body);
+      handler_(d);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+std::size_t TcpTransport::drain_rbuf(std::vector<std::uint8_t>& rbuf,
+                                     InConn* in, OutConn* out) {
+  NetMetrics& m = NetMetrics::global();
+  std::size_t delivered = 0;
+  std::size_t off = 0;
+  bool kill = false;
+  while (off < rbuf.size()) {
+    DecodeResult r = decode_frame(rbuf.data() + off, rbuf.size() - off);
+    if (r.status == DecodeStatus::kNeedMore) break;
+    if (r.status == DecodeStatus::kBadVersion) {
+      // Unknown major from a rolling-restart peer: count, skip, resync on
+      // the next frame. Never fatal, never crashes the node.
+      m.frames_rejected_version.add();
+      off += r.consumed;
+      continue;
+    }
+    if (r.status != DecodeStatus::kOk) {
+      // kBadMagic / kTooLarge: the stream is garbage; drop the connection.
+      m.frames_corrupt.add();
+      kill = true;
+      break;
+    }
+    off += r.consumed;
+    delivered += deliver_frame(std::move(r.frame), in, out);
+  }
+  rbuf.erase(rbuf.begin(), rbuf.begin() + static_cast<std::ptrdiff_t>(off));
+  if (kill) {
+    if (in != nullptr && in->fd >= 0) {
+      ::close(in->fd);
+      in->fd = -1;
+    }
+    if (out != nullptr) {
+      // Re-dial through backoff; peer NodeId is recovered by the caller.
+      out->rbuf.clear();
+      if (out->fd >= 0) {
+        ::close(out->fd);
+        out->fd = -1;
+      }
+      out->state = ConnState::kIdle;
+      out->write_off = 0;
+    }
+  }
+  return delivered;
+}
+
+void TcpTransport::drive_heartbeats(double now) {
+  for (auto& [peer, c] : out_) {
+    if (c.state != ConnState::kConnected) continue;
+    if (now - c.last_pong > options_.heartbeat_timeout) {
+      // Writes kept "succeeding" into a dead pipe (SIGSTOP, silent kill,
+      // one-way partition): declare the connection half-open and re-dial.
+      NetMetrics::global().half_open_detected.add();
+      enter_backoff(peer, c);
+      continue;
+    }
+    if (now >= c.next_ping) {
+      std::vector<std::uint8_t> body = encode_u64(c.ping_seq++);
+      std::vector<std::uint8_t> wire;
+      append_frame(wire, FrameType::kHeartbeat, options_.local, peer,
+                   obs::TraceContext{}, body.data(), body.size());
+      NetMetrics::global().frames_sent.add();
+      NetMetrics::global().bytes_sent.add(wire.size());
+      if (c.queue_bytes + wire.size() <= options_.max_queue_bytes) {
+        c.queue_bytes += wire.size();
+        c.queue.push_back(std::move(wire));
+        flush_out(peer, c);
+      } else {
+        NetMetrics::global().frames_dropped.add();
+      }
+      c.next_ping = now + options_.heartbeat_period;
+    }
+  }
+}
+
+std::size_t TcpTransport::poll_once(double timeout) {
+  BCC_REQUIRE(timeout >= 0.0);
+  const double now = mono_now();
+
+  // Leave backoff / time out stuck connects before building the poll set.
+  for (auto& [peer, c] : out_) {
+    if (c.state == ConnState::kBackoff && now >= c.deadline) {
+      c.state = ConnState::kIdle;
+      if (!c.queue.empty()) start_dial(peer, c);
+    } else if (c.state == ConnState::kConnecting && now >= c.deadline) {
+      enter_backoff(peer, c);
+    } else if (c.state == ConnState::kIdle && !c.queue.empty()) {
+      start_dial(peer, c);
+    }
+  }
+  drive_heartbeats(now);
+
+  std::vector<pollfd> fds;
+  std::vector<std::pair<int, NodeId>> tags;  // 0 listener / 1 out / 2 in
+  if (listen_fd_ >= 0) {
+    fds.push_back({listen_fd_, POLLIN, 0});
+    tags.emplace_back(0, 0);
+  }
+  for (auto& [peer, c] : out_) {
+    if (c.fd < 0) continue;
+    short events = POLLIN;
+    if (c.state == ConnState::kConnecting || !c.queue.empty()) {
+      events |= POLLOUT;
+    }
+    fds.push_back({c.fd, events, 0});
+    tags.emplace_back(1, peer);
+  }
+  for (std::size_t i = 0; i < in_.size(); ++i) {
+    if (in_[i].fd < 0) continue;
+    short events = POLLIN;
+    if (in_[i].write_off < in_[i].wbuf.size()) events |= POLLOUT;
+    fds.push_back({in_[i].fd, events, 0});
+    tags.emplace_back(2, static_cast<NodeId>(i));
+  }
+
+  const int timeout_ms =
+      static_cast<int>(std::min(timeout * 1000.0, 1000.0 * 3600.0));
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return 0;
+
+  std::size_t delivered = 0;
+  std::uint8_t buf[64 * 1024];
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    const auto [kind, tag] = tags[i];
+    const short re = fds[i].revents;
+    if (re == 0) continue;
+    if (kind == 0) {
+      // Accept everything ready (level-triggered, loop until EAGAIN).
+      while (true) {
+        const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        set_nonblocking(cfd);
+        set_nodelay(cfd);
+        InConn c;
+        c.fd = cfd;
+        in_.push_back(std::move(c));
+      }
+      continue;
+    }
+    if (kind == 1) {
+      auto it = out_.find(tag);
+      if (it == out_.end() || it->second.fd != fds[i].fd) continue;
+      OutConn& c = it->second;
+      if (c.state == ConnState::kConnecting) {
+        if (re & (POLLOUT | POLLERR | POLLHUP)) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          on_dial_result(tag, c, err == 0);
+        }
+        continue;
+      }
+      if (re & POLLIN) {
+        while (true) {
+          const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            c.rbuf.insert(c.rbuf.end(), buf, buf + n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          enter_backoff(tag, c);  // EOF or error: peer closed our conn
+          break;
+        }
+        if (c.fd >= 0) delivered += drain_rbuf(c.rbuf, nullptr, &c);
+      }
+      if (c.fd >= 0 && (re & POLLOUT) && c.state == ConnState::kConnected) {
+        flush_out(tag, c);
+      }
+      if (c.fd >= 0 && (re & (POLLERR | POLLHUP)) &&
+          c.state == ConnState::kConnected) {
+        enter_backoff(tag, c);
+      }
+      continue;
+    }
+    // kind == 2: inbound connection.
+    InConn& c = in_[tag];
+    if (c.fd != fds[i].fd) continue;
+    if (re & POLLIN) {
+      while (true) {
+        const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          c.rbuf.insert(c.rbuf.end(), buf, buf + n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        ::close(c.fd);  // EOF / error
+        c.fd = -1;
+        break;
+      }
+      if (c.fd >= 0) delivered += drain_rbuf(c.rbuf, &c, nullptr);
+    }
+    if (c.fd >= 0 && (re & POLLOUT)) flush_in(c);
+    if (c.fd >= 0 && (re & (POLLERR | POLLHUP))) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+  }
+
+  // Cull dead inbound connections.
+  in_.erase(std::remove_if(in_.begin(), in_.end(),
+                           [](const InConn& c) { return c.fd < 0; }),
+            in_.end());
+  return delivered;
+}
+
+}  // namespace bcc::net

@@ -1,0 +1,164 @@
+// TcpTransport — real sockets between real OS processes. One instance hosts
+// exactly one node: it listens on the local endpoint, dials one outbound
+// connection per peer it sends to, and pumps everything from a single
+// poll(2) loop (no threads, no locks — the handler runs on the pump thread).
+//
+// Connection model (the Derecho p2p-connections shape): connections are
+// per-direction. Node A sends its frames only on the connection A dialed to
+// B; the connection B dialed to A carries B's frames. An accepted (inbound)
+// connection is receive-only except for heartbeat echoes. This keeps peer
+// identity trivial (the dialer knows who it called) and makes a dropped
+// direction independently recoverable.
+//
+// Outbound connection state machine:
+//
+//        send()/heartbeat due                 connect() completes
+//   kIdle ----------------> kConnecting -----------------------> kConnected
+//     ^                        |  connect fails / times out          |
+//     |                        v                                     |
+//     +------ backoff done  kBackoff <---- conn drops / heartbeat ---+
+//               (dial again)               timeout (half-open)
+//
+// Backoff is capped exponential with uniform jitter (seeded Rng), recorded
+// in bcc.net.backoff_ms; every re-established connection after the first
+// counts in bcc.net.reconnects. A connected peer is pinged every
+// heartbeat_period; missing all echoes for heartbeat_timeout marks the
+// connection half-open (bcc.net.half_open_detected), drops it, and re-dials
+// — this is what turns a SIGSTOPped or silently-dead peer into an
+// actionable signal instead of an eternally-black socket.
+//
+// Sends never block: frames queue per peer (bounded by max_queue_bytes)
+// while the connection is down or the socket is slow; overflow sheds the
+// NEWEST frame (bcc.net.frames_dropped) — gossip retries supersede old
+// payloads anyway, so keeping the queue head preserves FIFO per peer.
+//
+// Fault hooks for the chaos harness: close_listener() refuses new inbound
+// connections (existing ones live on) — a listener partition; set_isolated()
+// additionally drops every connection and blackholes dials — a full
+// partition of this node.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/transport.h"
+
+namespace bcc::net {
+
+/// Where a peer listens. Indexed by NodeId in TcpTransportOptions::peers.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct TcpTransportOptions {
+  /// The node this process hosts; send() requires from == local.
+  NodeId local = 0;
+  /// peers[id] is node id's listen endpoint. Must cover every id addressed.
+  std::vector<Endpoint> peers;
+  double heartbeat_period = 0.5;   ///< seconds between pings per connection
+  double heartbeat_timeout = 2.0;  ///< silence before half-open declaration
+  double connect_timeout = 1.0;    ///< non-blocking connect() deadline
+  double backoff_initial = 0.05;   ///< first reconnect delay, seconds
+  double backoff_max = 2.0;        ///< backoff cap, seconds
+  double backoff_jitter = 0.3;     ///< +- fraction applied to each backoff
+  /// Per-peer queued (unsent) bytes before newest-frame shedding kicks in.
+  std::size_t max_queue_bytes = 1 << 20;
+  std::uint64_t seed = 1;  ///< jitter rng seed
+};
+
+/// See file comment. Single-threaded: listen(), send(), and poll_once()
+/// must all be called from the same thread.
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Binds + listens on peers[local]. False when the port is taken (the
+  /// caller picks a new port base and retries) — any other failure asserts.
+  bool listen();
+
+  void set_handler(Handler handler) override { handler_ = std::move(handler); }
+
+  /// Queues one frame to `to` (never blocks; sheds on overflow). Dials the
+  /// peer when no connection exists yet. `from` must be the local node.
+  void send(NodeId from, NodeId to, FrameType type,
+            std::vector<std::uint8_t> body,
+            const obs::TraceContext& trace) override;
+
+  /// Pumps I/O for up to `timeout` seconds (0 = just poll): accepts,
+  /// finishes connects, flushes queues, reads + delivers frames, drives
+  /// heartbeats and reconnect backoff. Returns frames delivered.
+  std::size_t poll_once(double timeout);
+
+  // -- Fault hooks (the supervisor drives these through the node's stdin).
+  void close_listener();
+  void open_listener();
+  /// Isolated: listener closed, all connections dropped, dials blackholed.
+  void set_isolated(bool isolated);
+
+  // -- Introspection (tests).
+  bool listening() const { return listen_fd_ >= 0; }
+  bool connected_to(NodeId peer) const;
+  std::size_t queued_bytes(NodeId peer) const;
+  NodeId local() const { return options_.local; }
+
+ private:
+  enum class ConnState { kIdle, kConnecting, kConnected, kBackoff };
+
+  /// One outbound (dialed) connection and its lifecycle state.
+  struct OutConn {
+    ConnState state = ConnState::kIdle;
+    int fd = -1;
+    double deadline = 0.0;      ///< connect timeout / backoff end (mono secs)
+    std::size_t attempts = 0;   ///< consecutive failed dials (backoff expo)
+    bool was_connected = false; ///< a later success counts as a reconnect
+    std::deque<std::vector<std::uint8_t>> queue;  ///< unsent frames, FIFO
+    std::size_t queue_bytes = 0;
+    std::size_t write_off = 0;  ///< bytes of queue.front() already written
+    double last_pong = 0.0;     ///< last heartbeat echo (mono secs)
+    double next_ping = 0.0;
+    std::uint64_t ping_seq = 0;
+    std::vector<std::uint8_t> rbuf;  ///< heartbeat echoes arrive here
+  };
+
+  /// One accepted (inbound) connection: receive-only + heartbeat echoes.
+  struct InConn {
+    int fd = -1;
+    std::vector<std::uint8_t> rbuf;
+    std::vector<std::uint8_t> wbuf;  ///< pending heartbeat-ack bytes
+    std::size_t write_off = 0;
+  };
+
+  double mono_now() const;
+  void start_dial(NodeId peer, OutConn& c);
+  void enter_backoff(NodeId peer, OutConn& c);
+  void on_dial_result(NodeId peer, OutConn& c, bool ok);
+  void drop_out(OutConn& c);
+  /// Drains c.rbuf; returns frames delivered. `out_peer` is the dialed peer
+  /// for outbound conns (heartbeat-ack bookkeeping), unset for inbound.
+  std::size_t drain_rbuf(std::vector<std::uint8_t>& rbuf, InConn* in,
+                         OutConn* out);
+  std::size_t deliver_frame(Frame&& f, InConn* in, OutConn* out);
+  void flush_out(NodeId peer, OutConn& c);
+  void flush_in(InConn& c);
+  void drive_heartbeats(double now);
+
+  TcpTransportOptions options_;
+  Handler handler_;
+  Rng rng_;
+  int listen_fd_ = -1;
+  bool listener_wanted_ = false;  ///< reopen after open_listener()
+  bool isolated_ = false;
+  std::unordered_map<NodeId, OutConn> out_;
+  std::vector<InConn> in_;
+};
+
+}  // namespace bcc::net

@@ -1,0 +1,24 @@
+#include "net/transport.h"
+
+namespace bcc::net {
+
+NetMetrics& NetMetrics::global() {
+  // One registration site for the whole bcc.net.* namespace (the metric-name
+  // lint rejects duplicate registration literals, and hot paths want cached
+  // references anyway).
+  static NetMetrics m{
+      obs::Registry::global().counter("bcc.net.frames_sent"),
+      obs::Registry::global().counter("bcc.net.frames_received"),
+      obs::Registry::global().counter("bcc.net.frames_dropped"),
+      obs::Registry::global().counter("bcc.net.frames_rejected_version"),
+      obs::Registry::global().counter("bcc.net.frames_corrupt"),
+      obs::Registry::global().counter("bcc.net.reconnects"),
+      obs::Registry::global().counter("bcc.net.half_open_detected"),
+      obs::Registry::global().counter("bcc.net.bytes_sent"),
+      obs::Registry::global().counter("bcc.net.bytes_received"),
+      obs::Registry::global().histogram("bcc.net.backoff_ms"),
+  };
+  return m;
+}
+
+}  // namespace bcc::net

@@ -1,0 +1,77 @@
+// The transport seam carved out of FaultyChannel/AsyncOverlay (ROADMAP open
+// item 1): protocol code addresses peers by NodeId and exchanges typed,
+// byte-serialized frames; *how* those bytes move is an implementation:
+//
+//   * SimTransport (net/sim_transport.h) — the deterministic in-sim path,
+//     an adapter over FaultyChannel + EventEngine. Seeded chaos replay is
+//     preserved: the same sends consult the same FaultPlan rng in the same
+//     order as before the refactor.
+//   * TcpTransport (net/tcp_transport.h) — real sockets between real OS
+//     processes, with reconnect/backoff, heartbeats, half-open detection
+//     and bounded send queues. This is where honest chaos (kill -9, SIGSTOP,
+//     listener-close partitions) becomes testable.
+//
+// A Transport delivers frames through one registered handler; Delivery.to
+// says which node the frame addresses (the sim hosts every node in one
+// process, a TcpTransport hosts exactly one). Handlers run on the thread
+// that pumps the transport — the sim event loop or the process node's pump
+// loop — so protocol state needs no locking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/frame.h"
+#include "obs/metrics.h"
+
+namespace bcc::net {
+
+/// One frame handed to the protocol layer (body already length-checked and
+/// version-checked by the transport).
+struct Delivery {
+  NodeId from = 0;
+  NodeId to = 0;
+  FrameType type = FrameType::kExchange;
+  obs::TraceContext trace;
+  std::vector<std::uint8_t> body;
+};
+
+/// See file comment.
+class Transport {
+ public:
+  using Handler = std::function<void(const Delivery&)>;
+
+  virtual ~Transport() = default;
+
+  /// Registers the single delivery handler (replacing any previous one).
+  /// Must be set before the first delivery can happen.
+  virtual void set_handler(Handler handler) = 0;
+
+  /// Queues one frame from `from` to `to`. Never blocks: a transport that
+  /// cannot send now queues (bounded) or sheds (counted in
+  /// bcc.net.frames_dropped). Ordering is per-peer FIFO on the TCP path and
+  /// fault-plan-scheduled on the sim path.
+  virtual void send(NodeId from, NodeId to, FrameType type,
+                    std::vector<std::uint8_t> body,
+                    const obs::TraceContext& trace) = 0;
+};
+
+/// The bcc.net.* instrument set, registered once against the global
+/// registry and cached (hot sends must not take the registry mutex).
+struct NetMetrics {
+  obs::Counter& frames_sent;
+  obs::Counter& frames_received;
+  obs::Counter& frames_dropped;           ///< shed: queue overflow / no route
+  obs::Counter& frames_rejected_version;  ///< unknown-major frames skipped
+  obs::Counter& frames_corrupt;           ///< undecodable bodies / bad magic
+  obs::Counter& reconnects;               ///< re-established outbound conns
+  obs::Counter& half_open_detected;       ///< heartbeat-timeout conn drops
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_received;
+  obs::Histogram& backoff_ms;             ///< reconnect backoff waits
+
+  static NetMetrics& global();
+};
+
+}  // namespace bcc::net

@@ -9,7 +9,9 @@ QueryResult SystemSnapshot::run(const QueryRequest& request) const {
   QueryProcessor processor(nodes, predicted, classes, find_options);
   QueryResult result = processor.run(request);
   result.snapshot_version = version;
-  result.degraded = !converged;
+  // Keep a degraded flag the processor already raised (e.g. routing hit a
+  // peer whose tables are not materialized locally).
+  if (!converged) result.degraded = true;
   return result;
 }
 
@@ -27,6 +29,14 @@ std::shared_ptr<const SystemSnapshot> snapshot_of(
   return std::make_shared<const SystemSnapshot>(
       SystemSnapshot{overlay.nodes(), predicted, classes, find_options,
                      version, overlay.healthy()});
+}
+
+std::shared_ptr<const SystemSnapshot> make_snapshot(
+    OverlayNodeMap nodes, DistanceMatrix predicted, BandwidthClasses classes,
+    FindClusterOptions find_options, std::uint64_t version, bool converged) {
+  return std::make_shared<const SystemSnapshot>(
+      SystemSnapshot{std::move(nodes), std::move(predicted),
+                     std::move(classes), find_options, version, converged});
 }
 
 }  // namespace bcc

@@ -62,4 +62,14 @@ std::shared_ptr<const SystemSnapshot> snapshot_of(
     const BandwidthClasses& classes, FindClusterOptions find_options = {},
     std::uint64_t version = 0);
 
+/// Wraps already-extracted protocol tables into a serving snapshot. Used by
+/// the process-per-node runtime, whose overlay holds only the local node's
+/// tables: routing that leaves the map stops gracefully and the result is
+/// flagged degraded (pass converged = false to flag every result, e.g. while
+/// peers are suspected down).
+std::shared_ptr<const SystemSnapshot> make_snapshot(
+    OverlayNodeMap nodes, DistanceMatrix predicted, BandwidthClasses classes,
+    FindClusterOptions find_options = {}, std::uint64_t version = 0,
+    bool converged = true);
+
 }  // namespace bcc

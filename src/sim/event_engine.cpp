@@ -32,6 +32,11 @@ void EventEngine::skip_cancelled() {
   }
 }
 
+SimTime EventEngine::next_event_time() {
+  skip_cancelled();
+  return queue_.empty() ? kNoNextEvent : queue_.top().time;
+}
+
 bool EventEngine::pop_and_run() {
   static obs::Counter& events_counter =
       obs::Registry::global().counter("bcc.sim.events");

@@ -36,6 +36,9 @@ using TimerId = std::uint64_t;
 /// TimerId never handed out by the engine (safe "no timer" sentinel).
 inline constexpr TimerId kNoTimer = static_cast<TimerId>(-1);
 
+/// Returned by EventEngine::next_event_time() on an empty queue.
+inline constexpr SimTime kNoNextEvent = -1.0;
+
 /// Priority-queue scheduler of timed callbacks.
 class EventEngine {
  public:
@@ -48,6 +51,12 @@ class EventEngine {
   std::size_t events_processed() const { return processed_; }
   /// Events cancelled before they fired (cumulative).
   std::size_t events_cancelled() const { return cancelled_count_; }
+
+  /// Absolute time of the next live (non-cancelled) event, or kNoNextEvent
+  /// when the queue is drained. Drops cancelled entries it skips over. The
+  /// real-time pump (net/node_runtime.h) uses this to sleep exactly until
+  /// the next timer instead of polling.
+  SimTime next_event_time();
 
   /// Schedules `handler` at absolute time t (>= now). Returns a handle that
   /// can cancel the event while it is still pending.

@@ -1,0 +1,480 @@
+// Transport seam tests: wire-format golden bytes + decode hardening,
+// SimTransport determinism, TcpTransport loopback behavior (reconnect,
+// queue shedding, half-open detection), and a TSan-targeted test where
+// EventEngine timer cancellation races transport-driven retries across two
+// pump threads (tools/sanitize.sh reruns Transport*/Net* under TSan).
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/sim_transport.h"
+#include "net/tcp_transport.h"
+#include "sim/fault.h"
+
+namespace bcc {
+namespace {
+
+using net::DecodeResult;
+using net::DecodeStatus;
+using net::Delivery;
+using net::FrameType;
+
+obs::TraceContext golden_trace() {
+  return {0x1122334455667788ull, 0x99aabbccddeeff00ull, 7u};
+}
+
+net::ExchangePayload golden_payload() {
+  net::ExchangePayload p;
+  p.exchange = 42;
+  p.prop_node = {1, 2, 5};
+  p.prop_crt = {3, 2, 1};
+  return p;
+}
+
+std::vector<std::uint8_t> golden_frame_bytes() {
+  return net::encode_frame(FrameType::kExchange, 3, 9, golden_trace(),
+                           net::encode_exchange(golden_payload()));
+}
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// -- Wire format -----------------------------------------------------------
+
+TEST(NetFrame, GoldenBytesMatchCommittedFixture) {
+  const std::vector<std::uint8_t> wire = golden_frame_bytes();
+
+  // Fixed header offsets are wire contract (magic/version/length must stay
+  // put across ALL major versions — that is what makes unknown majors
+  // skippable). Check them field by field before the byte-exact fixture.
+  ASSERT_GE(wire.size(), net::kFrameHeaderBytes);
+  const auto u32_at = [&](std::size_t off) {
+    return static_cast<std::uint32_t>(wire[off]) |
+           (static_cast<std::uint32_t>(wire[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(wire[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(wire[off + 3]) << 24);
+  };
+  EXPECT_EQ(u32_at(0), net::kFrameMagic);
+  EXPECT_EQ(wire[4], net::kWireVersionMajor);
+  EXPECT_EQ(wire[5], net::kWireVersionMinor);
+  EXPECT_EQ(wire[6], static_cast<std::uint8_t>(FrameType::kExchange));
+  EXPECT_EQ(wire[7], 0u);  // flags reserved
+  EXPECT_EQ(u32_at(8), 3u);
+  EXPECT_EQ(u32_at(12), 9u);
+  EXPECT_EQ(u32_at(16), wire.size() - net::kFrameHeaderBytes);
+  EXPECT_EQ(wire.size(), net::frame_wire_bytes(
+                             net::encode_exchange(golden_payload()).size()));
+
+  // Byte-exact against the committed fixture: any codec change that moves
+  // bytes must consciously regenerate tests/data/frame_golden.bin (and bump
+  // the wire version when the change is not additive).
+  std::ifstream in(std::string(BCC_TEST_DATA_DIR) + "/frame_golden.bin",
+                   std::ios::binary);
+  ASSERT_TRUE(in) << "missing tests/data/frame_golden.bin";
+  std::vector<std::uint8_t> fixture(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(wire, fixture);
+}
+
+TEST(NetFrame, ExchangeRoundtrip) {
+  const std::vector<std::uint8_t> wire = golden_frame_bytes();
+  const DecodeResult r = net::decode_frame(wire.data(), wire.size());
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(r.consumed, wire.size());
+  EXPECT_EQ(r.frame.type, FrameType::kExchange);
+  EXPECT_EQ(r.frame.src, 3u);
+  EXPECT_EQ(r.frame.dst, 9u);
+  EXPECT_EQ(r.frame.trace.trace_id, golden_trace().trace_id);
+  EXPECT_EQ(r.frame.trace.parent_span, golden_trace().parent_span);
+  EXPECT_EQ(r.frame.trace.hop, golden_trace().hop);
+
+  net::ExchangePayload p;
+  ASSERT_TRUE(
+      net::decode_exchange(r.frame.body.data(), r.frame.body.size(), p));
+  EXPECT_EQ(p.exchange, 42u);
+  EXPECT_EQ(p.prop_node, golden_payload().prop_node);
+  EXPECT_EQ(p.prop_crt, golden_payload().prop_crt);
+}
+
+TEST(NetFrame, EveryTruncationNeedsMore) {
+  const std::vector<std::uint8_t> wire = golden_frame_bytes();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const DecodeResult r = net::decode_frame(wire.data(), len);
+    EXPECT_EQ(r.status, DecodeStatus::kNeedMore) << "len=" << len;
+    EXPECT_EQ(r.consumed, 0u) << "len=" << len;
+  }
+}
+
+TEST(NetFrame, BadMagicIsFatalForTheStream) {
+  std::vector<std::uint8_t> wire = golden_frame_bytes();
+  wire[0] ^= 0xff;
+  const DecodeResult r = net::decode_frame(wire.data(), wire.size());
+  EXPECT_EQ(r.status, DecodeStatus::kBadMagic);
+}
+
+TEST(NetFrame, OversizedPayloadIsRejectedWithoutAllocating) {
+  std::vector<std::uint8_t> header = golden_frame_bytes();
+  header.resize(net::kFrameHeaderBytes);
+  const std::uint32_t huge = net::kMaxFramePayload + 1;
+  for (std::size_t i = 0; i < 4; ++i) {
+    header[16 + i] = static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  const DecodeResult r = net::decode_frame(header.data(), header.size());
+  EXPECT_EQ(r.status, DecodeStatus::kTooLarge);
+}
+
+TEST(NetFrame, UnknownMajorIsSkippedAndStreamResyncs) {
+  // [bad-major frame][good frame] in one buffer: the decoder must report
+  // kBadVersion with consumed == the full bad frame, so the next decode
+  // lands exactly on the good frame.
+  std::vector<std::uint8_t> bad = golden_frame_bytes();
+  bad[4] = net::kWireVersionMajor + 1;
+  const std::size_t bad_size = bad.size();
+  std::vector<std::uint8_t> stream = bad;
+  const std::vector<std::uint8_t> good = golden_frame_bytes();
+  stream.insert(stream.end(), good.begin(), good.end());
+
+  const DecodeResult r1 = net::decode_frame(stream.data(), stream.size());
+  ASSERT_EQ(r1.status, DecodeStatus::kBadVersion);
+  ASSERT_EQ(r1.consumed, bad_size);
+  const DecodeResult r2 = net::decode_frame(stream.data() + r1.consumed,
+                                            stream.size() - r1.consumed);
+  ASSERT_EQ(r2.status, DecodeStatus::kOk);
+  EXPECT_EQ(r2.frame.src, 3u);
+
+  // A truncated unknown-major frame still waits for bytes: version is only
+  // judged once the whole frame is buffered, keeping resync a plain skip.
+  const DecodeResult r3 = net::decode_frame(bad.data(), bad.size() - 1);
+  EXPECT_EQ(r3.status, DecodeStatus::kNeedMore);
+}
+
+TEST(NetFrame, CorruptExchangeBodiesAreRejected) {
+  const std::vector<std::uint8_t> body =
+      net::encode_exchange(golden_payload());
+  net::ExchangePayload p;
+  EXPECT_FALSE(net::decode_exchange(body.data(), body.size() - 1, p));
+  std::vector<std::uint8_t> padded = body;
+  padded.push_back(0);  // trailing garbage
+  EXPECT_FALSE(net::decode_exchange(padded.data(), padded.size(), p));
+  std::uint64_t v = 0;
+  EXPECT_FALSE(net::decode_u64(body.data(), 7, v));
+}
+
+// -- EventEngine support used by the real-time pump ------------------------
+
+TEST(NetEventEngine, NextEventTimeSkipsCancelledAndReportsDrained) {
+  EventEngine engine;
+  EXPECT_EQ(engine.next_event_time(), kNoNextEvent);
+  const TimerId early = engine.schedule_at(5.0, [] {});
+  engine.schedule_at(10.0, [] {});
+  EXPECT_DOUBLE_EQ(engine.next_event_time(), 5.0);
+  EXPECT_TRUE(engine.cancel(early));
+  EXPECT_DOUBLE_EQ(engine.next_event_time(), 10.0);
+  engine.run();
+  EXPECT_EQ(engine.next_event_time(), kNoNextEvent);
+}
+
+// -- SimTransport ----------------------------------------------------------
+
+TEST(SimTransport, DeliversDecodedFramesWithTrace) {
+  EventEngine engine;
+  net::SimTransport t(&engine, nullptr, [](NodeId, NodeId) { return 0.01; });
+  std::vector<Delivery> got;
+  t.set_handler([&](const Delivery& d) { got.push_back(d); });
+
+  const auto before = net::NetMetrics::global().frames_sent.value();
+  t.send(0, 1, FrameType::kExchange, net::encode_exchange(golden_payload()),
+         golden_trace());
+  t.send(1, 0, FrameType::kAck, net::encode_u64(42), {});
+  engine.run();
+
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].from, 0u);
+  EXPECT_EQ(got[0].to, 1u);
+  EXPECT_EQ(got[0].type, FrameType::kExchange);
+  EXPECT_EQ(got[0].trace.trace_id, golden_trace().trace_id);
+  net::ExchangePayload p;
+  ASSERT_TRUE(net::decode_exchange(got[0].body.data(), got[0].body.size(), p));
+  EXPECT_EQ(p.prop_node, golden_payload().prop_node);
+  EXPECT_EQ(got[1].type, FrameType::kAck);
+  EXPECT_EQ(net::NetMetrics::global().frames_sent.value(), before + 2);
+}
+
+TEST(SimTransport, FaultPlanReplayIsDeterministicPerSeed) {
+  // Same plan seed => identical delivery sequence (ids AND order), even with
+  // drops, duplicates and reordering jitter. This is the property the
+  // `ctest -L chaos` suite leans on after the Transport refactor.
+  const auto run_once = [](std::uint64_t seed) {
+    EventEngine engine;
+    FaultPlan plan(seed);
+    LinkFaults faults;
+    faults.drop_prob = 0.3;
+    faults.duplicate_prob = 0.3;
+    faults.jitter_max = 0.05;
+    plan.set_default_faults(faults);
+    net::SimTransport t(&engine, &plan,
+                        [](NodeId, NodeId) { return 0.01; });
+    std::vector<std::uint64_t> delivered;
+    t.set_handler([&](const Delivery& d) {
+      std::uint64_t v = 0;
+      ASSERT_TRUE(net::decode_u64(d.body.data(), d.body.size(), v));
+      delivered.push_back(v);
+    });
+    for (std::uint64_t i = 0; i < 60; ++i) {
+      t.send(0, 1, FrameType::kAck, net::encode_u64(i), {});
+    }
+    engine.run();
+    return delivered;
+  };
+  const auto a = run_once(7), b = run_once(7), c = run_once(8);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.size(), 120u);  // drops happened
+  EXPECT_NE(a, c);            // a different seed is a different schedule
+}
+
+// -- TcpTransport loopback -------------------------------------------------
+
+net::TcpTransportOptions fast_tcp_options(NodeId local,
+                                          std::uint16_t base_port) {
+  net::TcpTransportOptions o;
+  o.local = local;
+  o.peers.resize(2);
+  o.peers[0].port = base_port;
+  o.peers[1].port = static_cast<std::uint16_t>(base_port + 1);
+  o.heartbeat_period = 0.05;
+  o.heartbeat_timeout = 0.25;
+  o.connect_timeout = 0.3;
+  o.backoff_initial = 0.02;
+  o.backoff_max = 0.1;
+  o.seed = 17 + local;
+  return o;
+}
+
+/// Two transports (nodes 0 and 1) listening on a pid-derived, re-rolled
+/// port pair — safe under parallel ctest harnesses.
+struct TcpPair {
+  std::unique_ptr<net::TcpTransport> a, b;
+  std::uint16_t base_port = 0;
+
+  static TcpPair make(std::uint32_t salt) {
+    TcpPair pair;
+    for (std::uint32_t attempt = 0; attempt < 20; ++attempt) {
+      const std::uint32_t mix =
+          static_cast<std::uint32_t>(::getpid()) * 131u + salt * 7001u +
+          attempt * 977u;
+      pair.base_port = static_cast<std::uint16_t>(21000u + mix % 40000u);
+      pair.a = std::make_unique<net::TcpTransport>(
+          fast_tcp_options(0, pair.base_port));
+      pair.b = std::make_unique<net::TcpTransport>(
+          fast_tcp_options(1, pair.base_port));
+      if (pair.a->listen() && pair.b->listen()) return pair;
+    }
+    ADD_FAILURE() << "no free port pair after 20 attempts";
+    return pair;
+  }
+
+  bool pump_until(const std::function<bool()>& done, double seconds) {
+    const double until = wall_seconds() + seconds;
+    while (wall_seconds() < until) {
+      a->poll_once(0.003);
+      b->poll_once(0.003);
+      if (done()) return true;
+    }
+    return done();
+  }
+};
+
+TEST(TcpTransport, LoopbackDeliveryPreservesFrameAndTrace) {
+  TcpPair pair = TcpPair::make(1);
+  ASSERT_TRUE(pair.a && pair.b);
+  std::vector<Delivery> got;
+  pair.a->set_handler([](const Delivery&) {});
+  pair.b->set_handler([&](const Delivery& d) { got.push_back(d); });
+
+  pair.a->send(0, 1, FrameType::kExchange,
+               net::encode_exchange(golden_payload()), golden_trace());
+  ASSERT_TRUE(pair.pump_until([&] { return !got.empty(); }, 5.0));
+  EXPECT_EQ(got[0].from, 0u);
+  EXPECT_EQ(got[0].to, 1u);
+  EXPECT_EQ(got[0].trace.trace_id, golden_trace().trace_id);
+  EXPECT_EQ(got[0].trace.hop, golden_trace().hop);
+  net::ExchangePayload p;
+  ASSERT_TRUE(net::decode_exchange(got[0].body.data(), got[0].body.size(), p));
+  EXPECT_EQ(p.exchange, 42u);
+  EXPECT_TRUE(pair.a->connected_to(1));
+}
+
+TEST(TcpTransport, UnknownMajorFrameIsCountedAndStreamContinues) {
+  TcpPair pair = TcpPair::make(2);
+  ASSERT_TRUE(pair.a && pair.b);
+  std::vector<Delivery> got;
+  pair.b->set_handler([&](const Delivery& d) { got.push_back(d); });
+
+  // A raw client (a "future-major peer") writes one unknown-major frame
+  // followed by a current-version frame on the same connection.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(pair.base_port + 1));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::vector<std::uint8_t> stream = golden_frame_bytes();
+  stream[4] = net::kWireVersionMajor + 3;
+  const std::vector<std::uint8_t> good = net::encode_frame(
+      FrameType::kExchange, 0, 1, {}, net::encode_exchange(golden_payload()));
+  stream.insert(stream.end(), good.begin(), good.end());
+
+  const auto rejected_before =
+      net::NetMetrics::global().frames_rejected_version.value();
+  ASSERT_EQ(::send(fd, stream.data(), stream.size(), 0),
+            static_cast<ssize_t>(stream.size()));
+  ASSERT_TRUE(pair.pump_until([&] { return !got.empty(); }, 5.0));
+  ::close(fd);
+
+  // The bad frame was skipped and counted — never delivered, never fatal.
+  EXPECT_EQ(net::NetMetrics::global().frames_rejected_version.value(),
+            rejected_before + 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].from, 0u);
+}
+
+TEST(TcpTransport, ReconnectsAfterIsolationAndCountsIt) {
+  TcpPair pair = TcpPair::make(3);
+  ASSERT_TRUE(pair.a && pair.b);
+  std::atomic<std::size_t> delivered{0};
+  pair.b->set_handler([&](const Delivery&) { delivered.fetch_add(1); });
+  pair.a->set_handler([](const Delivery&) {});
+
+  pair.a->send(0, 1, FrameType::kAck, net::encode_u64(1), {});
+  ASSERT_TRUE(pair.pump_until([&] { return delivered.load() >= 1; }, 5.0));
+
+  const auto reconnects_before =
+      net::NetMetrics::global().reconnects.value();
+  // Full partition of node 1, long enough for node 0 to notice, then heal.
+  pair.b->set_isolated(true);
+  pair.pump_until([&] { return !pair.a->connected_to(1); }, 5.0);
+  EXPECT_FALSE(pair.a->connected_to(1));
+  pair.b->set_isolated(false);
+
+  pair.a->send(0, 1, FrameType::kAck, net::encode_u64(2), {});
+  ASSERT_TRUE(pair.pump_until([&] { return delivered.load() >= 2; }, 10.0));
+  EXPECT_GT(net::NetMetrics::global().reconnects.value(), reconnects_before);
+}
+
+TEST(TcpTransport, HalfOpenPeerIsDetectedByHeartbeatTimeout) {
+  TcpPair pair = TcpPair::make(4);
+  ASSERT_TRUE(pair.a && pair.b);
+  std::atomic<std::size_t> delivered{0};
+  pair.b->set_handler([&](const Delivery&) { delivered.fetch_add(1); });
+  pair.a->set_handler([](const Delivery&) {});
+  pair.a->send(0, 1, FrameType::kAck, net::encode_u64(1), {});
+  ASSERT_TRUE(pair.pump_until([&] { return delivered.load() >= 1; }, 5.0));
+
+  // Node 1 goes silent without closing anything (a SIGSTOPped process: the
+  // kernel still ACKs, the application never echoes heartbeats). Node 0
+  // must declare the connection half-open within the heartbeat timeout.
+  const auto half_open_before =
+      net::NetMetrics::global().half_open_detected.value();
+  const double until = wall_seconds() + 5.0;
+  while (wall_seconds() < until &&
+         net::NetMetrics::global().half_open_detected.value() ==
+             half_open_before) {
+    pair.a->poll_once(0.003);  // b deliberately not pumped
+  }
+  EXPECT_GT(net::NetMetrics::global().half_open_detected.value(),
+            half_open_before);
+}
+
+TEST(TcpTransport, BoundedQueueShedsNewestOnOverflow) {
+  // Peer 1's port has no listener: every send queues behind a dial that
+  // keeps failing into backoff. The queue must stay bounded and the
+  // overflow must be counted, newest-first.
+  net::TcpTransportOptions o = fast_tcp_options(0, 1);  // port 2 is closed
+  for (std::uint32_t attempt = 0; attempt < 20; ++attempt) {
+    const std::uint32_t mix = static_cast<std::uint32_t>(::getpid()) * 131u +
+                              5u * 7001u + attempt * 977u;
+    o.peers[0].port = static_cast<std::uint16_t>(21000u + mix % 40000u);
+    o.max_queue_bytes = 4096;
+    net::TcpTransport t(o);
+    if (!t.listen()) continue;
+    t.set_handler([](const Delivery&) {});
+    const auto dropped_before =
+        net::NetMetrics::global().frames_dropped.value();
+    const std::vector<std::uint8_t> body =
+        net::encode_exchange(golden_payload());
+    for (int i = 0; i < 200; ++i) {
+      t.send(0, 1, FrameType::kExchange, body, {});
+      t.poll_once(0.0);
+    }
+    EXPECT_GT(net::NetMetrics::global().frames_dropped.value(),
+              dropped_before);
+    EXPECT_LE(t.queued_bytes(1), o.max_queue_bytes);
+    return;
+  }
+  ADD_FAILURE() << "no free port after 20 attempts";
+}
+
+// -- Cancellation vs transport-driven retries (TSan target) ----------------
+
+TEST(TransportRace, TimerCancellationRacesTransportRetries) {
+  // Two real pump threads, each owning its node's EventEngine + transport
+  // (the ProcessNode contract: protocol state is thread-confined). What IS
+  // shared across the threads — the global bcc.net.* instruments, the codec,
+  // the sockets — must stay race-free while retry timers fire, get
+  // cancelled, and re-arm against live transport traffic. tools/sanitize.sh
+  // reruns this under TSan.
+  TcpPair pair = TcpPair::make(6);
+  ASSERT_TRUE(pair.a && pair.b);
+  std::atomic<std::size_t> delivered{0};
+
+  const auto worker = [&](net::TcpTransport& self, NodeId me, NodeId peer,
+                          std::uint64_t seed) {
+    EventEngine engine;
+    Rng rng(seed);
+    self.set_handler([&](const Delivery&) { delivered.fetch_add(1); });
+    const double t0 = wall_seconds();
+    TimerId pending = kNoTimer;
+    std::uint64_t sent = 0;
+    std::function<void()> arm = [&] {
+      pending = engine.schedule_after(0.004, [&] {
+        self.send(me, peer, FrameType::kAck, net::encode_u64(++sent), {});
+        arm();
+      });
+    };
+    arm();
+    while (wall_seconds() - t0 < 0.6) {
+      engine.run_until(wall_seconds() - t0);
+      // The race under test: cancel the pending retry while deliveries are
+      // in flight, then re-arm — the pattern ack timeouts follow when a
+      // late ack beats the retry timer.
+      if (rng.below(4) == 0 && engine.cancel(pending)) arm();
+      self.poll_once(0.002);
+    }
+  };
+
+  std::thread ta([&] { worker(*pair.a, 0, 1, 11); });
+  std::thread tb([&] { worker(*pair.b, 1, 0, 22); });
+  ta.join();
+  tb.join();
+  EXPECT_GT(delivered.load(), 0u);
+}
+
+}  // namespace
+}  // namespace bcc

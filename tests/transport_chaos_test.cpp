@@ -1,0 +1,87 @@
+// Multi-process honest-chaos suite (`ctest -L transport`): spawns a real
+// 5-process `bcc node` cluster over TCP loopback and drives the canned
+// supervisor scenarios — convergence to the exact sync fixpoint, kill -9 of
+// a 2-node minority with cold rejoin, a listener-close + isolation
+// partition with half-open detection, a SIGSTOP/SIGCONT stall, and a
+// SIGTERM drain with metrics flushes.
+//
+// The bcc binary is located next to this test binary's build tree
+// (<exe_dir>/../tools/bcc); BCC_BIN overrides. BCC_CHAOS_SEEDS widens the
+// converge sweep for nightly runs (same knob the in-sim chaos suite uses).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "net/supervisor.h"
+
+namespace bcc {
+namespace {
+
+std::string bcc_binary() {
+  if (const char* env = std::getenv("BCC_BIN")) return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  std::string exe(buf, static_cast<std::size_t>(n));
+  const std::size_t slash = exe.rfind('/');
+  if (slash == std::string::npos) return "";
+  return exe.substr(0, slash) + "/../tools/bcc";
+}
+
+net::SupervisorOptions make_options(std::uint64_t seed) {
+  net::SupervisorOptions o;
+  o.n = 5;
+  o.world_seed = seed;
+  o.bcc_bin = bcc_binary();
+  o.converge_deadline = 60.0;
+  return o;
+}
+
+void run_named(const std::string& name, std::uint64_t seed,
+               const std::string& metrics_dir = "") {
+  net::SupervisorOptions o = make_options(seed);
+  o.metrics_dir = metrics_dir;
+  const std::string failure = net::run_scenario(name, o);
+  EXPECT_EQ(failure, "") << "scenario " << name << " seed " << seed;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+TEST(TransportChaos, FiveProcessClusterConvergesToTheSyncFixpoint) {
+  const int seeds = env_int("BCC_CHAOS_SEEDS", 1);
+  for (int s = 0; s < seeds; ++s) {
+    run_named("converge", 1 + static_cast<std::uint64_t>(s));
+  }
+}
+
+TEST(TransportChaos, KilledMinorityRejoinsColdAndReconverges) {
+  run_named("kill-rejoin", 1);
+}
+
+TEST(TransportChaos, ListenerClosePartitionHealsWithReconnects) {
+  // metrics_dir turns on the drain-and-count step: every node must exit 0
+  // on SIGTERM and the cluster must have counted bcc.net.reconnects > 0.
+  const std::string dir =
+      ::testing::TempDir() + "transport_chaos_partition_metrics";
+  ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
+  run_named("partition-heal", 1, dir);
+}
+
+TEST(TransportChaos, StalledNodeResumesAndReconverges) {
+  run_named("stall-resume", 1);
+}
+
+TEST(TransportChaos, SigtermDrainFlushesMetricsAndExitsZero) {
+  const std::string dir = ::testing::TempDir() + "transport_chaos_drain_metrics";
+  ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
+  run_named("drain", 1, dir);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -25,6 +25,19 @@
 //                  run the asynchronous gossip stack over a lossy network
 //                  with crash/recover faults and check it still reaches the
 //                  synchronous ground-truth fixpoint
+//   bcc node     --id I --nodes N --base-port P [--seed S --n-cut C
+//                  --period SEC --host ADDR --run-for SEC --metrics-out FILE
+//                  --state-out FILE]
+//                  run ONE overlay node as a real OS process: node i listens
+//                  on base-port+i and gossips with its anchor-tree neighbors
+//                  over TCP (reconnect/backoff, heartbeats, half-open
+//                  detection). Prints "ready" once listening ("bind-failed"
+//                  + exit 3 on port collision); stdin accepts the control
+//                  verbs dump/close-listener/open-listener/isolate/
+//                  deisolate/quit. SIGTERM/SIGINT drain and exit 0. Spawn 5
+//                  of these (same --seed) and they converge to the exact
+//                  fixpoint — tools/proc_supervisor automates the chaos
+//                  version of that experiment
 //   bcc metrics  [--data DIR/NAME --queries N --k K --format prom|json|jsonl]
 //                  run a small end-to-end pipeline (synthetic dataset when no
 //                  --data) and print the global metrics registry
@@ -47,15 +60,20 @@
 // `--metrics-out FILE` writes the global registry as one JSON object.
 // Any dataset can be a user-provided measurement matrix: put it at
 // DIR/NAME.bw.csv (square Mbps CSV, zero diagonal; asymmetry is averaged).
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "bcc.h"
+#include "common/shutdown.h"
 #include "exp/fig3.h"
+#include "net/node_runtime.h"
 
 namespace {
 
@@ -221,7 +239,19 @@ int cmd_query(int argc, const char* const* argv) {
       static_cast<NodeId>(start), static_cast<std::size_t>(k), b);
   QueryResult r;
   const int times = std::max(1, static_cast<int>(repeat));
-  for (int i = 0; i < times; ++i) r = service.submit(request);
+  // SIGINT/SIGTERM drain: stop submitting, flush metrics, exit 0.
+  install_shutdown_handlers();
+  int completed = 0;
+  for (int i = 0; i < times && !shutdown_requested(); ++i) {
+    r = service.submit(request);
+    ++completed;
+  }
+  if (shutdown_requested()) {
+    std::printf("interrupted — drained after %d/%d queries\n", completed,
+                times);
+    maybe_write_metrics(metrics_out);
+    return 0;
+  }
 
   // A shed response can still carry a well-formed stale answer from the
   // last converged snapshot — report it, flagged, instead of failing.
@@ -792,11 +822,52 @@ int cmd_preprocess(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_node(int argc, const char* const* argv) {
+  Options opts("bcc node", "run one overlay node as a real OS process");
+  auto& id = opts.add_int("id", 0, "this node's id (0..nodes-1)");
+  auto& nodes = opts.add_int("nodes", 5, "cluster size (process count)");
+  auto& base_port = opts.add_int("base-port", 23800,
+                                 "node i listens on base-port + i");
+  auto& host = opts.add_string("host", "127.0.0.1", "bind/dial address");
+  auto& seed = opts.add_int("seed", 1,
+                            "shared world seed (same in every process)");
+  auto& n_cut = opts.add_int("n-cut", 5, "aggregate size limit");
+  auto& period = opts.add_double("period", 0.05,
+                                 "gossip period in wall seconds");
+  auto& run_for = opts.add_double(
+      "run-for", 0.0, "exit after this many seconds (0 = until quit/signal)");
+  auto& metrics_out = opts.add_string("metrics-out", "",
+                                      "write the metrics registry here (JSON)");
+  auto& state_out = opts.add_string("state-out", "",
+                                    "write the final state dump here");
+  opts.parse(argc, argv);
+  install_shutdown_handlers();
+  net::ProcessNodeOptions po;
+  po.id = static_cast<NodeId>(id);
+  po.n_nodes = static_cast<std::size_t>(nodes);
+  po.world_seed = static_cast<std::uint64_t>(seed);
+  po.n_cut = static_cast<std::size_t>(n_cut);
+  po.gossip_period = period;
+  po.base_port = static_cast<std::uint16_t>(base_port);
+  po.host = host;
+  po.run_for = run_for;
+  po.metrics_out = metrics_out;
+  po.state_out = state_out;
+  net::ProcessNode node(po);
+  if (!node.bind()) {
+    // The supervisor watches for exactly this line to re-roll its port base.
+    std::printf("bind-failed\n");
+    std::fflush(stdout);
+    return 3;
+  }
+  return node.run(STDIN_FILENO, std::cout);
+}
+
 void usage() {
   std::fputs(
       "bcc — bandwidth-constrained clustering in tree metric spaces\n"
       "usage: bcc <gen|preprocess|embed|treeness|query|eval|chaos|metrics|"
-      "trace|health> [--help] [options]\n",
+      "trace|health|node> [--help] [options]\n",
       stderr);
 }
 
@@ -822,6 +893,7 @@ int main(int argc, char** argv) {
     if (cmd == "metrics") return cmd_metrics(sub_argc, sub_argv);
     if (cmd == "trace") return cmd_trace(sub_argc, sub_argv);
     if (cmd == "health") return cmd_health(sub_argc, sub_argv);
+    if (cmd == "node") return cmd_node(sub_argc, sub_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bcc %s: %s\n", cmd.c_str(), e.what());
     return 1;

@@ -9,18 +9,21 @@
 # quadratic loop), not 10% noise. Tight-threshold comparisons are what
 # `bench_diff --threshold 0.10` on two full, quiet-machine runs is for.
 #
-#   bench_smoke.sh MICRO_BENCH SERVE_BENCH BENCH_DIFF MICRO_BASELINE SERVE_BASELINE
+#   bench_smoke.sh MICRO_BENCH SERVE_BENCH NET_BENCH BENCH_DIFF \
+#                  MICRO_BASELINE SERVE_BASELINE NET_BASELINE
 set -euo pipefail
 
-if [ "$#" -ne 5 ]; then
-  echo "usage: bench_smoke.sh MICRO_BENCH SERVE_BENCH BENCH_DIFF MICRO_BASELINE SERVE_BASELINE" >&2
+if [ "$#" -ne 7 ]; then
+  echo "usage: bench_smoke.sh MICRO_BENCH SERVE_BENCH NET_BENCH BENCH_DIFF MICRO_BASELINE SERVE_BASELINE NET_BASELINE" >&2
   exit 1
 fi
 micro_bench=$1
 serve_bench=$2
-bench_diff=$3
-micro_baseline=$4
-serve_baseline=$5
+net_bench=$3
+bench_diff=$4
+micro_baseline=$5
+serve_baseline=$6
+net_baseline=$7
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -45,5 +48,17 @@ BCC_BENCH_OUT="$workdir" "$serve_bench" \
 "$bench_diff" \
   --baseline "$serve_baseline" \
   --candidate "$workdir/BENCH_serve.json" \
+  --metrics '\.cpu_ns$' \
+  --threshold 4.0
+
+# Transport subset: codec + loopback throughput (BM_TcpRoundTrip is
+# full-run only — its wall time lives in poll(2) and cpu_ns jitters).
+BCC_BENCH_OUT="$workdir" "$net_bench" \
+  --benchmark_filter='BM_FrameEncode|BM_FrameDecode|BM_TransportThroughput' \
+  --benchmark_min_time=0.05 >/dev/null
+
+"$bench_diff" \
+  --baseline "$net_baseline" \
+  --candidate "$workdir/BENCH_net.json" \
   --metrics '\.cpu_ns$' \
   --threshold 4.0

@@ -1,0 +1,66 @@
+// proc_supervisor — CLI front end for the multi-process chaos harness
+// (net/supervisor.h). Spawns an N-process `bcc node` cluster over real
+// sockets and runs one named scenario:
+//
+//   proc_supervisor --bcc PATH/TO/bcc --scenario converge|kill-rejoin|
+//                   partition-heal|stall-resume|drain|all
+//                   [--nodes N --seed S --deadline SEC --metrics-dir DIR -v]
+//
+// Exit 0 when the scenario's assertions hold (survivors answered, exact
+// sync fixpoint reached, drains exited 0, ...), 1 with a message otherwise.
+// The transport_chaos_test gtest runs these same scenarios; this binary is
+// the interactive/demo entry point (see README "multi-process quickstart").
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "net/supervisor.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  Options opts("proc_supervisor", "multi-process chaos harness driver");
+  auto& bcc_bin = opts.add_string("bcc", "", "path to the bcc binary");
+  auto& scenario = opts.add_string("scenario", "converge",
+                                   "scenario name, or 'all'");
+  auto& nodes = opts.add_int("nodes", 5, "cluster size (process count)");
+  auto& seed = opts.add_int("seed", 1, "shared world seed");
+  auto& deadline = opts.add_double("deadline", 45.0,
+                                   "seconds allowed to reach the fixpoint");
+  auto& metrics_dir = opts.add_string(
+      "metrics-dir", "", "directory for per-node metrics flushes");
+  auto& verbose = opts.add_bool("verbose", false, "narrate child lifecycle");
+  opts.parse(argc, argv);
+  if (bcc_bin.empty()) {
+    std::fprintf(stderr, "proc_supervisor: --bcc PATH is required\n");
+    return 1;
+  }
+
+  net::SupervisorOptions so;
+  so.n = static_cast<std::size_t>(nodes);
+  so.world_seed = static_cast<std::uint64_t>(seed);
+  so.bcc_bin = bcc_bin;
+  so.converge_deadline = deadline;
+  so.metrics_dir = metrics_dir;
+  so.verbose = verbose;
+
+  std::vector<std::string> names;
+  if (scenario == "all") {
+    names = {"converge", "kill-rejoin", "partition-heal", "stall-resume",
+             "drain"};
+  } else {
+    names = {scenario};
+  }
+  for (const std::string& name : names) {
+    std::printf("== scenario %s (n=%zu seed=%llu)\n", name.c_str(), so.n,
+                static_cast<unsigned long long>(so.world_seed));
+    std::fflush(stdout);
+    const std::string failure = net::run_scenario(name, so);
+    if (!failure.empty()) {
+      std::fprintf(stderr, "FAIL %s\n", failure.c_str());
+      return 1;
+    }
+    std::printf("ok %s\n", name.c_str());
+  }
+  return 0;
+}

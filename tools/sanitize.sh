@@ -9,7 +9,10 @@
 #     suite swaps degraded snapshots mid-serve, the QueryStats seqlock test
 #     tears at snapshots under concurrent record()s, and the obs suite
 #     hammers the striped counters / histogram buckets / tracer ring from
-#     many threads — exactly the code TSan exists for;
+#     many threads — exactly the code TSan exists for; the Transport/Net
+#     tests pump two TcpTransports from separate threads while EventEngine
+#     timer cancellation races transport-driven retries (the shared surface
+#     is the global bcc.net.* instruments and the frame codec);
 #   * AddressSanitizer + UBSan over the full suite, chaos + obs suites
 #     included (fault injection exercises cancellation/retry paths that
 #     juggle timer lifetimes — prime use-after-free territory).
@@ -28,15 +31,15 @@ jobs="$(nproc)"
 
 run_tsan() {
   cmake -B build-tsan -S . -DBCC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "${jobs}" --target bcc_tests bcc_chaos_tests bcc_obs_tests
+  cmake --build build-tsan -j "${jobs}" --target bcc_tests bcc_chaos_tests bcc_obs_tests bcc_transport_tests bcc_cli
   ctest --test-dir build-tsan \
-        -R 'QueryService|QueryStatusApi|QueryStats|QueryShard|Epoch|Chaos|Obs' \
+        -R 'QueryService|QueryStatusApi|QueryStats|QueryShard|Epoch|Chaos|Obs|Transport|Net' \
         --output-on-failure -j "${jobs}"
 }
 
 run_asan() {
   cmake -B build-asan -S . -DBCC_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j "${jobs}" --target bcc_tests bcc_chaos_tests bcc_obs_tests
+  cmake --build build-asan -j "${jobs}" --target bcc_tests bcc_chaos_tests bcc_obs_tests bcc_transport_tests bcc_cli
   ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 }
 
