@@ -3,8 +3,37 @@
 #include <algorithm>
 
 #include "core/find_cluster.h"
+#include "obs/metrics.h"
 
 namespace bcc {
+
+namespace {
+
+// Delta-path evidence counters: how many per-direction messages each cycle
+// recomputed versus proved unchanged and reused (see file comment in the
+// header). Registered once; instance-level totals are on the protocols.
+obs::Counter& g_prop_node_recomputed() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.core.prop_node_recomputed");
+  return c;
+}
+obs::Counter& g_prop_node_reused() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.core.prop_node_reused");
+  return c;
+}
+obs::Counter& g_prop_crt_recomputed() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.core.prop_crt_recomputed");
+  return c;
+}
+obs::Counter& g_prop_crt_reused() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.core.prop_crt_reused");
+  return c;
+}
+
+}  // namespace
 
 OverlayNodeMap make_overlay_nodes(const AnchorTree& overlay) {
   OverlayNodeMap nodes;
@@ -86,15 +115,70 @@ std::vector<NodeId> NodeInfoAggregation::propagate(NodeId m, NodeId x) const {
   return compute_prop_node(*nodes_, *predicted_, n_cut_, m, x);
 }
 
+void NodeInfoAggregation::reset_convergence() {
+  converged_ = false;
+  delta_mode_ = false;
+  delta_first_cycle_ = false;
+  dirty_.clear();
+}
+
+void NodeInfoAggregation::mark_dirty(std::span<const NodeId> repaired) {
+  converged_ = false;
+  delta_mode_ = true;
+  delta_first_cycle_ = true;
+  dirty_.insert(repaired.begin(), repaired.end());
+  // changed_ is kept: if the previous run stopped mid-iteration, those
+  // pending table changes still force recomputation of dependent messages.
+}
+
+void NodeInfoAggregation::mark_changed(std::span<const NodeId> hosts) {
+  converged_ = false;
+  changed_.insert(hosts.begin(), hosts.end());
+}
+
+bool NodeInfoAggregation::message_dirty(NodeId m, NodeId x) const {
+  // The sender's committed tables changed at the last commit: anything it
+  // sends may differ.
+  if (changed_.count(m)) return true;
+  if (!delta_first_cycle_) return false;
+  // First cycle after mark_dirty: predicted distances moved on pairs
+  // touching the repaired set. The message sorts candidates by distance to
+  // x, so it can only change if x itself, the sender, or one of the
+  // sender's current candidates was repaired.
+  if (dirty_.count(x) || dirty_.count(m)) return true;
+  const OverlayNode& sender = nodes_->at(m);
+  for (NodeId v : sender.neighbors) {
+    if (v == x) continue;
+    auto it = sender.aggr_node.find(v);
+    if (it == sender.aggr_node.end()) continue;
+    for (NodeId c : it->second) {
+      if (dirty_.count(c)) return true;
+    }
+  }
+  return false;
+}
+
 void NodeInfoAggregation::execute_cycle(std::size_t /*cycle*/) {
   // Compute all messages from committed state, then commit (synchronous).
+  // In delta mode, messages whose inputs provably did not change are not
+  // recomputed — their stored value at the receiver already equals what a
+  // recomputation would produce, so skipping them leaves the iteration (and
+  // therefore the fixpoint) bit-identical while only the repaired subtree
+  // pays.
   std::vector<std::pair<NodeId, std::unordered_map<NodeId, std::vector<NodeId>>>>
       staged;
   staged.reserve(nodes_->size());
   for (auto& [x, node] : *nodes_) {
     std::unordered_map<NodeId, std::vector<NodeId>> incoming;
     for (NodeId m : node.neighbors) {
+      if (delta_mode_ && node.aggr_node.count(m) && !message_dirty(m, x)) {
+        ++reused_;
+        g_prop_node_reused().add(1);
+        continue;
+      }
       auto prop = propagate(m, x);
+      ++recomputed_;
+      g_prop_node_recomputed().add(1);
       if (metrics_) {
         metrics_->record("aggr_node", prop.size() * sizeof(NodeId));
       }
@@ -103,13 +187,23 @@ void NodeInfoAggregation::execute_cycle(std::size_t /*cycle*/) {
     staged.emplace_back(x, std::move(incoming));
   }
   bool changed = false;
+  changed_.clear();
   for (auto& [x, incoming] : staged) {
     OverlayNode& node = nodes_->at(x);
-    if (node.aggr_node != incoming) {
-      node.aggr_node = std::move(incoming);
-      changed = true;
+    for (auto& [m, prop] : incoming) {
+      auto it = node.aggr_node.find(m);
+      if (it == node.aggr_node.end()) {
+        node.aggr_node.emplace(m, std::move(prop));
+        changed = true;
+        changed_.insert(x);
+      } else if (it->second != prop) {
+        it->second = std::move(prop);
+        changed = true;
+        changed_.insert(x);
+      }
     }
   }
+  delta_first_cycle_ = false;
   converged_ = !changed;
 }
 
@@ -125,7 +219,42 @@ CrtAggregation::CrtAggregation(OverlayNodeMap* nodes,
   BCC_REQUIRE(classes_->size() >= 1);
 }
 
-void CrtAggregation::refresh_self_entries() {
+void CrtAggregation::reset_convergence() {
+  converged_ = false;
+  delta_mode_ = false;
+  self_cache_.clear();
+}
+
+void CrtAggregation::mark_dirty(std::span<const NodeId> repaired) {
+  converged_ = false;
+  delta_mode_ = true;
+  // A cached self entry is only valid while every pair inside its clustering
+  // space kept its distance; any repaired member invalidates it.
+  std::unordered_set<NodeId> repaired_set(repaired.begin(), repaired.end());
+  for (auto it = self_cache_.begin(); it != self_cache_.end();) {
+    bool stale = repaired_set.count(it->first) > 0;
+    if (!stale) {
+      for (NodeId member : it->second.first) {
+        if (repaired_set.count(member)) {
+          stale = true;
+          break;
+        }
+      }
+    }
+    it = stale ? self_cache_.erase(it) : ++it;
+  }
+}
+
+void CrtAggregation::mark_changed(std::span<const NodeId> hosts) {
+  converged_ = false;
+  incoming_changed_.insert(hosts.begin(), hosts.end());
+  // A pruned direction shrinks the node's clustering space, which the
+  // space-equality check in refresh_self_entries already detects — no cache
+  // eviction needed here.
+}
+
+void CrtAggregation::refresh_self_entries(
+    std::unordered_set<NodeId>* self_changed) {
   for (auto& [x, node] : *nodes_) {
     auto space = node.clustering_space();
     auto cached = self_cache_.find(x);
@@ -134,6 +263,10 @@ void CrtAggregation::refresh_self_entries() {
       continue;
     }
     auto sizes = compute_self_crt(*nodes_, *predicted_, *classes_, x);
+    auto it = node.aggr_crt.find(x);
+    if (it == node.aggr_crt.end() || it->second != sizes) {
+      if (self_changed) self_changed->insert(x);
+    }
     node.aggr_crt[x] = sizes;
     self_cache_[x] = {std::move(space), std::move(sizes)};
   }
@@ -146,19 +279,13 @@ std::vector<std::size_t> CrtAggregation::propagate(NodeId m, NodeId x) const {
 void CrtAggregation::execute_cycle(std::size_t /*cycle*/) {
   // Self entries reflect the *current* clustering spaces (Algorithm 3 line 8
   // runs before propagation each period).
-  std::vector<std::pair<NodeId, std::vector<std::size_t>>> old_self;
-  old_self.reserve(nodes_->size());
-  for (auto& [x, node] : *nodes_) {
-    auto it = node.aggr_crt.find(x);
-    old_self.emplace_back(
-        x, it == node.aggr_crt.end() ? std::vector<std::size_t>{} : it->second);
-  }
-  refresh_self_entries();
-  bool changed = false;
-  for (auto& [x, before] : old_self) {
-    if (nodes_->at(x).aggr_crt.at(x) != before) changed = true;
-  }
+  std::unordered_set<NodeId> self_changed;
+  refresh_self_entries(&self_changed);
+  bool changed = !self_changed.empty();
 
+  // A propCRT from m only depends on m's own aggr_crt entries, so in delta
+  // mode it is recomputed only when m's self entry changed this cycle or
+  // m's incoming entries changed at the last commit.
   std::vector<
       std::pair<NodeId, std::unordered_map<NodeId, std::vector<std::size_t>>>>
       staged;
@@ -166,7 +293,15 @@ void CrtAggregation::execute_cycle(std::size_t /*cycle*/) {
   for (auto& [x, node] : *nodes_) {
     std::unordered_map<NodeId, std::vector<std::size_t>> incoming;
     for (NodeId m : node.neighbors) {
+      if (delta_mode_ && node.aggr_crt.count(m) && !self_changed.count(m) &&
+          !incoming_changed_.count(m)) {
+        ++reused_;
+        g_prop_crt_reused().add(1);
+        continue;
+      }
       auto prop = propagate(m, x);
+      ++recomputed_;
+      g_prop_crt_recomputed().add(1);
       if (metrics_) {
         metrics_->record("aggr_crt", prop.size() * sizeof(std::size_t));
       }
@@ -174,6 +309,7 @@ void CrtAggregation::execute_cycle(std::size_t /*cycle*/) {
     }
     staged.emplace_back(x, std::move(incoming));
   }
+  incoming_changed_.clear();
   for (auto& [x, incoming] : staged) {
     OverlayNode& node = nodes_->at(x);
     for (auto& [m, crt] : incoming) {
@@ -181,6 +317,7 @@ void CrtAggregation::execute_cycle(std::size_t /*cycle*/) {
       if (it == node.aggr_crt.end() || it->second != crt) {
         node.aggr_crt[m] = std::move(crt);
         changed = true;
+        incoming_changed_.insert(x);
       }
     }
   }

@@ -18,9 +18,24 @@
 // cycle-(t−1) state, matching PeerSim's synchronous cycle semantics. Each
 // converges once a full cycle changes nothing; information needs at most
 // (overlay diameter) cycles to cross the tree.
+//
+// Incremental repair (mark_dirty): when only a few predicted distances
+// change — FrameworkMaintainer::refresh_dirty repaired a small host set R —
+// re-running from the old fixpoint instead of from scratch converges to the
+// *same* fixpoint (per-direction message dependencies follow simple tree
+// paths away from the receiver, so the dependency graph is acyclic and the
+// fixpoint is unique for a given tree + distances). The delta path exploits
+// this by memoizing messages: a message m→x is only recomputed when its
+// inputs could have changed — its sender's tables changed last cycle, or
+// (on the first cycle after mark_dirty) the pair's distances could have
+// moved because x, m, or one of m's candidates is in R. Everything else is
+// provably identical to a recomputation and is reused, so a disturbance
+// touching k of n hosts re-gossips only the affected subtree.
 #pragma once
 
+#include <span>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/bandwidth_classes.h"
 #include "core/overlay_node.h"
@@ -66,19 +81,48 @@ class NodeInfoAggregation : public Protocol {
   bool converged() const override { return converged_; }
   std::string name() const override { return "DynAggrNodeInfo"; }
 
-  /// Forgets the fixpoint flag so gossip resumes (dynamic clustering).
-  void reset_convergence() { converged_ = false; }
+  /// Forgets the fixpoint flag so gossip resumes with every message
+  /// recomputed (dynamic clustering, full refresh).
+  void reset_convergence();
+
+  /// Resumes gossip in delta mode after an incremental repair: only
+  /// messages whose inputs could have changed are recomputed (see file
+  /// comment). Contract: every predicted-distance pair that changed since
+  /// the last fixpoint has at least one end in `repaired`. Repeated calls
+  /// before the next run accumulate.
+  void mark_dirty(std::span<const NodeId> repaired);
+
+  /// Records that `hosts` had their tables changed outside the protocol —
+  /// an overlay resync pruned directions after a tree repair — so their
+  /// outgoing messages are recomputed on the next cycle even in delta mode.
+  void mark_changed(std::span<const NodeId> hosts);
+
+  /// Messages recomputed / reused since construction (the delta path's
+  /// work-saving evidence; full cycles only ever recompute).
+  std::size_t messages_recomputed() const { return recomputed_; }
+  std::size_t messages_reused() const { return reused_; }
 
   /// The message m propagates to its neighbor x this cycle (from committed
   /// state). Exposed for unit tests.
   std::vector<NodeId> propagate(NodeId m, NodeId x) const;
 
  private:
+  /// True when the stored value of message m→x may differ from a fresh
+  /// recomputation (delta mode only).
+  bool message_dirty(NodeId m, NodeId x) const;
+
   OverlayNodeMap* nodes_;
   const DistanceMatrix* predicted_;
   std::size_t n_cut_;
   MessageMetrics* metrics_;
   bool converged_ = false;
+  bool delta_mode_ = false;
+  bool delta_first_cycle_ = false;
+  std::unordered_set<NodeId> dirty_;    // repaired hosts (predicted changed)
+  std::unordered_set<NodeId> changed_;  // nodes whose tables changed at the
+                                        // last commit
+  std::size_t recomputed_ = 0;
+  std::size_t reused_ = 0;
 };
 
 /// Algorithm 3 as a synchronous protocol. See file comment.
@@ -93,23 +137,41 @@ class CrtAggregation : public Protocol {
 
   /// Forgets the fixpoint flag and the self-entry cache so gossip resumes
   /// against possibly-changed predicted distances (dynamic clustering).
-  void reset_convergence() {
-    converged_ = false;
-    self_cache_.clear();
-  }
+  void reset_convergence();
+
+  /// Resumes gossip in delta mode after an incremental repair: self-entry
+  /// cache entries whose clustering space intersects `repaired` are
+  /// invalidated (their internal distances may have moved); messages are
+  /// recomputed only when the sender's self entry or incoming tables
+  /// changed. Same contract as NodeInfoAggregation::mark_dirty.
+  void mark_dirty(std::span<const NodeId> repaired);
+
+  /// See NodeInfoAggregation::mark_changed.
+  void mark_changed(std::span<const NodeId> hosts);
+
+  std::size_t messages_recomputed() const { return recomputed_; }
+  std::size_t messages_reused() const { return reused_; }
 
   /// The CRT vector m propagates to neighbor x this cycle (self entry must
   /// be current). Exposed for unit tests.
   std::vector<std::size_t> propagate(NodeId m, NodeId x) const;
 
  private:
-  void refresh_self_entries();
+  /// Refreshes every node's self CRT entry; fills `self_changed` with the
+  /// nodes whose entry differs from the previous cycle.
+  void refresh_self_entries(std::unordered_set<NodeId>* self_changed);
 
   OverlayNodeMap* nodes_;
   const DistanceMatrix* predicted_;
   const BandwidthClasses* classes_;
   MessageMetrics* metrics_;
   bool converged_ = false;
+  bool delta_mode_ = false;
+  /// Nodes whose aggr_crt gained changed *incoming* entries at the last
+  /// commit (self changes are tracked per cycle in refresh_self_entries).
+  std::unordered_set<NodeId> incoming_changed_;
+  std::size_t recomputed_ = 0;
+  std::size_t reused_ = 0;
   /// Memoizes each node's (clustering space -> per-class max sizes): the
   /// O(|V_x|^3) Algorithm 1 pass only reruns when the space changed, which
   /// stops happening once Algorithm 2 converges.

@@ -273,6 +273,24 @@ std::size_t AsyncOverlay::suspected_count() const {
   return count;
 }
 
+std::size_t AsyncOverlay::trigger_gossip(std::span<const NodeId> hosts) {
+  BCC_REQUIRE(started_ && engine_ != nullptr);
+  std::size_t scheduled = 0;
+  for (NodeId h : hosts) {
+    if (!nodes_.count(h) || down_.count(h)) continue;
+    // Cancelling inside the handler (not here) keeps the chain single even
+    // when the same host is triggered twice before the engine runs: each
+    // firing cancels whatever timer the previous one armed.
+    engine_->schedule_after(0.0, [this, h] {
+      if (!nodes_.count(h) || down_.count(h)) return;
+      cancel_timer(h);
+      gossip(h);
+    });
+    ++scheduled;
+  }
+  return scheduled;
+}
+
 void AsyncOverlay::resync_membership() {
   BCC_REQUIRE(started_);
   const std::vector<NodeId> members = overlay_->bfs_order();

@@ -121,6 +121,15 @@ class AsyncOverlay {
   /// join/leave churn; see file comment.
   void resync_membership();
 
+  /// Schedules an immediate off-period gossip round for each given host
+  /// (unknown and down hosts are skipped; each round re-arms the node's
+  /// regular timer, so the per-node gossip chain stays single). Callers that
+  /// just repaired distances or membership — the streaming re-clustering
+  /// pipeline after a FrameworkMaintainer::refresh_dirty — use this to
+  /// propagate the repair now instead of waiting out the gossip period.
+  /// Returns the number of rounds scheduled.
+  std::size_t trigger_gossip(std::span<const NodeId> hosts);
+
   // -- Introspection.
   const OverlayNodeMap& nodes() const { return nodes_; }
   std::size_t gossip_rounds() const { return rounds_; }

@@ -1,6 +1,8 @@
 #include "core/overlay_node.h"
 
 #include <algorithm>
+#include <map>
+#include <sstream>
 
 namespace bcc {
 
@@ -12,6 +14,29 @@ std::vector<NodeId> OverlayNode::clustering_space() const {
   std::sort(space.begin(), space.end());
   space.erase(std::unique(space.begin(), space.end()), space.end());
   return space;
+}
+
+std::string canonical_node_state(NodeId id, const OverlayNode& node) {
+  std::ostringstream out;
+  out << "state-begin " << id << "\n";
+  std::map<NodeId, std::vector<std::size_t>> crt(node.aggr_crt.begin(),
+                                                 node.aggr_crt.end());
+  for (const auto& [m, sizes] : crt) {
+    out << "crt " << m << " :";
+    for (std::size_t s : sizes) out << ' ' << s;
+    out << "\n";
+  }
+  std::map<NodeId, std::vector<NodeId>> aggr(node.aggr_node.begin(),
+                                             node.aggr_node.end());
+  for (const auto& [m, ids] : aggr) {
+    std::vector<NodeId> sorted_ids = ids;
+    std::sort(sorted_ids.begin(), sorted_ids.end());
+    out << "node " << m << " :";
+    for (NodeId nid : sorted_ids) out << ' ' << nid;
+    out << "\n";
+  }
+  out << "state-end\n";
+  return out.str();
 }
 
 }  // namespace bcc

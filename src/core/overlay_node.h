@@ -3,6 +3,7 @@
 // cluster routing table (Algorithm 3).
 #pragma once
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -34,5 +35,13 @@ struct OverlayNode {
   /// sorted by id (deterministic).
   std::vector<NodeId> clustering_space() const;
 };
+
+/// Canonical text form of one node's tables: sorted direction keys, sorted
+/// aggregate ids — string-equal iff the tables hold the same fixpoint state.
+/// This is the wire form the multi-process supervisor compares against sync
+/// ground truth and the form DecentralizedClusterSystem::canonical_dump
+/// concatenates; incremental-repair tests assert dump equality against a
+/// from-scratch system.
+std::string canonical_node_state(NodeId id, const OverlayNode& node);
 
 }  // namespace bcc

@@ -151,6 +151,10 @@ struct QueryResult {
   /// the query bypassed the serving layer) — lets a caller join its result
   /// to the exported trace.
   std::uint64_t trace_id = 0;
+  /// Dynamics epoch the serving snapshot was last repaired against (0 when
+  /// serving is not driven by a streaming pipeline). A degraded answer
+  /// served mid-repair self-describes its staleness through this.
+  std::uint64_t source_epoch = 0;
 
   bool found() const { return status == QueryStatus::kFound; }
 };

@@ -1,6 +1,25 @@
 #include "core/system.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
+
 namespace bcc {
+
+namespace {
+
+obs::Counter& g_refresh_full() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.core.refresh_full");
+  return c;
+}
+obs::Counter& g_refresh_delta() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.core.refresh_delta");
+  return c;
+}
+
+}  // namespace
 
 DecentralizedClusterSystem::DecentralizedClusterSystem(AnchorTree overlay,
                                                        DistanceMatrix predicted,
@@ -55,7 +74,94 @@ std::size_t DecentralizedClusterSystem::refresh(DistanceMatrix new_predicted) {
   predicted_ = std::move(new_predicted);
   node_info_->reset_convergence();
   crt_->reset_convergence();
+  g_refresh_full().add(1);
   return engine_.run(cycle_budget());
+}
+
+std::vector<NodeId> DecentralizedClusterSystem::resync_overlay(
+    const AnchorTree& overlay) {
+  BCC_REQUIRE(overlay.size() == overlay_.size());
+  std::vector<NodeId> touched;
+  for (NodeId x : overlay.bfs_order()) {
+    auto it = nodes_.find(x);
+    BCC_REQUIRE(it != nodes_.end());  // same membership, different edges
+    OverlayNode& node = it->second;
+    std::vector<NodeId> next = overlay.neighbors_of(x);
+    std::sort(next.begin(), next.end());
+    std::vector<NodeId> prev = node.neighbors;
+    std::sort(prev.begin(), prev.end());
+    if (prev == next) continue;
+    touched.push_back(x);
+    // Prune dropped directions; entries for new neighbors appear when their
+    // first message commits (the missing-entry check forces recomputation).
+    for (NodeId old_neighbor : prev) {
+      if (!std::binary_search(next.begin(), next.end(), old_neighbor)) {
+        node.aggr_node.erase(old_neighbor);
+        node.aggr_crt.erase(old_neighbor);
+      }
+    }
+    node.neighbors = overlay.neighbors_of(x);
+  }
+  overlay_ = overlay;
+  return touched;
+}
+
+bool DecentralizedClusterSystem::apply_delta(DistanceMatrix new_predicted,
+                                             std::span<const NodeId> repaired,
+                                             const AnchorTree* new_overlay) {
+  BCC_REQUIRE(new_predicted.size() == predicted_.size());
+  predicted_ = std::move(new_predicted);
+  const double fraction = nodes_.empty()
+                              ? 1.0
+                              : static_cast<double>(repaired.size()) /
+                                    static_cast<double>(nodes_.size());
+  if (fraction > options_.full_refresh_threshold) {
+    if (new_overlay != nullptr) {
+      BCC_REQUIRE(new_overlay->size() == overlay_.size());
+      overlay_ = *new_overlay;
+      nodes_ = make_overlay_nodes(overlay_);  // protocols point at nodes_
+    }
+    node_info_->reset_convergence();
+    crt_->reset_convergence();
+    g_refresh_full().add(1);
+    return false;
+  }
+  if (new_overlay != nullptr) {
+    std::vector<NodeId> touched = resync_overlay(*new_overlay);
+    node_info_->mark_changed(touched);
+    crt_->mark_changed(touched);
+  }
+  node_info_->mark_dirty(repaired);
+  crt_->mark_dirty(repaired);
+  g_refresh_delta().add(1);
+  return true;
+}
+
+std::size_t DecentralizedClusterSystem::refresh_delta(
+    DistanceMatrix new_predicted, std::span<const NodeId> repaired,
+    const AnchorTree* new_overlay) {
+  apply_delta(std::move(new_predicted), repaired, new_overlay);
+  return engine_.run(cycle_budget());
+}
+
+std::string DecentralizedClusterSystem::canonical_dump() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  std::string dump;
+  for (NodeId id : ids) {
+    dump += canonical_node_state(id, nodes_.at(id));
+  }
+  return dump;
+}
+
+std::size_t DecentralizedClusterSystem::messages_recomputed() const {
+  return node_info_->messages_recomputed() + crt_->messages_recomputed();
+}
+
+std::size_t DecentralizedClusterSystem::messages_reused() const {
+  return node_info_->messages_reused() + crt_->messages_reused();
 }
 
 const OverlayNode& DecentralizedClusterSystem::node(NodeId id) const {

@@ -32,6 +32,10 @@ struct SystemOptions {
   std::size_t max_cycles = 0;
   /// Options passed to Algorithm 1 during query processing.
   FindClusterOptions find_options = {};
+  /// apply_delta falls back to a full reset when the repaired fraction of
+  /// the membership exceeds this — past that point the memoized delta path
+  /// would recompute nearly everything anyway, with bookkeeping on top.
+  double full_refresh_threshold = 0.25;
 };
 
 /// See file comment.
@@ -57,6 +61,42 @@ class DecentralizedClusterSystem {
   /// feed the new predicted metric and re-run gossip. Returns cycles.
   std::size_t refresh(DistanceMatrix new_predicted);
 
+  /// Incremental restructuring: installs the new predicted metric and marks
+  /// only state derived from `repaired` hosts dirty, *without* running
+  /// gossip — queries served in between are flagged degraded, which is the
+  /// repair-window behavior the streaming pipeline wants. Contract: every
+  /// pair whose predicted distance changed has at least one end in
+  /// `repaired` (FrameworkMaintainer::refresh_dirty guarantees this). Falls
+  /// back to a full reset_convergence when the repaired fraction exceeds
+  /// options().full_refresh_threshold. Returns true when the delta path was
+  /// taken, false on the full fallback.
+  ///
+  /// `new_overlay`, when given, is the anchor tree after the repair (same
+  /// membership, possibly different edges — leave+rejoin moves anchors):
+  /// neighbor sets are resynced, dropped directions pruned from tables, and
+  /// every topology-touched node seeded as changed so the resulting cascade
+  /// flushes stale entries — the iteration still lands on the unique
+  /// fixpoint of the *new* tree.
+  bool apply_delta(DistanceMatrix new_predicted,
+                   std::span<const NodeId> repaired,
+                   const AnchorTree* new_overlay = nullptr);
+
+  /// apply_delta + run_to_convergence: the one-call repair that reaches the
+  /// identical fixpoint a from-scratch recompute would (asserted by
+  /// canonical_dump equality in tests). Returns cycles executed.
+  std::size_t refresh_delta(DistanceMatrix new_predicted,
+                            std::span<const NodeId> repaired,
+                            const AnchorTree* new_overlay = nullptr);
+
+  /// Canonical text dump of every node's tables in ascending id order (the
+  /// PR 7 wire form) — string-equal iff two systems share the exact same
+  /// fixpoint state.
+  std::string canonical_dump() const;
+
+  /// Delta-path work accounting (recomputed vs provably-reused messages).
+  std::size_t messages_recomputed() const;
+  std::size_t messages_reused() const;
+
   // Introspection (tests, experiments, serving-layer snapshots).
   std::size_t size() const { return nodes_.size(); }
   const OverlayNode& node(NodeId id) const;
@@ -70,6 +110,10 @@ class DecentralizedClusterSystem {
 
  private:
   std::size_t cycle_budget() const;
+
+  /// Installs `overlay` (same membership required), prunes table entries for
+  /// dropped directions, and returns the nodes whose neighbor set changed.
+  std::vector<NodeId> resync_overlay(const AnchorTree& overlay);
 
   AnchorTree overlay_;
   DistanceMatrix predicted_;

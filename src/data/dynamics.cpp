@@ -7,13 +7,31 @@
 
 namespace bcc {
 
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+const char* to_string(DisturbanceClass kind) {
+  switch (kind) {
+    case DisturbanceClass::kCongestion: return "congestion";
+    case DisturbanceClass::kFlashCrowd: return "flash_crowd";
+    case DisturbanceClass::kRegionDegrade: return "region_degrade";
+  }
+  return "unknown";
+}
+
 BandwidthDynamics::BandwidthDynamics(const SynthDataset& base,
                                      DynamicsOptions options,
                                      std::uint64_t seed)
     : current_(base.bandwidth), options_(options), pair_rng_(seed),
       event_rng_(Rng(seed).split(1)),
       congestion_left_(base.bandwidth.size(), 0),
-      host_shift_(base.bandwidth.size(), 0.0) {
+      host_shift_(base.bandwidth.size(), 0.0),
+      diurnal_phase_(base.bandwidth.size(), 0.0),
+      region_(base.bandwidth.size(), 0),
+      flash_member_(base.bandwidth.size(), 0),
+      pair_log_change_(base.bandwidth.size() * (base.bandwidth.size() - 1) / 2,
+                       0.0) {
   BCC_REQUIRE(options_.rho >= 0.0 && options_.rho < 1.0);
   BCC_REQUIRE(options_.sigma >= 0.0);
   BCC_REQUIRE(options_.congestion_rate >= 0.0 &&
@@ -23,6 +41,19 @@ BandwidthDynamics::BandwidthDynamics(const SynthDataset& base,
   BCC_REQUIRE(options_.baseline_shift_rate >= 0.0 &&
               options_.baseline_shift_rate <= 1.0);
   BCC_REQUIRE(options_.baseline_shift_sigma >= 0.0);
+  BCC_REQUIRE(options_.diurnal_amplitude >= 0.0);
+  BCC_REQUIRE(options_.diurnal_period > 0);
+  BCC_REQUIRE(options_.flash_crowd_rate >= 0.0 &&
+              options_.flash_crowd_rate <= 1.0);
+  BCC_REQUIRE(options_.flash_crowd_fraction > 0.0 &&
+              options_.flash_crowd_fraction <= 1.0);
+  BCC_REQUIRE(options_.flash_crowd_factor > 0.0 &&
+              options_.flash_crowd_factor <= 1.0);
+  BCC_REQUIRE(options_.regions > 0);
+  BCC_REQUIRE(options_.region_degrade_rate >= 0.0 &&
+              options_.region_degrade_rate <= 1.0);
+  BCC_REQUIRE(options_.region_degrade_factor > 0.0 &&
+              options_.region_degrade_factor <= 1.0);
   const std::size_t n = base.bandwidth.size();
   BCC_REQUIRE(n >= 2);
   // Structural baseline: the generating tree metric when the dataset has
@@ -32,11 +63,26 @@ BandwidthDynamics::BandwidthDynamics(const SynthDataset& base,
   } else {
     baseline_ = base.bandwidth;
   }
+  // Static layout — per-host diurnal phases (time zones) and the region
+  // partition — comes from its own stream so the pair/event streams replay
+  // bit-identically whether or not the new generators are enabled.
+  Rng layout_rng = Rng(seed).split(2);
+  for (NodeId h = 0; h < n; ++h) {
+    diurnal_phase_[h] = layout_rng.uniform(0.0, kTwoPi);
+  }
+  std::vector<NodeId> perm(n);
+  for (NodeId h = 0; h < n; ++h) perm[h] = h;
+  layout_rng.shuffle(perm);
+  for (std::size_t i = 0; i < n; ++i) {
+    region_[perm[i]] = i % options_.regions;
+  }
 }
 
 const BandwidthMatrix& BandwidthDynamics::step() {
   ++epoch_;
   const std::size_t n = current_.size();
+  events_.clear();
+  std::fill(pair_log_change_.begin(), pair_log_change_.end(), 0.0);
 
   // Event stream: congestion episodes decay, new ones start, and hosts may
   // shift their baseline permanently (structural change).
@@ -44,8 +90,9 @@ const BandwidthMatrix& BandwidthDynamics::step() {
     if (left > 0) --left;
   }
   if (event_rng_.chance(options_.congestion_rate)) {
-    congestion_left_[static_cast<std::size_t>(event_rng_.below(n))] =
-        options_.congestion_epochs;
+    const NodeId host = static_cast<NodeId>(event_rng_.below(n));
+    congestion_left_[host] = options_.congestion_epochs;
+    events_.push_back({DisturbanceClass::kCongestion, epoch_, {host}});
   }
   if (options_.baseline_shift_rate > 0.0) {
     for (NodeId h = 0; h < n; ++h) {
@@ -55,6 +102,38 @@ const BandwidthMatrix& BandwidthDynamics::step() {
       }
     }
   }
+  // New generators draw from the event stream only when enabled, so seeds
+  // recorded before they existed keep replaying the same trajectories.
+  if (flash_left_ > 0) --flash_left_;
+  if (options_.flash_crowd_rate > 0.0 &&
+      event_rng_.chance(options_.flash_crowd_rate)) {
+    std::fill(flash_member_.begin(), flash_member_.end(), 0);
+    const std::size_t k = std::max<std::size_t>(
+        2, static_cast<std::size_t>(
+               std::llround(options_.flash_crowd_fraction *
+                            static_cast<double>(n))));
+    DisturbanceEvent event{DisturbanceClass::kFlashCrowd, epoch_, {}};
+    for (std::size_t idx : event_rng_.sample_indices(n, std::min(k, n))) {
+      flash_member_[idx] = 1;
+      event.hosts.push_back(static_cast<NodeId>(idx));
+    }
+    std::sort(event.hosts.begin(), event.hosts.end());
+    flash_left_ = options_.flash_crowd_epochs;
+    events_.push_back(std::move(event));
+  }
+  if (region_left_ > 0) --region_left_;
+  if (options_.region_degrade_rate > 0.0 &&
+      event_rng_.chance(options_.region_degrade_rate)) {
+    degraded_region_ = static_cast<std::size_t>(
+        event_rng_.below(options_.regions));
+    region_left_ = options_.region_degrade_epochs;
+    events_.push_back({DisturbanceClass::kRegionDegrade, epoch_,
+                       degraded_region_hosts()});
+  }
+
+  const double diurnal_t =
+      kTwoPi * static_cast<double>(epoch_) /
+      static_cast<double>(options_.diurnal_period);
 
   BandwidthMatrix next(n);
   for (NodeId u = 0; u < n; ++u) {
@@ -67,7 +146,26 @@ const BandwidthMatrix& BandwidthDynamics::step() {
       if (congestion_left_[u] > 0 || congestion_left_[v] > 0) {
         log_next += std::log(options_.congestion_factor);
       }
+      if (options_.diurnal_amplitude > 0.0) {
+        // A link is only as good as its worse end; averaging the two ends'
+        // sinusoids keeps the log-space hit smooth and symmetric.
+        log_next += 0.5 * options_.diurnal_amplitude *
+                    (std::sin(diurnal_t + diurnal_phase_[u]) +
+                     std::sin(diurnal_t + diurnal_phase_[v]));
+      }
+      if (flash_left_ > 0 && (flash_member_[u] || flash_member_[v])) {
+        log_next += std::log(options_.flash_crowd_factor);
+      }
+      // Correlated degradation hits the region's *internal* links: the
+      // shared bottleneck is inside the region (its switch), so traffic
+      // staying within the region suffers while transit does not — which is
+      // also what keeps the dirty set local to the region's hosts.
+      if (region_left_ > 0 && region_[u] == degraded_region_ &&
+          region_[v] == degraded_region_) {
+        log_next += std::log(options_.region_degrade_factor);
+      }
       next.set(u, v, std::exp(log_next));
+      pair_log_change_[v * (v - 1) / 2 + u] = std::abs(log_next - log_cur);
     }
   }
   current_ = std::move(next);
@@ -85,6 +183,71 @@ std::vector<NodeId> BandwidthDynamics::congested() const {
 double BandwidthDynamics::host_shift(NodeId host) const {
   BCC_REQUIRE(host < host_shift_.size());
   return host_shift_[host];
+}
+
+std::vector<NodeId> BandwidthDynamics::flash_hosts() const {
+  std::vector<NodeId> out;
+  if (flash_left_ == 0) return out;
+  for (NodeId h = 0; h < flash_member_.size(); ++h) {
+    if (flash_member_[h]) out.push_back(h);
+  }
+  return out;
+}
+
+std::vector<NodeId> BandwidthDynamics::degraded_region_hosts() const {
+  std::vector<NodeId> out;
+  if (region_left_ == 0) return out;
+  for (NodeId h = 0; h < region_.size(); ++h) {
+    if (region_[h] == degraded_region_) out.push_back(h);
+  }
+  return out;
+}
+
+std::size_t BandwidthDynamics::region_of(NodeId host) const {
+  BCC_REQUIRE(host < region_.size());
+  return region_[host];
+}
+
+std::vector<NodeId> BandwidthDynamics::dirty_hosts(
+    double min_log_change) const {
+  // Greedy cover of the changed-link graph (see header): repeatedly pick
+  // the host explaining the most still-unexplained changed links. A
+  // congested host (every link moved) is picked once and explains them all;
+  // a degraded region's members each explain their internal links.
+  const std::size_t n = region_.size();
+  std::vector<std::vector<NodeId>> adj(n);
+  std::vector<std::size_t> deg(n, 0);
+  for (NodeId v = 1; v < n; ++v) {
+    for (NodeId u = 0; u < v; ++u) {
+      if (pair_log_change_[v * (v - 1) / 2 + u] >= min_log_change) {
+        adj[u].push_back(v);
+        adj[v].push_back(u);
+        ++deg[u];
+        ++deg[v];
+      }
+    }
+  }
+  std::vector<char> picked(n, 0);
+  std::vector<NodeId> out;
+  for (;;) {
+    NodeId best = 0;
+    std::size_t best_deg = 0;
+    for (NodeId h = 0; h < n; ++h) {
+      if (!picked[h] && deg[h] > best_deg) {
+        best = h;
+        best_deg = deg[h];
+      }
+    }
+    if (best_deg == 0) break;
+    picked[best] = 1;
+    out.push_back(best);
+    deg[best] = 0;
+    for (NodeId w : adj[best]) {
+      if (!picked[w] && deg[w] > 0) --deg[w];
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace bcc

@@ -7,9 +7,19 @@
 // Model: each pair's bandwidth follows a mean-reverting AR(1) process in
 // log space around its structural (tree-metric) baseline:
 //   log BW_{t+1} = log BW_base + rho * (log BW_t - log BW_base) + sigma * z
-// plus transient congestion episodes that depress a random *host*'s links by
-// a large factor for a few epochs (modelling a saturated access link, the
-// dominant real-world event under the paper's bottleneck model).
+// plus disturbance generators layered on top, each deterministic per seed:
+//   - congestion episodes: a random *host*'s links depressed by a large
+//     factor for a few epochs (a saturated access link, the dominant
+//     real-world event under the paper's bottleneck model);
+//   - diurnal cycles: every host's access capacity swings sinusoidally in
+//     log space with a per-host phase (time-zone offset);
+//   - flash crowds: a random fraction of hosts congest *simultaneously*
+//     (correlated demand spike: a release, a live event);
+//   - correlated link degradation: all links internal to one region degrade
+//     together (a shared bottleneck — the region's switch — saturates).
+// Disturbances that start in an epoch are reported as DisturbanceEvents and
+// per-host change magnitudes are tracked so callers can repair incrementally
+// (dirty_hosts).
 #pragma once
 
 #include <vector>
@@ -18,6 +28,23 @@
 #include "data/planetlab_synth.h"
 
 namespace bcc {
+
+/// Which generator produced a disturbance episode. Soak harnesses key
+/// time-to-reconvergence accounting on this.
+enum class DisturbanceClass : std::uint8_t {
+  kCongestion = 0,
+  kFlashCrowd = 1,
+  kRegionDegrade = 2,
+};
+
+const char* to_string(DisturbanceClass kind);
+
+/// A disturbance episode that *started* at `epoch`, touching `hosts`.
+struct DisturbanceEvent {
+  DisturbanceClass kind;
+  std::size_t epoch = 0;
+  std::vector<NodeId> hosts;
+};
 
 struct DynamicsOptions {
   /// Mean-reversion factor in [0, 1): 0 = i.i.d. around the baseline,
@@ -37,6 +64,32 @@ struct DynamicsOptions {
   double baseline_shift_rate = 0.0;
   /// Lognormal sigma of a permanent shift.
   double baseline_shift_sigma = 0.4;
+
+  /// Diurnal cycle: log-scale amplitude of the per-host sinusoid. 0 (the
+  /// default) disables the generator; existing seeds replay bit-identically.
+  double diurnal_amplitude = 0.0;
+  /// Epochs per simulated day.
+  std::size_t diurnal_period = 96;
+
+  /// Flash crowd: probability per epoch that one starts. 0 disables.
+  double flash_crowd_rate = 0.0;
+  /// Fraction of hosts swept into a flash crowd (at least 2 hosts).
+  double flash_crowd_fraction = 0.2;
+  /// Multiplicative bandwidth hit on a crowded host's links (< 1).
+  double flash_crowd_factor = 0.2;
+  /// Episode length in epochs.
+  std::size_t flash_crowd_epochs = 4;
+
+  /// Correlated degradation: number of shared-bottleneck regions hosts are
+  /// partitioned into (round-robin over a seeded permutation).
+  std::size_t regions = 4;
+  /// Probability per epoch that one region's internal links degrade. 0
+  /// disables.
+  double region_degrade_rate = 0.0;
+  /// Multiplicative bandwidth hit on links *within* the degraded region.
+  double region_degrade_factor = 0.3;
+  /// Episode length in epochs.
+  std::size_t region_degrade_epochs = 5;
 };
 
 /// Evolves a dataset's bandwidth over epochs. Deterministic per seed.
@@ -57,6 +110,26 @@ class BandwidthDynamics {
   /// Cumulative permanent per-host baseline shift (log scale; 0 = none).
   double host_shift(NodeId host) const;
 
+  /// Disturbance episodes that started during the most recent step().
+  const std::vector<DisturbanceEvent>& events() const { return events_; }
+  /// Hosts currently inside an active flash crowd (empty when none).
+  std::vector<NodeId> flash_hosts() const;
+  /// Hosts of the currently degraded region (empty when none).
+  std::vector<NodeId> degraded_region_hosts() const;
+  /// The shared-bottleneck region a host belongs to.
+  std::size_t region_of(NodeId host) const;
+
+  /// A minimal host set explaining the most recent step(): every link that
+  /// moved by at least `min_log_change` in log-BW has at least one end in
+  /// the returned set (greedy cover, largest changed-degree first, ties to
+  /// the lower id), sorted ascending. Attribution matters: a single
+  /// congested host changes its link to *everyone*, and the cover charges
+  /// that to the one host whose position actually moved instead of marking
+  /// the whole world dirty. This is the dirty set an incremental maintainer
+  /// repairs; the AR(1) jitter floor sits around sigma, so thresholds a few
+  /// multiples above it isolate real episodes.
+  std::vector<NodeId> dirty_hosts(double min_log_change) const;
+
  private:
   BandwidthMatrix baseline_;
   BandwidthMatrix current_;
@@ -67,6 +140,14 @@ class BandwidthDynamics {
   std::size_t epoch_ = 0;
   std::vector<std::size_t> congestion_left_;  // per host, epochs remaining
   std::vector<double> host_shift_;            // permanent log-scale shifts
+  std::vector<double> diurnal_phase_;         // per host, radians
+  std::vector<std::size_t> region_;           // per host, region index
+  std::vector<char> flash_member_;            // current flash crowd mask
+  std::size_t flash_left_ = 0;
+  std::size_t degraded_region_ = 0;
+  std::size_t region_left_ = 0;
+  std::vector<double> pair_log_change_;  // per pair |Δlog BW|, last step()
+  std::vector<DisturbanceEvent> events_;
 };
 
 }  // namespace bcc

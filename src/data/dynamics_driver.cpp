@@ -1,0 +1,41 @@
+#include "data/dynamics_driver.h"
+
+#include "common/assert.h"
+
+namespace bcc {
+
+DynamicsDriver::DynamicsDriver(BandwidthDynamics* dynamics,
+                               DistanceMatrix* predicted,
+                               DynamicsDriverOptions options)
+    : dynamics_(dynamics), predicted_(predicted), options_(options) {
+  BCC_REQUIRE(dynamics_ != nullptr && predicted_ != nullptr);
+  BCC_REQUIRE(options_.epoch_period > 0.0);
+  BCC_REQUIRE(options_.c > 0.0);
+  BCC_REQUIRE(options_.dirty_log_threshold >= 0.0);
+  BCC_REQUIRE(predicted_->size() == dynamics_->current().size());
+}
+
+void DynamicsDriver::schedule(EventEngine& engine, EpochCallback on_epoch) {
+  on_epoch_ = std::move(on_epoch);
+  for (std::size_t i = 0; i < options_.epochs; ++i) {
+    engine.schedule_at(
+        options_.start_at + static_cast<double>(i) * options_.epoch_period,
+        [this] { tick(); });
+  }
+}
+
+const std::vector<NodeId>& DynamicsDriver::tick() {
+  const BandwidthMatrix& bw = dynamics_->step();
+  const std::size_t n = bw.size();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      predicted_->set(u, v, bandwidth_to_distance(bw.at(u, v), options_.c));
+    }
+  }
+  last_dirty_ = dynamics_->dirty_hosts(options_.dirty_log_threshold);
+  ++epochs_applied_;
+  if (on_epoch_) on_epoch_(dynamics_->epoch(), last_dirty_);
+  return last_dirty_;
+}
+
+}  // namespace bcc

@@ -1,0 +1,72 @@
+// DynamicsDriver — wires BandwidthDynamics into the event engine, the
+// bandwidth-side sibling of core's ChurnDriver: where churn changes *who* is
+// in the network mid-run, this changes *how well connected* they are. Each
+// scheduled epoch tick steps the dynamics, rewrites the caller-owned
+// predicted-distance matrix through the rational transform, and reports the
+// dirty host set so the caller can repair incrementally
+// (FrameworkMaintainer::refresh_dirty → DecentralizedClusterSystem::
+// apply_delta) instead of recomputing the world.
+//
+// Composability: schedule() only posts plain timers, so a ChurnDriver can
+// share the same engine — joins/leaves interleave with bandwidth epochs in
+// deterministic timestamp order (ties break by scheduling order).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "data/dynamics.h"
+#include "metric/bandwidth.h"
+#include "sim/event_engine.h"
+
+namespace bcc {
+
+struct DynamicsDriverOptions {
+  /// Simulated seconds between epoch ticks.
+  double epoch_period = 1.0;
+  /// Simulated time of the first tick.
+  double start_at = 0.0;
+  /// Number of epoch ticks to schedule.
+  std::size_t epochs = 0;
+  /// Rational-transform constant used to turn bandwidth into distance.
+  double c = kDefaultTransformC;
+  /// Minimum per-host |Δ log BW| for a host to be reported dirty (see
+  /// BandwidthDynamics::dirty_hosts).
+  double dirty_log_threshold = 0.5;
+};
+
+/// See file comment. The dynamics, the predicted matrix, and the driver must
+/// outlive the engine run.
+class DynamicsDriver {
+ public:
+  /// Fired after each epoch is applied: the epoch number and the dirty set.
+  using EpochCallback =
+      std::function<void(std::size_t epoch, const std::vector<NodeId>& dirty)>;
+
+  /// `predicted` must cover the dynamics' host universe; every tick rewrites
+  /// all its off-diagonal entries as d = c / BW.
+  DynamicsDriver(BandwidthDynamics* dynamics, DistanceMatrix* predicted,
+                 DynamicsDriverOptions options);
+
+  /// Schedules options.epochs ticks on `engine`, starting at
+  /// options.start_at and options.epoch_period apart.
+  void schedule(EventEngine& engine, EpochCallback on_epoch = nullptr);
+
+  /// Applies one epoch immediately (no engine) — the synchronous soak loop.
+  /// Returns the dirty host set.
+  const std::vector<NodeId>& tick();
+
+  std::size_t epochs_applied() const { return epochs_applied_; }
+  const std::vector<NodeId>& last_dirty() const { return last_dirty_; }
+
+ private:
+  BandwidthDynamics* dynamics_;
+  DistanceMatrix* predicted_;
+  DynamicsDriverOptions options_;
+  EpochCallback on_epoch_;
+  std::size_t epochs_applied_ = 0;
+  std::vector<NodeId> last_dirty_;
+};
+
+}  // namespace bcc

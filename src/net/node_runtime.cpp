@@ -99,26 +99,10 @@ ProcessNode::ProcessNode(ProcessNodeOptions options)
 bool ProcessNode::bind() { return tcp_.listen(); }
 
 std::string format_node_state(NodeId id, const OverlayNode& node) {
-  std::ostringstream out;
-  out << "state-begin " << id << "\n";
-  std::map<NodeId, std::vector<std::size_t>> crt(node.aggr_crt.begin(),
-                                                 node.aggr_crt.end());
-  for (const auto& [m, sizes] : crt) {
-    out << "crt " << m << " :";
-    for (std::size_t s : sizes) out << ' ' << s;
-    out << "\n";
-  }
-  std::map<NodeId, std::vector<NodeId>> aggr(node.aggr_node.begin(),
-                                             node.aggr_node.end());
-  for (const auto& [m, ids] : aggr) {
-    std::vector<NodeId> sorted_ids = ids;
-    std::sort(sorted_ids.begin(), sorted_ids.end());
-    out << "node " << m << " :";
-    for (NodeId nid : sorted_ids) out << ' ' << nid;
-    out << "\n";
-  }
-  out << "state-end\n";
-  return out.str();
+  // The canonical form lives beside OverlayNode so in-process systems can
+  // dump the identical wire format (canonical_dump); this wrapper keeps the
+  // historical name the supervisor and control protocol use.
+  return canonical_node_state(id, node);
 }
 
 void ProcessNode::dump_state(std::ostream& out) const {

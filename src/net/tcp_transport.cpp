@@ -78,24 +78,38 @@ double TcpTransport::mono_now() const {
 bool TcpTransport::listen() {
   BCC_REQUIRE(listen_fd_ < 0);
   const Endpoint& ep = options_.peers[options_.local];
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  BCC_REQUIRE(fd >= 0);
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr = make_addr(ep);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    // Port collision is an expected race when many harnesses share a host:
-    // report it so the caller re-rolls the port base. Anything else is a
-    // programming error.
-    BCC_REQUIRE(errno == EADDRINUSE || errno == EACCES);
+  double retry_delay = options_.bind_retry_delay;
+  for (std::size_t attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    BCC_REQUIRE(fd >= 0);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      BCC_REQUIRE(::listen(fd, 64) == 0);
+      set_nonblocking(fd);
+      listen_fd_ = fd;
+      listener_wanted_ = true;
+      return true;
+    }
+    // Port collision is an expected race: other harnesses share the host,
+    // and a kill -9'd predecessor can hold the port in TIME_WAIT for a
+    // moment even with SO_REUSEADDR. Anything else is a programming error.
+    const int bind_errno = errno;
+    BCC_REQUIRE(bind_errno == EADDRINUSE || bind_errno == EACCES);
     ::close(fd);
-    return false;
+    if (bind_errno != EADDRINUSE || attempt >= options_.bind_retries) {
+      // Exhausted (or unretryable): the caller re-rolls the port base.
+      return false;
+    }
+    NetMetrics::global().bind_retries.add(1);
+    timespec wait{};
+    wait.tv_sec = static_cast<time_t>(retry_delay);
+    wait.tv_nsec = static_cast<long>(
+        (retry_delay - static_cast<double>(wait.tv_sec)) * 1e9);
+    ::nanosleep(&wait, nullptr);
+    retry_delay *= 2.0;
   }
-  BCC_REQUIRE(::listen(fd, 64) == 0);
-  set_nonblocking(fd);
-  listen_fd_ = fd;
-  listener_wanted_ = true;
-  return true;
 }
 
 void TcpTransport::close_listener() {

@@ -69,6 +69,13 @@ struct TcpTransportOptions {
   /// Per-peer queued (unsent) bytes before newest-frame shedding kicks in.
   std::size_t max_queue_bytes = 1 << 20;
   std::uint64_t seed = 1;  ///< jitter rng seed
+  /// Rebind attempts when bind() reports EADDRINUSE — a freshly kill -9'd
+  /// predecessor leaves the port in TIME_WAIT for a moment even with
+  /// SO_REUSEADDR, so chaos harness restarts briefly collide. Retries wait
+  /// bind_retry_delay, doubling each attempt; attempts are surfaced as
+  /// bcc.net.bind_retries.
+  std::size_t bind_retries = 5;
+  double bind_retry_delay = 0.05;  ///< first retry wait, seconds (doubles)
 };
 
 /// See file comment. Single-threaded: listen(), send(), and poll_once()

@@ -16,6 +16,7 @@ NetMetrics& NetMetrics::global() {
       obs::Registry::global().counter("bcc.net.half_open_detected"),
       obs::Registry::global().counter("bcc.net.bytes_sent"),
       obs::Registry::global().counter("bcc.net.bytes_received"),
+      obs::Registry::global().counter("bcc.net.bind_retries"),
       obs::Registry::global().histogram("bcc.net.backoff_ms"),
   };
   return m;

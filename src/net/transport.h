@@ -69,6 +69,7 @@ struct NetMetrics {
   obs::Counter& half_open_detected;       ///< heartbeat-timeout conn drops
   obs::Counter& bytes_sent;
   obs::Counter& bytes_received;
+  obs::Counter& bind_retries;             ///< listener rebinds on EADDRINUSE
   obs::Histogram& backoff_ms;             ///< reconnect backoff waits
 
   static NetMetrics& global();

@@ -32,6 +32,26 @@ ConvergenceMonitor::ConvergenceMonitor(Registry* registry, Sampler sampler)
   node_convergence_ms_ = &registry->histogram("bcc.conv.node_convergence_ms");
   time_to_convergence_ms_ =
       &registry->histogram("bcc.conv.time_to_convergence_ms");
+  reconverge_congestion_ms_ =
+      &registry->histogram("bcc.conv.reconverge_congestion_ms");
+  reconverge_flash_crowd_ms_ =
+      &registry->histogram("bcc.conv.reconverge_flash_crowd_ms");
+  reconverge_region_degrade_ms_ =
+      &registry->histogram("bcc.conv.reconverge_region_degrade_ms");
+}
+
+void ConvergenceMonitor::record_reconvergence(
+    std::string_view disturbance_class, double ms) {
+  const std::uint64_t value = to_ms(ms / 1000.0);
+  if (disturbance_class == "congestion") {
+    reconverge_congestion_ms_->record(value);
+  } else if (disturbance_class == "flash_crowd") {
+    reconverge_flash_crowd_ms_->record(value);
+  } else if (disturbance_class == "region_degrade") {
+    reconverge_region_degrade_ms_->record(value);
+  } else {
+    BCC_REQUIRE(false && "unknown disturbance class");
+  }
 }
 
 std::size_t ConvergenceMonitor::sample() {

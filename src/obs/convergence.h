@@ -29,10 +29,16 @@
 //   bcc.conv.time_to_convergence_ms  histogram sim time (ms) at which ALL
 //                                              nodes matched (once per
 //                                              convergence episode)
+//   bcc.conv.reconverge_congestion_ms      histogram  time-to-reconvergence
+//   bcc.conv.reconverge_flash_crowd_ms     histogram  after a disturbance of
+//   bcc.conv.reconverge_region_degrade_ms  histogram  that class (soak
+//                                                     harness, record_
+//                                                     reconvergence)
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -73,6 +79,15 @@ class ConvergenceMonitor {
   /// count (0 = currently converged).
   std::size_t sample();
 
+  /// Folds one disturbance-repair episode into the per-class
+  /// time-to-reconvergence histogram. `disturbance_class` must be one of
+  /// "congestion", "flash_crowd", "region_degrade" (the data-layer
+  /// DisturbanceClass names — obs cannot see that enum, so the contract is
+  /// by name). The soak harness calls this once per disturbance with the
+  /// simulated milliseconds between the disturbance landing and every
+  /// node's tables matching the fixpoint again.
+  void record_reconvergence(std::string_view disturbance_class, double ms);
+
   /// True when the last sample had every node matching the reference.
   bool converged() const { return converged_; }
   /// Simulated time at which the system first fully converged (-1 = never
@@ -94,6 +109,9 @@ class ConvergenceMonitor {
   Histogram* staleness_ms_;
   Histogram* node_convergence_ms_;
   Histogram* time_to_convergence_ms_;
+  Histogram* reconverge_congestion_ms_;
+  Histogram* reconverge_flash_crowd_ms_;
+  Histogram* reconverge_region_degrade_ms_;
 
   std::uint64_t samples_ = 0;
   std::size_t last_suspected_ = 0;

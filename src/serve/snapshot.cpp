@@ -9,6 +9,7 @@ QueryResult SystemSnapshot::run(const QueryRequest& request) const {
   QueryProcessor processor(nodes, predicted, classes, find_options);
   QueryResult result = processor.run(request);
   result.snapshot_version = version;
+  result.source_epoch = source_epoch;
   // Keep a degraded flag the processor already raised (e.g. routing hit a
   // peer whose tables are not materialized locally).
   if (!converged) result.degraded = true;
@@ -16,10 +17,12 @@ QueryResult SystemSnapshot::run(const QueryRequest& request) const {
 }
 
 std::shared_ptr<const SystemSnapshot> snapshot_of(
-    const DecentralizedClusterSystem& system, std::uint64_t version) {
+    const DecentralizedClusterSystem& system, std::uint64_t version,
+    std::uint64_t source_epoch) {
   return std::make_shared<const SystemSnapshot>(SystemSnapshot{
       system.nodes(), system.predicted(), system.classes(),
-      system.options().find_options, version, system.converged()});
+      system.options().find_options, version, system.converged(),
+      source_epoch});
 }
 
 std::shared_ptr<const SystemSnapshot> snapshot_of(

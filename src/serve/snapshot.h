@@ -39,6 +39,10 @@ struct SystemSnapshot {
   /// not at its fixpoint, or an async overlay with crashed nodes/suspected
   /// peers): every result served from it is flagged degraded.
   bool converged = true;
+  /// The dynamics epoch the underlying state was last repaired against
+  /// (0 = not driven by a streaming pipeline). Results carry it so a
+  /// degraded answer served mid-repair self-describes how stale it is.
+  std::uint64_t source_epoch = 0;
 
   std::size_t size() const { return nodes.size(); }
 
@@ -49,9 +53,11 @@ struct SystemSnapshot {
 };
 
 /// Deep-copies the system's current serving state into a fresh snapshot
-/// (converged is read off the system).
+/// (converged is read off the system). `source_epoch` stamps the dynamics
+/// epoch the state was last repaired against (streaming pipelines).
 std::shared_ptr<const SystemSnapshot> snapshot_of(
-    const DecentralizedClusterSystem& system, std::uint64_t version = 0);
+    const DecentralizedClusterSystem& system, std::uint64_t version = 0,
+    std::uint64_t source_epoch = 0);
 
 /// Deep-copies a (possibly mid-churn) asynchronous overlay's protocol state
 /// into a serving snapshot. `converged` is the overlay's health at capture

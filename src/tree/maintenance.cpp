@@ -24,6 +24,21 @@ obs::Gauge& g_embed_error() {
       obs::Registry::global().gauge("bcc.tree.embed_rel_error");
   return g;
 }
+obs::Counter& g_repairs_incremental() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.tree.repairs_incremental");
+  return c;
+}
+obs::Counter& g_repairs_full() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.tree.repairs_full");
+  return c;
+}
+obs::Counter& g_repaired_hosts() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("bcc.tree.repaired_hosts");
+  return c;
+}
 
 }  // namespace
 
@@ -107,6 +122,102 @@ void FrameworkMaintainer::refresh(const DistanceMatrix* new_real) {
   real_ = new_real;
   rebuild(prediction_.hosts());
   update_obs();
+}
+
+FrameworkMaintainer::RepairReport FrameworkMaintainer::refresh_dirty(
+    const DistanceMatrix* new_real, std::span<const NodeId> dirty,
+    double full_threshold) {
+  BCC_REQUIRE(new_real != nullptr);
+  BCC_REQUIRE(new_real->size() == real_->size());
+  BCC_REQUIRE(full_threshold >= 0.0);
+  obs::Span span(obs::SpanCategory::kTree, "refresh_dirty");
+  RepairReport report;
+  // Only alive dirty hosts need repair; the dynamics layer reports over the
+  // whole universe while churn may have removed some of them.
+  std::vector<NodeId> to_repair;
+  bool root_dirty = false;
+  const NodeId root =
+      prediction_.host_count() > 0 ? prediction_.root_host() : 0;
+  for (NodeId h : dirty) {
+    if (!prediction_.contains(h)) continue;
+    if (prediction_.host_count() > 0 && h == root) root_dirty = true;
+    to_repair.push_back(h);
+  }
+  std::sort(to_repair.begin(), to_repair.end());
+  to_repair.erase(std::unique(to_repair.begin(), to_repair.end()),
+                  to_repair.end());
+  const std::size_t alive_count = prediction_.host_count();
+  if (alive_count == 0 || to_repair.empty()) {
+    real_ = new_real;
+    return report;
+  }
+  const double fraction = static_cast<double>(to_repair.size()) /
+                          static_cast<double>(alive_count);
+  if (root_dirty || fraction > full_threshold) {
+    refresh(new_real);
+    report.full_rebuild = true;
+    report.repaired = prediction_.hosts();
+    std::sort(report.repaired.begin(), report.repaired.end());
+    g_repairs_full().add(1);
+    g_repaired_hosts().add(report.repaired.size());
+    return report;
+  }
+  real_ = new_real;
+  // leave() + join() per dirty host re-embeds it against the new
+  // measurements; orphaned anchor descendants rejoin inside leave() and are
+  // thereby repaired too, so they join the repaired set and need no second
+  // pass even if they were also dirty.
+  std::vector<char> done(real_->size(), 0);
+  std::vector<NodeId> repaired;
+  for (NodeId h : to_repair) {
+    if (done[h]) continue;
+    std::vector<NodeId> orphans = leave(h);
+    join(h);
+    done[h] = 1;
+    repaired.push_back(h);
+    for (NodeId o : orphans) {
+      if (done[o]) continue;
+      done[o] = 1;
+      repaired.push_back(o);
+    }
+  }
+  std::sort(repaired.begin(), repaired.end());
+  report.repaired = std::move(repaired);
+  g_repairs_incremental().add(1);
+  g_repaired_hosts().add(report.repaired.size());
+  update_obs();
+  return report;
+}
+
+void FrameworkMaintainer::write_predicted(DistanceMatrix* out) const {
+  BCC_REQUIRE(out != nullptr);
+  const std::vector<NodeId>& hosts = prediction_.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    BCC_REQUIRE(hosts[i] < out->size());
+    for (std::size_t j = i + 1; j < hosts.size(); ++j) {
+      out->set(hosts[i], hosts[j], prediction_.distance(hosts[i], hosts[j]));
+    }
+  }
+}
+
+void FrameworkMaintainer::write_predicted_delta(
+    DistanceMatrix* out, std::span<const NodeId> repaired) const {
+  BCC_REQUIRE(out != nullptr);
+  std::vector<char> in_repair(out->size(), 0);
+  for (NodeId r : repaired) {
+    BCC_REQUIRE(r < out->size());
+    in_repair[r] = 1;
+  }
+  const std::vector<NodeId>& hosts = prediction_.hosts();
+  for (NodeId r : repaired) {
+    if (!prediction_.contains(r)) continue;
+    for (NodeId h : hosts) {
+      if (h == r) continue;
+      // Pairs inside the repaired set are written once, by their lower id.
+      if (in_repair[h] && h < r) continue;
+      out->set(r, h, prediction_.distance(r, h));
+    }
+  }
 }
 
 FrameworkMaintainer::CompactView FrameworkMaintainer::compact_view() const {

@@ -14,6 +14,8 @@
 // alive pair stays exactly embedded after any join/leave sequence (tested).
 #pragma once
 
+#include <span>
+
 #include "tree/embedder.h"
 
 namespace bcc {
@@ -40,6 +42,40 @@ class FrameworkMaintainer {
   /// Replaces the measurement oracle (same size) and rebuilds the framework
   /// over the current membership — network-condition drift.
   void refresh(const DistanceMatrix* new_real);
+
+  /// Outcome of an incremental refresh (refresh_dirty).
+  struct RepairReport {
+    /// True when the repair fell back to a full refresh().
+    bool full_rebuild = false;
+    /// Hosts actually re-embedded (the alive dirty set plus any anchor
+    /// orphans dragged along by their leave+rejoin), sorted ascending. On a
+    /// full rebuild this is every alive host.
+    std::vector<NodeId> repaired;
+  };
+
+  /// Incremental network-condition drift: swaps the measurement oracle and
+  /// re-embeds only the `dirty` hosts (leave + rejoin each against the new
+  /// measurements, which drags their orphaned anchor descendants along).
+  /// Falls back to a full refresh() when the dirty fraction of alive hosts
+  /// exceeds `full_threshold`, or when the dirty set contains the framework
+  /// root — whose departure rebuilds everything anyway. Locality guarantee:
+  /// a pair with neither end in the returned repaired set keeps its exact
+  /// predicted distance (leaf removal never perturbs the rest of the
+  /// prediction tree), which is what lets DecentralizedClusterSystem::
+  /// apply_delta re-gossip only the affected subtree.
+  RepairReport refresh_dirty(const DistanceMatrix* new_real,
+                             std::span<const NodeId> dirty,
+                             double full_threshold = 0.25);
+
+  /// Writes predicted distances among alive() into `out`, a global-id
+  /// indexed matrix covering the measurement universe. Pairs with a
+  /// non-alive end are left untouched.
+  void write_predicted(DistanceMatrix* out) const;
+
+  /// Same, but only for pairs with at least one end in `repaired` —
+  /// O(|repaired|·n) instead of O(n²) after an incremental repair.
+  void write_predicted_delta(DistanceMatrix* out,
+                             std::span<const NodeId> repaired) const;
 
   /// Alive hosts in join order.
   const std::vector<NodeId>& alive() const { return prediction_.hosts(); }

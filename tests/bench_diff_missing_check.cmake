@@ -1,0 +1,20 @@
+# Asserts dir-mode bench_diff exits 2 when a baseline BENCH_*.json has no
+# candidate counterpart — a benchmark that silently stopped running is a
+# regression, not a pass.
+file(REMOVE_RECURSE ${WORK}/missing_base ${WORK}/missing_cand)
+file(MAKE_DIRECTORY ${WORK}/missing_base ${WORK}/missing_cand)
+file(COPY ${FIXTURE} DESTINATION ${WORK}/missing_base)
+execute_process(
+  COMMAND ${BENCH_DIFF} --baseline ${WORK}/missing_base
+          --candidate ${WORK}/missing_cand
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR
+          "bench_diff exited ${code} on a missing candidate file, expected 2")
+endif()
+if(NOT "${out}${err}" MATCHES "missing from candidate dir")
+  message(FATAL_ERROR
+          "bench_diff did not report the missing candidate file:\n${out}${err}")
+endif()

@@ -164,19 +164,24 @@ int main(int argc, char** argv) {
                  "or both be directories\n");
     return 1;
   }
+  std::size_t missing_candidates = 0;
   if (base_is_dir) {
     const auto base_files = bench_files_in(baseline_arg);
     const auto cand_files = bench_files_in(candidate_arg);
     for (const auto& [fname, path] : base_files) {
       auto it = cand_files.find(fname);
       if (it == cand_files.end()) {
-        std::fprintf(stderr, "bench_diff: %s missing from candidate dir\n",
+        // A baseline bench with no candidate counterpart is a regression,
+        // not a skip: a deleted bench must not pass the gate silently.
+        std::fprintf(stderr,
+                     "bench_diff: REGRESSION %s missing from candidate dir\n",
                      fname.c_str());
+        ++missing_candidates;
         continue;
       }
       pairs.emplace_back(path, it->second);
     }
-    if (pairs.empty()) {
+    if (pairs.empty() && missing_candidates == 0) {
       std::fprintf(stderr, "bench_diff: no common BENCH_*.json files\n");
       return 1;
     }
@@ -199,7 +204,7 @@ int main(int argc, char** argv) {
     for (const auto& [k, v] : parse_numeric_leaves(btext)) base_metrics[k] = v;
     for (const auto& [k, v] : parse_numeric_leaves(ctext)) cand_metrics[k] = v;
   }
-  if (base_metrics.empty()) {
+  if (base_metrics.empty() && missing_candidates == 0) {
     std::fprintf(stderr, "bench_diff: baseline has no numeric metrics\n");
     return 1;
   }
@@ -256,10 +261,12 @@ int main(int argc, char** argv) {
   }
 
   std::ostringstream j;
+  const bool failed = regressions > 0 || missing_candidates > 0;
   j << "{\"threshold\":" << threshold << ",\"compared\":" << verdicts.size()
     << ",\"regressions\":" << regressions << ",\"added\":" << added.size()
     << ",\"removed\":" << removed.size()
-    << ",\"verdict\":\"" << (regressions == 0 ? "ok" : "regression") << "\""
+    << ",\"missing_files\":" << missing_candidates
+    << ",\"verdict\":\"" << (failed ? "regression" : "ok") << "\""
     << ",\"metrics\":[";
   bool first = true;
   for (const MetricVerdict& v : verdicts) {
@@ -283,9 +290,10 @@ int main(int argc, char** argv) {
                   v.baseline, v.candidate, 100.0 * v.rel_change);
     }
     std::printf("bench_diff: %zu metrics compared, %zu regression(s), "
-                "%zu added, %zu removed (threshold %.0f%%)\n",
+                "%zu added, %zu removed, %zu missing file(s) "
+                "(threshold %.0f%%)\n",
                 verdicts.size(), regressions, added.size(), removed.size(),
-                100.0 * threshold);
+                missing_candidates, 100.0 * threshold);
   }
   if (!out_path.empty()) {
     std::ofstream out(out_path, std::ios::binary);
@@ -294,5 +302,5 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return regressions == 0 ? 0 : 2;
+  return failed ? 2 : 0;
 }
