@@ -1,0 +1,206 @@
+// Telemetry-plane benchmarks (google-benchmark): the collect codec, fleet
+// merging, clock-offset estimation, and the flight recorder's commit path
+// — plus the A/B pair that prices the flight-recorder sink against a bare
+// traced span, the microscopic half of the <2% collector-overhead budget
+// (the macroscopic half is the supervisor's `overhead` scenario on a live
+// 8-process cluster, recorded in EXPERIMENTS.md). Results mirror into
+// BENCH_collect.json; tools/bench_smoke.sh diffs the codec/merge/flight
+// subset against the committed bench/BENCH_collect.json baseline.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json_reporter.h"
+#include "obs/collect.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace bcc;
+
+/// A registry shaped like a live node's: a handful of counters/gauges and
+/// a few populated histograms. Names live under bcc.bench.* so the
+/// metric-name lint's one-literal-per-instrument rule keeps holding for
+/// the production instruments this fabricated registry imitates.
+obs::RegistrySnapshot bench_registry(std::uint64_t salt) {
+  obs::Registry r;
+  r.counter("bcc.bench.collect_frames_sent").add(1000 + salt);
+  r.counter("bcc.bench.collect_frames_received").add(990 + salt);
+  r.counter("bcc.bench.collect_reconnects").add(salt % 3);
+  r.counter("bcc.bench.collect_spans_dropped").add(salt % 7);
+  r.gauge("bcc.bench.collect_suspected").set(static_cast<double>(salt % 5));
+  obs::Histogram& stale = r.histogram("bcc.bench.collect_staleness_ms");
+  obs::Histogram& conv = r.histogram("bcc.bench.collect_convergence_ms");
+  std::uint64_t x = salt * 2654435761u + 1;
+  for (int i = 0; i < 256; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    stale.record((x >> 33) % 4000);
+    conv.record((x >> 20) % 30000);
+  }
+  return r.snapshot();
+}
+
+obs::SpanRecord bench_span(std::uint64_t id, bool remote) {
+  obs::SpanRecord s;
+  s.id = id;
+  s.parent = remote ? id - 1 : 0;
+  s.trace_id = id;
+  s.category = obs::SpanCategory::kGossip;
+  s.name = remote ? "recv_exchange" : "send_exchange";
+  s.wall_begin_us = 1000 + id * 37;
+  s.wall_end_us = s.wall_begin_us + 120;
+  s.hop = remote ? 1 : 0;
+  s.node = static_cast<std::uint32_t>(id % 8);
+  s.remote_parent = remote;
+  return s;
+}
+
+obs::NodeTelemetry bench_telemetry(std::uint32_t node, std::size_t spans) {
+  obs::NodeTelemetry t;
+  t.node = node;
+  t.pid = 10000 + node;
+  t.wall_now_us = 123456789;
+  t.metrics = bench_registry(node);
+  for (std::size_t i = 0; i < spans; ++i) {
+    t.spans.push_back(bench_span((static_cast<std::uint64_t>(node) + 1)
+                                     << 40 |
+                                 (i + 1),
+                                 i % 2 == 1));
+  }
+  return t;
+}
+
+void BM_EncodeTelemetry(benchmark::State& state) {
+  const obs::NodeTelemetry t =
+      bench_telemetry(0, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const std::vector<std::uint8_t> bytes = obs::encode_node_telemetry(t);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeTelemetry)->Arg(256);
+
+void BM_DecodeTelemetry(benchmark::State& state) {
+  const std::vector<std::uint8_t> bytes = obs::encode_node_telemetry(
+      bench_telemetry(0, static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    obs::NodeTelemetry out;
+    obs::decode_node_telemetry(bytes.data(), bytes.size(), &out);
+    benchmark::DoNotOptimize(out.spans.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeTelemetry)->Arg(256);
+
+void BM_MergeFleet(benchmark::State& state) {
+  std::vector<obs::NodeTelemetry> fleet;
+  for (std::uint32_t n = 0; n < 8; ++n) fleet.push_back(bench_telemetry(n, 0));
+  for (auto _ : state) {
+    const obs::RegistrySnapshot merged = obs::merge_fleet_metrics(fleet);
+    benchmark::DoNotOptimize(merged.counters.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * fleet.size()));
+}
+BENCHMARK(BM_MergeFleet);
+
+void BM_EstimateClockOffsets(benchmark::State& state) {
+  // 8 processes x 256 spans, half of them remote-parented receive spans
+  // whose senders live in the neighboring entry — the matched-pair shape
+  // the estimator grinds through on a real fleet.
+  std::vector<obs::NodeTelemetry> fleet;
+  for (std::uint32_t n = 0; n < 8; ++n) fleet.push_back(bench_telemetry(n, 256));
+  for (auto _ : state) {
+    const std::vector<double> offsets = obs::estimate_clock_offsets(fleet);
+    benchmark::DoNotOptimize(offsets.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 256);
+}
+BENCHMARK(BM_EstimateClockOffsets);
+
+void BM_FlightRecordSpan(benchmark::State& state) {
+  const std::string path = "/tmp/bcc_collect_bench_" +
+                           std::to_string(::getpid()) + ".flight";
+  obs::FlightRecorder::Options fo;
+  fo.slot_count = 4096;
+  auto rec = obs::FlightRecorder::open(path, fo);
+  if (rec == nullptr) {
+    state.SkipWithError("cannot open flight recorder");
+    return;
+  }
+  const obs::SpanRecord span = bench_span(42, false);
+  for (auto _ : state) {
+    rec->record_span(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+  rec.reset();
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_FlightRecordSpan);
+
+// The A/B pair behind the overhead budget: the same enabled gossip span,
+// with and without the flight-recorder sink attached. The delta is what
+// `--flight-recorder` adds per span on the node's hot path.
+
+void BM_TracedSpan(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.enable(obs::SpanCategory::kGossip);
+  for (auto _ : state) {
+    obs::Span span(tracer, obs::SpanCategory::kGossip, "gossip_round");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracedSpan);
+
+void BM_TracedSpanWithFlightSink(benchmark::State& state) {
+  const std::string path = "/tmp/bcc_collect_bench_sink_" +
+                           std::to_string(::getpid()) + ".flight";
+  obs::FlightRecorder::Options fo;
+  fo.slot_count = 4096;
+  auto rec = obs::FlightRecorder::open(path, fo);
+  if (rec == nullptr) {
+    state.SkipWithError("cannot open flight recorder");
+    return;
+  }
+  obs::Tracer tracer;
+  tracer.enable(obs::SpanCategory::kGossip);
+  obs::FlightRecorder* fr = rec.get();
+  tracer.set_sink([fr](const obs::SpanRecord& r) { fr->record_span(r); });
+  for (auto _ : state) {
+    obs::Span span(tracer, obs::SpanCategory::kGossip, "gossip_round");
+    benchmark::DoNotOptimize(&span);
+  }
+  tracer.clear_sink();
+  state.SetItemsProcessed(state.iterations());
+  rec.reset();
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_TracedSpanWithFlightSink);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bcc::obs::BenchReport report("collect");
+  bcc::BenchJsonReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!report.write()) {
+    std::fprintf(stderr, "collect_bench: cannot write %s\n",
+                 report.path().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "benchmark telemetry written to %s\n",
+               report.path().c_str());
+  return 0;
+}

@@ -282,11 +282,7 @@ void BM_ExhaustiveBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_ExhaustiveBaseline);
 
-void BM_GossipUnderLoss(benchmark::State& state) {
-  // Asynchronous gossip to convergence under i.i.d. message loss (drop rate
-  // as a percentage in range(0)): what resilience costs — retries and longer
-  // horizons — relative to the loss-free run.
-  const double drop = static_cast<double>(state.range(0)) / 100.0;
+void gossip_under_loss_body(benchmark::State& state, double drop) {
   const std::size_t n = 60;
   const DistanceMatrix d = tree_metric_of(n, 29);
   Rng rng(33);
@@ -317,8 +313,29 @@ void BM_GossipUnderLoss(benchmark::State& state) {
   state.counters["retried"] = static_cast<double>(retried) / iters;
   state.counters["rounds"] = static_cast<double>(rounds) / iters;
 }
+
+void BM_GossipUnderLoss(benchmark::State& state) {
+  // Asynchronous gossip to convergence under i.i.d. message loss (drop rate
+  // as a percentage in range(0)): what resilience costs — retries and longer
+  // horizons — relative to the loss-free run.
+  gossip_under_loss_body(state, static_cast<double>(state.range(0)) / 100.0);
+}
 BENCHMARK(BM_GossipUnderLoss)->Unit(benchmark::kMillisecond)
     ->Arg(0)->Arg(10)->Arg(30);
+
+void BM_GossipUnderLossTraced(benchmark::State& state) {
+  // A/B partner of BM_GossipUnderLoss: identical workload with gossip
+  // tracing enabled on the global tracer — the per-span cost the telemetry
+  // plane adds to the protocol's hot path (EXPERIMENTS.md budgets the whole
+  // plane at <2% of gossip throughput).
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(obs::SpanCategory::kGossip);
+  gossip_under_loss_body(state, static_cast<double>(state.range(0)) / 100.0);
+  tracer.enable(obs::SpanCategory::kGossip, false);
+  tracer.clear();
+}
+BENCHMARK(BM_GossipUnderLossTraced)->Unit(benchmark::kMillisecond)
+    ->Arg(10);
 
 void BM_EventEngineThroughput(benchmark::State& state) {
   for (auto _ : state) {

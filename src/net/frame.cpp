@@ -147,4 +147,22 @@ bool decode_u64(const std::uint8_t* body, std::size_t len,
   return true;
 }
 
+std::vector<std::uint8_t> encode_telemetry_body(
+    std::uint64_t request_id, const std::vector<std::uint8_t>& telemetry) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + telemetry.size());
+  put_u64(out, request_id);
+  out.insert(out.end(), telemetry.begin(), telemetry.end());
+  return out;
+}
+
+bool decode_telemetry_body(const std::uint8_t* body, std::size_t len,
+                           std::uint64_t& request_id,
+                           std::vector<std::uint8_t>& telemetry) {
+  if (len < 8) return false;
+  request_id = get_u64(body);
+  telemetry.assign(body + 8, body + len);
+  return true;
+}
+
 }  // namespace bcc::net

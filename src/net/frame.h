@@ -33,6 +33,9 @@
 //   kAck          exchange u64
 //   kHeartbeat    sequence u64
 //   kHeartbeatAck sequence u64 (echo)
+//   kTelemetryRequest  request id u64
+//   kTelemetry    request id u64 | encoded NodeTelemetry (obs/collect.h
+//                 codec — the frame layer treats it as opaque bytes)
 #pragma once
 
 #include <cstdint>
@@ -45,7 +48,9 @@ namespace bcc::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x42434346u;  // "BCCF"
 inline constexpr std::uint8_t kWireVersionMajor = 1;
-inline constexpr std::uint8_t kWireVersionMinor = 0;
+// Minor 1: TELEMETRY request/response frames (additive — a minor-0 peer
+// ignores the new types, it never rejects them).
+inline constexpr std::uint8_t kWireVersionMinor = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 20;
 /// Refuse anything bigger — a corrupt length must not allocate gigabytes.
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
@@ -56,6 +61,8 @@ enum class FrameType : std::uint8_t {
   kAck = 2,           ///< exchange acknowledged by the receiver
   kHeartbeat = 3,     ///< liveness ping on an outbound connection
   kHeartbeatAck = 4,  ///< ping echo (half-open detection watches for these)
+  kTelemetryRequest = 5,  ///< collector asks for a metrics+trace snapshot
+  kTelemetry = 6,         ///< snapshot reply (request id + telemetry bytes)
 };
 
 constexpr const char* to_string(FrameType t) {
@@ -64,6 +71,8 @@ constexpr const char* to_string(FrameType t) {
     case FrameType::kAck: return "ack";
     case FrameType::kHeartbeat: return "heartbeat";
     case FrameType::kHeartbeatAck: return "heartbeat_ack";
+    case FrameType::kTelemetryRequest: return "telemetry_request";
+    case FrameType::kTelemetry: return "telemetry";
   }
   return "?";
 }
@@ -132,8 +141,18 @@ std::vector<std::uint8_t> encode_exchange(const ExchangePayload& p);
 bool decode_exchange(const std::uint8_t* body, std::size_t len,
                      ExchangePayload& out);
 
-/// kAck / kHeartbeat / kHeartbeatAck body: a single u64.
+/// kAck / kHeartbeat / kHeartbeatAck / kTelemetryRequest body: a single u64.
 std::vector<std::uint8_t> encode_u64(std::uint64_t v);
 bool decode_u64(const std::uint8_t* body, std::size_t len, std::uint64_t& out);
+
+/// kTelemetry body: the echoed request id followed by opaque telemetry
+/// bytes (obs/collect.h's encode_node_telemetry output — the frame layer
+/// never interprets them, so the telemetry format can evolve without a
+/// wire version bump).
+std::vector<std::uint8_t> encode_telemetry_body(
+    std::uint64_t request_id, const std::vector<std::uint8_t>& telemetry);
+bool decode_telemetry_body(const std::uint8_t* body, std::size_t len,
+                           std::uint64_t& request_id,
+                           std::vector<std::uint8_t>& telemetry);
 
 }  // namespace bcc::net

@@ -16,6 +16,7 @@
 #include "common/shutdown.h"
 #include "data/latency_synth.h"
 #include "metric/bandwidth.h"
+#include "obs/collect.h"
 #include "obs/export.h"
 #include "serve/snapshot.h"
 
@@ -165,17 +166,59 @@ int ProcessNode::run(int control_fd, std::ostream& out) {
     const int flags = ::fcntl(control_fd, F_GETFL, 0);
     if (flags >= 0) ::fcntl(control_fd, F_SETFL, flags | O_NONBLOCK);
   }
+
+  // Telemetry plumbing. Register the spans-dropped counter up front so the
+  // collector's merged output always carries it, even at 0.
+  obs::spans_dropped_counter();
+  if (!options_.flight_recorder.empty()) {
+    obs::FlightRecorder::Options fo;
+    fo.node = static_cast<std::uint32_t>(options_.id);
+    flight_ = obs::FlightRecorder::open(options_.flight_recorder, fo);
+    if (flight_ != nullptr) {
+      obs::FlightRecorder* fr = flight_.get();
+      obs::Tracer::global().set_sink(
+          [fr](const obs::SpanRecord& r) { fr->record_span(r); });
+    }
+  }
+  if (options_.trace_gossip || flight_ != nullptr) {
+    // Disjoint per-process id ranges make fleet-wide re-parenting exact.
+    obs::Tracer::global().seed_ids(
+        (static_cast<std::uint64_t>(options_.id) + 1) << 40);
+    obs::Tracer::global().enable(obs::SpanCategory::kGossip, true);
+  }
+  tcp_.set_telemetry_provider([this] {
+    obs::NodeTelemetry t;
+    t.node = static_cast<std::uint32_t>(options_.id);
+    t.pid = static_cast<std::uint32_t>(::getpid());
+    t.wall_now_us = static_cast<std::uint64_t>(mono_seconds() * 1e6);
+    t.metrics = obs::Registry::global().snapshot();
+    // drain(), not snapshot(): successive scrapes stream the ring instead
+    // of re-sending (and re-merging) the same spans.
+    t.spans = obs::Tracer::global().drain();
+    return obs::encode_node_telemetry(t);
+  });
+
   overlay_.start(engine_);
   out << "ready\n";
   out.flush();
 
   const double t0 = mono_seconds();
+  double next_flight_flush = 0.0;
   std::string ctl;
   char buf[4096];
   while (!quit_ && !shutdown_requested()) {
     const double now = mono_seconds() - t0;
     engine_.run_until(now);
     if (options_.run_for > 0.0 && now >= options_.run_for) break;
+    if (flight_ != nullptr && now >= next_flight_flush) {
+      // Quarter-second cadence: cheap (one registry snapshot + memcpy into
+      // the mapped region) and fresh enough that a kill -9 loses at most
+      // ~250ms of counter movement.
+      const std::vector<std::uint8_t> blob =
+          obs::encode_node_metrics(obs::Registry::global().snapshot());
+      flight_->record_metrics(blob.data(), blob.size());
+      next_flight_flush = now + 0.25;
+    }
     // Sleep in poll until the next engine timer (capped so control lines
     // and heartbeats stay responsive on an otherwise-idle node).
     double timeout = 0.02;
@@ -201,6 +244,12 @@ int ProcessNode::run(int control_fd, std::ostream& out) {
 
   // Orderly drain: final state + metrics flush, then exit 0 — SIGTERM'd
   // nodes look exactly like quit nodes to the supervisor.
+  if (flight_ != nullptr) {
+    obs::Tracer::global().clear_sink();  // before the recorder unmaps
+    const std::vector<std::uint8_t> blob =
+        obs::encode_node_metrics(obs::Registry::global().snapshot());
+    flight_->record_metrics(blob.data(), blob.size());
+  }
   if (!options_.state_out.empty()) {
     std::ostringstream state;
     dump_state(state);

@@ -30,10 +30,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "core/async_overlay.h"
 #include "net/tcp_transport.h"
+#include "obs/flight.h"
 #include "tree/embedder.h"
 
 namespace bcc::net {
@@ -71,6 +73,15 @@ struct ProcessNodeOptions {
   std::string metrics_out;
   /// Final state dump written here on exit when non-empty.
   std::string state_out;
+  /// When non-empty: mmap-backed crash flight recorder (obs/flight.h) at
+  /// this path — every completed span and a periodic metrics snapshot are
+  /// written crash-consistently, so a kill -9 still leaves evidence.
+  /// Implies trace_gossip.
+  std::string flight_recorder;
+  /// Enable gossip-category tracing (spans feed the telemetry endpoint and
+  /// the flight recorder). The tracer's id space is seeded per process
+  /// ((id + 1) << 40) so span ids never collide across the fleet.
+  bool trace_gossip = false;
 };
 
 /// See file comment.
@@ -107,6 +118,7 @@ class ProcessNode {
   AsyncOverlayOptions overlay_options_;
   AsyncOverlay overlay_;
   EventEngine engine_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
   bool quit_ = false;
   std::uint64_t query_version_ = 0;
 };

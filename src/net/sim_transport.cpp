@@ -15,6 +15,8 @@ const char* metrics_label(FrameType type) {
     case FrameType::kAck: return "async_ack";
     case FrameType::kHeartbeat:
     case FrameType::kHeartbeatAck: return "net_heartbeat";
+    case FrameType::kTelemetryRequest:
+    case FrameType::kTelemetry: return "net_telemetry";
   }
   return "net_frame";
 }

@@ -12,12 +12,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <utility>
 
 #include "common/assert.h"
 #include "core/system.h"
 #include "net/node_runtime.h"
+#include "net/telemetry_client.h"
+#include "obs/export.h"
 
 namespace bcc::net {
 
@@ -81,6 +84,11 @@ std::string ProcessSupervisor::metrics_path(NodeId id) const {
          ".metrics.json";
 }
 
+std::string ProcessSupervisor::flight_path(NodeId id) const {
+  if (options_.flight_dir.empty()) return "";
+  return options_.flight_dir + "/node" + std::to_string(id) + ".flight";
+}
+
 bool ProcessSupervisor::spawn(NodeId id) {
   BCC_REQUIRE(id < children_.size());
   BCC_REQUIRE(base_port_ != 0);
@@ -110,6 +118,11 @@ bool ProcessSupervisor::spawn(NodeId id) {
     if (!mpath.empty()) {
       args.push_back("--metrics-out");
       args.push_back(mpath);
+    }
+    const std::string fpath = flight_path(id);
+    if (!fpath.empty()) {
+      args.push_back("--flight-recorder");
+      args.push_back(fpath);
     }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
@@ -347,6 +360,37 @@ long long ProcessSupervisor::metrics_counter(NodeId id,
   return std::strtoll(text.c_str() + pos + key.size(), nullptr, 10);
 }
 
+std::size_t ProcessSupervisor::collect(double per_node_timeout,
+                                       std::vector<obs::NodeTelemetry>* fleet) {
+  const std::size_t before = fleet->size();
+  std::vector<Endpoint> endpoints;
+  for (NodeId id = 0; id < options_.n; ++id) {
+    if (!alive(id)) continue;  // a corpse's port refuses instantly anyway
+    Endpoint ep;
+    ep.port = static_cast<std::uint16_t>(base_port_ + id);
+    endpoints.push_back(ep);
+  }
+  scrape_fleet(endpoints, per_node_timeout, fleet);
+  if (!options_.flight_dir.empty()) {
+    obs::augment_missing_from_flight(options_.flight_dir, fleet);
+  }
+  if (options_.verbose) {
+    std::fprintf(stderr, "[sup] collected %zu/%zu nodes\n",
+                 fleet->size() - before, options_.n);
+  }
+  return fleet->size() - before;
+}
+
+bool ProcessSupervisor::write_fleet_artifacts(
+    const std::vector<obs::NodeTelemetry>& fleet, const std::string& dir) {
+  const std::vector<double> offsets = obs::estimate_clock_offsets(fleet);
+  return obs::write_text_file(dir + "/fleet_trace.json",
+                              obs::fleet_chrome_trace_json(fleet, offsets)) &&
+         obs::write_text_file(
+             dir + "/fleet_metrics.json",
+             obs::json_object(obs::merge_fleet_metrics(fleet)));
+}
+
 std::string run_scenario(const std::string& name, SupervisorOptions options) {
   const std::size_t n = options.n;
   const double deadline = options.converge_deadline;
@@ -446,6 +490,130 @@ std::string run_scenario(const std::string& name, SupervisorOptions options) {
         return name + "/metrics: bcc.net.frames_sent = " +
                std::to_string(sent);
       }
+    }
+    return "";
+  }
+
+  if (name == "kill-collect") {
+    if (n < 4) return "kill-collect needs n >= 4";
+    if (options.flight_dir.empty()) return "kill-collect needs flight_dir";
+    // Let gossip run so cross-process exchanges (and their spans) pile up
+    // on both sides of every link — then kill a node mid-conversation.
+    sleep_s(1.2);
+    const NodeId victim = 1;
+    sup.kill_hard(victim);
+
+    std::vector<obs::NodeTelemetry> fleet;
+    sup.collect(2.0, &fleet);
+    if (fleet.size() < n) {
+      return name + "/collect: " + std::to_string(fleet.size()) + "/" +
+             std::to_string(n) + " nodes (victim flight ring missing?)";
+    }
+    const obs::NodeTelemetry* dead = nullptr;
+    std::size_t live_spans = 0;
+    for (const obs::NodeTelemetry& t : fleet) {
+      if (t.node == victim) dead = &t;
+      else live_spans += t.spans.size();
+    }
+    if (dead == nullptr || !dead->recovered) {
+      return name + "/flight: victim not recovered from disk";
+    }
+    if (dead->spans.empty()) return name + "/flight: victim ring empty";
+    if (live_spans == 0) return name + "/scrape: no live spans";
+
+    // The acceptance chain: a receive span on one process causally linked
+    // (remote parent id) to a send span on another, with the flight-
+    // recovered victim on one end — either as the sender whose spans only
+    // survive on disk, or as the receiver recovered from disk.
+    std::set<std::uint64_t> victim_ids;
+    for (const obs::SpanRecord& s : dead->spans) victim_ids.insert(s.id);
+    bool linked = false;
+    for (const obs::NodeTelemetry& t : fleet) {
+      if (t.node == victim) continue;
+      for (const obs::SpanRecord& s : t.spans) {
+        if (s.remote_parent && victim_ids.count(s.parent) > 0) linked = true;
+      }
+    }
+    if (!linked) {
+      std::set<std::uint64_t> live_ids;
+      for (const obs::NodeTelemetry& t : fleet) {
+        if (t.node == victim) continue;
+        for (const obs::SpanRecord& s : t.spans) live_ids.insert(s.id);
+      }
+      for (const obs::SpanRecord& s : dead->spans) {
+        if (s.remote_parent && live_ids.count(s.parent) > 0) linked = true;
+      }
+    }
+    if (!linked) {
+      return name + "/causal: no cross-process span chain touches the victim";
+    }
+
+    // The merged timeline must carry the victim's flight lane and at least
+    // one cross-process flow arrow.
+    const std::string trace = obs::fleet_chrome_trace_json(
+        fleet, obs::estimate_clock_offsets(fleet));
+    if (trace.find("[flight]") == std::string::npos) {
+      return name + "/export: no flight lane in merged trace";
+    }
+    if (trace.find("\"ph\":\"s\"") == std::string::npos) {
+      return name + "/export: no flow arrows in merged trace";
+    }
+    if (!options.telemetry_out.empty() &&
+        !ProcessSupervisor::write_fleet_artifacts(fleet,
+                                                  options.telemetry_out)) {
+      return name + "/export: artifact write failed";
+    }
+    return "";
+  }
+
+  if (name == "overhead") {
+    // Collector-overhead A/B on a live cluster: same wall window, same
+    // world, gossip throughput (sum of bcc.net.frames_sent per second)
+    // without vs with a 0.5s-period collector. Needs metrics_dir for the
+    // drained counter files. Reported, not asserted — EXPERIMENTS.md
+    // records the number against the <2% budget (a hard assert here would
+    // be noise-limited on a loaded 1-cpu CI box).
+    if (options.metrics_dir.empty()) return "overhead needs metrics_dir";
+    const double window = 6.0;
+    double rate[2] = {0.0, 0.0};
+    for (int scraped = 0; scraped < 2; ++scraped) {
+      ProcessSupervisor ab(options);
+      if (!ab.start_cluster()) {
+        return name + "/start: " + ab.last_error();
+      }
+      const double t_end = mono_seconds() + window;
+      while (mono_seconds() < t_end) {
+        if (scraped == 1) {
+          std::vector<obs::NodeTelemetry> fleet;
+          ab.collect(0.5, &fleet);
+        }
+        sleep_s(0.5);
+      }
+      long long frames = 0;
+      for (NodeId id = 0; id < n; ++id) {
+        const int code = ab.sigterm_wait(id, 10.0);
+        if (code != 0) {
+          return name + "/drain-node" + std::to_string(id) + ": exit code " +
+                 std::to_string(code);
+        }
+        frames +=
+            std::max(0ll, ab.metrics_counter(id, "bcc.net.frames_sent"));
+      }
+      rate[scraped] = static_cast<double>(frames) / window;
+    }
+    const double delta_pct =
+        rate[0] > 0.0 ? (rate[0] - rate[1]) / rate[0] * 100.0 : 0.0;
+    std::fprintf(stderr,
+                 "[overhead] frames/s unscraped=%.1f scraped=%.1f "
+                 "delta=%.2f%%\n",
+                 rate[0], rate[1], delta_pct);
+    if (!options.telemetry_out.empty()) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"frames_per_s_unscraped\":%.1f,"
+                    "\"frames_per_s_scraped\":%.1f,\"delta_pct\":%.2f}\n",
+                    rate[0], rate[1], delta_pct);
+      obs::write_text_file(options.telemetry_out + "/overhead.json", buf);
     }
     return "";
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "metric/distance_matrix.h"  // NodeId
+#include "obs/collect.h"
 
 namespace bcc::net {
 
@@ -36,6 +37,13 @@ struct SupervisorOptions {
   bool verbose = false;             ///< narrate to stderr
   /// Directory for child --metrics-out files ("" = none written).
   std::string metrics_dir;
+  /// When non-empty: children run with gossip tracing + an mmap flight
+  /// recorder at <flight_dir>/node<id>.flight, and collect() augments the
+  /// scraped fleet with dead nodes' on-disk rings.
+  std::string flight_dir;
+  /// When non-empty: scenarios that collect telemetry write the merged
+  /// Perfetto timeline + fleet metrics JSON artifacts into this directory.
+  std::string telemetry_out;
 };
 
 /// See file comment. Not thread-safe; one instance drives one cluster.
@@ -85,6 +93,19 @@ class ProcessSupervisor {
   /// meaningful after the node exited (metrics flush on drain).
   long long metrics_counter(NodeId id, const std::string& name) const;
 
+  /// Scrapes every live node's telemetry endpoint (per-node timeout, so a
+  /// node dying mid-scrape costs bounded time and yields a partial fleet,
+  /// never a hang), then — when flight_dir is set — recovers any missing
+  /// node from its on-disk flight ring. Appends to *fleet; returns how
+  /// many entries were added.
+  std::size_t collect(double per_node_timeout,
+                      std::vector<obs::NodeTelemetry>* fleet);
+
+  /// Writes <dir>/fleet_trace.json (merged clock-aligned Perfetto timeline)
+  /// and <dir>/fleet_metrics.json (merged registry) for a collected fleet.
+  static bool write_fleet_artifacts(
+      const std::vector<obs::NodeTelemetry>& fleet, const std::string& dir);
+
   std::uint16_t base_port() const { return base_port_; }
   const std::string& last_error() const { return last_error_; }
 
@@ -100,6 +121,7 @@ class ProcessSupervisor {
   void kill_all();
   bool read_line(Child& c, std::string& line, double deadline);
   std::string metrics_path(NodeId id) const;
+  std::string flight_path(NodeId id) const;
   bool fail(const std::string& message);
 
   SupervisorOptions options_;
@@ -118,6 +140,15 @@ class ProcessSupervisor {
 ///   stall-resume    SIGSTOP one node past the heartbeat timeout; SIGCONT;
 ///                   exact fixpoint again
 ///   drain           SIGTERM every node; all exit 0 with metrics flushed
+///   kill-collect    (needs flight_dir) kill -9 one node mid-gossip, scrape
+///                   the survivors, recover the victim's spans from its
+///                   flight ring, and verify the merged timeline contains a
+///                   causal cross-process send->receive chain with the
+///                   victim on one end; writes artifacts to telemetry_out
+///   overhead        (needs metrics_dir) gossip throughput A/B: a timed
+///                   window without telemetry scraping vs one scraped every
+///                   0.5s; reports the relative delta on stderr (the <2%
+///                   budget recorded in EXPERIMENTS.md)
 std::string run_scenario(const std::string& name, SupervisorOptions options);
 
 }  // namespace bcc::net

@@ -297,6 +297,31 @@ std::size_t TcpTransport::deliver_frame(Frame&& f, InConn* in, OutConn* out) {
       if (out != nullptr) out->last_pong = mono_now();
       return 0;
     }
+    case FrameType::kTelemetryRequest: {
+      // Reply on the same inbound connection the request arrived on — the
+      // collector is a pure client (it dials the node's listen port), so
+      // this is the heartbeat-echo path, not a new dialed direction.
+      std::uint64_t request_id = 0;
+      if (in == nullptr || telemetry_provider_ == nullptr ||
+          !decode_u64(f.body.data(), f.body.size(), request_id)) {
+        return 0;
+      }
+      const std::vector<std::uint8_t> body =
+          encode_telemetry_body(request_id, telemetry_provider_());
+      if (obs::kTraceContextWireBytes + body.size() > kMaxFramePayload) {
+        m.frames_dropped.add();  // snapshot too fat for one frame
+        return 0;
+      }
+      append_frame(in->wbuf, FrameType::kTelemetry, options_.local, f.src,
+                   obs::TraceContext{}, body.data(), body.size());
+      flush_in(*in);
+      return 0;
+    }
+    case FrameType::kTelemetry: {
+      // Nodes never solicit telemetry from each other; only the collector
+      // client (telemetry_client.cpp) consumes these.
+      return 0;
+    }
     case FrameType::kExchange:
     case FrameType::kAck: {
       if (f.dst != options_.local || handler_ == nullptr) {

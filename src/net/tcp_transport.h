@@ -94,6 +94,15 @@ class TcpTransport : public Transport {
 
   void set_handler(Handler handler) override { handler_ = std::move(handler); }
 
+  /// Bytes to serve when a collector sends kTelemetryRequest — typically
+  /// obs::encode_node_telemetry over the live registry + drained trace
+  /// ring. Runs on the pump thread. Unset = telemetry requests are ignored
+  /// (the collector's per-node deadline turns that into a skipped node).
+  using TelemetryProvider = std::function<std::vector<std::uint8_t>()>;
+  void set_telemetry_provider(TelemetryProvider provider) {
+    telemetry_provider_ = std::move(provider);
+  }
+
   /// Queues one frame to `to` (never blocks; sheds on overflow). Dials the
   /// peer when no connection exists yet. `from` must be the local node.
   void send(NodeId from, NodeId to, FrameType type,
@@ -160,6 +169,7 @@ class TcpTransport : public Transport {
 
   TcpTransportOptions options_;
   Handler handler_;
+  TelemetryProvider telemetry_provider_;
   Rng rng_;
   int listen_fd_ = -1;
   bool listener_wanted_ = false;  ///< reopen after open_listener()

@@ -1,0 +1,155 @@
+#include "net/telemetry_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "net/frame.h"
+
+namespace bcc::net {
+
+namespace {
+
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int poll_remaining(int fd, short events, double deadline) {
+  const double left = deadline - mono_seconds();
+  if (left <= 0.0) return 0;  // timed out
+  pollfd p{fd, events, 0};
+  return ::poll(&p, 1, static_cast<int>(left * 1000.0) + 1);
+}
+
+/// Non-blocking connect bounded by `deadline`. Returns the connected fd or
+/// -1 (refused, unreachable, or out of time).
+int dial(const Endpoint& ep, double deadline) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  if (poll_remaining(fd, POLLOUT, deadline) <= 0) {
+    ::close(fd);
+    return -1;
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+      err != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t len,
+              double deadline) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (poll_remaining(fd, POLLOUT, deadline) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool scrape_node(const Endpoint& endpoint, double timeout_s,
+                 obs::NodeTelemetry* out) {
+  const double deadline = mono_seconds() + timeout_s;
+  const int fd = dial(endpoint, deadline);
+  if (fd < 0) return false;
+
+  // NodeId 0xfffffffe marks the frame as collector-originated; the node's
+  // reply echoes it as dst, which nothing routes on (replies come back on
+  // this very connection).
+  constexpr NodeId kCollectorId = 0xfffffffeu;
+  const std::uint64_t request_id =
+      static_cast<std::uint64_t>(::getpid()) << 32 |
+      (static_cast<std::uint64_t>(endpoint.port));
+  const std::vector<std::uint8_t> request =
+      encode_frame(FrameType::kTelemetryRequest, kCollectorId, kCollectorId,
+                   obs::TraceContext{}, encode_u64(request_id));
+  if (!send_all(fd, request.data(), request.size(), deadline)) {
+    ::close(fd);
+    return false;
+  }
+
+  std::vector<std::uint8_t> rbuf;
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    // Decode-first: the reply may already be buffered whole.
+    DecodeResult r = decode_frame(rbuf.data(), rbuf.size());
+    if (r.status == DecodeStatus::kOk) {
+      rbuf.erase(rbuf.begin(),
+                 rbuf.begin() + static_cast<std::ptrdiff_t>(r.consumed));
+      if (r.frame.type != FrameType::kTelemetry) continue;  // e.g. stray ack
+      ::close(fd);
+      std::uint64_t echoed = 0;
+      std::vector<std::uint8_t> telemetry;
+      return decode_telemetry_body(r.frame.body.data(), r.frame.body.size(),
+                                   echoed, telemetry) &&
+             echoed == request_id &&
+             obs::decode_node_telemetry(telemetry.data(), telemetry.size(),
+                                        out);
+    }
+    if (r.status == DecodeStatus::kBadVersion) {
+      rbuf.erase(rbuf.begin(),
+                 rbuf.begin() + static_cast<std::ptrdiff_t>(r.consumed));
+      continue;
+    }
+    if (r.status != DecodeStatus::kNeedMore) break;  // corrupt stream
+    if (poll_remaining(fd, POLLIN, deadline) <= 0) break;  // deadline
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0 && !(n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))) {
+      break;  // EOF mid-reply (node died / drained) or error
+    }
+    if (n > 0) rbuf.insert(rbuf.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return false;
+}
+
+std::size_t scrape_fleet(const std::vector<Endpoint>& endpoints,
+                         double per_node_timeout_s,
+                         std::vector<obs::NodeTelemetry>* fleet) {
+  std::size_t scraped = 0;
+  for (const Endpoint& ep : endpoints) {
+    obs::NodeTelemetry t;
+    if (!scrape_node(ep, per_node_timeout_s, &t)) continue;
+    fleet->push_back(std::move(t));
+    ++scraped;
+  }
+  return scraped;
+}
+
+}  // namespace bcc::net

@@ -1,0 +1,34 @@
+// Collector-side scrape client: dials a node's listen endpoint, sends one
+// kTelemetryRequest frame, and reads back the kTelemetry reply — all under
+// a hard per-node deadline. The node side is the TcpTransport telemetry
+// provider (the reply rides the same inbound connection, like heartbeat
+// echoes), so scraping needs no new listener anywhere.
+//
+// The deadline is the deflake contract: a scrape racing a node's SIGTERM
+// drain (or a kill -9 corpse whose port still accepts nothing) fails fast
+// with `false` instead of hanging, and the collector reports a well-formed
+// partial fleet — tests/collect_test.cpp pins both the timeout and the
+// partial-fleet shape.
+#pragma once
+
+#include <vector>
+
+#include "net/tcp_transport.h"  // Endpoint
+#include "obs/collect.h"
+
+namespace bcc::net {
+
+/// Scrapes one node: connect + request + reply, each phase bounded by what
+/// remains of `timeout_s` (wall seconds). Returns false on refused/dead/
+/// slow/garbage peers; *out is untouched on failure.
+bool scrape_node(const Endpoint& endpoint, double timeout_s,
+                 obs::NodeTelemetry* out);
+
+/// Scrapes every endpoint in turn (per-node timeout, so a dead node costs
+/// one timeout, not the whole budget times out). Appends successes to
+/// *fleet and returns how many nodes answered.
+std::size_t scrape_fleet(const std::vector<Endpoint>& endpoints,
+                         double per_node_timeout_s,
+                         std::vector<obs::NodeTelemetry>* fleet);
+
+}  // namespace bcc::net

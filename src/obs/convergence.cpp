@@ -28,7 +28,7 @@ ConvergenceMonitor::ConvergenceMonitor(Registry* registry, Sampler sampler)
   converged_gauge_ = &registry->gauge("bcc.conv.converged");
   down_gauge_ = &registry->gauge("bcc.conv.down_nodes");
   suspected_gauge_ = &registry->gauge("bcc.conv.suspected_links");
-  staleness_ms_ = &registry->histogram("bcc.conv.staleness_ms");
+  staleness_ms_ = &registry->histogram(kStalenessHistogramName);
   node_convergence_ms_ = &registry->histogram("bcc.conv.node_convergence_ms");
   time_to_convergence_ms_ =
       &registry->histogram("bcc.conv.time_to_convergence_ms");

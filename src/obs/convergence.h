@@ -46,6 +46,11 @@
 
 namespace bcc::obs {
 
+/// Registered by ConvergenceMonitor and looked up by name in scraped
+/// RegistrySnapshots (`bcc top`'s staleness column); shared so the lint's
+/// one-literal-per-instrument rule holds.
+inline constexpr const char* kStalenessHistogramName = "bcc.conv.staleness_ms";
+
 /// One node's health at a sample instant, as plain data.
 struct NodeHealth {
   std::uint64_t id = 0;

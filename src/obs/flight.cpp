@@ -1,0 +1,240 @@
+#include "obs/flight.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace bcc::obs {
+
+namespace {
+
+// Header field offsets (see flight.h file comment for the protocol).
+constexpr std::size_t kHdrMagic = 0;
+constexpr std::size_t kHdrVersion = 8;
+constexpr std::size_t kHdrNode = 12;
+constexpr std::size_t kHdrPid = 16;
+constexpr std::size_t kHdrSlotSize = 20;
+constexpr std::size_t kHdrSlotCount = 24;
+constexpr std::size_t kHdrMetricsCap = 28;
+constexpr std::size_t kHdrMetricsSeq = 32;  // seqlock word (u64, atomic)
+constexpr std::size_t kHdrMetricsLen = 40;
+
+// Span-slot field offsets. `seq` first: it is the commit word.
+constexpr std::size_t kSlotSeq = 0;
+constexpr std::size_t kSlotId = 8;
+constexpr std::size_t kSlotParent = 16;
+constexpr std::size_t kSlotTrace = 24;
+constexpr std::size_t kSlotWallBegin = 32;
+constexpr std::size_t kSlotWallEnd = 40;
+constexpr std::size_t kSlotSimBegin = 48;
+constexpr std::size_t kSlotSimEnd = 56;
+constexpr std::size_t kSlotHop = 64;
+constexpr std::size_t kSlotNode = 68;
+constexpr std::size_t kSlotCategory = 72;
+constexpr std::size_t kSlotFlags = 73;  // bit 0 = remote_parent
+constexpr std::size_t kSlotNameLen = 74;
+constexpr std::size_t kSlotName = 75;
+constexpr std::size_t kSlotNameMax = kFlightSlotBytes - kSlotName;
+
+template <typename T>
+void put(std::uint8_t* base, std::size_t off, T v) {
+  std::memcpy(base + off, &v, sizeof(T));
+}
+template <typename T>
+T get(const std::uint8_t* base, std::size_t off) {
+  T v;
+  std::memcpy(&v, base + off, sizeof(T));
+  return v;
+}
+
+std::size_t slots_offset(std::uint32_t metrics_cap) {
+  // Keep slots (and therefore each slot's seq word) 8-byte aligned.
+  const std::size_t raw = kFlightHeaderBytes + metrics_cap;
+  return (raw + kFlightSlotBytes - 1) / kFlightSlotBytes * kFlightSlotBytes;
+}
+
+std::atomic_ref<std::uint64_t> seq_ref(std::uint8_t* p) {
+  return std::atomic_ref<std::uint64_t>(
+      *reinterpret_cast<std::uint64_t*>(p));
+}
+
+}  // namespace
+
+std::unique_ptr<FlightRecorder> FlightRecorder::open(const std::string& path,
+                                                     const Options& opts) {
+  const std::uint32_t slot_count = opts.slot_count == 0 ? 1 : opts.slot_count;
+  const std::size_t slots_off = slots_offset(opts.metrics_cap);
+  const std::size_t total =
+      slots_off + static_cast<std::size_t>(slot_count) * kFlightSlotBytes;
+
+  const int fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return nullptr;
+  if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  void* map =
+      ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) {
+    ::close(fd);
+    return nullptr;
+  }
+
+  auto rec = std::unique_ptr<FlightRecorder>(new FlightRecorder());
+  rec->path_ = path;
+  rec->fd_ = fd;
+  rec->map_ = static_cast<std::uint8_t*>(map);
+  rec->map_len_ = total;
+  rec->slot_count_ = slot_count;
+  rec->metrics_cap_ = opts.metrics_cap;
+
+  std::uint8_t* h = rec->map_;
+  put<std::uint32_t>(h, kHdrVersion, kFlightVersion);
+  put<std::uint32_t>(h, kHdrNode, opts.node);
+  put<std::uint32_t>(h, kHdrPid, static_cast<std::uint32_t>(::getpid()));
+  put<std::uint32_t>(h, kHdrSlotSize, kFlightSlotBytes);
+  put<std::uint32_t>(h, kHdrSlotCount, slot_count);
+  put<std::uint32_t>(h, kHdrMetricsCap, opts.metrics_cap);
+  put<std::uint64_t>(h, kHdrMetricsSeq, 0);
+  put<std::uint32_t>(h, kHdrMetricsLen, 0);
+  // Magic last, with release: a reader never sees a valid magic over an
+  // unwritten header (relevant if it races a live writer's setup).
+  seq_ref(h + kHdrMagic).store(kFlightMagic, std::memory_order_release);
+  return rec;
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FlightRecorder::record_span(const SpanRecord& rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  std::uint8_t* slot = map_ + slots_offset(metrics_cap_) +
+                       ((seq - 1) % slot_count_) * kFlightSlotBytes;
+  // Invalidate, fill, commit — in that order (see flight.h protocol).
+  seq_ref(slot + kSlotSeq).store(0, std::memory_order_relaxed);
+  put<std::uint64_t>(slot, kSlotId, rec.id);
+  put<std::uint64_t>(slot, kSlotParent, rec.parent);
+  put<std::uint64_t>(slot, kSlotTrace, rec.trace_id);
+  put<std::uint64_t>(slot, kSlotWallBegin, rec.wall_begin_us);
+  put<std::uint64_t>(slot, kSlotWallEnd, rec.wall_end_us);
+  put<double>(slot, kSlotSimBegin, rec.sim_begin);
+  put<double>(slot, kSlotSimEnd, rec.sim_end);
+  put<std::uint32_t>(slot, kSlotHop, rec.hop);
+  put<std::uint32_t>(slot, kSlotNode, rec.node);
+  put<std::uint8_t>(slot, kSlotCategory,
+                    static_cast<std::uint8_t>(rec.category));
+  put<std::uint8_t>(slot, kSlotFlags, rec.remote_parent ? 1 : 0);
+  const std::size_t name_len =
+      std::min(std::strlen(rec.name), kSlotNameMax);
+  put<std::uint8_t>(slot, kSlotNameLen, static_cast<std::uint8_t>(name_len));
+  std::memcpy(slot + kSlotName, rec.name, name_len);
+  seq_ref(slot + kSlotSeq).store(seq, std::memory_order_release);
+}
+
+void FlightRecorder::record_metrics(const std::uint8_t* data,
+                                    std::size_t len) {
+  if (len > metrics_cap_) return;  // dropped whole, never torn
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto seq = seq_ref(map_ + kHdrMetricsSeq);
+  seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write in progress
+  std::memcpy(map_ + kFlightHeaderBytes, data, len);
+  put<std::uint32_t>(map_, kHdrMetricsLen, static_cast<std::uint32_t>(len));
+  seq.fetch_add(1, std::memory_order_acq_rel);  // even: committed
+}
+
+bool read_flight_file(const std::string& path, FlightData* out) {
+  *out = FlightData{};
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 ||
+      st.st_size < static_cast<off_t>(kFlightHeaderBytes)) {
+    ::close(fd);
+    return false;
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) return false;
+  const auto* h = static_cast<const std::uint8_t*>(map);
+
+  bool ok = get<std::uint64_t>(h, kHdrMagic) == kFlightMagic &&
+            get<std::uint32_t>(h, kHdrVersion) == kFlightVersion &&
+            get<std::uint32_t>(h, kHdrSlotSize) == kFlightSlotBytes;
+  std::uint32_t slot_count = 0;
+  std::uint32_t metrics_cap = 0;
+  if (ok) {
+    slot_count = get<std::uint32_t>(h, kHdrSlotCount);
+    metrics_cap = get<std::uint32_t>(h, kHdrMetricsCap);
+    ok = len >= slots_offset(metrics_cap) +
+                    static_cast<std::size_t>(slot_count) * kFlightSlotBytes;
+  }
+  if (!ok) {
+    ::munmap(map, len);
+    return false;
+  }
+
+  out->node = get<std::uint32_t>(h, kHdrNode);
+  out->pid = get<std::uint32_t>(h, kHdrPid);
+
+  const std::uint64_t mseq = get<std::uint64_t>(h, kHdrMetricsSeq);
+  if (mseq % 2 == 1) {
+    out->metrics_torn = true;  // writer died mid-snapshot; discard bytes
+  } else if (mseq > 0) {
+    const std::uint32_t mlen =
+        std::min(get<std::uint32_t>(h, kHdrMetricsLen), metrics_cap);
+    out->metrics_blob.assign(h + kFlightHeaderBytes,
+                             h + kFlightHeaderBytes + mlen);
+  }
+
+  const std::uint8_t* slots = h + slots_offset(metrics_cap);
+  std::vector<std::pair<std::uint64_t, const std::uint8_t*>> committed;
+  committed.reserve(slot_count);
+  for (std::uint32_t i = 0; i < slot_count; ++i) {
+    const std::uint8_t* slot = slots + i * kFlightSlotBytes;
+    const std::uint64_t seq = get<std::uint64_t>(slot, kSlotSeq);
+    if (seq == 0) continue;  // empty, or the victim died mid-overwrite
+    committed.emplace_back(seq, slot);
+  }
+  std::sort(committed.begin(), committed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  out->spans.reserve(committed.size());
+  for (const auto& [seq, slot] : committed) {
+    SpanRecord rec;
+    rec.id = get<std::uint64_t>(slot, kSlotId);
+    rec.parent = get<std::uint64_t>(slot, kSlotParent);
+    rec.trace_id = get<std::uint64_t>(slot, kSlotTrace);
+    rec.wall_begin_us = get<std::uint64_t>(slot, kSlotWallBegin);
+    rec.wall_end_us = get<std::uint64_t>(slot, kSlotWallEnd);
+    rec.sim_begin = get<double>(slot, kSlotSimBegin);
+    rec.sim_end = get<double>(slot, kSlotSimEnd);
+    rec.hop = get<std::uint32_t>(slot, kSlotHop);
+    rec.node = get<std::uint32_t>(slot, kSlotNode);
+    rec.category = static_cast<SpanCategory>(
+        get<std::uint8_t>(slot, kSlotCategory) % kSpanCategoryCount);
+    rec.remote_parent = (get<std::uint8_t>(slot, kSlotFlags) & 1) != 0;
+    const std::size_t name_len =
+        std::min<std::size_t>(get<std::uint8_t>(slot, kSlotNameLen),
+                              kSlotNameMax);
+    out->name_pool.emplace_back(
+        reinterpret_cast<const char*>(slot + kSlotName), name_len);
+    rec.name = out->name_pool.back().c_str();
+    out->spans.push_back(rec);
+    out->newest_seq = seq;
+  }
+
+  ::munmap(map, len);
+  return true;
+}
+
+}  // namespace bcc::obs

@@ -1,0 +1,130 @@
+// Crash flight recorder: an always-on, bounded, mmap-backed ring of
+// completed spans plus a seqlock-protected metrics snapshot, one file per
+// process. The point is to survive `kill -9`: a SIGKILL'd process cannot
+// flush anything, but stores into a MAP_SHARED mapping are already in the
+// kernel page cache the instant they retire, so whatever the victim had
+// committed is readable by the collector afterwards — no msync, no atexit,
+// no signal handler required.
+//
+// Crash-consistency protocol (argued in DESIGN.md "Fleet telemetry plane"):
+//   * Span slots. Each fixed-size slot begins with a u64 `seq` word
+//     (0 = empty/invalid). The writer first stores 0 into `seq`, then the
+//     payload, then the record's sequence number with release ordering —
+//     the seq store is the commit point. Death at any instant leaves every
+//     slot either fully committed (nonzero seq, complete payload) or
+//     invalid (seq 0); a torn payload is impossible to observe because its
+//     slot reads as empty. The reader simply skips seq==0 slots and orders
+//     the rest by seq.
+//   * Metrics region. A classic seqlock: the writer makes the header's
+//     metrics_seq odd, copies the encoded registry snapshot, then makes it
+//     even. A post-mortem reader seeing an odd metrics_seq discards the
+//     (possibly torn) snapshot rather than decode garbage.
+//
+// The file is produced and consumed on the same host (supervisor + nodes),
+// so integers are stored native-endian; the header carries a magic and a
+// version so a reader can refuse files it does not understand.
+//
+// The metrics payload is an opaque byte blob here — the node runtime writes
+// obs::encode_node_metrics() bytes (obs/collect.h) and the collector
+// decodes them; the flight recorder itself neither knows nor cares about
+// the format, which keeps this layer reusable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace bcc::obs {
+
+/// First 8 bytes of every flight-recorder file ("BCCFLT\0" + version gate
+/// lives separately in the header).
+inline constexpr std::uint64_t kFlightMagic = 0x30544c4643434221ull;
+/// Bumped on any incompatible layout change; readers reject mismatches.
+inline constexpr std::uint32_t kFlightVersion = 1;
+/// Header occupies the first page; slots start page-aligned after the
+/// metrics region.
+inline constexpr std::size_t kFlightHeaderBytes = 4096;
+/// Fixed span-slot size. Fixed fields take 84 bytes; the rest of the slot
+/// holds the (truncated) span name.
+inline constexpr std::size_t kFlightSlotBytes = 128;
+
+/// Appends completed spans and periodic metrics snapshots into an mmap'd
+/// file, crash-consistently (see file comment). Thread-safe; span writes
+/// take a short internal mutex (they arrive from the tracer sink, which
+/// already serializes under the tracer mutex, but the recorder does not
+/// rely on that).
+class FlightRecorder {
+ public:
+  struct Options {
+    std::uint32_t node = 0;             ///< simulated node id stamped in header
+    std::uint32_t slot_count = 4096;    ///< span ring capacity
+    std::uint32_t metrics_cap = 65536;  ///< metrics blob region, bytes
+  };
+
+  /// Creates (truncating any previous run's file) and maps the recorder.
+  /// Returns nullptr on I/O failure — callers degrade to no flight
+  /// recording rather than abort.
+  static std::unique_ptr<FlightRecorder> open(const std::string& path,
+                                              const Options& opts);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Commits one completed span into the next ring slot (overwrites the
+  /// oldest once full). Name is truncated to the slot's spare bytes.
+  void record_span(const SpanRecord& rec);
+
+  /// Seqlock-writes an encoded metrics snapshot (truncated to the region
+  /// capacity; oversized blobs are dropped, not torn).
+  void record_metrics(const std::uint8_t* data, std::size_t len);
+
+  /// Spans committed so far (monotonic; exceeds slot_count once wrapped).
+  std::uint64_t spans_recorded() const { return next_seq_ - 1; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FlightRecorder() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint8_t* map_ = nullptr;
+  std::size_t map_len_ = 0;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t metrics_cap_ = 0;
+  std::uint64_t next_seq_ = 1;  // guarded by mutex_
+  std::mutex mutex_;
+};
+
+/// Everything a flight file held at the moment its writer died (or was
+/// last written). Move-only: `spans[i].name` points into `name_pool`.
+struct FlightData {
+  std::uint32_t node = 0;
+  std::uint32_t pid = 0;
+  std::vector<SpanRecord> spans;  ///< committed slots, ordered by seq
+  std::deque<std::string> name_pool;
+  std::vector<std::uint8_t> metrics_blob;  ///< empty when absent or torn
+  bool metrics_torn = false;  ///< writer died mid-seqlock-write
+  std::uint64_t newest_seq = 0;
+
+  FlightData() = default;
+  FlightData(FlightData&&) = default;
+  FlightData& operator=(FlightData&&) = default;
+  FlightData(const FlightData&) = delete;
+  FlightData& operator=(const FlightData&) = delete;
+};
+
+/// Post-mortem reader: maps `path` read-only and decodes every committed
+/// slot plus the metrics blob. Returns false (and leaves *out empty) on
+/// missing file / bad magic / version mismatch. Tolerant of torn state by
+/// construction: invalid slots are skipped, a torn metrics region is
+/// reported via metrics_torn, never decoded.
+bool read_flight_file(const std::string& path, FlightData* out);
+
+}  // namespace bcc::obs

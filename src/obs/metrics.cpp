@@ -81,6 +81,13 @@ std::uint64_t Histogram::Snapshot::quantile(double p) const {
   return max;
 }
 
+void Histogram::Snapshot::merge_from(const Snapshot& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
 std::uint64_t RegistrySnapshot::counter_value(std::string_view name) const {
   for (const auto& [n, v] : counters) {
     if (n == name) return v;

@@ -127,6 +127,16 @@ class Histogram {
              : i >= 64 ? ~std::uint64_t{0}
                        : (std::uint64_t{1} << i) - 1;
     }
+
+    /// Folds `other` into this snapshot bucket-by-bucket. Because buckets
+    /// are value-range-aligned (bucket i always means bit_width == i), the
+    /// merge is exact: merging snapshots of two sample streams yields the
+    /// same snapshot as recording the concatenated stream, so merge is
+    /// associative and commutative and merged quantiles keep the
+    /// `exact <= est <= min(2*exact, max)` contract (ObsHistogram property
+    /// tests pin this). This is what the fleet collector uses to fuse
+    /// per-process histograms into one distribution.
+    void merge_from(const Snapshot& other);
   };
 
   void record(std::uint64_t v) noexcept;

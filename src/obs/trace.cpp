@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace bcc::obs {
 
 namespace {
@@ -45,6 +47,11 @@ void Tracer::set_sim_clock(std::function<double()> now) {
   sim_now_ = std::move(now);
 }
 
+void Tracer::set_sink(std::function<void(const SpanRecord&)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
 std::uint64_t Tracer::begin_span(double* sim_now) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
@@ -55,14 +62,24 @@ std::uint64_t Tracer::begin_span(double* sim_now) {
 void Tracer::end_span(SpanRecord rec) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (sim_now_) rec.sim_end = sim_now_();
+  if (sink_) sink_(rec);
   if (ring_.size() < ring_capacity_) {
     ring_.push_back(rec);
     return;
   }
-  // Full: overwrite the oldest completed span.
+  // Full: overwrite the oldest completed span. The overwrite used to be
+  // silent; now it is visible both locally (dropped()) and fleet-wide via
+  // bcc.trace.spans_dropped, which the collector sums across processes.
   ring_[ring_head_] = rec;
   ring_head_ = (ring_head_ + 1) % ring_capacity_;
   ++dropped_;
+  spans_dropped_counter().add(1);
+}
+
+Counter& spans_dropped_counter() {
+  static Counter& counter =
+      Registry::global().counter("bcc.trace.spans_dropped");
+  return counter;
 }
 
 std::vector<SpanRecord> Tracer::snapshot() const {
@@ -73,6 +90,18 @@ std::vector<SpanRecord> Tracer::snapshot() const {
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
   }
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  ring_.clear();
+  ring_head_ = 0;
   return out;
 }
 

@@ -74,6 +74,14 @@ struct TraceContext {
 /// Bytes a serialized TraceContext adds to a message payload.
 inline constexpr std::size_t kTraceContextWireBytes = 8 + 8 + 4;
 
+class Counter;  // metrics.h
+
+/// The process-wide `bcc.trace.spans_dropped` counter (registered on first
+/// use): bumped on every silent ring overwrite, pre-registered by the node
+/// runtime so scraped snapshots carry it even at zero. The shared accessor
+/// keeps the name literal at one site (check_metrics_names.sh).
+Counter& spans_dropped_counter();
+
 /// One completed span. `name` must point at storage outliving the tracer
 /// (instrumentation sites pass string literals). Sim times are -1 when no
 /// simulation clock was installed at the corresponding edge.
@@ -130,11 +138,30 @@ class Tracer {
   void set_sim_clock(std::function<double()> now);
   void clear_sim_clock() { set_sim_clock(nullptr); }
 
+  /// Installs / clears a per-completed-span sink invoked (under the tracer
+  /// mutex, on the completing thread) after each span is pushed into the
+  /// ring — the flight recorder's hook (obs/flight.h). The callable must
+  /// stay valid until cleared and must not re-enter the tracer.
+  void set_sink(std::function<void(const SpanRecord&)> sink);
+  void clear_sink() { set_sink(nullptr); }
+
   /// Completed spans, oldest first (at most capacity()).
   std::vector<SpanRecord> snapshot() const;
+  /// snapshot() + clear() under one lock: consumes the buffered spans, so
+  /// repeated telemetry scrapes never export the same span twice.
+  std::vector<SpanRecord> drain();
   /// Spans started (and not discarded by a disabled category) so far.
   std::uint64_t started() const {
     return next_id_.load(std::memory_order_relaxed) - 1;
+  }
+  /// Re-bases span/trace id allocation at `first_id` (> 0). In one process
+  /// all ids come from this tracer and are unique by construction; across
+  /// processes every tracer would otherwise start at 1 and collide, making
+  /// the fleet collector's id-keyed re-parenting ambiguous. The node
+  /// runtime calls seed_ids((node_id + 1) << 40) at startup so each
+  /// process allocates from a disjoint range. Call before any span opens.
+  void seed_ids(std::uint64_t first_id) {
+    next_id_.store(first_id == 0 ? 1 : first_id, std::memory_order_relaxed);
   }
   /// Completed spans overwritten because the ring was full.
   std::uint64_t dropped() const;
@@ -157,6 +184,7 @@ class Tracer {
   std::size_t ring_head_ = 0;        // ditto; next slot to overwrite
   std::uint64_t dropped_ = 0;        // ditto
   std::function<double()> sim_now_;  // ditto
+  std::function<void(const SpanRecord&)> sink_;  // ditto
 };
 
 /// RAII span: records begin at construction, end + ring push at destruction.

@@ -1,0 +1,524 @@
+// Tests for the fleet telemetry plane: the telemetry byte codec
+// (roundtrips + hostile-truncation rejection), fleet metrics merging,
+// clock-offset estimation from send/receive span pairs, the merged
+// Perfetto timeline, the crash flight recorder's on-disk format (including
+// torn-state tolerance, poked in with white-box byte edits), and the
+// socket scrape client's bounded-timeout / partial-fleet contract.
+#include "obs/collect.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_transport.h"
+#include "net/telemetry_client.h"
+#include "obs/flight.h"
+
+namespace bcc::obs {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RegistrySnapshot sample_registry() {
+  Registry r;
+  r.counter("bcc.net.frames_sent").add(41);
+  r.counter("bcc.trace.spans_dropped").add(3);
+  r.gauge("bcc.conv.suspected_links").set(2.5);
+  Histogram& h = r.histogram("bcc.conv.staleness_ms");
+  for (std::uint64_t v : {0u, 1u, 7u, 900u, 900u, 1u << 20}) h.record(v);
+  return r.snapshot();
+}
+
+SpanRecord make_span(std::uint64_t id, std::uint64_t parent,
+                     std::uint64_t begin_us, const char* name,
+                     bool remote = false) {
+  SpanRecord s;
+  s.id = id;
+  s.parent = parent;
+  s.trace_id = id;
+  s.category = SpanCategory::kGossip;
+  s.name = name;
+  s.wall_begin_us = begin_us;
+  s.wall_end_us = begin_us + 10;
+  s.hop = remote ? 1 : 0;
+  s.node = 0;
+  s.remote_parent = remote;
+  return s;
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(CollectCodec, MetricsRoundtripIncludingSparseHistograms) {
+  const RegistrySnapshot in = sample_registry();
+  const std::vector<std::uint8_t> bytes = encode_node_metrics(in);
+  RegistrySnapshot out;
+  ASSERT_TRUE(decode_node_metrics(bytes.data(), bytes.size(), &out));
+  EXPECT_EQ(out.counter_value("bcc.net.frames_sent"), 41u);
+  EXPECT_EQ(out.counter_value("bcc.trace.spans_dropped"), 3u);
+  EXPECT_DOUBLE_EQ(out.gauge_value("bcc.conv.suspected_links"), 2.5);
+  const Histogram::Snapshot* h = out.histogram("bcc.conv.staleness_ms");
+  ASSERT_NE(h, nullptr);
+  const Histogram::Snapshot* orig = in.histogram("bcc.conv.staleness_ms");
+  EXPECT_EQ(h->count, orig->count);
+  EXPECT_EQ(h->sum, orig->sum);
+  EXPECT_EQ(h->max, orig->max);
+  EXPECT_EQ(h->buckets, orig->buckets);
+}
+
+TEST(CollectCodec, MetricsDecodeRejectsTruncationAndWrongVersion) {
+  const std::vector<std::uint8_t> bytes =
+      encode_node_metrics(sample_registry());
+  RegistrySnapshot out;
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(decode_node_metrics(bytes.data(), len, &out))
+        << "prefix of " << len << " bytes decoded";
+  }
+  std::vector<std::uint8_t> wrong = bytes;
+  wrong[0] ^= 0xff;  // version word
+  EXPECT_FALSE(decode_node_metrics(wrong.data(), wrong.size(), &out));
+}
+
+TEST(CollectCodec, TelemetryRoundtripPreservesSpansAndNames) {
+  NodeTelemetry in;
+  in.node = 3;
+  in.pid = 4242;
+  in.wall_now_us = 1234567;
+  in.metrics = sample_registry();
+  in.spans.push_back(make_span(100, 0, 1000, "gossip_round"));
+  in.spans.push_back(make_span(101, 100, 1002, "send_exchange"));
+  in.spans.push_back(make_span(200, 101, 1005, "recv_exchange",
+                               /*remote=*/true));
+  const std::string long_name(300, 'x');
+  in.spans.push_back(make_span(102, 0, 2000, long_name.c_str()));
+
+  const std::vector<std::uint8_t> bytes = encode_node_telemetry(in);
+  NodeTelemetry out;
+  ASSERT_TRUE(decode_node_telemetry(bytes.data(), bytes.size(), &out));
+  EXPECT_EQ(out.node, 3u);
+  EXPECT_EQ(out.pid, 4242u);
+  EXPECT_EQ(out.wall_now_us, 1234567u);
+  EXPECT_FALSE(out.recovered);
+  EXPECT_EQ(out.metrics.counter_value("bcc.net.frames_sent"), 41u);
+  ASSERT_EQ(out.spans.size(), 4u);
+  EXPECT_EQ(out.spans[0].id, 100u);
+  EXPECT_STREQ(out.spans[1].name, "send_exchange");
+  EXPECT_TRUE(out.spans[2].remote_parent);
+  EXPECT_EQ(out.spans[2].parent, 101u);
+  EXPECT_EQ(out.spans[2].hop, 1u);
+  EXPECT_EQ(out.spans[2].category, SpanCategory::kGossip);
+  EXPECT_EQ(std::strlen(out.spans[3].name), 255u) << "names cap at 255";
+}
+
+TEST(CollectCodec, TelemetryDecodeRejectsEveryTruncation) {
+  NodeTelemetry in;
+  in.node = 1;
+  in.metrics = sample_registry();
+  in.spans.push_back(make_span(5, 0, 10, "s"));
+  const std::vector<std::uint8_t> bytes = encode_node_telemetry(in);
+  NodeTelemetry out;
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(decode_node_telemetry(bytes.data(), len, &out))
+        << "prefix of " << len << " bytes decoded";
+    EXPECT_TRUE(out.spans.empty()) << "failed decode must leave *out empty";
+  }
+  ASSERT_TRUE(decode_node_telemetry(bytes.data(), bytes.size(), &out));
+}
+
+// ------------------------------------------------------------------ merge
+
+TEST(CollectMerge, CountersSumHistogramsMergeGaugesMax) {
+  std::vector<NodeTelemetry> fleet;
+  for (int i = 0; i < 3; ++i) {
+    NodeTelemetry t;
+    t.node = static_cast<std::uint32_t>(i);
+    Registry r;
+    r.counter("bcc.net.frames_sent").add(10 * (i + 1));
+    r.gauge("bcc.conv.suspected_links").set(i == 1 ? 9.0 : 1.0);
+    r.histogram("bcc.conv.staleness_ms").record(1u << (4 * i));
+    t.metrics = r.snapshot();
+    fleet.push_back(std::move(t));
+  }
+  const RegistrySnapshot merged = merge_fleet_metrics(fleet);
+  EXPECT_EQ(merged.counter_value("bcc.net.frames_sent"), 10u + 20u + 30u);
+  EXPECT_DOUBLE_EQ(merged.gauge_value("bcc.conv.suspected_links"), 9.0)
+      << "fleet gauges are worst-observed (max), not averaged";
+  const Histogram::Snapshot* h = merged.histogram("bcc.conv.staleness_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_EQ(h->sum, 1u + 16u + 256u);
+  EXPECT_EQ(h->max, 256u);
+}
+
+// ---------------------------------------------------------- clock offsets
+
+/// Builds one fleet entry whose spans carry a fixed clock skew: local time
+/// = true time + skew_us.
+NodeTelemetry skewed_entry(std::uint32_t node, std::uint64_t skew_us) {
+  NodeTelemetry t;
+  t.node = node;
+  t.pid = 1000 + node;
+  t.wall_now_us = skew_us;
+  return t;
+}
+
+TEST(CollectOffsets, RecoversKnownSkewsFromSendReceivePairs) {
+  // Three processes with clocks at true+0, true+5000, true+10000 us, plus
+  // an unlinked fourth. Symmetric 2us latency each way, so the NTP-style
+  // halved difference recovers the skew exactly. Node 2 only ever talks to
+  // node 1 — its offset must arrive transitively (BFS through node 1).
+  std::vector<NodeTelemetry> fleet;
+  fleet.push_back(skewed_entry(0, 0));
+  fleet.push_back(skewed_entry(1, 5000));
+  fleet.push_back(skewed_entry(2, 10000));
+  fleet.push_back(skewed_entry(3, 777777));  // no exchanges at all
+
+  // 0 -> 1: send at true 1000 on 0; receive at true 1002 on 1.
+  fleet[0].spans.push_back(make_span(100, 0, 1000, "send_exchange"));
+  fleet[1].spans.push_back(
+      make_span(200, 100, 1002 + 5000, "recv_exchange", true));
+  // 1 -> 0: send at true 2000 on 1; receive at true 2002 on 0.
+  fleet[1].spans.push_back(make_span(210, 0, 2000 + 5000, "send_exchange"));
+  fleet[0].spans.push_back(make_span(110, 210, 2002, "recv_exchange", true));
+  // 1 -> 2 and 2 -> 1 (never touches node 0 directly).
+  fleet[1].spans.push_back(make_span(220, 0, 3000 + 5000, "send_exchange"));
+  fleet[2].spans.push_back(
+      make_span(300, 220, 3002 + 10000, "recv_exchange", true));
+  fleet[2].spans.push_back(make_span(310, 0, 4000 + 10000, "send_exchange"));
+  fleet[1].spans.push_back(
+      make_span(230, 310, 4002 + 5000, "recv_exchange", true));
+
+  const std::vector<double> offsets = estimate_clock_offsets(fleet);
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_DOUBLE_EQ(offsets[0], 0.0);
+  EXPECT_NEAR(offsets[1], -5000.0, 1.0);
+  EXPECT_NEAR(offsets[2], -10000.0, 1.0) << "transitive via node 1";
+  EXPECT_DOUBLE_EQ(offsets[3], 0.0) << "unlinked entries stay unshifted";
+}
+
+// ------------------------------------------------------- merged timeline
+
+TEST(CollectTrace, FleetTimelineHasLanesFlowsAndFlightTag) {
+  std::vector<NodeTelemetry> fleet;
+  fleet.push_back(skewed_entry(0, 0));
+  fleet[0].spans.push_back(make_span(100, 0, 5000, "send_exchange"));
+  NodeTelemetry dead = skewed_entry(1, 0);
+  dead.recovered = true;  // came off a flight ring
+  dead.spans.push_back(make_span(200, 100, 5003, "recv_exchange", true));
+  fleet.push_back(std::move(dead));
+
+  const std::string json = fleet_chrome_trace_json(fleet, {});
+  EXPECT_NE(json.find("\"name\":\"node 0 (pid 1000)\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 1 (pid 1001) [flight]\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"flight\":true"), std::string::npos);
+  // Cross-process flow arrow: a flow-start on the sender's pid and a
+  // flow-end on the receiver's, bound by the receiver's span id.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":200"), std::string::npos);
+  // Rebased: the earliest span (wall 5000) renders at ts 0.
+  EXPECT_NE(json.find("\"ts\":0,"), std::string::npos);
+  EXPECT_EQ(json.find("\"ts\":5000"), std::string::npos);
+}
+
+// -------------------------------------------------------- flight recorder
+
+// White-box offsets mirroring flight.cpp's layout: slots start at the
+// first kFlightSlotBytes boundary past header + metrics region, each slot
+// leads with its u64 commit word, and the header's metrics seqlock word
+// sits at byte 32. The torn-state tests below poke these bytes directly to
+// simulate a writer dying mid-store.
+std::size_t slots_offset(std::size_t metrics_cap) {
+  const std::size_t raw = kFlightHeaderBytes + metrics_cap;
+  return (raw + kFlightSlotBytes - 1) / kFlightSlotBytes * kFlightSlotBytes;
+}
+constexpr std::size_t kHdrMetricsSeqOffset = 32;
+
+void poke_u64(const std::string& path, std::size_t offset, std::uint64_t v) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&v, sizeof(v), 1, f), 1u);
+  std::fclose(f);
+}
+
+std::string temp_flight_dir(const char* tag) {
+  const std::string dir = ::testing::TempDir() + "collect_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(Flight, WriteReadRoundtripWithWrapAndMetrics) {
+  const std::string dir = temp_flight_dir("roundtrip");
+  const std::string path = dir + "/node7.flight";
+  FlightRecorder::Options fo;
+  fo.node = 7;
+  fo.slot_count = 4;
+  fo.metrics_cap = 1024;
+  {
+    auto rec = FlightRecorder::open(path, fo);
+    ASSERT_NE(rec, nullptr);
+    for (int i = 0; i < 7; ++i) {  // wraps: only the newest 4 survive
+      rec->record_span(make_span(100 + static_cast<std::uint64_t>(i), 0,
+                                 1000 + static_cast<std::uint64_t>(i),
+                                 i % 2 == 0 ? "gossip_round" : "send_exchange"));
+    }
+    const std::vector<std::uint8_t> blob =
+        encode_node_metrics(sample_registry());
+    rec->record_metrics(blob.data(), blob.size());
+    EXPECT_EQ(rec->spans_recorded(), 7u);
+  }
+  FlightData data;
+  ASSERT_TRUE(read_flight_file(path, &data));
+  EXPECT_EQ(data.node, 7u);
+  EXPECT_EQ(data.pid, static_cast<std::uint32_t>(::getpid()));
+  EXPECT_FALSE(data.metrics_torn);
+  ASSERT_EQ(data.spans.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {  // seq order == write order
+    EXPECT_EQ(data.spans[i].id, 103u + i);
+  }
+  EXPECT_STREQ(data.spans[1].name, "gossip_round");
+  EXPECT_EQ(data.newest_seq, 7u);
+  RegistrySnapshot metrics;
+  ASSERT_TRUE(decode_node_metrics(data.metrics_blob.data(),
+                                  data.metrics_blob.size(), &metrics));
+  EXPECT_EQ(metrics.counter_value("bcc.net.frames_sent"), 41u);
+
+  NodeTelemetry t = telemetry_from_flight(std::move(data));
+  EXPECT_TRUE(t.recovered);
+  EXPECT_EQ(t.node, 7u);
+  EXPECT_EQ(t.spans.size(), 4u);
+  EXPECT_EQ(t.metrics.counter_value("bcc.net.frames_sent"), 41u);
+}
+
+TEST(Flight, TornSlotAndTornMetricsAreSkippedNotDecoded) {
+  const std::string dir = temp_flight_dir("torn");
+  const std::string path = dir + "/node2.flight";
+  FlightRecorder::Options fo;
+  fo.node = 2;
+  fo.slot_count = 8;
+  fo.metrics_cap = 512;
+  {
+    auto rec = FlightRecorder::open(path, fo);
+    ASSERT_NE(rec, nullptr);
+    for (int i = 0; i < 3; ++i) {
+      rec->record_span(
+          make_span(1 + static_cast<std::uint64_t>(i), 0, 100, "s"));
+    }
+    const std::vector<std::uint8_t> blob =
+        encode_node_metrics(sample_registry());
+    rec->record_metrics(blob.data(), blob.size());
+  }
+  // A writer killed mid-payload leaves the slot's commit word at 0: the
+  // reader must skip exactly that slot and keep the rest.
+  poke_u64(path, slots_offset(fo.metrics_cap) + 1 * kFlightSlotBytes, 0);
+  // A writer killed mid-metrics-copy leaves the seqlock odd: the reader
+  // must report torn and refuse to decode.
+  poke_u64(path, kHdrMetricsSeqOffset, 9);
+
+  FlightData data;
+  ASSERT_TRUE(read_flight_file(path, &data));
+  ASSERT_EQ(data.spans.size(), 2u);
+  EXPECT_EQ(data.spans[0].id, 1u);
+  EXPECT_EQ(data.spans[1].id, 3u);
+  EXPECT_TRUE(data.metrics_torn);
+  EXPECT_TRUE(data.metrics_blob.empty());
+  // telemetry_from_flight degrades to spans-only, never garbage metrics.
+  const NodeTelemetry t = telemetry_from_flight(std::move(data));
+  EXPECT_TRUE(t.metrics.empty());
+  EXPECT_EQ(t.spans.size(), 2u);
+}
+
+TEST(Flight, ReaderRejectsBadMagicAndForeignVersions) {
+  const std::string dir = temp_flight_dir("reject");
+  const std::string path = dir + "/node0.flight";
+  {
+    auto rec = FlightRecorder::open(path, {});
+    ASSERT_NE(rec, nullptr);
+    rec->record_span(make_span(1, 0, 1, "s"));
+  }
+  FlightData data;
+  ASSERT_TRUE(read_flight_file(path, &data));
+  poke_u64(path, 0, kFlightMagic ^ 1);
+  EXPECT_FALSE(read_flight_file(path, &data));
+  poke_u64(path, 0, kFlightMagic);
+  ASSERT_TRUE(read_flight_file(path, &data));
+  poke_u64(path, 8, kFlightVersion + 1);  // u32 version; low word of u64 ok
+  EXPECT_FALSE(read_flight_file(path, &data));
+  EXPECT_FALSE(read_flight_file(dir + "/nonexistent.flight", &data));
+}
+
+TEST(Flight, AugmentMissingAddsOnlyDeadNodesAndSkipsGarbage) {
+  const std::string dir = temp_flight_dir("augment");
+  for (std::uint32_t node : {1u, 2u}) {
+    FlightRecorder::Options fo;
+    fo.node = node;
+    auto rec =
+        FlightRecorder::open(dir + "/node" + std::to_string(node) + ".flight",
+                             fo);
+    ASSERT_NE(rec, nullptr);
+    rec->record_span(make_span(node * 100, 0, 50, "gossip_round"));
+  }
+  {  // a foreign file with the right suffix must be skipped, not fatal
+    std::FILE* junk = std::fopen((dir + "/junk.flight").c_str(), "wb");
+    ASSERT_NE(junk, nullptr);
+    std::fputs("not a flight file", junk);
+    std::fclose(junk);
+  }
+
+  std::vector<NodeTelemetry> fleet;
+  NodeTelemetry live;
+  live.node = 1;  // node 1 answered its scrape; its ring must be ignored
+  fleet.push_back(std::move(live));
+  EXPECT_EQ(augment_missing_from_flight(dir, &fleet), 1u);
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet[1].node, 2u);
+  EXPECT_TRUE(fleet[1].recovered);
+  ASSERT_EQ(fleet[1].spans.size(), 1u);
+  EXPECT_EQ(fleet[1].spans[0].id, 200u);
+  // Idempotent: nothing new on a second pass.
+  EXPECT_EQ(augment_missing_from_flight(dir, &fleet), 0u);
+  EXPECT_EQ(augment_missing_from_flight(dir + "/missing", &fleet), 0u);
+}
+
+// ----------------------------------------------------------- scrape client
+
+net::TcpTransportOptions listener_options(std::uint16_t port) {
+  net::TcpTransportOptions o;
+  o.local = 0;
+  o.peers.resize(1);
+  o.peers[0].port = port;
+  o.heartbeat_period = 0.05;
+  o.heartbeat_timeout = 0.25;
+  o.connect_timeout = 0.3;
+  o.backoff_initial = 0.02;
+  o.backoff_max = 0.1;
+  o.seed = 29;
+  return o;
+}
+
+TEST(TelemetryScrape, LiveNodeAnswersOverTheFramedTransport) {
+  // One in-process "node": a listening TcpTransport with a telemetry
+  // provider, pumped from a background thread while the client scrapes.
+  std::unique_ptr<net::TcpTransport> node;
+  std::uint16_t port = 0;
+  for (std::uint32_t attempt = 0; attempt < 20 && node == nullptr;
+       ++attempt) {
+    const std::uint32_t mix =
+        static_cast<std::uint32_t>(::getpid()) * 131u + attempt * 977u + 13u;
+    port = static_cast<std::uint16_t>(21000u + mix % 40000u);
+    node = std::make_unique<net::TcpTransport>(listener_options(port));
+    if (!node->listen()) node.reset();
+  }
+  ASSERT_NE(node, nullptr) << "no free port after 20 attempts";
+  node->set_handler([](const net::Delivery&) {});
+  node->set_telemetry_provider([] {
+    NodeTelemetry t;
+    t.node = 9;
+    t.pid = 4321;
+    Registry r;
+    r.counter("bcc.net.frames_sent").add(5);
+    t.metrics = r.snapshot();
+    t.spans.push_back(make_span(700, 0, 42, "gossip_round"));
+    return encode_node_telemetry(t);
+  });
+  std::atomic<bool> stop{false};
+  std::thread pump([&] {
+    while (!stop.load()) node->poll_once(0.003);
+  });
+
+  NodeTelemetry got;
+  const bool ok =
+      net::scrape_node({"127.0.0.1", port}, 5.0, &got);
+  std::vector<NodeTelemetry> fleet;
+  const std::size_t answered =
+      net::scrape_fleet({{"127.0.0.1", port}}, 5.0, &fleet);
+  stop.store(true);
+  pump.join();
+
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(got.node, 9u);
+  EXPECT_EQ(got.pid, 4321u);
+  EXPECT_EQ(got.metrics.counter_value("bcc.net.frames_sent"), 5u);
+  ASSERT_EQ(got.spans.size(), 1u);
+  EXPECT_STREQ(got.spans[0].name, "gossip_round");
+  EXPECT_EQ(answered, 1u);
+  ASSERT_EQ(fleet.size(), 1u);
+  EXPECT_EQ(fleet[0].node, 9u);
+}
+
+TEST(TelemetryScrape, SilentAndDeadPortsFailFastYieldingPartialFleet) {
+  // A "node" that accepted the connection but never replies — what a
+  // SIGTERM-drained or SIGSTOPped process looks like mid-scrape — must
+  // cost one bounded timeout, and a dead port must fail immediately; the
+  // fleet that comes back is partial but well-formed.
+  const int silent = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(silent, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-assigned: no collision re-roll needed
+  ASSERT_EQ(::bind(silent, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(silent, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t silent_port = ntohs(addr.sin_port);
+  ASSERT_EQ(::listen(silent, 4), 0);
+  // A port with nothing behind it: bind (reserving it), resolve, close.
+  const int dead = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in dead_addr = addr;
+  dead_addr.sin_port = 0;
+  ASSERT_EQ(::bind(dead, reinterpret_cast<sockaddr*>(&dead_addr),
+                   sizeof(dead_addr)),
+            0);
+  ASSERT_EQ(::getsockname(dead, reinterpret_cast<sockaddr*>(&dead_addr),
+                          &len),
+            0);
+  const std::uint16_t dead_port = ntohs(dead_addr.sin_port);
+  ::close(dead);
+
+  const double per_node_timeout = 0.4;
+  NodeTelemetry out;
+  out.node = 77;  // must be untouched by failed scrapes
+  const double t0 = now_seconds();
+  EXPECT_FALSE(
+      net::scrape_node({"127.0.0.1", silent_port}, per_node_timeout, &out));
+  const double silent_elapsed = now_seconds() - t0;
+  EXPECT_FALSE(
+      net::scrape_node({"127.0.0.1", dead_port}, per_node_timeout, &out));
+  EXPECT_EQ(out.node, 77u);
+  EXPECT_LT(silent_elapsed, per_node_timeout + 1.0)
+      << "a silent peer must cost ~one timeout, not hang";
+
+  std::vector<NodeTelemetry> fleet;
+  const double f0 = now_seconds();
+  EXPECT_EQ(net::scrape_fleet({{"127.0.0.1", silent_port},
+                               {"127.0.0.1", dead_port}},
+                              per_node_timeout, &fleet),
+            0u);
+  EXPECT_TRUE(fleet.empty());
+  EXPECT_LT(now_seconds() - f0, 2 * per_node_timeout + 2.0)
+      << "N nodes bound the scrape at N timeouts";
+  ::close(silent);
+}
+
+}  // namespace
+}  // namespace bcc::obs

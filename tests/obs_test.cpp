@@ -167,6 +167,95 @@ TEST(ObsHistogram, ConcurrentRecordsCountExactly) {
   EXPECT_EQ(h.snapshot().count, kThreads * kPerThread);
 }
 
+// The fleet collector fuses per-process histograms with Snapshot::
+// merge_from; these property tests pin the documented exactness claim:
+// because buckets are value-range-aligned, merging snapshots of split
+// streams is indistinguishable from recording the concatenated stream.
+
+std::vector<std::uint64_t> irregular_samples(std::uint64_t seed, int n) {
+  std::vector<std::uint64_t> samples;
+  std::uint64_t x = seed;
+  for (int i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    // Mix magnitudes: mostly small, a heavy tail, some zeros.
+    const std::uint64_t v = (x >> 33) % ((i % 7 == 0) ? 3u : 1000000u);
+    samples.push_back(v);
+  }
+  return samples;
+}
+
+Histogram::Snapshot snapshot_of(const std::vector<std::uint64_t>& samples) {
+  Histogram h;
+  for (std::uint64_t v : samples) h.record(v);
+  return h.snapshot();
+}
+
+TEST(ObsHistogram, MergeEqualsRecordingTheConcatenatedStream) {
+  const auto all = irregular_samples(99, 4000);
+  // Any split point: merge(prefix, suffix) == record(all).
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{1300},
+                          std::size_t{3999}, std::size_t{4000}}) {
+    Histogram::Snapshot merged = snapshot_of(
+        {all.begin(), all.begin() + static_cast<std::ptrdiff_t>(cut)});
+    merged.merge_from(snapshot_of(
+        {all.begin() + static_cast<std::ptrdiff_t>(cut), all.end()}));
+    const Histogram::Snapshot whole = snapshot_of(all);
+    EXPECT_EQ(merged.buckets, whole.buckets) << "cut=" << cut;
+    EXPECT_EQ(merged.count, whole.count);
+    EXPECT_EQ(merged.sum, whole.sum);
+    EXPECT_EQ(merged.max, whole.max);
+  }
+}
+
+TEST(ObsHistogram, MergeIsAssociativeAndCommutative) {
+  const Histogram::Snapshot a = snapshot_of(irregular_samples(1, 700));
+  const Histogram::Snapshot b = snapshot_of(irregular_samples(2, 1300));
+  const Histogram::Snapshot c = snapshot_of(irregular_samples(3, 50));
+
+  Histogram::Snapshot ab_c = a;   // (a + b) + c
+  ab_c.merge_from(b);
+  ab_c.merge_from(c);
+  Histogram::Snapshot bc = b;     // a + (b + c)
+  bc.merge_from(c);
+  Histogram::Snapshot a_bc = a;
+  a_bc.merge_from(bc);
+  Histogram::Snapshot cba = c;    // c + b + a
+  cba.merge_from(b);
+  cba.merge_from(a);
+
+  EXPECT_EQ(ab_c.buckets, a_bc.buckets);
+  EXPECT_EQ(ab_c.buckets, cba.buckets);
+  EXPECT_EQ(ab_c.count, cba.count);
+  EXPECT_EQ(ab_c.sum, cba.sum);
+  EXPECT_EQ(ab_c.max, cba.max);
+}
+
+TEST(ObsHistogram, MergedQuantilesKeepTheFactorTwoContract) {
+  // Merge three "process" shards, then check every quantile of the merged
+  // snapshot against a reference sort of the union — the same
+  // exact <= est <= min(2 * exact, max) contract the single-histogram test
+  // pins, surviving the merge.
+  std::vector<std::uint64_t> all;
+  Histogram::Snapshot merged;
+  for (int shard : {7, 8, 9}) {
+    const auto samples = irregular_samples(static_cast<std::uint64_t>(shard),
+                                           2000 + 500 * shard);
+    all.insert(all.end(), samples.begin(), samples.end());
+    merged.merge_from(snapshot_of(samples));
+  }
+  std::sort(all.begin(), all.end());
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(all.size())));
+    const std::uint64_t exact = all[std::min(rank, all.size()) - 1];
+    const std::uint64_t est = merged.quantile(p);
+    EXPECT_GE(est, exact) << "p=" << p;
+    EXPECT_LE(est, std::max<std::uint64_t>(2 * exact, 1)) << "p=" << p;
+    EXPECT_LE(est, merged.max) << "p=" << p;
+  }
+  EXPECT_EQ(merged.quantile(100.0), merged.max);
+}
+
 // --------------------------------------------------------------- registry
 
 TEST(ObsRegistry, ConcurrentGetOrCreateAndSnapshot) {
@@ -239,6 +328,87 @@ TEST(ObsTracer, RingOverflowKeepsNewestAndCountsDropped) {
   tracer.clear();
   EXPECT_TRUE(tracer.snapshot().empty());
   EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(ObsTracer, RingOverwriteBumpsTheGlobalSpansDroppedCounter) {
+  // Silent overwrites become observable fleet-wide: every ring overwrite
+  // counts into bcc.trace.spans_dropped in the global registry, which the
+  // telemetry collector merges and `bcc metrics` prints. Delta-based so it
+  // coexists with other tests that overflow rings.
+  const std::uint64_t before =
+      Registry::global().snapshot().counter_value("bcc.trace.spans_dropped");
+  Tracer tracer;
+  tracer.set_capacity(4);
+  tracer.enable(SpanCategory::kBench);
+  for (int i = 0; i < 10; ++i) {
+    Span span(tracer, SpanCategory::kBench, "s");
+  }
+  const std::uint64_t after =
+      Registry::global().snapshot().counter_value("bcc.trace.spans_dropped");
+  EXPECT_EQ(after - before, 6u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(ObsTracer, DrainReturnsOldestFirstAndEmptiesTheRing) {
+  Tracer tracer;
+  tracer.enable(SpanCategory::kBench);
+  { Span a(tracer, SpanCategory::kBench, "a"); }
+  { Span b(tracer, SpanCategory::kBench, "b"); }
+  const auto first = tracer.drain();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_STREQ(first[0].name, "a");
+  EXPECT_STREQ(first[1].name, "b");
+  // The ring is now empty: a second drain only sees what came after — the
+  // property that lets successive telemetry scrapes stream the ring
+  // without re-sending (and double-merging) spans.
+  { Span c(tracer, SpanCategory::kBench, "c"); }
+  const auto second = tracer.drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_STREQ(second[0].name, "c");
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+TEST(ObsTracer, SinkSeesEveryCompletedSpanIncludingOverwrittenOnes) {
+  Tracer tracer;
+  tracer.set_capacity(2);  // the ring forgets, the sink must not
+  tracer.enable(SpanCategory::kBench);
+  std::vector<std::string> seen;
+  tracer.set_sink([&seen](const SpanRecord& r) { seen.push_back(r.name); });
+  for (int i = 0; i < 5; ++i) {
+    Span span(tracer, SpanCategory::kBench, "s");
+  }
+  tracer.clear_sink();
+  { Span span(tracer, SpanCategory::kBench, "after"); }
+  EXPECT_EQ(seen.size(), 5u) << "sink fires per completion, ring size "
+                                "notwithstanding (flight-recorder contract)";
+  EXPECT_EQ(tracer.snapshot().size(), 2u) << "ring still capacity-bounded";
+}
+
+TEST(ObsTracer, SeededIdRangesAreDisjointAcrossProcessSeeds) {
+  // Fleet processes seed (id + 1) << 40, so span ids never collide and the
+  // collector's id-keyed re-parenting is exact across the whole fleet.
+  Tracer first, second;
+  first.seed_ids(std::uint64_t{1} << 40);
+  second.seed_ids(std::uint64_t{2} << 40);
+  first.enable(SpanCategory::kGossip);
+  second.enable(SpanCategory::kGossip);
+  for (int i = 0; i < 3; ++i) {
+    Span a(first, SpanCategory::kGossip, "a");
+    Span b(second, SpanCategory::kGossip, "b");
+  }
+  for (const SpanRecord& r : first.snapshot()) {
+    EXPECT_GE(r.id, std::uint64_t{1} << 40);
+    EXPECT_LT(r.id, std::uint64_t{2} << 40);
+  }
+  for (const SpanRecord& r : second.snapshot()) {
+    EXPECT_GE(r.id, std::uint64_t{2} << 40);
+  }
+  // seed_ids(0) still yields valid (nonzero) ids — 0 means "no parent".
+  Tracer zero;
+  zero.seed_ids(0);
+  zero.enable(SpanCategory::kBench);
+  { Span s(zero, SpanCategory::kBench, "z"); }
+  EXPECT_GE(zero.snapshot().at(0).id, 1u);
 }
 
 TEST(ObsTracer, NestedSpansRecordParentIds) {

@@ -13,6 +13,8 @@
 #include <unistd.h>
 
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "net/supervisor.h"
@@ -81,6 +83,40 @@ TEST(TransportChaos, SigtermDrainFlushesMetricsAndExitsZero) {
   const std::string dir = ::testing::TempDir() + "transport_chaos_drain_metrics";
   ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
   run_named("drain", 1, dir);
+}
+
+TEST(TransportChaos, SigkilledNodeIsRecoveredFromItsFlightRing) {
+  // The crash-forensics acceptance path: kill -9 one node mid-gossip,
+  // scrape the survivors' telemetry endpoints, recover the victim's spans
+  // from its on-disk flight ring, and demand the merged timeline contain a
+  // causally linked cross-process send->receive chain with the victim on
+  // one end. run_scenario("kill-collect") asserts all of that internally;
+  // here we also pin the artifacts it writes.
+  const std::string dir = ::testing::TempDir() + "transport_chaos_kill_collect";
+  ASSERT_EQ(::system(("rm -rf " + dir).c_str()), 0);
+  ASSERT_EQ(::system(("mkdir -p " + dir + "/flight " + dir + "/out").c_str()),
+            0);
+  net::SupervisorOptions o = make_options(1);
+  o.flight_dir = dir + "/flight";
+  o.telemetry_out = dir + "/out";
+  const std::string failure = net::run_scenario("kill-collect", o);
+  EXPECT_EQ(failure, "");
+
+  std::ifstream trace(dir + "/out/fleet_trace.json");
+  ASSERT_TRUE(trace.good()) << "merged timeline artifact missing";
+  const std::string json((std::istreambuf_iterator<char>(trace)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("[flight]"), std::string::npos)
+      << "victim's lane must be tagged as flight-recovered";
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos)
+      << "no cross-process flow arrows in the merged timeline";
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  std::ifstream metrics(dir + "/out/fleet_metrics.json");
+  ASSERT_TRUE(metrics.good()) << "fleet metrics artifact missing";
+  const std::string mjson((std::istreambuf_iterator<char>(metrics)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_NE(mjson.find("bcc.trace.spans_dropped"), std::string::npos)
+      << "merged registry must surface the span-drop counter";
 }
 
 }  // namespace

@@ -27,7 +27,7 @@
 //                  synchronous ground-truth fixpoint
 //   bcc node     --id I --nodes N --base-port P [--seed S --n-cut C
 //                  --period SEC --host ADDR --run-for SEC --metrics-out FILE
-//                  --state-out FILE]
+//                  --state-out FILE --flight-recorder FILE --trace-gossip]
 //                  run ONE overlay node as a real OS process: node i listens
 //                  on base-port+i and gossips with its anchor-tree neighbors
 //                  over TCP (reconnect/backoff, heartbeats, half-open
@@ -38,6 +38,21 @@
 //                  of these (same --seed) and they converge to the exact
 //                  fixpoint — tools/proc_supervisor automates the chaos
 //                  version of that experiment
+//   bcc collect  [--nodes N --base-port P --host ADDR --timeout SEC
+//                  --flight-dir DIR --out DIR]
+//                  scrape every node's TELEMETRY endpoint (bounded per-node
+//                  deadline — dead nodes yield a partial fleet, never a
+//                  hang), recover the rest from --flight-dir/*.flight crash
+//                  rings, and merge: one fleet metrics registry (counters
+//                  sum, histograms bucket-exact, gauges worst-observed) and
+//                  one clock-aligned Perfetto timeline with cross-process
+//                  flow arrows (--out DIR writes fleet_trace.json +
+//                  fleet_metrics.json)
+//   bcc top      [--nodes N --base-port P --host ADDR --interval SEC
+//                  --iterations N --timeout SEC]
+//                  refreshing terminal view over the same scrape: per-node
+//                  frame/query rates, shed %, staleness, suspicion, span
+//                  drops, plus fleet reconvergence histograms
 //   bcc metrics  [--data DIR/NAME --queries N --k K --format prom|json|jsonl]
 //                  run a small end-to-end pipeline (synthetic dataset when no
 //                  --data) and print the global metrics registry
@@ -74,6 +89,9 @@
 #include "common/shutdown.h"
 #include "exp/fig3.h"
 #include "net/node_runtime.h"
+#include "net/supervisor.h"
+#include "net/telemetry_client.h"
+#include "obs/collect.h"
 
 namespace {
 
@@ -840,6 +858,12 @@ int cmd_node(int argc, const char* const* argv) {
                                       "write the metrics registry here (JSON)");
   auto& state_out = opts.add_string("state-out", "",
                                     "write the final state dump here");
+  auto& flight = opts.add_string(
+      "flight-recorder", "",
+      "mmap crash flight recorder path (implies --trace-gossip)");
+  auto& trace_gossip = opts.add_bool(
+      "trace-gossip", false,
+      "record gossip spans for the telemetry endpoint (`bcc collect`)");
   opts.parse(argc, argv);
   install_shutdown_handlers();
   net::ProcessNodeOptions po;
@@ -853,6 +877,8 @@ int cmd_node(int argc, const char* const* argv) {
   po.run_for = run_for;
   po.metrics_out = metrics_out;
   po.state_out = state_out;
+  po.flight_recorder = flight;
+  po.trace_gossip = trace_gossip;
   net::ProcessNode node(po);
   if (!node.bind()) {
     // The supervisor watches for exactly this line to re-roll its port base.
@@ -863,11 +889,217 @@ int cmd_node(int argc, const char* const* argv) {
   return node.run(STDIN_FILENO, std::cout);
 }
 
+/// Shared by collect/top: the fleet's listen endpoints from (host, base
+/// port, n) — the same port map every `bcc node` process uses.
+std::vector<net::Endpoint> fleet_endpoints(const std::string& host,
+                                           int base_port, int nodes) {
+  std::vector<net::Endpoint> endpoints;
+  for (int i = 0; i < nodes; ++i) {
+    net::Endpoint e;
+    e.host = host;
+    e.port = static_cast<std::uint16_t>(base_port + i);
+    endpoints.push_back(e);
+  }
+  return endpoints;
+}
+
+int cmd_collect(int argc, const char* const* argv) {
+  Options opts("bcc collect",
+               "scrape a node fleet's telemetry and merge one timeline");
+  auto& nodes = opts.add_int("nodes", 5, "fleet size (ports scraped)");
+  auto& base_port = opts.add_int("base-port", 23800,
+                                 "node i listens on base-port + i");
+  auto& host = opts.add_string("host", "127.0.0.1", "fleet address");
+  auto& timeout = opts.add_double(
+      "timeout", 1.0, "per-node scrape deadline (s; dead nodes cost this)");
+  auto& flight_dir = opts.add_string(
+      "flight-dir", "",
+      "recover nodes the scrape missed from DIR/*.flight rings");
+  auto& out = opts.add_string(
+      "out", "", "write fleet_trace.json + fleet_metrics.json into DIR");
+  opts.parse(argc, argv);
+
+  std::vector<obs::NodeTelemetry> fleet;
+  const std::size_t live = net::scrape_fleet(
+      fleet_endpoints(host, base_port, nodes), timeout, &fleet);
+  std::size_t recovered = 0;
+  if (!flight_dir.empty()) {
+    recovered = obs::augment_missing_from_flight(flight_dir, &fleet);
+  }
+  if (fleet.empty()) {
+    std::fprintf(stderr, "bcc collect: no node answered on %s:%d..%d%s\n",
+                 host.c_str(), static_cast<int>(base_port),
+                 static_cast<int>(base_port) + static_cast<int>(nodes) - 1,
+                 flight_dir.empty() ? "" : " and no flight ring was readable");
+    return 2;
+  }
+
+  std::size_t total_spans = 0;
+  for (const obs::NodeTelemetry& t : fleet) {
+    total_spans += t.spans.size();
+    std::printf("node %u pid %u [%s]: %zu spans, frames tx/rx %llu/%llu, "
+                "spans dropped %llu\n",
+                t.node, t.pid, t.recovered ? "flight" : "live",
+                t.spans.size(),
+                static_cast<unsigned long long>(
+                    t.metrics.counter_value("bcc.net.frames_sent")),
+                static_cast<unsigned long long>(
+                    t.metrics.counter_value("bcc.net.frames_received")),
+                static_cast<unsigned long long>(
+                    t.metrics.counter_value("bcc.trace.spans_dropped")));
+  }
+  const obs::RegistrySnapshot merged = obs::merge_fleet_metrics(fleet);
+  std::printf("fleet: %zu live + %zu recovered of %d nodes, %zu spans | "
+              "frames sent %llu, spans dropped %llu\n",
+              live, recovered, static_cast<int>(nodes), total_spans,
+              static_cast<unsigned long long>(
+                  merged.counter_value("bcc.net.frames_sent")),
+              static_cast<unsigned long long>(
+                  merged.counter_value("bcc.trace.spans_dropped")));
+  if (!out.empty()) {
+    if (!net::ProcessSupervisor::write_fleet_artifacts(fleet, out)) {
+      std::fprintf(stderr, "bcc collect: cannot write artifacts into %s\n",
+                   out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s/fleet_trace.json (load in ui.perfetto.dev) and "
+                "%s/fleet_metrics.json\n",
+                out.c_str(), out.c_str());
+  }
+  return 0;
+}
+
+int cmd_top(int argc, const char* const* argv) {
+  Options opts("bcc top", "refreshing fleet health view over live telemetry");
+  auto& nodes = opts.add_int("nodes", 5, "fleet size (ports scraped)");
+  auto& base_port = opts.add_int("base-port", 23800,
+                                 "node i listens on base-port + i");
+  auto& host = opts.add_string("host", "127.0.0.1", "fleet address");
+  auto& interval = opts.add_double("interval", 1.0,
+                                   "seconds between refreshes");
+  auto& iterations = opts.add_int(
+      "iterations", 0, "stop after this many refreshes (0 = until ^C)");
+  auto& timeout = opts.add_double("timeout", 0.3, "per-node scrape deadline");
+  opts.parse(argc, argv);
+  if (interval <= 0.0) {
+    std::fprintf(stderr, "bcc top: --interval must be > 0\n");
+    return 1;
+  }
+  install_shutdown_handlers();
+
+  // Previous scrape per node: sender steady-clock us + the counters rates
+  // are derived from. The node's own clock spacing is the rate denominator,
+  // so collector-side scheduling jitter never skews the rates.
+  struct Prev {
+    std::uint64_t wall_us = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t queries = 0;
+  };
+  std::map<std::uint32_t, Prev> prev;
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+
+  for (int round = 0; iterations == 0 || round < iterations; ++round) {
+    std::vector<obs::NodeTelemetry> fleet;
+    net::scrape_fleet(fleet_endpoints(host, base_port, nodes), timeout,
+                      &fleet);
+    if (shutdown_requested()) break;
+
+    std::string screen;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "bcc top — %zu/%d nodes answering on %s:%d (refresh %.1fs)"
+                  "\n\n",
+                  fleet.size(), static_cast<int>(nodes), host.c_str(),
+                  static_cast<int>(base_port), static_cast<double>(interval));
+    screen += line;
+    std::snprintf(line, sizeof line, "%5s %7s %9s %7s %6s %9s %6s %6s\n",
+                  "node", "pid", "frames/s", "qps", "shed%", "stale-ms",
+                  "susp", "drop");
+    screen += line;
+    for (const obs::NodeTelemetry& t : fleet) {
+      const std::uint64_t frames =
+          t.metrics.counter_value("bcc.net.frames_sent");
+      const std::uint64_t queries =
+          t.metrics.counter_value("bcc.serve.queries");
+      double frames_rate = 0.0, query_rate = 0.0;
+      const auto p = prev.find(t.node);
+      if (p != prev.end() && t.wall_now_us > p->second.wall_us) {
+        const double dt =
+            static_cast<double>(t.wall_now_us - p->second.wall_us) * 1e-6;
+        frames_rate =
+            static_cast<double>(frames - p->second.frames_sent) / dt;
+        query_rate = static_cast<double>(queries - p->second.queries) / dt;
+      }
+      prev[t.node] = Prev{t.wall_now_us, frames, queries};
+
+      const std::uint64_t admitted =
+          t.metrics.counter_value("bcc.serve.shard.admitted");
+      const std::uint64_t shed = t.metrics.counter_value(
+                                     "bcc.serve.shard.shed") +
+                                 t.metrics.counter_value(
+                                     "bcc.serve.shard.shed_with_answer");
+      const double shed_pct =
+          admitted + shed == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(shed) /
+                    static_cast<double>(admitted + shed);
+      const obs::Histogram::Snapshot* stale =
+          t.metrics.histogram(obs::kStalenessHistogramName);
+      char stale_buf[32];
+      if (stale != nullptr && stale->count > 0) {
+        std::snprintf(stale_buf, sizeof stale_buf, "%llu/%llu",
+                      static_cast<unsigned long long>(stale->quantile(50.0)),
+                      static_cast<unsigned long long>(stale->quantile(99.0)));
+      } else {
+        std::snprintf(stale_buf, sizeof stale_buf, "-");
+      }
+      std::snprintf(
+          line, sizeof line, "%5u %7u %9.1f %7.1f %6.1f %9s %6.0f %6llu\n",
+          t.node, t.pid, frames_rate, query_rate, shed_pct, stale_buf,
+          t.metrics.gauge_value("bcc.conv.suspected_links"),
+          static_cast<unsigned long long>(
+              t.metrics.counter_value("bcc.trace.spans_dropped")));
+      screen += line;
+    }
+
+    // Fleet-wide reconvergence footer: merged bucket-exact histograms.
+    const obs::RegistrySnapshot merged = obs::merge_fleet_metrics(fleet);
+    screen += "\nreconvergence (fleet, ms):\n";
+    const char* hists[] = {"bcc.conv.time_to_convergence_ms",
+                           "bcc.conv.reconverge_congestion_ms",
+                           "bcc.conv.reconverge_flash_crowd_ms",
+                           "bcc.conv.reconverge_region_degrade_ms"};
+    for (const char* name : hists) {
+      const obs::Histogram::Snapshot* h = merged.histogram(name);
+      if (h == nullptr || h->count == 0) continue;
+      std::snprintf(line, sizeof line,
+                    "  %-38s n=%-6llu p50 ~%llu  p99 ~%llu  max %llu\n",
+                    name, static_cast<unsigned long long>(h->count),
+                    static_cast<unsigned long long>(h->quantile(50.0)),
+                    static_cast<unsigned long long>(h->quantile(99.0)),
+                    static_cast<unsigned long long>(h->max));
+      screen += line;
+    }
+    if (screen.back() != '\n') screen += '\n';
+
+    if (tty) std::fputs("\x1b[H\x1b[2J", stdout);  // home + clear
+    std::fputs(screen.c_str(), stdout);
+    std::fflush(stdout);
+    if (shutdown_requested() ||
+        (iterations != 0 && round + 1 >= iterations)) {
+      break;
+    }
+    ::usleep(static_cast<useconds_t>(interval * 1e6));
+    if (shutdown_requested()) break;
+  }
+  return 0;
+}
+
 void usage() {
   std::fputs(
       "bcc — bandwidth-constrained clustering in tree metric spaces\n"
       "usage: bcc <gen|preprocess|embed|treeness|query|eval|chaos|metrics|"
-      "trace|health|node> [--help] [options]\n",
+      "trace|health|node|collect|top> [--help] [options]\n",
       stderr);
 }
 
@@ -894,6 +1126,8 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(sub_argc, sub_argv);
     if (cmd == "health") return cmd_health(sub_argc, sub_argv);
     if (cmd == "node") return cmd_node(sub_argc, sub_argv);
+    if (cmd == "collect") return cmd_collect(sub_argc, sub_argv);
+    if (cmd == "top") return cmd_top(sub_argc, sub_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bcc %s: %s\n", cmd.c_str(), e.what());
     return 1;

@@ -9,21 +9,23 @@
 # quadratic loop), not 10% noise. Tight-threshold comparisons are what
 # `bench_diff --threshold 0.10` on two full, quiet-machine runs is for.
 #
-#   bench_smoke.sh MICRO_BENCH SERVE_BENCH NET_BENCH BENCH_DIFF \
-#                  MICRO_BASELINE SERVE_BASELINE NET_BASELINE
+#   bench_smoke.sh MICRO_BENCH SERVE_BENCH NET_BENCH COLLECT_BENCH BENCH_DIFF \
+#                  MICRO_BASELINE SERVE_BASELINE NET_BASELINE COLLECT_BASELINE
 set -euo pipefail
 
-if [ "$#" -ne 7 ]; then
-  echo "usage: bench_smoke.sh MICRO_BENCH SERVE_BENCH NET_BENCH BENCH_DIFF MICRO_BASELINE SERVE_BASELINE NET_BASELINE" >&2
+if [ "$#" -ne 9 ]; then
+  echo "usage: bench_smoke.sh MICRO_BENCH SERVE_BENCH NET_BENCH COLLECT_BENCH BENCH_DIFF MICRO_BASELINE SERVE_BASELINE NET_BASELINE COLLECT_BASELINE" >&2
   exit 1
 fi
 micro_bench=$1
 serve_bench=$2
 net_bench=$3
-bench_diff=$4
-micro_baseline=$5
-serve_baseline=$6
-net_baseline=$7
+collect_bench=$4
+bench_diff=$5
+micro_baseline=$6
+serve_baseline=$7
+net_baseline=$8
+collect_baseline=$9
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -60,5 +62,17 @@ BCC_BENCH_OUT="$workdir" "$net_bench" \
 "$bench_diff" \
   --baseline "$net_baseline" \
   --candidate "$workdir/BENCH_net.json" \
+  --metrics '\.cpu_ns$' \
+  --threshold 4.0
+
+# Telemetry-plane subset: codec + fleet merge + the flight-recorder commit
+# path (the clock-offset estimator and the A/B sink pair are full-run only).
+BCC_BENCH_OUT="$workdir" "$collect_bench" \
+  --benchmark_filter='BM_EncodeTelemetry|BM_DecodeTelemetry|BM_MergeFleet|BM_FlightRecordSpan' \
+  --benchmark_min_time=0.05 >/dev/null
+
+"$bench_diff" \
+  --baseline "$collect_baseline" \
+  --candidate "$workdir/BENCH_collect.json" \
   --metrics '\.cpu_ns$' \
   --threshold 4.0

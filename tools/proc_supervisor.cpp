@@ -3,19 +3,42 @@
 // sockets and runs one named scenario:
 //
 //   proc_supervisor --bcc PATH/TO/bcc --scenario converge|kill-rejoin|
-//                   partition-heal|stall-resume|drain|all
-//                   [--nodes N --seed S --deadline SEC --metrics-dir DIR -v]
+//                   partition-heal|stall-resume|drain|kill-collect|
+//                   overhead|all
+//                   [--nodes N --seed S --deadline SEC --metrics-dir DIR
+//                    --flight-dir DIR --telemetry-out DIR -v]
 //
 // Exit 0 when the scenario's assertions hold (survivors answered, exact
-// sync fixpoint reached, drains exited 0, ...), 1 with a message otherwise.
+// sync fixpoint reached, drains exited 0, recovered flight spans causally
+// linked, ...), 1 with a message otherwise. Scenarios that need a scratch
+// directory (kill-collect needs --flight-dir, overhead needs
+// --metrics-dir) provision one under TMPDIR when the flag is omitted.
 // The transport_chaos_test gtest runs these same scenarios; this binary is
 // the interactive/demo entry point (see README "multi-process quickstart").
+#include <stdlib.h>
+
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/options.h"
 #include "net/supervisor.h"
+
+namespace {
+
+/// mkdtemp under TMPDIR; "" on failure.
+std::string scratch_dir(const char* tag) {
+  const char* base = ::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                     "/bcc_" + tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) return "";
+  return std::string(buf.data());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bcc;
@@ -29,6 +52,13 @@ int main(int argc, char** argv) {
                                    "seconds allowed to reach the fixpoint");
   auto& metrics_dir = opts.add_string(
       "metrics-dir", "", "directory for per-node metrics flushes");
+  auto& flight_dir = opts.add_string(
+      "flight-dir", "",
+      "directory for per-node crash flight rings (enables telemetry "
+      "scenarios; auto-provisioned for kill-collect when omitted)");
+  auto& telemetry_out = opts.add_string(
+      "telemetry-out", "",
+      "directory for merged fleet_trace.json / fleet_metrics.json artifacts");
   auto& verbose = opts.add_bool("verbose", false, "narrate child lifecycle");
   opts.parse(argc, argv);
   if (bcc_bin.empty()) {
@@ -42,20 +72,40 @@ int main(int argc, char** argv) {
   so.bcc_bin = bcc_bin;
   so.converge_deadline = deadline;
   so.metrics_dir = metrics_dir;
+  so.flight_dir = flight_dir;
+  so.telemetry_out = telemetry_out;
   so.verbose = verbose;
 
   std::vector<std::string> names;
   if (scenario == "all") {
     names = {"converge", "kill-rejoin", "partition-heal", "stall-resume",
-             "drain"};
+             "drain", "kill-collect"};
   } else {
     names = {scenario};
   }
   for (const std::string& name : names) {
-    std::printf("== scenario %s (n=%zu seed=%llu)\n", name.c_str(), so.n,
-                static_cast<unsigned long long>(so.world_seed));
+    net::SupervisorOptions run = so;
+    if (name == "kill-collect" && run.flight_dir.empty()) {
+      run.flight_dir = scratch_dir("flight");
+      if (run.flight_dir.empty()) {
+        std::fprintf(stderr, "FAIL kill-collect: cannot mkdtemp a flight "
+                             "dir (pass --flight-dir)\n");
+        return 1;
+      }
+    }
+    if (name == "kill-collect" && run.n < 4) run.n = 4;
+    if (name == "overhead" && run.metrics_dir.empty()) {
+      run.metrics_dir = scratch_dir("metrics");
+      if (run.metrics_dir.empty()) {
+        std::fprintf(stderr, "FAIL overhead: cannot mkdtemp a metrics dir "
+                             "(pass --metrics-dir)\n");
+        return 1;
+      }
+    }
+    std::printf("== scenario %s (n=%zu seed=%llu)\n", name.c_str(), run.n,
+                static_cast<unsigned long long>(run.world_seed));
     std::fflush(stdout);
-    const std::string failure = net::run_scenario(name, so);
+    const std::string failure = net::run_scenario(name, run);
     if (!failure.empty()) {
       std::fprintf(stderr, "FAIL %s\n", failure.c_str());
       return 1;
