@@ -1,0 +1,223 @@
+// Query-observatory overhead benchmarks (google-benchmark): pins the two
+// overhead contracts the observability ISSUE ships with —
+//
+//   * disabled path: exemplar hooks, explain stage clocks, and the sampling
+//     profiler's would-be hooks must cost ~nothing when off.
+//     BM_SubmitObservatoryOff is the same warm-cache submit loop as
+//     serve_bench's BM_ShardedQuerySubmit/16, so bench_diff against the
+//     committed baseline catches any disabled-path creep (<= 1% budget).
+//   * enabled path: a 99 Hz SIGPROF sampler may cost at most a few percent
+//     on the serve plane. BM_ProfilerOverheadAB measures plain / explain /
+//     profiled passes back-to-back in one process and exports the ratios as
+//     counters, so the committed BENCH_profile.json carries the A/B
+//     verdict, not just absolute timings that drift with the machine.
+//
+// Results are exported machine-readably like the other harnesses: main()
+// mirrors every run into BENCH_profile.json via obs::BenchReport, and
+// tools/bench_smoke.sh diffs the fast subset against the committed
+// bench/BENCH_profile.json baseline.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_json_reporter.h"
+#include "core/system.h"
+#include "data/topology_gen.h"
+#include "exp/common.h"
+#include "obs/bench_report.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "serve/query_service.h"
+#include "tree/embedder.h"
+
+namespace {
+
+using namespace bcc;
+
+// Shared converged system + a mixed request stream, like serve_bench's
+// fixture but smaller: these benches compare paths against each other, not
+// against Algorithm 4's absolute cost.
+struct ProfileFixture {
+  std::unique_ptr<DecentralizedClusterSystem> sys;
+  std::vector<QueryRequest> requests;
+};
+
+const ProfileFixture& profile_fixture() {
+  static const ProfileFixture fixture = [] {
+    ProfileFixture f;
+    const std::size_t n = 120;
+    Rng topo_rng(50);
+    TopologyOptions topo;
+    topo.hosts = n;
+    const DistanceMatrix d = generate_topology(topo, topo_rng).distances();
+    Rng rng(51);
+    Framework fw = build_framework(d, rng);
+    const BandwidthClasses classes =
+        exp::classes_for_grid(exp::bandwidth_grid(15.0, 75.0, 5));
+    f.sys = std::make_unique<DecentralizedClusterSystem>(
+        fw.anchors, fw.predicted_distances(), classes, SystemOptions{});
+    f.sys->run_to_convergence();
+    Rng query_rng(52);
+    f.requests.reserve(2048);
+    for (std::size_t i = 0; i < 2048; ++i) {
+      f.requests.push_back(QueryRequest::at_class(
+          static_cast<NodeId>(query_rng.below(n)), 2 + query_rng.below(12),
+          query_rng.below(classes.size())));
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+void BM_HistogramRecordPlain(benchmark::State& state) {
+  // The pre-exemplar hot path: striped-counter bump into one bucket.
+  obs::Histogram h;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v++ & 1023);
+  }
+  benchmark::DoNotOptimize(h.snapshot().count);
+}
+BENCHMARK(BM_HistogramRecordPlain);
+
+void BM_HistogramRecordExemplar(benchmark::State& state) {
+  // record_with_exemplar with a live trace id: the plain record plus one
+  // steady_clock read and one striped mutex for the exemplar slot. This is
+  // the worst case — production queries only carry a nonzero id while
+  // tracing is enabled.
+  obs::Histogram h;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record_with_exemplar(v & 1023, /*trace_id=*/v);
+    ++v;
+  }
+  benchmark::DoNotOptimize(h.snapshot().count);
+}
+BENCHMARK(BM_HistogramRecordExemplar);
+
+void BM_HistogramRecordExemplarOff(benchmark::State& state) {
+  // Trace id 0 (tracing off): must cost the same as plain record — the
+  // exemplar branch is one predictable compare.
+  obs::Histogram h;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record_with_exemplar(v++ & 1023, /*trace_id=*/0);
+  }
+  benchmark::DoNotOptimize(h.snapshot().count);
+}
+BENCHMARK(BM_HistogramRecordExemplarOff);
+
+void BM_SubmitObservatoryOff(benchmark::State& state) {
+  // Warm-cache submit with every observatory feature off: no profile flag,
+  // no sampler. Mirrors serve_bench's BM_ShardedQuerySubmit/16 so the two
+  // baselines cross-check each other.
+  const ProfileFixture& f = profile_fixture();
+  QueryServiceOptions options;
+  options.threads = 1;
+  options.shards = 16;
+  QueryService service(*f.sys, options);
+  service.submit_batch(f.requests);  // warm every shard's cache
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.submit(f.requests[i++ & 2047]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SubmitObservatoryOff);
+
+void BM_SubmitExplain(benchmark::State& state) {
+  // Same loop with QueryRequest::with_profile(): what one explain profile
+  // costs — a handful of steady_clock reads plus the optional's copy out.
+  const ProfileFixture& f = profile_fixture();
+  QueryServiceOptions options;
+  options.threads = 1;
+  options.shards = 16;
+  QueryService service(*f.sys, options);
+  service.submit_batch(f.requests);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    QueryRequest request = f.requests[i++ & 2047];
+    request.with_profile();
+    benchmark::DoNotOptimize(service.submit(request));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SubmitExplain);
+
+void BM_ProfilerOverheadAB(benchmark::State& state) {
+  // Three passes over the identical warm-cache submit loop, back-to-back in
+  // one process: plain, explain-profiled, and with the 99 Hz CPU sampler
+  // armed. The exported counters are the contract:
+  //   explain_overhead_pct    — cost of opting one query into explain
+  //   profiler99_overhead_pct — fleet-wide cost of leaving the sampler on
+  // (<= 5% is the acceptance budget for the latter; tests assert the bench
+  // at least produced sane, non-negative numbers).
+  const ProfileFixture& f = profile_fixture();
+  QueryServiceOptions options;
+  options.threads = 1;
+  options.shards = 16;
+  QueryService service(*f.sys, options);
+  service.submit_batch(f.requests);
+
+  constexpr std::size_t kOps = 20000;
+  auto pass_ns_per_op = [&](bool explain) {
+    std::size_t i = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t op = 0; op < kOps; ++op) {
+      QueryRequest request = f.requests[i++ & 2047];
+      if (explain) request.with_profile();
+      benchmark::DoNotOptimize(service.submit(request));
+    }
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    return static_cast<double>(ns) / static_cast<double>(kOps);
+  };
+
+  double plain = 0.0, explain = 0.0, on99 = 0.0;
+  for (auto _ : state) {
+    plain = pass_ns_per_op(false);
+    explain = pass_ns_per_op(true);
+    obs::SamplingProfiler& profiler = obs::SamplingProfiler::global();
+    obs::SamplingProfiler::Options po;
+    po.hz = 99;
+    const bool armed = profiler.start(po);
+    on99 = pass_ns_per_op(false);
+    if (armed) profiler.stop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 3 *
+                          static_cast<std::int64_t>(kOps));
+  auto pct_over = [&](double x) {
+    return plain > 0.0 ? 100.0 * (x - plain) / plain : 0.0;
+  };
+  state.counters["plain_ns_per_op"] = plain;
+  state.counters["explain_ns_per_op"] = explain;
+  state.counters["profiler99_ns_per_op"] = on99;
+  state.counters["explain_overhead_pct"] = pct_over(explain);
+  state.counters["profiler99_overhead_pct"] = pct_over(on99);
+}
+BENCHMARK(BM_ProfilerOverheadAB)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bcc::obs::BenchReport report("profile");
+  bcc::BenchJsonReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!report.write()) {
+    std::fprintf(stderr, "profile_bench: cannot write %s\n",
+                 report.path().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "benchmark telemetry written to %s\n",
+               report.path().c_str());
+  return 0;
+}

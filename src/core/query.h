@@ -67,6 +67,54 @@ struct ClassIndex {
 /// kBandwidthUnsatisfiable.
 using QueryConstraint = std::variant<std::monostate, BandwidthMbps, ClassIndex>;
 
+/// Which path through the serving plane produced the answer (explain
+/// profiles only — the plain result already distinguishes these through
+/// status/degraded, but the profile names the path explicitly).
+enum class QueryPath : std::uint8_t {
+  kCompute = 0,        ///< full Algorithm 4 walk on the pinned snapshot
+  kCacheHit = 1,       ///< per-shard memo cache, current snapshot version
+  kStaleFallback = 2,  ///< shed, answered from the last converged snapshot
+  kShedEmpty = 3,      ///< shed with no payload at all
+  kBypass = 4,         ///< argument error answered before admission
+};
+
+constexpr const char* to_string(QueryPath path) {
+  switch (path) {
+    case QueryPath::kCompute: return "compute";
+    case QueryPath::kCacheHit: return "cache_hit";
+    case QueryPath::kStaleFallback: return "stale_fallback";
+    case QueryPath::kShedEmpty: return "shed_empty";
+    case QueryPath::kBypass: return "bypass";
+  }
+  return "?";
+}
+
+/// Per-query explain profile: where one request's latency went, stage by
+/// stage, filled by the serving plane when QueryRequest::profile is set.
+/// Stages are measured with ONE monotonic clock read per boundary — each
+/// stage's end is the next stage's begin — so they telescope: stages_ns()
+/// equals total_ns up to the final clock read, which is what lets the
+/// explain self-consistency test demand >= 95% coverage of the measured
+/// end-to-end latency instead of hand-waving about "other".
+struct QueryProfile {
+  std::uint64_t queue_ns = 0;      ///< dwell before serving began (batch fanout)
+  std::uint64_t epoch_pin_ns = 0;  ///< snapshot pin (0 in batch: one shared pin)
+  std::uint64_t validate_ns = 0;   ///< class resolve + argument/deadline checks
+  std::uint64_t admission_ns = 0;  ///< token bucket + in-flight accounting
+  std::uint64_t cache_ns = 0;      ///< memo / stale cache probe
+  std::uint64_t compute_ns = 0;    ///< Algorithm 4 routing walk
+  std::uint64_t total_ns = 0;      ///< queue + pin + serve, at the last read
+  QueryPath path = QueryPath::kCompute;
+  std::uint32_t shard = 0;             ///< shard the key hashed to
+  std::uint64_t snapshot_version = 0;  ///< snapshot pinned for this query
+
+  /// Sum of the individual stages (the explain table's "accounted" row).
+  std::uint64_t stages_ns() const {
+    return queue_ns + epoch_pin_ns + validate_ns + admission_ns + cache_ns +
+           compute_ns;
+  }
+};
+
 /// Scheduling class the admission controller uses when the serving plane is
 /// overloaded: kLow is shed first (it must leave token headroom), kNormal
 /// needs a token, kHigh may run the bucket into bounded debt.
@@ -92,6 +140,10 @@ struct QueryRequest {
   /// A query still waiting past its deadline is shed, never served late.
   std::uint64_t deadline_micros = 0;
   QueryPriority priority = QueryPriority::kNormal;
+  /// Fill QueryResult::profile with a stage-by-stage latency breakdown.
+  /// Off by default: the serving plane reads monotonic clocks at each stage
+  /// boundary only when asked.
+  bool profile = false;
 
   static QueryRequest bandwidth(NodeId start, std::size_t k, double b_mbps) {
     QueryRequest r;
@@ -115,6 +167,10 @@ struct QueryRequest {
   }
   QueryRequest& with_priority(QueryPriority p) {
     priority = p;
+    return *this;
+  }
+  QueryRequest& with_profile(bool on = true) {
+    profile = on;
     return *this;
   }
 
@@ -155,6 +211,10 @@ struct QueryResult {
   /// serving is not driven by a streaming pipeline). A degraded answer
   /// served mid-repair self-describes its staleness through this.
   std::uint64_t source_epoch = 0;
+  /// Stage-by-stage latency breakdown, present iff the request asked for it
+  /// (QueryRequest::with_profile) AND the query went through the serving
+  /// plane. Direct QueryProcessor::run calls never fill it.
+  std::optional<QueryProfile> profile;
 
   bool found() const { return status == QueryStatus::kFound; }
 };

@@ -18,6 +18,7 @@
 #include "metric/bandwidth.h"
 #include "obs/collect.h"
 #include "obs/export.h"
+#include "obs/profile.h"
 #include "serve/snapshot.h"
 
 namespace bcc::net {
@@ -186,11 +187,25 @@ int ProcessNode::run(int control_fd, std::ostream& out) {
         (static_cast<std::uint64_t>(options_.id) + 1) << 40);
     obs::Tracer::global().enable(obs::SpanCategory::kGossip, true);
   }
+  if (options_.profile_hz > 0) {
+    obs::SamplingProfiler::Options po;
+    po.hz = options_.profile_hz;
+    obs::SamplingProfiler::global().start(po);
+  }
   tcp_.set_telemetry_provider([this] {
     obs::NodeTelemetry t;
     t.node = static_cast<std::uint32_t>(options_.id);
     t.pid = static_cast<std::uint32_t>(::getpid());
     t.wall_now_us = static_cast<std::uint64_t>(mono_seconds() * 1e6);
+    obs::SamplingProfiler& profiler = obs::SamplingProfiler::global();
+    if (profiler.running() || profiler.samples() > 0) {
+      // Publish bcc.profile.* BEFORE the registry snapshot so the scrape
+      // sees counters consistent with the stacks it carries. Truncation to
+      // the hottest 32 keeps the TELEMETRY frame small; `bcc collect`
+      // re-merges by stack across the fleet.
+      profiler.publish_metrics();
+      t.profile = profiler.top_stacks(32);
+    }
     t.metrics = obs::Registry::global().snapshot();
     // drain(), not snapshot(): successive scrapes stream the ring instead
     // of re-sending (and re-merging) the same spans.
@@ -244,6 +259,10 @@ int ProcessNode::run(int control_fd, std::ostream& out) {
 
   // Orderly drain: final state + metrics flush, then exit 0 — SIGTERM'd
   // nodes look exactly like quit nodes to the supervisor.
+  if (options_.profile_hz > 0) {
+    obs::SamplingProfiler::global().stop();
+    obs::SamplingProfiler::global().publish_metrics();
+  }
   if (flight_ != nullptr) {
     obs::Tracer::global().clear_sink();  // before the recorder unmaps
     const std::vector<std::uint8_t> blob =

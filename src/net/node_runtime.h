@@ -82,6 +82,11 @@ struct ProcessNodeOptions {
   /// the flight recorder). The tracer's id space is seeded per process
   /// ((id + 1) << 40) so span ids never collide across the fleet.
   bool trace_gossip = false;
+  /// Sampling-profiler rate in Hz (0 = off). When on, the node arms the
+  /// process-wide SIGPROF sampler (obs/profile.h) for its whole run and the
+  /// telemetry endpoint carries its hottest folded stacks, so `bcc collect`
+  /// can answer "where is the fleet burning CPU" without touching a node.
+  int profile_hz = 0;
 };
 
 /// See file comment.

@@ -123,9 +123,10 @@ std::vector<std::uint8_t> encode_node_metrics(const RegistrySnapshot& s) {
     put_u64(out, v);
   }
   put_u32(out, static_cast<std::uint32_t>(s.gauges.size()));
-  for (const auto& [name, v] : s.gauges) {
-    put_name(out, name);
-    put_f64(out, v);
+  for (const RegistrySnapshot::GaugeEntry& g : s.gauges) {
+    put_name(out, g.name);
+    put_f64(out, g.value);
+    put_u8(out, static_cast<std::uint8_t>(g.agg));
   }
   put_u32(out, static_cast<std::uint32_t>(s.histograms.size()));
   for (const auto& [name, h] : s.histograms) {
@@ -140,6 +141,18 @@ std::vector<std::uint8_t> encode_node_metrics(const RegistrySnapshot& s) {
       if (h.buckets[i] == 0) continue;
       put_u8(out, static_cast<std::uint8_t>(i));
       put_u64(out, h.buckets[i]);
+    }
+    // Sparse exemplars, same shape as the buckets above.
+    std::uint8_t populated = 0;
+    for (const Exemplar& e : h.exemplars) populated += e.valid() ? 1 : 0;
+    put_u8(out, populated);
+    for (std::size_t i = 0; i < h.exemplars.size(); ++i) {
+      const Exemplar& e = h.exemplars[i];
+      if (!e.valid()) continue;
+      put_u8(out, static_cast<std::uint8_t>(i));
+      put_u64(out, e.trace_id);
+      put_u64(out, e.value);
+      put_u64(out, e.wall_us);
     }
   }
   return out;
@@ -160,7 +173,10 @@ bool decode_node_metrics(const std::uint8_t* data, std::size_t len,
   for (std::uint32_t i = 0; i < n_gauges && c.ok; ++i) {
     std::string name = c.name();
     const double v = c.f64();
-    out->gauges.emplace_back(std::move(name), v);
+    const std::uint8_t agg = c.u8();
+    out->gauges.push_back(
+        {std::move(name), v,
+         static_cast<GaugeAgg>(agg % kGaugeAggCount)});
   }
   const std::uint32_t n_hists = c.u32();
   for (std::uint32_t i = 0; i < n_hists && c.ok; ++i) {
@@ -174,6 +190,15 @@ bool decode_node_metrics(const std::uint8_t* data, std::size_t len,
       const std::uint8_t idx = c.u8();
       const std::uint64_t v = c.u64();
       if (idx < Histogram::kBuckets) h.buckets[idx] = v;
+    }
+    const std::uint8_t populated = c.u8();
+    for (std::uint8_t b = 0; b < populated && c.ok; ++b) {
+      const std::uint8_t idx = c.u8();
+      Exemplar e;
+      e.trace_id = c.u64();
+      e.value = c.u64();
+      e.wall_us = c.u64();
+      if (idx < Histogram::kBuckets) h.exemplars[idx] = e;
     }
     out->histograms.emplace_back(std::move(name), h);
   }
@@ -207,6 +232,11 @@ std::vector<std::uint8_t> encode_node_telemetry(const NodeTelemetry& t) {
     const std::size_t name_len = std::min<std::size_t>(std::strlen(s.name), 255);
     put_u8(out, static_cast<std::uint8_t>(name_len));
     out.insert(out.end(), s.name, s.name + name_len);
+  }
+  put_u32(out, static_cast<std::uint32_t>(t.profile.size()));
+  for (const auto& [stack, samples] : t.profile) {
+    put_name(out, stack);
+    put_u64(out, samples);
   }
   return out;
 }
@@ -250,6 +280,12 @@ bool decode_node_telemetry(const std::uint8_t* data, std::size_t len,
     c.n -= name_len;
     out->spans.push_back(s);
   }
+  const std::uint32_t n_profile = c.u32();
+  for (std::uint32_t i = 0; i < n_profile && c.ok; ++i) {
+    std::string stack = c.name();
+    const std::uint64_t samples = c.u64();
+    out->profile.emplace_back(std::move(stack), samples);
+  }
   if (!c.ok) {
     *out = NodeTelemetry{};
     return false;
@@ -259,14 +295,33 @@ bool decode_node_telemetry(const std::uint8_t* data, std::size_t len,
 
 RegistrySnapshot merge_fleet_metrics(
     const std::vector<NodeTelemetry>& fleet) {
+  // Per-gauge accumulator: the hint of the first node to report the gauge
+  // decides the policy (skewed fleets disagreeing on a hint are a deploy
+  // bug; first-seen beats silently mixing policies).
+  struct GaugeAccum {
+    GaugeAgg agg = GaugeAgg::kMax;
+    double value = 0.0;
+    double sum = 0.0;
+    std::uint64_t n = 0;
+  };
   std::map<std::string, std::uint64_t> counters;
-  std::map<std::string, double> gauges;
+  std::map<std::string, GaugeAccum> gauges;
   std::map<std::string, Histogram::Snapshot> histograms;
   for (const NodeTelemetry& t : fleet) {
     for (const auto& [name, v] : t.metrics.counters) counters[name] += v;
-    for (const auto& [name, v] : t.metrics.gauges) {
-      auto [it, inserted] = gauges.emplace(name, v);
-      if (!inserted) it->second = std::max(it->second, v);
+    for (const RegistrySnapshot::GaugeEntry& g : t.metrics.gauges) {
+      auto [it, inserted] =
+          gauges.emplace(g.name, GaugeAccum{g.agg, g.value, g.value, 1});
+      if (inserted) continue;
+      GaugeAccum& a = it->second;
+      switch (a.agg) {
+        case GaugeAgg::kMax: a.value = std::max(a.value, g.value); break;
+        case GaugeAgg::kSum: a.value += g.value; break;
+        case GaugeAgg::kLast: a.value = g.value; break;
+        case GaugeAgg::kMean: break;  // resolved from sum/n below
+      }
+      a.sum += g.value;
+      ++a.n;
     }
     for (const auto& [name, h] : t.metrics.histograms) {
       histograms[name].merge_from(h);
@@ -274,8 +329,28 @@ RegistrySnapshot merge_fleet_metrics(
   }
   RegistrySnapshot out;  // maps iterate name-sorted, matching Registry
   out.counters.assign(counters.begin(), counters.end());
-  out.gauges.assign(gauges.begin(), gauges.end());
+  out.gauges.reserve(gauges.size());
+  for (const auto& [name, a] : gauges) {
+    const double v = a.agg == GaugeAgg::kMean && a.n > 0
+                         ? a.sum / static_cast<double>(a.n)
+                         : a.value;
+    out.gauges.push_back({name, v, a.agg});
+  }
   out.histograms.assign(histograms.begin(), histograms.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> merge_fleet_profiles(
+    const std::vector<NodeTelemetry>& fleet) {
+  std::map<std::string, std::uint64_t> by_stack;
+  for (const NodeTelemetry& t : fleet) {
+    for (const auto& [stack, samples] : t.profile) by_stack[stack] += samples;
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> out(by_stack.begin(),
+                                                         by_stack.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
   return out;
 }
 

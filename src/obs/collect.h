@@ -47,7 +47,9 @@ struct FlightData;  // obs/flight.h
 
 /// Bumped on incompatible telemetry payload changes. Decoders reject other
 /// versions; the frame layer's major-version gate handles framing drift.
-inline constexpr std::uint32_t kTelemetryFormatVersion = 1;
+/// Version 2: gauge aggregation hints (GaugeAgg), per-bucket histogram
+/// exemplars, and sampling-profiler folded-stack summaries.
+inline constexpr std::uint32_t kTelemetryFormatVersion = 2;
 
 /// One process's telemetry at one scrape: identity, full metrics registry
 /// snapshot, and the drained span ring. Move-only — decoded `spans[i].name`
@@ -63,6 +65,11 @@ struct NodeTelemetry {
   bool recovered = false;
   RegistrySnapshot metrics;
   std::vector<SpanRecord> spans;
+  /// Sampling-profiler summary: folded stacks ("a;b;c") with cumulative
+  /// sample counts, hottest first, truncated by the sender (the full
+  /// resolution stays on the node — `bcc profile` reads it locally). Empty
+  /// when the node's profiler is off.
+  std::vector<std::pair<std::string, std::uint64_t>> profile;
   std::deque<std::string> name_pool;  ///< backs spans[i].name when decoded
 
   NodeTelemetry() = default;
@@ -88,10 +95,19 @@ bool decode_node_telemetry(const std::uint8_t* data, std::size_t len,
 /// Fuses per-process registries into one fleet registry: counters add
 /// (bcc.net.frames_sent across the fleet is the sum of everyone's),
 /// histograms merge bucket-wise (exact — see Histogram::Snapshot::
-/// merge_from), and gauges take the max (a deliberate policy: fleet gauges
-/// here are "worst observed" — staleness, suspicion, queue depth — where
-/// max is the alarming aggregate; a mean would hide the sick node).
+/// merge_from; exemplar slots keep the freshest), and each gauge merges by
+/// the GaugeAgg hint it was registered under — kMax for worst-observed
+/// (staleness, suspicion, queue depth, the historical default), kSum for
+/// additive occupancy, kLast for node-local scalars, kMean for ratios and
+/// rates (a max over cache_hit_ratio would report the luckiest node).
+/// Nodes disagreeing on a hint (skewed binaries) resolve first-seen-wins.
 RegistrySnapshot merge_fleet_metrics(const std::vector<NodeTelemetry>& fleet);
+
+/// Fuses the fleet's profiler summaries into one folded-stack list (counts
+/// added per identical stack), sorted hottest first — what `bcc collect`
+/// prints and the flamegraph artifact is built from.
+std::vector<std::pair<std::string, std::uint64_t>> merge_fleet_profiles(
+    const std::vector<NodeTelemetry>& fleet);
 
 /// Per-entry clock offsets in microseconds, aligned with `fleet` by index:
 /// adding offsets[i] to entry i's wall timestamps maps them onto entry 0's

@@ -51,7 +51,28 @@ void append_histogram_json(std::string& out, const Histogram::Snapshot& h) {
     out += "{\"le\":" + fmt_u64(Histogram::Snapshot::bucket_upper(i)) +
            ",\"count\":" + fmt_u64(h.buckets[i]) + "}";
   }
-  out += "]}";
+  out += "]";
+  // Exemplars only when any slot is populated — histograms recorded with
+  // tracing off keep the pre-exemplar shape (and the golden tests pinned
+  // against it).
+  bool any = false;
+  for (const Exemplar& e : h.exemplars) any = any || e.valid();
+  if (any) {
+    out += ",\"exemplars\":[";
+    first = true;
+    for (std::size_t i = 0; i < h.exemplars.size(); ++i) {
+      const Exemplar& e = h.exemplars[i];
+      if (!e.valid()) continue;
+      if (!first) out += ',';
+      first = false;
+      out += "{\"le\":" + fmt_u64(Histogram::Snapshot::bucket_upper(i)) +
+             ",\"trace\":" + fmt_u64(e.trace_id) +
+             ",\"value\":" + fmt_u64(e.value) +
+             ",\"wall_us\":" + fmt_u64(e.wall_us) + "}";
+    }
+    out += "]";
+  }
+  out += "}";
 }
 
 }  // namespace
@@ -63,10 +84,10 @@ std::string prometheus_text(const RegistrySnapshot& snapshot) {
     out += "# TYPE " + p + " counter\n";
     out += p + " " + fmt_u64(value) + "\n";
   }
-  for (const auto& [name, value] : snapshot.gauges) {
-    const std::string p = prom_name(name);
+  for (const RegistrySnapshot::GaugeEntry& g : snapshot.gauges) {
+    const std::string p = prom_name(g.name);
     out += "# TYPE " + p + " gauge\n";
-    out += p + " " + fmt_double(value) + "\n";
+    out += p + " " + fmt_double(g.value) + "\n";
   }
   for (const auto& [name, h] : snapshot.histograms) {
     const std::string p = prom_name(name);
@@ -81,7 +102,15 @@ std::string prometheus_text(const RegistrySnapshot& snapshot) {
       cumulative += h.buckets[i];
       out += p + "_bucket{le=\"" +
              fmt_u64(Histogram::Snapshot::bucket_upper(i)) + "\"} " +
-             fmt_u64(cumulative) + "\n";
+             fmt_u64(cumulative);
+      // OpenMetrics-style exemplar suffix: ` # {trace_id="..."} value`.
+      // trace ids render as fixed u64 decimals so the label value never
+      // needs escaping — pinned by ObsExport.PrometheusExemplarEscaping.
+      if (h.exemplars[i].valid()) {
+        out += " # {trace_id=\"" + fmt_u64(h.exemplars[i].trace_id) +
+               "\"} " + fmt_u64(h.exemplars[i].value);
+      }
+      out += "\n";
     }
     out += p + "_bucket{le=\"+Inf\"} " + fmt_u64(h.count) + "\n";
     out += p + "_sum " + fmt_u64(h.sum) + "\n";
@@ -104,10 +133,10 @@ std::string json_object(const RegistrySnapshot& snapshot) {
   out += first ? "},\n" : "\n  },\n";
   out += "  \"gauges\": {";
   first = true;
-  for (const auto& [name, value] : snapshot.gauges) {
+  for (const RegistrySnapshot::GaugeEntry& g : snapshot.gauges) {
     out += first ? "\n" : ",\n";
     first = false;
-    out += "    \"" + name + "\": " + fmt_double(value);
+    out += "    \"" + g.name + "\": " + fmt_double(g.value);
   }
   out += first ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";
@@ -128,9 +157,9 @@ std::string json_lines(const RegistrySnapshot& snapshot) {
     out += "{\"type\":\"counter\",\"name\":\"" + name + "\",\"value\":" +
            fmt_u64(value) + "}\n";
   }
-  for (const auto& [name, value] : snapshot.gauges) {
-    out += "{\"type\":\"gauge\",\"name\":\"" + name + "\",\"value\":" +
-           fmt_double(value) + "}\n";
+  for (const RegistrySnapshot::GaugeEntry& g : snapshot.gauges) {
+    out += "{\"type\":\"gauge\",\"name\":\"" + g.name + "\",\"value\":" +
+           fmt_double(g.value) + ",\"agg\":\"" + to_string(g.agg) + "\"}\n";
   }
   for (const auto& [name, h] : snapshot.histograms) {
     out += "{\"type\":\"histogram\",\"name\":\"" + name + "\",\"value\":";
@@ -154,6 +183,16 @@ std::string trace_json_lines(const std::vector<SpanRecord>& spans) {
            (s.remote_parent ? "true" : "false");
     if (s.node != kNoSpanNode) out += ",\"node\":" + fmt_u64(s.node);
     out += "}\n";
+  }
+  return out;
+}
+
+std::vector<SpanRecord> filter_trace(const std::vector<SpanRecord>& spans,
+                                     std::uint64_t trace_id) {
+  std::vector<SpanRecord> out;
+  if (trace_id == 0) return out;
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id == trace_id) out.push_back(s);
   }
   return out;
 }

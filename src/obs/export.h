@@ -32,6 +32,14 @@ std::string json_lines(const RegistrySnapshot& snapshot);
 /// JSON-lines over completed spans, oldest first.
 std::string trace_json_lines(const std::vector<SpanRecord>& spans);
 
+/// The spans belonging to causal chain `trace_id`, input order preserved
+/// (remote-parented spans carry the root's trace id across processes, so
+/// one filter pass reconstructs the whole cross-node chain). This is the
+/// metrics→trace join behind `bcc trace --trace-id` and histogram
+/// exemplars. trace_id 0 matches nothing (0 means "tracing was off").
+std::vector<SpanRecord> filter_trace(const std::vector<SpanRecord>& spans,
+                                     std::uint64_t trace_id);
+
 /// Chrome-trace-event JSON (load in chrome://tracing or ui.perfetto.dev).
 /// One complete ("X") event per span, keyed on simulated time when the span
 /// was sim-stamped (ts = sim_begin seconds -> microseconds) and wall time

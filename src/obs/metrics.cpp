@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 
 #include "common/assert.h"
@@ -47,6 +48,19 @@ void Histogram::record(std::uint64_t v) noexcept {
   }
 }
 
+void Histogram::record_with_exemplar(std::uint64_t v,
+                                     std::uint64_t trace_id) noexcept {
+  record(v);
+  if (trace_id == 0) return;  // tracing off: plain-record cost
+  const std::size_t bucket = std::bit_width(v);
+  const auto wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  std::lock_guard<std::mutex> lock(exemplar_mutexes_[bucket % kExemplarStripes]);
+  exemplars_[bucket] = Exemplar{trace_id, v, wall_us};
+}
+
 Histogram::Snapshot Histogram::snapshot() const noexcept {
   Snapshot s;
   for (std::size_t i = 0; i < kBuckets; ++i) {
@@ -58,6 +72,14 @@ Histogram::Snapshot Histogram::snapshot() const noexcept {
   for (std::uint64_t b : s.buckets) s.count += b;
   s.sum = sum_.load(std::memory_order_relaxed);
   s.max = max_.load(std::memory_order_relaxed);
+  // One stripe lock per stripe (not per bucket): slots in a stripe are
+  // copied together, concurrent recorders into other stripes never wait.
+  for (std::size_t stripe = 0; stripe < kExemplarStripes; ++stripe) {
+    std::lock_guard<std::mutex> lock(exemplar_mutexes_[stripe]);
+    for (std::size_t i = stripe; i < kBuckets; i += kExemplarStripes) {
+      s.exemplars[i] = exemplars_[i];
+    }
+  }
   return s;
 }
 
@@ -65,6 +87,12 @@ void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+  for (std::size_t stripe = 0; stripe < kExemplarStripes; ++stripe) {
+    std::lock_guard<std::mutex> lock(exemplar_mutexes_[stripe]);
+    for (std::size_t i = stripe; i < kBuckets; i += kExemplarStripes) {
+      exemplars_[i] = Exemplar{};
+    }
+  }
 }
 
 std::uint64_t Histogram::Snapshot::quantile(double p) const {
@@ -86,6 +114,39 @@ void Histogram::Snapshot::merge_from(const Snapshot& other) {
   count += other.count;
   sum += other.sum;
   max = std::max(max, other.max);
+  // Overwrite-latest per slot, fleet-wide: the freshest exemplar wins (both
+  // sides stamp with their own steady clock — close enough for "recent").
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const Exemplar& theirs = other.exemplars[i];
+    if (theirs.valid() &&
+        (!exemplars[i].valid() || theirs.wall_us > exemplars[i].wall_us)) {
+      exemplars[i] = theirs;
+    }
+  }
+}
+
+const Exemplar* Histogram::Snapshot::exemplar_near(double p) const {
+  if (count == 0) return nullptr;
+  // Same walk as quantile(): find the bucket holding the p-th sample.
+  const auto rank = static_cast<std::uint64_t>(std::ceil(
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count)));
+  std::size_t target = kBuckets - 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank && buckets[i] > 0) {
+      target = i;
+      break;
+    }
+  }
+  if (exemplars[target].valid()) return &exemplars[target];
+  for (std::size_t i = target; i-- > 0;) {
+    if (exemplars[i].valid()) return &exemplars[i];
+  }
+  for (std::size_t i = target + 1; i < kBuckets; ++i) {
+    if (exemplars[i].valid()) return &exemplars[i];
+  }
+  return nullptr;
 }
 
 std::uint64_t RegistrySnapshot::counter_value(std::string_view name) const {
@@ -96,10 +157,17 @@ std::uint64_t RegistrySnapshot::counter_value(std::string_view name) const {
 }
 
 double RegistrySnapshot::gauge_value(std::string_view name) const {
-  for (const auto& [n, v] : gauges) {
-    if (n == name) return v;
+  for (const GaugeEntry& g : gauges) {
+    if (g.name == name) return g.value;
   }
   return 0.0;
+}
+
+GaugeAgg RegistrySnapshot::gauge_agg(std::string_view name) const {
+  for (const GaugeEntry& g : gauges) {
+    if (g.name == name) return g.agg;
+  }
+  return GaugeAgg::kMax;
 }
 
 const Histogram::Snapshot* RegistrySnapshot::histogram(
@@ -139,6 +207,21 @@ Gauge& Registry::gauge(std::string_view name) {
   return *it->second;
 }
 
+Gauge& Registry::gauge(std::string_view name, GaugeAgg agg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    check_new_name(name);
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    it->second->agg_ = agg;
+  } else {
+    // Two sites disagreeing about the merge policy is a bug, not a
+    // preference — same spirit as the name-to-kind binding above.
+    BCC_REQUIRE(it->second->agg_ == agg);
+  }
+  return *it->second;
+}
+
 Histogram& Registry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
@@ -156,7 +239,9 @@ RegistrySnapshot Registry::snapshot() const {
   s.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
   s.gauges.reserve(gauges_.size());
-  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.push_back({name, g->value(), g->agg()});
+  }
   s.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
     s.histograms.emplace_back(name, h->snapshot());

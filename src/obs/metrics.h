@@ -34,6 +34,29 @@ namespace bcc::obs {
 /// True iff `name` follows the `bcc.<module>.<metric>` convention.
 bool valid_metric_name(std::string_view name);
 
+/// How a fleet merge (obs/collect.h merge_fleet_metrics) should fuse one
+/// gauge across processes. Declared at registration — the metric's author
+/// knows whether "worst observed", "fleet total", or "average" is the
+/// honest aggregate; a blanket policy is wrong for somebody (max turns an
+/// 8-node cache_hit_ratio into the luckiest node's ratio).
+enum class GaugeAgg : std::uint8_t {
+  kMax = 0,   ///< worst-observed: staleness, suspicion, queue depth
+  kSum = 1,   ///< additive occupancy/capacity: in-flight queries, slots
+  kLast = 2,  ///< node-local scalar where fusing is meaningless; last wins
+  kMean = 3,  ///< ratios and rates: unweighted mean across processes
+};
+inline constexpr std::size_t kGaugeAggCount = 4;
+
+constexpr const char* to_string(GaugeAgg agg) {
+  switch (agg) {
+    case GaugeAgg::kMax: return "max";
+    case GaugeAgg::kSum: return "sum";
+    case GaugeAgg::kLast: return "last";
+    case GaugeAgg::kMean: return "mean";
+  }
+  return "?";
+}
+
 /// Monotonic counter. Adds go to one of kStripes cache-line-padded atomic
 /// cells selected per thread; value() sums the stripes (reads may miss
 /// concurrent in-flight adds, which is what a counter read is allowed to do).
@@ -75,7 +98,8 @@ class Counter {
   std::array<Cell, kStripes> cells_{};
 };
 
-/// Last-written-wins instantaneous value (double).
+/// Last-written-wins instantaneous value (double). Carries its fleet
+/// aggregation hint (immutable after registration — see Registry::gauge).
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
@@ -88,10 +112,26 @@ class Gauge {
   double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  GaugeAgg agg() const noexcept { return agg_; }
   void reset() noexcept { set(0.0); }
 
  private:
+  friend class Registry;
   std::atomic<double> value_{0.0};
+  GaugeAgg agg_ = GaugeAgg::kMax;
+};
+
+/// OpenMetrics-style exemplar: one recent sample that landed in a histogram
+/// bucket, tagged with the trace id active when it was recorded — the join
+/// key from "the p99 is X" to "and THIS query's span chain shows why".
+/// trace_id == 0 means the slot is empty (recording with no active trace
+/// never writes one, so exemplars cost nothing while tracing is off).
+struct Exemplar {
+  std::uint64_t trace_id = 0;  ///< 0 = empty slot
+  std::uint64_t value = 0;     ///< the recorded sample
+  std::uint64_t wall_us = 0;   ///< steady-clock stamp; merges keep latest
+
+  bool valid() const { return trace_id != 0; }
 };
 
 /// Log-bucketed histogram of non-negative integer samples (typically
@@ -102,6 +142,10 @@ class Histogram {
  public:
   /// bit_width of a uint64 is at most 64.
   static constexpr std::size_t kBuckets = 65;
+  /// Exemplar slots share kExemplarStripes mutexes (bucket % stripes):
+  /// concurrent recorders into *different* value ranges never contend, and
+  /// the slots stay a fixed 65 * sizeof(Exemplar) bytes per histogram.
+  static constexpr std::size_t kExemplarStripes = 8;
 
   /// Plain-data copy; quantiles are extracted from the copy so a snapshot
   /// is internally consistent even while recording continues.
@@ -110,6 +154,8 @@ class Histogram {
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
     std::uint64_t max = 0;
+    /// Per-bucket overwrite-latest exemplars (empty slots have trace_id 0).
+    std::array<Exemplar, kBuckets> exemplars{};
 
     /// Upper bound of the bucket holding the p-th percentile sample
     /// (0 < p <= 100), capped by the observed max — accurate to the
@@ -137,9 +183,21 @@ class Histogram {
     /// tests pin this). This is what the fleet collector uses to fuse
     /// per-process histograms into one distribution.
     void merge_from(const Snapshot& other);
+
+    /// The exemplar behind quantile(p): the slot of the bucket the p-th
+    /// percentile sample falls in, falling back to the nearest populated
+    /// slot below it, then above it (an exemplar from an adjacent bucket is
+    /// still "a query from that latency neighborhood"). nullptr when no
+    /// slot anywhere holds one (tracing was off for every recorded sample).
+    const Exemplar* exemplar_near(double p) const;
   };
 
   void record(std::uint64_t v) noexcept;
+  /// record(v), plus — when `trace_id` is nonzero — overwriting the value
+  /// bucket's exemplar slot under its stripe lock. Callers pass the current
+  /// span's trace id unconditionally: id 0 (tracing off) takes the plain
+  /// record path, so the disabled-path cost is one compare.
+  void record_with_exemplar(std::uint64_t v, std::uint64_t trace_id) noexcept;
   Snapshot snapshot() const noexcept;
   void reset() noexcept;
 
@@ -147,18 +205,30 @@ class Histogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> max_{0};
+  mutable std::array<std::mutex, kExemplarStripes> exemplar_mutexes_;
+  std::array<Exemplar, kBuckets> exemplars_{};  // slot i guarded by stripe i%8
 };
 
 /// Everything a registry knew at one instant, as plain data (see
 /// Registry::snapshot). Vectors are sorted by name.
 struct RegistrySnapshot {
+  /// One gauge at snapshot time, with the aggregation hint it was
+  /// registered under (the hint rides the telemetry codec so the fleet
+  /// collector merges by the author's policy, not a blanket one).
+  struct GaugeEntry {
+    std::string name;
+    double value = 0.0;
+    GaugeAgg agg = GaugeAgg::kMax;
+  };
+
   std::vector<std::pair<std::string, std::uint64_t>> counters;
-  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<GaugeEntry> gauges;
   std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
 
   /// Lookup helpers (0 / empty snapshot when absent).
   std::uint64_t counter_value(std::string_view name) const;
   double gauge_value(std::string_view name) const;
+  GaugeAgg gauge_agg(std::string_view name) const;
   const Histogram::Snapshot* histogram(std::string_view name) const;
   bool empty() const {
     return counters.empty() && gauges.empty() && histograms.empty();
@@ -172,7 +242,13 @@ struct RegistrySnapshot {
 class Registry {
  public:
   Counter& counter(std::string_view name);
+  /// Get-or-create. The aggregation hint is bound at first registration
+  /// (default kMax — the historical "worst observed" policy); a later call
+  /// passing a *different* explicit hint throws, because two sites
+  /// disagreeing about what a fleet merge means is a bug, not a preference.
+  /// The hint-less overload accepts whatever is already registered.
   Gauge& gauge(std::string_view name);
+  Gauge& gauge(std::string_view name, GaugeAgg agg);
   Histogram& histogram(std::string_view name);
 
   /// Coherent-enough copy of every instrument for exporters and tests.

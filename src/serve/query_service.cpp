@@ -33,8 +33,10 @@ obs::Histogram& g_query_micros() {
   return h;
 }
 obs::Gauge& g_cache_hit_ratio() {
-  static obs::Gauge& g =
-      obs::Registry::global().gauge("bcc.serve.cache_hit_ratio");
+  // kMean: a fleet-wide hit ratio is the average of the node ratios, not
+  // their max (the old policy quietly reported the luckiest node).
+  static obs::Gauge& g = obs::Registry::global().gauge(
+      "bcc.serve.cache_hit_ratio", obs::GaugeAgg::kMean);
   return g;
 }
 
@@ -60,15 +62,20 @@ obs::Counter& g_shard_deadline_expired() {
   return c;
 }
 obs::Gauge& g_shard_inflight() {
-  static obs::Gauge& g =
-      obs::Registry::global().gauge("bcc.serve.shard.inflight");
+  // kSum: in-flight queries add up across nodes; the fleet view wants the
+  // total load, not one shard's.
+  static obs::Gauge& g = obs::Registry::global().gauge(
+      "bcc.serve.shard.inflight", obs::GaugeAgg::kSum);
   return g;
 }
 
-void record_query_obs(std::uint64_t micros, bool cache_hit) {
+void record_query_obs(std::uint64_t micros, bool cache_hit,
+                      std::uint64_t trace_id) {
   g_queries().add(1);
   if (cache_hit) g_cache_hits().add(1);
-  g_query_micros().record(micros);
+  // The trace id rides the latency histogram as a per-bucket exemplar, so a
+  // p99 spike in `bcc top` names a concrete query to pull the trace for.
+  g_query_micros().record_with_exemplar(micros, trace_id);
   // Refreshing the ratio gauge sums every stripe of two counters (32 padded
   // cache lines); sample it rather than paying that on each query. The first
   // query still publishes so the gauge is live immediately.
@@ -107,6 +114,26 @@ struct FinishGuard {
   }
 };
 
+/// Stage-boundary clock for explain profiles. One steady_clock read per
+/// boundary; each stage's end doubles as the next stage's begin, so the
+/// stages telescope exactly to the measured total (what lets the explain
+/// self-consistency test demand >= 95% coverage). Inert — no clock reads —
+/// unless the request opted in.
+struct StageClock {
+  bool on = false;
+  std::chrono::steady_clock::time_point mark;
+  /// Nanoseconds since the previous boundary; advances the boundary.
+  std::uint64_t lap() {
+    if (!on) return 0;
+    const auto now = std::chrono::steady_clock::now();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        now - mark)
+                        .count();
+    mark = now;
+    return static_cast<std::uint64_t>(ns);
+  }
+};
+
 }  // namespace
 
 QueryService::QueryService(const DecentralizedClusterSystem& system,
@@ -125,9 +152,11 @@ QueryService::QueryService(const DecentralizedClusterSystem& system,
 
 QueryResult QueryService::shed(QueryShard& shard, const QueryKey& key,
                                const SystemSnapshot& snap,
-                               bool deadline_expired) {
+                               bool deadline_expired, bool* stale_answer) {
   QueryResult result;
-  if (shard.stale_lookup(key, &result)) {
+  const bool stale = shard.stale_lookup(key, &result);
+  if (stale_answer != nullptr) *stale_answer = stale;
+  if (stale) {
     // The payload (cluster/hops/route/class/snapshot_version) is the answer
     // last memoized from a converged snapshot; keep it, mark it shed+stale.
     shed_with_answer_.fetch_add(1, std::memory_order_relaxed);
@@ -148,17 +177,41 @@ QueryResult QueryService::shed(QueryShard& shard, const QueryKey& key,
 
 QueryResult QueryService::serve_one(const SystemSnapshot& snap,
                                     const QueryRequest& request,
-                                    std::uint64_t queued_micros) {
+                                    std::uint64_t queued_micros,
+                                    std::uint64_t epoch_pin_ns) {
   obs::Span span(obs::SpanCategory::kServe, "serve_query");
   const auto t0 = std::chrono::steady_clock::now();
+  QueryProfile prof;
+  StageClock clock{request.profile, t0};
+  if (request.profile) {
+    prof.queue_ns = queued_micros * 1000;
+    prof.epoch_pin_ns = epoch_pin_ns;
+    prof.snapshot_version = snap.version;
+  }
   // Runs on every return path; cached and stale results get the *current*
-  // span's trace id, not the one they were computed under.
-  auto stamp = [&t0, &span](QueryResult& r) {
+  // span's trace id, not the one they were computed under. `final_stage` is
+  // the profile stage this path ended in: its lap closes at the SAME clock
+  // read that defines total_ns, so stages telescope to the total exactly.
+  auto stamp = [&](QueryResult& r, QueryPath path,
+                   std::uint64_t QueryProfile::*final_stage) {
+    const auto now = std::chrono::steady_clock::now();
     r.micros = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - t0)
+        std::chrono::duration_cast<std::chrono::microseconds>(now - t0)
             .count());
     r.trace_id = span.trace_id();
+    if (request.profile) {
+      prof.*final_stage += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                               clock.mark)
+              .count());
+      prof.path = path;
+      prof.total_ns =
+          prof.queue_ns + prof.epoch_pin_ns +
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(now - t0)
+                  .count());
+      r.profile = prof;
+    }
   };
 
   // Validate up front (same precedence as QueryProcessor::run). Argument
@@ -176,24 +229,37 @@ QueryResult QueryService::serve_one(const SystemSnapshot& snap,
   if (result.status != QueryStatus::kNotFound) {  // argument error
     result.snapshot_version = snap.version;
     result.degraded = !snap.converged;
-    stamp(result);
-    shard_for(QueryKey{request.start, request.k, cls.value_or(0)})
-        .stats()
-        .record(result);
-    record_query_obs(result.micros, /*cache_hit=*/false);
+    const QueryKey err_key{request.start, request.k, cls.value_or(0)};
+    if (request.profile) {
+      prof.shard =
+          static_cast<std::uint32_t>(QueryKeyHash{}(err_key) % shards_.size());
+    }
+    stamp(result, QueryPath::kBypass, &QueryProfile::validate_ns);
+    shard_for(err_key).stats().record(result);
+    record_query_obs(result.micros, /*cache_hit=*/false, result.trace_id);
     return result;
   }
 
   const QueryKey key{request.start, request.k, *cls};
-  QueryShard& shard = shard_for(key);
+  const std::size_t shard_idx = QueryKeyHash{}(key) % shards_.size();
+  QueryShard& shard = *shards_[shard_idx];
+  if (request.profile) {
+    prof.shard = static_cast<std::uint32_t>(shard_idx);
+    prof.validate_ns = clock.lap();
+  }
 
   // A query that already waited past its deadline is shed, never served
   // late (only batch fanout introduces waiting; direct submit passes 0).
+  // The shed path's work is a stale-cache probe, so its lap lands in
+  // cache_ns.
+  bool stale = false;
   if (request.deadline_micros > 0 && queued_micros > request.deadline_micros) {
-    result = shed(shard, key, snap, /*deadline_expired=*/true);
-    stamp(result);
+    result = shed(shard, key, snap, /*deadline_expired=*/true, &stale);
+    stamp(result,
+          stale ? QueryPath::kStaleFallback : QueryPath::kShedEmpty,
+          &QueryProfile::cache_ns);
     shard.stats().record(result);
-    record_query_obs(result.micros, /*cache_hit=*/false);
+    record_query_obs(result.micros, /*cache_hit=*/false, result.trace_id);
     return result;
   }
 
@@ -206,10 +272,13 @@ QueryResult QueryService::serve_one(const SystemSnapshot& snap,
                           ? shed_queue_full_
                           : shed_no_tokens_;
       counter.fetch_add(1, std::memory_order_relaxed);
-      result = shed(shard, key, snap, /*deadline_expired=*/false);
-      stamp(result);
+      prof.admission_ns = clock.lap();
+      result = shed(shard, key, snap, /*deadline_expired=*/false, &stale);
+      stamp(result,
+            stale ? QueryPath::kStaleFallback : QueryPath::kShedEmpty,
+            &QueryProfile::cache_ns);
       shard.stats().record(result);
-      record_query_obs(result.micros, /*cache_hit=*/false);
+      record_query_obs(result.micros, /*cache_hit=*/false, result.trace_id);
       return result;
     }
     fin.shard = &shard;
@@ -217,27 +286,40 @@ QueryResult QueryService::serve_one(const SystemSnapshot& snap,
     g_shard_admitted().add(1);
     g_shard_inflight().set(static_cast<double>(shard.inflight()));
   }
+  prof.admission_ns += clock.lap();
 
   if (options_.cache_enabled && shard.cache_lookup(key, snap.version,
                                                    &result)) {
-    stamp(result);
+    stamp(result, QueryPath::kCacheHit, &QueryProfile::cache_ns);
     shard.stats().record(result, /*cache_hit=*/true);
-    record_query_obs(result.micros, /*cache_hit=*/true);
+    record_query_obs(result.micros, /*cache_hit=*/true, result.trace_id);
     return result;
   }
+  prof.cache_ns = clock.lap();
 
   result = snap.run(request);
-  stamp(result);
+  stamp(result, QueryPath::kCompute, &QueryProfile::compute_ns);
   if (options_.cache_enabled && cacheable(result.status)) {
     shard.cache_store(key, snap.version, result, snap.converged);
   }
   shard.stats().record(result);
-  record_query_obs(result.micros, /*cache_hit=*/false);
+  record_query_obs(result.micros, /*cache_hit=*/false, result.trace_id);
   return result;
 }
 
 QueryResult QueryService::submit(const QueryRequest& request) {
-  // Lock-free snapshot pin; the guard spans exactly one query.
+  // Lock-free snapshot pin; the guard spans exactly one query. A profiled
+  // submit times the pin itself — the one serve stage that happens before
+  // serve_one gets control.
+  if (request.profile) {
+    const auto pin_t0 = std::chrono::steady_clock::now();
+    const auto guard = snapshot_.read();
+    const auto pin_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - pin_t0)
+            .count());
+    return serve_one(*guard, request, /*queued_micros=*/0, pin_ns);
+  }
   const auto guard = snapshot_.read();
   return serve_one(*guard, request, /*queued_micros=*/0);
 }

@@ -127,12 +127,19 @@ class QueryService {
   std::size_t snapshots_in_limbo() const { return snapshot_.limbo_size(); }
 
  private:
+  /// epoch_pin_ns is what the caller already spent pinning the snapshot —
+  /// nonzero only for profiled direct submits (a batch shares one pin, so
+  /// per-query attribution would be a lie).
   QueryResult serve_one(const SystemSnapshot& snap,
                         const QueryRequest& request,
-                        std::uint64_t queued_micros);
+                        std::uint64_t queued_micros,
+                        std::uint64_t epoch_pin_ns = 0);
   /// The kShed path: best-effort stale payload, never any routing work.
+  /// *stale_answer reports whether a memoized payload was attached (the
+  /// explain profile's kStaleFallback / kShedEmpty distinction).
   QueryResult shed(QueryShard& shard, const QueryKey& key,
-                   const SystemSnapshot& snap, bool deadline_expired);
+                   const SystemSnapshot& snap, bool deadline_expired,
+                   bool* stale_answer = nullptr);
   QueryShard& shard_for(const QueryKey& key) {
     return *shards_[QueryKeyHash{}(key) % shards_.size()];
   }

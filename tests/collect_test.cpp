@@ -157,12 +157,140 @@ TEST(CollectMerge, CountersSumHistogramsMergeGaugesMax) {
   const RegistrySnapshot merged = merge_fleet_metrics(fleet);
   EXPECT_EQ(merged.counter_value("bcc.net.frames_sent"), 10u + 20u + 30u);
   EXPECT_DOUBLE_EQ(merged.gauge_value("bcc.conv.suspected_links"), 9.0)
-      << "fleet gauges are worst-observed (max), not averaged";
+      << "hint-less gauges default to worst-observed (max), not averaged";
   const Histogram::Snapshot* h = merged.histogram("bcc.conv.staleness_ms");
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->count, 3u);
   EXPECT_EQ(h->sum, 1u + 16u + 256u);
   EXPECT_EQ(h->max, 256u);
+}
+
+/// Three-node fleet carrying one gauge registered under `agg` with values
+/// {1, 9, 2} — chosen so each policy yields a distinct answer (max 9,
+/// sum 12, last 2, mean 4).
+std::vector<NodeTelemetry> gauge_fleet(GaugeAgg agg) {
+  std::vector<NodeTelemetry> fleet;
+  const double values[] = {1.0, 9.0, 2.0};
+  for (int i = 0; i < 3; ++i) {
+    NodeTelemetry t;
+    t.node = static_cast<std::uint32_t>(i);
+    Registry r;
+    r.gauge("bcc.collect.policy_probe", agg).set(values[i]);
+    t.metrics = r.snapshot();
+    fleet.push_back(std::move(t));
+  }
+  return fleet;
+}
+
+TEST(CollectMerge, GaugePolicyMaxKeepsWorstObserved) {
+  const RegistrySnapshot m = merge_fleet_metrics(gauge_fleet(GaugeAgg::kMax));
+  EXPECT_DOUBLE_EQ(m.gauge_value("bcc.collect.policy_probe"), 9.0);
+  EXPECT_EQ(m.gauge_agg("bcc.collect.policy_probe"), GaugeAgg::kMax);
+}
+
+TEST(CollectMerge, GaugePolicySumAddsOccupancy) {
+  const RegistrySnapshot m = merge_fleet_metrics(gauge_fleet(GaugeAgg::kSum));
+  EXPECT_DOUBLE_EQ(m.gauge_value("bcc.collect.policy_probe"), 12.0);
+  EXPECT_EQ(m.gauge_agg("bcc.collect.policy_probe"), GaugeAgg::kSum);
+}
+
+TEST(CollectMerge, GaugePolicyLastTakesTheFinalNode) {
+  const RegistrySnapshot m = merge_fleet_metrics(gauge_fleet(GaugeAgg::kLast));
+  EXPECT_DOUBLE_EQ(m.gauge_value("bcc.collect.policy_probe"), 2.0);
+}
+
+TEST(CollectMerge, GaugePolicyMeanAveragesRatios) {
+  const RegistrySnapshot m = merge_fleet_metrics(gauge_fleet(GaugeAgg::kMean));
+  EXPECT_DOUBLE_EQ(m.gauge_value("bcc.collect.policy_probe"), 4.0);
+  EXPECT_EQ(m.gauge_agg("bcc.collect.policy_probe"), GaugeAgg::kMean);
+}
+
+TEST(CollectMerge, MeanIgnoresNodesThatNeverRegisteredTheGauge) {
+  // A cache-hit-ratio-style mean must divide by the number of nodes that
+  // actually report the gauge, not the fleet size.
+  std::vector<NodeTelemetry> fleet = gauge_fleet(GaugeAgg::kMean);
+  NodeTelemetry silent;
+  silent.node = 3;  // no metrics at all
+  fleet.push_back(std::move(silent));
+  const RegistrySnapshot m = merge_fleet_metrics(fleet);
+  EXPECT_DOUBLE_EQ(m.gauge_value("bcc.collect.policy_probe"), 4.0);
+}
+
+TEST(CollectCodec, V2RoundtripCarriesAggExemplarsAndProfile) {
+  NodeTelemetry in;
+  in.node = 7;
+  Registry r;
+  r.gauge("bcc.serve.cache_hit_ratio", GaugeAgg::kMean).set(0.75);
+  Histogram& h = r.histogram("bcc.serve.query_micros");
+  h.record_with_exemplar(100, /*trace_id=*/0xabc);   // bucket bit_width(100)
+  h.record_with_exemplar(5000, /*trace_id=*/0xdef);  // a second bucket
+  h.record_with_exemplar(101, /*trace_id=*/0);       // tracing off: no slot
+  in.metrics = r.snapshot();
+  in.profile.push_back({"main;serve;walk", 40});
+  in.profile.push_back({"main;gossip", 2});
+
+  const std::vector<std::uint8_t> bytes = encode_node_telemetry(in);
+  NodeTelemetry out;
+  ASSERT_TRUE(decode_node_telemetry(bytes.data(), bytes.size(), &out));
+  EXPECT_EQ(out.metrics.gauge_agg("bcc.serve.cache_hit_ratio"),
+            GaugeAgg::kMean);
+  EXPECT_DOUBLE_EQ(out.metrics.gauge_value("bcc.serve.cache_hit_ratio"),
+                   0.75);
+  const Histogram::Snapshot* hs =
+      out.metrics.histogram("bcc.serve.query_micros");
+  ASSERT_NE(hs, nullptr);
+  std::size_t live_slots = 0;
+  bool saw_abc = false, saw_def = false;
+  for (const Exemplar& e : hs->exemplars) {
+    if (!e.valid()) continue;
+    ++live_slots;
+    saw_abc = saw_abc || e.trace_id == 0xabc;
+    saw_def = saw_def || e.trace_id == 0xdef;
+  }
+  EXPECT_EQ(live_slots, 2u) << "trace_id 0 must not occupy a slot";
+  EXPECT_TRUE(saw_abc);
+  EXPECT_TRUE(saw_def);
+  ASSERT_EQ(out.profile.size(), 2u);
+  EXPECT_EQ(out.profile[0].first, "main;serve;walk");
+  EXPECT_EQ(out.profile[0].second, 40u);
+}
+
+TEST(CollectMerge, FleetProfilesAccumulateByStackHottestFirst) {
+  std::vector<NodeTelemetry> fleet(3);
+  fleet[0].profile = {{"main;walk", 10}, {"main;gossip", 5}};
+  fleet[1].profile = {{"main;walk", 30}};
+  fleet[2].profile = {{"main;idle", 1}};
+  const auto merged = merge_fleet_profiles(fleet);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].first, "main;walk");
+  EXPECT_EQ(merged[0].second, 40u);
+  EXPECT_EQ(merged[1].first, "main;gossip");
+  EXPECT_EQ(merged[2].first, "main;idle");
+}
+
+TEST(CollectMerge, ExemplarsMergeKeepingTheLatestStamp) {
+  // Two nodes exemplar the same bucket; the fleet view keeps the one with
+  // the newer wall_us so `bcc top`'s p99-trace column names a live query.
+  std::vector<NodeTelemetry> fleet;
+  for (int i = 0; i < 2; ++i) {
+    NodeTelemetry t;
+    t.node = static_cast<std::uint32_t>(i);
+    Registry r;
+    Histogram& h = r.histogram("bcc.serve.query_micros");
+    h.record_with_exemplar(100, /*trace_id=*/100 + i);
+    t.metrics = r.snapshot();
+    // Force a deterministic winner regardless of clock resolution.
+    for (Exemplar& e : t.metrics.histograms[0].second.exemplars) {
+      if (e.valid()) e.wall_us = 1000 + static_cast<std::uint64_t>(i);
+    }
+    fleet.push_back(std::move(t));
+  }
+  const RegistrySnapshot merged = merge_fleet_metrics(fleet);
+  const Histogram::Snapshot* h = merged.histogram("bcc.serve.query_micros");
+  ASSERT_NE(h, nullptr);
+  const Exemplar* e = h->exemplar_near(99.0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->trace_id, 101u) << "newer stamp wins the shared bucket";
 }
 
 // ---------------------------------------------------------- clock offsets

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -23,6 +24,7 @@
 #include "obs/bench_report.h"
 #include "obs/convergence.h"
 #include "obs/export.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "sim/fault.h"
 
@@ -589,7 +591,7 @@ TEST(ObsExport, JsonLinesOneObjectPerInstrument) {
                       "\"value\":3}\n"),
             std::string::npos);
   EXPECT_NE(text.find("{\"type\":\"gauge\",\"name\":\"bcc.test.ratio\","
-                      "\"value\":0.5}\n"),
+                      "\"value\":0.5,\"agg\":\"max\"}\n"),
             std::string::npos);
   EXPECT_NE(text.find("{\"type\":\"histogram\",\"name\":\"bcc.test.lat\""),
             std::string::npos);
@@ -955,6 +957,208 @@ TEST(ObsBenchReport, ExportTableSkipsNonNumericCells) {
   EXPECT_DOUBLE_EQ(s.gauge_value("bcc.bench.main_series.rr_r1"), 0.75);
   // "tree" / "euclidean" are not numbers: no gauge registered for them.
   EXPECT_EQ(s.gauges.size(), 4u);
+}
+
+// -------------------------------------------------------------- exemplars
+
+TEST(ObsExemplar, OverwriteLatestPerBucketAndZeroIdIsFree) {
+  Histogram h;
+  h.record_with_exemplar(100, 0xaaa);
+  h.record_with_exemplar(101, 0xbbb);  // same bit_width bucket: overwrites
+  h.record_with_exemplar(5000, 0xccc);
+  h.record_with_exemplar(102, 0);  // tracing off: counted, but no slot write
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  std::size_t live = 0;
+  bool latest_won = false;
+  for (const Exemplar& e : s.exemplars) {
+    if (!e.valid()) continue;
+    ++live;
+    if (e.trace_id == 0xbbb) latest_won = true;
+    EXPECT_NE(e.trace_id, 0xaaau) << "overwritten slot must not survive";
+  }
+  EXPECT_EQ(live, 2u);
+  EXPECT_TRUE(latest_won);
+}
+
+TEST(ObsExemplar, ExemplarNearFindsTheQuantileBucketOrANeighbor) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    // Only the slowest 1% of samples carry a trace id — the realistic
+    // shape: exemplar_near(99) must still surface a tail sample.
+    h.record_with_exemplar(v, v > 990 ? v : 0);
+  }
+  const Histogram::Snapshot s = h.snapshot();
+  const Exemplar* p99 = s.exemplar_near(99.0);
+  ASSERT_NE(p99, nullptr);
+  EXPECT_GT(p99->value, 900u);
+  // An empty histogram has no exemplar at any quantile.
+  EXPECT_EQ(Histogram().snapshot().exemplar_near(50.0), nullptr);
+}
+
+TEST(ObsExemplar, ResetClearsSlots) {
+  Registry r;
+  Histogram& h = r.histogram("bcc.test.lat");
+  h.record_with_exemplar(64, 0x123);
+  r.reset();
+  const Histogram::Snapshot s = h.snapshot();
+  for (const Exemplar& e : s.exemplars) EXPECT_FALSE(e.valid());
+}
+
+TEST(ObsExemplar, SnapshotMergeKeepsTheNewerStamp) {
+  Histogram a, b;
+  a.record_with_exemplar(100, 0x1);
+  b.record_with_exemplar(100, 0x2);
+  Histogram::Snapshot sa = a.snapshot();
+  Histogram::Snapshot sb = b.snapshot();
+  for (Exemplar& e : sa.exemplars) {
+    if (e.valid()) e.wall_us = 10;
+  }
+  for (Exemplar& e : sb.exemplars) {
+    if (e.valid()) e.wall_us = 20;
+  }
+  sa.merge_from(sb);
+  bool found = false;
+  for (const Exemplar& e : sa.exemplars) {
+    if (!e.valid()) continue;
+    found = true;
+    EXPECT_EQ(e.trace_id, 0x2u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsExport, PrometheusExemplarEscaping) {
+  // A histogram with exemplars grows OpenMetrics-style ` # {...}` suffixes
+  // on exactly the exemplared bucket lines, and the exposition stays
+  // parseable: no quotes or braces leak outside the label block.
+  Registry r;
+  Histogram& h = r.histogram("bcc.test.lat");
+  h.record_with_exemplar(3, 0xdeadbeef);
+  h.record(9);  // exemplar-less bucket keeps the plain shape
+  const std::string text = prometheus_text(r.snapshot());
+  EXPECT_NE(text.find("bcc_test_lat_bucket{le=\"3\"} 1 # {trace_id=\""),
+            std::string::npos);
+  EXPECT_EQ(text.find("bcc_test_lat_bucket{le=\"15\"} 1 #"),
+            std::string::npos)
+      << "buckets without an exemplar must not grow a suffix";
+  // The trace id renders as bare digits inside the quoted label: one quote
+  // pair per exemplar, no stray escapes.
+  const std::size_t suffix = text.find(" # {trace_id=\"");
+  ASSERT_NE(suffix, std::string::npos);
+  const std::size_t open = text.find('"', suffix);
+  const std::size_t close = text.find('"', open + 1);
+  ASSERT_NE(close, std::string::npos);
+  for (std::size_t i = open + 1; i < close; ++i) {
+    EXPECT_TRUE(text[i] >= '0' && text[i] <= '9') << text.substr(suffix, 40);
+  }
+  EXPECT_EQ(text.find("3735928559"), close - 10) << "id is decimal, in place";
+}
+
+TEST(ObsExport, JsonHistogramCarriesExemplarsOnlyWhenPresent) {
+  Registry r;
+  r.histogram("bcc.test.lat").record(3);
+  EXPECT_EQ(json_lines(r.snapshot()).find("exemplars"), std::string::npos)
+      << "exemplar-free histograms keep the pre-exemplar shape";
+  r.histogram("bcc.test.lat").record_with_exemplar(3, 77);
+  const std::string text = json_lines(r.snapshot());
+  EXPECT_NE(text.find("\"exemplars\":[{\"le\":3,\"trace\":77,\"value\":3,"),
+            std::string::npos);
+}
+
+TEST(ObsExport, FilterTraceSelectsOneCausalChain) {
+  std::vector<SpanRecord> spans;
+  auto make = [](std::uint64_t id, std::uint64_t trace, bool remote) {
+    SpanRecord s;
+    s.id = id;
+    s.trace_id = trace;
+    s.category = SpanCategory::kServe;
+    s.name = "serve_query";
+    s.remote_parent = remote;
+    return s;
+  };
+  spans.push_back(make(1, 100, false));
+  spans.push_back(make(2, 200, false));
+  spans.push_back(make(3, 100, true));  // remote-parented hop, same trace
+  spans.push_back(make(4, 0, false));   // untraced span never matches
+  const std::vector<SpanRecord> chain = filter_trace(spans, 100);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].id, 1u);
+  EXPECT_EQ(chain[1].id, 3u);
+  EXPECT_TRUE(chain[1].remote_parent);
+  EXPECT_TRUE(filter_trace(spans, 0).empty())
+      << "trace id 0 means untraced, never 'match everything'";
+  // A remote-parented span serializes with its trace id intact, so a
+  // filtered chain can be fed straight to trace_json_lines.
+  const std::string line = trace_json_lines({chain[1]});
+  EXPECT_NE(line.find("\"trace\":100"), std::string::npos);
+  EXPECT_NE(line.find("\"remote\":true"), std::string::npos);
+}
+
+TEST(ObsExport, PrometheusOfEmptyRegistryIsEmpty) {
+  Registry r;
+  EXPECT_EQ(prometheus_text(r.snapshot()), "");
+  EXPECT_EQ(json_lines(r.snapshot()), "");
+}
+
+// ------------------------------------------------------ sampling profiler
+
+TEST(ObsProfiler, StartStopFoldedAndPublish) {
+  SamplingProfiler profiler;
+  SamplingProfiler::Options options;
+  options.hz = 500;  // dense sampling keeps the busy loop short
+  ASSERT_TRUE(profiler.start(options));
+  EXPECT_TRUE(profiler.running());
+  // A second owner cannot share the process-wide timer.
+  SamplingProfiler second;
+  EXPECT_FALSE(second.start());
+  // Burn CPU until samples arrive (bounded by wall time, not iterations).
+  volatile double sink = 1.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (profiler.samples() < 5 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 100000; ++i) sink = sink * 1.0000001 + 0.5;
+  }
+  profiler.stop();
+  EXPECT_FALSE(profiler.running());
+  ASSERT_GE(profiler.samples(), 5u) << "no SIGPROF samples in 10s of spin";
+
+  const auto stacks = profiler.folded();
+  ASSERT_FALSE(stacks.empty());
+  std::uint64_t total = 0;
+  for (const auto& [stack, n] : stacks) {
+    EXPECT_FALSE(stack.empty());
+    EXPECT_GT(n, 0u);
+    total += n;
+  }
+  EXPECT_EQ(total + profiler.dropped(), profiler.samples());
+  // folded_text is one "stack count\n" line per entry.
+  const std::string text = profiler.folded_text();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            stacks.size());
+  // top_stacks truncates but keeps the hottest-first order.
+  const auto top = profiler.top_stacks(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, stacks[0].first);
+
+  profiler.publish_metrics();
+  const RegistrySnapshot s = Registry::global().snapshot();
+  EXPECT_GE(s.gauge_value("bcc.profile.samples"), 5.0);
+  EXPECT_EQ(s.gauge_value("bcc.profile.running"), 0.0);
+  EXPECT_GE(s.gauge_value("bcc.profile.unique_stacks"), 1.0);
+
+  profiler.clear();
+  EXPECT_TRUE(profiler.folded().empty());
+}
+
+TEST(ObsProfiler, StopWithoutStartIsIdempotent) {
+  SamplingProfiler profiler;
+  profiler.stop();
+  profiler.stop();
+  EXPECT_FALSE(profiler.running());
+  EXPECT_EQ(profiler.samples(), 0u);
+  EXPECT_TRUE(profiler.folded().empty());
 }
 
 }  // namespace

@@ -1,0 +1,223 @@
+// Per-query explain profiles (QueryRequest::with_profile → QueryResult::
+// profile) and the tail-exemplar → trace join: the observatory's contract
+// that (a) the stage breakdown telescopes to the measured end-to-end
+// latency (>= 95% accounted, no hand-waved "other" bucket), (b) every
+// serving path labels itself, and (c) a p99 histogram exemplar's trace id
+// retrieves that query's causal span chain.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/system.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/query_service.h"
+#include "test_util.h"
+#include "tree/embedder.h"
+
+namespace bcc {
+namespace {
+
+/// A converged decentralized system over a random perfect tree metric
+/// (same construction as query_service_test).
+DecentralizedClusterSystem make_system(std::size_t n, std::size_t n_cut,
+                                       std::uint64_t seed,
+                                       double c = kDefaultTransformC) {
+  Rng rng(seed);
+  const DistanceMatrix real = testutil::random_tree_metric(n, rng);
+  Rng order_rng(seed + 77);
+  Framework fw = build_framework(real, order_rng);
+  DistanceMatrix predicted = fw.predicted_distances();
+  const double dmax = predicted.max_distance();
+  BandwidthClasses classes(
+      {c / dmax, c / (dmax * 0.6), c / (dmax * 0.3), c / (dmax * 0.1)}, c);
+  SystemOptions options;
+  options.n_cut = n_cut;
+  DecentralizedClusterSystem sys(std::move(fw.anchors), std::move(predicted),
+                                 std::move(classes), options);
+  sys.run_to_convergence();
+  EXPECT_TRUE(sys.converged());
+  return sys;
+}
+
+// ------------------------------------------------------------ opt-in shape
+
+TEST(QueryProfile, AbsentUnlessRequested) {
+  auto sys = make_system(20, 100, 1);
+  QueryService service(sys);
+  const auto r = service.submit(QueryRequest::at_class(3, 4, 0));
+  EXPECT_EQ(r.status, QueryStatus::kFound);
+  EXPECT_FALSE(r.profile.has_value());
+}
+
+TEST(QueryProfile, PresentAndLabeledOnComputePath) {
+  auto sys = make_system(20, 100, 2);
+  QueryServiceOptions options;
+  options.cache_enabled = false;  // forces the full Algorithm 4 walk
+  QueryService service(sys, options);
+  const auto r =
+      service.submit(QueryRequest::at_class(3, 4, 0).with_profile());
+  ASSERT_EQ(r.status, QueryStatus::kFound);
+  ASSERT_TRUE(r.profile.has_value());
+  const QueryProfile& p = *r.profile;
+  EXPECT_EQ(p.path, QueryPath::kCompute);
+  EXPECT_GT(p.compute_ns, 0u);
+  EXPECT_EQ(p.queue_ns, 0u);  // direct submit never queues
+  EXPECT_LT(p.shard, service.options().shards);
+  EXPECT_EQ(p.snapshot_version, service.snapshot_version());
+}
+
+TEST(QueryProfile, CacheHitPathLabeled) {
+  auto sys = make_system(20, 100, 3);
+  QueryService service(sys);
+  const QueryRequest request = QueryRequest::at_class(3, 4, 0);
+  ASSERT_EQ(service.submit(request).status, QueryStatus::kFound);  // warm
+  QueryRequest profiled = request;
+  profiled.with_profile();
+  const auto r = service.submit(profiled);
+  ASSERT_EQ(r.status, QueryStatus::kFound);
+  ASSERT_TRUE(r.profile.has_value());
+  EXPECT_EQ(r.profile->path, QueryPath::kCacheHit);
+  // A memo hit never pays the routing walk.
+  EXPECT_EQ(r.profile->compute_ns, 0u);
+  EXPECT_GT(r.profile->cache_ns, 0u);
+}
+
+TEST(QueryProfile, BypassPathForArgumentErrors) {
+  auto sys = make_system(15, 100, 4);
+  QueryService service(sys);
+  const auto r =
+      service.submit(QueryRequest::at_class(0, 1, 0).with_profile());
+  EXPECT_EQ(r.status, QueryStatus::kInvalidK);
+  ASSERT_TRUE(r.profile.has_value());
+  EXPECT_EQ(r.profile->path, QueryPath::kBypass);
+  EXPECT_EQ(r.profile->compute_ns, 0u);
+  EXPECT_EQ(r.profile->admission_ns, 0u);
+}
+
+TEST(QueryProfile, ShedPathsDistinguishStaleFallbackFromEmpty) {
+  auto sys = make_system(20, 100, 5);
+  QueryServiceOptions options;
+  options.shards = 1;  // one token bucket, drained exactly by the warm pass
+  options.admission.rate_qps = 1e-9;
+  options.admission.burst = 1.0;
+  QueryService service(sys, options);
+  const QueryRequest request = QueryRequest::at_class(3, 4, 0);
+  // Warm pass consumes the only token AND memoizes the (converged) answer
+  // into the stale cache.
+  ASSERT_EQ(service.submit(request).status, QueryStatus::kFound);
+  QueryRequest profiled = request;
+  profiled.with_profile();
+  const auto stale = service.submit(profiled);
+  EXPECT_EQ(stale.status, QueryStatus::kShed);
+  ASSERT_TRUE(stale.profile.has_value());
+  EXPECT_EQ(stale.profile->path, QueryPath::kStaleFallback);
+  EXPECT_FALSE(stale.cluster.empty());
+
+  // A key never memoized sheds with no payload at all.
+  QueryRequest cold = QueryRequest::at_class(7, 5, 1).with_profile();
+  const auto empty = service.submit(cold);
+  EXPECT_EQ(empty.status, QueryStatus::kShed);
+  ASSERT_TRUE(empty.profile.has_value());
+  EXPECT_EQ(empty.profile->path, QueryPath::kShedEmpty);
+  EXPECT_TRUE(empty.cluster.empty());
+}
+
+TEST(QueryProfile, BatchCarriesQueueDwell) {
+  auto sys = make_system(20, 100, 6);
+  QueryServiceOptions options;
+  options.threads = 1;  // chunks serialize, so later chunks measurably wait
+  options.cache_enabled = false;
+  QueryService service(sys, options);
+  std::vector<QueryRequest> batch;
+  for (int i = 0; i < 128; ++i) {
+    batch.push_back(
+        QueryRequest::at_class(static_cast<NodeId>(i % 20), 4, 0)
+            .with_profile());
+  }
+  const auto results = service.submit_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  bool any_queued = false;
+  for (const QueryResult& r : results) {
+    ASSERT_TRUE(r.profile.has_value());
+    // Batch profiles never claim a per-query epoch pin: one shared pin
+    // serves the whole batch.
+    EXPECT_EQ(r.profile->epoch_pin_ns, 0u);
+    if (r.profile->queue_ns > 0) any_queued = true;
+  }
+  EXPECT_TRUE(any_queued);
+}
+
+// ------------------------------------------------- self-consistency (>=95%)
+
+TEST(QueryProfile, StagesCoverAtLeast95PercentOfTotal) {
+  auto sys = make_system(30, 100, 7);
+  QueryServiceOptions options;
+  options.cache_enabled = false;  // compute-heavy: real work to attribute
+  QueryService service(sys, options);
+  std::uint64_t stages_sum = 0;
+  std::uint64_t total_sum = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = service.submit(
+        QueryRequest::at_class(static_cast<NodeId>(i % 30), 3 + i % 5, i % 4)
+            .with_profile());
+    ASSERT_TRUE(r.profile.has_value());
+    const QueryProfile& p = *r.profile;
+    EXPECT_LE(p.stages_ns(), p.total_ns);  // stages never overrun the total
+    stages_sum += p.stages_ns();
+    total_sum += p.total_ns;
+  }
+  ASSERT_GT(total_sum, 0u);
+  // Each stage boundary is one clock read shared by both neighbors, so the
+  // breakdown telescopes: everything but the final stamp's bookkeeping is
+  // accounted. 95% is the contract; in practice this sits at ~100%.
+  EXPECT_GE(static_cast<double>(stages_sum),
+            0.95 * static_cast<double>(total_sum));
+}
+
+// ----------------------------------------- exemplar -> causal span chain
+
+TEST(QueryProfile, TailExemplarTraceIdRetrievesCausalSpanChain) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_capacity(8192);
+  tracer.enable(obs::SpanCategory::kServe, true);
+
+  auto sys = make_system(30, 100, 8);
+  QueryServiceOptions options;
+  options.cache_enabled = false;
+  QueryService service(sys, options);
+  for (int i = 0; i < 200; ++i) {
+    service.submit(
+        QueryRequest::at_class(static_cast<NodeId>(i % 30), 3 + i % 5, i % 4));
+  }
+  tracer.enable(obs::SpanCategory::kServe, false);
+
+  // The latency histogram's p99-bucket exemplar names a concrete traced
+  // query...
+  const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  const obs::Histogram::Snapshot* h =
+      snap.histogram("bcc.serve.query_micros");
+  ASSERT_NE(h, nullptr);
+  const obs::Exemplar* exemplar = h->exemplar_near(99.0);
+  ASSERT_NE(exemplar, nullptr);
+  ASSERT_NE(exemplar->trace_id, 0u);
+
+  // ...and filtering the span ring by that id yields its causal chain:
+  // non-empty, homogeneous in trace id, rooted at a serve_query span.
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  const std::vector<obs::SpanRecord> chain =
+      obs::filter_trace(spans, exemplar->trace_id);
+  ASSERT_FALSE(chain.empty());
+  bool has_serve_root = false;
+  for (const obs::SpanRecord& s : chain) {
+    EXPECT_EQ(s.trace_id, exemplar->trace_id);
+    if (std::string_view(s.name) == "serve_query") has_serve_root = true;
+  }
+  EXPECT_TRUE(has_serve_root);
+}
+
+}  // namespace
+}  // namespace bcc

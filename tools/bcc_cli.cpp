@@ -12,12 +12,14 @@
 //                  estimate the dataset's quartet-epsilon treeness
 //   bcc query    --data DIR/NAME --k K --b MBPS [--start ID --n_cut N
 //                  --repeat N --shards N --rate-qps Q --burst B
-//                  --queue-limit N --metrics-out FILE]
+//                  --queue-limit N --explain --metrics-out FILE]
 //                  run the decentralized system and answer one query through
 //                  the sharded QueryService (repeats exercise the memo
 //                  cache; --rate-qps/--queue-limit turn on admission
 //                  control, and overloaded repeats come back shed with a
-//                  stale degraded answer)
+//                  stale degraded answer). --explain prints the per-query
+//                  stage breakdown (queue/pin/validate/admission/cache/
+//                  compute) the serving plane measured for the last repeat
 //   bcc eval     --data DIR/NAME [--queries N --k K]
 //                  WPR/RR sweep over the bandwidth grid (mini Fig. 3)
 //   bcc chaos    --data DIR/NAME [--drop P --dup P --jitter S --crash F
@@ -27,7 +29,8 @@
 //                  synchronous ground-truth fixpoint
 //   bcc node     --id I --nodes N --base-port P [--seed S --n-cut C
 //                  --period SEC --host ADDR --run-for SEC --metrics-out FILE
-//                  --state-out FILE --flight-recorder FILE --trace-gossip]
+//                  --state-out FILE --flight-recorder FILE --trace-gossip
+//                  --profile-hz HZ]
 //                  run ONE overlay node as a real OS process: node i listens
 //                  on base-port+i and gossips with its anchor-tree neighbors
 //                  over TCP (reconnect/backoff, heartbeats, half-open
@@ -47,7 +50,10 @@
 //                  sum, histograms bucket-exact, gauges worst-observed) and
 //                  one clock-aligned Perfetto timeline with cross-process
 //                  flow arrows (--out DIR writes fleet_trace.json +
-//                  fleet_metrics.json)
+//                  fleet_metrics.json, plus fleet_profile.folded when any
+//                  node ran with --profile-hz). Prints the fleet's p99
+//                  query-latency exemplar trace id and hottest stacks when
+//                  nodes report them
 //   bcc top      [--nodes N --base-port P --host ADDR --interval SEC
 //                  --iterations N --timeout SEC]
 //                  refreshing terminal view over the same scrape: per-node
@@ -57,10 +63,21 @@
 //                  run a small end-to-end pipeline (synthetic dataset when no
 //                  --data) and print the global metrics registry
 //   bcc trace    [--data DIR/NAME --categories LIST --capacity N
-//                  --format text|jsonl|chrome --out FILE]
+//                  --format text|jsonl|chrome --trace-id ID
+//                  --flight-dir DIR --out FILE]
 //                  same pipeline with span tracing enabled; dump the spans
 //                  as an indented tree, JSON-lines, or a Chrome/Perfetto
-//                  trace (load chrome output in ui.perfetto.dev)
+//                  trace (load chrome output in ui.perfetto.dev).
+//                  --trace-id keeps only that query's causal span chain
+//                  (the id a result/exemplar carries); --flight-dir reads
+//                  spans from crash flight rings instead of running the
+//                  pipeline
+//   bcc profile  [--data DIR/NAME --queries N --k K --hz HZ --mode cpu|wall
+//                  --out FILE]
+//                  run the same pipeline under the SIGPROF sampling
+//                  profiler and write folded stacks ("outer;inner N",
+//                  flamegraph.pl / speedscope input) plus a hottest-stacks
+//                  summary
 //   bcc health   [--data DIR/NAME --drop P --dup P --jitter S --crash F
 //                  --sample-period S --serve-queries N --serve-qps Q
 //                  --metrics-out FILE]
@@ -79,6 +96,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -92,10 +110,16 @@
 #include "net/supervisor.h"
 #include "net/telemetry_client.h"
 #include "obs/collect.h"
+#include "obs/profile.h"
 
 namespace {
 
 using namespace bcc;
+
+// Snapshot-lookup name for the serve-plane latency histogram (registered in
+// serve/query_service.cpp) — shared so the metric-name lint sees exactly
+// one literal per instrument.
+constexpr const char kQueryLatencyMetric[] = "bcc.serve.query_micros";
 
 int cmd_gen(int argc, const char* const* argv) {
   Options opts("bcc gen", "synthesize a calibrated dataset to CSV");
@@ -209,6 +233,33 @@ int cmd_treeness(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Renders one QueryProfile as the `bcc query --explain` stage table. The
+/// stages telescope (each one's end is the next one's begin), so the
+/// accounted row matches the total up to clock granularity.
+void print_explain(const QueryProfile& p) {
+  std::printf("explain: path=%s shard=%u snapshot=v%llu\n", to_string(p.path),
+              p.shard, static_cast<unsigned long long>(p.snapshot_version));
+  struct Row {
+    const char* name;
+    std::uint64_t ns;
+  };
+  const Row rows[] = {
+      {"queue", p.queue_ns},       {"epoch-pin", p.epoch_pin_ns},
+      {"validate", p.validate_ns}, {"admission", p.admission_ns},
+      {"cache", p.cache_ns},       {"compute", p.compute_ns},
+  };
+  const double total = p.total_ns == 0 ? 1.0 : static_cast<double>(p.total_ns);
+  for (const Row& row : rows) {
+    std::printf("  %-10s %10.1f us  %5.1f%%\n", row.name,
+                static_cast<double>(row.ns) * 1e-3,
+                100.0 * static_cast<double>(row.ns) / total);
+  }
+  std::printf("  %-10s %10.1f us  %5.1f%% of %0.1f us total\n", "accounted",
+              static_cast<double>(p.stages_ns()) * 1e-3,
+              100.0 * static_cast<double>(p.stages_ns()) / total,
+              static_cast<double>(p.total_ns) * 1e-3);
+}
+
 int cmd_query(int argc, const char* const* argv) {
   Options opts("bcc query", "answer one (k, b) query decentralized");
   auto& data_arg = opts.add_string("data", "", "DIR/NAME of the dataset");
@@ -226,6 +277,9 @@ int cmd_query(int argc, const char* const* argv) {
   auto& burst = opts.add_double("burst", 64.0, "token-bucket burst depth");
   auto& queue_limit = opts.add_int(
       "queue-limit", 0, "max in-flight queries per shard (0 = unlimited)");
+  auto& explain = opts.add_bool(
+      "explain", false,
+      "print the serving plane's stage-by-stage latency breakdown");
   auto& metrics_out = opts.add_string("metrics-out", "",
                                       "write the metrics registry here (JSON)");
   auto& seed = opts.add_int("seed", 42, "framework seed");
@@ -253,8 +307,9 @@ int cmd_query(int argc, const char* const* argv) {
   serve_options.admission.queue_limit =
       static_cast<std::size_t>(std::max(0, static_cast<int>(queue_limit)));
   QueryService service(sys, serve_options);
-  const QueryRequest request = QueryRequest::bandwidth(
+  QueryRequest request = QueryRequest::bandwidth(
       static_cast<NodeId>(start), static_cast<std::size_t>(k), b);
+  if (explain) request.with_profile();
   QueryResult r;
   const int times = std::max(1, static_cast<int>(repeat));
   // SIGINT/SIGTERM drain: stop submitting, flush metrics, exit 0.
@@ -279,6 +334,7 @@ int cmd_query(int argc, const char* const* argv) {
     std::printf("no cluster of %lld hosts at >= %.1f Mbps "
                 "(status %s, route length %zu)\n",
                 static_cast<long long>(k), b, to_string(r.status), r.hops);
+    if (r.profile) print_explain(*r.profile);
     maybe_write_metrics(metrics_out);
     return 2;
   }
@@ -297,6 +353,7 @@ int cmd_query(int argc, const char* const* argv) {
               times, static_cast<std::size_t>(stats.cache_hits),
               static_cast<std::size_t>(stats.latency_percentile_micros(50.0)),
               static_cast<std::size_t>(stats.latency_percentile_micros(99.0)));
+  if (r.profile) print_explain(*r.profile);
   const AdmissionStatsSnapshot admission = service.admission_stats();
   if (serve_options.admission.enabled()) {
     std::printf("admission (%zu shards, %.0f qps/shard): %llu admitted, "
@@ -552,6 +609,14 @@ int cmd_trace(int argc, const char* const* argv) {
                              "--format jsonl)");
   auto& format = opts.add_string("format", "",
                                  "output format: text | jsonl | chrome");
+  auto& trace_id_arg = opts.add_string(
+      "trace-id", "0",
+      "keep only this trace id's causal span chain (0 = everything; accepts "
+      "the id a query result or histogram exemplar carries)");
+  auto& flight_dir = opts.add_string(
+      "flight-dir", "",
+      "read spans from DIR/*.flight crash rings instead of running the "
+      "pipeline");
   auto& out = opts.add_string("out", "", "write here instead of stdout");
   auto& queries = opts.add_int("queries", 40, "queries to serve");
   auto& k = opts.add_int("k", 5, "cluster size constraint");
@@ -563,19 +628,41 @@ int cmd_trace(int argc, const char* const* argv) {
     std::fprintf(stderr, "bcc trace: --format must be text, jsonl or chrome\n");
     return 1;
   }
+  const std::uint64_t want_trace =
+      std::strtoull(trace_id_arg.c_str(), nullptr, 0);
 
   obs::Tracer& tracer = obs::Tracer::global();
-  tracer.set_capacity(static_cast<std::size_t>(std::max<long long>(
-      1, static_cast<long long>(capacity))));
-  if (!enable_categories(categories)) return 1;
+  std::vector<obs::SpanRecord> spans;
+  if (!flight_dir.empty()) {
+    // Post-mortem mode: every span the crash rings preserved, no pipeline.
+    std::vector<obs::NodeTelemetry> fleet;
+    if (obs::augment_missing_from_flight(flight_dir, &fleet) == 0) {
+      std::fprintf(stderr, "bcc trace: no readable *.flight ring in %s\n",
+                   flight_dir.c_str());
+      return 2;
+    }
+    for (const obs::NodeTelemetry& t : fleet) {
+      spans.insert(spans.end(), t.spans.begin(), t.spans.end());
+    }
+  } else {
+    tracer.set_capacity(static_cast<std::size_t>(std::max<long long>(
+        1, static_cast<long long>(capacity))));
+    if (!enable_categories(categories)) return 1;
 
-  const SynthDataset data = dataset_or_synthetic(
-      data_arg, static_cast<std::uint64_t>(seed), "bcc trace");
-  run_observed_pipeline(data, static_cast<std::uint64_t>(seed),
-                        static_cast<std::size_t>(queries),
-                        static_cast<std::size_t>(k));
-
-  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+    const SynthDataset data = dataset_or_synthetic(
+        data_arg, static_cast<std::uint64_t>(seed), "bcc trace");
+    run_observed_pipeline(data, static_cast<std::uint64_t>(seed),
+                          static_cast<std::size_t>(queries),
+                          static_cast<std::size_t>(k));
+    spans = tracer.snapshot();
+  }
+  if (want_trace != 0) {
+    const std::size_t before = spans.size();
+    spans = obs::filter_trace(spans, want_trace);
+    std::fprintf(stderr, "trace %llu: %zu of %zu spans\n",
+                 static_cast<unsigned long long>(want_trace), spans.size(),
+                 before);
+  }
   std::string text;
   if (fmt == "jsonl") {
     text = obs::trace_json_lines(spans);
@@ -614,10 +701,82 @@ int cmd_trace(int argc, const char* const* argv) {
     std::fprintf(stderr, "bcc trace: cannot write %s\n", out.c_str());
     return 1;
   }
-  std::fprintf(stderr, "%zu spans kept (%llu started, %llu overwritten)\n",
-               spans.size(),
-               static_cast<unsigned long long>(tracer.started()),
-               static_cast<unsigned long long>(tracer.dropped()));
+  if (flight_dir.empty()) {
+    std::fprintf(stderr, "%zu spans kept (%llu started, %llu overwritten)\n",
+                 spans.size(),
+                 static_cast<unsigned long long>(tracer.started()),
+                 static_cast<unsigned long long>(tracer.dropped()));
+  } else {
+    std::fprintf(stderr, "%zu spans recovered from %s\n", spans.size(),
+                 flight_dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_profile(int argc, const char* const* argv) {
+  Options opts("bcc profile",
+               "run the observed pipeline under the sampling profiler");
+  auto& data_arg = opts.add_string("data", "",
+                                   "DIR/NAME of the dataset (optional)");
+  auto& queries = opts.add_int("queries", 400, "queries to serve");
+  auto& k = opts.add_int("k", 5, "cluster size constraint");
+  auto& hz = opts.add_int("hz", 99, "samples per second (clamped to 1..1000)");
+  auto& mode = opts.add_string("mode", "cpu",
+                               "what the timer counts down against: cpu "
+                               "(SIGPROF, where cycles go) | wall (SIGALRM, "
+                               "sees blocking)");
+  auto& out = opts.add_string(
+      "out", "", "write folded stacks here (flamegraph.pl/speedscope input)");
+  auto& seed = opts.add_int("seed", 42, "pipeline seed");
+  opts.parse(argc, argv);
+  if (mode != "cpu" && mode != "wall") {
+    std::fprintf(stderr, "bcc profile: --mode must be cpu or wall\n");
+    return 1;
+  }
+
+  obs::SamplingProfiler::Options po;
+  po.hz = static_cast<int>(hz);
+  po.mode = mode == "cpu" ? obs::SamplingProfiler::Mode::kCpu
+                          : obs::SamplingProfiler::Mode::kWall;
+  obs::SamplingProfiler& profiler = obs::SamplingProfiler::global();
+  if (!profiler.start(po)) {
+    std::fprintf(stderr,
+                 "bcc profile: a profiler is already armed in this process\n");
+    return 1;
+  }
+
+  const SynthDataset data = dataset_or_synthetic(
+      data_arg, static_cast<std::uint64_t>(seed), "bcc profile");
+  run_observed_pipeline(data, static_cast<std::uint64_t>(seed),
+                        static_cast<std::size_t>(queries),
+                        static_cast<std::size_t>(k));
+  profiler.stop();
+  profiler.publish_metrics();
+
+  // Summary on stderr so `bcc profile > stacks.folded` pipes clean data.
+  const auto top = profiler.top_stacks(10);
+  std::fprintf(stderr,
+               "%llu samples (%llu dropped) at %d Hz %s, hottest stacks:\n",
+               static_cast<unsigned long long>(profiler.samples()),
+               static_cast<unsigned long long>(profiler.dropped()),
+               po.hz, mode.c_str());
+  for (const auto& [stack, n] : top) {
+    const auto leaf = stack.find_last_of(';');
+    std::fprintf(stderr, "  %8llu  %s\n", static_cast<unsigned long long>(n),
+                 leaf == std::string::npos ? stack.c_str()
+                                           : stack.c_str() + leaf + 1);
+  }
+  const std::string folded = profiler.folded_text();
+  if (out.empty()) {
+    std::fputs(folded.c_str(), stdout);
+  } else if (obs::write_text_file(out, folded)) {
+    std::printf("folded stacks written to %s (feed to flamegraph.pl or "
+                "speedscope)\n",
+                out.c_str());
+  } else {
+    std::fprintf(stderr, "bcc profile: cannot write %s\n", out.c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -864,6 +1023,10 @@ int cmd_node(int argc, const char* const* argv) {
   auto& trace_gossip = opts.add_bool(
       "trace-gossip", false,
       "record gossip spans for the telemetry endpoint (`bcc collect`)");
+  auto& profile_hz = opts.add_int(
+      "profile-hz", 0,
+      "arm the sampling profiler at this rate; folded stacks ride the "
+      "telemetry endpoint (0 = off)");
   opts.parse(argc, argv);
   install_shutdown_handlers();
   net::ProcessNodeOptions po;
@@ -879,6 +1042,7 @@ int cmd_node(int argc, const char* const* argv) {
   po.state_out = state_out;
   po.flight_recorder = flight;
   po.trace_gossip = trace_gossip;
+  po.profile_hz = static_cast<int>(profile_hz);
   net::ProcessNode node(po);
   if (!node.bind()) {
     // The supervisor watches for exactly this line to re-roll its port base.
@@ -956,6 +1120,29 @@ int cmd_collect(int argc, const char* const* argv) {
                   merged.counter_value("bcc.net.frames_sent")),
               static_cast<unsigned long long>(
                   merged.counter_value("bcc.trace.spans_dropped")));
+  // Tail-latency exemplar: the freshest trace id near the fleet's p99 query
+  // latency — `bcc trace --trace-id <id> --flight-dir ...` pulls its chain.
+  if (const obs::Histogram::Snapshot* h =
+          merged.histogram(kQueryLatencyMetric)) {
+    if (const obs::Exemplar* ex = h->exemplar_near(99.0)) {
+      std::printf("p99 query exemplar: trace %llu (%llu us)\n",
+                  static_cast<unsigned long long>(ex->trace_id),
+                  static_cast<unsigned long long>(ex->value));
+    }
+  }
+  const auto profile = obs::merge_fleet_profiles(fleet);
+  if (!profile.empty()) {
+    std::printf("fleet profile: %zu distinct stacks, hottest:\n",
+                profile.size());
+    for (std::size_t i = 0; i < profile.size() && i < 5; ++i) {
+      const auto leaf = profile[i].first.find_last_of(';');
+      std::printf("  %8llu  %s\n",
+                  static_cast<unsigned long long>(profile[i].second),
+                  leaf == std::string::npos
+                      ? profile[i].first.c_str()
+                      : profile[i].first.c_str() + leaf + 1);
+    }
+  }
   if (!out.empty()) {
     if (!net::ProcessSupervisor::write_fleet_artifacts(fleet, out)) {
       std::fprintf(stderr, "bcc collect: cannot write artifacts into %s\n",
@@ -965,6 +1152,19 @@ int cmd_collect(int argc, const char* const* argv) {
     std::printf("wrote %s/fleet_trace.json (load in ui.perfetto.dev) and "
                 "%s/fleet_metrics.json\n",
                 out.c_str(), out.c_str());
+    if (!profile.empty()) {
+      std::string folded;
+      char line[64];
+      for (const auto& [stack, n] : profile) {
+        folded += stack;
+        std::snprintf(line, sizeof line, " %llu\n",
+                      static_cast<unsigned long long>(n));
+        folded += line;
+      }
+      if (obs::write_text_file(out + "/fleet_profile.folded", folded)) {
+        std::printf("wrote %s/fleet_profile.folded\n", out.c_str());
+      }
+    }
   }
   return 0;
 }
@@ -1012,25 +1212,42 @@ int cmd_top(int argc, const char* const* argv) {
                   fleet.size(), static_cast<int>(nodes), host.c_str(),
                   static_cast<int>(base_port), static_cast<double>(interval));
     screen += line;
-    std::snprintf(line, sizeof line, "%5s %7s %9s %7s %6s %9s %6s %6s\n",
+    std::snprintf(line, sizeof line,
+                  "%5s %7s %9s %7s %6s %9s %6s %6s %14s\n",
                   "node", "pid", "frames/s", "qps", "shed%", "stale-ms",
-                  "susp", "drop");
+                  "susp", "drop", "p99-trace");
     screen += line;
     for (const obs::NodeTelemetry& t : fleet) {
       const std::uint64_t frames =
           t.metrics.counter_value("bcc.net.frames_sent");
       const std::uint64_t queries =
           t.metrics.counter_value("bcc.serve.queries");
+      // Rates need two samples from the SAME node incarnation with real
+      // clock spacing between them. First sight, a restarted node (counters
+      // went backwards), or zero spacing (re-scrape inside the sender's
+      // clock granularity) render "--" rather than a nan/inf or a
+      // nonsense negative rate.
       double frames_rate = 0.0, query_rate = 0.0;
+      bool have_rates = false;
       const auto p = prev.find(t.node);
-      if (p != prev.end() && t.wall_now_us > p->second.wall_us) {
+      if (p != prev.end() && t.wall_now_us > p->second.wall_us &&
+          frames >= p->second.frames_sent && queries >= p->second.queries) {
         const double dt =
             static_cast<double>(t.wall_now_us - p->second.wall_us) * 1e-6;
         frames_rate =
             static_cast<double>(frames - p->second.frames_sent) / dt;
         query_rate = static_cast<double>(queries - p->second.queries) / dt;
+        have_rates = true;
       }
       prev[t.node] = Prev{t.wall_now_us, frames, queries};
+      char frames_buf[16], qps_buf[16];
+      if (have_rates) {
+        std::snprintf(frames_buf, sizeof frames_buf, "%.1f", frames_rate);
+        std::snprintf(qps_buf, sizeof qps_buf, "%.1f", query_rate);
+      } else {
+        std::snprintf(frames_buf, sizeof frames_buf, "--");
+        std::snprintf(qps_buf, sizeof qps_buf, "--");
+      }
 
       const std::uint64_t admitted =
           t.metrics.counter_value("bcc.serve.shard.admitted");
@@ -1053,12 +1270,25 @@ int cmd_top(int argc, const char* const* argv) {
       } else {
         std::snprintf(stale_buf, sizeof stale_buf, "-");
       }
+      // The node's slowest recent query, by name: the trace id riding the
+      // p99 bucket of its latency histogram (feed to `bcc trace
+      // --trace-id`). "-" until a traced query lands in that bucket.
+      char exemplar_buf[24];
+      std::snprintf(exemplar_buf, sizeof exemplar_buf, "-");
+      if (const obs::Histogram::Snapshot* qh =
+              t.metrics.histogram(kQueryLatencyMetric)) {
+        if (const obs::Exemplar* ex = qh->exemplar_near(99.0)) {
+          std::snprintf(exemplar_buf, sizeof exemplar_buf, "%llu",
+                        static_cast<unsigned long long>(ex->trace_id));
+        }
+      }
       std::snprintf(
-          line, sizeof line, "%5u %7u %9.1f %7.1f %6.1f %9s %6.0f %6llu\n",
-          t.node, t.pid, frames_rate, query_rate, shed_pct, stale_buf,
+          line, sizeof line, "%5u %7u %9s %7s %6.1f %9s %6.0f %6llu %14s\n",
+          t.node, t.pid, frames_buf, qps_buf, shed_pct, stale_buf,
           t.metrics.gauge_value("bcc.conv.suspected_links"),
           static_cast<unsigned long long>(
-              t.metrics.counter_value("bcc.trace.spans_dropped")));
+              t.metrics.counter_value("bcc.trace.spans_dropped")),
+          exemplar_buf);
       screen += line;
     }
 
@@ -1099,7 +1329,7 @@ void usage() {
   std::fputs(
       "bcc — bandwidth-constrained clustering in tree metric spaces\n"
       "usage: bcc <gen|preprocess|embed|treeness|query|eval|chaos|metrics|"
-      "trace|health|node|collect|top> [--help] [options]\n",
+      "trace|profile|health|node|collect|top> [--help] [options]\n",
       stderr);
 }
 
@@ -1124,6 +1354,7 @@ int main(int argc, char** argv) {
     if (cmd == "chaos") return cmd_chaos(sub_argc, sub_argv);
     if (cmd == "metrics") return cmd_metrics(sub_argc, sub_argv);
     if (cmd == "trace") return cmd_trace(sub_argc, sub_argv);
+    if (cmd == "profile") return cmd_profile(sub_argc, sub_argv);
     if (cmd == "health") return cmd_health(sub_argc, sub_argv);
     if (cmd == "node") return cmd_node(sub_argc, sub_argv);
     if (cmd == "collect") return cmd_collect(sub_argc, sub_argv);

@@ -9,23 +9,26 @@
 # quadratic loop), not 10% noise. Tight-threshold comparisons are what
 # `bench_diff --threshold 0.10` on two full, quiet-machine runs is for.
 #
-#   bench_smoke.sh MICRO_BENCH SERVE_BENCH NET_BENCH COLLECT_BENCH BENCH_DIFF \
-#                  MICRO_BASELINE SERVE_BASELINE NET_BASELINE COLLECT_BASELINE
+#   bench_smoke.sh MICRO_BENCH SERVE_BENCH NET_BENCH COLLECT_BENCH \
+#                  PROFILE_BENCH BENCH_DIFF MICRO_BASELINE SERVE_BASELINE \
+#                  NET_BASELINE COLLECT_BASELINE PROFILE_BASELINE
 set -euo pipefail
 
-if [ "$#" -ne 9 ]; then
-  echo "usage: bench_smoke.sh MICRO_BENCH SERVE_BENCH NET_BENCH COLLECT_BENCH BENCH_DIFF MICRO_BASELINE SERVE_BASELINE NET_BASELINE COLLECT_BASELINE" >&2
+if [ "$#" -ne 11 ]; then
+  echo "usage: bench_smoke.sh MICRO_BENCH SERVE_BENCH NET_BENCH COLLECT_BENCH PROFILE_BENCH BENCH_DIFF MICRO_BASELINE SERVE_BASELINE NET_BASELINE COLLECT_BASELINE PROFILE_BASELINE" >&2
   exit 1
 fi
 micro_bench=$1
 serve_bench=$2
 net_bench=$3
 collect_bench=$4
-bench_diff=$5
-micro_baseline=$6
-serve_baseline=$7
-net_baseline=$8
-collect_baseline=$9
+profile_bench=$5
+bench_diff=$6
+micro_baseline=$7
+serve_baseline=$8
+net_baseline=$9
+collect_baseline=${10}
+profile_baseline=${11}
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -74,5 +77,17 @@ BCC_BENCH_OUT="$workdir" "$collect_bench" \
 "$bench_diff" \
   --baseline "$collect_baseline" \
   --candidate "$workdir/BENCH_collect.json" \
+  --metrics '\.cpu_ns$' \
+  --threshold 4.0
+
+# Observatory subset: the exemplar record paths and the disabled-path submit
+# loop (the A/B overhead bench with its 3x20k passes is full-run only).
+BCC_BENCH_OUT="$workdir" "$profile_bench" \
+  --benchmark_filter='BM_HistogramRecordPlain|BM_HistogramRecordExemplar|BM_SubmitObservatoryOff' \
+  --benchmark_min_time=0.05 >/dev/null
+
+"$bench_diff" \
+  --baseline "$profile_baseline" \
+  --candidate "$workdir/BENCH_profile.json" \
   --metrics '\.cpu_ns$' \
   --threshold 4.0

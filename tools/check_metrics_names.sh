@@ -22,7 +22,7 @@ found=0
 
 # One segment per instrumented subsystem; extend deliberately when a new
 # module grows instruments.
-modules='sim|serve|tree|bench|conv|trace|net|core|collect|flight'
+modules='sim|serve|tree|bench|conv|trace|net|core|collect|flight|profile'
 
 # Names deeper than three segments must use a declared submodule: the third
 # segment of a 4+-segment name is checked against this list (bench.* names

@@ -9,7 +9,11 @@
 #     suite swaps degraded snapshots mid-serve, the QueryStats seqlock test
 #     tears at snapshots under concurrent record()s, and the obs suite
 #     hammers the striped counters / histogram buckets / tracer ring from
-#     many threads — exactly the code TSan exists for; the Transport/Net
+#     many threads — exactly the code TSan exists for; the ObsProfiler and
+#     QueryProfile tests run the SIGPROF sampler and the explain stage
+#     clocks under TSan, so a handler touching anything beyond its lock-free
+#     slot ring (and the exemplar stripes racing record against snapshot)
+#     would light up here; the Transport/Net
 #     tests pump two TcpTransports from separate threads while EventEngine
 #     timer cancellation races transport-driven retries (the shared surface
 #     is the global bcc.net.* instruments and the frame codec);
@@ -33,7 +37,7 @@ run_tsan() {
   cmake -B build-tsan -S . -DBCC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "${jobs}" --target bcc_tests bcc_chaos_tests bcc_obs_tests bcc_transport_tests bcc_cli
   ctest --test-dir build-tsan \
-        -R 'QueryService|QueryStatusApi|QueryStats|QueryShard|Epoch|Chaos|Obs|Transport|Net' \
+        -R 'QueryService|QueryStatusApi|QueryStats|QueryShard|QueryProfile|Epoch|Chaos|Obs|Transport|Net' \
         --output-on-failure -j "${jobs}"
 }
 
